@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Ablation: coalescing cache size (0/4/8/64 KB) — the paper's Tech-4
+ * claim that 8 KB captures essentially all spatial coalescing and
+ * bigger caches buy nothing (no temporal reuse at LSD scale).
+ */
+
+#include <iostream>
+
+#include "axe/engine.hh"
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "graph/datasets.hh"
+
+int
+main()
+{
+    using namespace lsdgnn;
+    bench::banner("Ablation — coalescing cache size",
+                  "8 KB captures the spatial reuse; larger caches add "
+                  "nothing (Tech-4)");
+
+    const auto &ml = graph::datasetByName("ml"); // high-degree dataset
+    const graph::CsrGraph g = graph::instantiate(ml, 10'000, 1);
+    sampling::SamplePlan plan;
+    plan.batch_size = 128;
+
+    TextTable table;
+    table.header({"cache", "hit rate", "samples/s (no PCIe limit)"});
+    for (std::uint32_t kb : {1u, 4u, 8u, 64u, 256u}) {
+        axe::AxeConfig cfg = axe::AxeConfig::poc();
+        cfg.cache_bytes = kb * 1024;
+        cfg.fast_output_link = true;
+        cfg.num_nodes = 1;
+        cfg.ddr_channels = 1; // make local memory the bottleneck
+        axe::AccessEngine engine(cfg, g, ml.attr_len * 4);
+        const auto r = engine.run(plan, 2);
+        table.row({formatBytes(std::uint64_t(kb) * 1024),
+                   TextTable::num(r.cache_hit_rate * 100, 1) + "%",
+                   bench::human(r.samples_per_s)});
+    }
+    table.print(std::cout);
+    std::cout << "\n(the hit rate is pure spatial coalescing of "
+                 "adjacent/repeated fine-grained reads; growing the "
+                 "cache past 8 KB leaves it flat because a 512-node "
+                 "batch cannot revisit a 10^9-node graph)\n";
+    return 0;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Ablation: MoF reliability layer under fabric loss — goodput and
+ * retransmission cost of the go-back-N data link across loss rates,
+ * supporting the paper's "high reliability without much software
+ * overhead" claim for the customized fabric.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "mof/reliability.hh"
+#include "sim/event_queue.hh"
+
+int
+main()
+{
+    using namespace lsdgnn;
+    bench::banner("Ablation — MoF go-back-N link reliability",
+                  "in-order exactly-once delivery sustained through "
+                  "fabric loss; overhead = retransmissions");
+
+    constexpr int packages = 2000;
+    constexpr std::uint32_t bytes = 1312; // one 64-request MoF package
+
+    TextTable table;
+    table.header({"loss rate", "delivered", "retransmissions",
+                  "goodput", "efficiency"});
+    for (double loss : {0.0, 0.001, 0.01, 0.05, 0.1}) {
+        sim::EventQueue eq;
+        mof::ReliableChannelParams params;
+        params.loss_probability = loss;
+        params.ack_loss_probability = loss / 2;
+        params.seed = 21;
+        std::uint64_t delivered_bytes = 0;
+        mof::ReliableChannel chan(eq, params,
+            [&](std::uint64_t, std::uint32_t b) {
+                delivered_bytes += b;
+            });
+        for (int i = 0; i < packages; ++i)
+            chan.send(bytes);
+        eq.run();
+
+        const double seconds = toSeconds(eq.now());
+        const double goodput =
+            static_cast<double>(delivered_bytes) / seconds;
+        const double efficiency =
+            static_cast<double>(packages) /
+            static_cast<double>(chan.transmissions());
+        table.row({TextTable::num(loss * 100, 1) + "%",
+                   TextTable::num(chan.delivered()),
+                   TextTable::num(chan.retransmissions()),
+                   bench::human(goodput) + "B/s",
+                   TextTable::num(efficiency * 100, 1) + "%"});
+    }
+    table.print(std::cout);
+    std::cout << "\n(go-back-N retransmits whole windows, so "
+                 "efficiency falls super-linearly in loss — fine for "
+                 "a DAC fabric with ~0 loss, which is the paper's "
+                 "deployment)\n";
+    return 0;
+}

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Ablation: MoF staging window — the batching latency/efficiency
+ * trade-off inside the packing endpoint (Tech-1 at run time). A
+ * longer aging window packs sparse traffic better but adds staging
+ * latency to every request; under bursty GNN traffic the window
+ * barely matters because packages fill on their own.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "common/rng.hh"
+#include "common/table.hh"
+#include "fabric/link.hh"
+#include "mof/endpoint.hh"
+
+namespace {
+
+struct RunResult {
+    double packing;
+    double mean_latency_ns;
+    double wire_saving;
+};
+
+RunResult
+runTrace(lsdgnn::Tick window, double mean_gap_ns)
+{
+    using namespace lsdgnn;
+    sim::EventQueue eq;
+    fabric::SimLink phy(eq, fabric::catalog::mofFabric().params());
+    mof::EndpointParams params;
+    params.max_staging_delay = window;
+    mof::MofEndpoint ep(eq, phy, params);
+
+    // Poisson-ish arrival trace of fine-grained reads.
+    Rng rng(13);
+    Tick t = 0;
+    double latency_sum = 0;
+    int completed = 0;
+    const int n = 2000;
+    for (int i = 0; i < n; ++i) {
+        t += nanoseconds(rng.nextDouble() * 2.0 * mean_gap_ns);
+        eq.schedule(t, [&, &ep = ep] {
+            const Tick issued = eq.now();
+            ep.request(8, [&, issued] {
+                latency_sum += toNanoseconds(eq.now() - issued);
+                ++completed;
+            });
+        });
+    }
+    eq.run();
+    ep.flush();
+    eq.run();
+
+    RunResult r;
+    r.packing = ep.meanPackingFactor();
+    r.mean_latency_ns = latency_sum / completed;
+    r.wire_saving = 1.0 -
+        static_cast<double>(ep.wireBytes()) /
+        static_cast<double>(ep.unpackedWireBytes());
+    return r;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace lsdgnn;
+    bench::banner("Ablation — MoF staging window",
+                  "batching trades per-request latency for packing "
+                  "efficiency; bursty traffic packs for free");
+
+    for (double gap_ns : {2.0, 50.0}) {
+        std::cout << "\nmean request gap " << gap_ns
+                  << " ns (" << (gap_ns < 10 ? "bursty" : "sparse")
+                  << " traffic):\n";
+        TextTable table;
+        table.header({"staging window", "packing factor",
+                      "mean latency", "wire saving"});
+        for (double window_ns : {0.0, 50.0, 200.0, 1000.0, 5000.0}) {
+            const auto r = runTrace(nanoseconds(window_ns), gap_ns);
+            table.row({TextTable::num(window_ns, 0) + " ns",
+                       TextTable::num(r.packing, 1),
+                       TextTable::num(r.mean_latency_ns, 0) + " ns",
+                       TextTable::num(r.wire_saving * 100, 1) + "%"});
+        }
+        table.print(std::cout);
+    }
+    std::cout << "\n(the PoC's sampling traffic is the bursty case: "
+                 "the scoreboards keep ~hundreds of reads in flight, "
+                 "so packages fill without waiting)\n";
+    return 0;
+}

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Fig. 15: validation of the analytical performance model against the
+ * discrete-event PoC "measurement" across AxE core counts, memory
+ * configurations (PCIe host DRAM, 1/2/4-channel FPGA DDR) and node
+ * counts (1n/4n), plus the modeled no-PCIe-output-limit rates.
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "axe/analytic.hh"
+#include "axe/engine.hh"
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "graph/datasets.hh"
+
+int
+main()
+{
+    using namespace lsdgnn;
+    bench::banner("Fig. 15 — analytical model vs PoC measurement",
+                  "model tracks measurement (paper: 0.974% error); "
+                  "most configs are PCIe-output bound");
+
+    const auto &ls = graph::datasetByName("ls");
+    const graph::CsrGraph g = graph::instantiate(ls, 500'000, 1);
+    sampling::SamplePlan plan;
+    plan.batch_size = 128;
+    const auto profile =
+        sampling::profileWorkload(ls, plan, 500'000, 4, 1);
+
+    struct Mode {
+        const char *name;
+        bool host_mem;
+        std::uint32_t channels;
+        std::uint32_t nodes;
+    };
+    const Mode modes[] = {
+        {"pcie-hostmem/1n", true, 0, 1},
+        {"ddr-1chn/1n", false, 1, 1},
+        {"ddr-2chn/1n", false, 2, 1},
+        {"ddr-4chn/1n", false, 4, 1},
+        {"ddr-4chn/4n", false, 4, 4},
+    };
+
+    TextTable table;
+    table.header({"config", "cores", "measured", "modeled", "error",
+                  "modeled (no PCIe limit)"});
+    double abs_err_sum = 0;
+    int points = 0;
+    for (std::uint32_t cores : {1u, 2u, 4u}) {
+        for (const Mode &mode : modes) {
+            axe::AxeConfig cfg = mode.host_mem
+                ? axe::AxeConfig::pocHostMem()
+                : axe::AxeConfig::poc();
+            cfg.num_cores = cores;
+            cfg.num_nodes = mode.nodes;
+            if (!mode.host_mem)
+                cfg.ddr_channels = mode.channels;
+
+            axe::AccessEngine engine(cfg, g, ls.attr_len * 4);
+            const auto measured = engine.run(plan, 2);
+            const auto modeled = axe::predictEngineRate(
+                cfg, profile, measured.cache_hit_rate);
+            const double err =
+                (modeled.samples_per_s - measured.samples_per_s) /
+                measured.samples_per_s;
+            abs_err_sum += std::abs(err);
+            ++points;
+
+            axe::AxeConfig unbound = cfg;
+            unbound.fast_output_link = true;
+            const auto no_limit = axe::predictEngineRate(
+                unbound, profile, measured.cache_hit_rate);
+
+            table.row({mode.name, TextTable::num(std::uint64_t(cores)),
+                       bench::human(measured.samples_per_s),
+                       bench::human(modeled.samples_per_s),
+                       TextTable::num(err * 100, 2) + "%",
+                       bench::human(no_limit.samples_per_s)});
+        }
+    }
+    table.print(std::cout);
+    std::cout << "\nmean absolute model error = "
+              << TextTable::num(abs_err_sum / points * 100, 2)
+              << "% (paper: 0.974%)\n";
+    return 0;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Fig. 17: GNN sampling performance per instance for the eight FaaS
+ * architectures on the six datasets, at the three instance sizes.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "faas/dse.hh"
+
+int
+main()
+{
+    using namespace lsdgnn;
+    using namespace lsdgnn::faas;
+    bench::banner("Fig. 17 — sampling performance per instance",
+                  "8 architectures x 6 datasets x 3 instance sizes, "
+                  "samples/s per instance");
+
+    const DseExplorer dse;
+    for (auto size : {InstanceSize::Small, InstanceSize::Medium,
+                      InstanceSize::Large}) {
+        std::cout << "\n--- instance size: " << sizeName(size)
+                  << " ---\n";
+        TextTable table;
+        std::vector<std::string> head = {"arch"};
+        for (const auto &spec : graph::paperDatasets())
+            head.push_back(spec.name);
+        head.push_back("bottleneck(ls)");
+        table.header(head);
+
+        // CPU baseline row first.
+        std::vector<std::string> cpu_row = {"CPU"};
+        for (const auto &spec : graph::paperDatasets()) {
+            const auto cpu = dse.cpuBaseline(spec.name, size);
+            cpu_row.push_back(bench::human(
+                cpu.service_samples_per_s / cpu.instances));
+        }
+        cpu_row.push_back("-");
+        table.row(cpu_row);
+
+        for (const auto &arch : allArchitectures()) {
+            std::vector<std::string> row = {arch.name()};
+            std::string bott;
+            for (const auto &spec : graph::paperDatasets()) {
+                const auto p = dse.evaluate(spec.name, arch, size);
+                const std::uint32_t chips =
+                    faasInstance(size).fpga_chips;
+                row.push_back(
+                    bench::human(p.per_fpga_samples_per_s * chips));
+                if (spec.name == std::string("ls"))
+                    bott = bottleneckName(p.bottleneck);
+            }
+            row.push_back(bott);
+            table.row(row);
+        }
+        table.print(std::cout);
+    }
+    std::cout << "\n(paper shape: every FaaS arch beats CPU per "
+                 "instance; mem-opt.tc is the fastest; performance "
+                 "grows with instance size)\n";
+    return 0;
+}

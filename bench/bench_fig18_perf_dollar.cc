@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Fig. 18: normalized performance per dollar of GNN sampling for the
+ * eight FaaS architectures on the six datasets (normalized to the
+ * CPU geomean of the same instance size).
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "faas/dse.hh"
+
+int
+main()
+{
+    using namespace lsdgnn;
+    using namespace lsdgnn::faas;
+    bench::banner("Fig. 18 — normalized perf/$ per dataset",
+                  "small graphs (ss, ls) can fall below CPU; larger "
+                  "graphs make FaaS clearly win");
+
+    const DseExplorer dse;
+    for (auto size : {InstanceSize::Small, InstanceSize::Medium,
+                      InstanceSize::Large}) {
+        const double cpu_geo = dse.cpuPerfPerDollarGeomean(size);
+        std::cout << "\n--- instance size: " << sizeName(size)
+                  << " (CPU geomean = " << bench::human(cpu_geo)
+                  << " samples/s/$) ---\n";
+        TextTable table;
+        std::vector<std::string> head = {"arch"};
+        for (const auto &spec : graph::paperDatasets())
+            head.push_back(spec.name);
+        table.header(head);
+
+        std::vector<std::string> cpu_row = {"CPU"};
+        for (const auto &spec : graph::paperDatasets()) {
+            const auto cpu = dse.cpuBaseline(spec.name, size);
+            cpu_row.push_back(
+                TextTable::num(cpu.perf_per_dollar / cpu_geo, 2) + "x");
+        }
+        table.row(cpu_row);
+
+        for (const auto &arch : allArchitectures()) {
+            std::vector<std::string> row = {arch.name()};
+            for (const auto &spec : graph::paperDatasets()) {
+                const auto p = dse.evaluate(spec.name, arch, size);
+                row.push_back(
+                    TextTable::num(p.perf_per_dollar / cpu_geo, 2) +
+                    "x");
+            }
+            table.row(row);
+        }
+        table.print(std::cout);
+    }
+    return 0;
+}

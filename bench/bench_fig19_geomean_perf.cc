@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Fig. 19: average (geomean over the six datasets) GNN sampling
+ * performance per instance of the eight architectures, per instance
+ * size — plus the vCPU-equivalence headline (decp ~67, tc ~129.6).
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "faas/dse.hh"
+
+int
+main()
+{
+    using namespace lsdgnn;
+    using namespace lsdgnn::faas;
+    bench::banner("Fig. 19 — geomean sampling performance/instance",
+                  "performance scales with instance size; base FPGA "
+                  "~67 vCPU (decp) / ~129.6 vCPU (tc)");
+
+    const DseExplorer dse;
+    TextTable table;
+    table.header({"arch", "small", "medium", "large",
+                  "vCPU-equiv (geomean)"});
+    for (const auto &arch : allArchitectures()) {
+        std::vector<std::string> row = {arch.name()};
+        std::vector<double> equivalents;
+        for (auto size : {InstanceSize::Small, InstanceSize::Medium,
+                          InstanceSize::Large}) {
+            std::vector<double> rates;
+            for (const auto &spec : graph::paperDatasets()) {
+                const auto p = dse.evaluate(spec.name, arch, size);
+                rates.push_back(p.per_fpga_samples_per_s *
+                                faasInstance(size).fpga_chips);
+                equivalents.push_back(p.vcpu_equivalent);
+            }
+            row.push_back(bench::human(geomean(rates)));
+        }
+        row.push_back(TextTable::num(geomean(equivalents), 0));
+        table.row(row);
+    }
+    table.print(std::cout);
+
+    std::cout << "\npaper anchors: base.decp FPGA ~ 67 vCPU, base.tc "
+                 "~ 129.6 vCPU; medium/large scale 2.4x/14x over "
+                 "small in base.decp\n";
+    return 0;
+}

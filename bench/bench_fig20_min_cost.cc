@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Fig. 20: minimal cloud service cost (CPU vs FaaS.base) to carry and
+ * run each dataset, per instance size, normalized to the ss CPU cost.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "faas/dse.hh"
+
+int
+main()
+{
+    using namespace lsdgnn;
+    using namespace lsdgnn::faas;
+    bench::banner("Fig. 20 — minimal service cost, CPU vs FaaS.base",
+                  "the ml-on-small worked example: ~49 instances, "
+                  "cost 5.44 (CPU) vs 69.81 (FaaS), perf 28.8x");
+
+    const DseExplorer dse;
+    const FaasArch base_decp{Constraint::Base, Coupling::Decp};
+
+    for (auto size : {InstanceSize::Small, InstanceSize::Medium,
+                      InstanceSize::Large}) {
+        // Normalize to ss CPU cost at this size (paper normalizes to
+        // the ss CPU point).
+        const double ss_cpu_cost =
+            dse.cpuBaseline("ss", size).service_cost;
+        std::cout << "\n--- instance size: " << sizeName(size)
+                  << " ---\n";
+        TextTable table;
+        table.header({"dataset", "instances", "CPU cost (norm)",
+                      "FaaS.base cost (norm)", "FaaS perf vs CPU"});
+        for (const auto &spec : graph::paperDatasets()) {
+            const auto cpu = dse.cpuBaseline(spec.name, size);
+            const auto faas_pt = dse.evaluate(spec.name, base_decp,
+                                              size);
+            table.row({spec.name, TextTable::num(
+                           std::uint64_t(cpu.instances)),
+                       TextTable::num(cpu.service_cost / ss_cpu_cost,
+                                      2),
+                       TextTable::num(
+                           faas_pt.service_cost / ss_cpu_cost, 2),
+                       TextTable::num(faas_pt.service_samples_per_s /
+                                          cpu.service_samples_per_s,
+                                      1) + "x"});
+        }
+        table.print(std::cout);
+    }
+    std::cout << "\n(if cost is the only concern, CPU remains "
+                 "cheapest; FaaS buys throughput and perf/$)\n";
+    return 0;
+}

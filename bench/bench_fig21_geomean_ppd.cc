@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Fig. 21: average normalized performance per dollar (geomean over
+ * the six datasets) of the eight FaaS architectures — the paper's
+ * headline 2.47x / 7.78x / 12.58x results.
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "faas/dse.hh"
+
+int
+main()
+{
+    using namespace lsdgnn;
+    using namespace lsdgnn::faas;
+    bench::banner("Fig. 21 — geomean normalized perf/$",
+                  "base 2.47x, comm-opt up to 7.78x, mem-opt.tc "
+                  "12.58x over the CPU baseline");
+
+    const DseExplorer dse;
+    TextTable table;
+    table.header({"arch", "small", "medium", "large", "pooled"});
+    for (const auto &arch : allArchitectures()) {
+        std::vector<std::string> row = {arch.name()};
+        std::vector<double> pooled;
+        for (auto size : {InstanceSize::Small, InstanceSize::Medium,
+                          InstanceSize::Large}) {
+            const double cpu_geo = dse.cpuPerfPerDollarGeomean(size);
+            std::vector<double> vals;
+            for (const auto &spec : graph::paperDatasets()) {
+                const double v =
+                    dse.evaluate(spec.name, arch, size).perf_per_dollar /
+                    cpu_geo;
+                vals.push_back(v);
+                pooled.push_back(v);
+            }
+            row.push_back(TextTable::num(geomean(vals), 2) + "x");
+        }
+        row.push_back(TextTable::num(geomean(pooled), 2) + "x");
+        table.row(row);
+    }
+    table.print(std::cout);
+
+    std::cout << "\npaper headlines: base.decp 2.47x, base.tc 4.11x, "
+                 "comm-opt up to 7.78x, mem-opt.tc 12.58x\n";
+    std::cout << "(cost-opt matches base by design: the on-FPGA NIC "
+                 "saves the provider's build cost, not the user's "
+                 "rent)\n";
+    return 0;
+}

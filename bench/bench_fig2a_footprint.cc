@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Fig. 2(a): memory footprint of the six graph datasets and the
+ * minimal number of storage servers needed to hold each.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "common/units.hh"
+#include "graph/datasets.hh"
+
+int
+main()
+{
+    using namespace lsdgnn;
+    bench::banner("Fig. 2(a) — dataset memory footprint & min servers",
+                  "footprints force multi-server distributed storage; "
+                  "syn is a >10 TB graph");
+
+    const graph::FootprintModel model;
+    TextTable table;
+    table.header({"dataset", "nodes", "edges", "attr", "footprint",
+                  "min servers (512 GiB)"});
+    for (const auto &spec : graph::paperDatasets()) {
+        table.row({spec.name,
+                   bench::human(static_cast<double>(spec.nodes)),
+                   bench::human(static_cast<double>(spec.edges)),
+                   TextTable::num(std::uint64_t(spec.attr_len)),
+                   formatBytes(model.totalBytes(spec)),
+                   TextTable::num(std::uint64_t(model.minServers(spec)))});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nstore overhead factor " << model.overhead
+              << "x on raw CSR+attributes (indexes, edge attributes, "
+                 "hot-node cache)\n";
+    return 0;
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Fig. 2(b): CPU-baseline sampling throughput scaling with server
+ * count (1/5/15), averaged across the six datasets.
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "baseline/cpu_sampler.hh"
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "faas/dse.hh"
+#include "graph/datasets.hh"
+#include "sampling/workload.hh"
+
+int
+main()
+{
+    using namespace lsdgnn;
+    bench::banner("Fig. 2(b) — sampling throughput scaling vs servers",
+                  "sub-linear scaling: communication overhead grows "
+                  "with the cluster");
+
+    const baseline::CpuSamplerModel model;
+    const sampling::SamplePlan plan; // Table 2 defaults
+
+    TextTable table;
+    table.header({"dataset", "1 server", "5 servers", "15 servers",
+                  "speedup@5", "speedup@15"});
+    std::vector<double> s5s, s15s;
+    for (const auto &spec : graph::paperDatasets()) {
+        const auto profile = sampling::profileWorkload(
+            spec, plan, std::max<std::uint64_t>(1, spec.nodes / 30000),
+            4, 1);
+        baseline::CpuClusterConfig base;
+        std::vector<double> rates;
+        for (std::uint32_t servers : {1u, 5u, 15u}) {
+            baseline::CpuClusterConfig cluster = base;
+            cluster.num_servers = servers;
+            rates.push_back(
+                model.evaluate(profile, cluster).samples_per_s);
+        }
+        const double s5 = rates[1] / rates[0];
+        const double s15 = rates[2] / rates[0];
+        s5s.push_back(s5);
+        s15s.push_back(s15);
+        table.row({spec.name, bench::human(rates[0]),
+                   bench::human(rates[1]), bench::human(rates[2]),
+                   TextTable::num(s5) + "x", TextTable::num(s15) + "x"});
+    }
+    table.print(std::cout);
+    std::cout << "\naverage speedup: 5 servers = "
+              << TextTable::num(faas::geomean(s5s))
+              << "x (ideal 5x), 15 servers = "
+              << TextTable::num(faas::geomean(s15s))
+              << "x (ideal 15x) -> clearly sub-linear\n";
+    return 0;
+}

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Fig. 2(d): round-trip latency and achieved bandwidth of remote
+ * memory access for various request sizes, over the three hardware
+ * paths (direct local DRAM, PCIe host DRAM, RDMA remote DRAM).
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "fabric/link.hh"
+
+int
+main()
+{
+    using namespace lsdgnn;
+    bench::banner("Fig. 2(d) — latency/bandwidth vs request size",
+                  "small requests keep long latency and collapse "
+                  "bandwidth ~100x (8 B vs 1 KiB over RDMA)");
+
+    const fabric::Link local = fabric::catalog::localDdr4Channel();
+    const fabric::Link pcie = fabric::catalog::pcieHostDram();
+    const fabric::Link rdma = fabric::catalog::rdmaRemoteDram();
+
+    TextTable table;
+    table.header({"request", "local DRAM", "PCIe host DRAM",
+                  "RDMA remote", "RDMA bandwidth"});
+    for (std::uint64_t bytes : {8, 16, 32, 64, 128, 256, 1024}) {
+        table.row({formatBytes(bytes),
+                   formatTime(local.roundTripLatency(bytes)),
+                   formatTime(pcie.roundTripLatency(bytes)),
+                   formatTime(rdma.roundTripLatency(bytes)),
+                   bench::human(rdma.achievedBandwidth(bytes, 64)) +
+                       "B/s"});
+    }
+    table.print(std::cout);
+
+    const double bw8 = rdma.achievedBandwidth(8, 64);
+    const double bw1k = rdma.achievedBandwidth(1024, 64);
+    std::cout << "\nRDMA bandwidth collapse: 1 KiB / 8 B = "
+              << TextTable::num(bw1k / bw8, 1)
+              << "x (paper: ~100x)\n";
+    return 0;
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Fig. 2(e): outstanding requests demanded to fill a target bandwidth
+ * on each hardware path (Eq. 3), for the GNN request mix.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "fabric/link.hh"
+#include "graph/datasets.hh"
+#include "sampling/workload.hh"
+
+int
+main()
+{
+    using namespace lsdgnn;
+    bench::banner("Fig. 2(e) — outstanding requests to fill bandwidth",
+                  "Eq. 3: long-latency paths demand orders of "
+                  "magnitude more concurrency");
+
+    // GNN mix measured on the ls dataset: ~50 % 8 B structure reads,
+    // ~50 % attribute records.
+    const auto profile = sampling::profileWorkload(
+        graph::datasetByName("ls"), sampling::SamplePlan{}, 500000, 4,
+        1);
+    const std::vector<fabric::AccessPattern> mix = {
+        {8, profile.structureRequestFraction()},
+        {profile.attr_bytes_per_node,
+         1.0 - profile.structureRequestFraction()},
+    };
+    std::cout << "request mix: " << mix[0].probability * 100
+              << "% x 8 B structure, " << mix[1].probability * 100
+              << "% x " << mix[1].bytes << " B attributes (mean "
+              << TextTable::num(fabric::meanRequestBytes(mix), 1)
+              << " B)\n\n";
+
+    const fabric::Link paths[] = {
+        fabric::catalog::localDdr4Channel(4),
+        fabric::catalog::pcieHostDram(),
+        fabric::catalog::rdmaRemoteDram(),
+        fabric::catalog::mofFabric(),
+    };
+
+    TextTable table;
+    table.header({"target BW", "local DDR4 x4", "PCIe host",
+                  "RDMA remote", "MoF fabric"});
+    for (double gbps : {16.0, 25.0, 50.0, 100.0, 200.0}) {
+        std::vector<std::string> row = {
+            TextTable::num(gbps, 0) + " GB/s"};
+        for (const auto &link : paths) {
+            const double o = fabric::requiredOutstanding(
+                gbps * 1e9, link.roundTripLatency(64), mix);
+            row.push_back(TextTable::num(o, 0));
+        }
+        table.row(row);
+    }
+    table.print(std::cout);
+    std::cout << "\n(conventional software threads provide ~10s of "
+                 "outstanding requests; AxE's tagged OoO load unit "
+                 "provides hundreds)\n";
+    return 0;
+}

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Fig. 3: end-to-end LSD-GNN characterization — per-stage latency
+ * breakdown (training and inference) and the graph-vs-model storage
+ * comparison, for the Table 3 application (ls + graphSAGE-max +
+ * DSSM on a 5-server/120-worker instance).
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "common/units.hh"
+#include "gnn/end_to_end.hh"
+
+int
+main()
+{
+    using namespace lsdgnn;
+    bench::banner("Fig. 3 — end-to-end LSD-GNN characterization",
+                  "sampling takes 64% (training) and 88% (inference) "
+                  "of time; graph storage ~5 orders above the NN");
+
+    const gnn::EndToEndModel model;
+    const auto train = model.training();
+    const auto infer = model.inference();
+
+    TextTable table;
+    table.header({"mode", "sampling", "embedding", "GNN-NN", "total",
+                  "sampling share"});
+    auto emit = [&](const char *mode, const gnn::StageBreakdown &b) {
+        table.row({mode, TextTable::num(b.sampling_s * 1e3, 2) + " ms",
+                   TextTable::num(b.embedding_s * 1e3, 2) + " ms",
+                   TextTable::num(b.nn_s * 1e3, 2) + " ms",
+                   TextTable::num(b.total() * 1e3, 2) + " ms",
+                   TextTable::num(b.samplingShare() * 100, 1) + "%"});
+    };
+    emit("training", train);
+    emit("inference", infer);
+    table.print(std::cout);
+
+    const auto storage = model.storage();
+    std::cout << "\nstorage: graph data = "
+              << formatBytes(storage.graph_bytes)
+              << ", NN model = " << formatBytes(storage.model_bytes)
+              << " -> " << TextTable::num(storage.ordersOfMagnitude(), 1)
+              << " orders of magnitude apart (paper: ~5)\n";
+    std::cout << "paper shares: training 64%, inference 88%\n";
+    return 0;
+}

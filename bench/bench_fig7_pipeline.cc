@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Fig. 7: measured performance vs pipeline depth — sweep the
+ * GetNeighbor sub-pipeline depth of the DES engine and report
+ * throughput and per-batch latency.
+ */
+
+#include <iostream>
+
+#include "axe/engine.hh"
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "graph/datasets.hh"
+
+int
+main()
+{
+    using namespace lsdgnn;
+    bench::banner("Fig. 7 — performance vs pipeline depth",
+                  "deeper FIFO-connected pipelining hides more "
+                  "latency: deeper is faster");
+
+    const auto &ls = graph::datasetByName("ls");
+    const graph::CsrGraph g = graph::instantiate(ls, 500'000, 1);
+    sampling::SamplePlan plan;
+    plan.batch_size = 128;
+
+    TextTable table;
+    table.header({"pipeline depth", "samples/s", "batch latency",
+                  "speedup vs depth 1"});
+    double depth1 = 0;
+    for (std::uint32_t depth : {1u, 2u, 3u, 4u, 5u, 8u, 16u}) {
+        axe::AxeConfig cfg = axe::AxeConfig::poc();
+        cfg.pipeline_depth = depth;
+        cfg.fast_output_link = true; // expose the pipeline, not PCIe
+        axe::AccessEngine engine(cfg, g, ls.attr_len * 4);
+        const auto r = engine.run(plan, 2);
+        if (depth == 1)
+            depth1 = r.samples_per_s;
+        const double per_batch =
+            toSeconds(r.sim_time) / static_cast<double>(r.batches);
+        table.row({TextTable::num(std::uint64_t(depth)),
+                   bench::human(r.samples_per_s),
+                   TextTable::num(per_batch * 1e6, 1) + " us",
+                   TextTable::num(r.samples_per_s / depth1, 2) + "x"});
+    }
+    table.print(std::cout);
+    std::cout << "\n(depth 5 matches the GetNeighbor sub-module of "
+                 "Fig. 6; gains saturate once the memory system is "
+                 "the bottleneck)\n";
+    return 0;
+}

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks for the hot software kernels:
+ * samplers, BDI codec, CSR traversal and the DES event queue. These
+ * measure the reproduction's own implementation speed (host-side),
+ * complementing the modeled-hardware harnesses.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+#include <vector>
+
+#include "common/rng.hh"
+#include "graph/generator.hh"
+#include "mof/bdi.hh"
+#include "sampling/sampler.hh"
+#include "sim/event_queue.hh"
+
+namespace {
+
+using namespace lsdgnn;
+
+void
+BM_SamplerStandard(benchmark::State &state)
+{
+    const auto n = static_cast<std::uint64_t>(state.range(0));
+    std::vector<graph::NodeId> cand(n);
+    std::iota(cand.begin(), cand.end(), 0);
+    sampling::StandardRandomSampler sampler;
+    Rng rng(1);
+    std::vector<graph::NodeId> out;
+    for (auto _ : state) {
+        out.clear();
+        sampler.sample(cand, 10, rng, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 10);
+}
+BENCHMARK(BM_SamplerStandard)->Arg(32)->Arg(1024)->Arg(32768);
+
+void
+BM_SamplerStreaming(benchmark::State &state)
+{
+    const auto n = static_cast<std::uint64_t>(state.range(0));
+    std::vector<graph::NodeId> cand(n);
+    std::iota(cand.begin(), cand.end(), 0);
+    sampling::StreamingStepSampler sampler;
+    Rng rng(1);
+    std::vector<graph::NodeId> out;
+    for (auto _ : state) {
+        out.clear();
+        sampler.sample(cand, 10, rng, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 10);
+}
+BENCHMARK(BM_SamplerStreaming)->Arg(32)->Arg(1024)->Arg(32768);
+
+void
+BM_BdiCompress(benchmark::State &state)
+{
+    Rng rng(3);
+    std::vector<std::uint64_t> words(
+        static_cast<std::size_t>(state.range(0)));
+    for (auto &w : words)
+        w = 1'000'000 + rng.nextBounded(65536);
+    for (auto _ : state) {
+        auto result = mof::bdiCompress(words);
+        benchmark::DoNotOptimize(result.bytes.data());
+    }
+    state.SetBytesProcessed(state.iterations() *
+                            static_cast<std::int64_t>(words.size() * 8));
+}
+BENCHMARK(BM_BdiCompress)->Arg(128)->Arg(4096);
+
+void
+BM_GraphGeneration(benchmark::State &state)
+{
+    graph::GeneratorParams params;
+    params.num_nodes = static_cast<std::uint64_t>(state.range(0));
+    params.num_edges = params.num_nodes * 10;
+    for (auto _ : state) {
+        auto g = graph::generatePowerLawGraph(params);
+        benchmark::DoNotOptimize(g.numEdges());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(params.num_edges));
+}
+BENCHMARK(BM_GraphGeneration)->Arg(1000)->Arg(10000);
+
+void
+BM_EventQueue(benchmark::State &state)
+{
+    for (auto _ : state) {
+        sim::EventQueue eq;
+        int sink = 0;
+        for (int i = 0; i < state.range(0); ++i)
+            eq.schedule(static_cast<Tick>(i * 7 % 1000),
+                        [&sink] { ++sink; });
+        eq.run();
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EventQueue)->Arg(1000)->Arg(10000);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Shared helpers for the table/figure reproduction harnesses.
+ */
+
+#ifndef LSDGNN_BENCH_BENCH_UTIL_HH
+#define LSDGNN_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+namespace lsdgnn {
+namespace bench {
+
+/** Print the standard harness banner. */
+inline void
+banner(const std::string &experiment, const std::string &paper_claim)
+{
+    std::cout << "==================================================="
+                 "=============\n";
+    std::cout << experiment << "\n";
+    std::cout << "paper reference: " << paper_claim << "\n";
+    std::cout << "==================================================="
+                 "=============\n";
+}
+
+/** Format a double with unit-style suffix (K/M/G). */
+inline std::string
+human(double v)
+{
+    char buf[64];
+    if (v >= 1e9)
+        std::snprintf(buf, sizeof(buf), "%.2fG", v / 1e9);
+    else if (v >= 1e6)
+        std::snprintf(buf, sizeof(buf), "%.2fM", v / 1e6);
+    else if (v >= 1e3)
+        std::snprintf(buf, sizeof(buf), "%.2fK", v / 1e3);
+    else
+        std::snprintf(buf, sizeof(buf), "%.2f", v);
+    return buf;
+}
+
+} // namespace bench
+} // namespace lsdgnn
+
+#endif // LSDGNN_BENCH_BENCH_UTIL_HH

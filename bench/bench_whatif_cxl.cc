@@ -1,0 +1,85 @@
+/**
+ * @file
+ * What-if: CXL-class fabric instead of the customized MoF.
+ *
+ * The paper's comm-opt discussion concedes that datacenters dislike
+ * custom fabrics and points at CXL as the standardized bridge
+ * ("next-generation communication infrastructures such as CXL may
+ * bridge this gap"). This bench runs the comm-opt analysis with a
+ * CXL-class remote path (standard latency/bandwidth points) between
+ * the paper's NIC baseline and the dedicated MoF, quantifying how
+ * much of the custom fabric's win a standard interconnect keeps.
+ */
+
+#include <algorithm>
+#include <iostream>
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "faas/dse.hh"
+
+int
+main()
+{
+    using namespace lsdgnn;
+    using namespace lsdgnn::faas;
+    bench::banner("What-if — CXL-class fabric vs MoF (comm-opt)",
+                  "a standardized fabric keeps most of the custom "
+                  "fabric's benefit");
+
+    const DseExplorer dse;
+    const auto &profile = dse.profileFor("ll");
+    const auto &medium = faasInstance(InstanceSize::Medium);
+    const std::uint32_t fpgas = 8;
+
+    struct Fabric {
+        const char *name;
+        double bandwidth;
+        Tick latency;
+    };
+    // CXL 2.0 x8 ~ 16 GB/s per direction at sub-us load-store
+    // latency; CXL 3.x x16 doubles the rate.
+    const Fabric fabrics[] = {
+        {"base (RDMA NIC)", medium.nicBytesPerSecond(),
+         microseconds(3.0)},
+        {"CXL 2.0 x8", 16e9, nanoseconds(750)},
+        {"CXL 3.x x16", 32e9, nanoseconds(600)},
+        {"MoF (paper)", medium.mofBytesPerSecond(), nanoseconds(600)},
+    };
+
+    TextTable table;
+    table.header({"remote fabric", "bandwidth", "latency",
+                  "per-FPGA samples/s (tc)", "vs base"});
+    double base_rate = 0;
+    for (const auto &fabric : fabrics) {
+        // Rebuild the comm-opt bottleneck analysis with this path.
+        const double samples = profile.samples_per_batch;
+        const double mem_bytes =
+            profile.totalBytesPerBatch() / samples;
+        const double out_bytes =
+            8.0 + static_cast<double>(profile.attr_bytes_per_node);
+        const double r = static_cast<double>(fpgas - 1) / fpgas;
+        const double reqs =
+            profile.totalRequestsPerBatch() / samples;
+
+        const double remote_dir = r * (mem_bytes + reqs * 5.0);
+        const double remote_limit = fabric.bandwidth / remote_dir;
+        // tc: PCIe shared by host-DRAM reads + output stream.
+        const double pcie_limit = 16e9 / (mem_bytes + out_bytes);
+        const double window_limit = 2.0 * 128 /
+            ((1 - r) * toSeconds(nanoseconds(900)) +
+             r * toSeconds(fabric.latency)) / reqs;
+        const double rate =
+            std::min({remote_limit, pcie_limit, window_limit});
+        if (base_rate == 0)
+            base_rate = rate;
+        table.row({fabric.name, bench::human(fabric.bandwidth) + "B/s",
+                   formatTime(fabric.latency), bench::human(rate),
+                   TextTable::num(rate / base_rate, 2) + "x"});
+    }
+    table.print(std::cout);
+    std::cout << "\n(once the fabric stops being the bottleneck the "
+                 "PCIe result path binds — which is the paper's cue "
+                 "for mem-opt.tc)\n";
+    return 0;
+}

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Capacity-planning scenario: "I have this graph and this sampling
+ * throughput target — which FaaS architecture and instance size
+ * should I rent?"
+ *
+ * Walks the paper's eight architectures x three instance sizes for a
+ * dataset, sizes the service (instances to hold the graph, GPUs to
+ * absorb the output), prices it with the fitted cost model, and
+ * recommends the cheapest configuration meeting the target.
+ *
+ * Run: ./faas_planner [dataset] [target_Msamples_per_s]
+ *   dataset: ss|ls|sl|ml|ll|syn (default ll)
+ *   target: service throughput target in Msamples/s (default 50)
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+
+#include "common/table.hh"
+#include "faas/dse.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace lsdgnn;
+    using namespace lsdgnn::faas;
+
+    const std::string dataset = argc > 1 ? argv[1] : "ll";
+    const double target = (argc > 2 ? std::atof(argv[2]) : 50.0) * 1e6;
+
+    const DseExplorer dse;
+    std::cout << "planning for dataset '" << dataset << "', target "
+              << target / 1e6 << "M samples/s\n\n";
+
+    TextTable table;
+    table.header({"architecture", "size", "instances", "GPUs",
+                  "service samples/s", "$/hour", "perf/$ vs CPU",
+                  "meets target"});
+
+    const double cpu_ref_small =
+        dse.cpuPerfPerDollarGeomean(InstanceSize::Small);
+    std::optional<DsePoint> best;
+    for (const auto &arch : allArchitectures()) {
+        for (auto size : {InstanceSize::Small, InstanceSize::Medium,
+                          InstanceSize::Large}) {
+            const auto p = dse.evaluate(dataset, arch, size);
+            const bool meets = p.service_samples_per_s >= target;
+            const double cpu_geo = dse.cpuPerfPerDollarGeomean(size);
+            table.row({arch.name(), sizeName(size),
+                       TextTable::num(std::uint64_t(p.instances)),
+                       TextTable::num(p.gpus, 1),
+                       TextTable::num(p.service_samples_per_s / 1e6, 1) +
+                           "M",
+                       TextTable::num(p.service_cost, 2),
+                       TextTable::num(p.perf_per_dollar / cpu_geo, 2) +
+                           "x",
+                       meets ? "yes" : "no"});
+            if (meets &&
+                (!best || p.service_cost < best->service_cost)) {
+                best = p;
+            }
+        }
+    }
+    table.print(std::cout);
+    (void)cpu_ref_small;
+
+    const auto cpu = dse.cpuBaseline(dataset, InstanceSize::Medium);
+    std::cout << "\nCPU baseline (medium): " << cpu.instances
+              << " instances, "
+              << TextTable::num(cpu.service_samples_per_s / 1e6, 1)
+              << "M samples/s at $" << TextTable::num(cpu.service_cost, 2)
+              << "/h\n";
+
+    if (best) {
+        std::cout << "\nrecommendation: " << best->arch.name() << " / "
+                  << sizeName(best->size) << " — " << best->instances
+                  << " instances + " << TextTable::num(best->gpus, 1)
+                  << " V100s at $"
+                  << TextTable::num(best->service_cost, 2) << "/h ("
+                  << TextTable::num(best->service_samples_per_s / 1e6, 1)
+                  << "M samples/s, bottleneck: "
+                  << bottleneckName(best->bottleneck) << ")\n";
+    } else {
+        std::cout << "\nno configuration meets the target — consider "
+                     "sharding the service or lowering the target.\n";
+    }
+    return 0;
+}

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * PoC hardware-evaluation scenario.
+ *
+ * Reproduces the workflow of the paper's Section 7.1: bring up the
+ * 4-card PoC configuration (dual-core AxE @250 MHz, 4-channel DDR4,
+ * MoF fabric between cards, PCIe result output), run Table 2
+ * sampling workloads through the cycle-approximate engine model, and
+ * inspect where the time goes — including the "everything is PCIe
+ * output bound" observation that motivates mem-opt.tc.
+ *
+ * Run: ./poc_simulation [dataset] [batches]
+ *   dataset: ss|ls|sl|ml|ll|syn (default ls)
+ *   batches: number of 128-root batches to simulate (default 4)
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "axe/analytic.hh"
+#include "axe/engine.hh"
+#include "common/table.hh"
+#include "graph/datasets.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace lsdgnn;
+
+    const std::string dataset = argc > 1 ? argv[1] : "ls";
+    const std::uint32_t batches =
+        argc > 2 ? static_cast<std::uint32_t>(std::atoi(argv[2])) : 4;
+
+    const auto &spec = graph::datasetByName(dataset);
+    const std::uint64_t divisor =
+        std::max<std::uint64_t>(1, spec.nodes / 20'000);
+    const graph::CsrGraph g = graph::instantiate(spec, divisor);
+    std::cout << "dataset " << dataset << " @1/" << divisor
+              << " scale: " << g.numNodes() << " nodes, "
+              << g.numEdges() << " edges\n\n";
+
+    sampling::SamplePlan plan;
+    plan.batch_size = 128;
+    plan.fanouts = {10, 10};
+
+    TextTable table;
+    table.header({"configuration", "samples/s", "batches/s",
+                  "cache hit", "sim time"});
+    auto run_config = [&](const char *name, axe::AxeConfig cfg) {
+        axe::AccessEngine engine(cfg, g, spec.attr_len * 4);
+        const auto r = engine.run(plan, batches);
+        table.row({name,
+                   TextTable::num(r.samples_per_s / 1e6, 2) + "M",
+                   TextTable::num(r.batches_per_s, 0),
+                   TextTable::num(r.cache_hit_rate * 100, 1) + "%",
+                   formatTime(r.sim_time)});
+        return r.samples_per_s;
+    };
+
+    run_config("PoC (Table 10, 4 cards)", axe::AxeConfig::poc());
+    run_config("PoC, PCIe host memory", axe::AxeConfig::pocHostMem());
+
+    axe::AxeConfig single = axe::AxeConfig::poc();
+    single.num_nodes = 1;
+    run_config("single card, local graph", single);
+
+    axe::AxeConfig unbound = axe::AxeConfig::poc();
+    unbound.fast_output_link = true;
+    run_config("PoC w/o PCIe output limit", unbound);
+
+    axe::AxeConfig in_order = axe::AxeConfig::poc();
+    in_order.ooo_enabled = false;
+    run_config("PoC, in-order load unit", in_order);
+
+    table.print(std::cout);
+
+    // Cross-check against the closed-form model (Fig. 15 workflow).
+    const auto profile =
+        sampling::profileWorkload(spec, plan, divisor, 2);
+    const auto pred =
+        axe::predictEngineRate(axe::AxeConfig::poc(), profile, 0.9);
+    std::cout << "\nanalytical model for the PoC: "
+              << TextTable::num(pred.samples_per_s / 1e6, 2)
+              << "M samples/s, bottleneck = " << pred.bottleneck
+              << "\n";
+    return 0;
+}

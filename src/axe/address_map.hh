@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Address-space layout of a stored graph partition.
+ *
+ * The load unit works on byte addresses so the coalescing cache and
+ * the MoF packer see realistic locality. The map places the CSR
+ * offsets array, the adjacency (targets) array and the attribute
+ * table at disjoint base addresses, exactly as the PoC firmware lays
+ * a partition out in DDR.
+ */
+
+#ifndef LSDGNN_AXE_ADDRESS_MAP_HH
+#define LSDGNN_AXE_ADDRESS_MAP_HH
+
+#include <cstdint>
+
+#include "graph/csr_graph.hh"
+
+namespace lsdgnn {
+namespace axe {
+
+/** Byte-address layout for one graph. */
+class GraphAddressMap
+{
+  public:
+    /**
+     * @param graph Graph whose arrays are being addressed.
+     * @param attr_bytes_per_node Attribute record size.
+     */
+    GraphAddressMap(const graph::CsrGraph &graph,
+                    std::uint64_t attr_bytes_per_node)
+        : graph_(graph), attrBytes(attr_bytes_per_node)
+    {
+        offsetsBase = 0;
+        targetsBase = offsetsBase +
+            (graph.numNodes() + 1) * sizeof(std::uint64_t);
+        attrsBase = targetsBase +
+            graph.numEdges() * sizeof(graph::NodeId);
+        // Round the attribute table up to a fresh 4 KiB page.
+        attrsBase = (attrsBase + 4095) & ~std::uint64_t(4095);
+    }
+
+    /** Address of the CSR offsets entry for @p node (degree read). */
+    std::uint64_t
+    degreeAddress(graph::NodeId node) const
+    {
+        return offsetsBase + node * sizeof(std::uint64_t);
+    }
+
+    /** Address of adjacency slot @p k of @p node. */
+    std::uint64_t
+    neighborAddress(graph::NodeId node, std::uint64_t k) const
+    {
+        return targetsBase + graph_.adjacencyByteOffset(node) +
+            k * sizeof(graph::NodeId);
+    }
+
+    /** Address of @p node's attribute record. */
+    std::uint64_t
+    attributeAddress(graph::NodeId node) const
+    {
+        return attrsBase + node * attrBytes;
+    }
+
+    std::uint64_t attrBytesPerNode() const { return attrBytes; }
+
+  private:
+    const graph::CsrGraph &graph_;
+    std::uint64_t attrBytes;
+    std::uint64_t offsetsBase;
+    std::uint64_t targetsBase;
+    std::uint64_t attrsBase;
+};
+
+} // namespace axe
+} // namespace lsdgnn
+
+#endif // LSDGNN_AXE_ADDRESS_MAP_HH

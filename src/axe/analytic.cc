@@ -1,0 +1,99 @@
+#include "analytic.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace lsdgnn {
+namespace axe {
+
+AnalyticPrediction
+predictEngineRate(const AxeConfig &config,
+                  const sampling::WorkloadProfile &profile,
+                  double cache_hit_rate)
+{
+    lsd_assert(profile.samples_per_batch > 0, "profile has no samples");
+    lsd_assert(cache_hit_rate >= 0.0 && cache_hit_rate <= 1.0,
+               "hit rate must be a fraction");
+
+    const double samples = profile.samples_per_batch;
+    const double s_req = profile.structure_requests_per_batch / samples;
+    const double a_req = profile.attribute_requests_per_batch / samples;
+    const double attr_b =
+        static_cast<double>(profile.attr_bytes_per_node);
+    const double line = config.cache_line_bytes;
+
+    const double r = config.num_nodes <= 1
+        ? 0.0
+        : static_cast<double>(config.num_nodes - 1) /
+          static_cast<double>(config.num_nodes);
+
+    const fabric::LinkParams local = config.localMemLink();
+    const fabric::LinkParams remote = config.remoteMemLink();
+    const fabric::LinkParams out = config.outputLink();
+
+    // Local path: structure misses fill whole lines, hits are free;
+    // attribute records move at their true size. Each issued request
+    // pays the link's protocol overhead.
+    const double local_sreq = (1.0 - r) * s_req * (1.0 - cache_hit_rate);
+    const double local_areq = (1.0 - r) * a_req;
+    const double local_bytes = local_sreq * line + local_areq * attr_b +
+        (local_sreq + local_areq) *
+        static_cast<double>(local.per_request_overhead);
+
+    // Remote path: fine-grained reads keep their true size (packing
+    // happens in MoF); requests pay the remote overhead.
+    const double remote_reqs = r * (s_req + a_req);
+    const double remote_bytes = r * (s_req * 8.0 + a_req * attr_b) +
+        remote_reqs * static_cast<double>(remote.per_request_overhead);
+
+    // Output: one result record per sample.
+    const double out_bytes = 8.0 + attr_b +
+        static_cast<double>(out.per_request_overhead);
+
+    AnalyticPrediction pred;
+    pred.local_limit = local_bytes > 0
+        ? local.peak_bandwidth / local_bytes
+        : std::numeric_limits<double>::infinity();
+    pred.remote_limit = remote_bytes > 0
+        ? remote.peak_bandwidth / remote_bytes
+        : std::numeric_limits<double>::infinity();
+    pred.output_limit = out.peak_bandwidth / out_bytes;
+
+    // Outstanding window (Eq. 3): issued requests hold scoreboard
+    // slots for the path round-trip.
+    const double issued = local_sreq + local_areq + remote_reqs;
+    const double local_share =
+        issued > 0 ? (local_sreq + local_areq) / issued : 0.0;
+    const double avg_latency =
+        local_share * toSeconds(local.base_latency) +
+        (1.0 - local_share) * toSeconds(remote.base_latency);
+    const double window = static_cast<double>(config.num_cores) *
+        (config.ooo_enabled ? config.scoreboard_entries : 1);
+    pred.window_limit = (avg_latency > 0 && issued > 0)
+        ? window / (avg_latency * issued)
+        : std::numeric_limits<double>::infinity();
+
+    // Datapath clock: one request per cycle per core.
+    const Clock clock(config.clock_mhz);
+    pred.clock_limit = static_cast<double>(config.num_cores) *
+        clock.frequencyHz() / std::max(issued, 1e-9);
+
+    pred.samples_per_s = pred.local_limit;
+    pred.bottleneck = "local-mem";
+    const auto consider = [&pred](double limit, const char *name) {
+        if (limit < pred.samples_per_s) {
+            pred.samples_per_s = limit;
+            pred.bottleneck = name;
+        }
+    };
+    consider(pred.remote_limit, "remote-link");
+    consider(pred.output_limit, "output");
+    consider(pred.window_limit, "core-window");
+    consider(pred.clock_limit, "core-clock");
+    return pred;
+}
+
+} // namespace axe
+} // namespace lsdgnn

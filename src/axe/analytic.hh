@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Closed-form throughput prediction for an AccessEngine configuration.
+ *
+ * This is the same steady-state bottleneck analysis the FaaS DSE uses
+ * (faas/perf_model), specialized to an AxeConfig so it can be
+ * validated against the discrete-event engine — the paper's Fig. 15,
+ * where the analytical model tracks PoC measurements within 1 %.
+ */
+
+#ifndef LSDGNN_AXE_ANALYTIC_HH
+#define LSDGNN_AXE_ANALYTIC_HH
+
+#include "axe/config.hh"
+#include "sampling/workload.hh"
+
+namespace lsdgnn {
+namespace axe {
+
+/** Closed-form prediction for one engine. */
+struct AnalyticPrediction {
+    double samples_per_s = 0;
+    /** Name of the binding constraint. */
+    const char *bottleneck = "";
+    double local_limit = 0;
+    double remote_limit = 0;
+    double output_limit = 0;
+    double window_limit = 0;
+    double clock_limit = 0;
+};
+
+/**
+ * Predict the sampling rate of @p config on @p profile.
+ *
+ * @param config Engine configuration (cores, links, nodes).
+ * @param profile Workload profile of the dataset/plan.
+ * @param cache_hit_rate Expected coalescing-cache hit rate on local
+ *        fine-grained reads (reduces local structure traffic); pass a
+ *        measured value to tighten the prediction, 0 for worst case.
+ */
+AnalyticPrediction predictEngineRate(
+    const AxeConfig &config, const sampling::WorkloadProfile &profile,
+    double cache_hit_rate = 0.0);
+
+} // namespace axe
+} // namespace lsdgnn
+
+#endif // LSDGNN_AXE_ANALYTIC_HH

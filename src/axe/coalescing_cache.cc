@@ -1,0 +1,84 @@
+#include "coalescing_cache.hh"
+
+#include "common/logging.hh"
+
+namespace lsdgnn {
+namespace axe {
+
+namespace {
+
+bool
+isPowerOfTwo(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+} // namespace
+
+CoalescingCache::CoalescingCache(std::uint32_t size_bytes,
+                                 std::uint32_t line_bytes,
+                                 std::uint32_t ways)
+    : lineBytes_(line_bytes), ways_(ways)
+{
+    lsd_assert(isPowerOfTwo(line_bytes), "line size must be a power of 2");
+    lsd_assert(ways > 0, "cache needs at least one way");
+    lsd_assert(size_bytes >= line_bytes * ways,
+               "cache smaller than one set");
+    sets = size_bytes / (line_bytes * ways);
+    lsd_assert(isPowerOfTwo(sets), "set count must be a power of 2");
+    lines.assign(static_cast<std::size_t>(sets) * ways, Line{});
+}
+
+bool
+CoalescingCache::access(std::uint64_t address)
+{
+    const std::uint64_t line_addr = address / lineBytes_;
+    const std::uint32_t set = static_cast<std::uint32_t>(
+        line_addr & (sets - 1));
+    const std::uint64_t tag = line_addr >> __builtin_ctz(sets);
+    Line *base = &lines[static_cast<std::size_t>(set) * ways_];
+    ++tick;
+
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        Line &line = base[w];
+        if (line.valid && line.tag == tag) {
+            line.lru = tick;
+            hits_.inc();
+            return true;
+        }
+    }
+    // Miss: evict an invalid way if any, otherwise the LRU way.
+    Line *victim = base;
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        Line &line = base[w];
+        if (!line.valid) {
+            victim = &line;
+            break;
+        }
+        if (line.lru < victim->lru)
+            victim = &line;
+    }
+    misses_.inc();
+    victim->valid = true;
+    victim->tag = tag;
+    victim->lru = tick;
+    return false;
+}
+
+void
+CoalescingCache::flush()
+{
+    for (auto &line : lines)
+        line.valid = false;
+}
+
+void
+CoalescingCache::addStats(stats::StatGroup &group,
+                          const std::string &prefix)
+{
+    group.addCounter(prefix + ".hits", &hits_, "coalesced accesses");
+    group.addCounter(prefix + ".misses", &misses_, "line fills");
+}
+
+} // namespace axe
+} // namespace lsdgnn

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The 8 KB coalescing cache (paper Tech-4).
+ *
+ * LSD-GNN has essentially no temporal reuse (a 512-node batch against
+ * ten billion nodes), so the paper rejects big caches and provisions
+ * only enough SRAM to coalesce spatially adjacent fine-grained reads:
+ * adjacency slots and attribute words that share a line. This is a
+ * set-associative, LRU, line-granular cache with hit/miss accounting.
+ */
+
+#ifndef LSDGNN_AXE_COALESCING_CACHE_HH
+#define LSDGNN_AXE_COALESCING_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hh"
+
+namespace lsdgnn {
+namespace axe {
+
+/**
+ * Functional coalescing cache over byte addresses.
+ */
+class CoalescingCache
+{
+  public:
+    /**
+     * @param size_bytes Total capacity (paper: 8 KB).
+     * @param line_bytes Line size (64 B).
+     * @param ways Associativity.
+     */
+    CoalescingCache(std::uint32_t size_bytes, std::uint32_t line_bytes,
+                    std::uint32_t ways = 4);
+
+    /**
+     * Access one address; fills the line on miss.
+     * @return true on hit (request coalesced, no memory traffic).
+     */
+    bool access(std::uint64_t address);
+
+    /** Invalidate everything (between batches / tasks). */
+    void flush();
+
+    std::uint64_t hits() const { return hits_.value(); }
+    std::uint64_t misses() const { return misses_.value(); }
+
+    double
+    hitRate() const
+    {
+        const auto total = hits() + misses();
+        return total == 0 ? 0.0
+            : static_cast<double>(hits()) / static_cast<double>(total);
+    }
+
+    std::uint32_t lineBytes() const { return lineBytes_; }
+    std::uint32_t numSets() const { return sets; }
+
+    /** Register hit/miss counters with a stat group. */
+    void addStats(stats::StatGroup &group, const std::string &prefix);
+
+  private:
+    struct Line {
+        std::uint64_t tag = ~0ull;
+        std::uint64_t lru = 0;
+        bool valid = false;
+    };
+
+    std::uint32_t lineBytes_;
+    std::uint32_t ways_;
+    std::uint32_t sets;
+    std::uint64_t tick = 0;
+    std::vector<Line> lines; // sets * ways
+    stats::Counter hits_;
+    stats::Counter misses_;
+};
+
+} // namespace axe
+} // namespace lsdgnn
+
+#endif // LSDGNN_AXE_COALESCING_CACHE_HH

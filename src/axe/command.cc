@@ -1,0 +1,210 @@
+#include "command.hh"
+
+#include <cstring>
+
+namespace lsdgnn {
+namespace axe {
+
+namespace commands {
+
+CommandWord
+setCsr(std::uint8_t idx, std::uint64_t value)
+{
+    return CommandWord(CommandOp::SetCsr, idx, 0, value);
+}
+
+CommandWord
+readCsr(std::uint8_t idx)
+{
+    return CommandWord(CommandOp::ReadCsr, idx, 0, 0);
+}
+
+CommandWord
+sampleNHop(std::uint8_t hops, std::uint8_t rate,
+           std::uint64_t root_base)
+{
+    return CommandWord(CommandOp::SampleNHop, hops, rate, root_base);
+}
+
+CommandWord
+readNodeAttr(std::uint64_t node)
+{
+    return CommandWord(CommandOp::ReadNodeAttr, 0, 0, node);
+}
+
+CommandWord
+readEdgeAttr(std::uint32_t src, std::uint8_t k)
+{
+    return CommandWord(CommandOp::ReadEdgeAttr, k, 0, src);
+}
+
+CommandWord
+negativeSample(std::uint8_t rate, std::uint64_t src)
+{
+    return CommandWord(CommandOp::NegativeSample, 0, rate, src);
+}
+
+CommandWord
+gemm(std::uint64_t node_base)
+{
+    return CommandWord(CommandOp::Gemm, 0, 0, node_base);
+}
+
+} // namespace commands
+
+CommandDecoder::CommandDecoder(const graph::CsrGraph &graph,
+                               const graph::AttributeStore &attrs,
+                               const sampling::NeighborSampler &sampler)
+    : graph_(graph),
+      attrs_(attrs),
+      sampler_(sampler),
+      negSampler(graph, 0.35),
+      csrs(num_csrs, 0),
+      rng_(1)
+{
+    csrs[csr_batch_size] = 64;
+}
+
+void
+CommandDecoder::loadGemmWeights(std::vector<float> weights)
+{
+    gemmWeights = std::move(weights);
+}
+
+std::uint32_t
+CommandDecoder::csr(std::uint8_t idx) const
+{
+    lsd_assert(idx < num_csrs, "CSR index out of range");
+    return csrs[idx];
+}
+
+CommandResponse
+CommandDecoder::execute(CommandWord cmd)
+{
+    CommandResponse resp;
+    resp.op = cmd.op();
+
+    switch (cmd.op()) {
+      case CommandOp::SetCsr: {
+        const std::uint8_t idx = cmd.arg0();
+        if (idx >= num_csrs) {
+            resp.status = 1;
+            break;
+        }
+        csrs[idx] = static_cast<std::uint32_t>(cmd.operand());
+        if (idx == csr_seed)
+            rng_ = Rng(csrs[idx]);
+        resp.value = csrs[idx];
+        break;
+      }
+      case CommandOp::ReadCsr: {
+        const std::uint8_t idx = cmd.arg0();
+        if (idx >= num_csrs) {
+            resp.status = 1;
+            break;
+        }
+        resp.value = csrs[idx];
+        break;
+      }
+      case CommandOp::SampleNHop: {
+        const std::uint8_t hops = cmd.arg0();
+        const std::uint8_t rate = cmd.arg1();
+        const std::uint64_t root_base = cmd.operand();
+        const std::uint32_t batch = csrs[csr_batch_size];
+        if (hops == 0 || rate == 0 || batch == 0 ||
+            root_base + batch > graph_.numNodes()) {
+            resp.status = 2;
+            break;
+        }
+        sampling::SamplePlan plan;
+        plan.batch_size = batch;
+        plan.fanouts.assign(hops, rate);
+        std::vector<graph::NodeId> roots(batch);
+        for (std::uint32_t i = 0; i < batch; ++i)
+            roots[i] = root_base + i;
+        sampling::MiniBatchSampler engine(graph_, attrs_, sampler_);
+        lastSample_ = engine.sampleBatch(plan, roots, rng_);
+        resp.value = lastSample_.totalSampled();
+        break;
+      }
+      case CommandOp::ReadNodeAttr: {
+        const graph::NodeId node = cmd.operand();
+        if (node >= graph_.numNodes()) {
+            resp.status = 2;
+            break;
+        }
+        lastAttrs = attrs_.fetch(node);
+        // First payload word rides in the response (the rest streams
+        // through the data IO in hardware).
+        std::uint32_t bits;
+        static_assert(sizeof(bits) == sizeof(float));
+        std::memcpy(&bits, &lastAttrs[0], sizeof(bits));
+        resp.value = bits;
+        break;
+      }
+      case CommandOp::ReadEdgeAttr: {
+        const graph::NodeId src = cmd.operand();
+        const std::uint8_t k = cmd.arg0();
+        if (src >= graph_.numNodes() || k >= graph_.degree(src)) {
+            resp.status = 2;
+            break;
+        }
+        // Edge attributes are procedurally derived from the endpoint
+        // pair (the store keeps them beside the adjacency list).
+        const graph::NodeId dst = graph_.neighbor(src, k);
+        lastAttrs = attrs_.fetch(dst);
+        resp.value = dst;
+        break;
+      }
+      case CommandOp::Gemm: {
+        const std::uint32_t m = csrs[csr_gemm_m];
+        const std::uint32_t n = csrs[csr_gemm_n];
+        const std::uint32_t k = attrs_.attrLen();
+        const graph::NodeId base = cmd.operand();
+        if (m == 0 || n == 0 ||
+            base + m > graph_.numNodes() ||
+            gemmWeights.size() !=
+                static_cast<std::size_t>(k) * n) {
+            resp.status = 2;
+            break;
+        }
+        // A: the attribute records of the node window (the shared
+        // RAM contents after a GetAttribute burst).
+        std::vector<float> a(static_cast<std::size_t>(m) * k);
+        for (std::uint32_t i = 0; i < m; ++i)
+            attrs_.fetch(base + i,
+                         std::span<float>(a).subspan(
+                             static_cast<std::size_t>(i) * k, k));
+        gemmResult.assign(static_cast<std::size_t>(m) * n, 0.0f);
+        const auto run = gemmEngine.matmul(a, gemmWeights, gemmResult,
+                                           m, k, n);
+        resp.value = run.cycles;
+        break;
+      }
+      case CommandOp::NegativeSample: {
+        const graph::NodeId src = cmd.operand();
+        const std::uint8_t rate = cmd.arg1();
+        if (src >= graph_.numNodes() || rate == 0) {
+            resp.status = 2;
+            break;
+        }
+        const graph::NodeId dst = csrs[csr_neg_dst] %
+            graph_.numNodes();
+        lastNegs = negSampler.sample(src, dst, rate, rng_);
+        resp.value = lastNegs.size();
+        break;
+      }
+      default:
+        resp.status = 0xff;
+        break;
+    }
+
+    if (resp.status == 0)
+        ++completed_;
+    else
+        ++faulted_;
+    return resp;
+}
+
+} // namespace axe
+} // namespace lsdgnn

@@ -1,0 +1,232 @@
+/**
+ * @file
+ * AxE command interface (paper Table 4).
+ *
+ * The engine is driven by commands arriving from the RISC-V
+ * controller (via QRCH) or the host (via PCIe): set/read CSR,
+ * sample n-hop, read node attributes, read edge attributes, negative
+ * sample. Commands are fixed 64-bit words so they fit one QRCH
+ * enqueue; the decoder validates and dispatches them against a bound
+ * graph + engine, and posts completions to a response queue.
+ *
+ * This is the programmability layer that lets AliGraph offload its
+ * sampling operators without knowing anything about the hardware
+ * underneath (Section 5's "accelerator operator-level" interface).
+ */
+
+#ifndef LSDGNN_AXE_COMMAND_HH
+#define LSDGNN_AXE_COMMAND_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "axe/gemm.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "graph/csr_graph.hh"
+#include "sampling/minibatch.hh"
+#include "sampling/negative.hh"
+
+namespace lsdgnn {
+namespace axe {
+
+/** Command opcodes (Table 4, plus the algebra-operator level). */
+enum class CommandOp : std::uint8_t {
+    SetCsr = 0,
+    ReadCsr = 1,
+    SampleNHop = 2,
+    ReadNodeAttr = 3,
+    ReadEdgeAttr = 4,
+    NegativeSample = 5,
+    /**
+     * Algebra-operator level (paper Section 5, level 3): run the
+     * optional GEMM engine on the shared on-chip RAM. Dimensions come
+     * from CSRs (csr_gemm_m/k/n); operands are the attribute records
+     * of a node window starting at the operand (A) and the decoder's
+     * persistent weight buffer (B).
+     */
+    Gemm = 6,
+};
+
+/**
+ * One 64-bit command word.
+ *
+ * Layout: [63:56] opcode, [55:48] arg0 (hops / CSR index),
+ * [47:40] arg1 (sample rate / batch log2), [39:0] operand (root
+ * node base, node ID, or CSR value depending on the opcode).
+ */
+class CommandWord
+{
+  public:
+    CommandWord() = default;
+
+    CommandWord(CommandOp op, std::uint8_t arg0, std::uint8_t arg1,
+                std::uint64_t operand)
+    {
+        lsd_assert(operand < (1ull << 40), "command operand overflow");
+        word = (static_cast<std::uint64_t>(op) << 56) |
+               (static_cast<std::uint64_t>(arg0) << 48) |
+               (static_cast<std::uint64_t>(arg1) << 40) | operand;
+    }
+
+    explicit CommandWord(std::uint64_t raw) : word(raw) {}
+
+    CommandOp op() const
+    {
+        return static_cast<CommandOp>(word >> 56);
+    }
+    std::uint8_t arg0() const
+    {
+        return static_cast<std::uint8_t>(word >> 48);
+    }
+    std::uint8_t arg1() const
+    {
+        return static_cast<std::uint8_t>(word >> 40);
+    }
+    std::uint64_t operand() const
+    {
+        return word & ((1ull << 40) - 1);
+    }
+    std::uint64_t raw() const { return word; }
+
+    std::uint32_t lo() const
+    {
+        return static_cast<std::uint32_t>(word);
+    }
+    std::uint32_t hi() const
+    {
+        return static_cast<std::uint32_t>(word >> 32);
+    }
+
+    /** Reassemble from the two QRCH words. */
+    static CommandWord
+    fromHalves(std::uint32_t lo, std::uint32_t hi)
+    {
+        return CommandWord((static_cast<std::uint64_t>(hi) << 32) | lo);
+    }
+
+  private:
+    std::uint64_t word = 0;
+};
+
+/** Table 4 command helpers. */
+namespace commands {
+
+/** set CSR[idx] = value (40-bit). */
+CommandWord setCsr(std::uint8_t idx, std::uint64_t value);
+/** read CSR[idx] (value returned in the response). */
+CommandWord readCsr(std::uint8_t idx);
+/** sample `hops` hops at `rate` fan-out from `batch` roots starting
+ *  at node `root_base` (roots are root_base..root_base+batch-1). */
+CommandWord sampleNHop(std::uint8_t hops, std::uint8_t rate,
+                       std::uint64_t root_base);
+/** read the attribute record of `node`. */
+CommandWord readNodeAttr(std::uint64_t node);
+/** read the edge attribute of the pair packed in the operand. */
+CommandWord readEdgeAttr(std::uint32_t src, std::uint8_t k);
+/** draw `rate` negatives for pair (src, dst packed via CSR). */
+CommandWord negativeSample(std::uint8_t rate, std::uint64_t src);
+/** run the GEMM engine over the node window starting at `node_base`
+ *  (dimensions from CSRs). */
+CommandWord gemm(std::uint64_t node_base);
+
+} // namespace commands
+
+/** Completion record the decoder posts per finished command. */
+struct CommandResponse {
+    CommandOp op;
+    /** CSR value, sampled-node count, or first payload word. */
+    std::uint64_t value = 0;
+    /** OK=0, error codes otherwise. */
+    std::uint32_t status = 0;
+};
+
+/**
+ * Functional command decoder bound to one graph partition.
+ *
+ * The decoder owns the engine-visible CSR file (32 x 32-bit as in
+ * Table 10) and executes Table 4 commands against the bound graph.
+ * Batch size for SampleNHop comes from CSR[csr_batch_size]; the
+ * negative-sample destination comes from CSR[csr_neg_dst].
+ */
+class CommandDecoder
+{
+  public:
+    static constexpr std::uint32_t num_csrs = 32;
+    /** CSR indices with architectural meaning. */
+    static constexpr std::uint8_t csr_batch_size = 0;
+    static constexpr std::uint8_t csr_neg_dst = 1;
+    static constexpr std::uint8_t csr_seed = 2;
+    static constexpr std::uint8_t csr_gemm_m = 3;
+    static constexpr std::uint8_t csr_gemm_n = 4;
+
+    /**
+     * @param graph Bound graph partition.
+     * @param attrs Attribute store of the partition.
+     * @param sampler Sampling algorithm for SampleNHop.
+     */
+    CommandDecoder(const graph::CsrGraph &graph,
+                   const graph::AttributeStore &attrs,
+                   const sampling::NeighborSampler &sampler);
+
+    /** Execute one command; returns the completion record. */
+    CommandResponse execute(CommandWord cmd);
+
+    /** Result of the most recent SampleNHop (frontiers per hop). */
+    const sampling::SampleResult &lastSample() const
+    {
+        return lastSample_;
+    }
+
+    /** Attribute payload of the most recent ReadNodeAttr. */
+    const std::vector<float> &lastAttributes() const
+    {
+        return lastAttrs;
+    }
+
+    /** Negatives of the most recent NegativeSample. */
+    const std::vector<graph::NodeId> &lastNegatives() const
+    {
+        return lastNegs;
+    }
+
+    /**
+     * Load the persistent GEMM weight matrix (K = attr_len rows,
+     * csr_gemm_n columns) — the host writes it once per model.
+     */
+    void loadGemmWeights(std::vector<float> weights);
+
+    /** Result matrix of the most recent Gemm command (row major). */
+    const std::vector<float> &lastGemmResult() const
+    {
+        return gemmResult;
+    }
+
+    std::uint32_t csr(std::uint8_t idx) const;
+
+    /** Commands executed (by status). */
+    std::uint64_t completed() const { return completed_; }
+    std::uint64_t faulted() const { return faulted_; }
+
+  private:
+    const graph::CsrGraph &graph_;
+    const graph::AttributeStore &attrs_;
+    const sampling::NeighborSampler &sampler_;
+    sampling::NegativeSampler negSampler;
+    std::vector<std::uint32_t> csrs;
+    Rng rng_;
+    sampling::SampleResult lastSample_;
+    std::vector<float> lastAttrs;
+    std::vector<graph::NodeId> lastNegs;
+    GemmEngine gemmEngine;
+    std::vector<float> gemmWeights;
+    std::vector<float> gemmResult;
+    std::uint64_t completed_ = 0;
+    std::uint64_t faulted_ = 0;
+};
+
+} // namespace axe
+} // namespace lsdgnn
+
+#endif // LSDGNN_AXE_COMMAND_HH

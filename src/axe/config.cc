@@ -1,0 +1,68 @@
+#include "config.hh"
+
+#include "common/logging.hh"
+
+namespace lsdgnn {
+namespace axe {
+
+fabric::LinkParams
+AxeConfig::localMemLink() const
+{
+    switch (local_mem) {
+      case LocalMemKind::PcieHostDram:
+        return fabric::catalog::pcieHostDram().params();
+      case LocalMemKind::FpgaDdr:
+        return fabric::catalog::localDdr4Channel(ddr_channels).params();
+    }
+    lsd_panic("unknown local memory kind");
+}
+
+fabric::LinkParams
+AxeConfig::remoteMemLink() const
+{
+    switch (remote_mem) {
+      case RemoteMemKind::PcieNic:
+        return fabric::catalog::rdmaRemoteDram().params();
+      case RemoteMemKind::OnFpgaNic:
+        return fabric::catalog::onFpgaNic().params();
+      case RemoteMemKind::MofFabric:
+        return fabric::catalog::mofFabric().params();
+    }
+    lsd_panic("unknown remote memory kind");
+}
+
+fabric::LinkParams
+AxeConfig::outputLink() const
+{
+    if (fast_output_link)
+        return fabric::catalog::gpuFastLink().params();
+    return fabric::catalog::pcieHostDram().params();
+}
+
+AxeConfig
+AxeConfig::poc()
+{
+    AxeConfig cfg;
+    cfg.num_cores = 2;
+    cfg.clock_mhz = 250.0;
+    cfg.pipeline_depth = 5;
+    cfg.ooo_enabled = true;
+    cfg.scoreboard_entries = 64;
+    cfg.cache_bytes = 8 * 1024;
+    cfg.local_mem = LocalMemKind::FpgaDdr;
+    cfg.ddr_channels = 4;
+    cfg.remote_mem = RemoteMemKind::MofFabric;
+    cfg.num_nodes = 4;
+    return cfg;
+}
+
+AxeConfig
+AxeConfig::pocHostMem()
+{
+    AxeConfig cfg = poc();
+    cfg.local_mem = LocalMemKind::PcieHostDram;
+    return cfg;
+}
+
+} // namespace axe
+} // namespace lsdgnn

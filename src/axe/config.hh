@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Access Engine configuration.
+ *
+ * Mirrors Table 10 (PoC configuration) by default: dual-core AxE at
+ * 250 MHz, 4-channel DDR4-1600 local memory, MoF as remote memory IO
+ * and PCIe Gen3 x16 as command/result IO. Every knob the paper turns
+ * (core count, memory channels, OoO window, pipeline depth, cache
+ * size, sampler flavor) is a field here.
+ */
+
+#ifndef LSDGNN_AXE_CONFIG_HH
+#define LSDGNN_AXE_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "fabric/link.hh"
+
+namespace lsdgnn {
+namespace axe {
+
+/** Where the engine's local graph partition lives. */
+enum class LocalMemKind {
+    /** PCIe-attached host DRAM (base/cost/comm-opt FaaS). */
+    PcieHostDram,
+    /** FPGA-attached DDR4 channels (mem-opt FaaS, PoC option). */
+    FpgaDdr,
+};
+
+/** How remote partitions are reached. */
+enum class RemoteMemKind {
+    /** PCIe -> standalone NIC -> remote host (base FaaS). */
+    PcieNic,
+    /** On-FPGA NIC (cost-opt FaaS). */
+    OnFpgaNic,
+    /** Dedicated MoF fabric (comm-opt / mem-opt FaaS, PoC). */
+    MofFabric,
+};
+
+/** Full engine configuration. */
+struct AxeConfig {
+    /** Number of homogeneous AxE cores. */
+    std::uint32_t num_cores = 2;
+    /** Datapath clock in MHz (paper: 250 MHz). */
+    double clock_mhz = 250.0;
+    /**
+     * Depth of the producer/consumer FIFO pipeline inside each stage
+     * (paper Fig. 7 sweeps this; 5 is the GetNeighbor sub-module
+     * depth of Fig. 6).
+     */
+    std::uint32_t pipeline_depth = 5;
+    /** Out-of-order load unit enabled (Tech-3). */
+    bool ooo_enabled = true;
+    /** Scoreboard entries = max outstanding requests per core. */
+    std::uint32_t scoreboard_entries = 64;
+    /** Coalescing cache size in bytes (paper Tech-4: 8 KB). */
+    std::uint32_t cache_bytes = 8 * 1024;
+    /** Cache line size in bytes. */
+    std::uint32_t cache_line_bytes = 64;
+    /** Local memory attachment. */
+    LocalMemKind local_mem = LocalMemKind::FpgaDdr;
+    /** FPGA DDR channels when local_mem == FpgaDdr (12.8 GB/s each). */
+    std::uint32_t ddr_channels = 4;
+    /** Remote memory attachment. */
+    RemoteMemKind remote_mem = RemoteMemKind::MofFabric;
+    /** Number of FPGA nodes holding graph partitions (1 = all local). */
+    std::uint32_t num_nodes = 1;
+    /**
+     * Result output is serialized over the command IO (PCIe) unless
+     * a faster data path exists (mem-opt.tc's GPU fast link).
+     */
+    bool fast_output_link = false;
+    /** Sampler implementing GetSample ("streaming-step" default). */
+    std::string sampler = "streaming-step";
+
+    /** Link parameters of the configured local memory path. */
+    fabric::LinkParams localMemLink() const;
+    /** Link parameters of the configured remote memory path. */
+    fabric::LinkParams remoteMemLink() const;
+    /** Link parameters of the result output path. */
+    fabric::LinkParams outputLink() const;
+
+    /** Table 10 PoC configuration, FPGA-local-DRAM flavor. */
+    static AxeConfig poc();
+    /** PoC flavor with PCIe host memory as local storage. */
+    static AxeConfig pocHostMem();
+};
+
+} // namespace axe
+} // namespace lsdgnn
+
+#endif // LSDGNN_AXE_CONFIG_HH

@@ -1,0 +1,183 @@
+#include "core.hh"
+
+#include <numeric>
+
+namespace lsdgnn {
+namespace axe {
+
+AxeCore::AxeCore(sim::EventQueue &eq, const std::string &name,
+                 const AxeConfig &config, fabric::MemoryPort &local,
+                 fabric::MemoryPort &remote, fabric::SimLink &output,
+                 Rng rng, std::uint32_t self_node)
+    : sim::Component(eq, name),
+      config_(config),
+      outputLink(output),
+      loads(eq, name + ".loadunit", local, remote, config),
+      clock(config.clock_mhz),
+      sampler(sampling::makeSampler(config.sampler)),
+      rng_(rng),
+      selfNode(self_node)
+{
+    statGroup.addCounter("samples", &emitted, "samples emitted");
+    statGroup.addCounter("traversed", &traversed,
+                         "traversal items processed");
+}
+
+void
+AxeCore::startBatch(const graph::CsrGraph &graph,
+                    const GraphAddressMap &map, const HomeFunction &home,
+                    const sampling::SamplePlan &plan,
+                    std::vector<graph::NodeId> roots,
+                    std::function<void()> on_done)
+{
+    lsd_assert(!active, "core ", name(), " already busy");
+    lsd_assert(!plan.fanouts.empty(), "plan needs at least one hop");
+    graph_ = &graph;
+    map_ = &map;
+    home_ = home;
+    plan_ = plan;
+    onDone = std::move(on_done);
+    active = true;
+    activeItems = 0;
+    openLoads = 0;
+    openOutputs = 0;
+    workQueue.clear();
+    for (graph::NodeId r : roots)
+        workQueue.push_back(TraversalItem{r, 0});
+    // Kick the pipeline on the next cycle (command decode latency).
+    eventq.scheduleAfter(clock.cycles(1), [this] { pump(); });
+}
+
+void
+AxeCore::pump()
+{
+    // GetNeighbor admits up to pipeline_depth items concurrently: this
+    // is the Tech-1 knob — a deeper FIFO pipeline keeps more degree
+    // reads in flight and hides more latency.
+    while (!workQueue.empty() && activeItems < config_.pipeline_depth) {
+        const TraversalItem item = workQueue.front();
+        workQueue.pop_front();
+        ++activeItems;
+        ++openLoads;
+        traversed.inc();
+
+        Load load;
+        load.address = map_->degreeAddress(item.node);
+        load.bytes = 8;
+        load.dest = home_(item.node);
+        load.remote = load.dest != selfNode;
+        load.tag = mof::ContextTag(0, static_cast<std::uint8_t>(item.hop),
+                                   mof::RequestKind::Degree, 0, 0, 0);
+        load.done = [this, item](const mof::ContextTag &) {
+            --openLoads;
+            onDegree(item);
+        };
+        loads.submit(std::move(load));
+    }
+    maybeFinish();
+}
+
+void
+AxeCore::onDegree(const TraversalItem &item)
+{
+    const std::uint64_t deg = graph_->degree(item.node);
+    const std::uint32_t fanout = plan_.fanouts[item.hop];
+
+    if (deg == 0) {
+        --activeItems;
+        pump();
+        return;
+    }
+
+    // GetSample: choose fan-out many positions inside the adjacency
+    // list. The sampler works on the position sequence so that the
+    // chosen slots map 1:1 to fine-grained neighbor addresses.
+    std::vector<graph::NodeId> positions(deg);
+    std::iota(positions.begin(), positions.end(), 0);
+    std::vector<graph::NodeId> picks;
+    sampler->sample(positions, fanout, rng_, picks);
+
+    for (graph::NodeId pos : picks) {
+        ++openLoads;
+        Load load;
+        load.address = map_->neighborAddress(item.node, pos);
+        load.bytes = 8;
+        load.dest = home_(item.node);
+        load.remote = load.dest != selfNode;
+        load.tag = mof::ContextTag(0,
+            static_cast<std::uint8_t>(item.hop),
+            mof::RequestKind::Neighbor, 0,
+            static_cast<std::uint16_t>(pos & 0x3fff), 0);
+        load.done = [this, item, pos](const mof::ContextTag &) {
+            --openLoads;
+            onNeighbor(item, pos);
+        };
+        loads.submit(std::move(load));
+    }
+
+    // The item leaves GetNeighbor once its slot reads are issued; the
+    // next item can enter the sub-pipeline.
+    --activeItems;
+    pump();
+}
+
+void
+AxeCore::onNeighbor(const TraversalItem &item, std::uint64_t position)
+{
+    const graph::NodeId child = graph_->neighbor(item.node, position);
+
+    // Multi-hop: sampled nodes are written back to the buffer and
+    // re-enter GetNeighbor for the next hop.
+    if (item.hop + 1 < plan_.hops()) {
+        workQueue.push_back(TraversalItem{child, item.hop + 1});
+        pump();
+    }
+
+    // GetAttribute: fetch the sampled node's feature record.
+    ++openLoads;
+    Load load;
+    load.address = map_->attributeAddress(child);
+    load.bytes = static_cast<std::uint32_t>(map_->attrBytesPerNode());
+    load.dest = home_(child);
+    load.remote = load.dest != selfNode;
+    load.tag = mof::ContextTag(0, static_cast<std::uint8_t>(item.hop),
+                               mof::RequestKind::Attribute, 0, 0, 0);
+    load.done = [this](const mof::ContextTag &) {
+        --openLoads;
+        onAttribute();
+    };
+    loads.submit(std::move(load));
+}
+
+void
+AxeCore::onAttribute()
+{
+    // Stream the result (node ID + attributes) out of the command/
+    // data IO. The write completion closes the sample.
+    ++openOutputs;
+    const auto bytes = static_cast<std::uint64_t>(
+        8 + map_->attrBytesPerNode());
+    outputLink.request(bytes, [this] {
+        --openOutputs;
+        emitted.inc();
+        maybeFinish();
+    });
+}
+
+void
+AxeCore::maybeFinish()
+{
+    if (!active)
+        return;
+    if (workQueue.empty() && activeItems == 0 && openLoads == 0 &&
+        openOutputs == 0) {
+        active = false;
+        auto done = std::move(onDone);
+        onDone = nullptr;
+        if (done)
+            done();
+    }
+}
+
+} // namespace axe
+} // namespace lsdgnn

@@ -1,0 +1,124 @@
+#include "engine.hh"
+
+#include <ostream>
+
+namespace lsdgnn {
+namespace axe {
+
+AccessEngine::AccessEngine(AxeConfig config, const graph::CsrGraph &graph,
+                           std::uint64_t attr_bytes_per_node,
+                           std::uint64_t seed)
+    : config_(std::move(config)),
+      graph_(graph),
+      map_(graph, attr_bytes_per_node),
+      rootRng(seed)
+{
+    lsd_assert(config_.num_cores > 0, "engine needs at least one core");
+    lsd_assert(config_.num_nodes > 0, "engine needs at least one node");
+    local = std::make_unique<fabric::SimLink>(eventq,
+        config_.localMemLink());
+    remote = std::make_unique<fabric::SimLink>(eventq,
+        config_.remoteMemLink());
+    output = std::make_unique<fabric::SimLink>(eventq,
+        config_.outputLink());
+    for (std::uint32_t c = 0; c < config_.num_cores; ++c) {
+        cores.push_back(std::make_unique<AxeCore>(eventq,
+            "axe.core" + std::to_string(c), config_, *local, *remote,
+            *output, rootRng.fork()));
+    }
+}
+
+void
+AccessEngine::reportStats(std::ostream &os) const
+{
+    local->stats().report(os);
+    remote->stats().report(os);
+    output->stats().report(os);
+    for (const auto &core : cores) {
+        core->stats().report(os);
+        core->loadUnit().stats().report(os);
+    }
+}
+
+std::uint32_t
+AccessEngine::homeOf(graph::NodeId node) const
+{
+    if (config_.num_nodes == 1)
+        return 0;
+    return static_cast<std::uint32_t>(
+        (node * 0x9e3779b97f4a7c15ull >> 32) % config_.num_nodes);
+}
+
+EngineRunResult
+AccessEngine::run(const sampling::SamplePlan &plan,
+                  std::uint32_t num_batches)
+{
+    lsd_assert(num_batches > 0, "need at least one batch");
+
+    // Pre-draw the batches so randomness is independent of timing.
+    std::vector<std::vector<graph::NodeId>> batches(num_batches);
+    for (auto &roots : batches) {
+        roots.resize(plan.batch_size);
+        for (auto &r : roots)
+            r = rootRng.nextBounded(graph_.numNodes());
+    }
+
+    const HomeFunction home = [this](graph::NodeId n) {
+        return homeOf(n);
+    };
+
+    // Round-robin dispatch: each core pulls its next batch when the
+    // previous one drains, which is how the top scheduler distributes
+    // independent tasks over homogeneous cores.
+    std::uint32_t next_batch = 0;
+    std::uint64_t batches_done = 0;
+    std::function<void(std::uint32_t)> feed =
+        [&](std::uint32_t core_idx) {
+            if (next_batch >= batches.size())
+                return;
+            const std::uint32_t mine = next_batch++;
+            cores[core_idx]->startBatch(graph_, map_, home, plan,
+                std::move(batches[mine]), [&, core_idx] {
+                    ++batches_done;
+                    feed(core_idx);
+                });
+        };
+    for (std::uint32_t c = 0;
+         c < cores.size() && next_batch < batches.size(); ++c) {
+        feed(c);
+    }
+
+    const Tick start = eventq.now();
+    eventq.run();
+
+    EngineRunResult result;
+    result.batches = batches_done;
+    result.sim_time = eventq.now() - start;
+    std::uint64_t cache_hits = 0, cache_total = 0;
+    for (const auto &core : cores) {
+        result.samples += core->samplesEmitted();
+        cache_hits += core->loadUnit().cache().hits();
+        cache_total += core->loadUnit().cache().hits() +
+            core->loadUnit().cache().misses();
+        result.loads_per_core +=
+            static_cast<double>(core->loadUnit().loadsCompleted());
+    }
+    result.loads_per_core /= static_cast<double>(cores.size());
+    if (cache_total > 0)
+        result.cache_hit_rate = static_cast<double>(cache_hits) /
+            static_cast<double>(cache_total);
+    const double seconds = toSeconds(result.sim_time);
+    if (seconds > 0) {
+        result.samples_per_s =
+            static_cast<double>(result.samples) / seconds;
+        result.batches_per_s =
+            static_cast<double>(result.batches) / seconds;
+    }
+    lsd_assert(batches_done == num_batches,
+               "engine finished ", batches_done, " of ", num_batches,
+               " batches — pipeline deadlock?");
+    return result;
+}
+
+} // namespace axe
+} // namespace lsdgnn

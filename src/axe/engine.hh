@@ -1,0 +1,96 @@
+/**
+ * @file
+ * The Access Engine: decoder/scheduler plus N homogeneous cores
+ * sharing the memory links and the command/data IO (paper Fig. 5).
+ *
+ * The engine is also the measurement harness for the PoC experiments:
+ * run() executes a stream of batch tasks against a graph and reports
+ * the achieved sampling rate, which the Fig. 7 / Fig. 14 / Fig. 15 /
+ * Tech-3 benches consume.
+ */
+
+#ifndef LSDGNN_AXE_ENGINE_HH
+#define LSDGNN_AXE_ENGINE_HH
+
+#include <memory>
+#include <vector>
+
+#include "axe/core.hh"
+#include "graph/attributes.hh"
+#include "graph/partition.hh"
+
+namespace lsdgnn {
+namespace axe {
+
+/** Result of one engine run. */
+struct EngineRunResult {
+    /** Samples fully emitted over the run. */
+    std::uint64_t samples = 0;
+    /** Batches completed. */
+    std::uint64_t batches = 0;
+    /** Simulated wall time of the run. */
+    Tick sim_time = 0;
+    /** Achieved sampling rate, samples/second. */
+    double samples_per_s = 0;
+    /** Achieved batch rate, batches/second. */
+    double batches_per_s = 0;
+    /** Coalescing-cache hit rate over all cores. */
+    double cache_hit_rate = 0;
+    /** Mean outstanding-window occupancy proxy: loads per core. */
+    double loads_per_core = 0;
+};
+
+/**
+ * Multi-core access engine bound to one graph partition layout.
+ */
+class AccessEngine
+{
+  public:
+    /**
+     * @param config Engine configuration (Table 10 defaults).
+     * @param graph Graph to sample.
+     * @param attr_bytes_per_node Attribute record size.
+     * @param seed Random seed for root selection and sampling.
+     */
+    AccessEngine(AxeConfig config, const graph::CsrGraph &graph,
+                 std::uint64_t attr_bytes_per_node,
+                 std::uint64_t seed = 1);
+
+    /**
+     * Execute @p num_batches sampling tasks of @p plan with uniformly
+     * random roots, distributing tasks over the cores round-robin.
+     */
+    EngineRunResult run(const sampling::SamplePlan &plan,
+                        std::uint32_t num_batches);
+
+    const AxeConfig &config() const { return config_; }
+
+    /** Per-link observed stats (tests / deeper reporting). */
+    const fabric::SimLink &localLink() const { return *local; }
+    const fabric::SimLink &remoteLink() const { return *remote; }
+    const fabric::SimLink &outputIo() const { return *output; }
+
+    /**
+     * Dump every component's statistics in gem5 "name.stat value"
+     * form: links, per-core counters, load units and caches.
+     */
+    void reportStats(std::ostream &os) const;
+
+  private:
+    std::uint32_t homeOf(graph::NodeId node) const;
+
+    AxeConfig config_;
+    const graph::CsrGraph &graph_;
+    GraphAddressMap map_;
+    Rng rootRng;
+    sim::EventQueue eventq;
+    std::unique_ptr<fabric::SimLink> local;
+    std::unique_ptr<fabric::SimLink> remote;
+    std::unique_ptr<fabric::SimLink> output;
+    std::vector<std::unique_ptr<AxeCore>> cores;
+};
+
+} // namespace axe
+} // namespace lsdgnn
+
+#endif // LSDGNN_AXE_ENGINE_HH

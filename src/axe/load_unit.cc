@@ -1,0 +1,86 @@
+#include "load_unit.hh"
+
+namespace lsdgnn {
+namespace axe {
+
+LoadUnit::LoadUnit(sim::EventQueue &eq, const std::string &name,
+                   fabric::MemoryPort &local, fabric::MemoryPort &remote,
+                   const AxeConfig &config)
+    : sim::Component(eq, name),
+      localLink(local),
+      remoteLink(remote),
+      cache_(config.cache_bytes, config.cache_line_bytes),
+      clock(config.clock_mhz),
+      window(config.ooo_enabled ? config.scoreboard_entries : 1)
+{
+    lsd_assert(window > 0, "scoreboard needs at least one entry");
+    statGroup.addCounter("completed", &completed, "loads retired");
+    statGroup.addCounter("coalesced", &cacheBypassed,
+                         "loads served by the coalescing cache");
+    statGroup.addCounter("local", &localIssued, "loads to local memory");
+    statGroup.addCounter("remote", &remoteIssued,
+                         "loads to remote memory");
+    cache_.addStats(statGroup, "cache");
+}
+
+void
+LoadUnit::submit(Load load)
+{
+    lsd_assert(load.done, "load needs a completion callback");
+    issueQueue.push_back(std::move(load));
+    tryIssue();
+}
+
+void
+LoadUnit::tryIssue()
+{
+    while (!issueQueue.empty() && inflight < window) {
+        Load load = std::move(issueQueue.front());
+        issueQueue.pop_front();
+
+        // The coalescing cache fronts the local memory controller and
+        // only for fine-grained (sub-line) reads: that is the spatial
+        // coalescing Tech-4 provisions it for. Remote requests
+        // coalesce in the MoF packer instead, and attribute records
+        // are full-line bursts with nothing to coalesce.
+        const bool cacheable = !load.remote &&
+            load.bytes < cache_.lineBytes();
+        if (cacheable && cache_.access(load.address)) {
+            cacheBypassed.inc();
+            ++inflight;
+            // Hit: completes on the next datapath cycle.
+            eventq.scheduleAfter(clock.cycles(1),
+                [this, load = std::move(load)]() {
+                    --inflight;
+                    finish(load);
+                    tryIssue();
+                });
+            continue;
+        }
+
+        ++inflight;
+        fabric::MemoryPort &link = load.remote ? remoteLink : localLink;
+        (load.remote ? remoteIssued : localIssued).inc();
+        // Cacheable misses fill a whole line; everything else moves
+        // its true size.
+        const std::uint32_t bytes = cacheable
+            ? cache_.lineBytes()
+            : load.bytes;
+        const std::uint32_t dest = load.dest;
+        link.request(bytes, dest, [this, load = std::move(load)]() {
+            --inflight;
+            finish(load);
+            tryIssue();
+        });
+    }
+}
+
+void
+LoadUnit::finish(const Load &load)
+{
+    completed.inc();
+    load.done(load.tag);
+}
+
+} // namespace axe
+} // namespace lsdgnn

@@ -1,0 +1,133 @@
+#include "multi_node.hh"
+
+namespace lsdgnn {
+namespace axe {
+
+void
+MultiNodeSystem::RemoteFabricPort::request(std::uint64_t bytes,
+                                           std::uint32_t dest,
+                                           Callback done)
+{
+    lsd_assert(dest < system_.nodes_.size(),
+               "remote request to unknown card");
+    lsd_assert(dest != self_, "remote port used for a local read");
+    auto &system = system_;
+    const std::uint32_t self = self_;
+    const std::uint32_t req_bytes = system.config_.request_packet_bytes;
+
+    // 1. Request packet rides the fabric to the home card.
+    system.net->transfer(self, dest, req_bytes,
+        [&system, self, dest, bytes, done = std::move(done)]() mutable {
+            // 2. The home card's DDR serves the read — in line with
+            //    that card's own local traffic.
+            system.nodes_[dest].ddr->request(bytes,
+                [&system, self, dest, bytes,
+                 done = std::move(done)]() mutable {
+                    // 3. Response payload returns over the fabric.
+                    system.net->transfer(dest, self, bytes,
+                                         std::move(done));
+                });
+        });
+}
+
+MultiNodeSystem::MultiNodeSystem(MultiNodeConfig config,
+                                 const graph::CsrGraph &graph,
+                                 std::uint64_t attr_bytes_per_node,
+                                 std::uint64_t seed)
+    : config_(std::move(config)),
+      graph_(graph),
+      map_(graph, attr_bytes_per_node),
+      rootRng(seed)
+{
+    lsd_assert(config_.nodes >= 2, "scale-out needs at least 2 cards");
+    config_.fabric.endpoints = config_.nodes;
+    net = std::make_unique<fabric::FabricNetwork>(eventq,
+                                                  config_.fabric);
+
+    nodes_.resize(config_.nodes);
+    for (std::uint32_t n = 0; n < config_.nodes; ++n) {
+        Node &node = nodes_[n];
+        node.ddr = std::make_unique<fabric::SimLink>(eventq,
+            config_.card.localMemLink());
+        node.output = std::make_unique<fabric::SimLink>(eventq,
+            config_.card.outputLink());
+        node.remote = std::make_unique<RemoteFabricPort>(*this, n);
+        for (std::uint32_t c = 0; c < config_.card.num_cores; ++c) {
+            node.cores.push_back(std::make_unique<AxeCore>(eventq,
+                "node" + std::to_string(n) + ".core" +
+                    std::to_string(c),
+                config_.card, *node.ddr, *node.remote, *node.output,
+                rootRng.fork(), n));
+        }
+    }
+}
+
+std::uint32_t
+MultiNodeSystem::homeOf(graph::NodeId node) const
+{
+    return static_cast<std::uint32_t>(
+        (node * 0x9e3779b97f4a7c15ull >> 32) % config_.nodes);
+}
+
+MultiRunResult
+MultiNodeSystem::run(const sampling::SamplePlan &plan,
+                     std::uint32_t batches_per_node)
+{
+    lsd_assert(batches_per_node > 0, "need at least one batch");
+
+    const HomeFunction home = [this](graph::NodeId n) {
+        return homeOf(n);
+    };
+
+    // Per-node batch streams, pre-drawn for determinism.
+    struct NodeRun {
+        std::vector<std::vector<graph::NodeId>> batches;
+        std::uint32_t next = 0;
+    };
+    std::vector<NodeRun> runs(config_.nodes);
+    for (auto &run : runs) {
+        run.batches.resize(batches_per_node);
+        for (auto &roots : run.batches) {
+            roots.resize(plan.batch_size);
+            for (auto &r : roots)
+                r = rootRng.nextBounded(graph_.numNodes());
+        }
+    }
+
+    std::function<void(std::uint32_t, std::uint32_t)> feed =
+        [&](std::uint32_t node, std::uint32_t core) {
+            NodeRun &run = runs[node];
+            if (run.next >= run.batches.size())
+                return;
+            const std::uint32_t mine = run.next++;
+            nodes_[node].cores[core]->startBatch(graph_, map_, home,
+                plan, std::move(run.batches[mine]),
+                [&, node, core] { feed(node, core); });
+        };
+    for (std::uint32_t n = 0; n < config_.nodes; ++n)
+        for (std::uint32_t c = 0;
+             c < nodes_[n].cores.size() &&
+             runs[n].next < batches_per_node; ++c)
+            feed(n, c);
+
+    const Tick start = eventq.now();
+    eventq.run();
+
+    MultiRunResult result;
+    result.sim_time = eventq.now() - start;
+    result.per_node_samples.resize(config_.nodes, 0);
+    for (std::uint32_t n = 0; n < config_.nodes; ++n) {
+        for (const auto &core : nodes_[n].cores)
+            result.per_node_samples[n] += core->samplesEmitted();
+        result.samples += result.per_node_samples[n];
+    }
+    const double seconds = toSeconds(result.sim_time);
+    if (seconds > 0)
+        result.samples_per_s =
+            static_cast<double>(result.samples) / seconds;
+    result.fabric_bandwidth = net->observedBandwidth();
+    return result;
+}
+
+} // namespace axe
+} // namespace lsdgnn

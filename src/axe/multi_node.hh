@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Multi-card scale-out simulation (the PoC's 4-card P2P system of
+ * Fig. 13, generalized to N endpoints).
+ *
+ * Unlike AccessEngine — which folds "remote" into one aggregate link
+ * — MultiNodeSystem instantiates every card: each node owns its DDR
+ * link, its PCIe output and its AxE cores, and remote reads route
+ * through the shared FabricNetwork as an explicit request packet to
+ * the home card, a read against *that card's* DDR (contending with
+ * its own traffic), and a response transfer back. Port contention,
+ * victim-node hot-spots and the MoF bandwidth ceiling all emerge
+ * from first principles.
+ */
+
+#ifndef LSDGNN_AXE_MULTI_NODE_HH
+#define LSDGNN_AXE_MULTI_NODE_HH
+
+#include <memory>
+#include <vector>
+
+#include "axe/core.hh"
+#include "fabric/network.hh"
+
+namespace lsdgnn {
+namespace axe {
+
+/** Scale-out configuration. */
+struct MultiNodeConfig {
+    /** Per-card engine configuration (num_nodes is ignored). */
+    AxeConfig card = AxeConfig::poc();
+    /** Number of cards. */
+    std::uint32_t nodes = 4;
+    /** Shared fabric (per-port bandwidth, flight latency). */
+    fabric::FabricParams fabric;
+    /** Wire bytes of one packed read request on the fabric. */
+    std::uint32_t request_packet_bytes = 16;
+
+    MultiNodeConfig()
+    {
+        fabric.endpoints = nodes;
+        fabric.port_bandwidth = 25e9; // 200 Gb/s QSFP-DD per card
+        fabric.flight_latency = nanoseconds(300);
+    }
+};
+
+/** Result of one scale-out run. */
+struct MultiRunResult {
+    std::uint64_t samples = 0;
+    Tick sim_time = 0;
+    double samples_per_s = 0;
+    /** Per-node emitted samples (load-balance check). */
+    std::vector<std::uint64_t> per_node_samples;
+    /** Aggregate fabric bandwidth observed. */
+    double fabric_bandwidth = 0;
+};
+
+/**
+ * N cards sampling one hash-partitioned graph over a shared fabric.
+ */
+class MultiNodeSystem
+{
+  public:
+    /**
+     * @param config System shape.
+     * @param graph Shared graph (hash-partitioned across cards).
+     * @param attr_bytes_per_node Attribute record size.
+     * @param seed Determinism seed.
+     */
+    MultiNodeSystem(MultiNodeConfig config, const graph::CsrGraph &graph,
+                    std::uint64_t attr_bytes_per_node,
+                    std::uint64_t seed = 1);
+
+    /**
+     * Run @p batches_per_node batches on every card concurrently.
+     */
+    MultiRunResult run(const sampling::SamplePlan &plan,
+                       std::uint32_t batches_per_node);
+
+    std::uint32_t homeOf(graph::NodeId node) const;
+
+    const fabric::FabricNetwork &fabricNetwork() const { return *net; }
+
+  private:
+    /**
+     * Routed remote port of one card: request packet out, read at the
+     * home card's DDR, response payload back.
+     */
+    class RemoteFabricPort : public fabric::MemoryPort
+    {
+      public:
+        RemoteFabricPort(MultiNodeSystem &system, std::uint32_t self)
+            : system_(system), self_(self)
+        {}
+
+        void request(std::uint64_t bytes, std::uint32_t dest,
+                     Callback done) override;
+
+      private:
+        MultiNodeSystem &system_;
+        std::uint32_t self_;
+    };
+
+    struct Node {
+        std::unique_ptr<fabric::SimLink> ddr;
+        std::unique_ptr<fabric::SimLink> output;
+        std::unique_ptr<RemoteFabricPort> remote;
+        std::vector<std::unique_ptr<AxeCore>> cores;
+    };
+
+    MultiNodeConfig config_;
+    const graph::CsrGraph &graph_;
+    GraphAddressMap map_;
+    Rng rootRng;
+    sim::EventQueue eventq;
+    std::unique_ptr<fabric::FabricNetwork> net;
+    std::vector<Node> nodes_;
+};
+
+} // namespace axe
+} // namespace lsdgnn
+
+#endif // LSDGNN_AXE_MULTI_NODE_HH

@@ -1,0 +1,80 @@
+#include "cpu_sampler.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace lsdgnn {
+namespace baseline {
+
+CpuSamplerReport
+CpuSamplerModel::evaluate(const sampling::WorkloadProfile &profile,
+                          const CpuClusterConfig &cluster) const
+{
+    lsd_assert(cluster.num_servers > 0, "cluster needs servers");
+    lsd_assert(profile.samples_per_batch > 0,
+               "profile carries no samples");
+
+    CpuSamplerReport rep;
+    rep.remote_fraction = profile.remoteFraction(cluster.num_servers);
+
+    // vCPU-time cost of one batch: per-sample software path (plus the
+    // payload-proportional serialization cost) and the per-hop
+    // fan-out of one RPC to every server.
+    const double us_per_sample =
+        costs_.usPerSample(rep.remote_fraction) +
+        static_cast<double>(profile.attr_bytes_per_node) / 1024.0 *
+            costs_.us_per_attr_kib;
+    const double sample_cost_us =
+        profile.samples_per_batch * us_per_sample;
+    const double rpc_cost_us =
+        static_cast<double>(profile.plan.hops() + 1) * // hops + attrs
+        static_cast<double>(cluster.num_servers) *
+        costs_.rpc_overhead_us;
+    const double batch_cpu_s = (sample_cost_us + rpc_cost_us) * 1e-6;
+
+    // (a) vCPU-bound throughput, discounted by intra-server
+    //     contention at high per-server thread counts.
+    const double cpu_batches_per_s =
+        static_cast<double>(cluster.totalVcpus()) *
+        costs_.parallelEfficiency(cluster.vcpus_per_server) /
+        batch_cpu_s;
+
+    // (b) NIC-bound throughput: remote payload per batch against the
+    // aggregate NIC capacity.
+    const double remote_bytes_per_batch =
+        profile.totalBytesPerBatch() * rep.remote_fraction;
+    double nic_batches_per_s = cpu_batches_per_s;
+    if (remote_bytes_per_batch > 0) {
+        const double aggregate_nic = cluster.nic_bandwidth *
+            static_cast<double>(cluster.num_servers);
+        nic_batches_per_s = aggregate_nic / remote_bytes_per_batch;
+    }
+
+    rep.batches_per_s = std::min(cpu_batches_per_s, nic_batches_per_s);
+    rep.network_bound = nic_batches_per_s < cpu_batches_per_s;
+    rep.samples_per_s = rep.batches_per_s * profile.samples_per_batch;
+    rep.samples_per_s_per_vcpu =
+        rep.samples_per_s / static_cast<double>(cluster.totalVcpus());
+    rep.network_bytes_per_s =
+        rep.batches_per_s * remote_bytes_per_batch;
+    return rep;
+}
+
+double
+CpuSamplerModel::scalingSpeedup(const sampling::WorkloadProfile &profile,
+                                const CpuClusterConfig &base,
+                                std::uint32_t servers) const
+{
+    CpuClusterConfig one = base;
+    one.num_servers = 1;
+    CpuClusterConfig many = base;
+    many.num_servers = servers;
+    const double t1 = evaluate(profile, one).samples_per_s;
+    const double ts = evaluate(profile, many).samples_per_s;
+    lsd_assert(t1 > 0, "single-server throughput must be positive");
+    return ts / t1;
+}
+
+} // namespace baseline
+} // namespace lsdgnn

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * CPU-based distributed sampling performance model (the AliGraph
+ * software baseline).
+ *
+ * The model follows the paper's service architecture: a job runs on S
+ * logical servers, each a group of vCPUs; workers traverse the graph
+ * and servers answer attribute/structure requests. Every sampled node
+ * costs CPU time in the software stack — lookups, sampling draws,
+ * (de)serialization, kernel networking — and requests that leave the
+ * issuing server pay the much larger remote-path cost. That cost
+ * asymmetry is what produces the paper's two baseline observations:
+ * sub-linear scaling with server count (Fig. 2b) and the low
+ * per-vCPU sampling rate that an FPGA later replaces by the hundreds
+ * (Fig. 14).
+ *
+ * Cost constants are calibrated so the distributed per-vCPU sampling
+ * rate lands at the paper's anchor (~50-55 K samples/s/vCPU, the
+ * value that makes one PoC FPGA worth ≈894 vCPUs); the relative
+ * split between the components follows profiling folklore for
+ * RPC-based stores (serialization ≈ kernel networking > hash lookup).
+ */
+
+#ifndef LSDGNN_BASELINE_CPU_SAMPLER_HH
+#define LSDGNN_BASELINE_CPU_SAMPLER_HH
+
+#include <cstdint>
+
+#include "fabric/link.hh"
+#include "sampling/workload.hh"
+
+namespace lsdgnn {
+namespace baseline {
+
+/** Cluster shape for one sampling job. */
+struct CpuClusterConfig {
+    /** Logical servers (AliGraph "server" processes). */
+    std::uint32_t num_servers = 1;
+    /** vCPUs assigned to each server process. */
+    std::uint32_t vcpus_per_server = 32;
+    /** NIC bandwidth per server, bytes/s. */
+    double nic_bandwidth = 16e9;
+
+    std::uint32_t
+    totalVcpus() const
+    {
+        return num_servers * vcpus_per_server;
+    }
+};
+
+/** Software path cost constants (microseconds of vCPU time). */
+struct CpuCostModel {
+    /** Serve one sampled node entirely from local memory. */
+    double local_us_per_sample = 8.0;
+    /** Serve one sampled node across the network (both ends). */
+    double remote_us_per_sample = 23.0;
+    /** Fixed per-RPC software cost, amortized per hop per server. */
+    double rpc_overhead_us = 30.0;
+    /**
+     * Marginal cost of moving attribute payload through the software
+     * stack (memcpy + serialization), microseconds per KiB.
+     */
+    double us_per_attr_kib = 2.0;
+    /**
+     * Intra-server scaling loss per additional vCPU: RPC-based
+     * stores lose parallel efficiency to lock/NUMA/allocator
+     * contention as the per-server thread count grows.
+     */
+    double contention_per_vcpu = 0.006;
+
+    /** Mean vCPU microseconds per sample at a given remote fraction. */
+    double
+    usPerSample(double remote_fraction) const
+    {
+        return local_us_per_sample +
+            (remote_us_per_sample - local_us_per_sample) *
+            remote_fraction;
+    }
+
+    /** Parallel efficiency of a server with @p vcpus worker vCPUs. */
+    double
+    parallelEfficiency(std::uint32_t vcpus) const
+    {
+        return 1.0 / (1.0 + contention_per_vcpu *
+                            static_cast<double>(vcpus - 1));
+    }
+};
+
+/** Output of one baseline evaluation. */
+struct CpuSamplerReport {
+    double batches_per_s = 0;
+    double samples_per_s = 0;
+    double samples_per_s_per_vcpu = 0;
+    /** Fraction of requests served remotely. */
+    double remote_fraction = 0;
+    /** Network payload bytes per second at this throughput. */
+    double network_bytes_per_s = 0;
+    /** True when the NIC, not the vCPUs, limits throughput. */
+    bool network_bound = false;
+};
+
+/**
+ * Evaluate the software baseline for one workload on one cluster.
+ */
+class CpuSamplerModel
+{
+  public:
+    explicit CpuSamplerModel(CpuCostModel costs = CpuCostModel{})
+        : costs_(costs)
+    {}
+
+    const CpuCostModel &costs() const { return costs_; }
+
+    /**
+     * Compute the achievable sampling throughput.
+     *
+     * Throughput is the binding minimum of (a) total vCPU time budget
+     * against the per-sample software cost and (b) aggregate NIC
+     * bandwidth against the remote byte volume.
+     */
+    CpuSamplerReport evaluate(const sampling::WorkloadProfile &profile,
+                              const CpuClusterConfig &cluster) const;
+
+    /**
+     * Fig. 2(b): relative speedup of @p servers over one server for
+     * the same workload (same vCPUs per server).
+     */
+    double scalingSpeedup(const sampling::WorkloadProfile &profile,
+                          const CpuClusterConfig &base,
+                          std::uint32_t servers) const;
+
+  private:
+    CpuCostModel costs_;
+};
+
+} // namespace baseline
+} // namespace lsdgnn
+
+#endif // LSDGNN_BASELINE_CPU_SAMPLER_HH

@@ -1,0 +1,79 @@
+#include "hot_cache.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace lsdgnn {
+namespace baseline {
+
+HotNodeCache::HotNodeCache(std::size_t capacity) : cap(capacity)
+{
+    lsd_assert(capacity > 0, "cache needs capacity");
+}
+
+bool
+HotNodeCache::contains(graph::NodeId node) const
+{
+    return resident.count(node) > 0;
+}
+
+bool
+HotNodeCache::access(graph::NodeId node)
+{
+    auto it = resident.find(node);
+    if (it != resident.end()) {
+        ++it->second;
+        hits_.inc();
+        return true;
+    }
+    misses_.inc();
+
+    if (resident.size() < cap) {
+        resident.emplace(node, 1);
+        return false;
+    }
+
+    // Lazy LFU admission: track the challenger's frequency and only
+    // displace the coldest resident once the challenger is hotter.
+    const std::uint64_t freq = ++shadow[node];
+    auto coldest = std::min_element(resident.begin(), resident.end(),
+        [](const auto &a, const auto &b) {
+            return a.second < b.second;
+        });
+    if (freq > coldest->second) {
+        shadow.erase(node);
+        resident.erase(coldest);
+        resident.emplace(node, freq);
+    }
+    // Bound the shadow sketch so it cannot grow without limit.
+    if (shadow.size() > 8 * cap)
+        shadow.clear();
+    return false;
+}
+
+double
+analyticalHotHitRate(double cached_fraction, double skew)
+{
+    lsd_assert(cached_fraction >= 0.0 && cached_fraction <= 1.0,
+               "fraction must be in [0,1]");
+    lsd_assert(skew > 0.0 && skew <= 1.0, "skew must be in (0,1]");
+    // P(endpoint < f*N) for endpoint = floor(N * u^(1/skew)) is
+    // P(u^(1/skew) < f) = f^skew.
+    return std::pow(cached_fraction, skew);
+}
+
+double
+remoteFractionWithCache(std::uint32_t servers, double cache_hit_rate)
+{
+    lsd_assert(servers > 0, "need servers");
+    const double base = servers == 1
+        ? 0.0
+        : static_cast<double>(servers - 1) /
+          static_cast<double>(servers);
+    return base * (1.0 - cache_hit_rate);
+}
+
+} // namespace baseline
+} // namespace lsdgnn

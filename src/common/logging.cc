@@ -1,0 +1,74 @@
+#include "logging.hh"
+
+#include <exception>
+
+namespace lsdgnn {
+
+Logger &
+Logger::instance()
+{
+    static Logger logger;
+    return logger;
+}
+
+void
+Logger::log(LogLevel level, std::string_view where, std::string_view msg)
+{
+    if (level == LogLevel::Warn)
+        ++warnings;
+    if (static_cast<int>(level) < static_cast<int>(threshold))
+        return;
+
+    const char *tag = "info";
+    switch (level) {
+      case LogLevel::Inform: tag = "info"; break;
+      case LogLevel::Warn: tag = "warn"; break;
+      case LogLevel::Fatal: tag = "fatal"; break;
+      case LogLevel::Panic: tag = "panic"; break;
+    }
+    std::cerr << tag << ": " << msg << " (" << where << ")\n";
+}
+
+namespace detail {
+
+namespace {
+
+std::string
+location(const char *file, int line)
+{
+    std::ostringstream os;
+    os << file << ":" << line;
+    return os.str();
+}
+
+} // namespace
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    Logger::instance().log(LogLevel::Panic, location(file, line), msg);
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    Logger::instance().log(LogLevel::Fatal, location(file, line), msg);
+    std::exit(1);
+}
+
+void
+warnImpl(const char *file, int line, const std::string &msg)
+{
+    Logger::instance().log(LogLevel::Warn, location(file, line), msg);
+}
+
+void
+informImpl(const char *file, int line, const std::string &msg)
+{
+    Logger::instance().log(LogLevel::Inform, location(file, line), msg);
+}
+
+} // namespace detail
+
+} // namespace lsdgnn

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Status-message and error-reporting helpers.
+ *
+ * Follows the gem5 convention: panic() is for internal invariant
+ * violations (bugs in this library), fatal() is for user errors that
+ * make continuing impossible, warn()/inform() report conditions that
+ * do not stop execution.
+ */
+
+#ifndef LSDGNN_COMMON_LOGGING_HH
+#define LSDGNN_COMMON_LOGGING_HH
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace lsdgnn {
+
+/** Severity classes understood by the logger. */
+enum class LogLevel {
+    Inform,
+    Warn,
+    Fatal,
+    Panic,
+};
+
+/**
+ * Process-wide logger. Messages at or above the verbosity threshold are
+ * written to stderr; Fatal exits, Panic aborts.
+ */
+class Logger
+{
+  public:
+    /** Return the process-wide logger instance. */
+    static Logger &instance();
+
+    /** Suppress messages below the given level. */
+    void setThreshold(LogLevel level) { threshold = level; }
+
+    LogLevel getThreshold() const { return threshold; }
+
+    /**
+     * Emit one message.
+     *
+     * @param level Message severity.
+     * @param where Source location string ("file:line").
+     * @param msg Message body.
+     */
+    void log(LogLevel level, std::string_view where, std::string_view msg);
+
+    /** Count of warnings emitted so far (used by tests). */
+    uint64_t warnCount() const { return warnings; }
+
+  private:
+    Logger() = default;
+
+    LogLevel threshold = LogLevel::Inform;
+    uint64_t warnings = 0;
+};
+
+namespace detail {
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const char *file, int line, const std::string &msg);
+void informImpl(const char *file, int line, const std::string &msg);
+
+/** Join a variadic argument pack into a single message string. */
+template <typename... Args>
+std::string
+joinMessage(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+} // namespace detail
+
+} // namespace lsdgnn
+
+/** Abort with a message; use for library-internal invariant failures. */
+#define lsd_panic(...)                                                     \
+    ::lsdgnn::detail::panicImpl(__FILE__, __LINE__,                        \
+        ::lsdgnn::detail::joinMessage(__VA_ARGS__))
+
+/** Exit with a message; use for unrecoverable user/configuration error. */
+#define lsd_fatal(...)                                                     \
+    ::lsdgnn::detail::fatalImpl(__FILE__, __LINE__,                        \
+        ::lsdgnn::detail::joinMessage(__VA_ARGS__))
+
+/** Report a suspicious-but-survivable condition. */
+#define lsd_warn(...)                                                      \
+    ::lsdgnn::detail::warnImpl(__FILE__, __LINE__,                         \
+        ::lsdgnn::detail::joinMessage(__VA_ARGS__))
+
+/** Report normal operating status. */
+#define lsd_inform(...)                                                    \
+    ::lsdgnn::detail::informImpl(__FILE__, __LINE__,                       \
+        ::lsdgnn::detail::joinMessage(__VA_ARGS__))
+
+/** Panic unless the condition holds. */
+#define lsd_assert(cond, ...)                                              \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            ::lsdgnn::detail::panicImpl(__FILE__, __LINE__,                \
+                ::lsdgnn::detail::joinMessage("assertion '" #cond          \
+                    "' failed. ", ##__VA_ARGS__));                         \
+        }                                                                  \
+    } while (0)
+
+#endif // LSDGNN_COMMON_LOGGING_HH

@@ -1,0 +1,131 @@
+#include "stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lsdgnn {
+namespace stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), counts(buckets, 0)
+{
+    lsd_assert(hi > lo, "histogram range must be non-empty");
+    lsd_assert(buckets > 0, "histogram needs at least one bucket");
+}
+
+void
+Histogram::sample(double v, std::uint64_t weight)
+{
+    total += weight;
+    if (v < lo_) {
+        under += weight;
+        return;
+    }
+    if (v >= hi_) {
+        over += weight;
+        return;
+    }
+    const double width = (hi_ - lo_) / static_cast<double>(counts.size());
+    auto idx = static_cast<std::size_t>((v - lo_) / width);
+    idx = std::min(idx, counts.size() - 1);
+    counts[idx] += weight;
+}
+
+double
+Histogram::percentile(double q) const
+{
+    lsd_assert(q >= 0.0 && q <= 1.0, "percentile requires q in [0,1]");
+    if (total == 0)
+        return lo_;
+    const double target = q * static_cast<double>(total);
+    double seen = static_cast<double>(under);
+    if (seen >= target)
+        return lo_;
+    const double width = (hi_ - lo_) / static_cast<double>(counts.size());
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        const double next = seen + static_cast<double>(counts[i]);
+        if (next >= target && counts[i] > 0) {
+            const double frac =
+                (target - seen) / static_cast<double>(counts[i]);
+            return lo_ + width * (static_cast<double>(i) + frac);
+        }
+        seen = next;
+    }
+    return hi_;
+}
+
+void
+Histogram::reset()
+{
+    std::fill(counts.begin(), counts.end(), 0);
+    under = 0;
+    over = 0;
+    total = 0;
+}
+
+void
+StatGroup::addCounter(const std::string &name, Counter *c,
+                      const std::string &desc)
+{
+    lsd_assert(c != nullptr, "null counter registered as ", name);
+    const bool inserted = counters.emplace(name,
+        CounterEntry{c, desc}).second;
+    lsd_assert(inserted, "duplicate counter name: ", name);
+}
+
+void
+StatGroup::addAverage(const std::string &name, Average *a,
+                      const std::string &desc)
+{
+    lsd_assert(a != nullptr, "null average registered as ", name);
+    const bool inserted = averages.emplace(name,
+        AverageEntry{a, desc}).second;
+    lsd_assert(inserted, "duplicate average name: ", name);
+}
+
+const Counter &
+StatGroup::counter(const std::string &name) const
+{
+    auto it = counters.find(name);
+    if (it == counters.end())
+        lsd_panic("unknown counter '", name, "' in group '", name_, "'");
+    return *it->second.stat;
+}
+
+const Average &
+StatGroup::average(const std::string &name) const
+{
+    auto it = averages.find(name);
+    if (it == averages.end())
+        lsd_panic("unknown average '", name, "' in group '", name_, "'");
+    return *it->second.stat;
+}
+
+bool
+StatGroup::hasCounter(const std::string &name) const
+{
+    return counters.count(name) > 0;
+}
+
+void
+StatGroup::report(std::ostream &os) const
+{
+    for (const auto &[name, entry] : counters) {
+        os << name_ << "." << name << " " << entry.stat->value();
+        if (!entry.desc.empty())
+            os << " # " << entry.desc;
+        os << "\n";
+    }
+    for (const auto &[name, entry] : averages) {
+        os << name_ << "." << name << " mean=" << entry.stat->mean()
+           << " min=" << entry.stat->min()
+           << " max=" << entry.stat->max()
+           << " n=" << entry.stat->samples();
+        if (!entry.desc.empty())
+            os << " # " << entry.desc;
+        os << "\n";
+    }
+}
+
+} // namespace stats
+} // namespace lsdgnn

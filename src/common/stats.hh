@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Lightweight statistics package.
+ *
+ * Components register named scalar counters, averages and histograms
+ * with a StatGroup; benches and tests read them back by name. Modeled
+ * on (a small subset of) the gem5 stats framework.
+ */
+
+#ifndef LSDGNN_COMMON_STATS_HH
+#define LSDGNN_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "logging.hh"
+
+namespace lsdgnn {
+namespace stats {
+
+/** Monotonically increasing scalar counter. */
+class Counter
+{
+  public:
+    void inc(std::uint64_t n = 1) { count_ += n; }
+    std::uint64_t value() const { return count_; }
+    void reset() { count_ = 0; }
+
+  private:
+    std::uint64_t count_ = 0;
+};
+
+/** Running mean/min/max of a stream of samples. */
+class Average
+{
+  public:
+    void
+    sample(double v)
+    {
+        sum_ += v;
+        ++n_;
+        if (v < min_ || n_ == 1)
+            min_ = v;
+        if (v > max_ || n_ == 1)
+            max_ = v;
+    }
+
+    double mean() const { return n_ ? sum_ / static_cast<double>(n_) : 0.0; }
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+    std::uint64_t samples() const { return n_; }
+    double sum() const { return sum_; }
+
+    void
+    reset()
+    {
+        sum_ = 0.0;
+        min_ = 0.0;
+        max_ = 0.0;
+        n_ = 0;
+    }
+
+  private:
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    std::uint64_t n_ = 0;
+};
+
+/** Fixed-bucket linear histogram over [lo, hi) with under/overflow. */
+class Histogram
+{
+  public:
+    Histogram() : Histogram(0.0, 1.0, 10) {}
+
+    /**
+     * @param lo Lower bound of the tracked range.
+     * @param hi Upper bound (exclusive) of the tracked range.
+     * @param buckets Number of equal-width buckets.
+     */
+    Histogram(double lo, double hi, std::size_t buckets);
+
+    void sample(double v, std::uint64_t weight = 1);
+
+    std::uint64_t bucketCount(std::size_t i) const { return counts.at(i); }
+    std::size_t buckets() const { return counts.size(); }
+    std::uint64_t underflow() const { return under; }
+    std::uint64_t overflow() const { return over; }
+    std::uint64_t samples() const { return total; }
+
+    /** Value below which fraction @p q of samples fall (approximate). */
+    double percentile(double q) const;
+
+    void reset();
+
+  private:
+    double lo_;
+    double hi_;
+    std::vector<std::uint64_t> counts;
+    std::uint64_t under = 0;
+    std::uint64_t over = 0;
+    std::uint64_t total = 0;
+};
+
+/**
+ * Named collection of statistics.
+ *
+ * Ownership of the underlying stat objects stays with the registering
+ * component; the group stores pointers and formats a report.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    StatGroup(const StatGroup &) = delete;
+    StatGroup &operator=(const StatGroup &) = delete;
+
+    void addCounter(const std::string &name, Counter *c,
+                    const std::string &desc = "");
+    void addAverage(const std::string &name, Average *a,
+                    const std::string &desc = "");
+
+    /** Look up a registered counter; panics when missing. */
+    const Counter &counter(const std::string &name) const;
+    /** Look up a registered average; panics when missing. */
+    const Average &average(const std::string &name) const;
+
+    bool hasCounter(const std::string &name) const;
+
+    /** Write "group.stat value # desc" lines, gem5 style. */
+    void report(std::ostream &os) const;
+
+    const std::string &name() const { return name_; }
+
+  private:
+    std::string name_;
+    struct CounterEntry { Counter *stat; std::string desc; };
+    struct AverageEntry { Average *stat; std::string desc; };
+    std::map<std::string, CounterEntry> counters;
+    std::map<std::string, AverageEntry> averages;
+};
+
+} // namespace stats
+} // namespace lsdgnn
+
+#endif // LSDGNN_COMMON_STATS_HH

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Plain-text table formatter used by the benchmark harnesses to print
+ * the rows/series of each paper table and figure.
+ */
+
+#ifndef LSDGNN_COMMON_TABLE_HH
+#define LSDGNN_COMMON_TABLE_HH
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace lsdgnn {
+
+/**
+ * Column-aligned text table. Collect a header plus rows of cells, then
+ * print() computes column widths and writes an aligned table.
+ */
+class TextTable
+{
+  public:
+    /** Set the header row. */
+    void header(std::vector<std::string> cells);
+
+    /** Append a data row (cell count may differ from the header). */
+    void row(std::vector<std::string> cells);
+
+    /** Convenience: format doubles with the given precision. */
+    static std::string num(double v, int precision = 2);
+
+    /** Convenience: format integers. */
+    static std::string num(std::uint64_t v);
+
+    /** Write the aligned table to @p os. */
+    void print(std::ostream &os) const;
+
+    std::size_t rows() const { return body.size(); }
+
+  private:
+    std::vector<std::string> head;
+    std::vector<std::vector<std::string>> body;
+};
+
+} // namespace lsdgnn
+
+#endif // LSDGNN_COMMON_TABLE_HH

@@ -1,0 +1,50 @@
+#include "units.hh"
+
+#include <array>
+#include <cstdio>
+
+namespace lsdgnn {
+
+std::string
+formatBytes(std::uint64_t bytes)
+{
+    static constexpr std::array<const char *, 5> suffix = {
+        "B", "KiB", "MiB", "GiB", "TiB"
+    };
+    double value = static_cast<double>(bytes);
+    std::size_t idx = 0;
+    while (value >= 1024.0 && idx + 1 < suffix.size()) {
+        value /= 1024.0;
+        ++idx;
+    }
+    char buf[48];
+    if (idx == 0)
+        std::snprintf(buf, sizeof(buf), "%llu B",
+                      static_cast<unsigned long long>(bytes));
+    else
+        std::snprintf(buf, sizeof(buf), "%.2f %s", value, suffix[idx]);
+    return buf;
+}
+
+std::string
+formatTime(Tick t)
+{
+    char buf[48];
+    if (t < tick_per_ns) {
+        std::snprintf(buf, sizeof(buf), "%llu ps",
+                      static_cast<unsigned long long>(t));
+    } else if (t < tick_per_us) {
+        std::snprintf(buf, sizeof(buf), "%.2f ns", toNanoseconds(t));
+    } else if (t < tick_per_ms) {
+        std::snprintf(buf, sizeof(buf), "%.2f us",
+                      static_cast<double>(t) / tick_per_us);
+    } else if (t < tick_per_s) {
+        std::snprintf(buf, sizeof(buf), "%.2f ms",
+                      static_cast<double>(t) / tick_per_ms);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.3f s", toSeconds(t));
+    }
+    return buf;
+}
+
+} // namespace lsdgnn

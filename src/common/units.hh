@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Unit helpers for bytes, time, bandwidth and clock frequencies.
+ *
+ * Simulation time is kept in integer picoseconds (Tick) so that
+ * multi-clock-domain systems (e.g. the 250 MHz AxE datapath next to a
+ * 100 MHz RISC-V core) compose without rounding drift.
+ */
+
+#ifndef LSDGNN_COMMON_UNITS_HH
+#define LSDGNN_COMMON_UNITS_HH
+
+#include <cstdint>
+#include <string>
+
+namespace lsdgnn {
+
+/** Simulation time in picoseconds. */
+using Tick = std::uint64_t;
+
+/** Marker for "no tick" / unscheduled. */
+inline constexpr Tick max_tick = ~Tick(0);
+
+inline constexpr Tick tick_per_ns = 1000;
+inline constexpr Tick tick_per_us = 1000 * tick_per_ns;
+inline constexpr Tick tick_per_ms = 1000 * tick_per_us;
+inline constexpr Tick tick_per_s = 1000 * tick_per_ms;
+
+/** Convert nanoseconds to ticks. */
+constexpr Tick
+nanoseconds(double ns)
+{
+    return static_cast<Tick>(ns * static_cast<double>(tick_per_ns));
+}
+
+/** Convert microseconds to ticks. */
+constexpr Tick
+microseconds(double us)
+{
+    return static_cast<Tick>(us * static_cast<double>(tick_per_us));
+}
+
+/** Convert ticks to seconds (lossy, for reporting). */
+constexpr double
+toSeconds(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(tick_per_s);
+}
+
+/** Convert ticks to nanoseconds (lossy, for reporting). */
+constexpr double
+toNanoseconds(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(tick_per_ns);
+}
+
+inline constexpr std::uint64_t KiB = 1024;
+inline constexpr std::uint64_t MiB = 1024 * KiB;
+inline constexpr std::uint64_t GiB = 1024 * MiB;
+inline constexpr std::uint64_t TiB = 1024 * GiB;
+
+/** Gigabytes (decimal) per second expressed as bytes/second. */
+constexpr double
+gbps(double gigabytes_per_second)
+{
+    return gigabytes_per_second * 1e9;
+}
+
+/**
+ * Clock domain: converts between cycles and ticks.
+ *
+ * Constructed from a frequency in MHz; period is rounded to whole
+ * picoseconds which is exact for every frequency used in the paper
+ * (100, 250, 322 MHz and the like need sub-ps only above 10 GHz).
+ */
+class Clock
+{
+  public:
+    explicit constexpr Clock(double freq_mhz)
+        : periodTicks(static_cast<Tick>(1e6 / freq_mhz))
+    {}
+
+    constexpr Tick period() const { return periodTicks; }
+
+    constexpr Tick cycles(std::uint64_t n) const { return n * periodTicks; }
+
+    /** Number of whole cycles elapsed at time @p t. */
+    constexpr std::uint64_t
+    cycleAt(Tick t) const
+    {
+        return t / periodTicks;
+    }
+
+    /** Frequency in Hz implied by the (rounded) period. */
+    constexpr double
+    frequencyHz() const
+    {
+        return 1e12 / static_cast<double>(periodTicks);
+    }
+
+  private:
+    Tick periodTicks;
+};
+
+/** Human-readable byte count ("1.5 GiB"). */
+std::string formatBytes(std::uint64_t bytes);
+
+/** Human-readable tick count ("12.3 us"). */
+std::string formatTime(Tick t);
+
+} // namespace lsdgnn
+
+#endif // LSDGNN_COMMON_UNITS_HH

@@ -1,0 +1,160 @@
+#include "arch.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace lsdgnn {
+namespace faas {
+
+namespace {
+
+constexpr double pcie_bw = 16e9;          // Gen3 x16 (Table 8)
+constexpr double fpga_ddr_bw = 102.4e9;   // Table 8 mem-opt local DRAM
+constexpr double gpu_fast_link_bw = 300e9; // Table 8 mem-opt.tc
+
+} // namespace
+
+std::string
+FaasArch::name() const
+{
+    return std::string(constraintName(constraint)) + "." +
+           couplingName(coupling);
+}
+
+PathSpec
+FaasArch::localMem(const InstanceConfig &instance) const
+{
+    (void)instance;
+    if (constraint == Constraint::MemOpt) {
+        // FPGA-attached multi-channel DDR4.
+        return PathSpec{fpga_ddr_bw, nanoseconds(90), false};
+    }
+    // PCIe -> host DRAM for everything else.
+    return PathSpec{pcie_bw, nanoseconds(900), false};
+}
+
+PathSpec
+FaasArch::remoteMem(const InstanceConfig &instance) const
+{
+    switch (constraint) {
+      case Constraint::Base:
+        // PCIe -> standalone NIC -> PCIe -> host DRAM: instance NIC
+        // bandwidth, microseconds of software-free RDMA latency.
+        return PathSpec{instance.nicBytesPerSecond(), microseconds(3.0),
+                        true};
+      case Constraint::CostOpt:
+        // On-FPGA NIC: same wire, one PCIe hop less.
+        return PathSpec{instance.nicBytesPerSecond(), microseconds(1.8),
+                        true};
+      case Constraint::CommOpt:
+      case Constraint::MemOpt:
+        // Dedicated MoF fabric at the instance's fabric allocation.
+        return PathSpec{instance.mofBytesPerSecond(), nanoseconds(600),
+                        false};
+    }
+    lsd_panic("unknown constraint");
+}
+
+PathSpec
+FaasArch::gpuPath(const InstanceConfig &instance) const
+{
+    if (coupling == Coupling::Tc) {
+        if (constraint == Constraint::MemOpt) {
+            // In-server high-speed GPU link (NVLink-class).
+            return PathSpec{gpu_fast_link_bw, nanoseconds(500), false};
+        }
+        // In-server PCIe P2P.
+        return PathSpec{pcie_bw, nanoseconds(900), false};
+    }
+    // Decoupled: results cross the already busy instance NIC.
+    return PathSpec{instance.nicBytesPerSecond(), microseconds(3.0),
+                    true};
+}
+
+std::uint32_t
+FaasArch::axeCores() const
+{
+    switch (constraint) {
+      case Constraint::Base:
+        return 3;
+      case Constraint::CostOpt:
+      case Constraint::CommOpt:
+        return 2;
+      case Constraint::MemOpt:
+        return coupling == Coupling::Tc ? 10 : 2;
+    }
+    lsd_panic("unknown constraint");
+}
+
+std::uint32_t
+FaasArch::eq3SuggestedCores(const InstanceConfig &instance,
+                            double mean_request_bytes,
+                            std::uint32_t scoreboard_entries) const
+{
+    lsd_assert(mean_request_bytes > 0, "mean request size must be > 0");
+    lsd_assert(scoreboard_entries > 0, "scoreboard must have entries");
+    (void)instance;
+    // Core provisioning is a hardware decision, so Eq. 3 is evaluated
+    // at the Table 8 *wire* rates of each path (16 GB/s NIC/PCIe, 100
+    // GB/s MoF, ...), not at an instance's virtualized allocation.
+    const PathSpec local = localMem(faasInstance(InstanceSize::Large));
+    PathSpec remote = remoteMem(faasInstance(InstanceSize::Large));
+    if (remote.uses_nic)
+        remote.bandwidth = 16e9; // physical NIC wire speed
+    else
+        remote.bandwidth = 100e9; // MoF fabric wire speed
+    // Effective bandwidth per Eq. 3 is capped by the system's result
+    // drain (PCIe, or the fast GPU link in mem-opt.tc).
+    const double drain =
+        (constraint == Constraint::MemOpt && coupling == Coupling::Tc)
+            ? gpu_fast_link_bw
+            : pcie_bw;
+    const double eff_local = std::min(local.bandwidth, drain);
+    const double eff_remote = std::min(remote.bandwidth, drain);
+    const double o_local =
+        eff_local / mean_request_bytes * toSeconds(local.latency);
+    const double o_remote =
+        eff_remote / mean_request_bytes * toSeconds(remote.latency);
+    const double total = o_local + o_remote;
+    return std::max<std::uint32_t>(1, static_cast<std::uint32_t>(
+        std::ceil(total / scoreboard_entries)));
+}
+
+const std::array<FaasArch, 8> &
+allArchitectures()
+{
+    static const std::array<FaasArch, 8> archs = {{
+        {Constraint::Base, Coupling::Decp},
+        {Constraint::CostOpt, Coupling::Decp},
+        {Constraint::CommOpt, Coupling::Decp},
+        {Constraint::MemOpt, Coupling::Decp},
+        {Constraint::Base, Coupling::Tc},
+        {Constraint::CostOpt, Coupling::Tc},
+        {Constraint::CommOpt, Coupling::Tc},
+        {Constraint::MemOpt, Coupling::Tc},
+    }};
+    return archs;
+}
+
+const char *
+constraintName(Constraint constraint)
+{
+    switch (constraint) {
+      case Constraint::Base: return "base";
+      case Constraint::CostOpt: return "cost-opt";
+      case Constraint::CommOpt: return "comm-opt";
+      case Constraint::MemOpt: return "mem-opt";
+    }
+    lsd_panic("unknown constraint");
+}
+
+const char *
+couplingName(Coupling coupling)
+{
+    return coupling == Coupling::Tc ? "tc" : "decp";
+}
+
+} // namespace faas
+} // namespace lsdgnn

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The eight FaaS architectures of the design-space exploration
+ * (paper Table 8): {base, cost-opt, comm-opt, mem-opt} x {tc, decp}.
+ *
+ * An architecture decides four paths — FPGA-FPGA connection, local
+ * memory access, remote memory access and FPGA-GPU connection — plus
+ * the AxE core provisioning derived from Eq. 3.
+ */
+
+#ifndef LSDGNN_FAAS_ARCH_HH
+#define LSDGNN_FAAS_ARCH_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/units.hh"
+#include "faas/instance.hh"
+
+namespace lsdgnn {
+namespace faas {
+
+/** Primary design constraint (first taxonomy level). */
+enum class Constraint {
+    Base,    ///< off-the-shelf FaaS
+    CostOpt, ///< on-FPGA integrated NIC
+    CommOpt, ///< dedicated inter-FPGA MoF fabric
+    MemOpt,  ///< FPGA local DRAM (+ fast GPU link when tc)
+};
+
+/** FPGA/GPU coupling (second taxonomy level). */
+enum class Coupling {
+    Tc,   ///< tightly coupled: FPGA and GPU share one server
+    Decp, ///< decoupled: all-FPGA and all-GPU servers over network
+};
+
+/** One resolved memory/IO path of an architecture. */
+struct PathSpec {
+    /** Bandwidth in bytes/second (full duplex per direction). */
+    double bandwidth = 0;
+    /** Round-trip latency. */
+    Tick latency = 0;
+    /** True when the path rides the instance's shared virtual NIC. */
+    bool uses_nic = false;
+};
+
+/** One of the eight architectures. */
+struct FaasArch {
+    Constraint constraint;
+    Coupling coupling;
+
+    std::string name() const;
+
+    /** Local memory path (Table 8 column "Local Mem Access"). */
+    PathSpec localMem(const InstanceConfig &instance) const;
+
+    /** Remote memory path (Table 8 column "Remote Mem Access"). */
+    PathSpec remoteMem(const InstanceConfig &instance) const;
+
+    /** Result path toward the GPU (Table 8 "FPGA-GPU Connection"). */
+    PathSpec gpuPath(const InstanceConfig &instance) const;
+
+    /**
+     * AxE cores provisioned for this architecture — the paper's
+     * Eq.-3-derived choices (Sections 6.2-6.5): base 3, cost-opt 2,
+     * comm-opt 2, mem-opt.decp 2, mem-opt.tc 10.
+     */
+    std::uint32_t axeCores() const;
+
+    /**
+     * Eq. 3 core sizing recomputed from first principles for the
+     * given request mix: ceil(sum_i B_i*L_i/meanbytes / scoreboard).
+     */
+    std::uint32_t eq3SuggestedCores(const InstanceConfig &instance,
+                                    double mean_request_bytes,
+                                    std::uint32_t scoreboard_entries)
+        const;
+};
+
+/** All eight architectures in the paper's presentation order. */
+const std::array<FaasArch, 8> &allArchitectures();
+
+/** Display helpers. */
+const char *constraintName(Constraint constraint);
+const char *couplingName(Coupling coupling);
+
+} // namespace faas
+} // namespace lsdgnn
+
+#endif // LSDGNN_FAAS_ARCH_HH

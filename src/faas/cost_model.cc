@@ -1,0 +1,132 @@
+#include "cost_model.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace lsdgnn {
+namespace faas {
+
+const std::vector<PriceListEntry> &
+syntheticPriceList()
+{
+    // Shaped like the public ECS catalog rows of Fig. 16: general
+    // purpose, compute, memory, FPGA (f3-class) and GPU (gn6-class)
+    // instances. Underlying structure is linear in {vCPU, memory,
+    // FPGA, GPU} — except the 906 GiB memory flagship, which carries
+    // a premium the linear model cannot see (the paper observes the
+    // same under-estimation on ecs-ram-e).
+    auto base_price = [](double v, double m, double f, double g) {
+        return 0.032 * v + 0.0045 * m + 1.10 * f + 2.20 * g + 0.02;
+    };
+    static const std::vector<PriceListEntry> list = {
+        {"ecs-g-small", 2, 8, 0, 0, base_price(2, 8, 0, 0)},
+        {"ecs-g-large", 8, 32, 0, 0, base_price(8, 32, 0, 0) * 1.02},
+        {"ecs-c-xlarge", 16, 32, 0, 0, base_price(16, 32, 0, 0) * 0.99},
+        {"ecs-r-2xlarge", 8, 64, 0, 0, base_price(8, 64, 0, 0) * 1.01},
+        {"ecs-r-4xlarge", 16, 128, 0, 0,
+         base_price(16, 128, 0, 0) * 0.98},
+        {"ecs-r-8xlarge", 32, 256, 0, 0,
+         base_price(32, 256, 0, 0) * 1.01},
+        {"ecs-re-512", 16, 512, 0, 0, base_price(16, 512, 0, 0) * 0.99},
+        {"ecs-f3-fpga", 4, 16, 1, 0, base_price(4, 16, 1, 0) * 1.03},
+        {"ecs-f3-2fpga", 8, 64, 2, 0, base_price(8, 64, 2, 0) * 0.97},
+        {"ecs-gn6-gpu", 8, 32, 0, 1, base_price(8, 32, 0, 1) * 1.01},
+        {"ecs-ram-e", 32, 906, 0, 0, base_price(32, 906, 0, 0) * 1.30},
+    };
+    return list;
+}
+
+namespace {
+
+/** Solve the 5x5 system a*x = b with partial-pivot elimination. */
+std::array<double, 5>
+solve5(std::array<std::array<double, 5>, 5> a, std::array<double, 5> b)
+{
+    constexpr int n = 5;
+    for (int col = 0; col < n; ++col) {
+        int pivot = col;
+        for (int row = col + 1; row < n; ++row)
+            if (std::fabs(a[row][col]) > std::fabs(a[pivot][col]))
+                pivot = row;
+        std::swap(a[col], a[pivot]);
+        std::swap(b[col], b[pivot]);
+        lsd_assert(std::fabs(a[col][col]) > 1e-12,
+                   "singular normal equations — price list degenerate");
+        for (int row = col + 1; row < n; ++row) {
+            const double factor = a[row][col] / a[col][col];
+            for (int k = col; k < n; ++k)
+                a[row][k] -= factor * a[col][k];
+            b[row] -= factor * b[col];
+        }
+    }
+    std::array<double, 5> x{};
+    for (int row = n - 1; row >= 0; --row) {
+        double acc = b[row];
+        for (int k = row + 1; k < n; ++k)
+            acc -= a[row][k] * x[k];
+        x[row] = acc / a[row][row];
+    }
+    return x;
+}
+
+} // namespace
+
+CostModel
+CostModel::fit(const std::vector<PriceListEntry> &entries)
+{
+    lsd_assert(entries.size() >= 5,
+               "need at least five rows to fit five parameters");
+    std::array<std::array<double, 5>, 5> ata{};
+    std::array<double, 5> atb{};
+    for (const auto &e : entries) {
+        lsd_assert(e.listed_price > 0, "listed price must be positive");
+        const std::array<double, 5> x = {e.vcpus, e.memory_gib, e.fpgas,
+                                         e.gpus, 1.0};
+        // Weight by 1/price^2: the catalog spans three orders of
+        // magnitude, and the paper's validation plot (Fig. 16) shows
+        // small *relative* errors — a plain OLS would let the most
+        // expensive row dominate everything else.
+        const double weight = 1.0 / (e.listed_price * e.listed_price);
+        for (int i = 0; i < 5; ++i) {
+            atb[i] += weight * x[i] * e.listed_price;
+            for (int j = 0; j < 5; ++j)
+                ata[i][j] += weight * x[i] * x[j];
+        }
+    }
+    CostModel model;
+    model.w = solve5(ata, atb);
+    return model;
+}
+
+CostModel
+CostModel::fitDefault()
+{
+    return fit(syntheticPriceList());
+}
+
+double
+CostModel::predict(double vcpus, double memory_gib, double fpgas,
+                   double gpus) const
+{
+    return w[0] * vcpus + w[1] * memory_gib + w[2] * fpgas +
+           w[3] * gpus + w[4];
+}
+
+double
+CostModel::price(const InstanceConfig &instance, double gpus) const
+{
+    return predict(instance.vcpus, instance.memory_gib,
+                   instance.fpga_chips, gpus);
+}
+
+double
+CostModel::relativeError(const PriceListEntry &entry) const
+{
+    const double predicted = predict(entry.vcpus, entry.memory_gib,
+                                     entry.fpgas, entry.gpus);
+    return (predicted - entry.listed_price) / entry.listed_price;
+}
+
+} // namespace faas
+} // namespace lsdgnn

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * FaaS instance cost model (paper Section 7.2, Fig. 16).
+ *
+ * The paper fits a linear regression over the public price calculator
+ * with features {vCPU count, DRAM capacity, FPGA cards, GPU cards}.
+ * The same methodology is reproduced here: a synthetic price list
+ * with the structure of the public ECS catalog (including the
+ * high-memory outlier the paper's model under-estimates) is fitted by
+ * ordinary least squares, and Fig. 16's validation compares fitted
+ * vs. listed prices.
+ */
+
+#ifndef LSDGNN_FAAS_COST_MODEL_HH
+#define LSDGNN_FAAS_COST_MODEL_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "faas/instance.hh"
+
+namespace lsdgnn {
+namespace faas {
+
+/** One catalog row: features plus listed price. */
+struct PriceListEntry {
+    std::string product_id;
+    double vcpus;
+    double memory_gib;
+    double fpgas;
+    double gpus;
+    /** Listed price, $/hour. */
+    double listed_price;
+};
+
+/** The synthetic public price list used for fitting/validation. */
+const std::vector<PriceListEntry> &syntheticPriceList();
+
+/** Fitted linear model: price = w . features + intercept. */
+class CostModel
+{
+  public:
+    /** Fit by OLS over @p entries. */
+    static CostModel fit(const std::vector<PriceListEntry> &entries);
+
+    /** Fit over the built-in synthetic catalog. */
+    static CostModel fitDefault();
+
+    /** Predicted $/hour for raw features. */
+    double predict(double vcpus, double memory_gib, double fpgas,
+                   double gpus) const;
+
+    /** Predicted $/hour for an instance shape (+ attached GPUs). */
+    double price(const InstanceConfig &instance, double gpus = 0) const;
+
+    /** Relative error against one catalog row. */
+    double relativeError(const PriceListEntry &entry) const;
+
+    double vcpuCoeff() const { return w[0]; }
+    double memoryCoeff() const { return w[1]; }
+    double fpgaCoeff() const { return w[2]; }
+    double gpuCoeff() const { return w[3]; }
+    double intercept() const { return w[4]; }
+
+  private:
+    /** w[0..3] feature weights, w[4] intercept. */
+    std::array<double, 5> w{};
+};
+
+} // namespace faas
+} // namespace lsdgnn
+
+#endif // LSDGNN_FAAS_COST_MODEL_HH

@@ -1,0 +1,136 @@
+#include "dse.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace lsdgnn {
+namespace faas {
+
+double
+geomean(const std::vector<double> &values)
+{
+    lsd_assert(!values.empty(), "geomean of nothing");
+    double log_sum = 0;
+    for (double v : values) {
+        lsd_assert(v > 0, "geomean requires positive values, got ", v);
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+DseExplorer::DseExplorer(std::uint64_t profile_target_nodes)
+    : cost(CostModel::fitDefault())
+{
+    lsd_assert(profile_target_nodes >= 1000,
+               "profile instances below 1k nodes are too noisy");
+    sampling::SamplePlan plan; // Table 2 model column defaults
+    for (const auto &spec : graph::paperDatasets()) {
+        const std::uint64_t divisor = std::max<std::uint64_t>(
+            1, spec.nodes / profile_target_nodes);
+        profiles.emplace(spec.name,
+            sampling::profileWorkload(spec, plan, divisor, 4, 1));
+    }
+}
+
+const sampling::WorkloadProfile &
+DseExplorer::profileFor(const std::string &dataset) const
+{
+    auto it = profiles.find(dataset);
+    if (it == profiles.end())
+        lsd_fatal("no profile for dataset '", dataset, "'");
+    return it->second;
+}
+
+std::uint32_t
+DseExplorer::instancesFor(const std::string &dataset,
+                          InstanceSize size) const
+{
+    const graph::FootprintModel footprint;
+    const auto &spec = graph::datasetByName(dataset);
+    const std::uint64_t bytes = footprint.totalBytes(spec);
+    const std::uint64_t capacity = faasInstance(size).memoryBytes();
+    return static_cast<std::uint32_t>(
+        std::max<std::uint64_t>(1, (bytes + capacity - 1) / capacity));
+}
+
+CpuPoint
+DseExplorer::cpuBaseline(const std::string &dataset,
+                         InstanceSize size) const
+{
+    CpuPoint point;
+    point.dataset = dataset;
+    point.size = size;
+    point.instances = instancesFor(dataset, size);
+
+    const InstanceConfig shape = cpuInstance(size);
+    baseline::CpuClusterConfig cluster;
+    cluster.num_servers = point.instances;
+    cluster.vcpus_per_server = shape.vcpus;
+    cluster.nic_bandwidth = shape.nicBytesPerSecond();
+
+    const auto &profile = profileFor(dataset);
+    const auto rep = cpuModel.evaluate(profile, cluster);
+    point.service_samples_per_s = rep.samples_per_s;
+    point.samples_per_s_per_vcpu = rep.samples_per_s_per_vcpu;
+
+    const double out_bytes =
+        8.0 + static_cast<double>(profile.attr_bytes_per_node);
+    point.gpus = rep.samples_per_s * out_bytes / gpu_feed_bytes_per_s;
+    point.service_cost = point.instances * cost.price(shape) +
+        point.gpus * cost.gpuCoeff();
+    point.perf_per_dollar =
+        point.service_samples_per_s / point.service_cost;
+    return point;
+}
+
+DsePoint
+DseExplorer::evaluate(const std::string &dataset, const FaasArch &arch,
+                      InstanceSize size) const
+{
+    DsePoint point;
+    point.dataset = dataset;
+    point.arch = arch;
+    point.size = size;
+    point.instances = instancesFor(dataset, size);
+
+    const InstanceConfig shape = faasInstance(size);
+    point.total_fpgas = point.instances * shape.fpga_chips;
+
+    const auto &profile = profileFor(dataset);
+    const FpgaPerfReport rep =
+        evaluateFpga(arch, shape, profile, point.total_fpgas);
+    point.per_fpga_samples_per_s = rep.samples_per_s;
+    point.service_samples_per_s =
+        rep.samples_per_s * point.total_fpgas;
+    point.bottleneck = rep.bottleneck;
+
+    // vCPU equivalence against the CPU baseline in the same setting.
+    const CpuPoint cpu = cpuBaseline(dataset, size);
+    if (cpu.samples_per_s_per_vcpu > 0) {
+        point.vcpu_equivalent =
+            rep.samples_per_s / cpu.samples_per_s_per_vcpu;
+    }
+
+    point.gpus = point.service_samples_per_s *
+        (8.0 + static_cast<double>(profile.attr_bytes_per_node)) /
+        gpu_feed_bytes_per_s;
+    point.service_cost = point.instances * cost.price(shape) +
+        point.gpus * cost.gpuCoeff();
+    point.perf_per_dollar =
+        point.service_samples_per_s / point.service_cost;
+    return point;
+}
+
+double
+DseExplorer::cpuPerfPerDollarGeomean(InstanceSize size) const
+{
+    std::vector<double> values;
+    for (const auto &spec : graph::paperDatasets())
+        values.push_back(cpuBaseline(spec.name, size).perf_per_dollar);
+    return geomean(values);
+}
+
+} // namespace faas
+} // namespace lsdgnn

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * FaaS design-space-exploration driver.
+ *
+ * Ties the whole stack together for Figs. 17-21: for every
+ * (dataset, architecture, instance size) point it sizes the service
+ * (instances to hold the graph), evaluates per-FPGA sampling
+ * throughput with the analytical model, attaches GPUs per the paper's
+ * 12 GB/s-per-V100 coupling rule (Limitation-2), prices the service
+ * with the fitted cost model, and reports performance and
+ * performance-per-dollar against the CPU baseline.
+ */
+
+#ifndef LSDGNN_FAAS_DSE_HH
+#define LSDGNN_FAAS_DSE_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "baseline/cpu_sampler.hh"
+#include "faas/arch.hh"
+#include "faas/cost_model.hh"
+#include "faas/perf_model.hh"
+#include "graph/datasets.hh"
+
+namespace lsdgnn {
+namespace faas {
+
+/** One FaaS evaluation point. */
+struct DsePoint {
+    std::string dataset;
+    FaasArch arch;
+    InstanceSize size = InstanceSize::Small;
+    /** Instances needed to hold the graph. */
+    std::uint32_t instances = 0;
+    std::uint32_t total_fpgas = 0;
+    double per_fpga_samples_per_s = 0;
+    double service_samples_per_s = 0;
+    /** One FPGA expressed in CPU-baseline vCPUs (Fig. 14 style). */
+    double vcpu_equivalent = 0;
+    /** V100-equivalents the sampling rate demands (fractional). */
+    double gpus = 0;
+    /** Service $/hour including the GPU share. */
+    double service_cost = 0;
+    /** Raw samples/s per $/hour. */
+    double perf_per_dollar = 0;
+    Bottleneck bottleneck = Bottleneck::Output;
+};
+
+/** The CPU-baseline point for the same dataset/size. */
+struct CpuPoint {
+    std::string dataset;
+    InstanceSize size = InstanceSize::Small;
+    std::uint32_t instances = 0;
+    double service_samples_per_s = 0;
+    double samples_per_s_per_vcpu = 0;
+    double gpus = 0;
+    double service_cost = 0;
+    double perf_per_dollar = 0;
+};
+
+/** Geometric mean helper (Figs. 19/21 aggregate this way). */
+double geomean(const std::vector<double> &values);
+
+/**
+ * Explorer carrying cached workload profiles and models.
+ */
+class DseExplorer
+{
+  public:
+    /**
+     * @param profile_target_nodes Functional-instance size used when
+     *        profiling datasets (speed/fidelity knob).
+     */
+    explicit DseExplorer(std::uint64_t profile_target_nodes = 30'000);
+
+    /** GPU coupling rule: bytes/s of sampling output one V100 absorbs. */
+    static constexpr double gpu_feed_bytes_per_s = 12e9;
+
+    /** Evaluate one FaaS point. */
+    DsePoint evaluate(const std::string &dataset, const FaasArch &arch,
+                      InstanceSize size) const;
+
+    /** Evaluate the CPU baseline for a dataset/size. */
+    CpuPoint cpuBaseline(const std::string &dataset,
+                         InstanceSize size) const;
+
+    /** Instances needed to hold @p dataset at @p size. */
+    std::uint32_t instancesFor(const std::string &dataset,
+                               InstanceSize size) const;
+
+    /** Normalization constant: CPU perf/$ geomean across datasets. */
+    double cpuPerfPerDollarGeomean(InstanceSize size) const;
+
+    /** The cached profile for a dataset (tests / benches). */
+    const sampling::WorkloadProfile &
+    profileFor(const std::string &dataset) const;
+
+    const CostModel &costModel() const { return cost; }
+
+  private:
+    std::map<std::string, sampling::WorkloadProfile> profiles;
+    CostModel cost;
+    baseline::CpuSamplerModel cpuModel;
+};
+
+} // namespace faas
+} // namespace lsdgnn
+
+#endif // LSDGNN_FAAS_DSE_HH

@@ -1,0 +1,55 @@
+#include "instance.hh"
+
+#include "common/logging.hh"
+
+namespace lsdgnn {
+namespace faas {
+
+const std::array<InstanceConfig, 3> &
+faasInstances()
+{
+    // Table 12 verbatim: 2 vCPUs manage the card; memory is the host
+    // DRAM quota the FPGA-attached graph partition lives in; NIC/MoF
+    // are the virtual network allocations of the instance class.
+    static const std::array<InstanceConfig, 3> rows = {{
+        {InstanceSize::Small, "small", 2, 8, 1, 10.0, 100.0},
+        {InstanceSize::Medium, "medium", 2, 384, 1, 20.0, 200.0},
+        {InstanceSize::Large, "large", 2, 512, 2, 50.0, 800.0},
+    }};
+    return rows;
+}
+
+const InstanceConfig &
+faasInstance(InstanceSize size)
+{
+    for (const auto &row : faasInstances())
+        if (row.size == size)
+            return row;
+    lsd_panic("unknown instance size");
+}
+
+InstanceConfig
+cpuInstance(InstanceSize size)
+{
+    InstanceConfig cfg = faasInstance(size);
+    cfg.fpga_chips = 0;
+    cfg.mof_gbps = 0;
+    // The CPU baseline replaces the FPGA with sampling vCPUs: the
+    // service grows the vCPU allocation with the memory class, the
+    // way storage/sampling servers are actually provisioned.
+    switch (size) {
+      case InstanceSize::Small: cfg.vcpus = 2; break;
+      case InstanceSize::Medium: cfg.vcpus = 32; break;
+      case InstanceSize::Large: cfg.vcpus = 64; break;
+    }
+    return cfg;
+}
+
+const char *
+sizeName(InstanceSize size)
+{
+    return faasInstance(size).name;
+}
+
+} // namespace faas
+} // namespace lsdgnn

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * FaaS instance configurations (paper Table 12) and the matching
+ * CPU-only instance shapes used as the cost/performance baseline.
+ */
+
+#ifndef LSDGNN_FAAS_INSTANCE_HH
+#define LSDGNN_FAAS_INSTANCE_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace lsdgnn {
+namespace faas {
+
+/** Table 12 row id. */
+enum class InstanceSize {
+    Small,
+    Medium,
+    Large,
+};
+
+/** One rentable instance shape. */
+struct InstanceConfig {
+    InstanceSize size;
+    const char *name;
+    std::uint32_t vcpus;
+    /** DRAM quota in GiB. */
+    std::uint32_t memory_gib;
+    /** FPGA chips on the instance (0 for the CPU baseline shape). */
+    std::uint32_t fpga_chips;
+    /** Virtual NIC allocation in Gbit/s. */
+    double nic_gbps;
+    /** Dedicated MoF fabric allocation in Gbit/s (0 if absent). */
+    double mof_gbps;
+
+    double nicBytesPerSecond() const { return nic_gbps * 1e9 / 8.0; }
+    double mofBytesPerSecond() const { return mof_gbps * 1e9 / 8.0; }
+    std::uint64_t
+    memoryBytes() const
+    {
+        return static_cast<std::uint64_t>(memory_gib) << 30;
+    }
+};
+
+/** The three Table 12 FaaS shapes. */
+const std::array<InstanceConfig, 3> &faasInstances();
+
+/** FaaS shape by size. */
+const InstanceConfig &faasInstance(InstanceSize size);
+
+/**
+ * CPU-only twin of a FaaS shape: same memory and network, no FPGA,
+ * and the vCPU count a storage/sampling server of that memory class
+ * actually ships with (the paper's vCPU-heavy baseline).
+ */
+InstanceConfig cpuInstance(InstanceSize size);
+
+/** Display name ("small"/"medium"/"large"). */
+const char *sizeName(InstanceSize size);
+
+} // namespace faas
+} // namespace lsdgnn
+
+#endif // LSDGNN_FAAS_INSTANCE_HH

@@ -1,0 +1,130 @@
+#include "perf_model.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace lsdgnn {
+namespace faas {
+
+const char *
+bottleneckName(Bottleneck b)
+{
+    switch (b) {
+      case Bottleneck::LocalMemory: return "local-mem";
+      case Bottleneck::RemoteLink: return "remote-link";
+      case Bottleneck::Output: return "output";
+      case Bottleneck::CoreWindow: return "core-window";
+      case Bottleneck::CoreClock: return "core-clock";
+    }
+    lsd_panic("unknown bottleneck");
+}
+
+FpgaPerfReport
+evaluateFpga(const FaasArch &arch, const InstanceConfig &instance,
+             const sampling::WorkloadProfile &profile,
+             std::uint32_t total_fpgas, const PerfModelParams &params)
+{
+    lsd_assert(total_fpgas > 0, "need at least one FPGA");
+    lsd_assert(profile.samples_per_batch > 0, "profile has no samples");
+
+    FpgaPerfReport rep;
+    const double samples = profile.samples_per_batch;
+    const double mem_bytes = profile.totalBytesPerBatch() / samples;
+    const double requests = profile.totalRequestsPerBatch() / samples;
+    const double out_bytes =
+        8.0 + static_cast<double>(profile.attr_bytes_per_node);
+    const double r = total_fpgas == 1
+        ? 0.0
+        : static_cast<double>(total_fpgas - 1) /
+          static_cast<double>(total_fpgas);
+    rep.remote_fraction = r;
+
+    const PathSpec local = arch.localMem(instance);
+    const PathSpec remote = arch.remoteMem(instance);
+    const PathSpec out = arch.gpuPath(instance);
+
+    // 1. Local memory: own local reads plus the symmetric share served
+    //    to peers add up to the full read volume per own sample.
+    rep.local_limit = local.bandwidth / mem_bytes;
+
+    // 2. Remote link, per direction. Outbound carries the FPGA's own
+    //    read requests (packed) plus response data served to peers;
+    //    inbound carries response data plus peers' requests. Both
+    //    directions therefore see r * (data + request overhead).
+    const double remote_dir_bytes =
+        r * (mem_bytes + requests * params.packed_request_overhead);
+    // Output over the NIC (decp) shares the same outbound direction.
+    double nic_outbound_extra = 0.0;
+    if (out.uses_nic)
+        nic_outbound_extra = out_bytes;
+    if (remote_dir_bytes + (remote.uses_nic ? nic_outbound_extra : 0) >
+        0) {
+        const double shared_out = remote.uses_nic
+            ? remote_dir_bytes + nic_outbound_extra
+            : remote_dir_bytes;
+        const double per_dir = std::max(shared_out, remote_dir_bytes);
+        rep.remote_limit = per_dir > 0
+            ? remote.bandwidth / per_dir
+            : std::numeric_limits<double>::infinity();
+    } else {
+        rep.remote_limit = std::numeric_limits<double>::infinity();
+    }
+
+    // 3. Output path. When the output rides the NIC and the remote
+    //    path does too, constraint 2 already covers the sharing; the
+    //    dedicated-output case is a plain bandwidth bound.
+    if (out.uses_nic && remote.uses_nic) {
+        rep.output_limit = rep.remote_limit;
+    } else if (out.uses_nic) {
+        // NIC carries only results (comm/mem-opt decp).
+        rep.output_limit = out.bandwidth / out_bytes;
+    } else {
+        rep.output_limit = out.bandwidth / out_bytes;
+        // Host-DRAM local memory shares the PCIe with the in-server
+        // output stream (base/cost/comm-opt tc).
+        if (arch.coupling == Coupling::Tc &&
+            arch.constraint != Constraint::MemOpt) {
+            const double pcie_bytes = mem_bytes + out_bytes;
+            rep.output_limit =
+                std::min(rep.output_limit, out.bandwidth / pcie_bytes);
+            rep.local_limit =
+                std::min(rep.local_limit, local.bandwidth / pcie_bytes);
+        }
+    }
+
+    // 4. Outstanding-request window (Eq. 3 inverted): the cores can
+    //    keep cores*scoreboard requests in flight; each request holds
+    //    its slot for the path's round-trip latency.
+    const double avg_latency_s = (1.0 - r) * toSeconds(local.latency) +
+        r * toSeconds(remote.latency);
+    const double window = static_cast<double>(arch.axeCores()) *
+        params.scoreboard_entries;
+    rep.window_limit = avg_latency_s > 0
+        ? window / avg_latency_s / requests
+        : std::numeric_limits<double>::infinity();
+
+    // 5. Datapath clock.
+    rep.clock_limit = static_cast<double>(arch.axeCores()) *
+        params.clock_hz / (params.cycles_per_request * requests);
+
+    rep.samples_per_s = rep.local_limit;
+    rep.bottleneck = Bottleneck::LocalMemory;
+    const auto consider = [&rep](double limit, Bottleneck which) {
+        if (limit < rep.samples_per_s) {
+            rep.samples_per_s = limit;
+            rep.bottleneck = which;
+        }
+    };
+    consider(rep.remote_limit, Bottleneck::RemoteLink);
+    consider(rep.output_limit, Bottleneck::Output);
+    consider(rep.window_limit, Bottleneck::CoreWindow);
+    consider(rep.clock_limit, Bottleneck::CoreClock);
+
+    rep.output_bytes_per_s = rep.samples_per_s * out_bytes;
+    return rep;
+}
+
+} // namespace faas
+} // namespace lsdgnn

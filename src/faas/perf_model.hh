@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Analytical FaaS performance model.
+ *
+ * This is the "in-house performance analytical model" of Section 7.2:
+ * it captures FPGA datapath behavior, memory accesses and inter-FPGA
+ * communication as steady-state byte flows over the architecture's
+ * paths, and reports the binding bottleneck. Fig. 15 validates it
+ * against the AxE discrete-event model; Figs. 17-21 are produced by
+ * sweeping it over the eight architectures.
+ *
+ * Flow accounting per emitted sample (symmetric FPGAs, hash
+ * partitioning over all graph-holding FPGAs):
+ *  - memory reads: every byte the workload reads is some FPGA's local
+ *    read, so each FPGA's local memory carries the full per-sample
+ *    read volume at its own sampling rate;
+ *  - remote link: a fraction r = (F-1)/F of reads leave the FPGA; per
+ *    direction the link carries r * (data + request overhead) for the
+ *    FPGA's own samples plus the symmetric share it serves for peers;
+ *  - output: every sample ships (node id + attributes) to the GPU,
+ *    over the in-server path (tc) or the shared NIC (decp).
+ */
+
+#ifndef LSDGNN_FAAS_PERF_MODEL_HH
+#define LSDGNN_FAAS_PERF_MODEL_HH
+
+#include <cstdint>
+#include <string>
+
+#include "faas/arch.hh"
+#include "faas/instance.hh"
+#include "sampling/workload.hh"
+
+namespace lsdgnn {
+namespace faas {
+
+/** Which constraint binds the throughput. */
+enum class Bottleneck {
+    LocalMemory,
+    RemoteLink,
+    Output,
+    CoreWindow, ///< outstanding-request window (Eq. 3 territory)
+    CoreClock,
+};
+
+const char *bottleneckName(Bottleneck b);
+
+/** Model knobs that are architecture-independent. */
+struct PerfModelParams {
+    /** Scoreboard entries per AxE core. */
+    std::uint32_t scoreboard_entries = 128;
+    /** AxE datapath clock. */
+    double clock_hz = 250e6;
+    /** Datapath cycles consumed per memory request (streaming). */
+    double cycles_per_request = 1.0;
+    /**
+     * Wire overhead per packed request on the remote path (MoF
+     * multi-request packing: 4 B segment offset + amortized header).
+     */
+    double packed_request_overhead = 5.0;
+};
+
+/** Result for one (arch, instance, dataset) point. */
+struct FpgaPerfReport {
+    /** Samples per second one FPGA chip sustains. */
+    double samples_per_s = 0;
+    Bottleneck bottleneck = Bottleneck::Output;
+    /** Fraction of reads that are remote. */
+    double remote_fraction = 0;
+    /** Output bytes/second this rate implies (GPU feed). */
+    double output_bytes_per_s = 0;
+    /** Per-constraint rates (diagnostics / tests). */
+    double local_limit = 0;
+    double remote_limit = 0;
+    double output_limit = 0;
+    double window_limit = 0;
+    double clock_limit = 0;
+};
+
+/**
+ * Evaluate one FPGA chip of an architecture.
+ *
+ * @param arch Architecture under test.
+ * @param instance Instance shape (NIC/MoF allocations).
+ * @param profile Workload profile (per-batch request statistics).
+ * @param total_fpgas FPGA chips holding graph partitions, across all
+ *        instances of the service.
+ */
+FpgaPerfReport evaluateFpga(const FaasArch &arch,
+                            const InstanceConfig &instance,
+                            const sampling::WorkloadProfile &profile,
+                            std::uint32_t total_fpgas,
+                            const PerfModelParams &params =
+                                PerfModelParams{});
+
+} // namespace faas
+} // namespace lsdgnn
+
+#endif // LSDGNN_FAAS_PERF_MODEL_HH

@@ -1,0 +1,162 @@
+#include "link.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace lsdgnn {
+namespace fabric {
+
+Link::Link(LinkParams params) : params_(std::move(params))
+{
+    lsd_assert(params_.peak_bandwidth > 0, "link needs positive bandwidth");
+    lsd_assert(params_.max_outstanding > 0,
+               "link needs at least one outstanding slot");
+}
+
+Tick
+Link::roundTripLatency(std::uint64_t bytes) const
+{
+    const double wire_bytes =
+        static_cast<double>(bytes + params_.per_request_overhead);
+    const double serialize_s = wire_bytes / params_.peak_bandwidth;
+    return params_.base_latency +
+        static_cast<Tick>(serialize_s * static_cast<double>(tick_per_s));
+}
+
+double
+Link::achievedBandwidth(std::uint64_t bytes,
+                        std::uint32_t outstanding) const
+{
+    lsd_assert(outstanding > 0, "need at least one outstanding request");
+    const double latency_s = toSeconds(roundTripLatency(bytes));
+    // Little's law: throughput = in-flight / latency, in requests/s.
+    const double reqs_per_s =
+        static_cast<double>(outstanding) / latency_s;
+    const double payload_bw = reqs_per_s * static_cast<double>(bytes);
+    // Serialization ceiling discounted by protocol efficiency.
+    const double ceiling = params_.peak_bandwidth * efficiency(bytes);
+    return std::min(payload_bw, ceiling);
+}
+
+double
+Link::efficiency(std::uint64_t bytes) const
+{
+    const double wire =
+        static_cast<double>(bytes + params_.per_request_overhead);
+    return static_cast<double>(bytes) / wire;
+}
+
+double
+Link::requiredOutstanding(double target_bandwidth,
+                          std::uint64_t bytes) const
+{
+    return fabric::requiredOutstanding(target_bandwidth,
+        roundTripLatency(bytes), {{bytes, 1.0}});
+}
+
+double
+meanRequestBytes(const std::vector<AccessPattern> &mix)
+{
+    lsd_assert(!mix.empty(), "empty access-pattern mix");
+    double mean = 0.0;
+    double total_p = 0.0;
+    for (const auto &pat : mix) {
+        mean += static_cast<double>(pat.bytes) * pat.probability;
+        total_p += pat.probability;
+    }
+    lsd_assert(total_p > 0.99 && total_p < 1.01,
+               "pattern probabilities must sum to 1, got ", total_p);
+    return mean;
+}
+
+double
+requiredOutstanding(double effective_bandwidth, Tick latency,
+                    const std::vector<AccessPattern> &mix)
+{
+    const double mean_bytes = meanRequestBytes(mix);
+    lsd_assert(mean_bytes > 0, "mean request length must be positive");
+    // Eq. 3: O = B / (sum_k C_k P_k) * L
+    return effective_bandwidth / mean_bytes * toSeconds(latency);
+}
+
+namespace catalog {
+
+Link
+localDdr4Channel(std::uint32_t channels)
+{
+    lsd_assert(channels > 0, "need at least one DDR channel");
+    LinkParams p;
+    p.name = channels == 1 ? "local-ddr4"
+                           : "local-ddr4-x" + std::to_string(channels);
+    p.peak_bandwidth = 12.8e9 * channels; // DDR4-1600, 64-bit channel
+    p.base_latency = nanoseconds(90);
+    p.per_request_overhead = 8; // command/address bus share
+    p.max_outstanding = 64 * channels;
+    return Link(p);
+}
+
+Link
+pcieHostDram()
+{
+    LinkParams p;
+    p.name = "pcie-host-dram";
+    p.peak_bandwidth = 16e9; // Gen3 x16 payload ceiling used in Table 8
+    p.base_latency = nanoseconds(900);
+    p.per_request_overhead = 24; // TLP header + framing
+    p.max_outstanding = 64;
+    return Link(p);
+}
+
+Link
+rdmaRemoteDram()
+{
+    LinkParams p;
+    p.name = "rdma-remote-dram";
+    p.peak_bandwidth = 16e9; // PCIe->NIC->PCIe path of Table 8
+    p.base_latency = microseconds(3.0);
+    p.per_request_overhead = 90; // Ethernet+IB/RoCE headers
+    p.max_outstanding = 256;
+    return Link(p);
+}
+
+Link
+mofFabric()
+{
+    LinkParams p;
+    p.name = "mof-fabric";
+    p.peak_bandwidth = 100e9; // Table 8: dedicated fabric, 100 GB/s
+    p.base_latency = nanoseconds(600);
+    p.per_request_overhead = 8; // MoF multi-request amortized header
+    p.max_outstanding = 1024;
+    return Link(p);
+}
+
+Link
+onFpgaNic()
+{
+    LinkParams p;
+    p.name = "on-fpga-nic";
+    p.peak_bandwidth = 16e9; // same wire speed as the standalone NIC
+    p.base_latency = microseconds(1.8); // skips one PCIe hop
+    p.per_request_overhead = 90;
+    p.max_outstanding = 256;
+    return Link(p);
+}
+
+Link
+gpuFastLink()
+{
+    LinkParams p;
+    p.name = "gpu-fast-link";
+    p.peak_bandwidth = 300e9; // Table 8: mem-opt.tc in-server fast link
+    p.base_latency = nanoseconds(500);
+    p.per_request_overhead = 16;
+    p.max_outstanding = 512;
+    return Link(p);
+}
+
+} // namespace catalog
+
+} // namespace fabric
+} // namespace lsdgnn

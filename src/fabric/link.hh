@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Analytical link models.
+ *
+ * A Link is characterized by a zero-byte round-trip latency, a peak
+ * serialization bandwidth and a fixed per-request protocol overhead.
+ * From those three numbers the model answers the questions behind
+ * Fig. 2(d) (round-trip latency and achieved bandwidth per request
+ * size) and Fig. 2(e)/Eq. 3 (outstanding requests needed to saturate
+ * a target bandwidth).
+ */
+
+#ifndef LSDGNN_FABRIC_LINK_HH
+#define LSDGNN_FABRIC_LINK_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.hh"
+
+namespace lsdgnn {
+namespace fabric {
+
+/** Static parameters of one memory/interconnect path. */
+struct LinkParams {
+    std::string name;
+    /** Peak serialization bandwidth in bytes/second. */
+    double peak_bandwidth = 16e9;
+    /** Round-trip latency of an empty request. */
+    Tick base_latency = nanoseconds(1000);
+    /** Protocol bytes added to every request (headers, DLLP, etc.). */
+    std::uint64_t per_request_overhead = 64;
+    /** Concurrent requests the initiating hardware can keep in flight. */
+    std::uint32_t max_outstanding = 32;
+};
+
+/**
+ * Analytical single-link model.
+ */
+class Link
+{
+  public:
+    explicit Link(LinkParams params);
+
+    const LinkParams &params() const { return params_; }
+    const std::string &name() const { return params_.name; }
+
+    /** Round-trip latency for a request moving @p bytes of payload. */
+    Tick roundTripLatency(std::uint64_t bytes) const;
+
+    /**
+     * Bandwidth achieved with @p outstanding requests of @p bytes in
+     * flight (Little's law, capped at the serialization peak and
+     * discounted by protocol overhead).
+     */
+    double achievedBandwidth(std::uint64_t bytes,
+                             std::uint32_t outstanding) const;
+
+    /** Achieved bandwidth at the link's own outstanding limit. */
+    double
+    achievedBandwidth(std::uint64_t bytes) const
+    {
+        return achievedBandwidth(bytes, params_.max_outstanding);
+    }
+
+    /** Payload fraction of the wire traffic for @p bytes requests. */
+    double efficiency(std::uint64_t bytes) const;
+
+    /**
+     * Outstanding requests needed to sustain @p target_bandwidth
+     * (bytes/s of payload) with requests of @p bytes each — the
+     * single-pattern specialization of Eq. 3.
+     */
+    double requiredOutstanding(double target_bandwidth,
+                               std::uint64_t bytes) const;
+
+  private:
+    LinkParams params_;
+};
+
+/** One access pattern term of Eq. 3: length C_k with probability P_k. */
+struct AccessPattern {
+    std::uint64_t bytes;
+    double probability;
+};
+
+/**
+ * Eq. 3 of the paper: outstanding requests demanded to fill
+ * @p effective_bandwidth on a path with round-trip latency
+ * @p latency when the request mix is @p mix.
+ *
+ *   O = B / (sum_k C_k * P_k) * L
+ */
+double requiredOutstanding(double effective_bandwidth, Tick latency,
+                           const std::vector<AccessPattern> &mix);
+
+/** Mean request length of a pattern mix (sum C_k * P_k). */
+double meanRequestBytes(const std::vector<AccessPattern> &mix);
+
+/**
+ * Catalog of the hardware paths used throughout the paper
+ * (Fig. 2(d), Tables 8-10). All return value-constructed Links.
+ */
+namespace catalog {
+
+/** Direct-attached local DDR4 channel (12.8 GB/s, ~90 ns). */
+Link localDdr4Channel(std::uint32_t channels = 1);
+
+/** PCIe Gen3 x16 path to host DRAM (16 GB/s, ~900 ns). */
+Link pcieHostDram();
+
+/** PCIe->NIC->PCIe RDMA path to a remote host's DRAM (~16 GB/s, us). */
+Link rdmaRemoteDram();
+
+/** The paper's customized MoF fabric (100 GB/s, sub-us). */
+Link mofFabric();
+
+/** On-FPGA NIC path of the cost-opt architecture (16 GB/s). */
+Link onFpgaNic();
+
+/** In-server high-speed FPGA<->GPU link of mem-opt.tc (300 GB/s). */
+Link gpuFastLink();
+
+} // namespace catalog
+
+} // namespace fabric
+} // namespace lsdgnn
+
+#endif // LSDGNN_FABRIC_LINK_HH

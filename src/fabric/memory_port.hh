@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Abstract memory request port.
+ *
+ * The AxE load unit issues tagged reads against "somewhere that
+ * returns data later": a direct link model (SimLink) inside one
+ * engine, or a routed path across the multi-card fabric in the
+ * scale-out system. MemoryPort is that seam.
+ */
+
+#ifndef LSDGNN_FABRIC_MEMORY_PORT_HH
+#define LSDGNN_FABRIC_MEMORY_PORT_HH
+
+#include <cstdint>
+#include <functional>
+
+namespace lsdgnn {
+namespace fabric {
+
+/**
+ * Asynchronous read/write target.
+ */
+class MemoryPort
+{
+  public:
+    using Callback = std::function<void()>;
+
+    virtual ~MemoryPort() = default;
+
+    /**
+     * Issue a request moving @p bytes of payload toward endpoint
+     * @p dest (meaningful for routed ports; single-link ports ignore
+     * it); @p done runs at response time. Implementations must
+     * accept unconditionally (backpressure is the caller's
+     * scoreboard).
+     */
+    virtual void request(std::uint64_t bytes, std::uint32_t dest,
+                         Callback done) = 0;
+
+    /** Convenience for unrouted ports. */
+    void
+    request(std::uint64_t bytes, Callback done)
+    {
+        request(bytes, 0, std::move(done));
+    }
+};
+
+} // namespace fabric
+} // namespace lsdgnn
+
+#endif // LSDGNN_FABRIC_MEMORY_PORT_HH

@@ -1,0 +1,83 @@
+#include "network.hh"
+
+#include <algorithm>
+
+namespace lsdgnn {
+namespace fabric {
+
+FabricNetwork::FabricNetwork(sim::EventQueue &eq, FabricParams params)
+    : sim::Component(eq, "fabric.network"),
+      params_(params),
+      egressFreeAt(params.endpoints, 0),
+      ingressFreeAt(params.endpoints, 0),
+      inBytes(params.endpoints),
+      outBytes(params.endpoints)
+{
+    lsd_assert(params_.endpoints >= 2, "fabric needs >= 2 endpoints");
+    lsd_assert(params_.port_bandwidth > 0, "ports need bandwidth");
+}
+
+void
+FabricNetwork::transfer(std::uint32_t src, std::uint32_t dst,
+                        std::uint64_t bytes, Callback done)
+{
+    lsd_assert(src < params_.endpoints && dst < params_.endpoints,
+               "endpoint out of range");
+    lsd_assert(src != dst, "local transfers never touch the fabric");
+    lsd_assert(done, "transfer needs a completion callback");
+
+    const auto serialize = static_cast<Tick>(
+        static_cast<double>(bytes) / params_.port_bandwidth *
+        static_cast<double>(tick_per_s));
+
+    // Egress serialization at the source...
+    const Tick egress_start = std::max(curTick(), egressFreeAt[src]);
+    const Tick egress_end = egress_start + serialize;
+    egressFreeAt[src] = egress_end;
+    firstStart = std::min(firstStart, egress_start);
+
+    // ...flight...
+    const Tick arrival_front = egress_end + params_.flight_latency;
+
+    // ...ingress serialization at the destination (a busy receive
+    // port delays the landing further).
+    const Tick ingress_start =
+        std::max(arrival_front - serialize, ingressFreeAt[dst]);
+    const Tick ingress_end = ingress_start + serialize;
+    ingressFreeAt[dst] = ingress_end;
+
+    outBytes[src].inc(bytes);
+    eventq.schedule(ingress_end, [this, dst, bytes,
+                                  done = std::move(done)]() mutable {
+        inBytes[dst].inc(bytes);
+        totalDelivered += bytes;
+        lastEnd = std::max(lastEnd, curTick());
+        done();
+    });
+}
+
+std::uint64_t
+FabricNetwork::bytesInto(std::uint32_t endpoint) const
+{
+    lsd_assert(endpoint < params_.endpoints, "endpoint out of range");
+    return inBytes[endpoint].value();
+}
+
+std::uint64_t
+FabricNetwork::bytesOutOf(std::uint32_t endpoint) const
+{
+    lsd_assert(endpoint < params_.endpoints, "endpoint out of range");
+    return outBytes[endpoint].value();
+}
+
+double
+FabricNetwork::observedBandwidth() const
+{
+    if (firstStart == max_tick || lastEnd <= firstStart)
+        return 0.0;
+    return static_cast<double>(totalDelivered) /
+           toSeconds(lastEnd - firstStart);
+}
+
+} // namespace fabric
+} // namespace lsdgnn

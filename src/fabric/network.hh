@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Multi-endpoint fabric model.
+ *
+ * The MoF deployment connects F FPGA cards point-to-point (the PoC's
+ * 4-card DAC mesh) or through a switch. FabricNetwork models N
+ * endpoints where each endpoint owns an egress and an ingress port of
+ * fixed bandwidth: a transfer from A to B serializes on A's egress,
+ * flies for the fabric latency, then serializes on B's ingress. Port
+ * contention — many peers bursting into one card — therefore emerges
+ * naturally, which is what distinguishes scale-out behavior from the
+ * single-link abstraction used inside one engine.
+ */
+
+#ifndef LSDGNN_FABRIC_NETWORK_HH
+#define LSDGNN_FABRIC_NETWORK_HH
+
+#include <functional>
+#include <vector>
+
+#include "common/stats.hh"
+#include "sim/component.hh"
+
+namespace lsdgnn {
+namespace fabric {
+
+/** Static parameters of the fabric. */
+struct FabricParams {
+    std::uint32_t endpoints = 4;
+    /** Per-port bandwidth (each direction), bytes/s. */
+    double port_bandwidth = 100e9 / 4; // PoC: 3xQSFP-DD shared 3 ways
+    /** One-way flight latency. */
+    Tick flight_latency = nanoseconds(300);
+};
+
+/**
+ * Event-driven N-endpoint fabric.
+ */
+class FabricNetwork : public sim::Component
+{
+  public:
+    using Callback = std::function<void()>;
+
+    FabricNetwork(sim::EventQueue &eq, FabricParams params);
+
+    std::uint32_t endpoints() const { return params_.endpoints; }
+
+    /**
+     * Transfer @p bytes from @p src to @p dst; @p done fires when the
+     * last byte lands at the destination.
+     */
+    void transfer(std::uint32_t src, std::uint32_t dst,
+                  std::uint64_t bytes, Callback done);
+
+    /** Bytes delivered into @p endpoint. */
+    std::uint64_t bytesInto(std::uint32_t endpoint) const;
+
+    /** Bytes sent out of @p endpoint. */
+    std::uint64_t bytesOutOf(std::uint32_t endpoint) const;
+
+    /** Observed aggregate delivered bandwidth over the busy window. */
+    double observedBandwidth() const;
+
+  private:
+    FabricParams params_;
+    std::vector<Tick> egressFreeAt;
+    std::vector<Tick> ingressFreeAt;
+    std::vector<stats::Counter> inBytes;
+    std::vector<stats::Counter> outBytes;
+    Tick firstStart = max_tick;
+    Tick lastEnd = 0;
+    std::uint64_t totalDelivered = 0;
+};
+
+} // namespace fabric
+} // namespace lsdgnn
+
+#endif // LSDGNN_FABRIC_NETWORK_HH

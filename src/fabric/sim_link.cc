@@ -1,0 +1,83 @@
+#include "sim_link.hh"
+
+#include <algorithm>
+
+namespace lsdgnn {
+namespace fabric {
+
+SimLink::SimLink(sim::EventQueue &eq, LinkParams params)
+    : sim::Component(eq, "link." + params.name),
+      params_(std::move(params))
+{
+    statGroup.addCounter("requests", &reqsDone, "completed requests");
+    statGroup.addCounter("bytes", &bytesDone, "completed payload bytes");
+    statGroup.addAverage("latency", &latency,
+                         "round-trip latency in ticks");
+    statGroup.addAverage("queue_wait", &queueWait,
+                         "ticks spent waiting for an outstanding slot");
+}
+
+void
+SimLink::request(std::uint64_t bytes, std::uint32_t dest, Callback done)
+{
+    (void)dest; // a single link has exactly one far end
+    lsd_assert(done, "link request needs a completion callback");
+    waitQueue.push_back(Pending{bytes, std::move(done), curTick()});
+    tryIssue();
+}
+
+void
+SimLink::tryIssue()
+{
+    while (!waitQueue.empty() && outstanding < params_.max_outstanding) {
+        Pending req = std::move(waitQueue.front());
+        waitQueue.pop_front();
+        queueWait.sample(static_cast<double>(curTick() - req.enqueued));
+        issue(std::move(req));
+    }
+}
+
+void
+SimLink::issue(Pending req)
+{
+    ++outstanding;
+    firstIssue = std::min(firstIssue, curTick());
+
+    const double wire_bytes = static_cast<double>(
+        req.bytes + params_.per_request_overhead);
+    const auto serialize = static_cast<Tick>(
+        wire_bytes / params_.peak_bandwidth *
+        static_cast<double>(tick_per_s));
+
+    // The wire is a shared serial resource: requests occupy it
+    // back-to-back, and the flight latency rides on top.
+    const Tick start = std::max(curTick(), wireFreeAt);
+    wireFreeAt = start + serialize;
+    const Tick complete = wireFreeAt + params_.base_latency;
+    const Tick issued_at = curTick();
+
+    eventq.schedule(complete,
+        [this, bytes = req.bytes, done = std::move(req.done),
+         issued_at]() mutable {
+            lsd_assert(outstanding > 0, "completion without outstanding");
+            --outstanding;
+            reqsDone.inc();
+            bytesDone.inc(bytes);
+            latency.sample(static_cast<double>(curTick() - issued_at));
+            lastComplete = std::max(lastComplete, curTick());
+            done();
+            tryIssue();
+        });
+}
+
+double
+SimLink::observedBandwidth() const
+{
+    if (firstIssue == max_tick || lastComplete <= firstIssue)
+        return 0.0;
+    const double interval_s = toSeconds(lastComplete - firstIssue);
+    return static_cast<double>(bytesDone.value()) / interval_s;
+}
+
+} // namespace fabric
+} // namespace lsdgnn

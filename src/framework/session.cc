@@ -1,0 +1,122 @@
+#include "session.hh"
+
+#include <algorithm>
+
+#include "sampling/workload.hh"
+
+namespace lsdgnn {
+namespace framework {
+
+Session::Session(SessionConfig config)
+    : config_(std::move(config)),
+      spec(graph::datasetByName(config_.dataset)),
+      graph_(graph::instantiate(spec, config_.scale_divisor,
+                                config_.seed)),
+      attrs(spec.attr_len, config_.seed),
+      partitioner(graph_.numNodes(), config_.num_servers),
+      sampler_(sampling::makeSampler(config_.sampler)),
+      engine(graph_, attrs, *sampler_, &partitioner),
+      negatives(graph_, 0.35),
+      modelRng(config_.seed + 101),
+      model(spec.attr_len, config_.hidden_dim, 2, modelRng),
+      rng_(config_.seed + 7)
+{
+    lsd_assert(config_.num_servers > 0, "session needs servers");
+    if (config_.hot_cache_fraction > 0.0) {
+        const auto capacity = static_cast<std::size_t>(
+            std::max<double>(1.0, config_.hot_cache_fraction *
+                static_cast<double>(graph_.numNodes())));
+        hotCache.emplace(capacity);
+    }
+    if (config_.backend == Backend::AxeOffload)
+        decoder.emplace(graph_, attrs, *sampler_);
+}
+
+sampling::SampleResult
+Session::sampleBatch(const sampling::SamplePlan &plan)
+{
+    lsd_assert(!plan.fanouts.empty(), "plan needs hops");
+    ++batches;
+
+    sampling::SampleResult result;
+    if (config_.backend == Backend::AxeOffload) {
+        // The Table 4 command path: uniform fan-out, contiguous root
+        // window (the host enumerates roots into the command buffer).
+        for (std::uint32_t f : plan.fanouts) {
+            lsd_assert(f == plan.fanouts[0],
+                       "AxE offload requires a uniform fan-out");
+        }
+        decoder->execute(axe::commands::setCsr(
+            axe::CommandDecoder::csr_batch_size, plan.batch_size));
+        const std::uint64_t span = graph_.numNodes() - plan.batch_size;
+        const std::uint64_t root_base =
+            span == 0 ? 0 : rng_.nextBounded(span);
+        const auto resp = decoder->execute(axe::commands::sampleNHop(
+            static_cast<std::uint8_t>(plan.hops()),
+            static_cast<std::uint8_t>(plan.fanouts[0]), root_base));
+        lsd_assert(resp.status == 0, "AxE sample command faulted");
+        result = decoder->lastSample();
+    } else {
+        result = engine.sampleBatch(plan, rng_);
+    }
+
+    if (hotCache) {
+        for (graph::NodeId n : result.roots)
+            hotCache->access(n);
+        for (const auto &hop : result.frontier)
+            for (graph::NodeId n : hop)
+                hotCache->access(n);
+    }
+    return result;
+}
+
+std::vector<float>
+Session::nodeAttributes(graph::NodeId node) const
+{
+    return attrs.fetch(node);
+}
+
+std::vector<graph::NodeId>
+Session::negativeSample(graph::NodeId src, graph::NodeId dst,
+                        std::uint32_t rate)
+{
+    return negatives.sample(src, dst, rate, rng_);
+}
+
+gnn::Matrix
+Session::embed(const sampling::SampleResult &batch) const
+{
+    return model.embed(batch, attrs);
+}
+
+const sampling::TrafficStats &
+Session::traffic() const
+{
+    return engine.traffic();
+}
+
+double
+Session::hotCacheHitRate() const
+{
+    return hotCache ? hotCache->hitRate() : 0.0;
+}
+
+double
+Session::estimatedSamplesPerSecond(const sampling::SamplePlan &plan)
+{
+    const auto profile = sampling::profileWorkload(
+        spec, plan, config_.scale_divisor, 2, config_.seed);
+    if (config_.backend == Backend::Software) {
+        baseline::CpuSamplerModel cpu;
+        baseline::CpuClusterConfig cluster;
+        cluster.num_servers = config_.num_servers;
+        return cpu.evaluate(profile, cluster).samples_per_s;
+    }
+    axe::AxeConfig cfg = axe::AxeConfig::poc();
+    cfg.num_nodes = config_.num_servers;
+    const double hit = hotCache ? hotCache->hitRate() : 0.9;
+    return axe::predictEngineRate(cfg, profile, hit).samples_per_s;
+}
+
+} // namespace framework
+} // namespace lsdgnn

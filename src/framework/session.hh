@@ -1,0 +1,127 @@
+/**
+ * @file
+ * AliGraph-style session facade (paper Section 5).
+ *
+ * The paper integrates the hardware behind the framework so "users
+ * can write the same model code" while sampling is transparently
+ * offloaded. Session is that integration layer in this repo: one
+ * object owns the graph store (scaled dataset instance, partitioning,
+ * hot-node cache), exposes the GNN-operator-level API (k-hop
+ * sampling, attribute fetch, negative sampling, fixed-model
+ * graphSAGE embedding), and executes it on one of two backends —
+ * the CPU software path or the AxE offload path (Table 4 commands
+ * through the command decoder). Both backends produce identical
+ * functional results; they differ in the performance model attached,
+ * which estimatedSamplesPerSecond() reports.
+ */
+
+#ifndef LSDGNN_FRAMEWORK_SESSION_HH
+#define LSDGNN_FRAMEWORK_SESSION_HH
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "axe/analytic.hh"
+#include "axe/command.hh"
+#include "baseline/cpu_sampler.hh"
+#include "baseline/hot_cache.hh"
+#include "gnn/graphsage.hh"
+#include "graph/datasets.hh"
+#include "graph/partition.hh"
+#include "sampling/minibatch.hh"
+
+namespace lsdgnn {
+namespace framework {
+
+/** Execution backend for the sampling stage. */
+enum class Backend {
+    /** CPU software path (the AliGraph baseline). */
+    Software,
+    /** AxE offload through Table 4 commands. */
+    AxeOffload,
+};
+
+/** Session construction options. */
+struct SessionConfig {
+    /** Table 2 dataset name. */
+    std::string dataset = "ls";
+    /** Functional scale divisor for the in-memory instance. */
+    std::uint64_t scale_divisor = 500'000;
+    /** Logical storage servers the store is partitioned over. */
+    std::uint32_t num_servers = 5;
+    /** Sampling algorithm ("streaming-step", "standard", ...). */
+    std::string sampler = "streaming-step";
+    /** Sampling backend. */
+    Backend backend = Backend::Software;
+    /** Hot-node cache capacity as a fraction of nodes (0 = off). */
+    double hot_cache_fraction = 0.0;
+    /** GNN hidden width for the fixed-model embedding API. */
+    std::uint32_t hidden_dim = 128;
+    std::uint64_t seed = 1;
+};
+
+/**
+ * One LSD-GNN serving/training session.
+ */
+class Session
+{
+  public:
+    explicit Session(SessionConfig config);
+
+    const SessionConfig &config() const { return config_; }
+    const graph::CsrGraph &graph() const { return graph_; }
+    const graph::DatasetSpec &dataset() const { return spec; }
+
+    /** GNN-operator level: sample one mini-batch. */
+    sampling::SampleResult sampleBatch(const sampling::SamplePlan &plan);
+
+    /** GNN-operator level: fetch one node's attribute vector. */
+    std::vector<float> nodeAttributes(graph::NodeId node) const;
+
+    /** GNN-operator level: negatives for a positive pair. */
+    std::vector<graph::NodeId> negativeSample(graph::NodeId src,
+                                              graph::NodeId dst,
+                                              std::uint32_t rate);
+
+    /** Fixed-model API: graphSAGE-max embeddings for a batch. */
+    gnn::Matrix embed(const sampling::SampleResult &batch) const;
+
+    /** Accumulated traffic accounting of the software path. */
+    const sampling::TrafficStats &traffic() const;
+
+    /**
+     * Modeled sampling throughput of the configured backend on this
+     * session's workload (samples/second): the CPU service model for
+     * Software, the AxE analytical model (PoC configuration) for
+     * AxeOffload.
+     */
+    double estimatedSamplesPerSecond(const sampling::SamplePlan &plan);
+
+    /** Hot-cache hit rate so far (0 when the cache is off). */
+    double hotCacheHitRate() const;
+
+    /** Batches sampled so far. */
+    std::uint64_t batchesSampled() const { return batches; }
+
+  private:
+    SessionConfig config_;
+    const graph::DatasetSpec &spec;
+    graph::CsrGraph graph_;
+    graph::AttributeStore attrs;
+    graph::Partitioner partitioner;
+    std::unique_ptr<sampling::NeighborSampler> sampler_;
+    sampling::MiniBatchSampler engine;
+    sampling::NegativeSampler negatives;
+    std::optional<baseline::HotNodeCache> hotCache;
+    std::optional<axe::CommandDecoder> decoder;
+    Rng modelRng; ///< consumed while building the fixed model
+    gnn::GraphSageModel model; ///< fixed 2-layer graphSAGE-max API
+    Rng rng_;
+    std::uint64_t batches = 0;
+};
+
+} // namespace framework
+} // namespace lsdgnn
+
+#endif // LSDGNN_FRAMEWORK_SESSION_HH

@@ -1,0 +1,107 @@
+#include "end_to_end.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace lsdgnn {
+namespace gnn {
+
+double
+StorageBreakdown::ordersOfMagnitude() const
+{
+    if (model_bytes == 0 || graph_bytes == 0)
+        return 0.0;
+    return std::log10(static_cast<double>(graph_bytes) /
+                      static_cast<double>(model_bytes));
+}
+
+EndToEndConfig::EndToEndConfig()
+{
+    plan.batch_size = 512;
+    plan.fanouts = {10, 10};
+    // Table 3: 5-server 120-worker instance.
+    cluster.num_servers = 5;
+    cluster.vcpus_per_server = 24;
+    // GNN-sized GEMMs (batch 512, width 128) keep a V100 mostly idle;
+    // ~4 % of peak matches the low achieved efficiency of small
+    // mixed GEMM streams.
+    gpu.efficiency = 0.041;
+}
+
+EndToEndModel::EndToEndModel(EndToEndConfig config)
+    : config_(std::move(config)),
+      profile_(sampling::profileWorkload(
+          graph::datasetByName(config_.dataset), config_.plan,
+          500'000, 4, 1))
+{
+    Rng rng(99);
+    const auto &spec = graph::datasetByName(config_.dataset);
+    const GraphSageModel sage(spec.attr_len, config_.embedding_dim,
+                              config_.plan.hops(), rng);
+    const DssmModel dssm(config_.embedding_dim, config_.embedding_dim,
+                         rng);
+    forward_flops = sage.forwardFlops(config_.plan.batch_size,
+                                      config_.plan.fanouts[0]);
+    dssm_flops_per_pair = dssm.scoreFlops();
+    model_params = sage.parameterCount() + dssm.parameterCount();
+}
+
+StageBreakdown
+EndToEndModel::breakdown(bool train) const
+{
+    StageBreakdown out;
+
+    // Stage 1: distributed sampling (calibrated CPU baseline).
+    const baseline::CpuSamplerModel cpu;
+    const auto rep = cpu.evaluate(profile_, config_.cluster);
+    lsd_assert(rep.batches_per_s > 0, "sampling model broke down");
+    out.sampling_s = 1.0 / rep.batches_per_s;
+
+    // Stage 2: trainable embedding — a memory-bound lookup of one
+    // embedding row per touched node (gradient scatter costs the same
+    // traffic again during training).
+    const double touched = profile_.samples_per_batch +
+        config_.plan.batch_size;
+    const double embed_bytes =
+        touched * config_.embedding_dim * sizeof(float);
+    constexpr double cpu_mem_bw = 50e9;
+    out.embedding_s = embed_bytes / cpu_mem_bw * (train ? 2.0 : 1.0);
+
+    // Stage 3: dense NN on the GPU. Training also scores the
+    // negative-sampled pairs (rate 10 in Table 2), which multiplies
+    // the DSSM work.
+    const std::uint64_t pairs = config_.plan.batch_size *
+        (train ? 1 + 10 : 1);
+    const std::uint64_t nn_flops =
+        forward_flops + pairs * dssm_flops_per_pair;
+    out.nn_s = train ? config_.gpu.trainSeconds(nn_flops)
+                     : config_.gpu.forwardSeconds(nn_flops);
+    return out;
+}
+
+StageBreakdown
+EndToEndModel::training() const
+{
+    return breakdown(true);
+}
+
+StageBreakdown
+EndToEndModel::inference() const
+{
+    return breakdown(false);
+}
+
+StorageBreakdown
+EndToEndModel::storage() const
+{
+    StorageBreakdown s;
+    const graph::FootprintModel footprint;
+    s.graph_bytes =
+        footprint.totalBytes(graph::datasetByName(config_.dataset));
+    s.model_bytes = model_params * sizeof(float);
+    return s;
+}
+
+} // namespace gnn
+} // namespace lsdgnn

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * End-to-end LSD-GNN application model (paper Fig. 3, Table 3).
+ *
+ * The application is a three-stage pipeline — distributed sampling on
+ * CPUs, trainable embedding on CPUs, dense NN on GPUs — and Fig. 3
+ * reports (a) the per-stage latency breakdown for training and
+ * inference and (b) the storage gulf between graph data and model
+ * parameters. The sampling time comes from the calibrated CPU
+ * baseline model; the NN time from the model's true FLOP count
+ * against a GPU roofline (training charges forward + backward ~= 3x
+ * forward, plus optimizer traffic).
+ */
+
+#ifndef LSDGNN_GNN_END_TO_END_HH
+#define LSDGNN_GNN_END_TO_END_HH
+
+#include <cstdint>
+
+#include "baseline/cpu_sampler.hh"
+#include "gnn/graphsage.hh"
+#include "graph/datasets.hh"
+#include "sampling/workload.hh"
+
+namespace lsdgnn {
+namespace gnn {
+
+/** GPU execution model for the NN stage. */
+struct GpuModel {
+    /** Peak fp32 throughput (V100-class). */
+    double peak_flops = 15.7e12;
+    /**
+     * Achieved fraction of peak for GNN-sized GEMMs (small batch,
+     * 128-wide layers leave most of the SMs idle).
+     */
+    double efficiency = 0.08;
+    /** Backward pass FLOPs as a multiple of forward. */
+    double backward_factor = 2.0;
+
+    double
+    forwardSeconds(std::uint64_t flops) const
+    {
+        return static_cast<double>(flops) / (peak_flops * efficiency);
+    }
+
+    double
+    trainSeconds(std::uint64_t forward_flops) const
+    {
+        return forwardSeconds(forward_flops) * (1.0 + backward_factor);
+    }
+};
+
+/** Per-stage seconds for one mini-batch. */
+struct StageBreakdown {
+    double sampling_s = 0;
+    double embedding_s = 0;
+    double nn_s = 0;
+
+    double total() const { return sampling_s + embedding_s + nn_s; }
+
+    double
+    samplingShare() const
+    {
+        const double t = total();
+        return t == 0 ? 0.0 : sampling_s / t;
+    }
+};
+
+/** Storage footprint comparison (right side of Fig. 3). */
+struct StorageBreakdown {
+    std::uint64_t graph_bytes = 0;
+    std::uint64_t model_bytes = 0;
+
+    /** log10(graph/model) — the paper quotes ~5 orders of magnitude. */
+    double ordersOfMagnitude() const;
+};
+
+/** Table 3 application configuration. */
+struct EndToEndConfig {
+    /** Dataset (Table 3 uses ls). */
+    std::string dataset = "ls";
+    /** Embedding width. */
+    std::uint32_t embedding_dim = 128;
+    /** Sampling plan (Table 2 model column). */
+    sampling::SamplePlan plan;
+    /** Cluster (Table 3: 5 servers, 120 workers). */
+    baseline::CpuClusterConfig cluster;
+    GpuModel gpu;
+
+    EndToEndConfig();
+};
+
+/**
+ * Fig. 3 evaluator.
+ */
+class EndToEndModel
+{
+  public:
+    explicit EndToEndModel(EndToEndConfig config = EndToEndConfig{});
+
+    /** Per-batch breakdown for training. */
+    StageBreakdown training() const;
+
+    /** Per-batch breakdown for inference. */
+    StageBreakdown inference() const;
+
+    /** Graph-vs-model storage comparison. */
+    StorageBreakdown storage() const;
+
+    const sampling::WorkloadProfile &profile() const { return profile_; }
+
+  private:
+    StageBreakdown breakdown(bool train) const;
+
+    EndToEndConfig config_;
+    sampling::WorkloadProfile profile_;
+    std::uint64_t forward_flops;
+    std::uint64_t dssm_flops_per_pair;
+    std::uint64_t model_params;
+};
+
+} // namespace gnn
+} // namespace lsdgnn
+
+#endif // LSDGNN_GNN_END_TO_END_HH

@@ -1,0 +1,223 @@
+#include "graphsage.hh"
+
+#include <limits>
+
+namespace lsdgnn {
+namespace gnn {
+
+SageLayer
+SageLayer::random(std::size_t in_dim, std::size_t out_dim, Rng &rng)
+{
+    const float scale =
+        1.0f / std::max(1.0f, static_cast<float>(in_dim));
+    SageLayer layer;
+    layer.w_self = Matrix::random(in_dim, out_dim, rng, scale);
+    layer.w_neigh = Matrix::random(in_dim, out_dim, rng, scale);
+    layer.bias.assign(out_dim, 0.0f);
+    return layer;
+}
+
+std::uint64_t
+SageLayer::parameterCount() const
+{
+    return 2ull * w_self.rows() * w_self.cols() + bias.size();
+}
+
+GraphSageModel::GraphSageModel(std::size_t attr_dim, std::size_t hidden,
+                               std::size_t layers, Rng &rng,
+                               Aggregator aggregator)
+    : hidden_(hidden), aggregator_(aggregator)
+{
+    lsd_assert(layers > 0, "model needs at least one layer");
+    std::size_t in = attr_dim;
+    for (std::size_t l = 0; l < layers; ++l) {
+        layers_.push_back(SageLayer::random(in, hidden, rng));
+        in = hidden;
+    }
+}
+
+Matrix
+GraphSageModel::featuresOf(std::span<const graph::NodeId> nodes,
+                           const graph::AttributeStore &attrs) const
+{
+    Matrix out(nodes.size(), attrs.attrLen());
+    for (std::size_t i = 0; i < nodes.size(); ++i)
+        attrs.fetch(nodes[i], out.row(i));
+    return out;
+}
+
+Matrix
+GraphSageModel::applyLayer(const SageLayer &layer, const Matrix &self,
+                           const Matrix &neigh_max) const
+{
+    Matrix out = matmul(self, layer.w_self);
+    const Matrix neigh = matmul(neigh_max, layer.w_neigh);
+    for (std::size_t i = 0; i < out.rows(); ++i)
+        for (std::size_t j = 0; j < out.cols(); ++j)
+            out.at(i, j) += neigh.at(i, j);
+    addBias(out, layer.bias);
+    relu(out);
+    return out;
+}
+
+namespace {
+
+/**
+ * Aggregate child rows onto their parents with the configured
+ * operator. Parents without any children keep a zero row (padding
+ * semantics for degree-0 nodes).
+ */
+Matrix
+aggregate(std::size_t num_parents, const Matrix &children,
+          std::span<const std::uint32_t> parent, Aggregator op)
+{
+    lsd_assert(parent.size() == children.rows(),
+               "parent index count mismatch");
+    Matrix out(num_parents, children.cols());
+    std::vector<std::uint32_t> count(num_parents, 0);
+    for (std::size_t c = 0; c < children.rows(); ++c) {
+        const std::uint32_t p = parent[c];
+        lsd_assert(p < num_parents, "parent index out of range");
+        if (count[p] == 0) {
+            for (std::size_t j = 0; j < children.cols(); ++j)
+                out.at(p, j) = children.at(c, j);
+        } else if (op == Aggregator::Max) {
+            for (std::size_t j = 0; j < children.cols(); ++j)
+                out.at(p, j) =
+                    std::max(out.at(p, j), children.at(c, j));
+        } else {
+            for (std::size_t j = 0; j < children.cols(); ++j)
+                out.at(p, j) += children.at(c, j);
+        }
+        ++count[p];
+    }
+    if (op == Aggregator::Mean) {
+        for (std::size_t p = 0; p < num_parents; ++p) {
+            if (count[p] <= 1)
+                continue;
+            const float inv = 1.0f / static_cast<float>(count[p]);
+            for (std::size_t j = 0; j < children.cols(); ++j)
+                out.at(p, j) *= inv;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+Matrix
+GraphSageModel::embed(const sampling::SampleResult &batch,
+                      const graph::AttributeStore &attrs) const
+{
+    lsd_assert(batch.frontier.size() == layers_.size(),
+               "batch hops (", batch.frontier.size(),
+               ") must equal model layers (", layers_.size(), ")");
+
+    // levels[0] = roots, levels[h+1] = frontier[h].
+    const std::size_t depth = layers_.size();
+
+    // Raw features per level.
+    std::vector<Matrix> h;
+    h.reserve(depth + 1);
+    h.push_back(featuresOf(batch.roots, attrs));
+    for (std::size_t l = 0; l < depth; ++l)
+        h.push_back(featuresOf(batch.frontier[l], attrs));
+
+    // Apply layers inward: after iteration k, h[0..depth-k-1] hold
+    // representation at depth k+1.
+    for (std::size_t k = 0; k < depth; ++k) {
+        const SageLayer &layer = layers_[k];
+        std::vector<Matrix> next;
+        const std::size_t levels_out = depth - k;
+        next.reserve(levels_out);
+        for (std::size_t lvl = 0; lvl < levels_out; ++lvl) {
+            const std::size_t num_parents = h[lvl].rows();
+            const Matrix agg = aggregate(num_parents, h[lvl + 1],
+                                         batch.parent[lvl],
+                                         aggregator_);
+            next.push_back(applyLayer(layer, h[lvl], agg));
+        }
+        h = std::move(next);
+    }
+    lsd_assert(h.size() == 1, "layer reduction must end at the roots");
+    return std::move(h[0]);
+}
+
+std::uint64_t
+GraphSageModel::forwardFlops(std::uint64_t roots,
+                             std::uint64_t fanout) const
+{
+    std::uint64_t flops = 0;
+    // Number of nodes at each level of the sampled tree.
+    std::vector<std::uint64_t> level_nodes(layers_.size() + 1);
+    level_nodes[0] = roots;
+    for (std::size_t l = 1; l <= layers_.size(); ++l)
+        level_nodes[l] = level_nodes[l - 1] * fanout;
+
+    for (std::size_t k = 0; k < layers_.size(); ++k) {
+        const auto in = static_cast<std::uint64_t>(layers_[k].inDim());
+        const auto out = static_cast<std::uint64_t>(layers_[k].outDim());
+        for (std::size_t lvl = 0; lvl + k < layers_.size(); ++lvl) {
+            // Self + neighbor transform per node at this level.
+            flops += 2 * matmulFlops(level_nodes[lvl], out, in);
+        }
+    }
+    return flops;
+}
+
+std::uint64_t
+GraphSageModel::parameterCount() const
+{
+    std::uint64_t total = 0;
+    for (const auto &layer : layers_)
+        total += layer.parameterCount();
+    return total;
+}
+
+DssmModel::DssmModel(std::size_t in_dim, std::size_t hidden, Rng &rng)
+    : w1_(Matrix::random(in_dim, hidden, rng,
+                         1.0f / static_cast<float>(in_dim))),
+      w2_(Matrix::random(hidden, hidden, rng,
+                         1.0f / static_cast<float>(hidden)))
+{
+}
+
+Matrix
+DssmModel::applyTower(const Matrix &w1, const Matrix &w2,
+                      std::span<const float> input) const
+{
+    Matrix x(1, input.size());
+    for (std::size_t i = 0; i < input.size(); ++i)
+        x.at(0, i) = input[i];
+    Matrix h = matmul(x, w1);
+    tanhInplace(h);
+    Matrix out = matmul(h, w2);
+    tanhInplace(out);
+    return out;
+}
+
+float
+DssmModel::score(std::span<const float> query,
+                 std::span<const float> item) const
+{
+    const Matrix q = applyTower(w1_, w2_, query);
+    const Matrix d = applyTower(w1_, w2_, item);
+    return cosine(q.row(0), d.row(0));
+}
+
+std::uint64_t
+DssmModel::parameterCount() const
+{
+    return static_cast<std::uint64_t>(w1_.rows()) * w1_.cols() +
+           static_cast<std::uint64_t>(w2_.rows()) * w2_.cols();
+}
+
+std::uint64_t
+DssmModel::scoreFlops() const
+{
+    return 2 * (matmulFlops(1, w1_.cols(), w1_.rows()) +
+                matmulFlops(1, w2_.cols(), w2_.rows()));
+}
+
+} // namespace gnn
+} // namespace lsdgnn

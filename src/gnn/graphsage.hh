@@ -1,0 +1,132 @@
+/**
+ * @file
+ * GraphSAGE-max inference over sampled mini-batches, plus the DSSM
+ * end model of Table 3.
+ *
+ * The layer follows the paper's Eq. (1)/(2) with a max aggregator:
+ *
+ *   a_v = max(h_u : u in S(v))          (Aggregate)
+ *   h'_v = ReLU(W_self h_v + W_neigh a_v + b)   (Combine)
+ *
+ * applied per hop from the deepest frontier inward, exactly over the
+ * SampleResult trees the sampling substrate produces. FLOPs are
+ * accounted so the Fig. 3 end-to-end model uses the real arithmetic
+ * volume of the configured model.
+ */
+
+#ifndef LSDGNN_GNN_GRAPHSAGE_HH
+#define LSDGNN_GNN_GRAPHSAGE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "gnn/tensor.hh"
+#include "graph/attributes.hh"
+#include "sampling/minibatch.hh"
+
+namespace lsdgnn {
+namespace gnn {
+
+/**
+ * Aggregation operator of Eq. (1) — "flexibly defined by model" in
+ * the paper's programming model; Max is graphSAGE-max, Mean the
+ * GCN-style variant.
+ */
+enum class Aggregator {
+    Max,
+    Mean,
+};
+
+/** One GraphSAGE layer's parameters. */
+struct SageLayer {
+    Matrix w_self;  ///< in_dim x out_dim
+    Matrix w_neigh; ///< in_dim x out_dim
+    std::vector<float> bias;
+
+    static SageLayer random(std::size_t in_dim, std::size_t out_dim,
+                            Rng &rng);
+
+    std::size_t inDim() const { return w_self.rows(); }
+    std::size_t outDim() const { return w_self.cols(); }
+
+    /** Parameter count (storage-footprint comparison of Fig. 3). */
+    std::uint64_t parameterCount() const;
+};
+
+/** Full multi-layer GraphSAGE-max model. */
+class GraphSageModel
+{
+  public:
+    /**
+     * @param attr_dim Input attribute length.
+     * @param hidden Hidden/embedding width per layer.
+     * @param layers Number of layers (= sampling hops).
+     * @param rng Weight-initialization stream.
+     * @param aggregator Neighborhood aggregation operator.
+     */
+    GraphSageModel(std::size_t attr_dim, std::size_t hidden,
+                   std::size_t layers, Rng &rng,
+                   Aggregator aggregator = Aggregator::Max);
+
+    Aggregator aggregator() const { return aggregator_; }
+
+    /**
+     * Compute root embeddings for one sampled batch.
+     *
+     * @param batch Sampled mini-batch (hops must equal layers()).
+     * @param attrs Attribute source for the raw features.
+     * @return One embedding row per root.
+     */
+    Matrix embed(const sampling::SampleResult &batch,
+                 const graph::AttributeStore &attrs) const;
+
+    std::size_t layers() const { return layers_.size(); }
+    std::size_t hiddenDim() const { return hidden_; }
+
+    /** FLOPs of embed() for a batch of the given shape. */
+    std::uint64_t forwardFlops(std::uint64_t roots,
+                               std::uint64_t fanout) const;
+
+    std::uint64_t parameterCount() const;
+
+  private:
+    Matrix featuresOf(std::span<const graph::NodeId> nodes,
+                      const graph::AttributeStore &attrs) const;
+    Matrix applyLayer(const SageLayer &layer, const Matrix &self,
+                      const Matrix &neigh_max) const;
+
+    std::size_t hidden_;
+    std::vector<SageLayer> layers_;
+    Aggregator aggregator_;
+};
+
+/**
+ * DSSM-style two-tower end model (Table 3: DSSM 128-128): each tower
+ * is a 2-layer MLP over the GNN embedding; the match score is the
+ * cosine of the tower outputs.
+ */
+class DssmModel
+{
+  public:
+    DssmModel(std::size_t in_dim, std::size_t hidden, Rng &rng);
+
+    /** Score one (query, item) embedding pair in [-1, 1]. */
+    float score(std::span<const float> query,
+                std::span<const float> item) const;
+
+    std::uint64_t parameterCount() const;
+
+    /** FLOPs per scored pair. */
+    std::uint64_t scoreFlops() const;
+
+  private:
+    Matrix applyTower(const Matrix &w1, const Matrix &w2,
+                      std::span<const float> input) const;
+
+    Matrix w1_, w2_; ///< shared-weight towers (siamese DSSM)
+};
+
+} // namespace gnn
+} // namespace lsdgnn
+
+#endif // LSDGNN_GNN_GRAPHSAGE_HH

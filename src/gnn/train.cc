@@ -1,0 +1,387 @@
+#include "train.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace lsdgnn {
+namespace gnn {
+
+namespace {
+
+/** z = x * W (row-vector convention). */
+void
+matvec(const Matrix &w, std::span<const float> x, std::span<float> z)
+{
+    lsd_assert(x.size() == w.rows() && z.size() == w.cols(),
+               "matvec shape mismatch");
+    std::fill(z.begin(), z.end(), 0.0f);
+    for (std::size_t i = 0; i < w.rows(); ++i) {
+        const float xi = x[i];
+        if (xi == 0.0f)
+            continue;
+        const auto row = w.row(i);
+        for (std::size_t j = 0; j < w.cols(); ++j)
+            z[j] += xi * row[j];
+    }
+}
+
+/** grad_x += grad_z * W^T. */
+void
+matvecGradInput(const Matrix &w, std::span<const float> grad_z,
+                std::span<float> grad_x)
+{
+    lsd_assert(grad_x.size() == w.rows() && grad_z.size() == w.cols(),
+               "grad shape mismatch");
+    for (std::size_t i = 0; i < w.rows(); ++i) {
+        const auto row = w.row(i);
+        float acc = 0;
+        for (std::size_t j = 0; j < w.cols(); ++j)
+            acc += grad_z[j] * row[j];
+        grad_x[i] += acc;
+    }
+}
+
+/** gW += x^T (outer) grad_z. */
+void
+accumulateWeightGrad(Matrix &g, std::span<const float> x,
+                     std::span<const float> grad_z)
+{
+    lsd_assert(x.size() == g.rows() && grad_z.size() == g.cols(),
+               "weight grad shape mismatch");
+    for (std::size_t i = 0; i < g.rows(); ++i) {
+        const float xi = x[i];
+        if (xi == 0.0f)
+            continue;
+        auto row = g.row(i);
+        for (std::size_t j = 0; j < g.cols(); ++j)
+            row[j] += xi * grad_z[j];
+    }
+}
+
+float
+dot(std::span<const float> a, std::span<const float> b)
+{
+    lsd_assert(a.size() == b.size(), "dot length mismatch");
+    float acc = 0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        acc += a[i] * b[i];
+    return acc;
+}
+
+} // namespace
+
+TrainableSageLayer
+TrainableSageLayer::make(std::size_t in_dim, std::size_t out_dim,
+                         Rng &rng)
+{
+    const float scale =
+        1.0f / std::sqrt(static_cast<float>(in_dim));
+    TrainableSageLayer layer;
+    layer.w_self = Matrix::random(in_dim, out_dim, rng, scale);
+    layer.w_neigh = Matrix::random(in_dim, out_dim, rng, scale);
+    layer.bias.assign(out_dim, 0.01f);
+    layer.g_self = Matrix(in_dim, out_dim);
+    layer.g_neigh = Matrix(in_dim, out_dim);
+    layer.g_bias.assign(out_dim, 0.0f);
+    return layer;
+}
+
+void
+TrainableSageLayer::zeroGrad()
+{
+    std::fill(g_self.data().begin(), g_self.data().end(), 0.0f);
+    std::fill(g_neigh.data().begin(), g_neigh.data().end(), 0.0f);
+    std::fill(g_bias.begin(), g_bias.end(), 0.0f);
+}
+
+void
+TrainableSageLayer::sgdStep(float lr)
+{
+    auto wd = w_self.data();
+    auto gd = g_self.data();
+    for (std::size_t i = 0; i < wd.size(); ++i)
+        wd[i] -= lr * gd[i];
+    wd = w_neigh.data();
+    gd = g_neigh.data();
+    for (std::size_t i = 0; i < wd.size(); ++i)
+        wd[i] -= lr * gd[i];
+    for (std::size_t j = 0; j < bias.size(); ++j)
+        bias[j] -= lr * g_bias[j];
+}
+
+LinkPredictionTrainer::LinkPredictionTrainer(
+    const graph::CsrGraph &graph, const graph::AttributeStore &attrs,
+    std::size_t hidden_dim, TrainConfig config)
+    : graph_(graph),
+      attrs_(attrs),
+      config_(config),
+      l1(TrainableSageLayer{}),
+      l2(TrainableSageLayer{}),
+      negatives(graph, 0.35),
+      rng_(config.seed)
+{
+    Rng init(config.seed + 13);
+    l1 = TrainableSageLayer::make(attrs.attrLen(), hidden_dim, init);
+    l2 = TrainableSageLayer::make(hidden_dim, hidden_dim, init);
+}
+
+std::vector<float>
+LinkPredictionTrainer::aggregateAttrs(graph::NodeId node, Rng &rng)
+{
+    std::vector<float> agg(attrs_.attrLen(), 0.0f);
+    std::vector<graph::NodeId> picks;
+    sampler_.sample(graph_.neighbors(node), config_.fanout, rng, picks);
+    if (picks.empty())
+        return agg;
+    std::vector<float> buf(attrs_.attrLen());
+    bool first = true;
+    for (graph::NodeId u : picks) {
+        attrs_.fetch(u, buf);
+        for (std::size_t d = 0; d < buf.size(); ++d)
+            agg[d] = first ? buf[d] : std::max(agg[d], buf[d]);
+        first = false;
+    }
+    return agg;
+}
+
+void
+LinkPredictionTrainer::forward(graph::NodeId node, Rng &rng,
+                               ForwardCache &cache)
+{
+    cache.node = node;
+    cache.hop1.clear();
+    sampler_.sample(graph_.neighbors(node), config_.fanout, rng,
+                    cache.hop1);
+
+    const std::size_t units = 1 + cache.hop1.size();
+    const std::size_t hidden = l1.outDim();
+    cache.x.assign(units, std::vector<float>(attrs_.attrLen()));
+    cache.a1.assign(units, {});
+    cache.h1.assign(units, std::vector<float>(hidden));
+
+    auto unit_node = [&](std::size_t i) {
+        return i == 0 ? node : cache.hop1[i - 1];
+    };
+
+    // Layer 1 for v and each sampled u.
+    std::vector<float> z(hidden);
+    for (std::size_t i = 0; i < units; ++i) {
+        const graph::NodeId u = unit_node(i);
+        attrs_.fetch(u, cache.x[i]);
+        cache.a1[i] = aggregateAttrs(u, rng);
+        matvec(l1.w_self, cache.x[i], z);
+        std::vector<float> zn(hidden);
+        matvec(l1.w_neigh, cache.a1[i], zn);
+        for (std::size_t j = 0; j < hidden; ++j) {
+            const float pre = z[j] + zn[j] + l1.bias[j];
+            cache.h1[i][j] = std::max(pre, 0.0f);
+        }
+    }
+
+    // Layer 2 at v: max-aggregate hop1's h1 with argmax routing.
+    cache.a2.assign(hidden, 0.0f);
+    cache.a2_arg.assign(hidden, 0);
+    for (std::size_t j = 0; j < hidden; ++j) {
+        if (cache.hop1.empty())
+            continue;
+        float best = cache.h1[1][j];
+        std::uint32_t arg = 1;
+        for (std::size_t i = 2; i < units; ++i) {
+            if (cache.h1[i][j] > best) {
+                best = cache.h1[i][j];
+                arg = static_cast<std::uint32_t>(i);
+            }
+        }
+        cache.a2[j] = best;
+        cache.a2_arg[j] = arg;
+    }
+
+    // The output layer is linear (standard GraphSAGE keeps the final
+    // representation unsquashed): a ReLU here would force every
+    // embedding into the positive orthant, making all dot-product
+    // scores non-negative and the link-prediction loss degenerate.
+    cache.h2.assign(hidden, 0.0f);
+    matvec(l2.w_self, cache.h1[0], z);
+    std::vector<float> zn(hidden);
+    matvec(l2.w_neigh, cache.a2, zn);
+    for (std::size_t j = 0; j < hidden; ++j)
+        cache.h2[j] = z[j] + zn[j] + l2.bias[j];
+}
+
+void
+LinkPredictionTrainer::backward(const ForwardCache &cache,
+                                std::span<const float> grad_out)
+{
+    const std::size_t hidden = l1.outDim();
+    lsd_assert(grad_out.size() == hidden, "grad_out shape mismatch");
+    const std::size_t units = 1 + cache.hop1.size();
+
+    // Layer 2 backward (linear output: gradient passes through).
+    std::vector<float> grad_z2(grad_out.begin(), grad_out.end());
+
+    accumulateWeightGrad(l2.g_self, cache.h1[0], grad_z2);
+    accumulateWeightGrad(l2.g_neigh, cache.a2, grad_z2);
+    for (std::size_t j = 0; j < hidden; ++j)
+        l2.g_bias[j] += grad_z2[j];
+
+    // Gradients flowing into h1 units.
+    std::vector<std::vector<float>> grad_h1(
+        units, std::vector<float>(hidden, 0.0f));
+    matvecGradInput(l2.w_self, grad_z2, grad_h1[0]);
+    if (!cache.hop1.empty()) {
+        std::vector<float> grad_a2(hidden, 0.0f);
+        matvecGradInput(l2.w_neigh, grad_z2, grad_a2);
+        // Max-aggregation: route each dim to the argmax child.
+        for (std::size_t j = 0; j < hidden; ++j)
+            grad_h1[cache.a2_arg[j]][j] += grad_a2[j];
+    }
+
+    // Layer 1 backward per unit.
+    std::vector<float> grad_z1(hidden);
+    for (std::size_t i = 0; i < units; ++i) {
+        bool any = false;
+        for (std::size_t j = 0; j < hidden; ++j) {
+            grad_z1[j] =
+                cache.h1[i][j] > 0.0f ? grad_h1[i][j] : 0.0f;
+            any = any || grad_z1[j] != 0.0f;
+        }
+        if (!any)
+            continue;
+        accumulateWeightGrad(l1.g_self, cache.x[i], grad_z1);
+        accumulateWeightGrad(l1.g_neigh, cache.a1[i], grad_z1);
+        for (std::size_t j = 0; j < hidden; ++j)
+            l1.g_bias[j] += grad_z1[j];
+    }
+}
+
+std::vector<float>
+LinkPredictionTrainer::forwardBackward(graph::NodeId node, Rng &rng,
+                                       std::span<const float> grad_out)
+{
+    ForwardCache cache;
+    forward(node, rng, cache);
+    backward(cache, grad_out);
+    return cache.h2;
+}
+
+std::vector<float>
+LinkPredictionTrainer::embedNode(graph::NodeId node, Rng &rng)
+{
+    ForwardCache cache;
+    forward(node, rng, cache);
+    return cache.h2;
+}
+
+TrainStepReport
+LinkPredictionTrainer::step()
+{
+    l1.zeroGrad();
+    l2.zeroGrad();
+    TrainStepReport report;
+    std::uint32_t scored = 0;
+
+    const std::size_t hidden = l1.outDim();
+    for (std::uint32_t b = 0; b < config_.batch_size; ++b) {
+        // Positive pair: a random edge.
+        graph::NodeId src = rng_.nextBounded(graph_.numNodes());
+        while (graph_.degree(src) == 0)
+            src = rng_.nextBounded(graph_.numNodes());
+        const graph::NodeId dst = graph_.neighbor(
+            src, rng_.nextBounded(graph_.degree(src)));
+
+        ForwardCache src_cache, dst_cache;
+        forward(src, rng_, src_cache);
+        forward(dst, rng_, dst_cache);
+
+        std::vector<float> grad_src(hidden, 0.0f);
+        std::vector<float> grad_dst(hidden, 0.0f);
+
+        // Positive term: L = softplus(-z), dL/dz = sigma(z) - 1.
+        {
+            const float z = dot(src_cache.h2, dst_cache.h2);
+            const float p = sigmoid(z);
+            report.loss += std::log1p(std::exp(-std::abs(z))) +
+                std::max(-z, 0.0f);
+            report.positive_score_mean += p;
+            const float gz = p - 1.0f;
+            for (std::size_t j = 0; j < hidden; ++j) {
+                grad_src[j] += gz * dst_cache.h2[j];
+                grad_dst[j] += gz * src_cache.h2[j];
+            }
+            ++scored;
+        }
+
+        // Negative terms: L = softplus(z), dL/dz = sigma(z). Each
+        // negative is down-weighted by the negatives-per-positive
+        // ratio so the shrink pressure of the negative class cannot
+        // overwhelm the positive signal and collapse the embeddings.
+        const float neg_weight =
+            1.0f / static_cast<float>(config_.negatives_per_positive);
+        const auto negs = negatives.sample(
+            src, dst, config_.negatives_per_positive, rng_);
+        for (graph::NodeId neg : negs) {
+            ForwardCache neg_cache;
+            forward(neg, rng_, neg_cache);
+            const float z = dot(src_cache.h2, neg_cache.h2);
+            const float p = sigmoid(z);
+            report.loss += (std::log1p(std::exp(-std::abs(z))) +
+                std::max(z, 0.0f)) * neg_weight;
+            report.negative_score_mean += p;
+            const float gz = p * neg_weight;
+            std::vector<float> grad_neg(hidden);
+            for (std::size_t j = 0; j < hidden; ++j) {
+                grad_src[j] += gz * neg_cache.h2[j];
+                grad_neg[j] = gz * src_cache.h2[j];
+            }
+            backward(neg_cache, grad_neg);
+        }
+
+        backward(src_cache, grad_src);
+        backward(dst_cache, grad_dst);
+    }
+
+    const float scale = 1.0f /
+        static_cast<float>(config_.batch_size);
+    // Normalize gradients by batch size via the learning rate.
+    l1.sgdStep(config_.learning_rate * scale);
+    l2.sgdStep(config_.learning_rate * scale);
+    ++steps;
+
+    report.loss /= scored + config_.batch_size *
+        config_.negatives_per_positive;
+    report.positive_score_mean /= config_.batch_size;
+    report.negative_score_mean /= std::max(1u,
+        config_.batch_size * config_.negatives_per_positive);
+    return report;
+}
+
+double
+LinkPredictionTrainer::evaluateAuc(std::uint32_t pairs)
+{
+    Rng eval_rng(config_.seed + 999);
+    std::uint32_t wins = 0, ties = 0;
+    for (std::uint32_t i = 0; i < pairs; ++i) {
+        graph::NodeId src = eval_rng.nextBounded(graph_.numNodes());
+        while (graph_.degree(src) == 0)
+            src = eval_rng.nextBounded(graph_.numNodes());
+        const graph::NodeId dst = graph_.neighbor(
+            src, eval_rng.nextBounded(graph_.degree(src)));
+        const auto negs = negatives.sample(src, dst, 1, eval_rng);
+
+        const auto h_src = embedNode(src, eval_rng);
+        const auto h_dst = embedNode(dst, eval_rng);
+        const auto h_neg = embedNode(negs[0], eval_rng);
+        const float pos = dot(h_src, h_dst);
+        const float neg = dot(h_src, h_neg);
+        if (pos > neg)
+            ++wins;
+        else if (pos == neg)
+            ++ties;
+    }
+    return (wins + 0.5 * ties) / static_cast<double>(pairs);
+}
+
+} // namespace gnn
+} // namespace lsdgnn

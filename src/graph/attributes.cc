@@ -1,0 +1,58 @@
+#include "attributes.hh"
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace lsdgnn {
+namespace graph {
+
+AttributeStore::AttributeStore(std::uint32_t attr_len, std::uint64_t seed)
+    : attrLen_(attr_len), seed_(seed)
+{
+    lsd_assert(attr_len > 0, "attribute length must be positive");
+}
+
+void
+AttributeStore::setCommunityBias(std::uint32_t communities, float boost)
+{
+    lsd_assert(communities > 0, "need at least one community");
+    communities_ = communities;
+    communityBoost = boost;
+}
+
+float
+AttributeStore::value(NodeId node, std::uint32_t dim) const
+{
+    lsd_assert(dim < attrLen_, "attribute dim out of range");
+    std::uint64_t state = seed_ ^ (node * 0x9e3779b97f4a7c15ull) ^
+        (static_cast<std::uint64_t>(dim) << 32);
+    const std::uint64_t h = splitMix64(state);
+    // Map the top 24 bits to [-1, 1).
+    const double unit = static_cast<double>(h >> 40) * 0x1.0p-24;
+    float v = static_cast<float>(unit * 2.0 - 1.0);
+    if (communities_ > 0 &&
+        dim % communities_ == node % communities_) {
+        v += communityBoost;
+    }
+    return v;
+}
+
+void
+AttributeStore::fetch(NodeId node, std::span<float> out) const
+{
+    lsd_assert(out.size() == attrLen_,
+               "fetch buffer size mismatch: ", out.size());
+    for (std::uint32_t d = 0; d < attrLen_; ++d)
+        out[d] = value(node, d);
+}
+
+std::vector<float>
+AttributeStore::fetch(NodeId node) const
+{
+    std::vector<float> out(attrLen_);
+    fetch(node, std::span<float>(out));
+    return out;
+}
+
+} // namespace graph
+} // namespace lsdgnn

@@ -1,0 +1,51 @@
+#include "csr_graph.hh"
+
+#include <algorithm>
+
+namespace lsdgnn {
+namespace graph {
+
+CsrGraph::CsrGraph(std::vector<std::uint64_t> offsets,
+                   std::vector<NodeId> targets)
+    : offsets_(std::move(offsets)), targets_(std::move(targets))
+{
+    lsd_assert(!offsets_.empty(), "CSR offsets must have numNodes+1 rows");
+    lsd_assert(offsets_.front() == 0, "CSR offsets must start at 0");
+    lsd_assert(offsets_.back() == targets_.size(),
+               "CSR offsets must end at numEdges");
+    lsd_assert(std::is_sorted(offsets_.begin(), offsets_.end()),
+               "CSR offsets must be non-decreasing");
+}
+
+std::uint64_t
+CsrGraph::maxDegree() const
+{
+    std::uint64_t best = 0;
+    for (NodeId n = 0; n < numNodes(); ++n)
+        best = std::max(best, degree(n));
+    return best;
+}
+
+CsrBuilder::CsrBuilder(std::uint64_t expected_nodes,
+                       std::uint64_t expected_edges)
+{
+    offsets.reserve(expected_nodes + 1);
+    targets.reserve(expected_edges);
+    offsets.push_back(0);
+}
+
+void
+CsrBuilder::addNode(std::span<const NodeId> neighbors)
+{
+    targets.insert(targets.end(), neighbors.begin(), neighbors.end());
+    offsets.push_back(targets.size());
+}
+
+CsrGraph
+CsrBuilder::build() &&
+{
+    return CsrGraph(std::move(offsets), std::move(targets));
+}
+
+} // namespace graph
+} // namespace lsdgnn

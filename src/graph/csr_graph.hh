@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Compressed-sparse-row graph storage.
+ *
+ * The in-memory representation mirrors what an AliGraph-style
+ * distributed store keeps per partition: a CSR offsets/targets pair
+ * for structure, with node attributes handled separately (see
+ * attributes.hh). Node IDs are global 64-bit IDs, as the paper's
+ * billion-node graphs require.
+ */
+
+#ifndef LSDGNN_GRAPH_CSR_GRAPH_HH
+#define LSDGNN_GRAPH_CSR_GRAPH_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace lsdgnn {
+namespace graph {
+
+/** Global node identifier. */
+using NodeId = std::uint64_t;
+
+/** Sentinel for "no node". */
+inline constexpr NodeId invalid_node = ~NodeId(0);
+
+/**
+ * Immutable CSR graph.
+ *
+ * Built once by a builder/generator and then only read; sampling
+ * workloads never mutate structure.
+ */
+class CsrGraph
+{
+  public:
+    /**
+     * @param offsets Size numNodes+1, monotonically non-decreasing.
+     * @param targets Concatenated adjacency lists, size = numEdges.
+     */
+    CsrGraph(std::vector<std::uint64_t> offsets,
+             std::vector<NodeId> targets);
+
+    /** Number of nodes. */
+    std::uint64_t numNodes() const { return offsets_.size() - 1; }
+
+    /** Number of directed edges. */
+    std::uint64_t numEdges() const { return targets_.size(); }
+
+    /** Out-degree of @p node. */
+    std::uint64_t
+    degree(NodeId node) const
+    {
+        lsd_assert(node < numNodes(), "degree: node ", node,
+                   " out of range");
+        return offsets_[node + 1] - offsets_[node];
+    }
+
+    /** Neighbor list of @p node as a read-only view. */
+    std::span<const NodeId>
+    neighbors(NodeId node) const
+    {
+        lsd_assert(node < numNodes(), "neighbors: node ", node,
+                   " out of range");
+        return std::span<const NodeId>(targets_)
+            .subspan(offsets_[node], offsets_[node + 1] - offsets_[node]);
+    }
+
+    /** k-th neighbor of @p node. @pre k < degree(node). */
+    NodeId
+    neighbor(NodeId node, std::uint64_t k) const
+    {
+        lsd_assert(k < degree(node), "neighbor index out of range");
+        return targets_[offsets_[node] + k];
+    }
+
+    /** Byte offset of node's adjacency list within the target array. */
+    std::uint64_t
+    adjacencyByteOffset(NodeId node) const
+    {
+        lsd_assert(node < numNodes(), "node out of range");
+        return offsets_[node] * sizeof(NodeId);
+    }
+
+    /** Raw offsets array (tests, serialization). */
+    const std::vector<std::uint64_t> &offsets() const { return offsets_; }
+    /** Raw targets array (tests, serialization). */
+    const std::vector<NodeId> &targets() const { return targets_; }
+
+    /** Bytes used by the structure arrays. */
+    std::uint64_t
+    structureBytes() const
+    {
+        return offsets_.size() * sizeof(std::uint64_t) +
+               targets_.size() * sizeof(NodeId);
+    }
+
+    /** Maximum out-degree over all nodes. */
+    std::uint64_t maxDegree() const;
+
+    /** Average out-degree. */
+    double
+    avgDegree() const
+    {
+        return numNodes() == 0 ? 0.0
+            : static_cast<double>(numEdges()) /
+              static_cast<double>(numNodes());
+    }
+
+  private:
+    std::vector<std::uint64_t> offsets_;
+    std::vector<NodeId> targets_;
+};
+
+/**
+ * Incremental CSR builder: feed per-node adjacency lists in node
+ * order, then finalize.
+ */
+class CsrBuilder
+{
+  public:
+    explicit CsrBuilder(std::uint64_t expected_nodes = 0,
+                        std::uint64_t expected_edges = 0);
+
+    /** Append the adjacency list for the next node. */
+    void addNode(std::span<const NodeId> neighbors);
+
+    /** Consume the builder and produce the immutable graph. */
+    CsrGraph build() &&;
+
+    std::uint64_t nodesAdded() const { return offsets.size() - 1; }
+
+  private:
+    std::vector<std::uint64_t> offsets;
+    std::vector<NodeId> targets;
+};
+
+} // namespace graph
+} // namespace lsdgnn
+
+#endif // LSDGNN_GRAPH_CSR_GRAPH_HH

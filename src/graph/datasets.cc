@@ -1,0 +1,92 @@
+#include "datasets.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace lsdgnn {
+namespace graph {
+
+const std::array<DatasetSpec, 6> &
+paperDatasets()
+{
+    // Table 2 of the paper, verbatim.
+    static const std::array<DatasetSpec, 6> specs = {{
+        {"ss", 65'200'000ull, 592'000'000ull, 72},
+        {"ls", 1'900'000'000ull, 5'200'000'000ull, 84},
+        {"sl", 67'300'000ull, 601'000'000ull, 128},
+        {"ml", 207'000'000ull, 5'700'000'000ull, 136},
+        {"ll", 702'000'000ull, 12'300'000'000ull, 152},
+        {"syn", 5'900'000'000ull, 105'000'000'000ull, 152},
+    }};
+    return specs;
+}
+
+const DatasetSpec &
+datasetByName(const std::string &name)
+{
+    for (const auto &spec : paperDatasets())
+        if (name == spec.name)
+            return spec;
+    lsd_fatal("unknown dataset '", name,
+              "'; expected one of ss, ls, sl, ml, ll, syn");
+}
+
+std::uint64_t
+FootprintModel::totalBytes(const DatasetSpec &spec) const
+{
+    const std::uint64_t attr_bytes =
+        spec.nodes * static_cast<std::uint64_t>(spec.attr_len) *
+        sizeof(float);
+    const std::uint64_t structure_bytes =
+        spec.nodes * sizeof(std::uint64_t) +    // CSR offsets
+        spec.edges * sizeof(std::uint64_t);     // CSR targets
+    const double raw =
+        static_cast<double>(attr_bytes + structure_bytes);
+    return static_cast<std::uint64_t>(raw * overhead);
+}
+
+std::uint32_t
+FootprintModel::minServers(const DatasetSpec &spec) const
+{
+    lsd_assert(server_capacity_bytes > 0, "server capacity must be > 0");
+    const std::uint64_t bytes = totalBytes(spec);
+    return static_cast<std::uint32_t>(
+        (bytes + server_capacity_bytes - 1) / server_capacity_bytes);
+}
+
+GeneratorParams
+scaledParams(const DatasetSpec &spec, std::uint64_t scale_divisor,
+             std::uint64_t seed)
+{
+    lsd_assert(scale_divisor > 0, "scale divisor must be positive");
+    GeneratorParams p;
+    p.num_nodes = std::max<std::uint64_t>(spec.nodes / scale_divisor, 64);
+    // Preserve the dataset's average degree, not the absolute edge
+    // count, so the sampling fan-out behaviour matches the original.
+    const double avg_deg = spec.avgDegree();
+    p.num_edges = std::max<std::uint64_t>(
+        static_cast<std::uint64_t>(avg_deg *
+            static_cast<double>(p.num_nodes)),
+        p.num_nodes);
+    p.degree_exponent = 1.6;
+    p.endpoint_skew = 0.35;
+    p.min_degree = 1;
+    // Mix dataset identity into the seed so ss and sl (nearly equal
+    // sizes) do not alias to the same structure.
+    std::uint64_t mix = seed;
+    for (const char *c = spec.name; *c; ++c)
+        mix = mix * 131 + static_cast<std::uint64_t>(*c);
+    p.seed = mix;
+    return p;
+}
+
+CsrGraph
+instantiate(const DatasetSpec &spec, std::uint64_t scale_divisor,
+            std::uint64_t seed)
+{
+    return generatePowerLawGraph(scaledParams(spec, scale_divisor, seed));
+}
+
+} // namespace graph
+} // namespace lsdgnn

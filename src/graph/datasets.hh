@@ -1,0 +1,102 @@
+/**
+ * @file
+ * The six paper datasets (Table 2) and their footprint model.
+ *
+ * Paper-scale parameters (node/edge counts, attribute lengths) are
+ * kept exactly as published and used *analytically* for footprint and
+ * minimal-server results (Fig. 2a, Fig. 20). Functional runs
+ * instantiate a scaled-down graph with the same attribute length,
+ * edge/node ratio and degree skew; the scale divisor is explicit so
+ * benches can trade run time against fidelity.
+ */
+
+#ifndef LSDGNN_GRAPH_DATASETS_HH
+#define LSDGNN_GRAPH_DATASETS_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "graph/csr_graph.hh"
+#include "graph/generator.hh"
+
+namespace lsdgnn {
+namespace graph {
+
+/** Table 2 row: one LSD-GNN sampling dataset. */
+struct DatasetSpec {
+    /** Paper name (ss, ls, sl, ml, ll, syn). */
+    const char *name;
+    /** Paper-scale node count. */
+    std::uint64_t nodes;
+    /** Paper-scale edge count. */
+    std::uint64_t edges;
+    /** Float32 attributes per node. */
+    std::uint32_t attr_len;
+
+    double
+    avgDegree() const
+    {
+        return static_cast<double>(edges) / static_cast<double>(nodes);
+    }
+};
+
+/** The six Table 2 datasets at paper scale. */
+const std::array<DatasetSpec, 6> &paperDatasets();
+
+/** Look up a dataset spec by its paper name; fatal when unknown. */
+const DatasetSpec &datasetByName(const std::string &name);
+
+/**
+ * Footprint model for a dataset held in a distributed in-memory store.
+ *
+ * attributes: attr_len float32 per node;
+ * structure: CSR offsets (8 B/node) + targets (8 B/edge);
+ * framework overhead: hash indexes, slabs and caching in the store,
+ * taken as a multiplicative factor on top of the raw arrays.
+ */
+struct FootprintModel {
+    /**
+     * Store overhead factor on raw bytes. The default (2.5x) covers
+     * what an AliGraph-like store keeps beyond the bare CSR + float
+     * attributes: edge attributes/weights, per-node hash indexes,
+     * slab headers and the hot-node cache. It calibrates the syn
+     * dataset to the paper's ">10 TB" scale and ls to the 5-server
+     * instance of Table 3.
+     */
+    double overhead = 2.5;
+    /** Usable DRAM per storage server. */
+    std::uint64_t server_capacity_bytes = 512ull << 30;
+
+    /** Total bytes the dataset occupies in the store. */
+    std::uint64_t totalBytes(const DatasetSpec &spec) const;
+
+    /** Minimal number of servers able to hold the dataset. */
+    std::uint32_t minServers(const DatasetSpec &spec) const;
+};
+
+/** Sampling-model parameters shared by all Table 2 experiments. */
+struct SamplingModelSpec {
+    std::uint32_t batch_size = 512;
+    std::uint32_t negative_sample_rate = 10;
+    std::uint32_t hops = 2;
+    std::uint32_t fanout = 10; ///< sample rate 10/10: both hops take 10
+    std::uint32_t hidden_size = 128;
+};
+
+/**
+ * Materialize a functional instance of @p spec scaled down by
+ * @p scale_divisor (nodes and edges divided; attr_len kept).
+ */
+CsrGraph instantiate(const DatasetSpec &spec, std::uint64_t scale_divisor,
+                     std::uint64_t seed = 1);
+
+/** Generator parameters used by instantiate() (exposed for tests). */
+GeneratorParams scaledParams(const DatasetSpec &spec,
+                             std::uint64_t scale_divisor,
+                             std::uint64_t seed);
+
+} // namespace graph
+} // namespace lsdgnn
+
+#endif // LSDGNN_GRAPH_DATASETS_HH

@@ -1,0 +1,156 @@
+#include "dynamic.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "graph/generator.hh"
+
+namespace lsdgnn {
+namespace graph {
+
+DynamicGraph::DynamicGraph(std::uint64_t num_nodes,
+                           std::vector<TemporalEdge> edges)
+{
+    lsd_assert(num_nodes > 0, "temporal graph needs nodes");
+    for (const auto &e : edges) {
+        lsd_assert(e.src < num_nodes && e.dst < num_nodes,
+                   "temporal edge endpoint out of range");
+    }
+
+    // Counting sort by source, then time-sort each adjacency run.
+    offsets.assign(num_nodes + 1, 0);
+    for (const auto &e : edges)
+        ++offsets[e.src + 1];
+    for (std::uint64_t n = 0; n < num_nodes; ++n)
+        offsets[n + 1] += offsets[n];
+
+    targets.resize(edges.size());
+    times.resize(edges.size());
+    {
+        std::vector<std::uint64_t> cursor(offsets.begin(),
+                                          offsets.end() - 1);
+        for (const auto &e : edges) {
+            const std::uint64_t slot = cursor[e.src]++;
+            targets[slot] = e.dst;
+            times[slot] = e.time;
+        }
+    }
+    for (std::uint64_t n = 0; n < num_nodes; ++n) {
+        const std::uint64_t lo = offsets[n];
+        const std::uint64_t hi = offsets[n + 1];
+        std::vector<std::uint64_t> order(hi - lo);
+        for (std::uint64_t i = 0; i < order.size(); ++i)
+            order[i] = i;
+        std::stable_sort(order.begin(), order.end(),
+            [&](std::uint64_t a, std::uint64_t b) {
+                return times[lo + a] < times[lo + b];
+            });
+        std::vector<NodeId> tgt_sorted(order.size());
+        std::vector<Timestamp> time_sorted(order.size());
+        for (std::uint64_t i = 0; i < order.size(); ++i) {
+            tgt_sorted[i] = targets[lo + order[i]];
+            time_sorted[i] = times[lo + order[i]];
+        }
+        std::copy(tgt_sorted.begin(), tgt_sorted.end(),
+                  targets.begin() + static_cast<std::ptrdiff_t>(lo));
+        std::copy(time_sorted.begin(), time_sorted.end(),
+                  times.begin() + static_cast<std::ptrdiff_t>(lo));
+    }
+
+    if (!times.empty()) {
+        earliest = *std::min_element(times.begin(), times.end());
+        latest = *std::max_element(times.begin(), times.end());
+    }
+}
+
+std::uint64_t
+DynamicGraph::degree(NodeId node) const
+{
+    lsd_assert(node < numNodes(), "node out of range");
+    return offsets[node + 1] - offsets[node];
+}
+
+std::uint64_t
+DynamicGraph::degreeAt(NodeId node, Timestamp t) const
+{
+    lsd_assert(node < numNodes(), "node out of range");
+    const auto begin = times.begin() +
+        static_cast<std::ptrdiff_t>(offsets[node]);
+    const auto end = times.begin() +
+        static_cast<std::ptrdiff_t>(offsets[node + 1]);
+    return static_cast<std::uint64_t>(
+        std::upper_bound(begin, end, t) - begin);
+}
+
+std::span<const NodeId>
+DynamicGraph::neighborsAt(NodeId node, Timestamp t) const
+{
+    const std::uint64_t visible = degreeAt(node, t);
+    return std::span<const NodeId>(targets)
+        .subspan(offsets[node], visible);
+}
+
+std::span<const Timestamp>
+DynamicGraph::timestamps(NodeId node) const
+{
+    lsd_assert(node < numNodes(), "node out of range");
+    return std::span<const Timestamp>(times)
+        .subspan(offsets[node], degree(node));
+}
+
+std::vector<NodeId>
+DynamicGraph::sampleAt(NodeId node, Timestamp t, std::uint32_t k,
+                       Rng &rng, double recency_tau) const
+{
+    std::vector<NodeId> out;
+    const auto visible = neighborsAt(node, t);
+    if (visible.empty() || k == 0)
+        return out;
+    out.reserve(k);
+
+    if (recency_tau <= 0.0) {
+        for (std::uint32_t i = 0; i < k; ++i)
+            out.push_back(visible[rng.nextBounded(visible.size())]);
+        return out;
+    }
+
+    // Recency bias: weight exp(-(t - time)/tau) via inverse-CDF over
+    // the cumulative weights.
+    const auto stamp = timestamps(node);
+    std::vector<double> cum(visible.size());
+    double total = 0;
+    for (std::size_t i = 0; i < visible.size(); ++i) {
+        const double age = static_cast<double>(t - stamp[i]);
+        total += std::exp(-age / recency_tau);
+        cum[i] = total;
+    }
+    for (std::uint32_t i = 0; i < k; ++i) {
+        const double u = rng.nextDouble() * total;
+        const auto it = std::lower_bound(cum.begin(), cum.end(), u);
+        const auto idx = static_cast<std::size_t>(it - cum.begin());
+        out.push_back(visible[std::min(idx, visible.size() - 1)]);
+    }
+    return out;
+}
+
+DynamicGraph
+generateDynamicGraph(const DynamicGeneratorParams &params)
+{
+    lsd_assert(params.num_nodes > 0, "need nodes");
+    Rng rng(params.seed ^ 0x1234abcd5678ull);
+    std::vector<TemporalEdge> edges;
+    edges.reserve(params.num_edges);
+    for (std::uint64_t i = 0; i < params.num_edges; ++i) {
+        TemporalEdge e;
+        e.src = skewedEndpoint(rng, params.num_nodes, 1.0);
+        e.dst = skewedEndpoint(rng, params.num_nodes,
+                               params.endpoint_skew);
+        e.time = rng.nextBounded(params.horizon + 1);
+        edges.push_back(e);
+    }
+    return DynamicGraph(params.num_nodes, std::move(edges));
+}
+
+} // namespace graph
+} // namespace lsdgnn

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Dynamic (temporal) graph support.
+ *
+ * AliGraph's dynamic-graph mode samples against a time horizon: only
+ * edges created at or before the query time are visible, and recent
+ * edges can be favored. DynamicGraph keeps each node's adjacency
+ * sorted by timestamp so a horizon query is one binary search and the
+ * visible neighborhood is a contiguous prefix — again a layout the
+ * streaming GetNeighbor hardware can walk without pointer chasing.
+ */
+
+#ifndef LSDGNN_GRAPH_DYNAMIC_HH
+#define LSDGNN_GRAPH_DYNAMIC_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.hh"
+#include "graph/csr_graph.hh"
+
+namespace lsdgnn {
+namespace graph {
+
+/** Event timestamp (application-defined ticks, e.g. seconds). */
+using Timestamp = std::uint64_t;
+
+/** One timestamped edge during construction. */
+struct TemporalEdge {
+    NodeId src;
+    NodeId dst;
+    Timestamp time;
+};
+
+/**
+ * Immutable temporal graph with time-sorted adjacency.
+ */
+class DynamicGraph
+{
+  public:
+    /**
+     * Build from an edge list (any order); @p num_nodes fixes the
+     * node ID space.
+     */
+    DynamicGraph(std::uint64_t num_nodes,
+                 std::vector<TemporalEdge> edges);
+
+    std::uint64_t numNodes() const { return offsets.size() - 1; }
+    std::uint64_t numEdges() const { return targets.size(); }
+
+    /** Total out-degree of @p node (all times). */
+    std::uint64_t degree(NodeId node) const;
+
+    /** Out-degree visible at horizon @p t (edges with time <= t). */
+    std::uint64_t degreeAt(NodeId node, Timestamp t) const;
+
+    /** Neighbors visible at horizon @p t (time-ascending). */
+    std::span<const NodeId> neighborsAt(NodeId node, Timestamp t) const;
+
+    /** Timestamps parallel to neighborsAt(node, max). */
+    std::span<const Timestamp> timestamps(NodeId node) const;
+
+    /** Earliest/latest edge time in the graph (0 when empty). */
+    Timestamp earliestTime() const { return earliest; }
+    Timestamp latestTime() const { return latest; }
+
+    /**
+     * Sample @p k visible neighbors at horizon @p t, optionally
+     * recency-biased: probability proportional to
+     * exp(-(t - edge_time)/tau) when @p recency_tau > 0, uniform
+     * otherwise. With-replacement when fewer than k are visible.
+     */
+    std::vector<NodeId> sampleAt(NodeId node, Timestamp t,
+                                 std::uint32_t k, Rng &rng,
+                                 double recency_tau = 0.0) const;
+
+  private:
+    std::vector<std::uint64_t> offsets;
+    std::vector<NodeId> targets;
+    std::vector<Timestamp> times;
+    Timestamp earliest = 0;
+    Timestamp latest = 0;
+};
+
+/** Parameters for the temporal generator. */
+struct DynamicGeneratorParams {
+    std::uint64_t num_nodes = 1000;
+    std::uint64_t num_edges = 10000;
+    Timestamp horizon = 1'000'000; ///< edge times drawn in [0, horizon]
+    double endpoint_skew = 0.35;
+    std::uint64_t seed = 1;
+};
+
+/** Generate a temporal power-law graph. */
+DynamicGraph generateDynamicGraph(const DynamicGeneratorParams &params);
+
+} // namespace graph
+} // namespace lsdgnn
+
+#endif // LSDGNN_GRAPH_DYNAMIC_HH

@@ -1,0 +1,92 @@
+#include "generator.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace lsdgnn {
+namespace graph {
+
+NodeId
+skewedEndpoint(Rng &rng, std::uint64_t num_nodes, double skew)
+{
+    lsd_assert(num_nodes > 0, "skewedEndpoint needs a non-empty graph");
+    lsd_assert(skew > 0.0 && skew <= 1.0, "skew must be in (0,1]");
+    const double u = rng.nextDouble();
+    const double mapped = std::pow(u, 1.0 / skew);
+    auto id = static_cast<NodeId>(mapped * static_cast<double>(num_nodes));
+    return std::min<NodeId>(id, num_nodes - 1);
+}
+
+CsrGraph
+generatePowerLawGraph(const GeneratorParams &params)
+{
+    lsd_assert(params.num_nodes > 0, "graph must have nodes");
+    lsd_assert(params.num_edges >= params.num_nodes * params.min_degree,
+               "edge budget below the per-node degree floor");
+
+    Rng rng(params.seed);
+
+    // Draw raw power-law degree weights w_i = u^(-1/(a-1)) (Pareto),
+    // then scale so the total matches num_edges. Scaling preserves the
+    // distribution's shape; the floor keeps every node reachable.
+    const std::uint64_t n = params.num_nodes;
+    std::vector<double> weight(n);
+    double total = 0.0;
+    const double pareto_exp = 1.0 /
+        std::max(0.1, params.degree_exponent - 1.0);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        const double u = std::max(rng.nextDouble(), 1e-12);
+        weight[i] = std::pow(u, -pareto_exp);
+        total += weight[i];
+    }
+
+    const double budget = static_cast<double>(params.num_edges) -
+        static_cast<double>(n * params.min_degree);
+    std::vector<std::uint64_t> degree(n);
+    std::uint64_t assigned = 0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        const auto extra = static_cast<std::uint64_t>(
+            budget * weight[i] / total);
+        degree[i] = params.min_degree + extra;
+        assigned += degree[i];
+    }
+    // Distribute the rounding remainder one edge at a time over the
+    // heaviest nodes so totals land exactly on num_edges.
+    while (assigned < params.num_edges) {
+        const NodeId i = skewedEndpoint(rng, n, params.endpoint_skew);
+        ++degree[i];
+        ++assigned;
+    }
+    while (assigned > params.num_edges) {
+        const NodeId i = skewedEndpoint(rng, n, params.endpoint_skew);
+        if (degree[i] > params.min_degree) {
+            --degree[i];
+            --assigned;
+        }
+    }
+
+    CsrBuilder builder(n, params.num_edges);
+    std::vector<NodeId> adj;
+    for (NodeId node = 0; node < n; ++node) {
+        adj.clear();
+        adj.reserve(degree[node]);
+        for (std::uint64_t k = 0; k < degree[node]; ++k) {
+            NodeId dest = skewedEndpoint(rng, n, params.endpoint_skew);
+            if (dest == node) // avoid trivial self-loops where possible
+                dest = (dest + 1) % n;
+            adj.push_back(dest);
+        }
+        builder.addNode(adj);
+    }
+
+    CsrGraph g = std::move(builder).build();
+    lsd_assert(g.numEdges() == params.num_edges,
+               "generator produced wrong edge count: ", g.numEdges());
+    return g;
+}
+
+} // namespace graph
+} // namespace lsdgnn

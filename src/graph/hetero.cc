@@ -1,0 +1,116 @@
+#include "hetero.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "graph/generator.hh"
+
+namespace lsdgnn {
+namespace graph {
+
+HeteroGraph::HeteroGraph(CsrGraph graph, std::vector<NodeType> node_types,
+                         std::vector<EdgeType> edge_types,
+                         std::uint8_t num_edge_types)
+    : base(std::move(graph)),
+      nodeTypes(std::move(node_types)),
+      edgeTypes(num_edge_types)
+{
+    lsd_assert(num_edge_types > 0, "need at least one edge type");
+    lsd_assert(nodeTypes.size() == base.numNodes(),
+               "node type count mismatch");
+    lsd_assert(edge_types.size() == base.numEdges(),
+               "edge type count mismatch");
+    for (EdgeType t : edge_types)
+        lsd_assert(t < edgeTypes, "edge type ", int(t), " out of range");
+
+    // Re-sort every adjacency slice by edge type (stable, so relative
+    // order within a type is preserved) and build the per-node type
+    // index. The CSR target array must be rewritten, so rebuild it.
+    std::vector<NodeId> new_targets(base.numEdges());
+    typeStarts.assign(base.numNodes() * (edgeTypes + 1ull), 0);
+
+    for (NodeId n = 0; n < base.numNodes(); ++n) {
+        const auto adj = base.neighbors(n);
+        const std::uint64_t start = base.adjacencyByteOffset(n) /
+            sizeof(NodeId);
+
+        // Count per type.
+        std::vector<std::uint32_t> count(edgeTypes, 0);
+        for (std::size_t k = 0; k < adj.size(); ++k)
+            ++count[edge_types[start + k]];
+
+        // Prefix sums -> relative type starts.
+        std::uint32_t *starts =
+            &typeStarts[n * (edgeTypes + 1ull)];
+        starts[0] = 0;
+        for (std::uint8_t t = 0; t < edgeTypes; ++t)
+            starts[t + 1] = starts[t] + count[t];
+
+        // Stable scatter.
+        std::vector<std::uint32_t> cursor(starts, starts + edgeTypes);
+        for (std::size_t k = 0; k < adj.size(); ++k) {
+            const EdgeType t = edge_types[start + k];
+            new_targets[start + cursor[t]++] = adj[k];
+        }
+    }
+
+    base = CsrGraph(std::vector<std::uint64_t>(base.offsets()),
+                    std::move(new_targets));
+}
+
+NodeType
+HeteroGraph::nodeType(NodeId node) const
+{
+    lsd_assert(node < numNodes(), "node out of range");
+    return nodeTypes[node];
+}
+
+std::uint64_t
+HeteroGraph::typeOffset(NodeId node, EdgeType type) const
+{
+    lsd_assert(node < numNodes(), "node out of range");
+    lsd_assert(type <= edgeTypes, "edge type out of range");
+    return typeStarts[node * (edgeTypes + 1ull) + type];
+}
+
+std::span<const NodeId>
+HeteroGraph::neighbors(NodeId node, EdgeType type) const
+{
+    lsd_assert(type < edgeTypes, "edge type out of range");
+    const auto all = base.neighbors(node);
+    const std::uint64_t lo = typeOffset(node, type);
+    const std::uint64_t hi = typeOffset(node, type + 1);
+    return all.subspan(lo, hi - lo);
+}
+
+std::uint64_t
+HeteroGraph::degree(NodeId node, EdgeType type) const
+{
+    return typeOffset(node, type + 1) - typeOffset(node, type);
+}
+
+HeteroGraph
+generateHeteroGraph(const HeteroGeneratorParams &params)
+{
+    GeneratorParams gp;
+    gp.num_nodes = params.num_nodes;
+    gp.num_edges = params.num_edges;
+    gp.degree_exponent = params.degree_exponent;
+    gp.endpoint_skew = params.endpoint_skew;
+    gp.seed = params.seed;
+    CsrGraph structure = generatePowerLawGraph(gp);
+
+    Rng rng(params.seed ^ 0xfeedfacecafebeefull);
+    std::vector<NodeType> node_types(structure.numNodes());
+    for (auto &t : node_types)
+        t = static_cast<NodeType>(rng.nextBounded(params.num_node_types));
+    std::vector<EdgeType> edge_types(structure.numEdges());
+    for (auto &t : edge_types)
+        t = static_cast<EdgeType>(rng.nextBounded(params.num_edge_types));
+
+    return HeteroGraph(std::move(structure), std::move(node_types),
+                       std::move(edge_types), params.num_edge_types);
+}
+
+} // namespace graph
+} // namespace lsdgnn

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Heterogeneous graph support.
+ *
+ * AliGraph (paper Section 2.4) serves heterogeneous graphs — nodes
+ * and edges carry types (user/item/shop; click/buy/view) and GNN
+ * models sample along typed edges or metapaths. HeteroGraph stores a
+ * type-partitioned CSR: each node's adjacency is grouped by edge
+ * type with a per-node type index, so `neighbors(node, type)` is a
+ * contiguous O(1) view — the layout the PoC firmware would keep so
+ * typed GetNeighbor stays a streaming read.
+ */
+
+#ifndef LSDGNN_GRAPH_HETERO_HH
+#define LSDGNN_GRAPH_HETERO_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.hh"
+#include "graph/csr_graph.hh"
+
+namespace lsdgnn {
+namespace graph {
+
+/** Node/edge type identifiers. */
+using NodeType = std::uint8_t;
+using EdgeType = std::uint8_t;
+
+/**
+ * Immutable typed graph with type-partitioned adjacency.
+ */
+class HeteroGraph
+{
+  public:
+    /**
+     * @param graph Homogeneous structure (consumed).
+     * @param node_types One type per node.
+     * @param edge_types One type per edge, aligned with the CSR
+     *        target array of @p graph.
+     * @param num_edge_types Number of distinct edge types.
+     */
+    HeteroGraph(CsrGraph graph, std::vector<NodeType> node_types,
+                std::vector<EdgeType> edge_types,
+                std::uint8_t num_edge_types);
+
+    std::uint64_t numNodes() const { return base.numNodes(); }
+    std::uint64_t numEdges() const { return base.numEdges(); }
+    std::uint8_t numEdgeTypes() const { return edgeTypes; }
+
+    NodeType nodeType(NodeId node) const;
+
+    /** All neighbors regardless of type. */
+    std::span<const NodeId>
+    neighbors(NodeId node) const
+    {
+        return base.neighbors(node);
+    }
+
+    /** Neighbors reachable over edges of @p type (contiguous view). */
+    std::span<const NodeId> neighbors(NodeId node, EdgeType type) const;
+
+    /** Typed out-degree. */
+    std::uint64_t degree(NodeId node, EdgeType type) const;
+
+    /** Underlying homogeneous structure. */
+    const CsrGraph &structure() const { return base; }
+
+  private:
+    std::uint64_t typeOffset(NodeId node, EdgeType type) const;
+
+    CsrGraph base;
+    std::vector<NodeType> nodeTypes;
+    std::uint8_t edgeTypes;
+    /**
+     * Per-node, per-type offsets into the node's adjacency slice:
+     * typeStarts[node * (edgeTypes + 1) + t] is the first slot of
+     * type t, relative to the node's adjacency start.
+     */
+    std::vector<std::uint32_t> typeStarts;
+};
+
+/** Parameters for the typed generator. */
+struct HeteroGeneratorParams {
+    std::uint64_t num_nodes = 1000;
+    std::uint64_t num_edges = 10000;
+    std::uint8_t num_node_types = 3;
+    std::uint8_t num_edge_types = 4;
+    double degree_exponent = 1.6;
+    double endpoint_skew = 0.35;
+    std::uint64_t seed = 1;
+};
+
+/**
+ * Generate a typed power-law graph: structure from the homogeneous
+ * generator, node types assigned by hash, edge types drawn per edge.
+ */
+HeteroGraph generateHeteroGraph(const HeteroGeneratorParams &params);
+
+} // namespace graph
+} // namespace lsdgnn
+
+#endif // LSDGNN_GRAPH_HETERO_HH

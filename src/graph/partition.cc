@@ -1,0 +1,64 @@
+#include "partition.hh"
+
+#include "common/logging.hh"
+
+namespace lsdgnn {
+namespace graph {
+
+Partitioner::Partitioner(std::uint64_t num_nodes, ServerId num_servers,
+                         PartitionPolicy policy)
+    : nodes(num_nodes), servers(num_servers), policy_(policy)
+{
+    lsd_assert(num_servers > 0, "need at least one server");
+    lsd_assert(num_nodes > 0, "need at least one node");
+}
+
+ServerId
+Partitioner::serverOf(NodeId node) const
+{
+    lsd_assert(node < nodes, "serverOf: node out of range");
+    switch (policy_) {
+      case PartitionPolicy::Hash:
+        // Multiplicative hash decorrelates server choice from the
+        // popularity skew baked into low node IDs.
+        return static_cast<ServerId>(
+            (node * 0x9e3779b97f4a7c15ull >> 32) % servers);
+      case PartitionPolicy::Range: {
+        const std::uint64_t per = (nodes + servers - 1) / servers;
+        return static_cast<ServerId>(node / per);
+      }
+    }
+    lsd_panic("unknown partition policy");
+}
+
+std::uint64_t
+Partitioner::nodesOnServer(ServerId server) const
+{
+    lsd_assert(server < servers, "server id out of range");
+    std::uint64_t count = 0;
+    for (NodeId n = 0; n < nodes; ++n)
+        if (serverOf(n) == server)
+            ++count;
+    return count;
+}
+
+double
+Partitioner::remoteEdgeFraction(const CsrGraph &graph) const
+{
+    lsd_assert(graph.numNodes() == nodes,
+               "partitioner/graph node count mismatch");
+    if (graph.numEdges() == 0)
+        return 0.0;
+    std::uint64_t remote = 0;
+    for (NodeId n = 0; n < nodes; ++n) {
+        const ServerId home = serverOf(n);
+        for (NodeId t : graph.neighbors(n))
+            if (serverOf(t) != home)
+                ++remote;
+    }
+    return static_cast<double>(remote) /
+           static_cast<double>(graph.numEdges());
+}
+
+} // namespace graph
+} // namespace lsdgnn

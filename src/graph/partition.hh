@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Node-to-server partitioning for the distributed in-memory store.
+ *
+ * AliGraph-style stores spread a graph over S "servers" (logical
+ * vCPU groups). The partitioner answers two questions the rest of the
+ * stack asks constantly: which server owns a node, and what fraction
+ * of a node's neighborhood is remote (the locality that determines
+ * communication volume).
+ */
+
+#ifndef LSDGNN_GRAPH_PARTITION_HH
+#define LSDGNN_GRAPH_PARTITION_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr_graph.hh"
+
+namespace lsdgnn {
+namespace graph {
+
+/** Identifier of a logical storage server. */
+using ServerId = std::uint32_t;
+
+/** Placement policies for nodes onto servers. */
+enum class PartitionPolicy {
+    /** node % servers — maximally scattered, the paper's worst case. */
+    Hash,
+    /** contiguous ID ranges — best locality a static scheme can get. */
+    Range,
+};
+
+/**
+ * Static node partitioning over a fixed server count.
+ */
+class Partitioner
+{
+  public:
+    /**
+     * @param num_nodes Total node count of the partitioned graph.
+     * @param num_servers Number of storage servers (>0).
+     * @param policy Placement policy.
+     */
+    Partitioner(std::uint64_t num_nodes, ServerId num_servers,
+                PartitionPolicy policy = PartitionPolicy::Hash);
+
+    ServerId numServers() const { return servers; }
+
+    /** Owning server of @p node. */
+    ServerId serverOf(NodeId node) const;
+
+    /** Number of nodes placed on @p server. */
+    std::uint64_t nodesOnServer(ServerId server) const;
+
+    /**
+     * Fraction of edges whose endpoint lives on a different server
+     * than the source node (communication fraction).
+     */
+    double remoteEdgeFraction(const CsrGraph &graph) const;
+
+  private:
+    std::uint64_t nodes;
+    ServerId servers;
+    PartitionPolicy policy_;
+};
+
+} // namespace graph
+} // namespace lsdgnn
+
+#endif // LSDGNN_GRAPH_PARTITION_HH

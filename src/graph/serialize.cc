@@ -1,0 +1,124 @@
+#include "serialize.hh"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "common/logging.hh"
+
+namespace lsdgnn {
+namespace graph {
+
+namespace {
+
+constexpr std::uint64_t magic = 0x4c53'4447'4e4e'4731ull; // "LSDGNNG1"
+constexpr std::uint32_t version = 1;
+
+std::uint64_t
+fnv1a(std::uint64_t hash, const void *data, std::size_t bytes)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    for (std::size_t i = 0; i < bytes; ++i) {
+        hash ^= p[i];
+        hash *= 0x100000001b3ull;
+    }
+    return hash;
+}
+
+template <typename T>
+void
+writePod(std::ostream &os, const T &value)
+{
+    os.write(reinterpret_cast<const char *>(&value), sizeof(T));
+}
+
+template <typename T>
+T
+readPod(std::istream &is)
+{
+    T value{};
+    is.read(reinterpret_cast<char *>(&value), sizeof(T));
+    lsd_assert(is.good(), "graph snapshot truncated");
+    return value;
+}
+
+} // namespace
+
+void
+saveGraph(std::ostream &os, const CsrGraph &graph)
+{
+    writePod(os, magic);
+    writePod(os, version);
+    const std::uint64_t nodes = graph.numNodes();
+    const std::uint64_t edges = graph.numEdges();
+    writePod(os, nodes);
+    writePod(os, edges);
+    os.write(reinterpret_cast<const char *>(graph.offsets().data()),
+             static_cast<std::streamsize>(
+                 graph.offsets().size() * sizeof(std::uint64_t)));
+    os.write(reinterpret_cast<const char *>(graph.targets().data()),
+             static_cast<std::streamsize>(
+                 graph.targets().size() * sizeof(NodeId)));
+
+    std::uint64_t checksum = 0xcbf29ce484222325ull;
+    checksum = fnv1a(checksum, graph.offsets().data(),
+                     graph.offsets().size() * sizeof(std::uint64_t));
+    checksum = fnv1a(checksum, graph.targets().data(),
+                     graph.targets().size() * sizeof(NodeId));
+    writePod(os, checksum);
+    lsd_assert(os.good(), "graph snapshot write failed");
+}
+
+void
+saveGraph(const std::string &path, const CsrGraph &graph)
+{
+    std::ofstream os(path, std::ios::binary);
+    if (!os)
+        lsd_fatal("cannot open '", path, "' for writing");
+    saveGraph(os, graph);
+}
+
+CsrGraph
+loadGraph(std::istream &is)
+{
+    const auto file_magic = readPod<std::uint64_t>(is);
+    lsd_assert(file_magic == magic, "bad graph snapshot magic");
+    const auto file_version = readPod<std::uint32_t>(is);
+    lsd_assert(file_version == version, "unsupported snapshot version ",
+               file_version);
+    const auto nodes = readPod<std::uint64_t>(is);
+    const auto edges = readPod<std::uint64_t>(is);
+
+    std::vector<std::uint64_t> offsets(nodes + 1);
+    is.read(reinterpret_cast<char *>(offsets.data()),
+            static_cast<std::streamsize>(offsets.size() *
+                                         sizeof(std::uint64_t)));
+    std::vector<NodeId> targets(edges);
+    is.read(reinterpret_cast<char *>(targets.data()),
+            static_cast<std::streamsize>(targets.size() *
+                                         sizeof(NodeId)));
+    lsd_assert(is.good(), "graph snapshot truncated");
+
+    std::uint64_t checksum = 0xcbf29ce484222325ull;
+    checksum = fnv1a(checksum, offsets.data(),
+                     offsets.size() * sizeof(std::uint64_t));
+    checksum = fnv1a(checksum, targets.data(),
+                     targets.size() * sizeof(NodeId));
+    const auto file_checksum = readPod<std::uint64_t>(is);
+    lsd_assert(checksum == file_checksum,
+               "graph snapshot checksum mismatch");
+
+    return CsrGraph(std::move(offsets), std::move(targets));
+}
+
+CsrGraph
+loadGraph(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        lsd_fatal("cannot open '", path, "' for reading");
+    return loadGraph(is);
+}
+
+} // namespace graph
+} // namespace lsdgnn

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Binary graph serialization.
+ *
+ * Partition snapshots move between storage servers and FPGA boards
+ * (the PoC preloads DDR from files); the format is a small
+ * magic/version header, the CSR arrays, and an FNV-1a checksum so a
+ * truncated or corrupted snapshot is rejected instead of silently
+ * loading garbage.
+ */
+
+#ifndef LSDGNN_GRAPH_SERIALIZE_HH
+#define LSDGNN_GRAPH_SERIALIZE_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/csr_graph.hh"
+
+namespace lsdgnn {
+namespace graph {
+
+/** Serialize @p graph to the stream. */
+void saveGraph(std::ostream &os, const CsrGraph &graph);
+
+/** Serialize to a file; fatal on I/O errors. */
+void saveGraph(const std::string &path, const CsrGraph &graph);
+
+/**
+ * Deserialize a graph. Panics on malformed input (bad magic,
+ * version, or checksum).
+ */
+CsrGraph loadGraph(std::istream &is);
+
+/** Deserialize from a file; fatal when the file cannot be opened. */
+CsrGraph loadGraph(const std::string &path);
+
+} // namespace graph
+} // namespace lsdgnn
+
+#endif // LSDGNN_GRAPH_SERIALIZE_HH

@@ -1,0 +1,190 @@
+#include "bdi.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace lsdgnn {
+namespace mof {
+
+namespace {
+
+/** Bytes of the delta field for a given base scheme. */
+std::uint32_t
+deltaBytes(BdiScheme scheme)
+{
+    switch (scheme) {
+      case BdiScheme::Base1: return 1;
+      case BdiScheme::Base2: return 2;
+      case BdiScheme::Base4: return 4;
+      default: lsd_panic("scheme has no delta width");
+    }
+}
+
+/** Whether every word's signed delta from base fits in @p bytes. */
+bool
+deltasFit(std::span<const std::uint64_t> block, std::uint64_t base,
+          std::uint32_t bytes)
+{
+    const std::int64_t lo = bytes == 8 ? std::numeric_limits<std::int64_t>::min()
+        : -(std::int64_t(1) << (bytes * 8 - 1));
+    const std::int64_t hi = bytes == 8 ? std::numeric_limits<std::int64_t>::max()
+        : (std::int64_t(1) << (bytes * 8 - 1)) - 1;
+    for (std::uint64_t w : block) {
+        const auto delta = static_cast<std::int64_t>(w - base);
+        if (delta < lo || delta > hi)
+            return false;
+    }
+    return true;
+}
+
+void
+putLe(std::vector<std::uint8_t> &out, std::uint64_t value,
+      std::uint32_t bytes)
+{
+    for (std::uint32_t i = 0; i < bytes; ++i)
+        out.push_back(static_cast<std::uint8_t>(value >> (8 * i)));
+}
+
+std::uint64_t
+getLe(std::span<const std::uint8_t> in, std::size_t &pos,
+      std::uint32_t bytes)
+{
+    lsd_assert(pos + bytes <= in.size(), "BDI stream truncated");
+    std::uint64_t value = 0;
+    for (std::uint32_t i = 0; i < bytes; ++i)
+        value |= static_cast<std::uint64_t>(in[pos + i]) << (8 * i);
+    pos += bytes;
+    return value;
+}
+
+/** Sign-extend a little-endian value of @p bytes width. */
+std::int64_t
+signExtend(std::uint64_t value, std::uint32_t bytes)
+{
+    if (bytes >= 8)
+        return static_cast<std::int64_t>(value);
+    const std::uint32_t shift = 64 - bytes * 8;
+    return static_cast<std::int64_t>(value << shift) >> shift;
+}
+
+/** Mask a word to its significant width. */
+std::uint64_t
+maskWord(std::uint64_t value, std::uint32_t word_bytes)
+{
+    if (word_bytes >= 8)
+        return value;
+    return value & ((std::uint64_t(1) << (word_bytes * 8)) - 1);
+}
+
+} // namespace
+
+BdiResult
+bdiCompress(std::span<const std::uint64_t> words, const BdiParams &params)
+{
+    lsd_assert(params.word_bytes == 4 || params.word_bytes == 8,
+               "BDI supports 4- or 8-byte words");
+    lsd_assert(params.block_words > 0, "block must hold words");
+
+    BdiResult result;
+    result.input_bytes = words.size() * params.word_bytes;
+
+    for (std::size_t begin = 0; begin < words.size();
+         begin += params.block_words) {
+        const std::size_t n =
+            std::min<std::size_t>(params.block_words,
+                                  words.size() - begin);
+        const auto block = words.subspan(begin, n);
+
+        const bool all_zero = std::all_of(block.begin(), block.end(),
+            [](std::uint64_t w) { return w == 0; });
+
+        // Candidate schemes in cost order for typical data.
+        BdiScheme best = BdiScheme::Uncompressed;
+        std::size_t best_cost = 2 + n * params.word_bytes;
+        if (all_zero) {
+            best = BdiScheme::Zeros;
+            best_cost = 2;
+        } else {
+            const std::uint64_t base = block[0];
+            for (BdiScheme s : {BdiScheme::Base1, BdiScheme::Base2,
+                                BdiScheme::Base4}) {
+                const std::uint32_t db = deltaBytes(s);
+                if (db >= params.word_bytes)
+                    continue; // no saving possible
+                if (!deltasFit(block, base, db))
+                    continue;
+                const std::size_t cost = 2 + params.word_bytes + n * db;
+                if (cost < best_cost) {
+                    best = s;
+                    best_cost = cost;
+                }
+            }
+        }
+
+        result.bytes.push_back(static_cast<std::uint8_t>(best));
+        result.bytes.push_back(static_cast<std::uint8_t>(n));
+        switch (best) {
+          case BdiScheme::Zeros:
+            break;
+          case BdiScheme::Base1:
+          case BdiScheme::Base2:
+          case BdiScheme::Base4: {
+            const std::uint32_t db = deltaBytes(best);
+            putLe(result.bytes, block[0], params.word_bytes);
+            for (std::uint64_t w : block)
+                putLe(result.bytes, w - block[0], db);
+            break;
+          }
+          case BdiScheme::Uncompressed:
+            for (std::uint64_t w : block)
+                putLe(result.bytes, w, params.word_bytes);
+            break;
+        }
+    }
+    return result;
+}
+
+std::vector<std::uint64_t>
+bdiDecompress(std::span<const std::uint8_t> bytes,
+              const BdiParams &params)
+{
+    std::vector<std::uint64_t> out;
+    std::size_t pos = 0;
+    while (pos < bytes.size()) {
+        lsd_assert(pos + 2 <= bytes.size(), "BDI header truncated");
+        const auto scheme = static_cast<BdiScheme>(bytes[pos++]);
+        const std::uint32_t n = bytes[pos++];
+        switch (scheme) {
+          case BdiScheme::Zeros:
+            out.insert(out.end(), n, 0);
+            break;
+          case BdiScheme::Base1:
+          case BdiScheme::Base2:
+          case BdiScheme::Base4: {
+            const std::uint32_t db = deltaBytes(scheme);
+            const std::uint64_t base = getLe(bytes, pos,
+                                             params.word_bytes);
+            for (std::uint32_t i = 0; i < n; ++i) {
+                const std::int64_t delta =
+                    signExtend(getLe(bytes, pos, db), db);
+                out.push_back(maskWord(
+                    base + static_cast<std::uint64_t>(delta),
+                    params.word_bytes));
+            }
+            break;
+          }
+          case BdiScheme::Uncompressed:
+            for (std::uint32_t i = 0; i < n; ++i)
+                out.push_back(getLe(bytes, pos, params.word_bytes));
+            break;
+          default:
+            lsd_panic("corrupt BDI stream: bad scheme tag");
+        }
+    }
+    return out;
+}
+
+} // namespace mof
+} // namespace lsdgnn

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Base-Delta-Immediate (BDI) compression.
+ *
+ * MoF's second technique compresses both the response data and the
+ * request addresses: fine-grained graph reads mean the 64-bit address
+ * stream costs as much wire as the data itself, and both streams have
+ * strong value locality (addresses cluster within a partition's
+ * arrays, node IDs cluster around hubs). This is a functional
+ * implementation — compress() emits real bytes that decompress() can
+ * restore — so the Table 6 bench measures achieved sizes rather than
+ * assuming them.
+ *
+ * The scheme follows Pekhimenko et al.'s BDI: per fixed-size block,
+ * pick the cheapest of {all-zero, one base + small deltas,
+ * uncompressed} over a few base/delta widths.
+ */
+
+#ifndef LSDGNN_MOF_BDI_HH
+#define LSDGNN_MOF_BDI_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace lsdgnn {
+namespace mof {
+
+/** BDI configuration. */
+struct BdiParams {
+    /** Word width of the uncompressed stream (4 or 8 bytes). */
+    std::uint32_t word_bytes = 8;
+    /** Words per compression block. */
+    std::uint32_t block_words = 8;
+};
+
+/** One compressed block's encoding choice (1-byte tag on the wire). */
+enum class BdiScheme : std::uint8_t {
+    Zeros = 0,        ///< all words zero: tag only
+    Base1 = 1,        ///< base + 1-byte deltas
+    Base2 = 2,        ///< base + 2-byte deltas
+    Base4 = 3,        ///< base + 4-byte deltas
+    Uncompressed = 4, ///< tag + raw words
+};
+
+/** Compressed output plus accounting. */
+struct BdiResult {
+    std::vector<std::uint8_t> bytes;
+    std::uint64_t input_bytes = 0;
+
+    double
+    ratio() const
+    {
+        return bytes.empty() ? 0.0
+            : static_cast<double>(input_bytes) /
+              static_cast<double>(bytes.size());
+    }
+
+    /** Fraction of input bytes eliminated. */
+    double
+    saving() const
+    {
+        return input_bytes == 0 ? 0.0
+            : 1.0 - static_cast<double>(bytes.size()) /
+                    static_cast<double>(input_bytes);
+    }
+};
+
+/**
+ * Compress a word stream.
+ *
+ * @param words Input values (each holds one word; only the low
+ *        word_bytes of each entry are significant).
+ * @param params Block/word geometry.
+ */
+BdiResult bdiCompress(std::span<const std::uint64_t> words,
+                      const BdiParams &params = BdiParams{});
+
+/**
+ * Decompress a stream produced by bdiCompress.
+ *
+ * @return The original word sequence.
+ */
+std::vector<std::uint64_t>
+bdiDecompress(std::span<const std::uint8_t> bytes,
+              const BdiParams &params = BdiParams{});
+
+} // namespace mof
+} // namespace lsdgnn
+
+#endif // LSDGNN_MOF_BDI_HH

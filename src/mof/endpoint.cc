@@ -1,0 +1,96 @@
+#include "endpoint.hh"
+
+#include <algorithm>
+#include <memory>
+
+namespace lsdgnn {
+namespace mof {
+
+MofEndpoint::MofEndpoint(sim::EventQueue &eq, fabric::SimLink &phy,
+                         EndpointParams params)
+    : sim::Component(eq, "mof.endpoint"),
+      phy_(phy),
+      params_(params)
+{
+    lsd_assert(params_.format.max_requests > 0,
+               "packages must carry requests");
+    statGroup.addCounter("packages", &packages, "packages shipped");
+    statGroup.addCounter("requests", &requests, "requests carried");
+    statGroup.addCounter("wire_bytes", &wire_bytes,
+                         "bytes moved including headers");
+    statGroup.addCounter("unpacked_bytes", &unpacked,
+                         "bytes the traffic would cost unpacked");
+}
+
+void
+MofEndpoint::request(std::uint64_t bytes, std::uint32_t dest,
+                     Callback done)
+{
+    (void)dest; // one endpoint fronts one point-to-point PHY
+    lsd_assert(done, "request needs a completion callback");
+    staged.push_back(Staged{bytes, std::move(done)});
+    // Counterfactual accounting: one request per package.
+    unpacked.inc(params_.format.header_bytes +
+                 params_.format.addr_bytes_per_request + bytes +
+                 params_.response_header_bytes);
+    if (staged.size() >= params_.format.max_requests) {
+        ship();
+        return;
+    }
+    armTimer();
+}
+
+void
+MofEndpoint::armTimer()
+{
+    if (timerArmed)
+        return;
+    timerArmed = true;
+    timerHandle = eventq.scheduleAfter(params_.max_staging_delay,
+                                       [this] { ship(); });
+}
+
+void
+MofEndpoint::flush()
+{
+    if (!staged.empty())
+        ship();
+}
+
+void
+MofEndpoint::ship()
+{
+    if (timerArmed) {
+        eventq.deschedule(timerHandle);
+        timerArmed = false;
+    }
+    if (staged.empty())
+        return;
+
+    auto batch =
+        std::make_shared<std::vector<Staged>>(std::move(staged));
+    staged.clear();
+
+    std::uint64_t payload = 0;
+    for (const auto &s : *batch)
+        payload += s.bytes;
+    const std::uint64_t request_pkg = params_.format.header_bytes +
+        batch->size() * params_.format.addr_bytes_per_request;
+    const std::uint64_t response_pkg =
+        params_.response_header_bytes + payload;
+
+    packages.inc();
+    requests.inc(batch->size());
+    wire_bytes.inc(request_pkg + response_pkg);
+
+    // The PHY carries the request package out and the response
+    // package back as one round trip; all staged completions fire
+    // when the response lands.
+    phy_.request(request_pkg + response_pkg, [batch] {
+        for (auto &s : *batch)
+            s.done();
+    });
+}
+
+} // namespace mof
+} // namespace lsdgnn

@@ -1,0 +1,65 @@
+#include "frame.hh"
+
+#include "common/logging.hh"
+
+namespace lsdgnn {
+namespace mof {
+
+FrameFormat
+genzFormat()
+{
+    // GEN-Z-style package: 50-byte header (routing, OpCode, R-Key,
+    // PCRC/ECRC) and full 64-bit addresses; the multi-read op packs
+    // only a couple of reads per package in practice.
+    return FrameFormat{"genz", 50, 8, 2};
+}
+
+FrameFormat
+mofFormat()
+{
+    // MoF: 32-byte header amortized over up to 64 requests; addresses
+    // are 32-bit offsets into a pre-registered segment.
+    return FrameFormat{"mof", 32, 4, 64};
+}
+
+double
+PackageBreakdown::headerOverhead() const
+{
+    const auto total = totalBytes();
+    return total == 0 ? 0.0
+        : static_cast<double>(header_bytes) / static_cast<double>(total);
+}
+
+double
+PackageBreakdown::addressOverhead() const
+{
+    const auto total = totalBytes();
+    return total == 0 ? 0.0
+        : static_cast<double>(address_bytes) /
+          static_cast<double>(total);
+}
+
+double
+PackageBreakdown::dataUtilization() const
+{
+    const auto total = totalBytes();
+    return total == 0 ? 0.0
+        : static_cast<double>(data_bytes) / static_cast<double>(total);
+}
+
+PackageBreakdown
+packageBreakdown(const FrameFormat &format, std::uint64_t num_requests,
+                 std::uint64_t request_bytes)
+{
+    lsd_assert(format.max_requests > 0, "format must carry requests");
+    PackageBreakdown b;
+    b.packages = (num_requests + format.max_requests - 1) /
+        format.max_requests;
+    b.header_bytes = b.packages * format.header_bytes;
+    b.address_bytes = num_requests * format.addr_bytes_per_request;
+    b.data_bytes = num_requests * request_bytes;
+    return b;
+}
+
+} // namespace mof
+} // namespace lsdgnn

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Memory-over-Fabric frame formats.
+ *
+ * MoF's first technique is multi-request packing: where a GEN-Z-style
+ * package carries very few read requests, one MoF package carries up
+ * to 64, amortizing the package header across them and shrinking each
+ * request's address field to a 32-bit segment offset (the endpoints
+ * register base addresses out of band). FrameFormat captures the
+ * byte-level layout, and packageBreakdown() reproduces the
+ * header/address/data accounting of Table 5.
+ */
+
+#ifndef LSDGNN_MOF_FRAME_HH
+#define LSDGNN_MOF_FRAME_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace lsdgnn {
+namespace mof {
+
+/** Byte-level layout of one fabric package format. */
+struct FrameFormat {
+    const char *name;
+    /** Package header bytes (routing, type, CRC, sequence). */
+    std::uint32_t header_bytes;
+    /** Address field bytes per packed request. */
+    std::uint32_t addr_bytes_per_request;
+    /** Maximum read requests one package may carry. */
+    std::uint32_t max_requests;
+};
+
+/** GEN-Z-style multi-read package (the paper's comparison point). */
+FrameFormat genzFormat();
+
+/** The paper's MoF package: 64 requests, 32-bit segment offsets. */
+FrameFormat mofFormat();
+
+/** Byte accounting for a sequence of packages (one Table 5 row). */
+struct PackageBreakdown {
+    std::uint64_t packages = 0;
+    std::uint64_t header_bytes = 0;
+    std::uint64_t address_bytes = 0;
+    std::uint64_t data_bytes = 0;
+
+    std::uint64_t
+    totalBytes() const
+    {
+        return header_bytes + address_bytes + data_bytes;
+    }
+
+    double headerOverhead() const;
+    double addressOverhead() const;
+    double dataUtilization() const;
+};
+
+/**
+ * Account for sending @p num_requests reads of @p request_bytes each
+ * using @p format.
+ *
+ * The data bytes ride in the response packages; following the paper's
+ * Table 5 accounting, header and address cost is charged once per
+ * request package and data fills the same package stream.
+ */
+PackageBreakdown packageBreakdown(const FrameFormat &format,
+                                  std::uint64_t num_requests,
+                                  std::uint64_t request_bytes);
+
+} // namespace mof
+} // namespace lsdgnn
+
+#endif // LSDGNN_MOF_FRAME_HH

@@ -1,0 +1,81 @@
+#include "packer.hh"
+
+#include "common/logging.hh"
+
+namespace lsdgnn {
+namespace mof {
+
+RequestPacker::RequestPacker(PackerOptions opts) : opts_(opts)
+{
+    lsd_assert(opts_.format.max_requests > 0,
+               "packer format must carry requests");
+}
+
+void
+RequestPacker::add(ReadRequest req)
+{
+    pending.push_back(req);
+}
+
+std::vector<Package>
+RequestPacker::flush()
+{
+    std::vector<Package> out;
+    std::size_t i = 0;
+    while (i < pending.size()) {
+        const std::size_t n = std::min<std::size_t>(
+            opts_.format.max_requests, pending.size() - i);
+        Package pkg;
+        pkg.requests.assign(pending.begin() + i,
+                            pending.begin() + i + n);
+        pkg.header_bytes = opts_.format.header_bytes;
+        pkg.raw_address_bytes =
+            n * opts_.format.addr_bytes_per_request;
+        if (opts_.compress_addresses) {
+            std::vector<std::uint64_t> addrs;
+            addrs.reserve(n);
+            for (const auto &r : pkg.requests)
+                addrs.push_back(
+                    opts_.format.addr_bytes_per_request >= 8
+                        ? r.address
+                        : (r.address & 0xffffffffull));
+            BdiParams params;
+            params.word_bytes = opts_.format.addr_bytes_per_request;
+            params.block_words = 16;
+            const BdiResult comp = bdiCompress(addrs, params);
+            // Compression never makes the wire worse: fall back to
+            // raw addresses when BDI would expand the field.
+            pkg.address_bytes =
+                std::min<std::uint64_t>(comp.bytes.size(),
+                                        pkg.raw_address_bytes);
+        } else {
+            pkg.address_bytes = pkg.raw_address_bytes;
+        }
+        out.push_back(std::move(pkg));
+        i += n;
+    }
+    pending.clear();
+    return out;
+}
+
+std::uint64_t
+RequestPacker::responseBytes(const Package &pkg,
+                             std::uint32_t header_bytes,
+                             bool compress_data,
+                             std::span<const std::uint64_t> data_words)
+{
+    std::uint64_t payload = 0;
+    for (const auto &r : pkg.requests)
+        payload += r.bytes;
+    if (!compress_data)
+        return header_bytes + payload;
+    lsd_assert(data_words.size() * 8 >= payload,
+               "response data words shorter than request payload");
+    const BdiResult comp = bdiCompress(data_words);
+    const std::uint64_t compressed =
+        std::min<std::uint64_t>(comp.bytes.size(), payload);
+    return header_bytes + compressed;
+}
+
+} // namespace mof
+} // namespace lsdgnn

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * MoF request packer: batches outstanding read requests into
+ * multi-request packages with optional BDI compression of the address
+ * stream and (on the response path) of the data stream.
+ *
+ * This is the functional heart of the MoF endpoint: the AxE load unit
+ * hands it (address, length, tag) triples, and flush() emits packages
+ * whose byte accounting the Table 5/6 benches report and whose
+ * effective per-request overhead feeds the fabric link parameters.
+ */
+
+#ifndef LSDGNN_MOF_PACKER_HH
+#define LSDGNN_MOF_PACKER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "mof/bdi.hh"
+#include "mof/frame.hh"
+#include "mof/tag.hh"
+
+namespace lsdgnn {
+namespace mof {
+
+/** One read request waiting to be packed. */
+struct ReadRequest {
+    std::uint64_t address;
+    std::uint32_t bytes;
+    ContextTag tag;
+};
+
+/** One emitted package with its byte accounting. */
+struct Package {
+    std::vector<ReadRequest> requests;
+    /** Header bytes on the wire. */
+    std::uint64_t header_bytes = 0;
+    /** Address field bytes after (optional) compression. */
+    std::uint64_t address_bytes = 0;
+    /** Uncompressed address bytes (for reporting compression wins). */
+    std::uint64_t raw_address_bytes = 0;
+
+    std::uint64_t
+    wireBytes() const
+    {
+        return header_bytes + address_bytes;
+    }
+};
+
+/** Options for the packer. */
+struct PackerOptions {
+    FrameFormat format = mofFormat();
+    /** BDI-compress the address fields within each package. */
+    bool compress_addresses = false;
+};
+
+/**
+ * Accumulates requests and flushes them into packages.
+ */
+class RequestPacker
+{
+  public:
+    explicit RequestPacker(PackerOptions opts = PackerOptions{});
+
+    /** Queue one request. */
+    void add(ReadRequest req);
+
+    std::size_t pendingRequests() const { return pending.size(); }
+
+    /**
+     * Pack all pending requests into packages and clear the queue.
+     */
+    std::vector<Package> flush();
+
+    /**
+     * Response-path accounting: bytes on the wire to return @p words
+     * data words per request for a flushed package, with optional BDI
+     * on the data.
+     */
+    static std::uint64_t responseBytes(const Package &pkg,
+                                       std::uint32_t header_bytes,
+                                       bool compress_data,
+                                       std::span<const std::uint64_t>
+                                           data_words);
+
+  private:
+    PackerOptions opts_;
+    std::vector<ReadRequest> pending;
+};
+
+} // namespace mof
+} // namespace lsdgnn
+
+#endif // LSDGNN_MOF_PACKER_HH

@@ -1,0 +1,134 @@
+#include "reliability.hh"
+
+#include <algorithm>
+
+namespace lsdgnn {
+namespace mof {
+
+ReliableChannel::ReliableChannel(sim::EventQueue &eq,
+                                 ReliableChannelParams params,
+                                 DeliverFn deliver_fn)
+    : sim::Component(eq, "mof.reliable"),
+      params_(params),
+      deliver(std::move(deliver_fn)),
+      rng_(params.seed)
+{
+    lsd_assert(params_.window > 0, "ARQ window must be positive");
+    lsd_assert(deliver, "channel needs a delivery callback");
+    statGroup.addCounter("delivered", &delivered_,
+                         "in-order deliveries");
+    statGroup.addCounter("transmissions", &transmissions_,
+                         "data packages put on the wire");
+    statGroup.addCounter("acks", &ackSent, "ACK packages sent");
+    statGroup.addCounter("lost", &dataLost, "data packages lost");
+    statGroup.addCounter("timeouts", &timeouts, "ARQ timeouts fired");
+}
+
+Tick
+ReliableChannel::serialize(std::uint32_t bytes) const
+{
+    return static_cast<Tick>(static_cast<double>(bytes) /
+                             params_.bandwidth *
+                             static_cast<double>(tick_per_s));
+}
+
+void
+ReliableChannel::send(std::uint32_t bytes)
+{
+    sendQueue.push_back(Pending{nextSeq++, bytes});
+    pump();
+}
+
+void
+ReliableChannel::pump()
+{
+    while (!sendQueue.empty() && inFlight.size() < params_.window) {
+        Pending pkg = sendQueue.front();
+        sendQueue.pop_front();
+        inFlight.push_back(pkg);
+        firstTransmissions.inc();
+        transmit(pkg);
+    }
+    if (!inFlight.empty())
+        armTimer();
+}
+
+void
+ReliableChannel::transmit(const Pending &pkg)
+{
+    transmissions_.inc();
+    const Tick start = std::max(curTick(), wireFreeAt);
+    wireFreeAt = start + serialize(pkg.bytes);
+    const Tick arrive = wireFreeAt + params_.flight_latency;
+
+    if (rng_.nextBool(params_.loss_probability)) {
+        dataLost.inc();
+        return; // vanished in flight; the timer recovers it
+    }
+    eventq.schedule(arrive, [this, pkg] { onDataArrival(pkg); });
+}
+
+void
+ReliableChannel::onDataArrival(Pending pkg)
+{
+    if (pkg.seq == expectedSeq) {
+        ++expectedSeq;
+        delivered_.inc();
+        deliver(pkg.seq, pkg.bytes);
+    }
+    // Go-back-N: out-of-order data is dropped; either way the
+    // receiver acknowledges the cumulative in-order prefix.
+    sendAck(expectedSeq);
+}
+
+void
+ReliableChannel::sendAck(std::uint64_t cumulative)
+{
+    ackSent.inc();
+    if (rng_.nextBool(params_.ack_loss_probability))
+        return;
+    // ACKs are tiny; charge flight latency only.
+    eventq.scheduleAfter(params_.flight_latency,
+        [this, cumulative] { onAckArrival(cumulative); });
+}
+
+void
+ReliableChannel::onAckArrival(std::uint64_t cumulative)
+{
+    if (cumulative <= sendBase)
+        return; // stale
+    while (!inFlight.empty() && inFlight.front().seq < cumulative)
+        inFlight.erase(inFlight.begin());
+    sendBase = cumulative;
+    if (timerArmed) {
+        eventq.deschedule(timerHandle);
+        timerArmed = false;
+    }
+    pump();
+}
+
+void
+ReliableChannel::armTimer()
+{
+    if (timerArmed)
+        return;
+    timerArmed = true;
+    timerHandle = eventq.scheduleAfter(params_.timeout,
+                                       [this] { onTimeout(); });
+}
+
+void
+ReliableChannel::onTimeout()
+{
+    timerArmed = false;
+    if (inFlight.empty())
+        return;
+    timeouts.inc();
+    // Go-back-N: retransmit the whole window.
+    for (const Pending &pkg : inFlight)
+        transmit(pkg);
+    armTimer();
+}
+
+} // namespace mof
+} // namespace lsdgnn

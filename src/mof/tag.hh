@@ -1,0 +1,106 @@
+/**
+ * @file
+ * 128-bit request context tags.
+ *
+ * AxE's Tech-3 replaces thread context with a 128-bit tag embedded in
+ * every memory request/response: instead of parking a thread per
+ * outstanding request, the hardware carries just enough context to
+ * route the response and re-establish ordering at the scoreboards.
+ * The field layout below covers everything the GetNeighbor /
+ * GetSample / GetAttribute pipeline needs to identify a response.
+ */
+
+#ifndef LSDGNN_MOF_TAG_HH
+#define LSDGNN_MOF_TAG_HH
+
+#include <cstdint>
+
+#include "common/logging.hh"
+
+namespace lsdgnn {
+namespace mof {
+
+/** Request classes distinguished by the load unit. */
+enum class RequestKind : std::uint8_t {
+    Degree = 0,    ///< CSR offsets read
+    Neighbor = 1,  ///< adjacency slot read
+    Attribute = 2, ///< feature vector read
+    Command = 3,   ///< control traffic
+};
+
+/**
+ * Packed 128-bit context tag.
+ *
+ * Layout (low word):
+ *   [ 7:0]  AxE core id
+ *   [15:8]  hop index
+ *   [17:16] request kind
+ *   [47:18] root index within the batch (30 bits)
+ *   [63:50] neighbor index within the root's fan-out (14 bits)
+ * High word: 48-bit batch sequence number + 16-bit user bits.
+ */
+class ContextTag
+{
+  public:
+    ContextTag() = default;
+
+    ContextTag(std::uint8_t core, std::uint8_t hop, RequestKind kind,
+               std::uint32_t root_index, std::uint16_t neighbor_index,
+               std::uint64_t batch_seq, std::uint16_t user = 0)
+    {
+        lsd_assert(root_index < (1u << 30), "root index field overflow");
+        lsd_assert(neighbor_index < (1u << 14),
+                   "neighbor index field overflow");
+        lsd_assert(batch_seq < (1ull << 48), "batch sequence overflow");
+        lo = static_cast<std::uint64_t>(core) |
+             (static_cast<std::uint64_t>(hop) << 8) |
+             (static_cast<std::uint64_t>(kind) << 16) |
+             (static_cast<std::uint64_t>(root_index) << 18) |
+             (static_cast<std::uint64_t>(neighbor_index) << 50);
+        hi = batch_seq | (static_cast<std::uint64_t>(user) << 48);
+    }
+
+    std::uint8_t core() const { return static_cast<std::uint8_t>(lo); }
+    std::uint8_t hop() const
+    {
+        return static_cast<std::uint8_t>(lo >> 8);
+    }
+    RequestKind kind() const
+    {
+        return static_cast<RequestKind>((lo >> 16) & 0x3);
+    }
+    std::uint32_t rootIndex() const
+    {
+        return static_cast<std::uint32_t>((lo >> 18) & 0x3fffffff);
+    }
+    std::uint16_t neighborIndex() const
+    {
+        return static_cast<std::uint16_t>((lo >> 50) & 0x3fff);
+    }
+    std::uint64_t batchSeq() const { return hi & 0xffffffffffffull; }
+    std::uint16_t user() const
+    {
+        return static_cast<std::uint16_t>(hi >> 48);
+    }
+
+    std::uint64_t rawLo() const { return lo; }
+    std::uint64_t rawHi() const { return hi; }
+
+    bool
+    operator==(const ContextTag &o) const
+    {
+        return lo == o.lo && hi == o.hi;
+    }
+
+    /** Tag bytes on the wire (the "128-bit tag" of the paper). */
+    static constexpr std::uint32_t wire_bytes = 16;
+
+  private:
+    std::uint64_t lo = 0;
+    std::uint64_t hi = 0;
+};
+
+} // namespace mof
+} // namespace lsdgnn
+
+#endif // LSDGNN_MOF_TAG_HH

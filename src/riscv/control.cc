@@ -1,0 +1,142 @@
+#include "control.hh"
+
+#include "common/logging.hh"
+
+namespace lsdgnn {
+namespace riscv {
+
+std::uint32_t
+CommandDevice::mmioAccess(bool is_store, std::uint32_t offset,
+                          std::uint32_t value)
+{
+    switch (offset & 0xf) {
+      case 0x0:
+        if (is_store)
+            pending_lo = value;
+        return pending_lo;
+      case 0x4:
+        if (is_store)
+            complete(pending_lo, value);
+        return 0;
+      case 0x8:
+        // Status: commands accepted so far (poll target).
+        return static_cast<std::uint32_t>(commands.size());
+      default:
+        lsd_warn("access to unmapped device register offset ", offset);
+        return 0;
+    }
+}
+
+void
+CommandDevice::qrchCommand(std::uint32_t lo, std::uint32_t hi)
+{
+    complete(lo, hi);
+}
+
+void
+CommandDevice::attachResponseQueue(QrchHub *hub, std::uint32_t qid)
+{
+    responseHub = hub;
+    responseQid = qid;
+}
+
+void
+CommandDevice::complete(std::uint32_t lo, std::uint32_t hi)
+{
+    commands.push_back(Command{lo, hi});
+    if (responseHub) {
+        const bool ok = responseHub->push(responseQid,
+            static_cast<std::uint32_t>(commands.size()));
+        if (!ok)
+            lsd_warn("response queue overflow");
+    }
+}
+
+InteractionResult
+measureMmioInteraction(std::uint32_t n)
+{
+    lsd_assert(n > 0, "need at least one command");
+    Rv32Core core;
+    CommandDevice device;
+    constexpr std::uint32_t device_base = 0x8000'0000;
+    core.mapMmio(device_base, 0x1000,
+        [&device](bool is_store, std::uint32_t addr, std::uint32_t v) {
+            return device.mmioAccess(is_store, addr & 0xfff, v);
+        });
+
+    // a0 = device base, a1 = loop counter, a2 = command payload.
+    // loop: sw a2, 0(a0); sw a2, 4(a0); lw a3, 8(a0);
+    //       addi a1, a1, -1; bne a1, zero, loop; ecall
+    using namespace encode;
+    std::vector<Insn> prog;
+    prog.push_back(lui(a0, static_cast<std::int32_t>(device_base >> 12)));
+    prog.push_back(addi(a1, zero,
+        static_cast<std::int32_t>(n)));
+    prog.push_back(addi(a2, zero, 42));
+    const std::int32_t loop_len = 5 * 4;
+    prog.push_back(sw(a2, a0, 0));
+    prog.push_back(sw(a2, a0, 4));
+    prog.push_back(lw(a3, a0, 8));
+    prog.push_back(addi(a1, a1, -1));
+    prog.push_back(bne(a1, zero, -(loop_len - 4)));
+    prog.push_back(ecall());
+
+    core.loadProgram(prog);
+    const std::uint64_t before = core.cycles();
+    const StopReason reason = core.run(200 + 40ull * n);
+    lsd_assert(reason == StopReason::Ecall,
+               "MMIO program did not finish cleanly");
+    const std::uint64_t total = core.cycles() - before;
+    return InteractionResult{
+        static_cast<double>(total) / static_cast<double>(n),
+        device.received().size()};
+}
+
+InteractionResult
+measureQrchInteraction(std::uint32_t n)
+{
+    lsd_assert(n > 0, "need at least one command");
+    Rv32Core core;
+    QrchHub hub(2, 16);
+    CommandDevice device;
+    hub.setConsumer(0, [&device](std::uint32_t lo, std::uint32_t hi) {
+        device.qrchCommand(lo, hi);
+    });
+    device.attachResponseQueue(&hub, 1);
+    core.attachQrch(&hub);
+
+    // loop: qrch.enq q0, a2, a2; qrch.deq a3, q1;
+    //       addi a1, a1, -1; bne a1, zero, loop; ecall
+    using namespace encode;
+    std::vector<Insn> prog;
+    prog.push_back(addi(a1, zero, static_cast<std::int32_t>(n)));
+    prog.push_back(addi(a2, zero, 42));
+    const std::int32_t loop_len = 4 * 4;
+    prog.push_back(qrchEnq(0, a2, a2));
+    prog.push_back(qrchDeq(a3, 1));
+    prog.push_back(addi(a1, a1, -1));
+    prog.push_back(bne(a1, zero, -(loop_len - 4)));
+    prog.push_back(ecall());
+
+    core.loadProgram(prog);
+    const std::uint64_t before = core.cycles();
+    const StopReason reason = core.run(200 + 40ull * n);
+    lsd_assert(reason == StopReason::Ecall,
+               "QRCH program did not finish cleanly");
+    const std::uint64_t total = core.cycles() - before;
+    return InteractionResult{
+        static_cast<double>(total) / static_cast<double>(n),
+        device.received().size()};
+}
+
+InteractionResult
+modelIsaExtInteraction(std::uint32_t n)
+{
+    lsd_assert(n > 0, "need at least one command");
+    // A tightly-coupled extension retires the command from the execute
+    // stage: one cycle per command, no bus, no queue handshake.
+    return InteractionResult{1.0, n};
+}
+
+} // namespace riscv
+} // namespace lsdgnn

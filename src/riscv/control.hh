@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Accelerator control interface comparison (paper Table 7).
+ *
+ * A CommandDevice stands in for the AxE command decoder. Control
+ * programs running on the RV32 core push (lo, hi) command words to it
+ * through one of three mechanisms and wait for the acknowledgement:
+ *
+ *  - MMIO: two stores into device registers + a status load over the
+ *    SoC bus (~100 cycles per access);
+ *  - QRCH: one qrch.enq plus one qrch.deq (~10 cycles per access);
+ *  - tightly-coupled ISA extension: the command issues from inside
+ *    the pipeline (~1 cycle), modeled analytically since it requires
+ *    modifying the core's execute stage.
+ *
+ * measure*Interaction() run real interpreted programs and report
+ * cycles per command round trip.
+ */
+
+#ifndef LSDGNN_RISCV_CONTROL_HH
+#define LSDGNN_RISCV_CONTROL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "riscv/rv32.hh"
+
+namespace lsdgnn {
+namespace riscv {
+
+/**
+ * Command sink playing the accelerator's role.
+ */
+class CommandDevice
+{
+  public:
+    /** One received 64-bit command. */
+    struct Command {
+        std::uint32_t lo;
+        std::uint32_t hi;
+    };
+
+    /** Commands received so far. */
+    const std::vector<Command> &received() const { return commands; }
+
+    /** MMIO register block: 0x0 cmd_lo, 0x4 cmd_hi(+fire), 0x8 status. */
+    std::uint32_t mmioAccess(bool is_store, std::uint32_t offset,
+                             std::uint32_t value);
+
+    /** QRCH consumer: a (lo, hi) pair arrives from the command queue. */
+    void qrchCommand(std::uint32_t lo, std::uint32_t hi);
+
+    /** Attach the response path (QRCH queue to push acks into). */
+    void attachResponseQueue(QrchHub *hub, std::uint32_t qid);
+
+  private:
+    void complete(std::uint32_t lo, std::uint32_t hi);
+
+    std::vector<Command> commands;
+    std::uint32_t pending_lo = 0;
+    QrchHub *responseHub = nullptr;
+    std::uint32_t responseQid = 0;
+};
+
+/** Result of one interaction measurement. */
+struct InteractionResult {
+    /** Cycles per command round trip. */
+    double cycles_per_command;
+    /** Commands actually delivered (validation). */
+    std::uint64_t commands_delivered;
+};
+
+/** Issue @p n commands through MMIO registers and measure cycles. */
+InteractionResult measureMmioInteraction(std::uint32_t n);
+
+/** Issue @p n commands through QRCH queues and measure cycles. */
+InteractionResult measureQrchInteraction(std::uint32_t n);
+
+/**
+ * Tightly-coupled ISA extension: the analytical single-cycle bound
+ * (the instruction retires from the execute stage directly).
+ */
+InteractionResult modelIsaExtInteraction(std::uint32_t n);
+
+} // namespace riscv
+} // namespace lsdgnn
+
+#endif // LSDGNN_RISCV_CONTROL_HH

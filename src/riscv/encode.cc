@@ -1,0 +1,289 @@
+#include "encode.hh"
+
+#include "common/logging.hh"
+
+namespace lsdgnn {
+namespace riscv {
+namespace encode {
+
+namespace {
+
+constexpr std::uint32_t op_load = 0x03;
+constexpr std::uint32_t op_imm = 0x13;
+constexpr std::uint32_t op_auipc = 0x17;
+constexpr std::uint32_t op_store = 0x23;
+constexpr std::uint32_t op_reg = 0x33;
+constexpr std::uint32_t op_lui = 0x37;
+constexpr std::uint32_t op_branch = 0x63;
+constexpr std::uint32_t op_jalr = 0x67;
+constexpr std::uint32_t op_jal = 0x6f;
+constexpr std::uint32_t op_system = 0x73;
+constexpr std::uint32_t op_custom0 = 0x0b;
+
+std::uint32_t
+checkImm12(std::int32_t imm)
+{
+    lsd_assert(imm >= -2048 && imm <= 2047,
+               "12-bit immediate out of range: ", imm);
+    return static_cast<std::uint32_t>(imm) & 0xfff;
+}
+
+} // namespace
+
+Insn
+rType(std::uint32_t funct7, std::uint32_t rs2, std::uint32_t rs1,
+      std::uint32_t funct3, std::uint32_t rd, std::uint32_t opcode)
+{
+    return (funct7 << 25) | (rs2 << 20) | (rs1 << 15) | (funct3 << 12) |
+           (rd << 7) | opcode;
+}
+
+Insn
+iType(std::int32_t imm, std::uint32_t rs1, std::uint32_t funct3,
+      std::uint32_t rd, std::uint32_t opcode)
+{
+    return (checkImm12(imm) << 20) | (rs1 << 15) | (funct3 << 12) |
+           (rd << 7) | opcode;
+}
+
+Insn
+sType(std::int32_t imm, std::uint32_t rs2, std::uint32_t rs1,
+      std::uint32_t funct3, std::uint32_t opcode)
+{
+    const std::uint32_t u = checkImm12(imm);
+    return ((u >> 5) << 25) | (rs2 << 20) | (rs1 << 15) | (funct3 << 12) |
+           ((u & 0x1f) << 7) | opcode;
+}
+
+Insn
+bType(std::int32_t imm, std::uint32_t rs2, std::uint32_t rs1,
+      std::uint32_t funct3, std::uint32_t opcode)
+{
+    lsd_assert(imm >= -4096 && imm <= 4095 && (imm & 1) == 0,
+               "branch offset out of range or misaligned: ", imm);
+    const auto u = static_cast<std::uint32_t>(imm);
+    return (((u >> 12) & 1) << 31) | (((u >> 5) & 0x3f) << 25) |
+           (rs2 << 20) | (rs1 << 15) | (funct3 << 12) |
+           (((u >> 1) & 0xf) << 8) | (((u >> 11) & 1) << 7) | opcode;
+}
+
+Insn
+uType(std::int32_t imm, std::uint32_t rd, std::uint32_t opcode)
+{
+    return (static_cast<std::uint32_t>(imm) << 12) | (rd << 7) | opcode;
+}
+
+Insn
+jType(std::int32_t imm, std::uint32_t rd, std::uint32_t opcode)
+{
+    lsd_assert(imm >= -(1 << 20) && imm < (1 << 20) && (imm & 1) == 0,
+               "jump offset out of range or misaligned: ", imm);
+    const auto u = static_cast<std::uint32_t>(imm);
+    return (((u >> 20) & 1) << 31) | (((u >> 1) & 0x3ff) << 21) |
+           (((u >> 11) & 1) << 20) | (((u >> 12) & 0xff) << 12) |
+           (rd << 7) | opcode;
+}
+
+Insn lui(Reg rd, std::int32_t imm20) { return uType(imm20, rd, op_lui); }
+Insn auipc(Reg rd, std::int32_t imm20)
+{
+    return uType(imm20, rd, op_auipc);
+}
+Insn jal(Reg rd, std::int32_t offset)
+{
+    return jType(offset, rd, op_jal);
+}
+Insn jalr(Reg rd, Reg rs1, std::int32_t offset)
+{
+    return iType(offset, rs1, 0, rd, op_jalr);
+}
+Insn beq(Reg rs1, Reg rs2, std::int32_t offset)
+{
+    return bType(offset, rs2, rs1, 0, op_branch);
+}
+Insn bne(Reg rs1, Reg rs2, std::int32_t offset)
+{
+    return bType(offset, rs2, rs1, 1, op_branch);
+}
+Insn blt(Reg rs1, Reg rs2, std::int32_t offset)
+{
+    return bType(offset, rs2, rs1, 4, op_branch);
+}
+Insn bge(Reg rs1, Reg rs2, std::int32_t offset)
+{
+    return bType(offset, rs2, rs1, 5, op_branch);
+}
+Insn bltu(Reg rs1, Reg rs2, std::int32_t offset)
+{
+    return bType(offset, rs2, rs1, 6, op_branch);
+}
+Insn bgeu(Reg rs1, Reg rs2, std::int32_t offset)
+{
+    return bType(offset, rs2, rs1, 7, op_branch);
+}
+Insn lb(Reg rd, Reg rs1, std::int32_t offset)
+{
+    return iType(offset, rs1, 0, rd, op_load);
+}
+Insn lh(Reg rd, Reg rs1, std::int32_t offset)
+{
+    return iType(offset, rs1, 1, rd, op_load);
+}
+Insn lw(Reg rd, Reg rs1, std::int32_t offset)
+{
+    return iType(offset, rs1, 2, rd, op_load);
+}
+Insn lbu(Reg rd, Reg rs1, std::int32_t offset)
+{
+    return iType(offset, rs1, 4, rd, op_load);
+}
+Insn lhu(Reg rd, Reg rs1, std::int32_t offset)
+{
+    return iType(offset, rs1, 5, rd, op_load);
+}
+Insn sb(Reg rs2, Reg rs1, std::int32_t offset)
+{
+    return sType(offset, rs2, rs1, 0, op_store);
+}
+Insn sh(Reg rs2, Reg rs1, std::int32_t offset)
+{
+    return sType(offset, rs2, rs1, 1, op_store);
+}
+Insn sw(Reg rs2, Reg rs1, std::int32_t offset)
+{
+    return sType(offset, rs2, rs1, 2, op_store);
+}
+Insn addi(Reg rd, Reg rs1, std::int32_t imm)
+{
+    return iType(imm, rs1, 0, rd, op_imm);
+}
+Insn slti(Reg rd, Reg rs1, std::int32_t imm)
+{
+    return iType(imm, rs1, 2, rd, op_imm);
+}
+Insn sltiu(Reg rd, Reg rs1, std::int32_t imm)
+{
+    return iType(imm, rs1, 3, rd, op_imm);
+}
+Insn xori(Reg rd, Reg rs1, std::int32_t imm)
+{
+    return iType(imm, rs1, 4, rd, op_imm);
+}
+Insn ori(Reg rd, Reg rs1, std::int32_t imm)
+{
+    return iType(imm, rs1, 6, rd, op_imm);
+}
+Insn andi(Reg rd, Reg rs1, std::int32_t imm)
+{
+    return iType(imm, rs1, 7, rd, op_imm);
+}
+Insn slli(Reg rd, Reg rs1, std::uint32_t shamt)
+{
+    return rType(0, shamt, rs1, 1, rd, op_imm);
+}
+Insn srli(Reg rd, Reg rs1, std::uint32_t shamt)
+{
+    return rType(0, shamt, rs1, 5, rd, op_imm);
+}
+Insn srai(Reg rd, Reg rs1, std::uint32_t shamt)
+{
+    return rType(0x20, shamt, rs1, 5, rd, op_imm);
+}
+Insn add(Reg rd, Reg rs1, Reg rs2)
+{
+    return rType(0, rs2, rs1, 0, rd, op_reg);
+}
+Insn sub(Reg rd, Reg rs1, Reg rs2)
+{
+    return rType(0x20, rs2, rs1, 0, rd, op_reg);
+}
+Insn sll(Reg rd, Reg rs1, Reg rs2)
+{
+    return rType(0, rs2, rs1, 1, rd, op_reg);
+}
+Insn slt(Reg rd, Reg rs1, Reg rs2)
+{
+    return rType(0, rs2, rs1, 2, rd, op_reg);
+}
+Insn sltu(Reg rd, Reg rs1, Reg rs2)
+{
+    return rType(0, rs2, rs1, 3, rd, op_reg);
+}
+Insn xor_(Reg rd, Reg rs1, Reg rs2)
+{
+    return rType(0, rs2, rs1, 4, rd, op_reg);
+}
+Insn srl(Reg rd, Reg rs1, Reg rs2)
+{
+    return rType(0, rs2, rs1, 5, rd, op_reg);
+}
+Insn sra(Reg rd, Reg rs1, Reg rs2)
+{
+    return rType(0x20, rs2, rs1, 5, rd, op_reg);
+}
+Insn or_(Reg rd, Reg rs1, Reg rs2)
+{
+    return rType(0, rs2, rs1, 6, rd, op_reg);
+}
+Insn and_(Reg rd, Reg rs1, Reg rs2)
+{
+    return rType(0, rs2, rs1, 7, rd, op_reg);
+}
+Insn ecall() { return iType(0, 0, 0, 0, op_system); }
+Insn ebreak() { return iType(1, 0, 0, 0, op_system); }
+
+Insn mul(Reg rd, Reg rs1, Reg rs2)
+{
+    return rType(1, rs2, rs1, 0, rd, op_reg);
+}
+Insn mulh(Reg rd, Reg rs1, Reg rs2)
+{
+    return rType(1, rs2, rs1, 1, rd, op_reg);
+}
+Insn mulhu(Reg rd, Reg rs1, Reg rs2)
+{
+    return rType(1, rs2, rs1, 3, rd, op_reg);
+}
+Insn div(Reg rd, Reg rs1, Reg rs2)
+{
+    return rType(1, rs2, rs1, 4, rd, op_reg);
+}
+Insn divu(Reg rd, Reg rs1, Reg rs2)
+{
+    return rType(1, rs2, rs1, 5, rd, op_reg);
+}
+Insn rem(Reg rd, Reg rs1, Reg rs2)
+{
+    return rType(1, rs2, rs1, 6, rd, op_reg);
+}
+Insn remu(Reg rd, Reg rs1, Reg rs2)
+{
+    return rType(1, rs2, rs1, 7, rd, op_reg);
+}
+
+Insn
+qrchEnq(std::uint32_t qid, Reg rs1, Reg rs2)
+{
+    lsd_assert(qid < 128, "queue id out of range");
+    return rType(qid & 0x7f, rs2, rs1, 0, 0, op_custom0);
+}
+
+Insn
+qrchDeq(Reg rd, std::uint32_t qid)
+{
+    lsd_assert(qid < 128, "queue id out of range");
+    return rType(qid & 0x7f, 0, 0, 1, rd, op_custom0);
+}
+
+Insn
+qrchStat(Reg rd, std::uint32_t qid)
+{
+    lsd_assert(qid < 128, "queue id out of range");
+    return rType(qid & 0x7f, 0, 0, 2, rd, op_custom0);
+}
+
+Insn nop() { return addi(zero, zero, 0); }
+
+} // namespace encode
+} // namespace riscv
+} // namespace lsdgnn

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * RV32 instruction encoders.
+ *
+ * The repo carries no external toolchain, so control programs for the
+ * RISC-V core are assembled in C++ with these helpers. Encodings
+ * follow the RISC-V unprivileged spec; QRCH instructions live in the
+ * custom-0 opcode space (0x0B), exactly where a vendor extension like
+ * the Xuantie E906's would sit.
+ */
+
+#ifndef LSDGNN_RISCV_ENCODE_HH
+#define LSDGNN_RISCV_ENCODE_HH
+
+#include <cstdint>
+
+namespace lsdgnn {
+namespace riscv {
+
+using Insn = std::uint32_t;
+
+/** Register indices (x0..x31) with the usual ABI aliases. */
+enum Reg : std::uint32_t {
+    zero = 0, ra = 1, sp = 2, gp = 3, tp = 4,
+    t0 = 5, t1 = 6, t2 = 7,
+    s0 = 8, s1 = 9,
+    a0 = 10, a1 = 11, a2 = 12, a3 = 13, a4 = 14, a5 = 15,
+    a6 = 16, a7 = 17,
+    s2 = 18, s3 = 19, s4 = 20, s5 = 21,
+    t3 = 28, t4 = 29, t5 = 30, t6 = 31,
+};
+
+namespace encode {
+
+Insn rType(std::uint32_t funct7, std::uint32_t rs2, std::uint32_t rs1,
+           std::uint32_t funct3, std::uint32_t rd, std::uint32_t opcode);
+Insn iType(std::int32_t imm, std::uint32_t rs1, std::uint32_t funct3,
+           std::uint32_t rd, std::uint32_t opcode);
+Insn sType(std::int32_t imm, std::uint32_t rs2, std::uint32_t rs1,
+           std::uint32_t funct3, std::uint32_t opcode);
+Insn bType(std::int32_t imm, std::uint32_t rs2, std::uint32_t rs1,
+           std::uint32_t funct3, std::uint32_t opcode);
+Insn uType(std::int32_t imm, std::uint32_t rd, std::uint32_t opcode);
+Insn jType(std::int32_t imm, std::uint32_t rd, std::uint32_t opcode);
+
+// RV32I
+Insn lui(Reg rd, std::int32_t imm20);
+Insn auipc(Reg rd, std::int32_t imm20);
+Insn jal(Reg rd, std::int32_t offset);
+Insn jalr(Reg rd, Reg rs1, std::int32_t offset);
+Insn beq(Reg rs1, Reg rs2, std::int32_t offset);
+Insn bne(Reg rs1, Reg rs2, std::int32_t offset);
+Insn blt(Reg rs1, Reg rs2, std::int32_t offset);
+Insn bge(Reg rs1, Reg rs2, std::int32_t offset);
+Insn bltu(Reg rs1, Reg rs2, std::int32_t offset);
+Insn bgeu(Reg rs1, Reg rs2, std::int32_t offset);
+Insn lb(Reg rd, Reg rs1, std::int32_t offset);
+Insn lh(Reg rd, Reg rs1, std::int32_t offset);
+Insn lw(Reg rd, Reg rs1, std::int32_t offset);
+Insn lbu(Reg rd, Reg rs1, std::int32_t offset);
+Insn lhu(Reg rd, Reg rs1, std::int32_t offset);
+Insn sb(Reg rs2, Reg rs1, std::int32_t offset);
+Insn sh(Reg rs2, Reg rs1, std::int32_t offset);
+Insn sw(Reg rs2, Reg rs1, std::int32_t offset);
+Insn addi(Reg rd, Reg rs1, std::int32_t imm);
+Insn slti(Reg rd, Reg rs1, std::int32_t imm);
+Insn sltiu(Reg rd, Reg rs1, std::int32_t imm);
+Insn xori(Reg rd, Reg rs1, std::int32_t imm);
+Insn ori(Reg rd, Reg rs1, std::int32_t imm);
+Insn andi(Reg rd, Reg rs1, std::int32_t imm);
+Insn slli(Reg rd, Reg rs1, std::uint32_t shamt);
+Insn srli(Reg rd, Reg rs1, std::uint32_t shamt);
+Insn srai(Reg rd, Reg rs1, std::uint32_t shamt);
+Insn add(Reg rd, Reg rs1, Reg rs2);
+Insn sub(Reg rd, Reg rs1, Reg rs2);
+Insn sll(Reg rd, Reg rs1, Reg rs2);
+Insn slt(Reg rd, Reg rs1, Reg rs2);
+Insn sltu(Reg rd, Reg rs1, Reg rs2);
+Insn xor_(Reg rd, Reg rs1, Reg rs2);
+Insn srl(Reg rd, Reg rs1, Reg rs2);
+Insn sra(Reg rd, Reg rs1, Reg rs2);
+Insn or_(Reg rd, Reg rs1, Reg rs2);
+Insn and_(Reg rd, Reg rs1, Reg rs2);
+Insn ecall();
+Insn ebreak();
+
+// RV32M
+Insn mul(Reg rd, Reg rs1, Reg rs2);
+Insn mulh(Reg rd, Reg rs1, Reg rs2);
+Insn mulhu(Reg rd, Reg rs1, Reg rs2);
+Insn div(Reg rd, Reg rs1, Reg rs2);
+Insn divu(Reg rd, Reg rs1, Reg rs2);
+Insn rem(Reg rd, Reg rs1, Reg rs2);
+Insn remu(Reg rd, Reg rs1, Reg rs2);
+
+/**
+ * QRCH extension (custom-0 opcode 0x0B):
+ *  - qrch.enq  qid, rs1, rs2 : push the (rs1, rs2) pair into queue qid
+ *  - qrch.deq  rd, qid       : pop one word from queue qid into rd;
+ *                              stalls the hart while the queue is empty
+ *  - qrch.stat rd, qid       : queue occupancy into rd (non-blocking)
+ */
+Insn qrchEnq(std::uint32_t qid, Reg rs1, Reg rs2);
+Insn qrchDeq(Reg rd, std::uint32_t qid);
+Insn qrchStat(Reg rd, std::uint32_t qid);
+
+/** Canonical nop (addi x0, x0, 0). */
+Insn nop();
+
+} // namespace encode
+} // namespace riscv
+} // namespace lsdgnn
+
+#endif // LSDGNN_RISCV_ENCODE_HH

@@ -1,0 +1,75 @@
+#include "qrch.hh"
+
+#include "common/logging.hh"
+
+namespace lsdgnn {
+namespace riscv {
+
+QrchHub::QrchHub(std::uint32_t num_queues, std::uint32_t depth)
+    : queues(num_queues), consumers(num_queues), depth_(depth)
+{
+    lsd_assert(num_queues > 0, "hub needs at least one queue");
+    lsd_assert(depth > 0, "queues need at least one entry");
+}
+
+void
+QrchHub::checkQid(std::uint32_t qid) const
+{
+    lsd_assert(qid < queues.size(), "queue id ", qid, " out of range");
+}
+
+bool
+QrchHub::enqueue(std::uint32_t qid, std::uint32_t lo, std::uint32_t hi)
+{
+    checkQid(qid);
+    if (queues[qid].size() + 2 > depth_)
+        return false;
+    enqueues.inc();
+    if (consumers[qid]) {
+        // The attached accelerator drains the pair immediately.
+        consumers[qid](lo, hi);
+        return true;
+    }
+    queues[qid].push_back(lo);
+    queues[qid].push_back(hi);
+    return true;
+}
+
+bool
+QrchHub::dequeue(std::uint32_t qid, std::uint32_t &value)
+{
+    checkQid(qid);
+    if (queues[qid].empty())
+        return false;
+    value = queues[qid].front();
+    queues[qid].pop_front();
+    dequeues.inc();
+    return true;
+}
+
+std::uint32_t
+QrchHub::occupancy(std::uint32_t qid) const
+{
+    checkQid(qid);
+    return static_cast<std::uint32_t>(queues[qid].size());
+}
+
+bool
+QrchHub::push(std::uint32_t qid, std::uint32_t value)
+{
+    checkQid(qid);
+    if (queues[qid].size() >= depth_)
+        return false;
+    queues[qid].push_back(value);
+    return true;
+}
+
+void
+QrchHub::setConsumer(std::uint32_t qid, Consumer consumer)
+{
+    checkQid(qid);
+    consumers[qid] = std::move(consumer);
+}
+
+} // namespace riscv
+} // namespace lsdgnn

@@ -1,0 +1,385 @@
+#include "rv32.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace lsdgnn {
+namespace riscv {
+
+namespace {
+
+std::int32_t
+signExtend(std::uint32_t value, std::uint32_t bits)
+{
+    const std::uint32_t shift = 32 - bits;
+    return static_cast<std::int32_t>(value << shift) >> shift;
+}
+
+} // namespace
+
+Rv32Core::Rv32Core(std::uint32_t mem_bytes, InteractionCosts costs)
+    : mem(mem_bytes, 0), costs_(costs)
+{
+    lsd_assert(mem_bytes >= 1024, "memory too small for any program");
+}
+
+void
+Rv32Core::loadProgram(const std::vector<Insn> &program,
+                      std::uint32_t base)
+{
+    lsd_assert(base + program.size() * 4 <= mem.size(),
+               "program does not fit in memory");
+    for (std::size_t i = 0; i < program.size(); ++i)
+        storeWord(base + static_cast<std::uint32_t>(i * 4), program[i]);
+    pc_ = base;
+}
+
+void
+Rv32Core::mapMmio(std::uint32_t base, std::uint32_t size,
+                  MmioHandler handler)
+{
+    lsd_assert(handler, "MMIO range needs a handler");
+    lsd_assert(base >= mem.size(),
+               "MMIO range shadows tightly-coupled memory");
+    mmio.push_back(MmioRange{base, size, std::move(handler)});
+}
+
+void
+Rv32Core::setReg(Reg r, std::uint32_t v)
+{
+    if (r != zero)
+        regs[r] = v;
+}
+
+std::uint32_t
+Rv32Core::loadWord(std::uint32_t addr) const
+{
+    lsd_assert(addr + 4 <= mem.size(), "loadWord out of range");
+    std::uint32_t v;
+    std::memcpy(&v, &mem[addr], 4);
+    return v;
+}
+
+void
+Rv32Core::storeWord(std::uint32_t addr, std::uint32_t value)
+{
+    lsd_assert(addr + 4 <= mem.size(), "storeWord out of range");
+    std::memcpy(&mem[addr], &value, 4);
+}
+
+const Rv32Core::MmioRange *
+Rv32Core::findMmio(std::uint32_t addr) const
+{
+    for (const auto &range : mmio)
+        if (addr >= range.base && addr < range.base + range.size)
+            return &range;
+    return nullptr;
+}
+
+std::uint32_t
+Rv32Core::readMem(std::uint32_t addr, std::uint32_t bytes,
+                  bool sign_extend_result, bool &fault)
+{
+    fault = false;
+    if (const MmioRange *range = findMmio(addr)) {
+        cycles_ += costs_.mmio_access_cycles;
+        return range->handler(false, addr, 0);
+    }
+    if (addr + bytes > mem.size()) {
+        fault = true;
+        return 0;
+    }
+    cycles_ += costs_.load_cycles;
+    std::uint32_t v = 0;
+    std::memcpy(&v, &mem[addr], bytes);
+    if (sign_extend_result && bytes < 4)
+        v = static_cast<std::uint32_t>(signExtend(v, bytes * 8));
+    return v;
+}
+
+bool
+Rv32Core::writeMem(std::uint32_t addr, std::uint32_t bytes,
+                   std::uint32_t value)
+{
+    if (const MmioRange *range = findMmio(addr)) {
+        cycles_ += costs_.mmio_access_cycles;
+        range->handler(true, addr, value);
+        return true;
+    }
+    if (addr + bytes > mem.size())
+        return false;
+    cycles_ += costs_.store_cycles;
+    std::memcpy(&mem[addr], &value, bytes);
+    return true;
+}
+
+StopReason
+Rv32Core::executeQrch(Insn insn)
+{
+    if (!qrch) {
+        lsd_warn("QRCH instruction without an attached hub");
+        return StopReason::Fault;
+    }
+    const std::uint32_t funct3 = (insn >> 12) & 7;
+    const std::uint32_t qid = (insn >> 25) & 0x7f;
+    const auto rd = static_cast<Reg>((insn >> 7) & 0x1f);
+    const auto rs1 = static_cast<Reg>((insn >> 15) & 0x1f);
+    const auto rs2 = static_cast<Reg>((insn >> 20) & 0x1f);
+
+    cycles_ += costs_.qrch_access_cycles;
+    switch (funct3) {
+      case 0: // qrch.enq
+        if (!qrch->enqueue(qid, regs[rs1], regs[rs2]))
+            return StopReason::StalledOnQueue;
+        break;
+      case 1: { // qrch.deq
+        std::uint32_t value;
+        if (!qrch->dequeue(qid, value))
+            return StopReason::StalledOnQueue;
+        setReg(rd, value);
+        break;
+      }
+      case 2: // qrch.stat
+        setReg(rd, qrch->occupancy(qid));
+        break;
+      default:
+        return StopReason::Fault;
+    }
+    pc_ += 4;
+    ++retired;
+    return StopReason::Running;
+}
+
+StopReason
+Rv32Core::step()
+{
+    if (pc_ + 4 > mem.size())
+        return StopReason::Fault;
+    const Insn insn = loadWord(pc_);
+    const std::uint32_t opcode = insn & 0x7f;
+    const auto rd = static_cast<Reg>((insn >> 7) & 0x1f);
+    const auto rs1 = static_cast<Reg>((insn >> 15) & 0x1f);
+    const auto rs2 = static_cast<Reg>((insn >> 20) & 0x1f);
+    const std::uint32_t funct3 = (insn >> 12) & 7;
+    const std::uint32_t funct7 = insn >> 25;
+
+    ++cycles_; // base cost; memory/M-ext costs added below
+    bool fault = false;
+
+    switch (opcode) {
+      case 0x37: // LUI
+        setReg(rd, insn & 0xfffff000);
+        break;
+      case 0x17: // AUIPC
+        setReg(rd, pc_ + (insn & 0xfffff000));
+        break;
+      case 0x6f: { // JAL
+        std::uint32_t imm = (((insn >> 31) & 1) << 20) |
+                            (((insn >> 21) & 0x3ff) << 1) |
+                            (((insn >> 20) & 1) << 11) |
+                            (((insn >> 12) & 0xff) << 12);
+        setReg(rd, pc_ + 4);
+        pc_ += static_cast<std::uint32_t>(signExtend(imm, 21));
+        ++retired;
+        return StopReason::Running;
+      }
+      case 0x67: { // JALR
+        const std::uint32_t target =
+            (regs[rs1] +
+             static_cast<std::uint32_t>(signExtend(insn >> 20, 12))) &
+            ~1u;
+        setReg(rd, pc_ + 4);
+        pc_ = target;
+        ++retired;
+        return StopReason::Running;
+      }
+      case 0x63: { // branches
+        std::uint32_t imm = (((insn >> 31) & 1) << 12) |
+                            (((insn >> 25) & 0x3f) << 5) |
+                            (((insn >> 8) & 0xf) << 1) |
+                            (((insn >> 7) & 1) << 11);
+        const auto offset =
+            static_cast<std::uint32_t>(signExtend(imm, 13));
+        const auto lhs = regs[rs1];
+        const auto rhs = regs[rs2];
+        bool taken = false;
+        switch (funct3) {
+          case 0: taken = lhs == rhs; break;
+          case 1: taken = lhs != rhs; break;
+          case 4:
+            taken = static_cast<std::int32_t>(lhs) <
+                    static_cast<std::int32_t>(rhs);
+            break;
+          case 5:
+            taken = static_cast<std::int32_t>(lhs) >=
+                    static_cast<std::int32_t>(rhs);
+            break;
+          case 6: taken = lhs < rhs; break;
+          case 7: taken = lhs >= rhs; break;
+          default: return StopReason::Fault;
+        }
+        pc_ += taken ? offset : 4;
+        ++retired;
+        return StopReason::Running;
+      }
+      case 0x03: { // loads
+        const std::uint32_t addr = regs[rs1] +
+            static_cast<std::uint32_t>(signExtend(insn >> 20, 12));
+        std::uint32_t value = 0;
+        switch (funct3) {
+          case 0: value = readMem(addr, 1, true, fault); break;
+          case 1: value = readMem(addr, 2, true, fault); break;
+          case 2: value = readMem(addr, 4, false, fault); break;
+          case 4: value = readMem(addr, 1, false, fault); break;
+          case 5: value = readMem(addr, 2, false, fault); break;
+          default: return StopReason::Fault;
+        }
+        if (fault)
+            return StopReason::Fault;
+        setReg(rd, value);
+        break;
+      }
+      case 0x23: { // stores
+        std::uint32_t imm = ((insn >> 25) << 5) | ((insn >> 7) & 0x1f);
+        const std::uint32_t addr = regs[rs1] +
+            static_cast<std::uint32_t>(signExtend(imm, 12));
+        const std::uint32_t bytes = funct3 == 0 ? 1
+            : funct3 == 1 ? 2
+            : funct3 == 2 ? 4 : 0;
+        if (bytes == 0)
+            return StopReason::Fault;
+        if (!writeMem(addr, bytes, regs[rs2]))
+            return StopReason::Fault;
+        break;
+      }
+      case 0x13: { // OP-IMM
+        const auto imm =
+            static_cast<std::uint32_t>(signExtend(insn >> 20, 12));
+        const std::uint32_t shamt = (insn >> 20) & 0x1f;
+        switch (funct3) {
+          case 0: setReg(rd, regs[rs1] + imm); break;
+          case 1: setReg(rd, regs[rs1] << shamt); break;
+          case 2:
+            setReg(rd, static_cast<std::int32_t>(regs[rs1]) <
+                       static_cast<std::int32_t>(imm));
+            break;
+          case 3: setReg(rd, regs[rs1] < imm); break;
+          case 4: setReg(rd, regs[rs1] ^ imm); break;
+          case 5:
+            if (funct7 & 0x20)
+                setReg(rd, static_cast<std::uint32_t>(
+                    static_cast<std::int32_t>(regs[rs1]) >> shamt));
+            else
+                setReg(rd, regs[rs1] >> shamt);
+            break;
+          case 6: setReg(rd, regs[rs1] | imm); break;
+          case 7: setReg(rd, regs[rs1] & imm); break;
+          default: return StopReason::Fault;
+        }
+        break;
+      }
+      case 0x33: { // OP
+        if (funct7 == 1) { // M extension
+            const std::uint64_t a = regs[rs1];
+            const std::uint64_t b = regs[rs2];
+            const auto sa = static_cast<std::int32_t>(regs[rs1]);
+            const auto sb = static_cast<std::int32_t>(regs[rs2]);
+            switch (funct3) {
+              case 0:
+                cycles_ += costs_.mul_cycles - 1;
+                setReg(rd, regs[rs1] * regs[rs2]);
+                break;
+              case 1:
+                cycles_ += costs_.mul_cycles - 1;
+                setReg(rd, static_cast<std::uint32_t>(
+                    (static_cast<std::int64_t>(sa) *
+                     static_cast<std::int64_t>(sb)) >> 32));
+                break;
+              case 3:
+                cycles_ += costs_.mul_cycles - 1;
+                setReg(rd, static_cast<std::uint32_t>((a * b) >> 32));
+                break;
+              case 4:
+                cycles_ += costs_.div_cycles - 1;
+                setReg(rd, sb == 0 ? ~0u
+                    : (sa == INT32_MIN && sb == -1)
+                        ? static_cast<std::uint32_t>(INT32_MIN)
+                        : static_cast<std::uint32_t>(sa / sb));
+                break;
+              case 5:
+                cycles_ += costs_.div_cycles - 1;
+                setReg(rd, regs[rs2] == 0 ? ~0u
+                                          : regs[rs1] / regs[rs2]);
+                break;
+              case 6:
+                cycles_ += costs_.div_cycles - 1;
+                setReg(rd, sb == 0 ? regs[rs1]
+                    : (sa == INT32_MIN && sb == -1)
+                        ? 0
+                        : static_cast<std::uint32_t>(sa % sb));
+                break;
+              case 7:
+                cycles_ += costs_.div_cycles - 1;
+                setReg(rd, regs[rs2] == 0 ? regs[rs1]
+                                          : regs[rs1] % regs[rs2]);
+                break;
+              default: return StopReason::Fault;
+            }
+        } else {
+            switch (funct3) {
+              case 0:
+                setReg(rd, funct7 & 0x20 ? regs[rs1] - regs[rs2]
+                                         : regs[rs1] + regs[rs2]);
+                break;
+              case 1: setReg(rd, regs[rs1] << (regs[rs2] & 0x1f)); break;
+              case 2:
+                setReg(rd, static_cast<std::int32_t>(regs[rs1]) <
+                           static_cast<std::int32_t>(regs[rs2]));
+                break;
+              case 3: setReg(rd, regs[rs1] < regs[rs2]); break;
+              case 4: setReg(rd, regs[rs1] ^ regs[rs2]); break;
+              case 5:
+                if (funct7 & 0x20)
+                    setReg(rd, static_cast<std::uint32_t>(
+                        static_cast<std::int32_t>(regs[rs1]) >>
+                        (regs[rs2] & 0x1f)));
+                else
+                    setReg(rd, regs[rs1] >> (regs[rs2] & 0x1f));
+                break;
+              case 6: setReg(rd, regs[rs1] | regs[rs2]); break;
+              case 7: setReg(rd, regs[rs1] & regs[rs2]); break;
+              default: return StopReason::Fault;
+            }
+        }
+        break;
+      }
+      case 0x73: // SYSTEM
+        pc_ += 4;
+        ++retired;
+        return ((insn >> 20) & 0xfff) == 0 ? StopReason::Ecall
+                                           : StopReason::Ebreak;
+      case 0x0b: // custom-0: QRCH
+        return executeQrch(insn);
+      default:
+        return StopReason::Fault;
+    }
+
+    pc_ += 4;
+    ++retired;
+    return StopReason::Running;
+}
+
+StopReason
+Rv32Core::run(std::uint64_t max_steps)
+{
+    for (std::uint64_t i = 0; i < max_steps; ++i) {
+        const StopReason reason = step();
+        if (reason != StopReason::Running)
+            return reason;
+    }
+    return StopReason::Running;
+}
+
+} // namespace riscv
+} // namespace lsdgnn

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * RV32IM interpreter with a cycle model, an MMIO bus hook and the
+ * QRCH queue extension.
+ *
+ * The core stands in for the PoC's Xuantie E906 controller: user
+ * control programs (written against the encoders in encode.hh) drive
+ * the accelerator either through memory-mapped registers (the MMIO
+ * baseline of Table 7) or through the queue-based QRCH instructions.
+ *
+ * The cycle model charges single-cycle ALU ops, 2-cycle loads from
+ * tightly-coupled memory, multi-cycle M-extension ops, ~10 cycles per
+ * QRCH interaction (instruction + queue handshake) and ~100 cycles
+ * per MMIO device access (full bus round trip), matching the paper's
+ * Table 7 comparison.
+ */
+
+#ifndef LSDGNN_RISCV_RV32_HH
+#define LSDGNN_RISCV_RV32_HH
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "riscv/encode.hh"
+#include "riscv/qrch.hh"
+
+namespace lsdgnn {
+namespace riscv {
+
+/** Why execution stopped. */
+enum class StopReason {
+    Running,        ///< step budget exhausted
+    Ecall,          ///< ECALL executed (program done by convention)
+    Ebreak,         ///< EBREAK executed
+    StalledOnQueue, ///< qrch.deq on an empty queue with no producer
+    Fault,          ///< illegal instruction / bad memory access
+};
+
+/** Interaction-cost constants (Table 7). */
+struct InteractionCosts {
+    std::uint64_t mmio_access_cycles = 100; ///< bus round trip
+    std::uint64_t qrch_access_cycles = 10;  ///< queue handshake
+    std::uint64_t load_cycles = 2;          ///< TCM load
+    std::uint64_t store_cycles = 1;
+    std::uint64_t mul_cycles = 3;
+    std::uint64_t div_cycles = 20;
+};
+
+/**
+ * The interpreter core.
+ */
+class Rv32Core
+{
+  public:
+    /** MMIO handler: (is_store, address, store value) -> load value. */
+    using MmioHandler =
+        std::function<std::uint32_t(bool, std::uint32_t, std::uint32_t)>;
+
+    /**
+     * @param mem_bytes Tightly-coupled memory size.
+     * @param costs Cycle-cost table.
+     */
+    explicit Rv32Core(std::uint32_t mem_bytes = 64 * 1024,
+                      InteractionCosts costs = InteractionCosts{});
+
+    /** Load a program at @p base and point PC at it. */
+    void loadProgram(const std::vector<Insn> &program,
+                     std::uint32_t base = 0);
+
+    /**
+     * Map [base, base+size) as device MMIO; accesses cost
+     * mmio_access_cycles and go through @p handler.
+     */
+    void mapMmio(std::uint32_t base, std::uint32_t size,
+                 MmioHandler handler);
+
+    /** Attach the QRCH hub (queues shared with accelerators). */
+    void attachQrch(QrchHub *hub) { qrch = hub; }
+
+    /**
+     * Run until stop or @p max_steps instructions.
+     */
+    StopReason run(std::uint64_t max_steps = 1'000'000);
+
+    /** Execute one instruction. */
+    StopReason step();
+
+    std::uint32_t reg(Reg r) const { return regs[r]; }
+    void setReg(Reg r, std::uint32_t v);
+    std::uint32_t pc() const { return pc_; }
+    void setPc(std::uint32_t pc) { pc_ = pc; }
+    std::uint64_t cycles() const { return cycles_; }
+    std::uint64_t instructionsRetired() const { return retired; }
+
+    /** Direct memory access for tests / program data. */
+    std::uint32_t loadWord(std::uint32_t addr) const;
+    void storeWord(std::uint32_t addr, std::uint32_t value);
+
+    const InteractionCosts &costs() const { return costs_; }
+
+  private:
+    struct MmioRange {
+        std::uint32_t base;
+        std::uint32_t size;
+        MmioHandler handler;
+    };
+
+    const MmioRange *findMmio(std::uint32_t addr) const;
+    std::uint32_t readMem(std::uint32_t addr, std::uint32_t bytes,
+                          bool sign_extend, bool &fault);
+    bool writeMem(std::uint32_t addr, std::uint32_t bytes,
+                  std::uint32_t value);
+    StopReason executeQrch(Insn insn);
+
+    std::vector<std::uint8_t> mem;
+    std::array<std::uint32_t, 32> regs{};
+    std::uint32_t pc_ = 0;
+    std::uint64_t cycles_ = 0;
+    std::uint64_t retired = 0;
+    InteractionCosts costs_;
+    std::vector<MmioRange> mmio;
+    QrchHub *qrch = nullptr;
+};
+
+} // namespace riscv
+} // namespace lsdgnn
+
+#endif // LSDGNN_RISCV_RV32_HH

@@ -1,0 +1,56 @@
+#include "metapath.hh"
+
+#include "common/logging.hh"
+
+namespace lsdgnn {
+namespace sampling {
+
+std::uint64_t
+MetaPathResult::totalSampled() const
+{
+    std::uint64_t total = 0;
+    for (const auto &hop : frontier)
+        total += hop.size();
+    return total;
+}
+
+MetaPathResult
+MetaPathSampler::sample(std::span<const graph::NodeId> roots,
+                        std::span<const MetaPathStep> path,
+                        Rng &rng) const
+{
+    lsd_assert(!path.empty(), "metapath needs at least one step");
+    for (const auto &step : path) {
+        lsd_assert(step.edge_type < graph_.numEdgeTypes(),
+                   "metapath uses unknown edge type ",
+                   int(step.edge_type));
+        lsd_assert(step.fanout > 0, "metapath fan-out must be positive");
+    }
+
+    MetaPathResult result;
+    result.roots.assign(roots.begin(), roots.end());
+    result.frontier.resize(path.size());
+    result.parent.resize(path.size());
+
+    const std::vector<graph::NodeId> *prev = &result.roots;
+    for (std::size_t h = 0; h < path.size(); ++h) {
+        auto &out = result.frontier[h];
+        auto &par = result.parent[h];
+        for (std::uint32_t i = 0; i < prev->size(); ++i) {
+            const graph::NodeId node = (*prev)[i];
+            const auto typed =
+                graph_.neighbors(node, path[h].edge_type);
+            if (typed.empty())
+                continue;
+            const std::size_t before = out.size();
+            sampler_.sample(typed, path[h].fanout, rng, out);
+            for (std::size_t j = before; j < out.size(); ++j)
+                par.push_back(i);
+        }
+        prev = &out;
+    }
+    return result;
+}
+
+} // namespace sampling
+} // namespace lsdgnn

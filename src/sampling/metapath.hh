@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Metapath sampling over heterogeneous graphs.
+ *
+ * AliGraph's heterogeneous-graph models sample along typed edge
+ * sequences (metapaths) such as user -click-> item -bought_by-> user.
+ * MetaPathSampler walks a fixed metapath hop by hop, applying the
+ * configured K-of-N sampler to the typed neighbor list at each step —
+ * the typed analogue of the homogeneous multi-hop plan, and exactly
+ * what AxE's GetNeighbor executes when the adjacency is
+ * type-partitioned (graph/hetero.hh).
+ */
+
+#ifndef LSDGNN_SAMPLING_METAPATH_HH
+#define LSDGNN_SAMPLING_METAPATH_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/hetero.hh"
+#include "sampling/sampler.hh"
+
+namespace lsdgnn {
+namespace sampling {
+
+/** One metapath step: follow edges of this type with this fan-out. */
+struct MetaPathStep {
+    graph::EdgeType edge_type;
+    std::uint32_t fanout;
+};
+
+/** Result of one metapath walk batch. */
+struct MetaPathResult {
+    std::vector<graph::NodeId> roots;
+    /** frontier[h] holds step-h samples; parent[h][j] indexes the
+     *  previous frontier (or roots when h == 0). */
+    std::vector<std::vector<graph::NodeId>> frontier;
+    std::vector<std::vector<std::uint32_t>> parent;
+
+    std::uint64_t totalSampled() const;
+};
+
+/**
+ * Typed multi-hop sampler.
+ */
+class MetaPathSampler
+{
+  public:
+    /**
+     * @param graph Typed graph to walk.
+     * @param sampler K-of-N algorithm per frontier node.
+     */
+    MetaPathSampler(const graph::HeteroGraph &graph,
+                    const NeighborSampler &sampler)
+        : graph_(graph), sampler_(sampler)
+    {}
+
+    /**
+     * Walk @p path from every root. Nodes without typed neighbors at
+     * a step contribute no children (the row simply ends there).
+     */
+    MetaPathResult sample(std::span<const graph::NodeId> roots,
+                          std::span<const MetaPathStep> path,
+                          Rng &rng) const;
+
+  private:
+    const graph::HeteroGraph &graph_;
+    const NeighborSampler &sampler_;
+};
+
+} // namespace sampling
+} // namespace lsdgnn
+
+#endif // LSDGNN_SAMPLING_METAPATH_HH

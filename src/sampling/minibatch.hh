@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Mini-batch multi-hop sampling plan and functional engine.
+ *
+ * This is the workload every other layer of the repo executes: given
+ * a batch of root nodes, sample `fanout[h]` neighbors per frontier
+ * node for each hop, then fetch attributes for everything touched.
+ * The engine also keeps the byte-level traffic accounting (structure
+ * vs attribute, local vs remote) behind Fig. 2(c) and the baseline
+ * characterization.
+ */
+
+#ifndef LSDGNN_SAMPLING_MINIBATCH_HH
+#define LSDGNN_SAMPLING_MINIBATCH_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+#include "graph/attributes.hh"
+#include "graph/csr_graph.hh"
+#include "graph/partition.hh"
+#include "sampling/sampler.hh"
+
+namespace lsdgnn {
+namespace sampling {
+
+/** Static description of one sampling task. */
+struct SamplePlan {
+    /** Roots per mini-batch. */
+    std::uint32_t batch_size = 512;
+    /** Neighbors to sample per frontier node, one entry per hop. */
+    std::vector<std::uint32_t> fanouts = {10, 10};
+    /** Fetch node attributes for sampled nodes. */
+    bool fetch_attributes = true;
+
+    std::uint32_t hops() const
+    {
+        return static_cast<std::uint32_t>(fanouts.size());
+    }
+
+    /** Upper bound on nodes touched per batch (roots + all hops). */
+    std::uint64_t maxNodesPerBatch() const;
+};
+
+/** One sampled mini-batch: per-hop frontiers. */
+struct SampleResult {
+    /** Roots of the batch. */
+    std::vector<graph::NodeId> roots;
+    /**
+     * frontier[h] holds the hop-h samples; entry i*fanout..(i+1)*fanout
+     * are the children of frontier[h-1][i] (or of roots when h == 0).
+     * Nodes with no neighbors contribute no children, so rows are
+     * tracked by the companion parent index vector.
+     */
+    std::vector<std::vector<graph::NodeId>> frontier;
+    /** parent[h][j] = index into previous frontier of sample j. */
+    std::vector<std::vector<std::uint32_t>> parent;
+
+    /** Total sampled nodes across all hops (excluding roots). */
+    std::uint64_t totalSampled() const;
+};
+
+/** Byte and request accounting for one or more batches. */
+struct TrafficStats {
+    std::uint64_t structure_requests = 0; ///< degree/adjacency reads
+    std::uint64_t structure_bytes = 0;
+    std::uint64_t attribute_requests = 0;
+    std::uint64_t attribute_bytes = 0;
+    std::uint64_t remote_requests = 0; ///< requests leaving home server
+    std::uint64_t local_requests = 0;
+
+    std::uint64_t totalBytes() const
+    {
+        return structure_bytes + attribute_bytes;
+    }
+
+    std::uint64_t totalRequests() const
+    {
+        return structure_requests + attribute_requests;
+    }
+
+    /** Fraction of requests that are fine-grained structure reads. */
+    double structureRequestFraction() const;
+
+    /** Fraction of requests that cross servers. */
+    double remoteFraction() const;
+
+    TrafficStats &operator+=(const TrafficStats &o);
+};
+
+/**
+ * Functional mini-batch sampler over one CSR graph.
+ *
+ * Partition-awareness is optional: when a Partitioner is supplied the
+ * engine classifies every access as local/remote relative to the
+ * issuing server (server 0 by convention — the worker's colocated
+ * storage process).
+ */
+class MiniBatchSampler
+{
+  public:
+    /**
+     * @param graph Graph to sample.
+     * @param attrs Attribute store (sizes drive byte accounting).
+     * @param sampler K-of-N algorithm to use per frontier node.
+     * @param partitioner Optional placement for local/remote split.
+     */
+    MiniBatchSampler(const graph::CsrGraph &graph,
+                     const graph::AttributeStore &attrs,
+                     const NeighborSampler &sampler,
+                     const graph::Partitioner *partitioner = nullptr);
+
+    /**
+     * Sample one mini-batch with roots drawn uniformly at random.
+     */
+    SampleResult sampleBatch(const SamplePlan &plan, Rng &rng);
+
+    /**
+     * Sample one mini-batch from the given roots.
+     */
+    SampleResult sampleBatch(const SamplePlan &plan,
+                             std::span<const graph::NodeId> roots,
+                             Rng &rng);
+
+    /** Accumulated traffic accounting since construction/reset. */
+    const TrafficStats &traffic() const { return traffic_; }
+
+    void resetTraffic() { traffic_ = TrafficStats{}; }
+
+  private:
+    void accountStructure(graph::NodeId node, std::uint64_t bytes);
+    void accountAttribute(graph::NodeId node);
+
+    const graph::CsrGraph &graph_;
+    const graph::AttributeStore &attrs_;
+    const NeighborSampler &sampler_;
+    const graph::Partitioner *part;
+    TrafficStats traffic_;
+};
+
+/** Size in bytes of one graph-structure pointer/ID word. */
+inline constexpr std::uint64_t structure_word_bytes = 8;
+
+} // namespace sampling
+} // namespace lsdgnn
+
+#endif // LSDGNN_SAMPLING_MINIBATCH_HH

@@ -1,0 +1,58 @@
+#include "negative.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "graph/generator.hh"
+
+namespace lsdgnn {
+namespace sampling {
+
+NegativeSampler::NegativeSampler(const graph::CsrGraph &graph,
+                                 double popularity_skew)
+    : graph_(graph), skew(popularity_skew)
+{
+    lsd_assert(graph.numNodes() > 2,
+               "negative sampling needs more than two nodes");
+}
+
+bool
+NegativeSampler::isNeighbor(graph::NodeId src,
+                            graph::NodeId candidate) const
+{
+    const auto neigh = graph_.neighbors(src);
+    return std::find(neigh.begin(), neigh.end(), candidate) != neigh.end();
+}
+
+std::vector<graph::NodeId>
+NegativeSampler::sample(graph::NodeId src, graph::NodeId dst,
+                        std::uint32_t rate, Rng &rng) const
+{
+    std::vector<graph::NodeId> out;
+    out.reserve(rate);
+    // Bounded rejection: on pathological inputs (node adjacent to the
+    // whole graph) fall back to accepting non-src/dst nodes so the
+    // call always terminates.
+    const std::uint32_t max_tries = rate * 64 + 256;
+    std::uint32_t tries = 0;
+    while (out.size() < rate && tries < max_tries) {
+        ++tries;
+        const graph::NodeId cand =
+            graph::skewedEndpoint(rng, graph_.numNodes(), skew);
+        if (cand == src || cand == dst)
+            continue;
+        if (isNeighbor(src, cand))
+            continue;
+        out.push_back(cand);
+    }
+    while (out.size() < rate) {
+        const graph::NodeId cand =
+            graph::skewedEndpoint(rng, graph_.numNodes(), skew);
+        if (cand != src && cand != dst)
+            out.push_back(cand);
+    }
+    return out;
+}
+
+} // namespace sampling
+} // namespace lsdgnn

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Negative sampling for link-prediction style training.
+ *
+ * The paper's workloads (Table 2) use a negative sample rate of 10:
+ * for every positive (src, dst) pair, ten negatives are drawn from
+ * the node popularity distribution, rejecting true neighbors of the
+ * source. This matches AxE's "negative sample" command (Table 4).
+ */
+
+#ifndef LSDGNN_SAMPLING_NEGATIVE_HH
+#define LSDGNN_SAMPLING_NEGATIVE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+#include "graph/csr_graph.hh"
+
+namespace lsdgnn {
+namespace sampling {
+
+/**
+ * Popularity-proportional negative sampler over a graph.
+ */
+class NegativeSampler
+{
+  public:
+    /**
+     * @param graph Graph supplying node count and adjacency for
+     *        rejection.
+     * @param popularity_skew Endpoint skew matching the generator's
+     *        distribution (1.0 = uniform).
+     */
+    NegativeSampler(const graph::CsrGraph &graph, double popularity_skew);
+
+    /**
+     * Draw @p rate negatives for the positive pair (src, dst).
+     *
+     * Every returned node is neither @p src, nor @p dst, nor a true
+     * neighbor of @p src (checked against the adjacency list).
+     */
+    std::vector<graph::NodeId> sample(graph::NodeId src,
+                                      graph::NodeId dst,
+                                      std::uint32_t rate, Rng &rng) const;
+
+  private:
+    bool isNeighbor(graph::NodeId src, graph::NodeId candidate) const;
+
+    const graph::CsrGraph &graph_;
+    double skew;
+};
+
+} // namespace sampling
+} // namespace lsdgnn
+
+#endif // LSDGNN_SAMPLING_NEGATIVE_HH

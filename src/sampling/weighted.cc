@@ -1,0 +1,103 @@
+#include "weighted.hh"
+
+#include <deque>
+#include <numeric>
+
+#include "common/logging.hh"
+
+namespace lsdgnn {
+namespace sampling {
+
+AliasTable::AliasTable(std::span<const double> weights)
+{
+    lsd_assert(!weights.empty(), "alias table needs weights");
+    double total = 0;
+    for (double w : weights) {
+        lsd_assert(w >= 0, "alias weights must be non-negative");
+        total += w;
+    }
+    lsd_assert(total > 0, "alias weights must not all be zero");
+
+    const std::size_t n = weights.size();
+    prob.assign(n, 1.0);
+    alias.assign(n, 0);
+    weightShare.resize(n);
+
+    // Scaled weights: mean 1 per bucket.
+    std::vector<double> scaled(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        weightShare[i] = weights[i] / total;
+        scaled[i] = weightShare[i] * static_cast<double>(n);
+    }
+
+    std::deque<std::size_t> small, large;
+    for (std::size_t i = 0; i < n; ++i)
+        (scaled[i] < 1.0 ? small : large).push_back(i);
+
+    while (!small.empty() && !large.empty()) {
+        const std::size_t s = small.front();
+        small.pop_front();
+        const std::size_t l = large.front();
+        prob[s] = scaled[s];
+        alias[s] = static_cast<std::uint32_t>(l);
+        scaled[l] -= 1.0 - scaled[s];
+        if (scaled[l] < 1.0) {
+            large.pop_front();
+            small.push_back(l);
+        }
+    }
+    // Leftovers are numerically 1.0.
+    for (std::size_t i : small)
+        prob[i] = 1.0;
+    for (std::size_t i : large)
+        prob[i] = 1.0;
+}
+
+std::size_t
+AliasTable::sample(Rng &rng) const
+{
+    const std::size_t bucket = rng.nextBounded(prob.size());
+    return rng.nextDouble() < prob[bucket] ? bucket : alias[bucket];
+}
+
+double
+AliasTable::probabilityOf(std::size_t i) const
+{
+    lsd_assert(i < weightShare.size(), "index out of range");
+    return weightShare[i];
+}
+
+void
+DegreeBiasedSampler::sample(std::span<const graph::NodeId> candidates,
+                            std::uint32_t k, Rng &rng,
+                            std::vector<graph::NodeId> &out) const
+{
+    if (candidates.empty() || k == 0)
+        return;
+    std::vector<double> weights(candidates.size());
+    bool any = false;
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+        weights[i] = static_cast<double>(graph_.degree(candidates[i]));
+        any = any || weights[i] > 0;
+    }
+    if (!any) {
+        // All leaves: degenerate to uniform with replacement.
+        for (std::uint32_t i = 0; i < k; ++i)
+            out.push_back(candidates[rng.nextBounded(candidates.size())]);
+        return;
+    }
+    const AliasTable table(weights);
+    for (std::uint32_t i = 0; i < k; ++i)
+        out.push_back(candidates[table.sample(rng)]);
+}
+
+SamplerCost
+DegreeBiasedSampler::cost(std::uint64_t n, std::uint32_t k) const
+{
+    // One pass to accumulate weights (streaming) + K draws; needs the
+    // candidate weights buffered to build the table.
+    return SamplerCost{n + k, n};
+}
+
+} // namespace sampling
+} // namespace lsdgnn

@@ -1,0 +1,86 @@
+#include "workload.hh"
+
+#include "common/logging.hh"
+
+namespace lsdgnn {
+namespace sampling {
+
+double
+WorkloadProfile::meanRequestBytes() const
+{
+    const double reqs = totalRequestsPerBatch();
+    return reqs == 0 ? 0.0 : totalBytesPerBatch() / reqs;
+}
+
+double
+WorkloadProfile::structureRequestFraction() const
+{
+    const double reqs = totalRequestsPerBatch();
+    return reqs == 0 ? 0.0 : structure_requests_per_batch / reqs;
+}
+
+double
+WorkloadProfile::remoteFraction(std::uint32_t servers) const
+{
+    lsd_assert(servers > 0, "need at least one server");
+    // Hash partitioning scatters nodes uniformly, so a request lands
+    // on the issuing server with probability 1/S.
+    return static_cast<double>(servers - 1) /
+           static_cast<double>(servers);
+}
+
+WorkloadProfile
+profileWorkload(const graph::DatasetSpec &spec, const SamplePlan &plan,
+                std::uint64_t scale_divisor, std::uint32_t batches,
+                std::uint64_t seed)
+{
+    lsd_assert(batches > 0, "need at least one batch to profile");
+
+    const graph::CsrGraph g =
+        graph::instantiate(spec, scale_divisor, seed);
+    const graph::AttributeStore attrs(spec.attr_len, seed);
+    const StreamingStepSampler sampler;
+    MiniBatchSampler engine(g, attrs, sampler);
+    Rng rng(seed * 0x2545f4914f6cdd1dull + 17);
+
+    WorkloadProfile prof;
+    prof.dataset = spec.name;
+    prof.plan = plan;
+    prof.attr_bytes_per_node = attrs.bytesPerNode();
+    prof.requests_per_hop.assign(plan.hops(), 0.0);
+
+    double samples = 0;
+    for (std::uint32_t b = 0; b < batches; ++b) {
+        const SampleResult res = engine.sampleBatch(plan, rng);
+        samples += static_cast<double>(res.totalSampled());
+        // Requests per hop: one degree read + one adjacency read per
+        // frontier node of the previous hop; attribute fetches are
+        // accounted against the hop that produced the node.
+        const std::vector<graph::NodeId> *prev = &res.roots;
+        for (std::uint32_t h = 0; h < plan.hops(); ++h) {
+            // One degree read per frontier node plus one 8-byte read
+            // per sample it produced.
+            prof.requests_per_hop[h] += static_cast<double>(
+                prev->size() + res.frontier[h].size());
+            prev = &res.frontier[h];
+        }
+    }
+
+    const TrafficStats &traffic = engine.traffic();
+    const auto denom = static_cast<double>(batches);
+    prof.samples_per_batch = samples / denom;
+    prof.structure_requests_per_batch =
+        static_cast<double>(traffic.structure_requests) / denom;
+    prof.structure_bytes_per_batch =
+        static_cast<double>(traffic.structure_bytes) / denom;
+    prof.attribute_requests_per_batch =
+        static_cast<double>(traffic.attribute_requests) / denom;
+    prof.attribute_bytes_per_batch =
+        static_cast<double>(traffic.attribute_bytes) / denom;
+    for (auto &r : prof.requests_per_hop)
+        r /= denom;
+    return prof;
+}
+
+} // namespace sampling
+} // namespace lsdgnn

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Workload profiling: turn a (dataset, sampling plan) pair into the
+ * per-batch request profile every performance model consumes.
+ *
+ * The profile is measured by actually running the functional sampler
+ * on a scaled instance of the dataset, so request counts, byte
+ * volumes and the structure/attribute mix reflect the real degree
+ * distribution rather than hand-waved averages.
+ */
+
+#ifndef LSDGNN_SAMPLING_WORKLOAD_HH
+#define LSDGNN_SAMPLING_WORKLOAD_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/datasets.hh"
+#include "sampling/minibatch.hh"
+
+namespace lsdgnn {
+namespace sampling {
+
+/** Per-mini-batch request statistics for one workload. */
+struct WorkloadProfile {
+    /** Dataset name the profile was measured on. */
+    std::string dataset;
+    /** The plan that was profiled. */
+    SamplePlan plan;
+    /** Attribute bytes per node (attr_len * 4). */
+    std::uint64_t attr_bytes_per_node = 0;
+
+    /** Mean sampled nodes per batch (all hops, excluding roots). */
+    double samples_per_batch = 0;
+    /** Mean structure (degree+adjacency) requests per batch. */
+    double structure_requests_per_batch = 0;
+    /** Mean structure bytes per batch. */
+    double structure_bytes_per_batch = 0;
+    /** Mean attribute requests per batch. */
+    double attribute_requests_per_batch = 0;
+    /** Mean attribute bytes per batch. */
+    double attribute_bytes_per_batch = 0;
+    /** Mean requests per hop (dependency chain = plan.hops()). */
+    std::vector<double> requests_per_hop;
+
+    double
+    totalRequestsPerBatch() const
+    {
+        return structure_requests_per_batch +
+               attribute_requests_per_batch;
+    }
+
+    double
+    totalBytesPerBatch() const
+    {
+        return structure_bytes_per_batch + attribute_bytes_per_batch;
+    }
+
+    /** Mean bytes of one request (Eq. 3's sum C_k P_k). */
+    double meanRequestBytes() const;
+
+    /** Fraction of requests that are fine-grained structure reads. */
+    double structureRequestFraction() const;
+
+    /**
+     * Fraction of requests that leave the issuing server when the
+     * graph is hash-partitioned over @p servers.
+     */
+    double remoteFraction(std::uint32_t servers) const;
+};
+
+/**
+ * Measure the profile of @p spec under @p plan.
+ *
+ * @param spec Paper dataset.
+ * @param plan Sampling plan (Table 2 default when untouched).
+ * @param scale_divisor Scale for the functional instance.
+ * @param batches Mini-batches to average over.
+ */
+WorkloadProfile profileWorkload(const graph::DatasetSpec &spec,
+                                const SamplePlan &plan,
+                                std::uint64_t scale_divisor = 1000,
+                                std::uint32_t batches = 8,
+                                std::uint64_t seed = 1);
+
+} // namespace sampling
+} // namespace lsdgnn
+
+#endif // LSDGNN_SAMPLING_WORKLOAD_HH

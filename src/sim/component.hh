@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Base class for simulated hardware components.
+ */
+
+#ifndef LSDGNN_SIM_COMPONENT_HH
+#define LSDGNN_SIM_COMPONENT_HH
+
+#include <string>
+
+#include "common/stats.hh"
+#include "sim/event_queue.hh"
+
+namespace lsdgnn {
+namespace sim {
+
+/**
+ * A named component attached to an event queue, with its own stat
+ * group. Components are non-copyable identity objects.
+ */
+class Component
+{
+  public:
+    /**
+     * @param eq Event queue shared by the whole simulated system.
+     * @param name Hierarchical component name ("axe.core0.loadunit").
+     */
+    Component(EventQueue &eq, std::string name)
+        : eventq(eq), statGroup(name), componentName(std::move(name))
+    {}
+
+    virtual ~Component() = default;
+
+    Component(const Component &) = delete;
+    Component &operator=(const Component &) = delete;
+
+    const std::string &name() const { return componentName; }
+    stats::StatGroup &stats() { return statGroup; }
+    const stats::StatGroup &stats() const { return statGroup; }
+
+    Tick curTick() const { return eventq.now(); }
+
+  protected:
+    EventQueue &eventq;
+    stats::StatGroup statGroup;
+
+  private:
+    std::string componentName;
+};
+
+} // namespace sim
+} // namespace lsdgnn
+
+#endif // LSDGNN_SIM_COMPONENT_HH

@@ -1,0 +1,66 @@
+#include "event_queue.hh"
+
+namespace lsdgnn {
+namespace sim {
+
+EventQueue::EventHandle
+EventQueue::schedule(Tick when, std::function<void()> fn, Priority prio)
+{
+    lsd_assert(when >= currentTick,
+               "cannot schedule into the past: when=", when,
+               " now=", currentTick);
+    lsd_assert(fn, "cannot schedule an empty callback");
+    const EventHandle handle = nextHandle++;
+    heap.push(Entry{when, static_cast<int>(prio), handle});
+    callbacks.emplace(handle, std::move(fn));
+    return handle;
+}
+
+void
+EventQueue::deschedule(EventHandle handle)
+{
+    // The heap entry stays behind as a tombstone and is skipped when
+    // popped; only the callback map decides liveness.
+    callbacks.erase(handle);
+}
+
+bool
+EventQueue::step()
+{
+    while (!heap.empty()) {
+        const Entry top = heap.top();
+        auto it = callbacks.find(top.handle);
+        if (it == callbacks.end()) {
+            heap.pop(); // cancelled tombstone
+            continue;
+        }
+        std::function<void()> fn = std::move(it->second);
+        callbacks.erase(it);
+        heap.pop();
+        lsd_assert(top.when >= currentTick, "event queue time went backward");
+        currentTick = top.when;
+        ++executedCount;
+        fn();
+        return true;
+    }
+    return false;
+}
+
+std::uint64_t
+EventQueue::run(Tick limit)
+{
+    std::uint64_t ran = 0;
+    while (!heap.empty()) {
+        // Skim tombstones so the limit check sees a live event.
+        while (!heap.empty() && !callbacks.count(heap.top().handle))
+            heap.pop();
+        if (heap.empty() || heap.top().when > limit)
+            break;
+        if (step())
+            ++ran;
+    }
+    return ran;
+}
+
+} // namespace sim
+} // namespace lsdgnn

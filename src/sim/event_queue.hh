@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * A single EventQueue orders callbacks by (tick, priority, insertion
+ * sequence) and drains them in order. All timing models in this
+ * library (AxE pipelines, MoF links, the CPU baseline) are built on
+ * this kernel, so one run produces one coherent timeline.
+ */
+
+#ifndef LSDGNN_SIM_EVENT_QUEUE_HH
+#define LSDGNN_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/units.hh"
+
+namespace lsdgnn {
+namespace sim {
+
+/** Scheduling priority; lower values execute first within a tick. */
+enum class Priority : int {
+    High = 0,
+    Default = 50,
+    Low = 100,
+};
+
+/**
+ * Time-ordered callback queue.
+ *
+ * Events are plain std::function callbacks; components capture
+ * whatever state they need. Cancellation is supported through the
+ * EventHandle returned by schedule().
+ */
+class EventQueue
+{
+  public:
+    /** Opaque handle identifying a scheduled event. */
+    using EventHandle = std::uint64_t;
+
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return currentTick; }
+
+    /**
+     * Schedule @p fn at absolute time @p when.
+     *
+     * @pre when >= now() — the past cannot be scheduled.
+     * @return Handle usable with deschedule().
+     */
+    EventHandle schedule(Tick when, std::function<void()> fn,
+                         Priority prio = Priority::Default);
+
+    /** Schedule @p fn @p delay ticks after now. */
+    EventHandle
+    scheduleAfter(Tick delay, std::function<void()> fn,
+                  Priority prio = Priority::Default)
+    {
+        return schedule(currentTick + delay, std::move(fn), prio);
+    }
+
+    /** Cancel a pending event; no-op if it already ran. */
+    void deschedule(EventHandle handle);
+
+    /** Number of pending (non-cancelled) events. */
+    std::size_t pending() const { return callbacks.size(); }
+
+    bool empty() const { return pending() == 0; }
+
+    /**
+     * Run events until the queue drains or @p limit is reached.
+     *
+     * @param limit Stop once the next event would run after this time.
+     * @return Number of events executed.
+     */
+    std::uint64_t run(Tick limit = max_tick);
+
+    /** Execute exactly one event, if any. @return true if one ran. */
+    bool step();
+
+    /** Total events executed over the queue's lifetime. */
+    std::uint64_t executed() const { return executedCount; }
+
+  private:
+    struct Entry {
+        Tick when;
+        int prio;
+        EventHandle handle;
+
+        bool
+        operator>(const Entry &o) const
+        {
+            if (when != o.when)
+                return when > o.when;
+            if (prio != o.prio)
+                return prio > o.prio;
+            return handle > o.handle;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+    std::unordered_map<EventHandle, std::function<void()>> callbacks;
+    std::uint64_t nextHandle = 0;
+    std::uint64_t executedCount = 0;
+    Tick currentTick = 0;
+};
+
+} // namespace sim
+} // namespace lsdgnn
+
+#endif // LSDGNN_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Bounded FIFO used to connect producer/consumer pipeline stages.
+ *
+ * AxE's "fine-grained FIFO-connected asynchronous producer-consumer
+ * streaming architecture" (paper Section 4.2, Tech-1) is modeled with
+ * these queues: a stage may push only when the FIFO has space, giving
+ * natural backpressure, and occupancy statistics feed the pipeline
+ * depth study (Fig. 7).
+ */
+
+#ifndef LSDGNN_SIM_FIFO_HH
+#define LSDGNN_SIM_FIFO_HH
+
+#include <deque>
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+
+namespace lsdgnn {
+namespace sim {
+
+/**
+ * Bounded queue with occupancy stats.
+ *
+ * @tparam T Element type (moved in/out).
+ */
+template <typename T>
+class Fifo
+{
+  public:
+    /** @param capacity Maximum number of buffered elements (>0). */
+    explicit Fifo(std::size_t capacity) : cap(capacity)
+    {
+        lsd_assert(capacity > 0, "FIFO capacity must be positive");
+    }
+
+    bool full() const { return buf.size() >= cap; }
+    bool empty() const { return buf.empty(); }
+    std::size_t size() const { return buf.size(); }
+    std::size_t capacity() const { return cap; }
+
+    /** Space left before the FIFO refuses pushes. */
+    std::size_t free() const { return cap - buf.size(); }
+
+    /**
+     * Append an element.
+     * @pre !full() — callers must respect backpressure.
+     */
+    void
+    push(T value)
+    {
+        lsd_assert(!full(), "push to full FIFO");
+        buf.push_back(std::move(value));
+        occupancy.sample(static_cast<double>(buf.size()));
+        pushes.inc();
+    }
+
+    /** @return false instead of asserting when full. */
+    bool
+    tryPush(T value)
+    {
+        if (full())
+            return false;
+        push(std::move(value));
+        return true;
+    }
+
+    /** Peek at the head element. @pre !empty(). */
+    const T &
+    front() const
+    {
+        lsd_assert(!empty(), "front of empty FIFO");
+        return buf.front();
+    }
+
+    /** Remove and return the head element. @pre !empty(). */
+    T
+    pop()
+    {
+        lsd_assert(!empty(), "pop from empty FIFO");
+        T value = std::move(buf.front());
+        buf.pop_front();
+        return value;
+    }
+
+    /** Register occupancy/pushes stats with @p group under @p prefix. */
+    void
+    addStats(stats::StatGroup &group, const std::string &prefix)
+    {
+        group.addCounter(prefix + ".pushes", &pushes,
+                         "elements pushed into the FIFO");
+        group.addAverage(prefix + ".occupancy", &occupancy,
+                         "queue depth sampled at each push");
+    }
+
+    double meanOccupancy() const { return occupancy.mean(); }
+
+  private:
+    std::size_t cap;
+    std::deque<T> buf;
+    stats::Counter pushes;
+    stats::Average occupancy;
+};
+
+} // namespace sim
+} // namespace lsdgnn
+
+#endif // LSDGNN_SIM_FIFO_HH

@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Tests for the Access Engine: cache, load unit, core pipeline,
+ * multi-core engine, and the paper's micro-architecture claims.
+ */
+
+#include <gtest/gtest.h>
+
+#include "axe/address_map.hh"
+#include "axe/coalescing_cache.hh"
+#include "axe/engine.hh"
+#include "graph/datasets.hh"
+#include "graph/generator.hh"
+
+namespace lsdgnn {
+namespace axe {
+namespace {
+
+graph::CsrGraph
+testGraph(std::uint64_t nodes = 2000, std::uint64_t edges = 30000)
+{
+    graph::GeneratorParams p;
+    p.num_nodes = nodes;
+    p.num_edges = edges;
+    p.min_degree = 1;
+    p.seed = 101;
+    return graph::generatePowerLawGraph(p);
+}
+
+sampling::SamplePlan
+smallPlan()
+{
+    sampling::SamplePlan plan;
+    plan.batch_size = 64;
+    plan.fanouts = {10, 10};
+    return plan;
+}
+
+TEST(CoalescingCache, HitsOnSpatialReuse)
+{
+    CoalescingCache cache(8 * 1024, 64);
+    EXPECT_FALSE(cache.access(0x1000)); // miss fills line
+    EXPECT_TRUE(cache.access(0x1008));  // same line
+    EXPECT_TRUE(cache.access(0x1038));
+    EXPECT_FALSE(cache.access(0x2000)); // different line
+    EXPECT_EQ(cache.hits(), 2u);
+    EXPECT_EQ(cache.misses(), 2u);
+}
+
+TEST(CoalescingCache, FlushInvalidates)
+{
+    CoalescingCache cache(8 * 1024, 64);
+    cache.access(0x1000);
+    cache.flush();
+    EXPECT_FALSE(cache.access(0x1000));
+}
+
+TEST(CoalescingCache, LruEvictionWithinSet)
+{
+    // 2 sets x 2 ways x 64 B lines = 256 B cache.
+    CoalescingCache cache(256, 64, 2);
+    ASSERT_EQ(cache.numSets(), 2u);
+    // Three lines mapping to set 0: line addresses 0, 2, 4 (even).
+    cache.access(0 * 64);
+    cache.access(2 * 64);
+    cache.access(0 * 64);     // touch line 0 -> line 2 becomes LRU
+    cache.access(4 * 64);     // evicts line 2
+    EXPECT_TRUE(cache.access(0 * 64));
+    EXPECT_FALSE(cache.access(2 * 64)); // was evicted
+}
+
+TEST(CoalescingCache, EightKbIsPaperDefault)
+{
+    const AxeConfig cfg;
+    EXPECT_EQ(cfg.cache_bytes, 8u * 1024u);
+}
+
+TEST(AddressMap, RegionsAreDisjointAndOrdered)
+{
+    const graph::CsrGraph g = testGraph(100, 1000);
+    const GraphAddressMap map(g, 64);
+    const auto last_degree = map.degreeAddress(99);
+    const auto first_neighbor = map.neighborAddress(0, 0);
+    EXPECT_LT(last_degree, first_neighbor);
+    const auto last_neighbor =
+        map.neighborAddress(99, g.degree(99) - 1);
+    EXPECT_LT(last_neighbor, map.attributeAddress(0));
+    // Attribute table is page aligned.
+    EXPECT_EQ(map.attributeAddress(0) % 4096, 0u);
+}
+
+TEST(AddressMap, NeighborSlotsAreContiguous)
+{
+    const graph::CsrGraph g = testGraph(100, 1000);
+    const GraphAddressMap map(g, 64);
+    for (std::uint64_t k = 0; k + 1 < g.degree(5); ++k) {
+        EXPECT_EQ(map.neighborAddress(5, k + 1) -
+                  map.neighborAddress(5, k), 8u);
+    }
+}
+
+TEST(Engine, EmitsEverySample)
+{
+    const graph::CsrGraph g = testGraph();
+    AccessEngine engine(AxeConfig::poc(), g, 84 * 4);
+    const auto plan = smallPlan();
+    const auto result = engine.run(plan, 2);
+    // min_degree 1 ensures full fan-out: 64 * (10 + 100) per batch.
+    EXPECT_EQ(result.samples, 2u * 64u * 110u);
+    EXPECT_EQ(result.batches, 2u);
+    EXPECT_GT(result.samples_per_s, 0.0);
+}
+
+TEST(Engine, DeterministicAcrossRuns)
+{
+    const graph::CsrGraph g = testGraph();
+    const auto plan = smallPlan();
+    AccessEngine a(AxeConfig::poc(), g, 84 * 4, 7);
+    AccessEngine b(AxeConfig::poc(), g, 84 * 4, 7);
+    const auto ra = a.run(plan, 2);
+    const auto rb = b.run(plan, 2);
+    EXPECT_EQ(ra.samples, rb.samples);
+    EXPECT_EQ(ra.sim_time, rb.sim_time);
+}
+
+TEST(Engine, PocIsPcieOutputBound)
+{
+    // Paper Fig. 15 discussion: PoC measurements are bottlenecked by
+    // PCIe result output. The modeled rate must sit at the PCIe
+    // ceiling (16 GB/s over ~344 B per sample ~= 45 M/s) and removing
+    // the PCIe limit must unlock clearly more.
+    const auto &ls = graph::datasetByName("ls");
+    const graph::CsrGraph g = graph::instantiate(ls, 500000, 1);
+    const auto plan = smallPlan();
+
+    AxeConfig pcie_out = AxeConfig::poc();
+    AccessEngine a(pcie_out, g, ls.attr_len * 4);
+    const auto bound = a.run(plan, 2);
+    const double ceiling = 16e9 / (8.0 + ls.attr_len * 4);
+    EXPECT_NEAR(bound.samples_per_s, ceiling, ceiling * 0.1);
+
+    AxeConfig fast = AxeConfig::poc();
+    fast.num_nodes = 1;
+    fast.fast_output_link = true;
+    AccessEngine b(fast, g, ls.attr_len * 4);
+    const auto unbound = b.run(plan, 2);
+    EXPECT_GT(unbound.samples_per_s, 2.0 * bound.samples_per_s);
+}
+
+TEST(Engine, OooDeliversOrderOfMagnitude)
+{
+    // Paper Tech-3: the OoO load unit improves throughput ~30x over
+    // the in-order design.
+    const graph::CsrGraph g = testGraph();
+    const auto plan = smallPlan();
+    AxeConfig ooo = AxeConfig::poc();
+    AxeConfig in_order = AxeConfig::poc();
+    in_order.ooo_enabled = false;
+    AccessEngine a(ooo, g, 84 * 4);
+    AccessEngine b(in_order, g, 84 * 4);
+    const double fast = a.run(plan, 2).samples_per_s;
+    const double slow = b.run(plan, 2).samples_per_s;
+    EXPECT_GT(fast / slow, 20.0);
+    EXPECT_LT(fast / slow, 60.0);
+}
+
+TEST(Engine, DeeperPipelineIsFaster)
+{
+    // Paper Fig. 7: deeper producer/consumer pipelining improves
+    // performance (until another bottleneck binds).
+    const graph::CsrGraph g = testGraph();
+    auto plan = smallPlan();
+    auto rate_at_depth = [&](std::uint32_t depth) {
+        AxeConfig cfg = AxeConfig::poc();
+        cfg.pipeline_depth = depth;
+        cfg.ooo_enabled = true;
+        cfg.fast_output_link = true;
+        cfg.num_nodes = 4; // remote latency makes depth matter
+        AccessEngine engine(cfg, g, 84 * 4);
+        return engine.run(plan, 2).samples_per_s;
+    };
+    const double d1 = rate_at_depth(1);
+    const double d5 = rate_at_depth(5);
+    EXPECT_GT(d5, d1 * 1.5);
+}
+
+TEST(Engine, MemoryChannelsScaleWhenNotIoBound)
+{
+    const auto &ls = graph::datasetByName("ls");
+    const graph::CsrGraph g = graph::instantiate(ls, 500000, 1);
+    const auto plan = smallPlan();
+    auto rate_with_channels = [&](std::uint32_t chn) {
+        AxeConfig cfg = AxeConfig::poc();
+        cfg.num_nodes = 1;
+        cfg.ddr_channels = chn;
+        cfg.fast_output_link = true;
+        AccessEngine engine(cfg, g, ls.attr_len * 4);
+        return engine.run(plan, 2).samples_per_s;
+    };
+    const double c1 = rate_with_channels(1);
+    const double c2 = rate_with_channels(2);
+    const double c4 = rate_with_channels(4);
+    EXPECT_NEAR(c2 / c1, 2.0, 0.3);
+    EXPECT_NEAR(c4 / c1, 4.0, 0.6);
+}
+
+TEST(Engine, RejectsZeroCores)
+{
+    const graph::CsrGraph g = testGraph(100, 1000);
+    AxeConfig cfg;
+    cfg.num_cores = 0;
+    EXPECT_DEATH(AccessEngine(cfg, g, 64), "at least one core");
+}
+
+TEST(AxeConfig, LinkSelection)
+{
+    AxeConfig cfg;
+    cfg.local_mem = LocalMemKind::PcieHostDram;
+    EXPECT_EQ(cfg.localMemLink().name, "pcie-host-dram");
+    cfg.local_mem = LocalMemKind::FpgaDdr;
+    cfg.ddr_channels = 4;
+    EXPECT_EQ(cfg.localMemLink().name, "local-ddr4-x4");
+    cfg.remote_mem = RemoteMemKind::PcieNic;
+    EXPECT_EQ(cfg.remoteMemLink().name, "rdma-remote-dram");
+    cfg.remote_mem = RemoteMemKind::MofFabric;
+    EXPECT_EQ(cfg.remoteMemLink().name, "mof-fabric");
+    cfg.fast_output_link = true;
+    EXPECT_EQ(cfg.outputLink().name, "gpu-fast-link");
+}
+
+TEST(AxeConfig, PocMatchesTable10)
+{
+    const AxeConfig poc = AxeConfig::poc();
+    EXPECT_EQ(poc.num_cores, 2u);       // dual-core
+    EXPECT_DOUBLE_EQ(poc.clock_mhz, 250.0);
+    EXPECT_EQ(poc.ddr_channels, 4u);    // 4-channel DDR4
+    EXPECT_EQ(poc.num_nodes, 4u);       // 4-card P2P
+    EXPECT_EQ(poc.remote_mem, RemoteMemKind::MofFabric);
+}
+
+} // namespace
+} // namespace axe
+} // namespace lsdgnn

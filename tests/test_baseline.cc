@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Tests for the CPU software-baseline performance model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baseline/cpu_sampler.hh"
+#include "graph/datasets.hh"
+#include "sampling/workload.hh"
+
+namespace lsdgnn {
+namespace baseline {
+namespace {
+
+sampling::WorkloadProfile
+lsProfile()
+{
+    sampling::SamplePlan plan;
+    plan.batch_size = 512;
+    plan.fanouts = {10, 10};
+    return sampling::profileWorkload(graph::datasetByName("ls"), plan,
+                                     500000, 4, 1);
+}
+
+TEST(CpuSampler, SingleServerIsAllLocal)
+{
+    const auto prof = lsProfile();
+    const CpuSamplerModel model;
+    CpuClusterConfig cluster;
+    cluster.num_servers = 1;
+    const auto rep = model.evaluate(prof, cluster);
+    EXPECT_DOUBLE_EQ(rep.remote_fraction, 0.0);
+    EXPECT_GT(rep.samples_per_s, 0.0);
+    EXPECT_FALSE(rep.network_bound);
+}
+
+TEST(CpuSampler, DistributedPerVcpuMatchesPaperAnchor)
+{
+    // The paper's Fig. 14 normalizer: roughly 50 K samples/s/vCPU in
+    // the distributed (5+ server) regime, so one PoC FPGA lands at
+    // ~894 vCPUs.
+    const auto prof = lsProfile();
+    const CpuSamplerModel model;
+    CpuClusterConfig cluster;
+    cluster.num_servers = 5;
+    const auto rep = model.evaluate(prof, cluster);
+    EXPECT_GT(rep.samples_per_s_per_vcpu, 40e3);
+    EXPECT_LT(rep.samples_per_s_per_vcpu, 65e3);
+}
+
+TEST(CpuSampler, ScalingIsSublinear)
+{
+    // Paper Fig. 2(b): throughput grows with servers but well below
+    // linear, because the remote fraction grows with the cluster.
+    const auto prof = lsProfile();
+    const CpuSamplerModel model;
+    CpuClusterConfig base;
+    const double s5 = model.scalingSpeedup(prof, base, 5);
+    const double s15 = model.scalingSpeedup(prof, base, 15);
+    EXPECT_GT(s5, 1.0);
+    EXPECT_LT(s5, 5.0);
+    EXPECT_GT(s15, s5);
+    EXPECT_LT(s15, 15.0);
+    // Scaling efficiency must visibly degrade.
+    EXPECT_LT(s15 / 15.0, s5 / 5.0);
+}
+
+TEST(CpuSampler, RemoteCostDominatesDistributedRuns)
+{
+    const CpuCostModel costs;
+    EXPECT_DOUBLE_EQ(costs.usPerSample(0.0), costs.local_us_per_sample);
+    EXPECT_DOUBLE_EQ(costs.usPerSample(1.0), costs.remote_us_per_sample);
+    EXPECT_GT(costs.usPerSample(0.8), costs.usPerSample(0.2));
+}
+
+TEST(CpuSampler, MoreVcpusMoreThroughputUntilNicBound)
+{
+    const auto prof = lsProfile();
+    const CpuSamplerModel model;
+    CpuClusterConfig small;
+    small.num_servers = 5;
+    small.vcpus_per_server = 8;
+    CpuClusterConfig big = small;
+    big.vcpus_per_server = 64;
+    const auto rep_small = model.evaluate(prof, small);
+    const auto rep_big = model.evaluate(prof, big);
+    EXPECT_GT(rep_big.samples_per_s, rep_small.samples_per_s);
+}
+
+TEST(CpuSampler, NicCapsThroughput)
+{
+    const auto prof = lsProfile();
+    const CpuSamplerModel model;
+    CpuClusterConfig cluster;
+    cluster.num_servers = 5;
+    cluster.vcpus_per_server = 4096; // absurd CPU supply
+    cluster.nic_bandwidth = 1e9;     // skinny NIC
+    const auto rep = model.evaluate(prof, cluster);
+    EXPECT_TRUE(rep.network_bound);
+    // Network bytes must respect the aggregate NIC ceiling.
+    EXPECT_LE(rep.network_bytes_per_s, 5e9 * 1.001);
+}
+
+} // namespace
+} // namespace baseline
+} // namespace lsdgnn

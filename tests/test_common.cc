@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Unit tests for src/common: RNG, stats, units, table.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "common/units.hh"
+
+namespace lsdgnn {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += (a() == b());
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BoundedStaysInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const auto v = rng.nextBounded(13);
+        EXPECT_LT(v, 13u);
+    }
+}
+
+TEST(Rng, BoundedCoversAllResidues)
+{
+    Rng rng(9);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(rng.nextBounded(7));
+    EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng rng(11);
+    for (int i = 0; i < 10000; ++i) {
+        const double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, DoubleMeanNearHalf)
+{
+    Rng rng(13);
+    double sum = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.nextDouble();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, RangeIsInclusive)
+{
+    Rng rng(17);
+    bool hit_lo = false, hit_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = rng.nextRange(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        hit_lo |= (v == -3);
+        hit_hi |= (v == 3);
+    }
+    EXPECT_TRUE(hit_lo);
+    EXPECT_TRUE(hit_hi);
+}
+
+TEST(Rng, ForkDecorrelates)
+{
+    Rng parent(23);
+    Rng child = parent.fork();
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += (parent() == child());
+    EXPECT_LT(same, 2);
+}
+
+TEST(Stats, CounterAccumulates)
+{
+    stats::Counter c;
+    c.inc();
+    c.inc(5);
+    EXPECT_EQ(c.value(), 6u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Stats, AverageTracksMinMaxMean)
+{
+    stats::Average a;
+    a.sample(2.0);
+    a.sample(4.0);
+    a.sample(9.0);
+    EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(a.min(), 2.0);
+    EXPECT_DOUBLE_EQ(a.max(), 9.0);
+    EXPECT_EQ(a.samples(), 3u);
+}
+
+TEST(Stats, AverageEmptyIsZero)
+{
+    stats::Average a;
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+}
+
+TEST(Stats, HistogramBucketsAndTails)
+{
+    stats::Histogram h(0.0, 10.0, 10);
+    h.sample(-1.0);
+    h.sample(0.5);
+    h.sample(9.5);
+    h.sample(10.0);
+    h.sample(42.0);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 2u);
+    EXPECT_EQ(h.bucketCount(0), 1u);
+    EXPECT_EQ(h.bucketCount(9), 1u);
+    EXPECT_EQ(h.samples(), 5u);
+}
+
+TEST(Stats, HistogramPercentile)
+{
+    stats::Histogram h(0.0, 100.0, 100);
+    for (int i = 0; i < 100; ++i)
+        h.sample(i + 0.5);
+    EXPECT_NEAR(h.percentile(0.5), 50.0, 2.0);
+    EXPECT_NEAR(h.percentile(0.99), 99.0, 2.0);
+}
+
+TEST(Stats, GroupReportsAndLooksUp)
+{
+    stats::StatGroup group("g");
+    stats::Counter c;
+    stats::Average a;
+    group.addCounter("reqs", &c, "requests");
+    group.addAverage("lat", &a, "latency");
+    c.inc(3);
+    a.sample(1.5);
+    EXPECT_EQ(group.counter("reqs").value(), 3u);
+    EXPECT_DOUBLE_EQ(group.average("lat").mean(), 1.5);
+    EXPECT_TRUE(group.hasCounter("reqs"));
+    EXPECT_FALSE(group.hasCounter("nope"));
+
+    std::ostringstream os;
+    group.report(os);
+    EXPECT_NE(os.str().find("g.reqs 3"), std::string::npos);
+}
+
+TEST(Units, ClockConversions)
+{
+    const Clock mhz250(250.0);
+    EXPECT_EQ(mhz250.period(), 4000u); // 4 ns in ps
+    EXPECT_EQ(mhz250.cycles(10), 40000u);
+    EXPECT_EQ(mhz250.cycleAt(nanoseconds(8)), 2u);
+    EXPECT_NEAR(mhz250.frequencyHz(), 250e6, 1.0);
+}
+
+TEST(Units, TimeHelpers)
+{
+    EXPECT_EQ(nanoseconds(1), tick_per_ns);
+    EXPECT_EQ(microseconds(1), tick_per_us);
+    EXPECT_DOUBLE_EQ(toSeconds(tick_per_s), 1.0);
+}
+
+TEST(Units, FormatBytes)
+{
+    EXPECT_EQ(formatBytes(512), "512 B");
+    EXPECT_EQ(formatBytes(2048), "2.00 KiB");
+    EXPECT_EQ(formatBytes(3ull << 30), "3.00 GiB");
+}
+
+TEST(Units, FormatTime)
+{
+    EXPECT_EQ(formatTime(500), "500 ps");
+    EXPECT_EQ(formatTime(nanoseconds(2.5)), "2.50 ns");
+    EXPECT_EQ(formatTime(microseconds(3)), "3.00 us");
+}
+
+TEST(Table, AlignsAndCounts)
+{
+    TextTable t;
+    t.header({"a", "long-column"});
+    t.row({"1", "2"});
+    t.row({"333", "4"});
+    EXPECT_EQ(t.rows(), 2u);
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("long-column"), std::string::npos);
+    EXPECT_NE(out.find("333"), std::string::npos);
+}
+
+TEST(Table, NumFormatting)
+{
+    EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TextTable::num(std::uint64_t(42)), "42");
+}
+
+} // namespace
+} // namespace lsdgnn

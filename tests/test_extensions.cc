@@ -1,0 +1,562 @@
+/**
+ * @file
+ * Tests for the extension modules: weighted/degree-biased sampling,
+ * the Table 4 command decoder (including the full RISC-V -> QRCH ->
+ * decoder integration), GEMM/VPU engines, MoF reliability, the
+ * hot-node cache and graph serialization.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <sstream>
+
+#include "axe/command.hh"
+#include "axe/gemm.hh"
+#include "baseline/hot_cache.hh"
+#include "graph/generator.hh"
+#include "graph/serialize.hh"
+#include "mof/reliability.hh"
+#include "riscv/encode.hh"
+#include "riscv/qrch.hh"
+#include "riscv/rv32.hh"
+#include "sampling/weighted.hh"
+
+namespace lsdgnn {
+namespace {
+
+graph::CsrGraph
+testGraph(std::uint64_t nodes = 1000, std::uint64_t edges = 10000,
+          std::uint64_t seed = 55)
+{
+    graph::GeneratorParams p;
+    p.num_nodes = nodes;
+    p.num_edges = edges;
+    p.min_degree = 1;
+    p.seed = seed;
+    return graph::generatePowerLawGraph(p);
+}
+
+// --- Alias table / weighted sampling --------------------------------
+
+TEST(AliasTable, MatchesWeights)
+{
+    const std::vector<double> weights = {1.0, 3.0, 6.0};
+    const sampling::AliasTable table(weights);
+    EXPECT_NEAR(table.probabilityOf(0), 0.1, 1e-12);
+    EXPECT_NEAR(table.probabilityOf(2), 0.6, 1e-12);
+
+    Rng rng(1);
+    std::map<std::size_t, int> hits;
+    const int n = 60000;
+    for (int i = 0; i < n; ++i)
+        ++hits[table.sample(rng)];
+    EXPECT_NEAR(hits[0], n * 0.1, n * 0.01);
+    EXPECT_NEAR(hits[1], n * 0.3, n * 0.015);
+    EXPECT_NEAR(hits[2], n * 0.6, n * 0.015);
+}
+
+TEST(AliasTable, HandlesZeroWeights)
+{
+    const std::vector<double> weights = {0.0, 5.0, 0.0};
+    const sampling::AliasTable table(weights);
+    Rng rng(2);
+    for (int i = 0; i < 500; ++i)
+        EXPECT_EQ(table.sample(rng), 1u);
+}
+
+TEST(AliasTable, UniformWeights)
+{
+    const std::vector<double> weights(8, 2.5);
+    const sampling::AliasTable table(weights);
+    Rng rng(3);
+    std::map<std::size_t, int> hits;
+    for (int i = 0; i < 16000; ++i)
+        ++hits[table.sample(rng)];
+    for (const auto &[idx, count] : hits)
+        EXPECT_NEAR(count, 2000, 300) << idx;
+}
+
+TEST(AliasTable, RejectsInvalidInput)
+{
+    EXPECT_DEATH(sampling::AliasTable(std::vector<double>{}),
+                 "needs weights");
+    EXPECT_DEATH(sampling::AliasTable(std::vector<double>{0.0, 0.0}),
+                 "not all be zero");
+    EXPECT_DEATH(sampling::AliasTable(std::vector<double>{-1.0, 2.0}),
+                 "non-negative");
+}
+
+TEST(DegreeBiasedSampler, FavorsHighDegreeCandidates)
+{
+    const graph::CsrGraph g = testGraph(2000, 40000);
+    const sampling::DegreeBiasedSampler sampler(g);
+
+    // Find a low- and a high-degree node to act as candidates.
+    graph::NodeId lo = 0, hi = 0;
+    for (graph::NodeId n = 0; n < g.numNodes(); ++n) {
+        if (g.degree(n) < g.degree(lo))
+            lo = n;
+        if (g.degree(n) > g.degree(hi))
+            hi = n;
+    }
+    ASSERT_GT(g.degree(hi), 10 * g.degree(lo));
+
+    const std::vector<graph::NodeId> candidates = {lo, hi};
+    Rng rng(4);
+    std::vector<graph::NodeId> out;
+    for (int i = 0; i < 500; ++i)
+        sampler.sample(candidates, 2, rng, out);
+    const auto hi_hits = static_cast<double>(
+        std::count(out.begin(), out.end(), hi));
+    EXPECT_GT(hi_hits / static_cast<double>(out.size()), 0.8);
+}
+
+TEST(DegreeBiasedSampler, EmptyAndZeroK)
+{
+    const graph::CsrGraph g = testGraph(100, 1000);
+    const sampling::DegreeBiasedSampler sampler(g);
+    Rng rng(5);
+    std::vector<graph::NodeId> out;
+    sampler.sample({}, 5, rng, out);
+    EXPECT_TRUE(out.empty());
+    const std::vector<graph::NodeId> cand = {1, 2};
+    sampler.sample(cand, 0, rng, out);
+    EXPECT_TRUE(out.empty());
+}
+
+// --- Command decoder (Table 4) ---------------------------------------
+
+class CommandFixture : public ::testing::Test
+{
+  protected:
+    CommandFixture()
+        : g(testGraph(512, 6000, 77)),
+          attrs(16, 3),
+          sampler(),
+          decoder(g, attrs, sampler)
+    {}
+
+    graph::CsrGraph g;
+    graph::AttributeStore attrs;
+    sampling::StreamingStepSampler sampler;
+    axe::CommandDecoder decoder;
+};
+
+TEST_F(CommandFixture, CommandWordRoundTrip)
+{
+    const auto cmd = axe::commands::sampleNHop(2, 10, 0x12345);
+    EXPECT_EQ(cmd.op(), axe::CommandOp::SampleNHop);
+    EXPECT_EQ(cmd.arg0(), 2);
+    EXPECT_EQ(cmd.arg1(), 10);
+    EXPECT_EQ(cmd.operand(), 0x12345u);
+    const auto rebuilt = axe::CommandWord::fromHalves(cmd.lo(), cmd.hi());
+    EXPECT_EQ(rebuilt.raw(), cmd.raw());
+}
+
+TEST_F(CommandFixture, CsrReadWrite)
+{
+    auto resp = decoder.execute(axe::commands::setCsr(5, 0xabcd));
+    EXPECT_EQ(resp.status, 0u);
+    resp = decoder.execute(axe::commands::readCsr(5));
+    EXPECT_EQ(resp.value, 0xabcdu);
+    EXPECT_EQ(decoder.csr(5), 0xabcdu);
+}
+
+TEST_F(CommandFixture, CsrOutOfRangeFaults)
+{
+    const auto resp = decoder.execute(axe::commands::readCsr(33));
+    EXPECT_NE(resp.status, 0u);
+    EXPECT_EQ(decoder.faulted(), 1u);
+}
+
+TEST_F(CommandFixture, SampleNHopProducesFrontiers)
+{
+    decoder.execute(axe::commands::setCsr(
+        axe::CommandDecoder::csr_batch_size, 16));
+    const auto resp =
+        decoder.execute(axe::commands::sampleNHop(2, 5, 0));
+    EXPECT_EQ(resp.status, 0u);
+    const auto &sample = decoder.lastSample();
+    EXPECT_EQ(sample.roots.size(), 16u);
+    EXPECT_EQ(sample.frontier.size(), 2u);
+    // min_degree 1 -> full fan-out.
+    EXPECT_EQ(sample.frontier[0].size(), 16u * 5u);
+    EXPECT_EQ(resp.value, sample.totalSampled());
+}
+
+TEST_F(CommandFixture, SampleNHopValidatesRoots)
+{
+    decoder.execute(axe::commands::setCsr(
+        axe::CommandDecoder::csr_batch_size, 64));
+    const auto resp = decoder.execute(
+        axe::commands::sampleNHop(2, 5, g.numNodes() - 8));
+    EXPECT_NE(resp.status, 0u);
+}
+
+TEST_F(CommandFixture, ReadNodeAttrReturnsPayload)
+{
+    const auto resp =
+        decoder.execute(axe::commands::readNodeAttr(42));
+    EXPECT_EQ(resp.status, 0u);
+    EXPECT_EQ(decoder.lastAttributes().size(), 16u);
+    EXPECT_FLOAT_EQ(decoder.lastAttributes()[0], attrs.value(42, 0));
+}
+
+TEST_F(CommandFixture, ReadEdgeAttrResolvesNeighbor)
+{
+    const auto resp =
+        decoder.execute(axe::commands::readEdgeAttr(7, 0));
+    EXPECT_EQ(resp.status, 0u);
+    EXPECT_EQ(resp.value, g.neighbor(7, 0));
+}
+
+TEST_F(CommandFixture, NegativeSampleAvoidsNeighbors)
+{
+    decoder.execute(axe::commands::setCsr(
+        axe::CommandDecoder::csr_neg_dst, 9));
+    const auto resp =
+        decoder.execute(axe::commands::negativeSample(10, 3));
+    EXPECT_EQ(resp.status, 0u);
+    ASSERT_EQ(decoder.lastNegatives().size(), 10u);
+    const auto adj = g.neighbors(3);
+    for (graph::NodeId neg : decoder.lastNegatives()) {
+        EXPECT_NE(neg, 3u);
+        EXPECT_EQ(std::find(adj.begin(), adj.end(), neg), adj.end());
+    }
+}
+
+TEST_F(CommandFixture, SeedCsrMakesSamplingReproducible)
+{
+    decoder.execute(axe::commands::setCsr(
+        axe::CommandDecoder::csr_batch_size, 8));
+    decoder.execute(axe::commands::setCsr(
+        axe::CommandDecoder::csr_seed, 1234));
+    decoder.execute(axe::commands::sampleNHop(1, 5, 0));
+    const auto first = decoder.lastSample().frontier[0];
+    decoder.execute(axe::commands::setCsr(
+        axe::CommandDecoder::csr_seed, 1234));
+    decoder.execute(axe::commands::sampleNHop(1, 5, 0));
+    EXPECT_EQ(decoder.lastSample().frontier[0], first);
+}
+
+TEST_F(CommandFixture, RiscvDrivesDecoderEndToEnd)
+{
+    // Full stack: a RISC-V program enqueues Table 4 commands through
+    // QRCH; the hub consumer feeds the decoder; responses return on
+    // queue 1 and the program checks them.
+    using namespace riscv;
+    using namespace riscv::encode;
+
+    Rv32Core core;
+    QrchHub hub(2, 32);
+    core.attachQrch(&hub);
+    hub.setConsumer(0, [&](std::uint32_t lo, std::uint32_t hi) {
+        const auto cmd = axe::CommandWord::fromHalves(lo, hi);
+        const auto resp = decoder.execute(cmd);
+        hub.push(1, static_cast<std::uint32_t>(resp.value));
+        hub.push(1, resp.status);
+    });
+
+    // Program: set batch=4 via CSR, then sample 1 hop rate 3 at root
+    // base held in (a0, a1); read back (value, status) into (a2, a3).
+    const auto set_batch = axe::commands::setCsr(
+        axe::CommandDecoder::csr_batch_size, 4);
+    const auto sample = axe::commands::sampleNHop(1, 3, 0);
+
+    std::vector<Insn> prog;
+    // materialize the two 64-bit command words in registers:
+    // lui/addi pairs work for small fields; use lw from memory for
+    // generality instead: store both words into TCM first.
+    core.storeWord(0x400, set_batch.lo());
+    core.storeWord(0x404, set_batch.hi());
+    core.storeWord(0x408, sample.lo());
+    core.storeWord(0x40c, sample.hi());
+    prog.push_back(addi(a0, zero, 0x400));
+    prog.push_back(lw(a1, a0, 0));
+    prog.push_back(lw(a2, a0, 4));
+    prog.push_back(qrchEnq(0, a1, a2));
+    prog.push_back(qrchDeq(a3, 1)); // value
+    prog.push_back(qrchDeq(a4, 1)); // status
+    prog.push_back(lw(a1, a0, 8));
+    prog.push_back(lw(a2, a0, 12));
+    prog.push_back(qrchEnq(0, a1, a2));
+    prog.push_back(qrchDeq(a5, 1)); // sampled count
+    prog.push_back(qrchDeq(t0, 1)); // status
+    prog.push_back(ecall());
+    core.loadProgram(prog);
+
+    ASSERT_EQ(core.run(), StopReason::Ecall);
+    EXPECT_EQ(core.reg(a4), 0u); // setCsr status OK
+    EXPECT_EQ(core.reg(t0), 0u); // sample status OK
+    EXPECT_EQ(core.reg(a5), 4u * 3u); // 4 roots x fan-out 3
+    EXPECT_EQ(decoder.completed(), 2u);
+}
+
+TEST_F(CommandFixture, GemmCommandComputesOverNodeWindow)
+{
+    // W: attr_len x 2 identity-ish projection picking dims 0 and 1.
+    const std::uint32_t k = attrs.attrLen();
+    std::vector<float> w(static_cast<std::size_t>(k) * 2, 0.0f);
+    w[0 * 2 + 0] = 1.0f;
+    w[1 * 2 + 1] = 1.0f;
+    decoder.loadGemmWeights(w);
+    decoder.execute(axe::commands::setCsr(
+        axe::CommandDecoder::csr_gemm_m, 4));
+    decoder.execute(axe::commands::setCsr(
+        axe::CommandDecoder::csr_gemm_n, 2));
+
+    const auto resp = decoder.execute(axe::commands::gemm(10));
+    EXPECT_EQ(resp.status, 0u);
+    EXPECT_GT(resp.value, 0u); // engine cycles
+    const auto &c = decoder.lastGemmResult();
+    ASSERT_EQ(c.size(), 8u);
+    for (std::uint32_t i = 0; i < 4; ++i) {
+        EXPECT_FLOAT_EQ(c[i * 2 + 0], attrs.value(10 + i, 0));
+        EXPECT_FLOAT_EQ(c[i * 2 + 1], attrs.value(10 + i, 1));
+    }
+}
+
+TEST_F(CommandFixture, GemmCommandValidatesConfiguration)
+{
+    // No weights loaded -> fault.
+    decoder.execute(axe::commands::setCsr(
+        axe::CommandDecoder::csr_gemm_m, 4));
+    decoder.execute(axe::commands::setCsr(
+        axe::CommandDecoder::csr_gemm_n, 2));
+    EXPECT_NE(decoder.execute(axe::commands::gemm(0)).status, 0u);
+    // Window past the end of the graph -> fault.
+    decoder.loadGemmWeights(
+        std::vector<float>(attrs.attrLen() * 2, 0.0f));
+    EXPECT_NE(decoder.execute(
+        axe::commands::gemm(g.numNodes() - 1)).status, 0u);
+}
+
+// --- GEMM / VPU -------------------------------------------------------
+
+TEST(Gemm, FunctionalResultMatchesReference)
+{
+    const axe::GemmEngine gemm(8, 8);
+    const std::vector<float> a = {1, 2, 3, 4};       // 2x2
+    const std::vector<float> b = {5, 6, 7, 8};       // 2x2
+    std::vector<float> c(4);
+    const auto result = gemm.matmul(a, b, c, 2, 2, 2);
+    EXPECT_FLOAT_EQ(c[0], 19);
+    EXPECT_FLOAT_EQ(c[1], 22);
+    EXPECT_FLOAT_EQ(c[2], 43);
+    EXPECT_FLOAT_EQ(c[3], 50);
+    EXPECT_GT(result.cycles, 0u);
+}
+
+TEST(Gemm, TimingScalesWithTiles)
+{
+    const axe::GemmEngine gemm(16, 16);
+    std::vector<float> a(64 * 64, 1.0f), b(64 * 64, 1.0f);
+    std::vector<float> c(64 * 64);
+    const auto small = gemm.matmul(
+        std::span<const float>(a).first(16 * 64),
+        std::span<const float>(b).first(64 * 16),
+        std::span<float>(c).first(16 * 16), 16, 64, 16);
+    const auto large = gemm.matmul(a, b, c, 64, 64, 64);
+    // 16x more output tiles -> ~16x more cycles.
+    EXPECT_NEAR(static_cast<double>(large.cycles) / small.cycles, 16.0,
+                0.5);
+}
+
+TEST(Gemm, AchievedFlopsBelowPeak)
+{
+    const axe::GemmEngine gemm(32, 32, 250.0);
+    std::vector<float> a(128 * 128, 0.5f), b(128 * 128, 0.25f);
+    std::vector<float> c(128 * 128);
+    const auto result = gemm.matmul(a, b, c, 128, 128, 128);
+    EXPECT_LE(result.flops_per_s, gemm.peakFlops());
+    EXPECT_GT(result.flops_per_s, 0.5 * gemm.peakFlops());
+}
+
+TEST(Vpu, MaxAndMeanReductions)
+{
+    const axe::VpuEngine vpu(4);
+    // 1 group of 3 vectors, dim 2.
+    const std::vector<float> input = {1, 5, 3, 2, 2, 9};
+    std::vector<float> out(2);
+    vpu.reduce(input, out, 1, 3, 2, axe::VpuReduceOp::Max);
+    EXPECT_FLOAT_EQ(out[0], 3);
+    EXPECT_FLOAT_EQ(out[1], 9);
+    vpu.reduce(input, out, 1, 3, 2, axe::VpuReduceOp::Mean);
+    EXPECT_FLOAT_EQ(out[0], 2.0f);
+    EXPECT_NEAR(out[1], 16.0 / 3.0, 1e-5);
+}
+
+TEST(Vpu, CyclesFollowLaneCount)
+{
+    const std::vector<float> input(16 * 128, 1.0f);
+    std::vector<float> out(128);
+    const axe::VpuEngine narrow(4), wide(16);
+    const auto slow = narrow.reduce(input, out, 1, 16, 128,
+                                    axe::VpuReduceOp::Sum);
+    const auto fast = wide.reduce(input, out, 1, 16, 128,
+                                  axe::VpuReduceOp::Sum);
+    EXPECT_NEAR(static_cast<double>(slow.cycles) / fast.cycles, 4.0,
+                0.1);
+}
+
+TEST(Vpu, ReductionSavingIsFanout)
+{
+    const auto saving = axe::reductionSaving(10, 336);
+    EXPECT_EQ(saving.raw_bytes, 10u * 344u);
+    EXPECT_EQ(saving.reduced_bytes, 344u);
+    EXPECT_NEAR(saving.factor, 10.0, 1e-9);
+}
+
+// --- MoF reliability ---------------------------------------------------
+
+TEST(Reliability, LosslessDeliversInOrder)
+{
+    sim::EventQueue eq;
+    std::vector<std::uint64_t> seen;
+    mof::ReliableChannelParams params;
+    mof::ReliableChannel chan(eq, params,
+        [&](std::uint64_t seq, std::uint32_t) { seen.push_back(seq); });
+    for (int i = 0; i < 50; ++i)
+        chan.send(256);
+    eq.run();
+    ASSERT_EQ(seen.size(), 50u);
+    for (std::uint64_t i = 0; i < 50; ++i)
+        EXPECT_EQ(seen[i], i);
+    EXPECT_EQ(chan.retransmissions(), 0u);
+    EXPECT_TRUE(chan.allAcked());
+}
+
+class ReliabilityLossTest : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(ReliabilityLossTest, ExactlyOnceInOrderUnderLoss)
+{
+    sim::EventQueue eq;
+    std::vector<std::uint64_t> seen;
+    mof::ReliableChannelParams params;
+    params.loss_probability = GetParam();
+    params.ack_loss_probability = GetParam() / 2;
+    params.seed = 99;
+    mof::ReliableChannel chan(eq, params,
+        [&](std::uint64_t seq, std::uint32_t) { seen.push_back(seq); });
+    const int packages = 200;
+    for (int i = 0; i < packages; ++i)
+        chan.send(512);
+    eq.run();
+    ASSERT_EQ(seen.size(), static_cast<std::size_t>(packages));
+    for (std::uint64_t i = 0; i < seen.size(); ++i)
+        EXPECT_EQ(seen[i], i);
+    EXPECT_TRUE(chan.allAcked());
+    if (GetParam() > 0) {
+        EXPECT_GT(chan.retransmissions(), 0u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(LossSweep, ReliabilityLossTest,
+    ::testing::Values(0.0, 0.01, 0.05, 0.2));
+
+TEST(Reliability, RetransmissionsGrowWithLoss)
+{
+    auto run_loss = [](double loss) {
+        sim::EventQueue eq;
+        mof::ReliableChannelParams params;
+        params.loss_probability = loss;
+        params.seed = 7;
+        mof::ReliableChannel chan(eq, params,
+            [](std::uint64_t, std::uint32_t) {});
+        for (int i = 0; i < 300; ++i)
+            chan.send(256);
+        eq.run();
+        return chan.retransmissions();
+    };
+    EXPECT_LT(run_loss(0.01), run_loss(0.15));
+}
+
+// --- Hot-node cache ----------------------------------------------------
+
+TEST(HotCache, SkewedTrafficHitsAnalyticalRate)
+{
+    const std::uint64_t nodes = 10000;
+    const double skew = 0.35;
+    baseline::HotNodeCache cache(nodes / 100); // cache 1 % of nodes
+    Rng rng(11);
+    // Warm up, then measure.
+    for (int i = 0; i < 200000; ++i)
+        cache.access(graph::skewedEndpoint(rng, nodes, skew));
+    const double warm = cache.hitRate();
+    const double analytic = baseline::analyticalHotHitRate(0.01, skew);
+    // LFU admission lag keeps the measured rate slightly below the
+    // ideal top-f capture; they must agree within a few points.
+    EXPECT_NEAR(warm, analytic, 0.08);
+    EXPECT_GT(warm, 0.1); // a 1 % cache is already pulling weight
+}
+
+TEST(HotCache, UniformTrafficGetsNoMiracle)
+{
+    const std::uint64_t nodes = 10000;
+    baseline::HotNodeCache cache(100);
+    Rng rng(13);
+    for (int i = 0; i < 100000; ++i)
+        cache.access(rng.nextBounded(nodes));
+    // Uniform traffic: hit rate ~ capacity fraction (1 %).
+    EXPECT_LT(cache.hitRate(), 0.03);
+}
+
+TEST(HotCache, AnalyticalFormulaSanity)
+{
+    EXPECT_NEAR(baseline::analyticalHotHitRate(0.01, 0.35),
+                std::pow(0.01, 0.35), 1e-12);
+    EXPECT_DOUBLE_EQ(baseline::analyticalHotHitRate(1.0, 0.5), 1.0);
+    EXPECT_DOUBLE_EQ(baseline::analyticalHotHitRate(0.0, 0.5), 0.0);
+}
+
+TEST(HotCache, RemoteFractionShrinksWithCache)
+{
+    EXPECT_DOUBLE_EQ(baseline::remoteFractionWithCache(5, 0.0), 0.8);
+    EXPECT_DOUBLE_EQ(baseline::remoteFractionWithCache(5, 0.5), 0.4);
+    EXPECT_DOUBLE_EQ(baseline::remoteFractionWithCache(1, 0.0), 0.0);
+}
+
+// --- Serialization -----------------------------------------------------
+
+TEST(Serialize, RoundTripsThroughStream)
+{
+    const graph::CsrGraph g = testGraph(300, 3000);
+    std::stringstream ss;
+    graph::saveGraph(ss, g);
+    const graph::CsrGraph loaded = graph::loadGraph(ss);
+    EXPECT_EQ(loaded.offsets(), g.offsets());
+    EXPECT_EQ(loaded.targets(), g.targets());
+}
+
+TEST(Serialize, DetectsCorruption)
+{
+    const graph::CsrGraph g = testGraph(50, 500);
+    std::stringstream ss;
+    graph::saveGraph(ss, g);
+    std::string bytes = ss.str();
+    bytes[bytes.size() / 2] ^= 0x5a; // flip payload bits
+    std::stringstream corrupted(bytes);
+    EXPECT_DEATH(graph::loadGraph(corrupted), "checksum");
+}
+
+TEST(Serialize, DetectsTruncation)
+{
+    const graph::CsrGraph g = testGraph(50, 500);
+    std::stringstream ss;
+    graph::saveGraph(ss, g);
+    std::stringstream truncated(ss.str().substr(0, 40));
+    EXPECT_DEATH(graph::loadGraph(truncated), "truncated");
+}
+
+TEST(Serialize, RejectsForeignData)
+{
+    std::stringstream junk("this is not a graph snapshot at all....");
+    EXPECT_DEATH(graph::loadGraph(junk), "magic");
+}
+
+} // namespace
+} // namespace lsdgnn

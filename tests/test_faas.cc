@@ -1,0 +1,353 @@
+/**
+ * @file
+ * Tests for the FaaS DSE: instances, architectures, performance
+ * model, cost model and the explorer's headline shapes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "axe/analytic.hh"
+#include "axe/engine.hh"
+#include "faas/arch.hh"
+#include "faas/cost_model.hh"
+#include "faas/dse.hh"
+#include "faas/instance.hh"
+#include "faas/perf_model.hh"
+
+namespace lsdgnn {
+namespace faas {
+namespace {
+
+/** Shared explorer: profiling the six datasets once is enough. */
+const DseExplorer &
+explorer()
+{
+    static const DseExplorer dse(20'000);
+    return dse;
+}
+
+TEST(Instance, Table12Shapes)
+{
+    const auto &small = faasInstance(InstanceSize::Small);
+    EXPECT_EQ(small.vcpus, 2u);
+    EXPECT_EQ(small.memory_gib, 8u);
+    EXPECT_EQ(small.fpga_chips, 1u);
+    EXPECT_DOUBLE_EQ(small.nic_gbps, 10.0);
+    const auto &large = faasInstance(InstanceSize::Large);
+    EXPECT_EQ(large.memory_gib, 512u);
+    EXPECT_EQ(large.fpga_chips, 2u);
+    EXPECT_DOUBLE_EQ(large.mof_gbps, 800.0);
+}
+
+TEST(Instance, CpuTwinDropsFpga)
+{
+    const auto cpu = cpuInstance(InstanceSize::Medium);
+    EXPECT_EQ(cpu.fpga_chips, 0u);
+    EXPECT_GT(cpu.vcpus, faasInstance(InstanceSize::Medium).vcpus);
+    EXPECT_EQ(cpu.memory_gib,
+              faasInstance(InstanceSize::Medium).memory_gib);
+}
+
+TEST(Arch, EightArchitectures)
+{
+    const auto &archs = allArchitectures();
+    EXPECT_EQ(archs.size(), 8u);
+    EXPECT_EQ(archs[0].name(), "base.decp");
+    EXPECT_EQ(archs[7].name(), "mem-opt.tc");
+}
+
+TEST(Arch, Table8Paths)
+{
+    const auto &medium = faasInstance(InstanceSize::Medium);
+    const FaasArch base{Constraint::Base, Coupling::Tc};
+    const FaasArch mem{Constraint::MemOpt, Coupling::Tc};
+    // base: PCIe host DRAM local, NIC remote.
+    EXPECT_DOUBLE_EQ(base.localMem(medium).bandwidth, 16e9);
+    EXPECT_TRUE(base.remoteMem(medium).uses_nic);
+    // mem-opt: FPGA DDR local (102.4 GB/s), MoF remote, fast GPU link.
+    EXPECT_DOUBLE_EQ(mem.localMem(medium).bandwidth, 102.4e9);
+    EXPECT_FALSE(mem.remoteMem(medium).uses_nic);
+    EXPECT_DOUBLE_EQ(mem.gpuPath(medium).bandwidth, 300e9);
+    // decp output rides the NIC for every constraint.
+    const FaasArch decp{Constraint::MemOpt, Coupling::Decp};
+    EXPECT_TRUE(decp.gpuPath(medium).uses_nic);
+}
+
+TEST(Arch, PaperCoreCounts)
+{
+    // Sections 6.2-6.5: base 3, cost-opt 2, comm-opt 2,
+    // mem-opt.decp 2, mem-opt.tc 10.
+    EXPECT_EQ((FaasArch{Constraint::Base, Coupling::Decp}).axeCores(),
+              3u);
+    EXPECT_EQ((FaasArch{Constraint::CostOpt, Coupling::Tc}).axeCores(),
+              2u);
+    EXPECT_EQ((FaasArch{Constraint::CommOpt, Coupling::Tc}).axeCores(),
+              2u);
+    EXPECT_EQ((FaasArch{Constraint::MemOpt, Coupling::Decp}).axeCores(),
+              2u);
+    EXPECT_EQ((FaasArch{Constraint::MemOpt, Coupling::Tc}).axeCores(),
+              10u);
+}
+
+TEST(Arch, Eq3SuggestsMoreCoresForLongerLatency)
+{
+    const auto &medium = faasInstance(InstanceSize::Medium);
+    const FaasArch base{Constraint::Base, Coupling::Decp};
+    const FaasArch comm{Constraint::CommOpt, Coupling::Decp};
+    const auto base_cores = base.eq3SuggestedCores(medium, 180.0, 128);
+    const auto comm_cores = comm.eq3SuggestedCores(medium, 180.0, 128);
+    // The RDMA path's latency demands more outstanding requests than
+    // the MoF path (paper: 3 cores vs 2).
+    EXPECT_GT(base_cores, comm_cores);
+}
+
+TEST(PerfModel, BottleneckShiftsAcrossArchs)
+{
+    const auto &dse = explorer();
+    const auto &profile = dse.profileFor("ls");
+    const auto &medium = faasInstance(InstanceSize::Medium);
+    const auto base = evaluateFpga(
+        FaasArch{Constraint::Base, Coupling::Decp}, medium, profile, 10);
+    const auto comm = evaluateFpga(
+        FaasArch{Constraint::CommOpt, Coupling::Decp}, medium, profile,
+        10);
+    const auto mem_tc = evaluateFpga(
+        FaasArch{Constraint::MemOpt, Coupling::Tc}, medium, profile, 10);
+    // base is strangled by the shared NIC; comm-opt moves the
+    // bottleneck to result output; each step must help.
+    EXPECT_EQ(base.bottleneck, Bottleneck::RemoteLink);
+    EXPECT_GT(comm.samples_per_s, base.samples_per_s);
+    EXPECT_GT(mem_tc.samples_per_s, comm.samples_per_s);
+}
+
+TEST(PerfModel, SingleFpgaHasNoRemoteTraffic)
+{
+    const auto &dse = explorer();
+    const auto &profile = dse.profileFor("ss");
+    const auto &medium = faasInstance(InstanceSize::Medium);
+    const auto rep = evaluateFpga(
+        FaasArch{Constraint::Base, Coupling::Tc}, medium, profile, 1);
+    EXPECT_DOUBLE_EQ(rep.remote_fraction, 0.0);
+}
+
+TEST(PerfModel, CostOptMatchesBasePerformance)
+{
+    // Paper: cost-opt does not change performance (the NIC keeps the
+    // same wire bandwidth and latency was not the bottleneck).
+    const auto &dse = explorer();
+    const auto &profile = dse.profileFor("ll");
+    const auto &large = faasInstance(InstanceSize::Large);
+    const auto base = evaluateFpga(
+        FaasArch{Constraint::Base, Coupling::Decp}, large, profile, 8);
+    const auto cost = evaluateFpga(
+        FaasArch{Constraint::CostOpt, Coupling::Decp}, large, profile,
+        8);
+    EXPECT_NEAR(cost.samples_per_s, base.samples_per_s,
+                base.samples_per_s * 0.02);
+}
+
+TEST(CostModel, FitRecoversLinearStructure)
+{
+    const CostModel model = CostModel::fitDefault();
+    // Coefficients must be positive and ordered sensibly: a GPU costs
+    // more than an FPGA, which costs more than a vCPU.
+    EXPECT_GT(model.vcpuCoeff(), 0.0);
+    EXPECT_GT(model.memoryCoeff(), 0.0);
+    EXPECT_GT(model.fpgaCoeff(), model.vcpuCoeff());
+    EXPECT_GT(model.gpuCoeff(), model.fpgaCoeff());
+}
+
+TEST(CostModel, ValidationErrorsSmallExceptHighMemOutlier)
+{
+    const CostModel model = CostModel::fitDefault();
+    for (const auto &entry : syntheticPriceList()) {
+        const double err = std::abs(model.relativeError(entry));
+        if (entry.product_id == "ecs-ram-e") {
+            // Paper Fig. 16: the 906 GB instance is under-estimated.
+            EXPECT_LT(model.relativeError(entry), -0.05);
+        } else {
+            EXPECT_LT(err, 0.15) << entry.product_id;
+        }
+    }
+}
+
+TEST(CostModel, PriceGrowsWithResources)
+{
+    const CostModel model = CostModel::fitDefault();
+    const double small = model.price(faasInstance(InstanceSize::Small));
+    const double large = model.price(faasInstance(InstanceSize::Large));
+    EXPECT_GT(large, small);
+    EXPECT_GT(model.price(faasInstance(InstanceSize::Small), 1.0),
+              small);
+}
+
+TEST(Dse, InstancesGrowWithDatasetAndShrinkWithMemory)
+{
+    const auto &dse = explorer();
+    EXPECT_GT(dse.instancesFor("syn", InstanceSize::Medium),
+              dse.instancesFor("ss", InstanceSize::Medium));
+    EXPECT_GE(dse.instancesFor("ls", InstanceSize::Small),
+              dse.instancesFor("ls", InstanceSize::Medium));
+}
+
+TEST(Dse, MlOnSmallNeedsDozensOfInstances)
+{
+    // Paper Fig. 20 worked example: the ml dataset on small (8 GB)
+    // instances needs ~49 instances.
+    const auto n = explorer().instancesFor("ml", InstanceSize::Small);
+    EXPECT_GE(n, 40u);
+    EXPECT_LE(n, 60u);
+}
+
+TEST(Dse, HeadlineOrdering)
+{
+    // Paper conclusion: base < comm-opt < mem-opt in perf/$, with tc
+    // beating decp within each constraint.
+    const auto &dse = explorer();
+    auto pooled = [&](const FaasArch &arch) {
+        std::vector<double> vals;
+        for (auto size : {InstanceSize::Small, InstanceSize::Medium,
+                          InstanceSize::Large}) {
+            const double cpu_geo = dse.cpuPerfPerDollarGeomean(size);
+            for (const auto &spec : graph::paperDatasets()) {
+                vals.push_back(
+                    dse.evaluate(spec.name, arch, size).perf_per_dollar /
+                    cpu_geo);
+            }
+        }
+        return geomean(vals);
+    };
+    const double base_decp =
+        pooled(FaasArch{Constraint::Base, Coupling::Decp});
+    const double base_tc =
+        pooled(FaasArch{Constraint::Base, Coupling::Tc});
+    const double comm_tc =
+        pooled(FaasArch{Constraint::CommOpt, Coupling::Tc});
+    const double mem_tc =
+        pooled(FaasArch{Constraint::MemOpt, Coupling::Tc});
+    // Every FaaS point beats the CPU baseline (paper: 2.47x already
+    // for off-the-shelf base).
+    EXPECT_GT(base_decp, 1.5);
+    EXPECT_GT(base_tc, base_decp);
+    EXPECT_GT(comm_tc, base_tc);
+    EXPECT_GT(mem_tc, comm_tc);
+    // The paper's best case lands at 12.58x; ours must be in that
+    // band.
+    EXPECT_NEAR(mem_tc, 12.58, 3.0);
+}
+
+TEST(Dse, VcpuEquivalentsMatchPaperBand)
+{
+    // Paper: one FPGA ~ 67 vCPU (decp) and ~129.6 vCPU (tc) for
+    // FaaS.base, geomean across datasets and sizes.
+    const auto &dse = explorer();
+    auto eq_geomean = [&](const FaasArch &arch) {
+        std::vector<double> vals;
+        for (auto size : {InstanceSize::Small, InstanceSize::Medium,
+                          InstanceSize::Large}) {
+            for (const auto &spec : graph::paperDatasets())
+                vals.push_back(
+                    dse.evaluate(spec.name, arch, size).vcpu_equivalent);
+        }
+        return geomean(vals);
+    };
+    const double decp =
+        eq_geomean(FaasArch{Constraint::Base, Coupling::Decp});
+    const double tc = eq_geomean(FaasArch{Constraint::Base, Coupling::Tc});
+    EXPECT_NEAR(decp, 67.0, 25.0);
+    EXPECT_NEAR(tc, 129.6, 45.0);
+    EXPECT_GT(tc, decp);
+}
+
+TEST(Dse, MemOptDecpGainsNothingOverCommOptDecp)
+{
+    // Paper: mem-opt.decp adds no performance — the PCIe->NIC result
+    // path still binds.
+    const auto &dse = explorer();
+    const auto comm = dse.evaluate("ll",
+        FaasArch{Constraint::CommOpt, Coupling::Decp},
+        InstanceSize::Medium);
+    const auto mem = dse.evaluate("ll",
+        FaasArch{Constraint::MemOpt, Coupling::Decp},
+        InstanceSize::Medium);
+    EXPECT_NEAR(mem.per_fpga_samples_per_s, comm.per_fpga_samples_per_s,
+                comm.per_fpga_samples_per_s * 0.02);
+}
+
+TEST(Dse, TcAdvantageGrowsWithOptimization)
+{
+    // Paper: tc:decp benefit grows 1.9x (cost-opt) -> 3.5x (comm-opt)
+    // -> 16.6x (mem-opt) as bottlenecks move to the output.
+    const auto &dse = explorer();
+    auto ratio = [&](Constraint c) {
+        std::vector<double> tcs, decps;
+        for (const auto &spec : graph::paperDatasets()) {
+            tcs.push_back(dse.evaluate(spec.name,
+                FaasArch{c, Coupling::Tc},
+                InstanceSize::Medium).per_fpga_samples_per_s);
+            decps.push_back(dse.evaluate(spec.name,
+                FaasArch{c, Coupling::Decp},
+                InstanceSize::Medium).per_fpga_samples_per_s);
+        }
+        return geomean(tcs) / geomean(decps);
+    };
+    const double cost_ratio = ratio(Constraint::CostOpt);
+    const double comm_ratio = ratio(Constraint::CommOpt);
+    const double mem_ratio = ratio(Constraint::MemOpt);
+    EXPECT_GT(comm_ratio, cost_ratio);
+    EXPECT_GT(mem_ratio, comm_ratio);
+    EXPECT_GT(mem_ratio, 5.0);
+}
+
+TEST(Dse, GpuCountFollowsThroughput)
+{
+    const auto &dse = explorer();
+    const auto slow = dse.evaluate("ll",
+        FaasArch{Constraint::Base, Coupling::Decp},
+        InstanceSize::Medium);
+    const auto fast = dse.evaluate("ll",
+        FaasArch{Constraint::MemOpt, Coupling::Tc},
+        InstanceSize::Medium);
+    EXPECT_GT(fast.gpus, slow.gpus);
+    // 12 GB/s per V100 rule.
+    const auto &profile = dse.profileFor("ll");
+    const double out_bytes = 8.0 + profile.attr_bytes_per_node;
+    EXPECT_NEAR(fast.gpus,
+                fast.service_samples_per_s * out_bytes / 12e9, 1e-6);
+}
+
+TEST(Dse, GeomeanBasics)
+{
+    EXPECT_DOUBLE_EQ(geomean({4.0, 4.0}), 4.0);
+    EXPECT_NEAR(geomean({1.0, 100.0}), 10.0, 1e-9);
+    EXPECT_DEATH(geomean({}), "geomean of nothing");
+    EXPECT_DEATH(geomean({1.0, -1.0}), "positive");
+}
+
+TEST(Fig15, AnalyticTracksDiscreteEvent)
+{
+    // Paper Fig. 15: the analytical model matches the PoC measurement
+    // within ~1 %. Compare against the DES engine on a scaled ls.
+    const auto &ls = graph::datasetByName("ls");
+    const graph::CsrGraph g = graph::instantiate(ls, 500'000, 1);
+    sampling::SamplePlan plan;
+    plan.batch_size = 128;
+    const auto profile =
+        sampling::profileWorkload(ls, plan, 500'000, 4, 1);
+
+    for (std::uint32_t cores : {1u, 2u, 4u}) {
+        axe::AxeConfig cfg = axe::AxeConfig::poc();
+        cfg.num_cores = cores;
+        axe::AccessEngine engine(cfg, g, ls.attr_len * 4);
+        const auto measured = engine.run(plan, 2);
+        const auto predicted = axe::predictEngineRate(
+            cfg, profile, measured.cache_hit_rate);
+        EXPECT_NEAR(predicted.samples_per_s, measured.samples_per_s,
+                    measured.samples_per_s * 0.05)
+            << cores << " cores";
+    }
+}
+
+} // namespace
+} // namespace faas
+} // namespace lsdgnn

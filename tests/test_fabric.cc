@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Tests for the analytical link models, Eq. 3 and the DES link.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fabric/link.hh"
+#include "fabric/sim_link.hh"
+#include "sim/event_queue.hh"
+
+namespace lsdgnn {
+namespace fabric {
+namespace {
+
+TEST(Link, LatencyGrowsWithSize)
+{
+    const Link link = catalog::rdmaRemoteDram();
+    EXPECT_LT(link.roundTripLatency(8), link.roundTripLatency(1024));
+    EXPECT_GE(link.roundTripLatency(0), link.params().base_latency);
+}
+
+TEST(Link, LatencyOrderingAcrossPaths)
+{
+    // Paper Fig. 2(d): local DRAM << PCIe host DRAM << RDMA remote.
+    const Link local = catalog::localDdr4Channel();
+    const Link pcie = catalog::pcieHostDram();
+    const Link rdma = catalog::rdmaRemoteDram();
+    for (std::uint64_t bytes : {8, 16, 32, 64, 128}) {
+        EXPECT_LT(local.roundTripLatency(bytes),
+                  pcie.roundTripLatency(bytes));
+        EXPECT_LT(pcie.roundTripLatency(bytes),
+                  rdma.roundTripLatency(bytes));
+    }
+}
+
+TEST(Link, SmallRequestsCollapseBandwidth)
+{
+    // Paper Observation-2: 8 B remote access achieves ~100x less
+    // bandwidth than 1 KiB access.
+    const Link rdma = catalog::rdmaRemoteDram();
+    const double bw8 = rdma.achievedBandwidth(8, 64);
+    const double bw1k = rdma.achievedBandwidth(1024, 64);
+    EXPECT_GT(bw1k / bw8, 50.0);
+    EXPECT_LT(bw1k / bw8, 200.0);
+}
+
+TEST(Link, BandwidthSaturatesWithOutstanding)
+{
+    const Link rdma = catalog::rdmaRemoteDram();
+    const double bw_few = rdma.achievedBandwidth(1024, 4);
+    const double bw_many = rdma.achievedBandwidth(1024, 4096);
+    EXPECT_GT(bw_many, bw_few);
+    // Enough outstanding requests saturate the wire ceiling.
+    EXPECT_NEAR(bw_many,
+                rdma.params().peak_bandwidth * rdma.efficiency(1024),
+                rdma.params().peak_bandwidth * 0.01);
+}
+
+TEST(Link, EfficiencyReflectsOverhead)
+{
+    const Link rdma = catalog::rdmaRemoteDram();
+    EXPECT_LT(rdma.efficiency(8), 0.1);   // 8 B vs ~90 B headers
+    EXPECT_GT(rdma.efficiency(4096), 0.9);
+}
+
+TEST(Link, RequiredOutstandingMatchesLittlesLaw)
+{
+    const Link local = catalog::localDdr4Channel();
+    const std::uint64_t bytes = 64;
+    const double target = 12.8e9;
+    const double o = local.requiredOutstanding(target, bytes);
+    // Sanity: achieving the target with exactly o outstanding should
+    // reproduce the target (before the serialization cap).
+    const double latency_s = toSeconds(local.roundTripLatency(bytes));
+    EXPECT_NEAR(o / latency_s * static_cast<double>(bytes), target,
+                target * 1e-6);
+}
+
+TEST(Eq3, LongerLatencyNeedsMoreOutstanding)
+{
+    // Paper Fig. 2(e): remote paths demand far more concurrency.
+    const std::vector<AccessPattern> mix = {{8, 0.5}, {336, 0.5}};
+    const Link local = catalog::localDdr4Channel();
+    const Link rdma = catalog::rdmaRemoteDram();
+    const double o_local = requiredOutstanding(
+        16e9, local.roundTripLatency(64), mix);
+    const double o_rdma = requiredOutstanding(
+        16e9, rdma.roundTripLatency(64), mix);
+    EXPECT_GT(o_rdma, 10.0 * o_local);
+}
+
+TEST(Eq3, ScalesLinearlyInBandwidth)
+{
+    const std::vector<AccessPattern> mix = {{64, 1.0}};
+    const double o16 = requiredOutstanding(16e9, microseconds(2), mix);
+    const double o200 = requiredOutstanding(200e9, microseconds(2), mix);
+    EXPECT_NEAR(o200 / o16, 200.0 / 16.0, 1e-9);
+}
+
+TEST(Eq3, MeanRequestBytes)
+{
+    const std::vector<AccessPattern> mix = {{8, 0.48}, {336, 0.52}};
+    EXPECT_NEAR(meanRequestBytes(mix), 8 * 0.48 + 336 * 0.52, 1e-9);
+}
+
+TEST(Eq3, RejectsBadProbabilities)
+{
+    const std::vector<AccessPattern> mix = {{8, 0.3}};
+    EXPECT_DEATH(meanRequestBytes(mix), "sum to 1");
+}
+
+TEST(SimLink, SingleRequestLatency)
+{
+    sim::EventQueue eq;
+    LinkParams p;
+    p.name = "t";
+    p.peak_bandwidth = 1e9; // 1 GB/s
+    p.base_latency = nanoseconds(100);
+    p.per_request_overhead = 0;
+    p.max_outstanding = 4;
+    SimLink link(eq, p);
+
+    Tick done_at = 0;
+    link.request(1000, [&] { done_at = eq.now(); });
+    eq.run();
+    // 1000 B at 1 GB/s = 1 us serialize + 100 ns flight.
+    EXPECT_EQ(done_at, microseconds(1) + nanoseconds(100));
+    EXPECT_EQ(link.requestsCompleted(), 1u);
+    EXPECT_EQ(link.bytesCompleted(), 1000u);
+}
+
+TEST(SimLink, SerializationQueuesRequests)
+{
+    sim::EventQueue eq;
+    LinkParams p;
+    p.name = "t";
+    p.peak_bandwidth = 1e9;
+    p.base_latency = 0;
+    p.per_request_overhead = 0;
+    p.max_outstanding = 16;
+    SimLink link(eq, p);
+
+    std::vector<Tick> done;
+    for (int i = 0; i < 3; ++i)
+        link.request(1000, [&] { done.push_back(eq.now()); });
+    eq.run();
+    ASSERT_EQ(done.size(), 3u);
+    // Back-to-back serialization: 1, 2, 3 us.
+    EXPECT_EQ(done[0], microseconds(1));
+    EXPECT_EQ(done[1], microseconds(2));
+    EXPECT_EQ(done[2], microseconds(3));
+}
+
+TEST(SimLink, OutstandingWindowLimitsConcurrency)
+{
+    sim::EventQueue eq;
+    LinkParams p;
+    p.name = "t";
+    p.peak_bandwidth = 1e12; // negligible serialization
+    p.base_latency = microseconds(1);
+    p.per_request_overhead = 0;
+    p.max_outstanding = 2;
+    SimLink link(eq, p);
+
+    std::vector<Tick> done;
+    for (int i = 0; i < 4; ++i)
+        link.request(8, [&] { done.push_back(eq.now()); });
+    EXPECT_EQ(link.inFlight(), 2u);
+    EXPECT_EQ(link.queued(), 2u);
+    eq.run();
+    ASSERT_EQ(done.size(), 4u);
+    // Two waves of two: ~1 us and ~2 us.
+    EXPECT_NEAR(static_cast<double>(done[1]),
+                static_cast<double>(microseconds(1)), 100.0);
+    EXPECT_NEAR(static_cast<double>(done[3]),
+                static_cast<double>(microseconds(2)), 200.0);
+}
+
+TEST(SimLink, ObservedBandwidthApproachesModel)
+{
+    sim::EventQueue eq;
+    SimLink link(eq, catalog::rdmaRemoteDram().params());
+    const int requests = 2000;
+    const std::uint64_t bytes = 1024;
+    int completed = 0;
+    for (int i = 0; i < requests; ++i)
+        link.request(bytes, [&] { ++completed; });
+    eq.run();
+    EXPECT_EQ(completed, requests);
+    const Link model = catalog::rdmaRemoteDram();
+    const double modeled = model.achievedBandwidth(bytes);
+    EXPECT_NEAR(link.observedBandwidth(), modeled, modeled * 0.15);
+}
+
+TEST(SimLink, MoreOutstandingMoreThroughput)
+{
+    // DES reproduction of the latency-hiding story: same link, the
+    // only difference is the outstanding window.
+    auto run_with = [](std::uint32_t window) {
+        sim::EventQueue eq;
+        LinkParams p = catalog::rdmaRemoteDram().params();
+        p.max_outstanding = window;
+        SimLink link(eq, p);
+        for (int i = 0; i < 1000; ++i)
+            link.request(64, [] {});
+        eq.run();
+        return link.observedBandwidth();
+    };
+    const double bw1 = run_with(1);
+    const double bw64 = run_with(64);
+    EXPECT_GT(bw64, 20.0 * bw1);
+}
+
+} // namespace
+} // namespace fabric
+} // namespace lsdgnn

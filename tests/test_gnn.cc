@@ -1,0 +1,320 @@
+/**
+ * @file
+ * Tests for the GNN stage: tensor kernels, GraphSAGE/DSSM, the Fig. 3
+ * end-to-end model and the Tech-2 accuracy-parity experiment.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gnn/accuracy.hh"
+#include "gnn/end_to_end.hh"
+#include "gnn/graphsage.hh"
+#include "gnn/tensor.hh"
+#include "graph/generator.hh"
+
+namespace lsdgnn {
+namespace gnn {
+namespace {
+
+TEST(Tensor, MatmulSmall)
+{
+    Matrix a(2, 3);
+    Matrix b(3, 2);
+    // a = [[1,2,3],[4,5,6]], b = [[7,8],[9,10],[11,12]]
+    float av[] = {1, 2, 3, 4, 5, 6};
+    float bv[] = {7, 8, 9, 10, 11, 12};
+    std::copy(av, av + 6, a.data().begin());
+    std::copy(bv, bv + 6, b.data().begin());
+    const Matrix c = matmul(a, b);
+    EXPECT_FLOAT_EQ(c.at(0, 0), 58);
+    EXPECT_FLOAT_EQ(c.at(0, 1), 64);
+    EXPECT_FLOAT_EQ(c.at(1, 0), 139);
+    EXPECT_FLOAT_EQ(c.at(1, 1), 154);
+}
+
+TEST(Tensor, MatmulShapeMismatchPanics)
+{
+    Matrix a(2, 3), b(2, 2);
+    EXPECT_DEATH(matmul(a, b), "shape mismatch");
+}
+
+TEST(Tensor, ReluAndBias)
+{
+    Matrix m(1, 3);
+    m.at(0, 0) = -1;
+    m.at(0, 1) = 0.5f;
+    m.at(0, 2) = -0.25f;
+    const float bias[] = {0.0f, 0.0f, 1.0f};
+    addBias(m, bias);
+    relu(m);
+    EXPECT_FLOAT_EQ(m.at(0, 0), 0.0f);
+    EXPECT_FLOAT_EQ(m.at(0, 1), 0.5f);
+    EXPECT_FLOAT_EQ(m.at(0, 2), 0.75f);
+}
+
+TEST(Tensor, CosineBounds)
+{
+    const float a[] = {1, 0, 0};
+    const float b[] = {1, 0, 0};
+    const float c[] = {-1, 0, 0};
+    const float d[] = {0, 1, 0};
+    EXPECT_NEAR(cosine(a, b), 1.0f, 1e-6);
+    EXPECT_NEAR(cosine(a, c), -1.0f, 1e-6);
+    EXPECT_NEAR(cosine(a, d), 0.0f, 1e-6);
+}
+
+TEST(Tensor, L2Normalize)
+{
+    Matrix m(1, 2);
+    m.at(0, 0) = 3;
+    m.at(0, 1) = 4;
+    l2NormalizeRows(m);
+    EXPECT_NEAR(m.at(0, 0), 0.6f, 1e-6);
+    EXPECT_NEAR(m.at(0, 1), 0.8f, 1e-6);
+}
+
+TEST(Tensor, SigmoidStable)
+{
+    EXPECT_NEAR(sigmoid(0.0f), 0.5f, 1e-6);
+    EXPECT_NEAR(sigmoid(100.0f), 1.0f, 1e-6);
+    EXPECT_NEAR(sigmoid(-100.0f), 0.0f, 1e-6);
+}
+
+TEST(Tensor, ElementwiseMax)
+{
+    Matrix a(1, 2), b(1, 2);
+    a.at(0, 0) = 1;
+    a.at(0, 1) = -3;
+    b.at(0, 0) = 0;
+    b.at(0, 1) = 5;
+    const Matrix c = elementwiseMax(a, b);
+    EXPECT_FLOAT_EQ(c.at(0, 0), 1);
+    EXPECT_FLOAT_EQ(c.at(0, 1), 5);
+}
+
+class SageFixture : public ::testing::Test
+{
+  protected:
+    SageFixture()
+        : graph([] {
+              graph::GeneratorParams p;
+              p.num_nodes = 500;
+              p.num_edges = 6000;
+              p.min_degree = 1;
+              p.seed = 77;
+              return graph::generatePowerLawGraph(p);
+          }()),
+          attrs(12, 3)
+    {}
+
+    sampling::SampleResult
+    sampleBatch(std::uint32_t batch, std::uint32_t hops)
+    {
+        sampling::SamplePlan plan;
+        plan.batch_size = batch;
+        plan.fanouts.assign(hops, 5);
+        sampling::StreamingStepSampler sampler;
+        sampling::MiniBatchSampler engine(graph, attrs, sampler);
+        Rng rng(5);
+        return engine.sampleBatch(plan, rng);
+    }
+
+    graph::CsrGraph graph;
+    graph::AttributeStore attrs;
+};
+
+TEST_F(SageFixture, EmbedProducesOneRowPerRoot)
+{
+    Rng rng(9);
+    const GraphSageModel model(12, 16, 2, rng);
+    const auto batch = sampleBatch(8, 2);
+    const Matrix emb = model.embed(batch, attrs);
+    EXPECT_EQ(emb.rows(), 8u);
+    EXPECT_EQ(emb.cols(), 16u);
+}
+
+TEST_F(SageFixture, EmbedIsDeterministic)
+{
+    Rng rng_a(9), rng_b(9);
+    const GraphSageModel a(12, 16, 2, rng_a);
+    const GraphSageModel b(12, 16, 2, rng_b);
+    const auto batch = sampleBatch(4, 2);
+    const Matrix ea = a.embed(batch, attrs);
+    const Matrix eb = b.embed(batch, attrs);
+    for (std::size_t i = 0; i < ea.rows(); ++i)
+        for (std::size_t j = 0; j < ea.cols(); ++j)
+            EXPECT_FLOAT_EQ(ea.at(i, j), eb.at(i, j));
+}
+
+TEST_F(SageFixture, EmbeddingDependsOnNeighborhood)
+{
+    Rng rng(9);
+    const GraphSageModel model(12, 16, 1, rng);
+    const auto batch = sampleBatch(16, 1);
+    const Matrix emb = model.embed(batch, attrs);
+    // Distinct roots with distinct neighborhoods should not all give
+    // the same embedding.
+    bool any_diff = false;
+    for (std::size_t j = 0; j < emb.cols() && !any_diff; ++j)
+        any_diff = std::fabs(emb.at(0, j) - emb.at(1, j)) > 1e-9;
+    EXPECT_TRUE(any_diff);
+}
+
+TEST_F(SageFixture, HopMismatchPanics)
+{
+    Rng rng(9);
+    const GraphSageModel model(12, 16, 2, rng);
+    const auto batch = sampleBatch(4, 1);
+    EXPECT_DEATH(model.embed(batch, attrs), "must equal model layers");
+}
+
+TEST_F(SageFixture, MeanAggregatorDiffersFromMax)
+{
+    Rng rng_a(9), rng_b(9);
+    const GraphSageModel max_model(12, 16, 2, rng_a, Aggregator::Max);
+    const GraphSageModel mean_model(12, 16, 2, rng_b,
+                                    Aggregator::Mean);
+    EXPECT_EQ(max_model.aggregator(), Aggregator::Max);
+    EXPECT_EQ(mean_model.aggregator(), Aggregator::Mean);
+    const auto batch = sampleBatch(8, 2);
+    const Matrix a = max_model.embed(batch, attrs);
+    const Matrix b = mean_model.embed(batch, attrs);
+    ASSERT_EQ(a.rows(), b.rows());
+    bool any_diff = false;
+    for (std::size_t i = 0; i < a.rows() && !any_diff; ++i)
+        for (std::size_t j = 0; j < a.cols() && !any_diff; ++j)
+            any_diff = std::fabs(a.at(i, j) - b.at(i, j)) > 1e-6;
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(Sage, MeanAggregatorAveragesSingletonCorrectly)
+{
+    // One root, one child: max and mean must coincide.
+    graph::GeneratorParams p;
+    p.num_nodes = 16;
+    p.num_edges = 16;
+    p.min_degree = 1;
+    p.seed = 3;
+    const graph::CsrGraph g = graph::generatePowerLawGraph(p);
+    const graph::AttributeStore attrs(6, 2);
+    sampling::SamplePlan plan;
+    plan.batch_size = 4;
+    plan.fanouts = {1};
+    sampling::StandardRandomSampler sampler;
+    sampling::MiniBatchSampler engine(g, attrs, sampler);
+    Rng rng(5);
+    const auto batch = engine.sampleBatch(plan, rng);
+
+    Rng ra(9), rb(9);
+    const GraphSageModel max_model(6, 8, 1, ra, Aggregator::Max);
+    const GraphSageModel mean_model(6, 8, 1, rb, Aggregator::Mean);
+    const Matrix a = max_model.embed(batch, attrs);
+    const Matrix b = mean_model.embed(batch, attrs);
+    for (std::size_t i = 0; i < a.rows(); ++i)
+        for (std::size_t j = 0; j < a.cols(); ++j)
+            EXPECT_FLOAT_EQ(a.at(i, j), b.at(i, j));
+}
+
+TEST(Sage, FlopsScaleWithFanoutAndLayers)
+{
+    Rng rng(1);
+    const GraphSageModel two(84, 128, 2, rng);
+    const std::uint64_t f10 = two.forwardFlops(512, 10);
+    const std::uint64_t f20 = two.forwardFlops(512, 20);
+    EXPECT_GT(f20, f10);
+    Rng rng2(1);
+    const GraphSageModel one(84, 128, 1, rng2);
+    EXPECT_GT(f10, one.forwardFlops(512, 10));
+}
+
+TEST(Sage, ParameterCount)
+{
+    Rng rng(1);
+    const GraphSageModel model(84, 128, 2, rng);
+    // layer1: 2*84*128 + 128; layer2: 2*128*128 + 128.
+    EXPECT_EQ(model.parameterCount(),
+              2ull * 84 * 128 + 128 + 2ull * 128 * 128 + 128);
+}
+
+TEST(Dssm, ScoreInRangeAndSymmetricTowers)
+{
+    Rng rng(3);
+    const DssmModel dssm(16, 32, rng);
+    std::vector<float> q(16), d(16);
+    for (int i = 0; i < 16; ++i) {
+        q[i] = 0.1f * static_cast<float>(i);
+        d[i] = 0.2f - 0.05f * static_cast<float>(i);
+    }
+    const float s = dssm.score(q, d);
+    EXPECT_GE(s, -1.0f);
+    EXPECT_LE(s, 1.0f);
+    // Identical inputs through shared towers give cosine 1.
+    EXPECT_NEAR(dssm.score(q, q), 1.0f, 1e-5);
+}
+
+TEST(EndToEnd, SamplingDominatesBothModes)
+{
+    const EndToEndModel model;
+    const auto train = model.training();
+    const auto infer = model.inference();
+    // Paper Fig. 3: sampling takes 64 % of training and 88 % of
+    // inference time.
+    EXPECT_NEAR(train.samplingShare(), 0.64, 0.06);
+    EXPECT_NEAR(infer.samplingShare(), 0.88, 0.04);
+    EXPECT_GT(infer.samplingShare(), train.samplingShare());
+}
+
+TEST(EndToEnd, TrainingIsSlowerThanInference)
+{
+    const EndToEndModel model;
+    EXPECT_GT(model.training().total(), model.inference().total());
+}
+
+TEST(EndToEnd, StorageGulf)
+{
+    const EndToEndModel model;
+    const auto storage = model.storage();
+    // Paper: graph storage is ~5 orders of magnitude beyond the NN.
+    EXPECT_GE(storage.ordersOfMagnitude(), 5.0);
+    EXPECT_GT(storage.graph_bytes, 1ull << 40); // ls is TB-scale
+    EXPECT_LT(storage.model_bytes, 10ull << 20);
+}
+
+TEST(Accuracy, StreamingMatchesExactSampling)
+{
+    // Paper Tech-2: streaming sampling reaches 0.548 vs 0.549 for the
+    // standard method — i.e. parity within noise.
+    const sampling::StandardRandomSampler standard;
+    const sampling::StreamingStepSampler streaming;
+    const auto a = evaluateSamplerAccuracy(standard);
+    const auto b = evaluateSamplerAccuracy(streaming);
+    EXPECT_GT(a.accuracy, 0.75); // the task is learnable
+    EXPECT_GT(b.accuracy, 0.75);
+    EXPECT_NEAR(a.accuracy, b.accuracy, 0.02);
+    EXPECT_NEAR(a.f1, b.f1, 0.02);
+}
+
+TEST(Accuracy, DeterministicInSeed)
+{
+    const sampling::StreamingStepSampler sampler;
+    const auto a = evaluateSamplerAccuracy(sampler);
+    const auto b = evaluateSamplerAccuracy(sampler);
+    EXPECT_DOUBLE_EQ(a.accuracy, b.accuracy);
+}
+
+TEST(Accuracy, RandomSamplerBeatsNoSignal)
+{
+    // Sanity: shuffling labels (high noise) should destroy accuracy,
+    // proving the task actually measures signal.
+    AccuracyTaskConfig cfg;
+    cfg.label_noise = 0.5; // labels become coin flips
+    const sampling::StreamingStepSampler sampler;
+    const auto r = evaluateSamplerAccuracy(sampler, cfg);
+    EXPECT_LT(r.accuracy, 0.65);
+}
+
+} // namespace
+} // namespace gnn
+} // namespace lsdgnn

@@ -1,0 +1,275 @@
+/**
+ * @file
+ * Unit + property tests for the graph substrate.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/attributes.hh"
+#include "graph/csr_graph.hh"
+#include "graph/datasets.hh"
+#include "graph/generator.hh"
+#include "graph/partition.hh"
+
+namespace lsdgnn {
+namespace graph {
+namespace {
+
+CsrGraph
+tinyGraph()
+{
+    // 0 -> {1, 2}; 1 -> {2}; 2 -> {}
+    return CsrGraph({0, 2, 3, 3}, {1, 2, 2});
+}
+
+TEST(CsrGraph, BasicAccessors)
+{
+    const CsrGraph g = tinyGraph();
+    EXPECT_EQ(g.numNodes(), 3u);
+    EXPECT_EQ(g.numEdges(), 3u);
+    EXPECT_EQ(g.degree(0), 2u);
+    EXPECT_EQ(g.degree(2), 0u);
+    EXPECT_EQ(g.neighbor(0, 1), 2u);
+    const auto n0 = g.neighbors(0);
+    EXPECT_EQ(n0.size(), 2u);
+    EXPECT_EQ(n0[0], 1u);
+}
+
+TEST(CsrGraph, StructureBytesAndDegrees)
+{
+    const CsrGraph g = tinyGraph();
+    EXPECT_EQ(g.structureBytes(), (4 + 3) * 8u);
+    EXPECT_EQ(g.maxDegree(), 2u);
+    EXPECT_DOUBLE_EQ(g.avgDegree(), 1.0);
+}
+
+TEST(CsrGraph, RejectsMalformedOffsets)
+{
+    EXPECT_DEATH(CsrGraph({1, 2}, {0}), "start at 0");
+    EXPECT_DEATH(CsrGraph({0, 2}, {0}), "end at numEdges");
+}
+
+TEST(CsrBuilder, BuildsIncrementally)
+{
+    CsrBuilder b(2, 3);
+    const NodeId adj0[] = {1, 1};
+    const NodeId adj1[] = {0};
+    b.addNode(adj0);
+    b.addNode(adj1);
+    const CsrGraph g = std::move(b).build();
+    EXPECT_EQ(g.numNodes(), 2u);
+    EXPECT_EQ(g.numEdges(), 3u);
+    EXPECT_EQ(g.degree(0), 2u);
+}
+
+TEST(Generator, HitsExactCounts)
+{
+    GeneratorParams p;
+    p.num_nodes = 500;
+    p.num_edges = 5000;
+    p.seed = 3;
+    const CsrGraph g = generatePowerLawGraph(p);
+    EXPECT_EQ(g.numNodes(), 500u);
+    EXPECT_EQ(g.numEdges(), 5000u);
+}
+
+TEST(Generator, DeterministicInSeed)
+{
+    GeneratorParams p;
+    p.num_nodes = 200;
+    p.num_edges = 2000;
+    p.seed = 5;
+    const CsrGraph a = generatePowerLawGraph(p);
+    const CsrGraph b = generatePowerLawGraph(p);
+    EXPECT_EQ(a.targets(), b.targets());
+    p.seed = 6;
+    const CsrGraph c = generatePowerLawGraph(p);
+    EXPECT_NE(a.targets(), c.targets());
+}
+
+TEST(Generator, RespectsDegreeFloor)
+{
+    GeneratorParams p;
+    p.num_nodes = 300;
+    p.num_edges = 3000;
+    p.min_degree = 2;
+    p.seed = 7;
+    const CsrGraph g = generatePowerLawGraph(p);
+    for (NodeId n = 0; n < g.numNodes(); ++n)
+        EXPECT_GE(g.degree(n), 2u);
+}
+
+TEST(Generator, DegreeDistributionIsSkewed)
+{
+    GeneratorParams p;
+    p.num_nodes = 2000;
+    p.num_edges = 40000;
+    p.seed = 11;
+    const CsrGraph g = generatePowerLawGraph(p);
+    // A power-law graph has a max degree far above the mean.
+    EXPECT_GT(g.maxDegree(), 5 * static_cast<std::uint64_t>(g.avgDegree()));
+}
+
+TEST(Generator, EndpointSkewConcentratesOnHubs)
+{
+    Rng rng(13);
+    std::uint64_t low = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        if (skewedEndpoint(rng, 1000, 0.35) < 100)
+            ++low;
+    // With skew 0.35, P(id < 10% of range) = 0.1^0.35 ~= 0.45.
+    EXPECT_GT(low, n / 3);
+    EXPECT_LT(low, n * 6 / 10);
+}
+
+TEST(Generator, UniformSkewIsUniform)
+{
+    Rng rng(17);
+    std::uint64_t low = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        if (skewedEndpoint(rng, 1000, 1.0) < 500)
+            ++low;
+    EXPECT_NEAR(static_cast<double>(low) / n, 0.5, 0.03);
+}
+
+TEST(Attributes, DeterministicAndInRange)
+{
+    const AttributeStore store(16, 3);
+    const auto a = store.fetch(42);
+    const auto b = store.fetch(42);
+    EXPECT_EQ(a, b);
+    for (float v : a) {
+        EXPECT_GE(v, -1.0f);
+        EXPECT_LT(v, 1.0f);
+    }
+}
+
+TEST(Attributes, DistinctNodesDiffer)
+{
+    const AttributeStore store(32, 3);
+    EXPECT_NE(store.fetch(1), store.fetch(2));
+}
+
+TEST(Attributes, BytesPerNode)
+{
+    const AttributeStore store(84, 1);
+    EXPECT_EQ(store.bytesPerNode(), 84u * 4u);
+}
+
+TEST(Attributes, SpanFetchMatchesValue)
+{
+    const AttributeStore store(8, 9);
+    std::vector<float> buf(8);
+    store.fetch(5, buf);
+    for (std::uint32_t d = 0; d < 8; ++d)
+        EXPECT_FLOAT_EQ(buf[d], store.value(5, d));
+}
+
+TEST(Partition, HashCoversAllServers)
+{
+    const Partitioner part(10000, 7, PartitionPolicy::Hash);
+    std::uint64_t total = 0;
+    for (ServerId s = 0; s < 7; ++s) {
+        const auto n = part.nodesOnServer(s);
+        EXPECT_GT(n, 0u);
+        total += n;
+    }
+    EXPECT_EQ(total, 10000u);
+}
+
+TEST(Partition, HashIsRoughlyBalanced)
+{
+    const Partitioner part(70000, 7, PartitionPolicy::Hash);
+    for (ServerId s = 0; s < 7; ++s) {
+        const auto n = part.nodesOnServer(s);
+        EXPECT_NEAR(static_cast<double>(n), 10000.0, 1500.0);
+    }
+}
+
+TEST(Partition, RangeIsContiguous)
+{
+    const Partitioner part(100, 4, PartitionPolicy::Range);
+    EXPECT_EQ(part.serverOf(0), 0u);
+    EXPECT_EQ(part.serverOf(24), 0u);
+    EXPECT_EQ(part.serverOf(25), 1u);
+    EXPECT_EQ(part.serverOf(99), 3u);
+}
+
+TEST(Partition, RemoteFractionNearHashExpectation)
+{
+    GeneratorParams p;
+    p.num_nodes = 3000;
+    p.num_edges = 30000;
+    p.seed = 19;
+    const CsrGraph g = generatePowerLawGraph(p);
+    const Partitioner part(g.numNodes(), 5, PartitionPolicy::Hash);
+    // Hash partitioning should leave ~ (S-1)/S of edges remote.
+    EXPECT_NEAR(part.remoteEdgeFraction(g), 0.8, 0.05);
+}
+
+TEST(Datasets, PaperTableValues)
+{
+    const auto &specs = paperDatasets();
+    EXPECT_EQ(specs.size(), 6u);
+    const auto &ls = datasetByName("ls");
+    EXPECT_EQ(ls.nodes, 1'900'000'000ull);
+    EXPECT_EQ(ls.edges, 5'200'000'000ull);
+    EXPECT_EQ(ls.attr_len, 84u);
+    const auto &syn = datasetByName("syn");
+    EXPECT_EQ(syn.edges, 105'000'000'000ull);
+}
+
+TEST(Datasets, FootprintScalesWithData)
+{
+    const FootprintModel model;
+    const auto &ss = datasetByName("ss");
+    const auto &syn = datasetByName("syn");
+    EXPECT_LT(model.totalBytes(ss), model.totalBytes(syn));
+    // syn is a >10 TB dataset in any reasonable overhead model.
+    EXPECT_GT(model.totalBytes(syn), 10ull << 40);
+    EXPECT_GE(model.minServers(ss), 1u);
+    EXPECT_GT(model.minServers(syn), model.minServers(ss));
+}
+
+TEST(Datasets, MinServersMatchesCapacityArithmetic)
+{
+    FootprintModel model;
+    model.overhead = 1.0;
+    model.server_capacity_bytes = 1ull << 30;
+    DatasetSpec tiny{"tiny", 1'000'000, 10'000'000, 64};
+    // bytes = 1e6*64*4 + 1e6*8 + 1e7*8 = 344 MB -> 1 server.
+    EXPECT_EQ(model.minServers(tiny), 1u);
+    model.server_capacity_bytes = 128ull << 20;
+    EXPECT_EQ(model.minServers(tiny), 3u);
+}
+
+TEST(Datasets, InstantiatePreservesAvgDegree)
+{
+    const auto &ss = datasetByName("ss");
+    const CsrGraph g = instantiate(ss, 1000, 1);
+    EXPECT_NEAR(g.avgDegree(), ss.avgDegree(), 0.5);
+    EXPECT_NEAR(static_cast<double>(g.numNodes()),
+                static_cast<double>(ss.nodes) / 1000.0, 2.0);
+}
+
+TEST(Datasets, DistinctDatasetsGetDistinctStructure)
+{
+    // ss and sl have nearly identical node/edge counts; the seed mix
+    // must still give them different graphs.
+    const CsrGraph a = instantiate(datasetByName("ss"), 2000, 1);
+    const CsrGraph b = instantiate(datasetByName("sl"), 2000, 1);
+    EXPECT_NE(a.targets(), b.targets());
+}
+
+TEST(Datasets, UnknownNameIsFatal)
+{
+    EXPECT_DEATH(datasetByName("nope"), "unknown dataset");
+}
+
+} // namespace
+} // namespace graph
+} // namespace lsdgnn

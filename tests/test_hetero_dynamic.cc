@@ -1,0 +1,292 @@
+/**
+ * @file
+ * Tests for heterogeneous and dynamic graph support.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "graph/dynamic.hh"
+#include "graph/hetero.hh"
+#include "sampling/metapath.hh"
+
+namespace lsdgnn {
+namespace graph {
+namespace {
+
+HeteroGraph
+smallHetero()
+{
+    // 0 -> {1(t0), 2(t1), 3(t0)}; 1 -> {0(t1)}; 2,3 -> {}
+    CsrGraph base({0, 3, 4, 4, 4}, {1, 2, 3, 0});
+    return HeteroGraph(std::move(base), {0, 1, 1, 2}, {0, 1, 0, 1}, 2);
+}
+
+TEST(Hetero, NodeTypesPreserved)
+{
+    const HeteroGraph g = smallHetero();
+    EXPECT_EQ(g.nodeType(0), 0);
+    EXPECT_EQ(g.nodeType(1), 1);
+    EXPECT_EQ(g.nodeType(3), 2);
+}
+
+TEST(Hetero, TypedNeighborsArePartitioned)
+{
+    const HeteroGraph g = smallHetero();
+    const auto t0 = g.neighbors(0, 0);
+    const auto t1 = g.neighbors(0, 1);
+    EXPECT_EQ(t0.size(), 2u);
+    EXPECT_EQ(t1.size(), 1u);
+    // Stable re-sort keeps relative order within a type: 1 then 3.
+    EXPECT_EQ(t0[0], 1u);
+    EXPECT_EQ(t0[1], 3u);
+    EXPECT_EQ(t1[0], 2u);
+}
+
+TEST(Hetero, TypedDegrees)
+{
+    const HeteroGraph g = smallHetero();
+    EXPECT_EQ(g.degree(0, 0), 2u);
+    EXPECT_EQ(g.degree(0, 1), 1u);
+    EXPECT_EQ(g.degree(1, 0), 0u);
+    EXPECT_EQ(g.degree(1, 1), 1u);
+    EXPECT_EQ(g.degree(2, 0), 0u);
+}
+
+TEST(Hetero, UnionOfTypesEqualsAllNeighbors)
+{
+    HeteroGeneratorParams p;
+    p.num_nodes = 500;
+    p.num_edges = 5000;
+    p.seed = 31;
+    const HeteroGraph g = generateHeteroGraph(p);
+    for (NodeId n = 0; n < 50; ++n) {
+        std::multiset<NodeId> typed;
+        std::uint64_t typed_degree = 0;
+        for (EdgeType t = 0; t < g.numEdgeTypes(); ++t) {
+            const auto view = g.neighbors(n, t);
+            typed.insert(view.begin(), view.end());
+            typed_degree += g.degree(n, t);
+        }
+        const auto all = g.neighbors(n);
+        EXPECT_EQ(typed_degree, all.size());
+        EXPECT_EQ(typed,
+                  std::multiset<NodeId>(all.begin(), all.end()));
+    }
+}
+
+TEST(Hetero, GeneratorCoversAllTypes)
+{
+    HeteroGeneratorParams p;
+    p.num_nodes = 2000;
+    p.num_edges = 20000;
+    p.num_node_types = 3;
+    p.num_edge_types = 4;
+    p.seed = 33;
+    const HeteroGraph g = generateHeteroGraph(p);
+    std::set<NodeType> node_types;
+    for (NodeId n = 0; n < g.numNodes(); ++n)
+        node_types.insert(g.nodeType(n));
+    EXPECT_EQ(node_types.size(), 3u);
+    std::uint64_t per_type_total = 0;
+    for (EdgeType t = 0; t < 4; ++t) {
+        std::uint64_t count = 0;
+        for (NodeId n = 0; n < g.numNodes(); ++n)
+            count += g.degree(n, t);
+        EXPECT_GT(count, 0u);
+        per_type_total += count;
+    }
+    EXPECT_EQ(per_type_total, g.numEdges());
+}
+
+TEST(Hetero, RejectsBadMetadata)
+{
+    CsrGraph base({0, 1, 1}, {1});
+    EXPECT_DEATH(HeteroGraph(std::move(base), {0}, {0}, 1),
+                 "node type count");
+    CsrGraph base2({0, 1, 1}, {1});
+    EXPECT_DEATH(HeteroGraph(std::move(base2), {0, 0}, {5}, 2),
+                 "out of range");
+}
+
+DynamicGraph
+smallDynamic()
+{
+    // Node 0 gains neighbors over time: (1,@10), (2,@20), (3,@30).
+    return DynamicGraph(4, {{0, 2, 20}, {0, 1, 10}, {0, 3, 30},
+                            {1, 0, 15}});
+}
+
+TEST(Dynamic, AdjacencyIsTimeSorted)
+{
+    const DynamicGraph g = smallDynamic();
+    const auto stamps = g.timestamps(0);
+    EXPECT_TRUE(std::is_sorted(stamps.begin(), stamps.end()));
+    EXPECT_EQ(g.degree(0), 3u);
+    EXPECT_EQ(g.degree(2), 0u);
+}
+
+TEST(Dynamic, HorizonFiltersEdges)
+{
+    const DynamicGraph g = smallDynamic();
+    EXPECT_EQ(g.degreeAt(0, 5), 0u);
+    EXPECT_EQ(g.degreeAt(0, 10), 1u);
+    EXPECT_EQ(g.degreeAt(0, 25), 2u);
+    EXPECT_EQ(g.degreeAt(0, 1000), 3u);
+    const auto visible = g.neighborsAt(0, 20);
+    ASSERT_EQ(visible.size(), 2u);
+    EXPECT_EQ(visible[0], 1u);
+    EXPECT_EQ(visible[1], 2u);
+}
+
+TEST(Dynamic, EarliestLatest)
+{
+    const DynamicGraph g = smallDynamic();
+    EXPECT_EQ(g.earliestTime(), 10u);
+    EXPECT_EQ(g.latestTime(), 30u);
+}
+
+TEST(Dynamic, SampleRespectsHorizon)
+{
+    const DynamicGraph g = smallDynamic();
+    Rng rng(3);
+    for (int trial = 0; trial < 50; ++trial) {
+        const auto picks = g.sampleAt(0, 20, 4, rng);
+        ASSERT_EQ(picks.size(), 4u);
+        for (NodeId p : picks)
+            EXPECT_TRUE(p == 1 || p == 2) << "future edge sampled";
+    }
+    EXPECT_TRUE(g.sampleAt(0, 5, 4, rng).empty());
+}
+
+TEST(Dynamic, RecencyBiasFavorsFreshEdges)
+{
+    // One node with an old and a fresh neighbor; strong recency bias
+    // must pick the fresh one most of the time.
+    DynamicGraph g(3, {{0, 1, 10}, {0, 2, 1000}});
+    Rng rng(5);
+    int fresh = 0;
+    const int trials = 2000;
+    for (int i = 0; i < trials; ++i) {
+        const auto picks = g.sampleAt(0, 1000, 1, rng, 50.0);
+        ASSERT_EQ(picks.size(), 1u);
+        fresh += (picks[0] == 2);
+    }
+    EXPECT_GT(fresh, trials * 9 / 10);
+}
+
+TEST(Dynamic, UniformSamplingIsBalanced)
+{
+    DynamicGraph g(3, {{0, 1, 10}, {0, 2, 20}});
+    Rng rng(7);
+    std::map<NodeId, int> hits;
+    const int trials = 4000;
+    for (int i = 0; i < trials; ++i)
+        ++hits[g.sampleAt(0, 100, 1, rng)[0]];
+    EXPECT_NEAR(hits[1], trials / 2, trials / 10);
+}
+
+TEST(Dynamic, GeneratorProducesHorizonSpread)
+{
+    DynamicGeneratorParams p;
+    p.num_nodes = 500;
+    p.num_edges = 5000;
+    p.horizon = 10000;
+    p.seed = 9;
+    const DynamicGraph g = generateDynamicGraph(p);
+    EXPECT_EQ(g.numEdges(), 5000u);
+    EXPECT_LE(g.latestTime(), 10000u);
+    // The mid-horizon snapshot should see roughly half the edges.
+    std::uint64_t visible = 0;
+    for (NodeId n = 0; n < g.numNodes(); ++n)
+        visible += g.degreeAt(n, 5000);
+    EXPECT_NEAR(static_cast<double>(visible), 2500.0, 300.0);
+}
+
+TEST(Dynamic, RejectsOutOfRangeEndpoints)
+{
+    EXPECT_DEATH(DynamicGraph(2, {{0, 5, 1}}), "out of range");
+}
+
+TEST(MetaPath, FollowsTypedEdgesOnly)
+{
+    const HeteroGraph g = smallHetero();
+    const sampling::StandardRandomSampler sampler;
+    const sampling::MetaPathSampler walker(g, sampler);
+    Rng rng(3);
+    const NodeId roots[] = {0};
+    const sampling::MetaPathStep path[] = {{0, 2}};
+    const auto res = walker.sample(roots, path, rng);
+    ASSERT_EQ(res.frontier.size(), 1u);
+    // Node 0's type-0 neighbors are {1, 3}; fan-out 2 covers both.
+    for (NodeId s : res.frontier[0])
+        EXPECT_TRUE(s == 1 || s == 3);
+    EXPECT_EQ(res.frontier[0].size(), 2u);
+}
+
+TEST(MetaPath, MultiStepWalk)
+{
+    HeteroGeneratorParams p;
+    p.num_nodes = 800;
+    p.num_edges = 16000;
+    p.num_edge_types = 3;
+    p.seed = 41;
+    const HeteroGraph g = generateHeteroGraph(p);
+    const sampling::StreamingStepSampler sampler;
+    const sampling::MetaPathSampler walker(g, sampler);
+    Rng rng(5);
+    std::vector<NodeId> roots = {1, 2, 3, 4};
+    const sampling::MetaPathStep path[] = {{0, 4}, {2, 3}};
+    const auto res = walker.sample(roots, path, rng);
+    ASSERT_EQ(res.frontier.size(), 2u);
+    // Every step-1 sample is a type-0 neighbor of its parent, every
+    // step-2 sample a type-2 neighbor of its step-1 parent.
+    for (std::size_t j = 0; j < res.frontier[0].size(); ++j) {
+        const NodeId parent = roots[res.parent[0][j]];
+        const auto typed = g.neighbors(parent, 0);
+        EXPECT_NE(std::find(typed.begin(), typed.end(),
+                            res.frontier[0][j]), typed.end());
+    }
+    for (std::size_t j = 0; j < res.frontier[1].size(); ++j) {
+        const NodeId parent = res.frontier[0][res.parent[1][j]];
+        const auto typed = g.neighbors(parent, 2);
+        EXPECT_NE(std::find(typed.begin(), typed.end(),
+                            res.frontier[1][j]), typed.end());
+    }
+    EXPECT_EQ(res.totalSampled(),
+              res.frontier[0].size() + res.frontier[1].size());
+}
+
+TEST(MetaPath, DeadEndsEndRows)
+{
+    // A path step with no typed neighbors contributes nothing, but
+    // the walk as a whole still succeeds.
+    CsrGraph base({0, 1, 1}, {1});
+    HeteroGraph g(std::move(base), {0, 0}, {0}, 2);
+    const sampling::StandardRandomSampler sampler;
+    const sampling::MetaPathSampler walker(g, sampler);
+    Rng rng(7);
+    const NodeId roots[] = {0};
+    const sampling::MetaPathStep path[] = {{1, 3}}; // no type-1 edges
+    const auto res = walker.sample(roots, path, rng);
+    EXPECT_TRUE(res.frontier[0].empty());
+}
+
+TEST(MetaPath, RejectsUnknownEdgeType)
+{
+    const HeteroGraph g = smallHetero();
+    const sampling::StandardRandomSampler sampler;
+    const sampling::MetaPathSampler walker(g, sampler);
+    Rng rng(9);
+    const NodeId roots[] = {0};
+    const sampling::MetaPathStep path[] = {{7, 2}};
+    EXPECT_DEATH(walker.sample(roots, path, rng),
+                 "unknown edge type");
+}
+
+} // namespace
+} // namespace graph
+} // namespace lsdgnn

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Tests for the multi-card scale-out simulation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "axe/engine.hh"
+#include "axe/multi_node.hh"
+#include "graph/datasets.hh"
+#include "graph/generator.hh"
+
+namespace lsdgnn {
+namespace axe {
+namespace {
+
+graph::CsrGraph
+scaledLs()
+{
+    return graph::instantiate(graph::datasetByName("ls"), 500'000, 1);
+}
+
+sampling::SamplePlan
+plan64()
+{
+    sampling::SamplePlan plan;
+    plan.batch_size = 64;
+    plan.fanouts = {10, 10};
+    return plan;
+}
+
+TEST(MultiNode, EveryBatchCompletes)
+{
+    const graph::CsrGraph g = scaledLs();
+    MultiNodeConfig cfg;
+    cfg.nodes = 4;
+    MultiNodeSystem system(cfg, g, 84 * 4);
+    const auto r = system.run(plan64(), 2);
+    // 4 nodes x 2 batches x 64 roots x 110 samples.
+    EXPECT_EQ(r.samples, 4u * 2u * 64u * 110u);
+    EXPECT_GT(r.samples_per_s, 0.0);
+}
+
+TEST(MultiNode, LoadIsBalanced)
+{
+    const graph::CsrGraph g = scaledLs();
+    MultiNodeConfig cfg;
+    cfg.nodes = 4;
+    MultiNodeSystem system(cfg, g, 84 * 4);
+    const auto r = system.run(plan64(), 2);
+    for (std::uint64_t s : r.per_node_samples)
+        EXPECT_EQ(s, r.samples / 4);
+}
+
+TEST(MultiNode, ThroughputScalesWithCards)
+{
+    const graph::CsrGraph g = scaledLs();
+    auto rate_with = [&](std::uint32_t nodes) {
+        MultiNodeConfig cfg;
+        cfg.nodes = nodes;
+        MultiNodeSystem system(cfg, g, 84 * 4);
+        return system.run(plan64(), 2).samples_per_s;
+    };
+    const double two = rate_with(2);
+    const double four = rate_with(4);
+    // Near-linear: each card is PCIe-output bound, the fabric has
+    // headroom.
+    EXPECT_NEAR(four / two, 2.0, 0.25);
+}
+
+TEST(MultiNode, MatchesSingleEngineAbstractionPerCard)
+{
+    // The per-card rate of the full scale-out system should agree
+    // with the aggregate-link abstraction used by AccessEngine
+    // (both are PCIe-output bound on the PoC config).
+    const graph::CsrGraph g = scaledLs();
+    MultiNodeConfig cfg;
+    cfg.nodes = 4;
+    MultiNodeSystem system(cfg, g, 84 * 4);
+    const auto multi = system.run(plan64(), 2);
+    const double per_card =
+        multi.samples_per_s / static_cast<double>(cfg.nodes);
+
+    AccessEngine engine(AxeConfig::poc(), g, 84 * 4);
+    const auto single = engine.run(plan64(), 2);
+    EXPECT_NEAR(per_card, single.samples_per_s,
+                single.samples_per_s * 0.1);
+}
+
+TEST(MultiNode, FabricCarriesRemoteTraffic)
+{
+    const graph::CsrGraph g = scaledLs();
+    MultiNodeConfig cfg;
+    cfg.nodes = 4;
+    MultiNodeSystem system(cfg, g, 84 * 4);
+    const auto r = system.run(plan64(), 2);
+    EXPECT_GT(r.fabric_bandwidth, 1e9);
+    // Every node both sends and receives (requests + responses).
+    for (std::uint32_t n = 0; n < 4; ++n) {
+        EXPECT_GT(system.fabricNetwork().bytesInto(n), 0u);
+        EXPECT_GT(system.fabricNetwork().bytesOutOf(n), 0u);
+    }
+}
+
+TEST(MultiNode, SkinnyFabricBecomesTheBottleneck)
+{
+    const graph::CsrGraph g = scaledLs();
+    MultiNodeConfig fat;
+    fat.nodes = 4;
+    MultiNodeConfig skinny;
+    skinny.nodes = 4;
+    skinny.fabric.port_bandwidth = 1e9; // 8 Gb/s ports
+    MultiNodeSystem a(fat, g, 84 * 4);
+    MultiNodeSystem b(skinny, g, 84 * 4);
+    const double fat_rate = a.run(plan64(), 1).samples_per_s;
+    const double skinny_rate = b.run(plan64(), 1).samples_per_s;
+    EXPECT_GT(fat_rate, 3.0 * skinny_rate);
+}
+
+TEST(MultiNode, HomeHashCoversAllCards)
+{
+    const graph::CsrGraph g = scaledLs();
+    MultiNodeConfig cfg;
+    cfg.nodes = 4;
+    MultiNodeSystem system(cfg, g, 84 * 4);
+    std::vector<std::uint64_t> count(4, 0);
+    for (graph::NodeId n = 0; n < g.numNodes(); ++n)
+        ++count[system.homeOf(n)];
+    for (std::uint64_t c : count)
+        EXPECT_NEAR(static_cast<double>(c),
+                    static_cast<double>(g.numNodes()) / 4.0,
+                    static_cast<double>(g.numNodes()) * 0.05);
+}
+
+TEST(MultiNode, DeterministicAcrossRuns)
+{
+    const graph::CsrGraph g = scaledLs();
+    MultiNodeConfig cfg;
+    cfg.nodes = 2;
+    MultiNodeSystem a(cfg, g, 84 * 4, 9);
+    MultiNodeSystem b(cfg, g, 84 * 4, 9);
+    const auto ra = a.run(plan64(), 1);
+    const auto rb = b.run(plan64(), 1);
+    EXPECT_EQ(ra.samples, rb.samples);
+    EXPECT_EQ(ra.sim_time, rb.sim_time);
+}
+
+TEST(MultiNode, RejectsSingleCard)
+{
+    const graph::CsrGraph g = scaledLs();
+    MultiNodeConfig cfg;
+    cfg.nodes = 1;
+    EXPECT_DEATH(MultiNodeSystem(cfg, g, 84 * 4), "at least 2 cards");
+}
+
+} // namespace
+} // namespace axe
+} // namespace lsdgnn

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Cross-cutting property sweeps (parameterized over datasets,
+ * architectures and samplers) plus the stats-report facility.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "axe/engine.hh"
+#include "faas/dse.hh"
+#include "graph/datasets.hh"
+
+namespace lsdgnn {
+namespace {
+
+const faas::DseExplorer &
+explorer()
+{
+    static const faas::DseExplorer dse(20'000);
+    return dse;
+}
+
+// --- DSE invariants over every dataset ------------------------------
+
+class DatasetSweep : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(DatasetSweep, EveryArchitectureProducesPositiveRates)
+{
+    const auto &dse = explorer();
+    for (const auto &arch : faas::allArchitectures()) {
+        for (auto size : {faas::InstanceSize::Small,
+                          faas::InstanceSize::Medium,
+                          faas::InstanceSize::Large}) {
+            const auto p = dse.evaluate(GetParam(), arch, size);
+            EXPECT_GT(p.per_fpga_samples_per_s, 0.0)
+                << arch.name() << " " << faas::sizeName(size);
+            EXPECT_GT(p.service_cost, 0.0);
+            EXPECT_GT(p.instances, 0u);
+        }
+    }
+}
+
+TEST_P(DatasetSweep, TcNeverLosesToDecp)
+{
+    const auto &dse = explorer();
+    for (auto constraint : {faas::Constraint::Base,
+                            faas::Constraint::CostOpt,
+                            faas::Constraint::CommOpt,
+                            faas::Constraint::MemOpt}) {
+        const auto tc = dse.evaluate(GetParam(),
+            faas::FaasArch{constraint, faas::Coupling::Tc},
+            faas::InstanceSize::Medium);
+        const auto decp = dse.evaluate(GetParam(),
+            faas::FaasArch{constraint, faas::Coupling::Decp},
+            faas::InstanceSize::Medium);
+        EXPECT_GE(tc.per_fpga_samples_per_s,
+                  decp.per_fpga_samples_per_s * 0.999)
+            << faas::constraintName(constraint);
+    }
+}
+
+TEST_P(DatasetSweep, ConstraintLadderIsMonotone)
+{
+    // base <= comm-opt <= mem-opt within a coupling (cost-opt may tie
+    // base, by the paper's own conclusion).
+    const auto &dse = explorer();
+    for (auto coupling : {faas::Coupling::Tc, faas::Coupling::Decp}) {
+        const auto base = dse.evaluate(GetParam(),
+            faas::FaasArch{faas::Constraint::Base, coupling},
+            faas::InstanceSize::Medium);
+        const auto comm = dse.evaluate(GetParam(),
+            faas::FaasArch{faas::Constraint::CommOpt, coupling},
+            faas::InstanceSize::Medium);
+        const auto mem = dse.evaluate(GetParam(),
+            faas::FaasArch{faas::Constraint::MemOpt, coupling},
+            faas::InstanceSize::Medium);
+        EXPECT_GE(comm.per_fpga_samples_per_s,
+                  base.per_fpga_samples_per_s * 0.999);
+        EXPECT_GE(mem.per_fpga_samples_per_s,
+                  comm.per_fpga_samples_per_s * 0.999);
+    }
+}
+
+TEST_P(DatasetSweep, CostOptPerformsExactlyLikeBase)
+{
+    const auto &dse = explorer();
+    for (auto coupling : {faas::Coupling::Tc, faas::Coupling::Decp}) {
+        const auto base = dse.evaluate(GetParam(),
+            faas::FaasArch{faas::Constraint::Base, coupling},
+            faas::InstanceSize::Large);
+        const auto cost = dse.evaluate(GetParam(),
+            faas::FaasArch{faas::Constraint::CostOpt, coupling},
+            faas::InstanceSize::Large);
+        EXPECT_NEAR(cost.per_fpga_samples_per_s,
+                    base.per_fpga_samples_per_s,
+                    base.per_fpga_samples_per_s * 0.02);
+    }
+}
+
+TEST_P(DatasetSweep, BiggerInstancesNeverSlower)
+{
+    const auto &dse = explorer();
+    const faas::FaasArch arch{faas::Constraint::Base,
+                              faas::Coupling::Tc};
+    const auto small = dse.evaluate(GetParam(), arch,
+                                    faas::InstanceSize::Small);
+    const auto medium = dse.evaluate(GetParam(), arch,
+                                     faas::InstanceSize::Medium);
+    const auto large = dse.evaluate(GetParam(), arch,
+                                    faas::InstanceSize::Large);
+    EXPECT_GE(medium.per_fpga_samples_per_s,
+              small.per_fpga_samples_per_s * 0.999);
+    EXPECT_GE(large.per_fpga_samples_per_s,
+              medium.per_fpga_samples_per_s * 0.999);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, DatasetSweep,
+    ::testing::Values("ss", "ls", "sl", "ml", "ll", "syn"));
+
+// --- Engine invariants over every sampler ----------------------------
+
+class SamplerEngineSweep
+    : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(SamplerEngineSweep, EngineCompletesWithEverySampler)
+{
+    const graph::CsrGraph g =
+        graph::instantiate(graph::datasetByName("ss"), 20'000, 1);
+    axe::AxeConfig cfg = axe::AxeConfig::poc();
+    cfg.sampler = GetParam();
+    axe::AccessEngine engine(cfg, g, 72 * 4);
+    sampling::SamplePlan plan;
+    plan.batch_size = 32;
+    plan.fanouts = {5, 5};
+    const auto r = engine.run(plan, 2);
+    EXPECT_EQ(r.samples, 2u * 32u * 30u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSamplers, SamplerEngineSweep,
+    ::testing::Values("standard", "reservoir", "streaming-step"));
+
+// --- Stats reporting --------------------------------------------------
+
+TEST(StatsReport, EngineDumpContainsAllComponents)
+{
+    const graph::CsrGraph g =
+        graph::instantiate(graph::datasetByName("ss"), 20'000, 1);
+    axe::AccessEngine engine(axe::AxeConfig::poc(), g, 72 * 4);
+    sampling::SamplePlan plan;
+    plan.batch_size = 16;
+    engine.run(plan, 1);
+
+    std::ostringstream os;
+    engine.reportStats(os);
+    const std::string dump = os.str();
+    for (const char *needle :
+         {"link.local-ddr4-x4.requests", "link.mof-fabric.requests",
+          "link.pcie-host-dram.bytes", "axe.core0.samples",
+          "axe.core1.samples", "axe.core0.loadunit.completed",
+          "axe.core0.loadunit.cache.hits"}) {
+        EXPECT_NE(dump.find(needle), std::string::npos)
+            << "missing stat " << needle;
+    }
+}
+
+TEST(StatsReport, CountersAreConsistent)
+{
+    const graph::CsrGraph g =
+        graph::instantiate(graph::datasetByName("ss"), 20'000, 1);
+    axe::AccessEngine engine(axe::AxeConfig::poc(), g, 72 * 4);
+    sampling::SamplePlan plan;
+    plan.batch_size = 16;
+    plan.fanouts = {5};
+    const auto r = engine.run(plan, 2);
+    // Output link completed one write per sample.
+    EXPECT_EQ(engine.outputIo().requestsCompleted(), r.samples);
+    // The local + remote links served every non-coalesced load.
+    EXPECT_GT(engine.localLink().requestsCompleted() +
+                  engine.remoteLink().requestsCompleted(), 0u);
+}
+
+} // namespace
+} // namespace lsdgnn

@@ -1,0 +1,425 @@
+/**
+ * @file
+ * Tests for the RV32IM interpreter, QRCH hub and the Table 7
+ * interaction measurements.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "common/rng.hh"
+#include "riscv/control.hh"
+#include "riscv/encode.hh"
+#include "riscv/qrch.hh"
+#include "riscv/rv32.hh"
+
+namespace lsdgnn {
+namespace riscv {
+namespace {
+
+using namespace encode;
+
+StopReason
+runProgram(Rv32Core &core, const std::vector<Insn> &prog)
+{
+    core.loadProgram(prog);
+    return core.run();
+}
+
+TEST(Rv32, ArithmeticImmediate)
+{
+    Rv32Core core;
+    const auto r = runProgram(core, {
+        addi(a0, zero, 40),
+        addi(a0, a0, 2),
+        ecall(),
+    });
+    EXPECT_EQ(r, StopReason::Ecall);
+    EXPECT_EQ(core.reg(a0), 42u);
+}
+
+TEST(Rv32, RegisterZeroIsImmutable)
+{
+    Rv32Core core;
+    runProgram(core, {addi(zero, zero, 99), ecall()});
+    EXPECT_EQ(core.reg(zero), 0u);
+}
+
+TEST(Rv32, AluRegisterOps)
+{
+    Rv32Core core;
+    runProgram(core, {
+        addi(a0, zero, 12),
+        addi(a1, zero, 5),
+        add(a2, a0, a1),  // 17
+        sub(a3, a0, a1),  // 7
+        and_(a4, a0, a1), // 4
+        or_(a5, a0, a1),  // 13
+        xor_(t0, a0, a1), // 9
+        sll(t1, a1, a1),  // 5 << 5 = 160
+        ecall(),
+    });
+    EXPECT_EQ(core.reg(a2), 17u);
+    EXPECT_EQ(core.reg(a3), 7u);
+    EXPECT_EQ(core.reg(a4), 4u);
+    EXPECT_EQ(core.reg(a5), 13u);
+    EXPECT_EQ(core.reg(t0), 9u);
+    EXPECT_EQ(core.reg(t1), 160u);
+}
+
+TEST(Rv32, SignedComparisonsAndShifts)
+{
+    Rv32Core core;
+    runProgram(core, {
+        addi(a0, zero, -8),
+        srai(a1, a0, 1),      // -4
+        srli(a2, a0, 28),     // 0xf
+        slti(a3, a0, 0),      // 1
+        sltiu(a4, a0, 0),     // 0 (unsigned -8 is huge)
+        ecall(),
+    });
+    EXPECT_EQ(static_cast<std::int32_t>(core.reg(a1)), -4);
+    EXPECT_EQ(core.reg(a2), 0xfu);
+    EXPECT_EQ(core.reg(a3), 1u);
+    EXPECT_EQ(core.reg(a4), 0u);
+}
+
+TEST(Rv32, LoadsAndStores)
+{
+    Rv32Core core;
+    runProgram(core, {
+        addi(a0, zero, 0x100),
+        addi(a1, zero, -2),
+        sw(a1, a0, 0),
+        lw(a2, a0, 0),
+        lh(a3, a0, 0),
+        lhu(a4, a0, 0),
+        lb(a5, a0, 0),
+        lbu(t0, a0, 0),
+        ecall(),
+    });
+    EXPECT_EQ(core.reg(a2), 0xfffffffeu);
+    EXPECT_EQ(core.reg(a3), 0xfffffffeu); // sign-extended half
+    EXPECT_EQ(core.reg(a4), 0xfffeu);
+    EXPECT_EQ(core.reg(a5), 0xfffffffeu); // sign-extended byte
+    EXPECT_EQ(core.reg(t0), 0xfeu);
+}
+
+TEST(Rv32, BranchesAndLoops)
+{
+    // Sum 1..10 with a bne loop.
+    Rv32Core core;
+    runProgram(core, {
+        addi(a0, zero, 0),   // sum
+        addi(a1, zero, 10),  // i = 10
+        add(a0, a0, a1),     // loop:
+        addi(a1, a1, -1),
+        bne(a1, zero, -8),
+        ecall(),
+    });
+    EXPECT_EQ(core.reg(a0), 55u);
+}
+
+TEST(Rv32, JalAndJalr)
+{
+    Rv32Core core;
+    runProgram(core, {
+        jal(ra, 12),          // skip the next two instructions
+        addi(a0, zero, 1),    // skipped
+        ecall(),              // return target (ra = 4)
+        addi(a0, zero, 7),
+        jalr(zero, ra, 4),    // jump to insn at pc 8 (ecall)
+    });
+    EXPECT_EQ(core.reg(a0), 7u);
+}
+
+TEST(Rv32, LuiAuipc)
+{
+    Rv32Core core;
+    runProgram(core, {
+        lui(a0, 0x12345),
+        auipc(a1, 1),
+        ecall(),
+    });
+    EXPECT_EQ(core.reg(a0), 0x12345000u);
+    EXPECT_EQ(core.reg(a1), 0x1004u); // pc(4) + 0x1000
+}
+
+TEST(Rv32, MultiplyDivide)
+{
+    Rv32Core core;
+    runProgram(core, {
+        addi(a0, zero, -6),
+        addi(a1, zero, 7),
+        mul(a2, a0, a1),   // -42
+        div(a3, a0, a1),   // 0 (-6/7 truncates)
+        rem(a4, a0, a1),   // -6
+        addi(t0, zero, 100),
+        addi(t1, zero, 9),
+        divu(a5, t0, t1),  // 11
+        remu(t2, t0, t1),  // 1
+        ecall(),
+    });
+    EXPECT_EQ(static_cast<std::int32_t>(core.reg(a2)), -42);
+    EXPECT_EQ(core.reg(a3), 0u);
+    EXPECT_EQ(static_cast<std::int32_t>(core.reg(a4)), -6);
+    EXPECT_EQ(core.reg(a5), 11u);
+    EXPECT_EQ(core.reg(t2), 1u);
+}
+
+TEST(Rv32, DivisionByZeroFollowsSpec)
+{
+    Rv32Core core;
+    runProgram(core, {
+        addi(a0, zero, 5),
+        div(a1, a0, zero),
+        rem(a2, a0, zero),
+        ecall(),
+    });
+    EXPECT_EQ(core.reg(a1), ~0u);
+    EXPECT_EQ(core.reg(a2), 5u);
+}
+
+TEST(Rv32, IllegalInstructionFaults)
+{
+    Rv32Core core;
+    core.loadProgram({0xffffffffu});
+    EXPECT_EQ(core.run(), StopReason::Fault);
+}
+
+TEST(Rv32, OutOfRangeLoadFaults)
+{
+    Rv32Core core(4096);
+    EXPECT_EQ(runProgram(core, {
+        lui(a0, 0x10),          // 0x10000 > 4 KiB memory
+        lw(a1, a0, 0),
+        ecall(),
+    }), StopReason::Fault);
+}
+
+TEST(Rv32, CycleModelChargesMemoryAndMul)
+{
+    Rv32Core core;
+    runProgram(core, {addi(a0, zero, 1), ecall()});
+    const auto base = core.cycles();
+
+    Rv32Core core2;
+    runProgram(core2, {mul(a0, zero, zero), ecall()});
+    EXPECT_GT(core2.cycles(), base);
+}
+
+TEST(Rv32, MmioRoundTripCosts100Cycles)
+{
+    Rv32Core core;
+    std::uint32_t stored = 0;
+    core.mapMmio(0x8000'0000, 0x100,
+        [&](bool is_store, std::uint32_t, std::uint32_t v) {
+            if (is_store)
+                stored = v;
+            return stored + 1;
+        });
+    const auto before = core.cycles();
+    runProgram(core, {
+        lui(a0, static_cast<std::int32_t>(0x80000u)),
+        addi(a1, zero, 5),
+        sw(a1, a0, 0),
+        lw(a2, a0, 0),
+        ecall(),
+    });
+    EXPECT_EQ(stored, 5u);
+    EXPECT_EQ(core.reg(a2), 6u);
+    // Two device accesses at ~100 cycles dominate.
+    EXPECT_GE(core.cycles() - before, 200u);
+}
+
+TEST(Qrch, EnqueueDequeueRoundTrip)
+{
+    QrchHub hub(2, 8);
+    EXPECT_TRUE(hub.enqueue(0, 11, 22));
+    EXPECT_EQ(hub.occupancy(0), 2u);
+    std::uint32_t v = 0;
+    EXPECT_TRUE(hub.dequeue(0, v));
+    EXPECT_EQ(v, 11u);
+    EXPECT_TRUE(hub.dequeue(0, v));
+    EXPECT_EQ(v, 22u);
+    EXPECT_FALSE(hub.dequeue(0, v));
+}
+
+TEST(Qrch, BackpressureWhenFull)
+{
+    QrchHub hub(1, 4);
+    EXPECT_TRUE(hub.enqueue(0, 1, 2));
+    EXPECT_TRUE(hub.enqueue(0, 3, 4));
+    EXPECT_FALSE(hub.enqueue(0, 5, 6)); // queue holds 4 words
+}
+
+TEST(Qrch, ConsumerDrainsImmediately)
+{
+    QrchHub hub(1, 4);
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> seen;
+    hub.setConsumer(0, [&](std::uint32_t lo, std::uint32_t hi) {
+        seen.emplace_back(lo, hi);
+    });
+    hub.enqueue(0, 7, 8);
+    hub.enqueue(0, 9, 10);
+    ASSERT_EQ(seen.size(), 2u);
+    EXPECT_EQ(seen[1].second, 10u);
+    EXPECT_EQ(hub.occupancy(0), 0u);
+}
+
+TEST(Qrch, CoreInstructionsReachTheHub)
+{
+    Rv32Core core;
+    QrchHub hub(2, 8);
+    core.attachQrch(&hub);
+    hub.push(1, 77); // pre-loaded response
+    runProgram(core, {
+        addi(a0, zero, 5),
+        addi(a1, zero, 6),
+        qrchEnq(0, a0, a1),
+        qrchDeq(a2, 1),
+        qrchStat(a3, 0),
+        ecall(),
+    });
+    EXPECT_EQ(core.reg(a2), 77u);
+    EXPECT_EQ(core.reg(a3), 2u); // the enqueued pair still waits
+    std::uint32_t v;
+    EXPECT_TRUE(hub.dequeue(0, v));
+    EXPECT_EQ(v, 5u);
+}
+
+TEST(Qrch, DeqOnEmptyQueueStalls)
+{
+    Rv32Core core;
+    QrchHub hub(1, 8);
+    core.attachQrch(&hub);
+    core.loadProgram({qrchDeq(a0, 0), ecall()});
+    EXPECT_EQ(core.run(), StopReason::StalledOnQueue);
+}
+
+TEST(Table7, InteractionCostOrdering)
+{
+    // Paper Table 7: MMIO ~100 cycles, QRCH ~10, ISA-ext ~1.
+    const auto mmio = measureMmioInteraction(64);
+    const auto qrch = measureQrchInteraction(64);
+    const auto isa = modelIsaExtInteraction(64);
+    EXPECT_EQ(mmio.commands_delivered, 64u);
+    EXPECT_EQ(qrch.commands_delivered, 64u);
+    EXPECT_GT(mmio.cycles_per_command, 5.0 * qrch.cycles_per_command);
+    EXPECT_GT(qrch.cycles_per_command, 5.0 * isa.cycles_per_command);
+    // Per-access costs follow the paper's orders of magnitude.
+    Rv32Core core;
+    EXPECT_EQ(core.costs().mmio_access_cycles, 100u);
+    EXPECT_EQ(core.costs().qrch_access_cycles, 10u);
+}
+
+TEST(Rv32, DifferentialFuzzAgainstHostReference)
+{
+    // Generate random ALU/M-extension programs, interpret them, and
+    // compare every destination register against a host-side
+    // evaluation of the same operation sequence.
+    Rng rng(0xfeed);
+    for (int trial = 0; trial < 50; ++trial) {
+        std::vector<Insn> prog;
+        std::array<std::uint32_t, 32> model{};
+        // Seed registers a0..a5 with random values via lui+addi.
+        for (int r = 0; r < 6; ++r) {
+            const auto reg = static_cast<Reg>(a0 + r);
+            const auto value = static_cast<std::uint32_t>(rng());
+            prog.push_back(lui(reg,
+                static_cast<std::int32_t>(value >> 12)));
+            prog.push_back(addi(reg, reg,
+                static_cast<std::int32_t>(value & 0x7ff)));
+            model[reg] = (value & 0xfffff000u) + (value & 0x7ffu);
+        }
+        // Random op sequence over a0..a5.
+        for (int op = 0; op < 40; ++op) {
+            const auto rd = static_cast<Reg>(a0 + rng.nextBounded(6));
+            const auto rs1 = static_cast<Reg>(a0 + rng.nextBounded(6));
+            const auto rs2 = static_cast<Reg>(a0 + rng.nextBounded(6));
+            const auto x = model[rs1];
+            const auto y = model[rs2];
+            const auto sx = static_cast<std::int32_t>(x);
+            const auto sy = static_cast<std::int32_t>(y);
+            switch (rng.nextBounded(10)) {
+              case 0:
+                prog.push_back(add(rd, rs1, rs2));
+                model[rd] = x + y;
+                break;
+              case 1:
+                prog.push_back(sub(rd, rs1, rs2));
+                model[rd] = x - y;
+                break;
+              case 2:
+                prog.push_back(xor_(rd, rs1, rs2));
+                model[rd] = x ^ y;
+                break;
+              case 3:
+                prog.push_back(or_(rd, rs1, rs2));
+                model[rd] = x | y;
+                break;
+              case 4:
+                prog.push_back(and_(rd, rs1, rs2));
+                model[rd] = x & y;
+                break;
+              case 5:
+                prog.push_back(sll(rd, rs1, rs2));
+                model[rd] = x << (y & 0x1f);
+                break;
+              case 6:
+                prog.push_back(srl(rd, rs1, rs2));
+                model[rd] = x >> (y & 0x1f);
+                break;
+              case 7:
+                prog.push_back(sltu(rd, rs1, rs2));
+                model[rd] = x < y;
+                break;
+              case 8:
+                prog.push_back(mul(rd, rs1, rs2));
+                model[rd] = x * y;
+                break;
+              case 9:
+                prog.push_back(divu(rd, rs1, rs2));
+                model[rd] = y == 0 ? ~0u : x / y;
+                break;
+            }
+            (void)sx;
+            (void)sy;
+        }
+        prog.push_back(ecall());
+
+        Rv32Core core;
+        core.loadProgram(prog);
+        ASSERT_EQ(core.run(), StopReason::Ecall) << "trial " << trial;
+        for (int r = 0; r < 6; ++r) {
+            const auto reg = static_cast<Reg>(a0 + r);
+            EXPECT_EQ(core.reg(reg), model[reg])
+                << "trial " << trial << " reg a" << r;
+        }
+    }
+}
+
+TEST(Table7, CommandsArriveIntact)
+{
+    Rv32Core core;
+    QrchHub hub(2, 16);
+    CommandDevice device;
+    hub.setConsumer(0, [&device](std::uint32_t lo, std::uint32_t hi) {
+        device.qrchCommand(lo, hi);
+    });
+    core.attachQrch(&hub);
+    runProgram(core, {
+        addi(a0, zero, 123),
+        addi(a1, zero, 456),
+        qrchEnq(0, a0, a1),
+        ecall(),
+    });
+    ASSERT_EQ(device.received().size(), 1u);
+    EXPECT_EQ(device.received()[0].lo, 123u);
+    EXPECT_EQ(device.received()[0].hi, 456u);
+}
+
+} // namespace
+} // namespace riscv
+} // namespace lsdgnn

@@ -1,0 +1,394 @@
+/**
+ * @file
+ * Unit + property tests for the sampling library, including the
+ * statistical-quality properties of the paper's streaming step
+ * sampler (Tech-2).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <set>
+
+#include "graph/datasets.hh"
+#include "graph/generator.hh"
+#include "sampling/minibatch.hh"
+#include "sampling/negative.hh"
+#include "sampling/sampler.hh"
+#include "sampling/workload.hh"
+
+namespace lsdgnn {
+namespace sampling {
+namespace {
+
+using graph::NodeId;
+
+std::vector<NodeId>
+iota(std::uint64_t n)
+{
+    std::vector<NodeId> v(n);
+    std::iota(v.begin(), v.end(), 0);
+    return v;
+}
+
+class SamplerParamTest
+    : public ::testing::TestWithParam<const char *>
+{
+  protected:
+    std::unique_ptr<NeighborSampler> sampler =
+        makeSampler(GetParam());
+};
+
+TEST_P(SamplerParamTest, DrawsExactlyK)
+{
+    Rng rng(1);
+    const auto cand = iota(100);
+    std::vector<NodeId> out;
+    sampler->sample(cand, 10, rng, out);
+    EXPECT_EQ(out.size(), 10u);
+}
+
+TEST_P(SamplerParamTest, EmptyCandidatesYieldNothing)
+{
+    Rng rng(2);
+    std::vector<NodeId> out;
+    sampler->sample({}, 10, rng, out);
+    EXPECT_TRUE(out.empty());
+}
+
+TEST_P(SamplerParamTest, ZeroKYieldsNothing)
+{
+    Rng rng(3);
+    const auto cand = iota(10);
+    std::vector<NodeId> out;
+    sampler->sample(cand, 0, rng, out);
+    EXPECT_TRUE(out.empty());
+}
+
+TEST_P(SamplerParamTest, SmallNeighborhoodsCoverAllCandidates)
+{
+    Rng rng(4);
+    const auto cand = iota(3);
+    std::vector<NodeId> out;
+    sampler->sample(cand, 10, rng, out);
+    EXPECT_EQ(out.size(), 10u);
+    const std::set<NodeId> uniq(out.begin(), out.end());
+    // With-replacement semantics: every candidate appears at least
+    // once and nothing else does.
+    EXPECT_EQ(uniq, (std::set<NodeId>{0, 1, 2}));
+}
+
+TEST_P(SamplerParamTest, SamplesComeFromCandidates)
+{
+    Rng rng(5);
+    std::vector<NodeId> cand = {5, 17, 29, 41, 53, 65, 77, 89};
+    std::vector<NodeId> out;
+    sampler->sample(cand, 4, rng, out);
+    for (NodeId s : out) {
+        EXPECT_NE(std::find(cand.begin(), cand.end(), s), cand.end());
+    }
+}
+
+TEST_P(SamplerParamTest, NoDuplicatesWhenNExceedsK)
+{
+    Rng rng(6);
+    const auto cand = iota(50);
+    std::vector<NodeId> out;
+    sampler->sample(cand, 10, rng, out);
+    const std::set<NodeId> uniq(out.begin(), out.end());
+    EXPECT_EQ(uniq.size(), out.size());
+}
+
+TEST_P(SamplerParamTest, MarginalDistributionIsNearUniform)
+{
+    // Property: over many draws, each candidate is selected with
+    // probability ~K/N. This holds exactly for standard/reservoir and
+    // approximately (per the paper: negligible accuracy impact) for
+    // the streaming step sampler.
+    Rng rng(7);
+    const std::uint64_t n = 40;
+    const std::uint32_t k = 10;
+    const auto cand = iota(n);
+    std::map<NodeId, int> hits;
+    const int trials = 20000;
+    std::vector<NodeId> out;
+    for (int t = 0; t < trials; ++t) {
+        out.clear();
+        sampler->sample(cand, k, rng, out);
+        for (NodeId s : out)
+            ++hits[s];
+    }
+    const double expect =
+        static_cast<double>(trials) * k / static_cast<double>(n);
+    for (const auto &[node, count] : hits) {
+        EXPECT_NEAR(count, expect, expect * 0.10)
+            << "node " << node << " over/under-sampled";
+    }
+    EXPECT_EQ(hits.size(), n);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSamplers, SamplerParamTest,
+    ::testing::Values("standard", "reservoir", "streaming-step"));
+
+TEST(StreamingStepSampler, OnePickPerGroup)
+{
+    // With N=100, K=10, each pick must come from its own contiguous
+    // group of ten arrivals.
+    StreamingStepSampler sampler;
+    Rng rng(8);
+    const auto cand = iota(100);
+    std::vector<NodeId> out;
+    sampler.sample(cand, 10, rng, out);
+    ASSERT_EQ(out.size(), 10u);
+    for (std::uint32_t g = 0; g < 10; ++g) {
+        EXPECT_GE(out[g], g * 10);
+        EXPECT_LT(out[g], (g + 1) * 10);
+    }
+}
+
+TEST(StreamingStepSampler, HandlesNonDividingGroupSizes)
+{
+    StreamingStepSampler sampler;
+    Rng rng(9);
+    const auto cand = iota(17);
+    std::vector<NodeId> out;
+    sampler.sample(cand, 5, rng, out);
+    EXPECT_EQ(out.size(), 5u);
+    // Group boundaries are monotone, so samples are strictly
+    // increasing — an artifact of the streaming design.
+    EXPECT_TRUE(std::is_sorted(out.begin(), out.end()));
+}
+
+TEST(SamplerCosts, PaperLatencyClaim)
+{
+    // Paper Tech-2: streaming reduces latency from N+K cycles to N
+    // and removes the N-slot candidate buffer.
+    const StandardRandomSampler standard;
+    const StreamingStepSampler streaming;
+    const std::uint64_t n = 1000;
+    const std::uint32_t k = 10;
+    EXPECT_EQ(standard.cost(n, k).cycles, n + k);
+    EXPECT_EQ(standard.cost(n, k).buffer_slots, n);
+    EXPECT_EQ(streaming.cost(n, k).cycles, n);
+    EXPECT_EQ(streaming.cost(n, k).buffer_slots, 0u);
+}
+
+TEST(SamplerCosts, PaperResourceClaim)
+{
+    const auto conv = conventionalSamplerResources();
+    const auto stream = streamingSamplerResources();
+    const double lut_saving = 1.0 -
+        static_cast<double>(stream.luts) / static_cast<double>(conv.luts);
+    const double reg_saving = 1.0 -
+        static_cast<double>(stream.registers) /
+        static_cast<double>(conv.registers);
+    EXPECT_NEAR(lut_saving, 0.919, 0.005);
+    EXPECT_NEAR(reg_saving, 0.23, 0.005);
+}
+
+TEST(MakeSampler, UnknownNameIsFatal)
+{
+    EXPECT_DEATH(makeSampler("bogus"), "unknown sampler");
+}
+
+TEST(NegativeSampler, ExcludesPositivesAndNeighbors)
+{
+    graph::GeneratorParams p;
+    p.num_nodes = 500;
+    p.num_edges = 5000;
+    p.seed = 21;
+    const graph::CsrGraph g = graph::generatePowerLawGraph(p);
+    const NegativeSampler neg(g, 0.35);
+    Rng rng(22);
+    const NodeId src = 5, dst = g.neighbors(5).empty()
+        ? 6 : g.neighbors(5)[0];
+    for (int t = 0; t < 50; ++t) {
+        const auto negs = neg.sample(src, dst, 10, rng);
+        ASSERT_EQ(negs.size(), 10u);
+        const auto adj = g.neighbors(src);
+        for (NodeId cand : negs) {
+            EXPECT_NE(cand, src);
+            EXPECT_NE(cand, dst);
+            EXPECT_EQ(std::find(adj.begin(), adj.end(), cand), adj.end());
+        }
+    }
+}
+
+TEST(MiniBatch, FrontierSizesFollowFanout)
+{
+    graph::GeneratorParams p;
+    p.num_nodes = 2000;
+    p.num_edges = 40000;
+    p.min_degree = 1;
+    p.seed = 23;
+    const graph::CsrGraph g = graph::generatePowerLawGraph(p);
+    const graph::AttributeStore attrs(16);
+    const StandardRandomSampler sampler;
+    MiniBatchSampler engine(g, attrs, sampler);
+    Rng rng(24);
+
+    SamplePlan plan;
+    plan.batch_size = 32;
+    plan.fanouts = {10, 10};
+    const SampleResult res = engine.sampleBatch(plan, rng);
+    EXPECT_EQ(res.roots.size(), 32u);
+    // Every node has degree >= 1, so every frontier row yields
+    // exactly fanout samples.
+    EXPECT_EQ(res.frontier[0].size(), 320u);
+    EXPECT_EQ(res.frontier[1].size(), 3200u);
+    EXPECT_EQ(res.totalSampled(), 3520u);
+}
+
+TEST(MiniBatch, ParentIndicesAreValid)
+{
+    graph::GeneratorParams p;
+    p.num_nodes = 1000;
+    p.num_edges = 10000;
+    p.seed = 25;
+    const graph::CsrGraph g = graph::generatePowerLawGraph(p);
+    const graph::AttributeStore attrs(8);
+    const StreamingStepSampler sampler;
+    MiniBatchSampler engine(g, attrs, sampler);
+    Rng rng(26);
+
+    SamplePlan plan;
+    plan.batch_size = 16;
+    plan.fanouts = {5, 5};
+    const SampleResult res = engine.sampleBatch(plan, rng);
+    ASSERT_EQ(res.parent.size(), 2u);
+    for (std::uint32_t h = 0; h < 2; ++h) {
+        const std::size_t prev_size =
+            h == 0 ? res.roots.size() : res.frontier[h - 1].size();
+        ASSERT_EQ(res.parent[h].size(), res.frontier[h].size());
+        for (std::uint32_t idx : res.parent[h])
+            EXPECT_LT(idx, prev_size);
+    }
+}
+
+TEST(MiniBatch, SampledNodesAreRealNeighbors)
+{
+    graph::GeneratorParams p;
+    p.num_nodes = 800;
+    p.num_edges = 8000;
+    p.seed = 27;
+    const graph::CsrGraph g = graph::generatePowerLawGraph(p);
+    const graph::AttributeStore attrs(8);
+    const StandardRandomSampler sampler;
+    MiniBatchSampler engine(g, attrs, sampler);
+    Rng rng(28);
+
+    SamplePlan plan;
+    plan.batch_size = 8;
+    plan.fanouts = {4};
+    const SampleResult res = engine.sampleBatch(plan, rng);
+    for (std::size_t j = 0; j < res.frontier[0].size(); ++j) {
+        const NodeId parent = res.roots[res.parent[0][j]];
+        const auto adj = g.neighbors(parent);
+        EXPECT_NE(std::find(adj.begin(), adj.end(), res.frontier[0][j]),
+                  adj.end());
+    }
+}
+
+TEST(MiniBatch, TrafficAccountingIsConsistent)
+{
+    graph::GeneratorParams p;
+    p.num_nodes = 1000;
+    p.num_edges = 20000;
+    p.min_degree = 1;
+    p.seed = 29;
+    const graph::CsrGraph g = graph::generatePowerLawGraph(p);
+    const graph::AttributeStore attrs(32);
+    const StreamingStepSampler sampler;
+    MiniBatchSampler engine(g, attrs, sampler);
+    Rng rng(30);
+
+    SamplePlan plan;
+    plan.batch_size = 10;
+    plan.fanouts = {10};
+    const SampleResult res = engine.sampleBatch(plan, rng);
+    const TrafficStats &t = engine.traffic();
+    // 10 degree reads + 100 adjacency-slot reads.
+    EXPECT_EQ(t.structure_requests, 10u + res.frontier[0].size());
+    EXPECT_EQ(t.structure_bytes, t.structure_requests * 8);
+    // Attributes for 10 roots + 100 samples.
+    EXPECT_EQ(t.attribute_requests, 10u + res.frontier[0].size());
+    EXPECT_EQ(t.attribute_bytes, t.attribute_requests * 32 * 4);
+    EXPECT_GT(t.structureRequestFraction(), 0.45);
+    EXPECT_LT(t.structureRequestFraction(), 0.55);
+}
+
+TEST(MiniBatch, PartitionerSplitsLocalRemote)
+{
+    graph::GeneratorParams p;
+    p.num_nodes = 1000;
+    p.num_edges = 10000;
+    p.seed = 31;
+    const graph::CsrGraph g = graph::generatePowerLawGraph(p);
+    const graph::AttributeStore attrs(8);
+    const StreamingStepSampler sampler;
+    const graph::Partitioner part(g.numNodes(), 4);
+    MiniBatchSampler engine(g, attrs, sampler, &part);
+    Rng rng(32);
+
+    SamplePlan plan;
+    plan.batch_size = 64;
+    plan.fanouts = {10};
+    engine.sampleBatch(plan, rng);
+    const TrafficStats &t = engine.traffic();
+    EXPECT_GT(t.remote_requests, 0u);
+    EXPECT_GT(t.local_requests, 0u);
+    EXPECT_NEAR(t.remoteFraction(), 0.75, 0.08);
+}
+
+TEST(SamplePlan, MaxNodesPerBatch)
+{
+    SamplePlan plan;
+    plan.batch_size = 512;
+    plan.fanouts = {10, 10};
+    // 512 * (1 + 10 + 100)
+    EXPECT_EQ(plan.maxNodesPerBatch(), 512u * 111u);
+}
+
+TEST(Workload, ProfileMatchesPlanShape)
+{
+    const auto &ss = graph::datasetByName("ss");
+    SamplePlan plan;
+    plan.batch_size = 64;
+    plan.fanouts = {10, 10};
+    const WorkloadProfile prof =
+        profileWorkload(ss, plan, 20000, 4, 1);
+    EXPECT_EQ(prof.dataset, "ss");
+    // Fanout 10/10 with min_degree >= 1 gives close to 64*110 samples.
+    EXPECT_NEAR(prof.samples_per_batch, 64.0 * 110.0, 64.0 * 110.0 * 0.1);
+    EXPECT_GT(prof.structure_requests_per_batch, 0.0);
+    EXPECT_EQ(prof.requests_per_hop.size(), 2u);
+    // Paper Fig. 2(c): ~48% of requests are structure.
+    EXPECT_NEAR(prof.structureRequestFraction(), 0.5, 0.05);
+}
+
+TEST(Workload, RemoteFractionFormula)
+{
+    WorkloadProfile prof;
+    EXPECT_DOUBLE_EQ(prof.remoteFraction(1), 0.0);
+    EXPECT_DOUBLE_EQ(prof.remoteFraction(5), 0.8);
+    EXPECT_DOUBLE_EQ(prof.remoteFraction(15), 14.0 / 15.0);
+}
+
+TEST(Workload, MeanRequestBytesIsFineGrained)
+{
+    const auto &ls = graph::datasetByName("ls");
+    SamplePlan plan;
+    plan.batch_size = 32;
+    const WorkloadProfile prof =
+        profileWorkload(ls, plan, 500000, 2, 1);
+    // Mix of 8 B structure + ~336 B attribute reads: mean must sit
+    // well below a cache line multiple but above structure size.
+    EXPECT_GT(prof.meanRequestBytes(), 8.0);
+    EXPECT_LT(prof.meanRequestBytes(), 400.0);
+}
+
+} // namespace
+} // namespace sampling
+} // namespace lsdgnn

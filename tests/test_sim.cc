@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Unit tests for the discrete-event kernel and FIFO.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/fifo.hh"
+
+namespace lsdgnn {
+namespace sim {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(EventQueue, SameTickFifoOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(5, [&] { order.push_back(1); });
+    eq.schedule(5, [&] { order.push_back(2); });
+    eq.schedule(5, [&] { order.push_back(3); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, PriorityBreaksTies)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(5, [&] { order.push_back(2); }, Priority::Default);
+    eq.schedule(5, [&] { order.push_back(3); }, Priority::Low);
+    eq.schedule(5, [&] { order.push_back(1); }, Priority::High);
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, EventsCanScheduleEvents)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(10, [&] {
+        eq.scheduleAfter(5, [&] { fired = 1; });
+    });
+    eq.run();
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(eq.now(), 15u);
+}
+
+TEST(EventQueue, DescheduleCancels)
+{
+    EventQueue eq;
+    bool ran = false;
+    const auto h = eq.schedule(10, [&] { ran = true; });
+    eq.deschedule(h);
+    eq.run();
+    EXPECT_FALSE(ran);
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueue, RunRespectsLimit)
+{
+    EventQueue eq;
+    int count = 0;
+    eq.schedule(10, [&] { ++count; });
+    eq.schedule(20, [&] { ++count; });
+    eq.schedule(30, [&] { ++count; });
+    const auto ran = eq.run(20);
+    EXPECT_EQ(ran, 2u);
+    EXPECT_EQ(count, 2);
+    EXPECT_EQ(eq.pending(), 1u);
+    eq.run();
+    EXPECT_EQ(count, 3);
+}
+
+TEST(EventQueue, StepExecutesOne)
+{
+    EventQueue eq;
+    int count = 0;
+    eq.schedule(1, [&] { ++count; });
+    eq.schedule(2, [&] { ++count; });
+    EXPECT_TRUE(eq.step());
+    EXPECT_EQ(count, 1);
+    EXPECT_TRUE(eq.step());
+    EXPECT_FALSE(eq.step());
+}
+
+TEST(EventQueue, ExecutedCounterAccumulates)
+{
+    EventQueue eq;
+    for (int i = 0; i < 5; ++i)
+        eq.schedule(i, [] {});
+    eq.run();
+    EXPECT_EQ(eq.executed(), 5u);
+}
+
+TEST(EventQueue, SchedulingIntoThePastPanics)
+{
+    EventQueue eq;
+    eq.schedule(100, [] {});
+    eq.run();
+    EXPECT_DEATH(eq.schedule(50, [] {}), "past");
+}
+
+TEST(Fifo, PushPopFifoOrder)
+{
+    Fifo<int> f(4);
+    f.push(1);
+    f.push(2);
+    f.push(3);
+    EXPECT_EQ(f.size(), 3u);
+    EXPECT_EQ(f.pop(), 1);
+    EXPECT_EQ(f.pop(), 2);
+    EXPECT_EQ(f.front(), 3);
+    EXPECT_EQ(f.pop(), 3);
+    EXPECT_TRUE(f.empty());
+}
+
+TEST(Fifo, BackpressureAtCapacity)
+{
+    Fifo<int> f(2);
+    EXPECT_TRUE(f.tryPush(1));
+    EXPECT_TRUE(f.tryPush(2));
+    EXPECT_TRUE(f.full());
+    EXPECT_FALSE(f.tryPush(3));
+    EXPECT_EQ(f.free(), 0u);
+    f.pop();
+    EXPECT_EQ(f.free(), 1u);
+    EXPECT_TRUE(f.tryPush(3));
+}
+
+TEST(Fifo, OccupancyStats)
+{
+    Fifo<int> f(8);
+    f.push(1);
+    f.push(2);
+    // Occupancy samples at push: 1 then 2 -> mean 1.5.
+    EXPECT_DOUBLE_EQ(f.meanOccupancy(), 1.5);
+}
+
+TEST(Fifo, PushToFullPanics)
+{
+    Fifo<int> f(1);
+    f.push(1);
+    EXPECT_DEATH(f.push(2), "full");
+}
+
+TEST(Fifo, PopFromEmptyPanics)
+{
+    Fifo<int> f(1);
+    EXPECT_DEATH(f.pop(), "empty");
+}
+
+} // namespace
+} // namespace sim
+} // namespace lsdgnn
