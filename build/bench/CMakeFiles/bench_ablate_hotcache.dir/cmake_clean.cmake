@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_hotcache.dir/bench_ablate_hotcache.cc.o"
+  "CMakeFiles/bench_ablate_hotcache.dir/bench_ablate_hotcache.cc.o.d"
+  "bench_ablate_hotcache"
+  "bench_ablate_hotcache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_hotcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_packing.dir/bench_ablate_packing.cc.o"
+  "CMakeFiles/bench_ablate_packing.dir/bench_ablate_packing.cc.o.d"
+  "bench_ablate_packing"
+  "bench_ablate_packing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_packing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_reliability.dir/bench_ablate_reliability.cc.o"
+  "CMakeFiles/bench_ablate_reliability.dir/bench_ablate_reliability.cc.o.d"
+  "bench_ablate_reliability"
+  "bench_ablate_reliability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_reliability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

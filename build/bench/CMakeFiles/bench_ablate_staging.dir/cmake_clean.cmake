@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_staging.dir/bench_ablate_staging.cc.o"
+  "CMakeFiles/bench_ablate_staging.dir/bench_ablate_staging.cc.o.d"
+  "bench_ablate_staging"
+  "bench_ablate_staging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_staging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

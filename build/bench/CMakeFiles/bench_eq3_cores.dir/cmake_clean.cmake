@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_eq3_cores.dir/bench_eq3_cores.cc.o"
+  "CMakeFiles/bench_eq3_cores.dir/bench_eq3_cores.cc.o.d"
+  "bench_eq3_cores"
+  "bench_eq3_cores.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_eq3_cores.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

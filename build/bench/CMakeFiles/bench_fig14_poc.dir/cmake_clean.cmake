@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_poc.dir/bench_fig14_poc.cc.o"
+  "CMakeFiles/bench_fig14_poc.dir/bench_fig14_poc.cc.o.d"
+  "bench_fig14_poc"
+  "bench_fig14_poc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_poc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

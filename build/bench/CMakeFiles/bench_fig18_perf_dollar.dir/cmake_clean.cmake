@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18_perf_dollar.dir/bench_fig18_perf_dollar.cc.o"
+  "CMakeFiles/bench_fig18_perf_dollar.dir/bench_fig18_perf_dollar.cc.o.d"
+  "bench_fig18_perf_dollar"
+  "bench_fig18_perf_dollar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_perf_dollar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

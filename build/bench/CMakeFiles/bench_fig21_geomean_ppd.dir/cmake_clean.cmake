@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig21_geomean_ppd.dir/bench_fig21_geomean_ppd.cc.o"
+  "CMakeFiles/bench_fig21_geomean_ppd.dir/bench_fig21_geomean_ppd.cc.o.d"
+  "bench_fig21_geomean_ppd"
+  "bench_fig21_geomean_ppd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig21_geomean_ppd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

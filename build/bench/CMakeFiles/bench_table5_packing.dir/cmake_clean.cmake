@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_packing.dir/bench_table5_packing.cc.o"
+  "CMakeFiles/bench_table5_packing.dir/bench_table5_packing.cc.o.d"
+  "bench_table5_packing"
+  "bench_table5_packing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_packing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_bdi.dir/bench_table6_bdi.cc.o"
+  "CMakeFiles/bench_table6_bdi.dir/bench_table6_bdi.cc.o.d"
+  "bench_table6_bdi"
+  "bench_table6_bdi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_bdi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

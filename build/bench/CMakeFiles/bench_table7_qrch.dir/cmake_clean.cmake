@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_qrch.dir/bench_table7_qrch.cc.o"
+  "CMakeFiles/bench_table7_qrch.dir/bench_table7_qrch.cc.o.d"
+  "bench_table7_qrch"
+  "bench_table7_qrch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_qrch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

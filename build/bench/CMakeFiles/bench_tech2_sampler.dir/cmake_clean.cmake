@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tech2_sampler.dir/bench_tech2_sampler.cc.o"
+  "CMakeFiles/bench_tech2_sampler.dir/bench_tech2_sampler.cc.o.d"
+  "bench_tech2_sampler"
+  "bench_tech2_sampler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tech2_sampler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

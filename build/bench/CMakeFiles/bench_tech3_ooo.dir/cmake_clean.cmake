@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tech3_ooo.dir/bench_tech3_ooo.cc.o"
+  "CMakeFiles/bench_tech3_ooo.dir/bench_tech3_ooo.cc.o.d"
+  "bench_tech3_ooo"
+  "bench_tech3_ooo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tech3_ooo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_tech3_ooo.
+# This may be replaced when dependencies are built.

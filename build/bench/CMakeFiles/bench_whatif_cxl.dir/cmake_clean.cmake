@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_whatif_cxl.dir/bench_whatif_cxl.cc.o"
+  "CMakeFiles/bench_whatif_cxl.dir/bench_whatif_cxl.cc.o.d"
+  "bench_whatif_cxl"
+  "bench_whatif_cxl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_whatif_cxl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

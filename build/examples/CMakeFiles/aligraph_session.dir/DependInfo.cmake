@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/aligraph_session.cpp" "examples/CMakeFiles/aligraph_session.dir/aligraph_session.cpp.o" "gcc" "examples/CMakeFiles/aligraph_session.dir/aligraph_session.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/framework/CMakeFiles/lsd_framework.dir/DependInfo.cmake"
+  "/root/repo/build/src/axe/CMakeFiles/lsd_axe.dir/DependInfo.cmake"
+  "/root/repo/build/src/mof/CMakeFiles/lsd_mof.dir/DependInfo.cmake"
+  "/root/repo/build/src/gnn/CMakeFiles/lsd_gnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/lsd_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/lsd_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lsd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sampling/CMakeFiles/lsd_sampling.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/lsd_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lsd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aligraph_session.dir/aligraph_session.cpp.o"
+  "CMakeFiles/aligraph_session.dir/aligraph_session.cpp.o.d"
+  "aligraph_session"
+  "aligraph_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aligraph_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faas_planner.dir/faas_planner.cpp.o"
+  "CMakeFiles/faas_planner.dir/faas_planner.cpp.o.d"
+  "faas_planner"
+  "faas_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faas_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poc_simulation.dir/poc_simulation.cpp.o"
+  "CMakeFiles/poc_simulation.dir/poc_simulation.cpp.o.d"
+  "poc_simulation"
+  "poc_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poc_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

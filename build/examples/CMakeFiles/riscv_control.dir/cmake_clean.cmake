@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/riscv_control.dir/riscv_control.cpp.o"
+  "CMakeFiles/riscv_control.dir/riscv_control.cpp.o.d"
+  "riscv_control"
+  "riscv_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/riscv_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

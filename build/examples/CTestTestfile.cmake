@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;13;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_poc_simulation "/root/repo/build/examples/poc_simulation" "ss" "2")
+set_tests_properties(example_poc_simulation PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;14;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_faas_planner "/root/repo/build/examples/faas_planner" "ll" "50")
+set_tests_properties(example_faas_planner PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_riscv_control "/root/repo/build/examples/riscv_control")
+set_tests_properties(example_riscv_control PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_aligraph_session "/root/repo/build/examples/aligraph_session")
+set_tests_properties(example_aligraph_session PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/axe/analytic.cc" "src/axe/CMakeFiles/lsd_axe.dir/analytic.cc.o" "gcc" "src/axe/CMakeFiles/lsd_axe.dir/analytic.cc.o.d"
+  "/root/repo/src/axe/coalescing_cache.cc" "src/axe/CMakeFiles/lsd_axe.dir/coalescing_cache.cc.o" "gcc" "src/axe/CMakeFiles/lsd_axe.dir/coalescing_cache.cc.o.d"
+  "/root/repo/src/axe/command.cc" "src/axe/CMakeFiles/lsd_axe.dir/command.cc.o" "gcc" "src/axe/CMakeFiles/lsd_axe.dir/command.cc.o.d"
+  "/root/repo/src/axe/config.cc" "src/axe/CMakeFiles/lsd_axe.dir/config.cc.o" "gcc" "src/axe/CMakeFiles/lsd_axe.dir/config.cc.o.d"
+  "/root/repo/src/axe/core.cc" "src/axe/CMakeFiles/lsd_axe.dir/core.cc.o" "gcc" "src/axe/CMakeFiles/lsd_axe.dir/core.cc.o.d"
+  "/root/repo/src/axe/engine.cc" "src/axe/CMakeFiles/lsd_axe.dir/engine.cc.o" "gcc" "src/axe/CMakeFiles/lsd_axe.dir/engine.cc.o.d"
+  "/root/repo/src/axe/gemm.cc" "src/axe/CMakeFiles/lsd_axe.dir/gemm.cc.o" "gcc" "src/axe/CMakeFiles/lsd_axe.dir/gemm.cc.o.d"
+  "/root/repo/src/axe/load_unit.cc" "src/axe/CMakeFiles/lsd_axe.dir/load_unit.cc.o" "gcc" "src/axe/CMakeFiles/lsd_axe.dir/load_unit.cc.o.d"
+  "/root/repo/src/axe/multi_node.cc" "src/axe/CMakeFiles/lsd_axe.dir/multi_node.cc.o" "gcc" "src/axe/CMakeFiles/lsd_axe.dir/multi_node.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fabric/CMakeFiles/lsd_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/mof/CMakeFiles/lsd_mof.dir/DependInfo.cmake"
+  "/root/repo/build/src/sampling/CMakeFiles/lsd_sampling.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lsd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/lsd_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lsd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

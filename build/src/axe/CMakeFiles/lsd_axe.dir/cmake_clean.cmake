@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsd_axe.dir/analytic.cc.o"
+  "CMakeFiles/lsd_axe.dir/analytic.cc.o.d"
+  "CMakeFiles/lsd_axe.dir/coalescing_cache.cc.o"
+  "CMakeFiles/lsd_axe.dir/coalescing_cache.cc.o.d"
+  "CMakeFiles/lsd_axe.dir/command.cc.o"
+  "CMakeFiles/lsd_axe.dir/command.cc.o.d"
+  "CMakeFiles/lsd_axe.dir/config.cc.o"
+  "CMakeFiles/lsd_axe.dir/config.cc.o.d"
+  "CMakeFiles/lsd_axe.dir/core.cc.o"
+  "CMakeFiles/lsd_axe.dir/core.cc.o.d"
+  "CMakeFiles/lsd_axe.dir/engine.cc.o"
+  "CMakeFiles/lsd_axe.dir/engine.cc.o.d"
+  "CMakeFiles/lsd_axe.dir/gemm.cc.o"
+  "CMakeFiles/lsd_axe.dir/gemm.cc.o.d"
+  "CMakeFiles/lsd_axe.dir/load_unit.cc.o"
+  "CMakeFiles/lsd_axe.dir/load_unit.cc.o.d"
+  "CMakeFiles/lsd_axe.dir/multi_node.cc.o"
+  "CMakeFiles/lsd_axe.dir/multi_node.cc.o.d"
+  "liblsd_axe.a"
+  "liblsd_axe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsd_axe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

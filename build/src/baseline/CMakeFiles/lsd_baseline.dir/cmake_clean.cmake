@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsd_baseline.dir/cpu_sampler.cc.o"
+  "CMakeFiles/lsd_baseline.dir/cpu_sampler.cc.o.d"
+  "CMakeFiles/lsd_baseline.dir/hot_cache.cc.o"
+  "CMakeFiles/lsd_baseline.dir/hot_cache.cc.o.d"
+  "liblsd_baseline.a"
+  "liblsd_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsd_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

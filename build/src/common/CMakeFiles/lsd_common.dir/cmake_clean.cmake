@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsd_common.dir/logging.cc.o"
+  "CMakeFiles/lsd_common.dir/logging.cc.o.d"
+  "CMakeFiles/lsd_common.dir/rng.cc.o"
+  "CMakeFiles/lsd_common.dir/rng.cc.o.d"
+  "CMakeFiles/lsd_common.dir/stats.cc.o"
+  "CMakeFiles/lsd_common.dir/stats.cc.o.d"
+  "CMakeFiles/lsd_common.dir/table.cc.o"
+  "CMakeFiles/lsd_common.dir/table.cc.o.d"
+  "CMakeFiles/lsd_common.dir/units.cc.o"
+  "CMakeFiles/lsd_common.dir/units.cc.o.d"
+  "liblsd_common.a"
+  "liblsd_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsd_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

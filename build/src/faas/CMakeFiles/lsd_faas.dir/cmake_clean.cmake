@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsd_faas.dir/arch.cc.o"
+  "CMakeFiles/lsd_faas.dir/arch.cc.o.d"
+  "CMakeFiles/lsd_faas.dir/cost_model.cc.o"
+  "CMakeFiles/lsd_faas.dir/cost_model.cc.o.d"
+  "CMakeFiles/lsd_faas.dir/dse.cc.o"
+  "CMakeFiles/lsd_faas.dir/dse.cc.o.d"
+  "CMakeFiles/lsd_faas.dir/instance.cc.o"
+  "CMakeFiles/lsd_faas.dir/instance.cc.o.d"
+  "CMakeFiles/lsd_faas.dir/perf_model.cc.o"
+  "CMakeFiles/lsd_faas.dir/perf_model.cc.o.d"
+  "liblsd_faas.a"
+  "liblsd_faas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsd_faas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fabric/link.cc" "src/fabric/CMakeFiles/lsd_fabric.dir/link.cc.o" "gcc" "src/fabric/CMakeFiles/lsd_fabric.dir/link.cc.o.d"
+  "/root/repo/src/fabric/network.cc" "src/fabric/CMakeFiles/lsd_fabric.dir/network.cc.o" "gcc" "src/fabric/CMakeFiles/lsd_fabric.dir/network.cc.o.d"
+  "/root/repo/src/fabric/sim_link.cc" "src/fabric/CMakeFiles/lsd_fabric.dir/sim_link.cc.o" "gcc" "src/fabric/CMakeFiles/lsd_fabric.dir/sim_link.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lsd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lsd_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

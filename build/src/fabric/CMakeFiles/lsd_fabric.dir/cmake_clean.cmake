@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsd_fabric.dir/link.cc.o"
+  "CMakeFiles/lsd_fabric.dir/link.cc.o.d"
+  "CMakeFiles/lsd_fabric.dir/network.cc.o"
+  "CMakeFiles/lsd_fabric.dir/network.cc.o.d"
+  "CMakeFiles/lsd_fabric.dir/sim_link.cc.o"
+  "CMakeFiles/lsd_fabric.dir/sim_link.cc.o.d"
+  "liblsd_fabric.a"
+  "liblsd_fabric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsd_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsd_framework.dir/session.cc.o"
+  "CMakeFiles/lsd_framework.dir/session.cc.o.d"
+  "liblsd_framework.a"
+  "liblsd_framework.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsd_framework.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsd_gnn.dir/accuracy.cc.o"
+  "CMakeFiles/lsd_gnn.dir/accuracy.cc.o.d"
+  "CMakeFiles/lsd_gnn.dir/end_to_end.cc.o"
+  "CMakeFiles/lsd_gnn.dir/end_to_end.cc.o.d"
+  "CMakeFiles/lsd_gnn.dir/graphsage.cc.o"
+  "CMakeFiles/lsd_gnn.dir/graphsage.cc.o.d"
+  "CMakeFiles/lsd_gnn.dir/tensor.cc.o"
+  "CMakeFiles/lsd_gnn.dir/tensor.cc.o.d"
+  "CMakeFiles/lsd_gnn.dir/train.cc.o"
+  "CMakeFiles/lsd_gnn.dir/train.cc.o.d"
+  "liblsd_gnn.a"
+  "liblsd_gnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsd_gnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/attributes.cc" "src/graph/CMakeFiles/lsd_graph.dir/attributes.cc.o" "gcc" "src/graph/CMakeFiles/lsd_graph.dir/attributes.cc.o.d"
+  "/root/repo/src/graph/csr_graph.cc" "src/graph/CMakeFiles/lsd_graph.dir/csr_graph.cc.o" "gcc" "src/graph/CMakeFiles/lsd_graph.dir/csr_graph.cc.o.d"
+  "/root/repo/src/graph/datasets.cc" "src/graph/CMakeFiles/lsd_graph.dir/datasets.cc.o" "gcc" "src/graph/CMakeFiles/lsd_graph.dir/datasets.cc.o.d"
+  "/root/repo/src/graph/dynamic.cc" "src/graph/CMakeFiles/lsd_graph.dir/dynamic.cc.o" "gcc" "src/graph/CMakeFiles/lsd_graph.dir/dynamic.cc.o.d"
+  "/root/repo/src/graph/generator.cc" "src/graph/CMakeFiles/lsd_graph.dir/generator.cc.o" "gcc" "src/graph/CMakeFiles/lsd_graph.dir/generator.cc.o.d"
+  "/root/repo/src/graph/hetero.cc" "src/graph/CMakeFiles/lsd_graph.dir/hetero.cc.o" "gcc" "src/graph/CMakeFiles/lsd_graph.dir/hetero.cc.o.d"
+  "/root/repo/src/graph/partition.cc" "src/graph/CMakeFiles/lsd_graph.dir/partition.cc.o" "gcc" "src/graph/CMakeFiles/lsd_graph.dir/partition.cc.o.d"
+  "/root/repo/src/graph/serialize.cc" "src/graph/CMakeFiles/lsd_graph.dir/serialize.cc.o" "gcc" "src/graph/CMakeFiles/lsd_graph.dir/serialize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lsd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

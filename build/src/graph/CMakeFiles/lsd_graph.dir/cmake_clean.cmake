@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsd_graph.dir/attributes.cc.o"
+  "CMakeFiles/lsd_graph.dir/attributes.cc.o.d"
+  "CMakeFiles/lsd_graph.dir/csr_graph.cc.o"
+  "CMakeFiles/lsd_graph.dir/csr_graph.cc.o.d"
+  "CMakeFiles/lsd_graph.dir/datasets.cc.o"
+  "CMakeFiles/lsd_graph.dir/datasets.cc.o.d"
+  "CMakeFiles/lsd_graph.dir/dynamic.cc.o"
+  "CMakeFiles/lsd_graph.dir/dynamic.cc.o.d"
+  "CMakeFiles/lsd_graph.dir/generator.cc.o"
+  "CMakeFiles/lsd_graph.dir/generator.cc.o.d"
+  "CMakeFiles/lsd_graph.dir/hetero.cc.o"
+  "CMakeFiles/lsd_graph.dir/hetero.cc.o.d"
+  "CMakeFiles/lsd_graph.dir/partition.cc.o"
+  "CMakeFiles/lsd_graph.dir/partition.cc.o.d"
+  "CMakeFiles/lsd_graph.dir/serialize.cc.o"
+  "CMakeFiles/lsd_graph.dir/serialize.cc.o.d"
+  "liblsd_graph.a"
+  "liblsd_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsd_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

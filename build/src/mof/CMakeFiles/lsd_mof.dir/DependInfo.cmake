@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mof/bdi.cc" "src/mof/CMakeFiles/lsd_mof.dir/bdi.cc.o" "gcc" "src/mof/CMakeFiles/lsd_mof.dir/bdi.cc.o.d"
+  "/root/repo/src/mof/endpoint.cc" "src/mof/CMakeFiles/lsd_mof.dir/endpoint.cc.o" "gcc" "src/mof/CMakeFiles/lsd_mof.dir/endpoint.cc.o.d"
+  "/root/repo/src/mof/frame.cc" "src/mof/CMakeFiles/lsd_mof.dir/frame.cc.o" "gcc" "src/mof/CMakeFiles/lsd_mof.dir/frame.cc.o.d"
+  "/root/repo/src/mof/packer.cc" "src/mof/CMakeFiles/lsd_mof.dir/packer.cc.o" "gcc" "src/mof/CMakeFiles/lsd_mof.dir/packer.cc.o.d"
+  "/root/repo/src/mof/reliability.cc" "src/mof/CMakeFiles/lsd_mof.dir/reliability.cc.o" "gcc" "src/mof/CMakeFiles/lsd_mof.dir/reliability.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lsd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lsd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/lsd_fabric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

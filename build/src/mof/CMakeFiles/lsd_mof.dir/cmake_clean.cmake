@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsd_mof.dir/bdi.cc.o"
+  "CMakeFiles/lsd_mof.dir/bdi.cc.o.d"
+  "CMakeFiles/lsd_mof.dir/endpoint.cc.o"
+  "CMakeFiles/lsd_mof.dir/endpoint.cc.o.d"
+  "CMakeFiles/lsd_mof.dir/frame.cc.o"
+  "CMakeFiles/lsd_mof.dir/frame.cc.o.d"
+  "CMakeFiles/lsd_mof.dir/packer.cc.o"
+  "CMakeFiles/lsd_mof.dir/packer.cc.o.d"
+  "CMakeFiles/lsd_mof.dir/reliability.cc.o"
+  "CMakeFiles/lsd_mof.dir/reliability.cc.o.d"
+  "liblsd_mof.a"
+  "liblsd_mof.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsd_mof.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/riscv/control.cc" "src/riscv/CMakeFiles/lsd_riscv.dir/control.cc.o" "gcc" "src/riscv/CMakeFiles/lsd_riscv.dir/control.cc.o.d"
+  "/root/repo/src/riscv/encode.cc" "src/riscv/CMakeFiles/lsd_riscv.dir/encode.cc.o" "gcc" "src/riscv/CMakeFiles/lsd_riscv.dir/encode.cc.o.d"
+  "/root/repo/src/riscv/qrch.cc" "src/riscv/CMakeFiles/lsd_riscv.dir/qrch.cc.o" "gcc" "src/riscv/CMakeFiles/lsd_riscv.dir/qrch.cc.o.d"
+  "/root/repo/src/riscv/rv32.cc" "src/riscv/CMakeFiles/lsd_riscv.dir/rv32.cc.o" "gcc" "src/riscv/CMakeFiles/lsd_riscv.dir/rv32.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lsd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsd_riscv.dir/control.cc.o"
+  "CMakeFiles/lsd_riscv.dir/control.cc.o.d"
+  "CMakeFiles/lsd_riscv.dir/encode.cc.o"
+  "CMakeFiles/lsd_riscv.dir/encode.cc.o.d"
+  "CMakeFiles/lsd_riscv.dir/qrch.cc.o"
+  "CMakeFiles/lsd_riscv.dir/qrch.cc.o.d"
+  "CMakeFiles/lsd_riscv.dir/rv32.cc.o"
+  "CMakeFiles/lsd_riscv.dir/rv32.cc.o.d"
+  "liblsd_riscv.a"
+  "liblsd_riscv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsd_riscv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sampling/metapath.cc" "src/sampling/CMakeFiles/lsd_sampling.dir/metapath.cc.o" "gcc" "src/sampling/CMakeFiles/lsd_sampling.dir/metapath.cc.o.d"
+  "/root/repo/src/sampling/minibatch.cc" "src/sampling/CMakeFiles/lsd_sampling.dir/minibatch.cc.o" "gcc" "src/sampling/CMakeFiles/lsd_sampling.dir/minibatch.cc.o.d"
+  "/root/repo/src/sampling/negative.cc" "src/sampling/CMakeFiles/lsd_sampling.dir/negative.cc.o" "gcc" "src/sampling/CMakeFiles/lsd_sampling.dir/negative.cc.o.d"
+  "/root/repo/src/sampling/sampler.cc" "src/sampling/CMakeFiles/lsd_sampling.dir/sampler.cc.o" "gcc" "src/sampling/CMakeFiles/lsd_sampling.dir/sampler.cc.o.d"
+  "/root/repo/src/sampling/weighted.cc" "src/sampling/CMakeFiles/lsd_sampling.dir/weighted.cc.o" "gcc" "src/sampling/CMakeFiles/lsd_sampling.dir/weighted.cc.o.d"
+  "/root/repo/src/sampling/workload.cc" "src/sampling/CMakeFiles/lsd_sampling.dir/workload.cc.o" "gcc" "src/sampling/CMakeFiles/lsd_sampling.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/lsd_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lsd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

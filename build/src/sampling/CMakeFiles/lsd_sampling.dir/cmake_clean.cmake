@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsd_sampling.dir/metapath.cc.o"
+  "CMakeFiles/lsd_sampling.dir/metapath.cc.o.d"
+  "CMakeFiles/lsd_sampling.dir/minibatch.cc.o"
+  "CMakeFiles/lsd_sampling.dir/minibatch.cc.o.d"
+  "CMakeFiles/lsd_sampling.dir/negative.cc.o"
+  "CMakeFiles/lsd_sampling.dir/negative.cc.o.d"
+  "CMakeFiles/lsd_sampling.dir/sampler.cc.o"
+  "CMakeFiles/lsd_sampling.dir/sampler.cc.o.d"
+  "CMakeFiles/lsd_sampling.dir/weighted.cc.o"
+  "CMakeFiles/lsd_sampling.dir/weighted.cc.o.d"
+  "CMakeFiles/lsd_sampling.dir/workload.cc.o"
+  "CMakeFiles/lsd_sampling.dir/workload.cc.o.d"
+  "liblsd_sampling.a"
+  "liblsd_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsd_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

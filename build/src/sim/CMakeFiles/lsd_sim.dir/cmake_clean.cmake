@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsd_sim.dir/event_queue.cc.o"
+  "CMakeFiles/lsd_sim.dir/event_queue.cc.o.d"
+  "liblsd_sim.a"
+  "liblsd_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsd_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

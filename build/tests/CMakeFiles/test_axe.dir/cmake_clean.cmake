@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_axe.dir/test_axe.cc.o"
+  "CMakeFiles/test_axe.dir/test_axe.cc.o.d"
+  "test_axe"
+  "test_axe.pdb"
+  "test_axe[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_axe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

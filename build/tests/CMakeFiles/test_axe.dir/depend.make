@@ -1,0 +1,2 @@
+# Empty dependencies file for test_axe.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hetero_dynamic.dir/test_hetero_dynamic.cc.o"
+  "CMakeFiles/test_hetero_dynamic.dir/test_hetero_dynamic.cc.o.d"
+  "test_hetero_dynamic"
+  "test_hetero_dynamic.pdb"
+  "test_hetero_dynamic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hetero_dynamic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

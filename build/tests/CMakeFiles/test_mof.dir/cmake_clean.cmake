@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mof.dir/test_mof.cc.o"
+  "CMakeFiles/test_mof.dir/test_mof.cc.o.d"
+  "test_mof"
+  "test_mof.pdb"
+  "test_mof[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mof.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mof_endpoint.dir/test_mof_endpoint.cc.o"
+  "CMakeFiles/test_mof_endpoint.dir/test_mof_endpoint.cc.o.d"
+  "test_mof_endpoint"
+  "test_mof_endpoint.pdb"
+  "test_mof_endpoint[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mof_endpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multi_node.dir/test_multi_node.cc.o"
+  "CMakeFiles/test_multi_node.dir/test_multi_node.cc.o.d"
+  "test_multi_node"
+  "test_multi_node.pdb"
+  "test_multi_node[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multi_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
