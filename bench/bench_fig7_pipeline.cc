@@ -3,6 +3,10 @@
  * Fig. 7: measured performance vs pipeline depth — sweep the
  * GetNeighbor sub-pipeline depth of the DES engine and report
  * throughput and per-batch latency.
+ *
+ * `--json` (or LSDGNN_JSON=1) additionally emits a one-line JSON
+ * summary of every component statistic of the deepest configuration,
+ * via StatRegistry::exportJson.
  */
 
 #include <iostream>
@@ -13,12 +17,13 @@
 #include "graph/datasets.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace lsdgnn;
     bench::banner("Fig. 7 — performance vs pipeline depth",
                   "deeper FIFO-connected pipelining hides more "
                   "latency: deeper is faster");
+    const bool json = bench::jsonRequested(argc, argv);
 
     const auto &ls = graph::datasetByName("ls");
     const graph::CsrGraph g = graph::instantiate(ls, 500'000, 1);
@@ -29,6 +34,7 @@ main()
     table.header({"pipeline depth", "samples/s", "batch latency",
                   "speedup vs depth 1"});
     double depth1 = 0;
+    std::string json_snapshot;
     for (std::uint32_t depth : {1u, 2u, 3u, 4u, 5u, 8u, 16u}) {
         axe::AxeConfig cfg = axe::AxeConfig::poc();
         cfg.pipeline_depth = depth;
@@ -43,10 +49,15 @@ main()
                    bench::human(r.samples_per_s),
                    TextTable::num(per_batch * 1e6, 1) + " us",
                    TextTable::num(r.samples_per_s / depth1, 2) + "x"});
+        // Snapshot while the engine (and its stat groups) is alive.
+        if (json)
+            json_snapshot = bench::jsonSummary("fig7_pipeline");
     }
     table.print(std::cout);
     std::cout << "\n(depth 5 matches the GetNeighbor sub-module of "
                  "Fig. 6; gains saturate once the memory system is "
                  "the bottleneck)\n";
+    if (json)
+        std::cout << json_snapshot << "\n";
     return 0;
 }

@@ -7,8 +7,14 @@
 #define LSDGNN_BENCH_BENCH_UTIL_HH
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <string_view>
+
+#include "common/stat_registry.hh"
+#include "common/trace.hh"
 
 namespace lsdgnn {
 namespace bench {
@@ -23,6 +29,40 @@ banner(const std::string &experiment, const std::string &paper_claim)
     std::cout << "paper reference: " << paper_claim << "\n";
     std::cout << "==================================================="
                  "=============\n";
+}
+
+/**
+ * True when the run asked for machine-readable output: a `--json`
+ * argument or a non-empty, non-"0" LSDGNN_JSON environment variable.
+ * Human-readable tables stay the default either way.
+ */
+inline bool
+jsonRequested(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i)
+        if (std::string_view(argv[i]) == "--json")
+            return true;
+    const char *env = std::getenv("LSDGNN_JSON");
+    return env != nullptr && *env != '\0' &&
+           std::string_view(env) != "0";
+}
+
+/**
+ * Snapshot every live StatGroup as one JSON line:
+ * {"bench":"<name>","stats":{"groups":[...]}}
+ * Call while the simulated components are still alive — groups leave
+ * the registry when their owners are destroyed.
+ */
+inline std::string
+jsonSummary(const std::string &bench_name)
+{
+    std::ostringstream os;
+    std::string escaped;
+    trace::appendEscaped(escaped, bench_name);
+    os << "{\"bench\":\"" << escaped << "\",\"stats\":";
+    stats::StatRegistry::instance().exportJson(os);
+    os << "}";
+    return os.str();
 }
 
 /** Format a double with unit-style suffix (K/M/G). */

@@ -12,15 +12,23 @@
  * Run: ./poc_simulation [dataset] [batches]
  *   dataset: ss|ls|sl|ml|ll|syn (default ls)
  *   batches: number of 128-root batches to simulate (default 4)
+ *
+ * Observability hooks (see README "Observability"):
+ *   LSDGNN_TRACE=<path>        emit a Perfetto trace of every run
+ *   LSDGNN_STAT_DUMP=<path>    periodic stat snapshots, CSV per config
+ *   LSDGNN_STAT_PERIOD_US=<n>  snapshot period (default 10 us)
  */
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <memory>
 
 #include "axe/analytic.hh"
 #include "axe/engine.hh"
 #include "common/table.hh"
 #include "graph/datasets.hh"
+#include "sim/stat_sampler.hh"
 
 int
 main(int argc, char **argv)
@@ -46,9 +54,33 @@ main(int argc, char **argv)
     TextTable table;
     table.header({"configuration", "samples/s", "batches/s",
                   "cache hit", "sim time"});
+    const char *stat_dump = std::getenv("LSDGNN_STAT_DUMP");
+    const char *period_env = std::getenv("LSDGNN_STAT_PERIOD_US");
+    const double period_us =
+        period_env != nullptr ? std::atof(period_env) : 10.0;
+    // Unparseable or non-positive values fall back to the default.
+    const Tick stat_period =
+        microseconds(period_us > 0.0 ? period_us : 10.0);
+    bool first_dump = true;
+
     auto run_config = [&](const char *name, axe::AxeConfig cfg) {
         axe::AccessEngine engine(cfg, g, spec.attr_len * 4);
+        std::unique_ptr<sim::StatSampler> sampler;
+        if (stat_dump) {
+            sampler = std::make_unique<sim::StatSampler>(
+                engine.eventQueue(), stat_period);
+            sampler->watchAll();
+            sampler->start();
+        }
         const auto r = engine.run(plan, batches);
+        if (sampler) {
+            sampler->stop();
+            std::ofstream out(stat_dump, first_dump
+                ? std::ios::trunc : std::ios::app);
+            first_dump = false;
+            out << "# " << name << "\n";
+            sampler->exportCsv(out);
+        }
         table.row({name,
                    TextTable::num(r.samples_per_s / 1e6, 2) + "M",
                    TextTable::num(r.batches_per_s, 0),
@@ -71,6 +103,11 @@ main(int argc, char **argv)
     axe::AxeConfig in_order = axe::AxeConfig::poc();
     in_order.ooo_enabled = false;
     run_config("PoC, in-order load unit", in_order);
+
+    axe::AxeConfig packing = axe::AxeConfig::poc();
+    packing.num_nodes = 4; // remote traffic to pack
+    packing.mof_packing = true;
+    run_config("PoC + MoF packing endpoint", packing);
 
     table.print(std::cout);
 

@@ -42,6 +42,9 @@ CoalescingCache::access(std::uint64_t address)
     for (std::uint32_t w = 0; w < ways_; ++w) {
         Line &line = base[w];
         if (line.valid && line.tag == tag) {
+            // line.lru is the access sequence number of the previous
+            // touch, so the gap is the reuse distance in accesses.
+            reuse.sample(static_cast<double>(tick - line.lru));
             line.lru = tick;
             hits_.inc();
             return true;
@@ -78,6 +81,8 @@ CoalescingCache::addStats(stats::StatGroup &group,
 {
     group.addCounter(prefix + ".hits", &hits_, "coalesced accesses");
     group.addCounter(prefix + ".misses", &misses_, "line fills");
+    group.addHistogram(prefix + ".reuse", &reuse,
+                       "accesses between touches of a resident line");
 }
 
 } // namespace axe

@@ -57,7 +57,15 @@ class CoalescingCache
     std::uint32_t lineBytes() const { return lineBytes_; }
     std::uint32_t numSets() const { return sets; }
 
-    /** Register hit/miss counters with a stat group. */
+    /**
+     * Line-reuse distance distribution: accesses between two touches
+     * of the same resident line. Mass near zero is exactly the
+     * spatial coalescing the 8 KB provisioning bets on; a long tail
+     * would argue for a bigger cache.
+     */
+    const stats::Histogram &reuseDistance() const { return reuse; }
+
+    /** Register hit/miss counters and the reuse histogram. */
     void addStats(stats::StatGroup &group, const std::string &prefix);
 
   private:
@@ -74,6 +82,7 @@ class CoalescingCache
     std::vector<Line> lines; // sets * ways
     stats::Counter hits_;
     stats::Counter misses_;
+    stats::Histogram reuse{0.0, 1024.0, 64};
 };
 
 } // namespace axe

@@ -67,6 +67,13 @@ struct AxeConfig {
     /** Number of FPGA nodes holding graph partitions (1 = all local). */
     std::uint32_t num_nodes = 1;
     /**
+     * Front the remote link with a dynamic MoF packing endpoint
+     * (staging buffer + aging timer) instead of issuing each remote
+     * read as its own package. Off by default: the aggregate-link
+     * model already prices packed traffic into its parameters.
+     */
+    bool mof_packing = false;
+    /**
      * Result output is serialized over the command IO (PCIe) unless
      * a faster data path exists (mem-opt.tc's GPU fast link).
      */

@@ -21,6 +21,20 @@ AxeCore::AxeCore(sim::EventQueue &eq, const std::string &name,
     statGroup.addCounter("samples", &emitted, "samples emitted");
     statGroup.addCounter("traversed", &traversed,
                          "traversal items processed");
+    statGroup.addAverage("batch_ticks", &batchTicks,
+                         "ticks from batch start to full drain");
+}
+
+void
+AxeCore::traceOccupancy()
+{
+    if (!trace::Tracer::enabled())
+        return;
+    auto &tracer = trace::Tracer::instance();
+    tracer.counter(0, name() + ".active_items", curTick(),
+                   static_cast<double>(activeItems));
+    tracer.counter(0, name() + ".open_loads", curTick(),
+                   static_cast<double>(openLoads));
 }
 
 void
@@ -41,9 +55,13 @@ AxeCore::startBatch(const graph::CsrGraph &graph,
     activeItems = 0;
     openLoads = 0;
     openOutputs = 0;
+    batchStart = curTick();
     workQueue.clear();
     for (graph::NodeId r : roots)
         workQueue.push_back(TraversalItem{r, 0});
+    if (trace::Tracer::enabled())
+        trace::Tracer::instance().begin(0, traceTrack(), "batch",
+                                        curTick());
     // Kick the pipeline on the next cycle (command decode latency).
     eventq.scheduleAfter(clock.cycles(1), [this] { pump(); });
 }
@@ -68,12 +86,17 @@ AxeCore::pump()
         load.remote = load.dest != selfNode;
         load.tag = mof::ContextTag(0, static_cast<std::uint8_t>(item.hop),
                                    mof::RequestKind::Degree, 0, 0, 0);
-        load.done = [this, item](const mof::ContextTag &) {
+        const Tick issued = curTick();
+        load.done = [this, item, issued](const mof::ContextTag &) {
             --openLoads;
+            if (trace::Tracer::enabled())
+                trace::Tracer::instance().complete(0, traceTrack(),
+                    "GetNeighbor", issued, curTick() - issued);
             onDegree(item);
         };
         loads.submit(std::move(load));
     }
+    traceOccupancy();
     maybeFinish();
 }
 
@@ -108,8 +131,12 @@ AxeCore::onDegree(const TraversalItem &item)
             static_cast<std::uint8_t>(item.hop),
             mof::RequestKind::Neighbor, 0,
             static_cast<std::uint16_t>(pos & 0x3fff), 0);
-        load.done = [this, item, pos](const mof::ContextTag &) {
+        const Tick issued = curTick();
+        load.done = [this, item, pos, issued](const mof::ContextTag &) {
             --openLoads;
+            if (trace::Tracer::enabled())
+                trace::Tracer::instance().complete(0, traceTrack(),
+                    "GetSample", issued, curTick() - issued);
             onNeighbor(item, pos);
         };
         loads.submit(std::move(load));
@@ -142,8 +169,12 @@ AxeCore::onNeighbor(const TraversalItem &item, std::uint64_t position)
     load.remote = load.dest != selfNode;
     load.tag = mof::ContextTag(0, static_cast<std::uint8_t>(item.hop),
                                mof::RequestKind::Attribute, 0, 0, 0);
-    load.done = [this](const mof::ContextTag &) {
+    const Tick issued = curTick();
+    load.done = [this, issued](const mof::ContextTag &) {
         --openLoads;
+        if (trace::Tracer::enabled())
+            trace::Tracer::instance().complete(0, traceTrack(),
+                "GetAttribute", issued, curTick() - issued);
         onAttribute();
     };
     loads.submit(std::move(load));
@@ -172,6 +203,9 @@ AxeCore::maybeFinish()
     if (workQueue.empty() && activeItems == 0 && openLoads == 0 &&
         openOutputs == 0) {
         active = false;
+        batchTicks.sample(static_cast<double>(curTick() - batchStart));
+        if (trace::Tracer::enabled())
+            trace::Tracer::instance().end(0, traceTrack(), curTick());
         auto done = std::move(onDone);
         onDone = nullptr;
         if (done)

@@ -121,9 +121,14 @@ class AxeCore : public sim::Component
     std::uint64_t openLoads = 0;     ///< degree+neighbor+attr in flight
     std::uint64_t openOutputs = 0;   ///< result writes in flight
     bool active = false;
+    Tick batchStart = 0;             ///< startBatch() time of this batch
+
+    /** Trace counters for pipeline occupancy (no-op when disabled). */
+    void traceOccupancy();
 
     stats::Counter emitted;
     stats::Counter traversed;
+    stats::Average batchTicks;
 };
 
 } // namespace axe

@@ -19,11 +19,16 @@ AccessEngine::AccessEngine(AxeConfig config, const graph::CsrGraph &graph,
         config_.localMemLink());
     remote = std::make_unique<fabric::SimLink>(eventq,
         config_.remoteMemLink());
+    if (config_.mof_packing)
+        packer = std::make_unique<mof::MofEndpoint>(eventq, *remote,
+            mof::EndpointParams{}, "mof.endpoint");
     output = std::make_unique<fabric::SimLink>(eventq,
         config_.outputLink());
+    fabric::MemoryPort &remotePort =
+        packer ? static_cast<fabric::MemoryPort &>(*packer) : *remote;
     for (std::uint32_t c = 0; c < config_.num_cores; ++c) {
         cores.push_back(std::make_unique<AxeCore>(eventq,
-            "axe.core" + std::to_string(c), config_, *local, *remote,
+            "axe.core" + std::to_string(c), config_, *local, remotePort,
             *output, rootRng.fork()));
     }
 }
@@ -33,6 +38,8 @@ AccessEngine::reportStats(std::ostream &os) const
 {
     local->stats().report(os);
     remote->stats().report(os);
+    if (packer)
+        packer->stats().report(os);
     output->stats().report(os);
     for (const auto &core : cores) {
         core->stats().report(os);

@@ -18,6 +18,7 @@
 #include "axe/core.hh"
 #include "graph/attributes.hh"
 #include "graph/partition.hh"
+#include "mof/endpoint.hh"
 
 namespace lsdgnn {
 namespace axe {
@@ -70,6 +71,15 @@ class AccessEngine
     const fabric::SimLink &remoteLink() const { return *remote; }
     const fabric::SimLink &outputIo() const { return *output; }
 
+    /** Packing endpoint; non-null when config.mof_packing is set. */
+    const mof::MofEndpoint *packingEndpoint() const
+    {
+        return packer.get();
+    }
+
+    /** The engine's event queue (periodic samplers attach here). */
+    sim::EventQueue &eventQueue() { return eventq; }
+
     /**
      * Dump every component's statistics in gem5 "name.stat value"
      * form: links, per-core counters, load units and caches.
@@ -86,6 +96,7 @@ class AccessEngine
     sim::EventQueue eventq;
     std::unique_ptr<fabric::SimLink> local;
     std::unique_ptr<fabric::SimLink> remote;
+    std::unique_ptr<mof::MofEndpoint> packer;
     std::unique_ptr<fabric::SimLink> output;
     std::vector<std::unique_ptr<AxeCore>> cores;
 };

@@ -34,6 +34,7 @@ LoadUnit::submit(Load load)
 void
 LoadUnit::tryIssue()
 {
+    const bool tracing = trace::Tracer::enabled();
     while (!issueQueue.empty() && inflight < window) {
         Load load = std::move(issueQueue.front());
         issueQueue.pop_front();
@@ -45,7 +46,13 @@ LoadUnit::tryIssue()
         // are full-line bursts with nothing to coalesce.
         const bool cacheable = !load.remote &&
             load.bytes < cache_.lineBytes();
-        if (cacheable && cache_.access(load.address)) {
+        const bool hit = cacheable && cache_.access(load.address);
+        if (tracing && cacheable) {
+            trace::Tracer::instance().counter(0,
+                name() + ".cache.hit_rate", curTick(),
+                cache_.hitRate());
+        }
+        if (hit) {
             cacheBypassed.inc();
             ++inflight;
             // Hit: completes on the next datapath cycle.
@@ -72,6 +79,11 @@ LoadUnit::tryIssue()
             finish(load);
             tryIssue();
         });
+    }
+    if (tracing) {
+        // Scoreboard occupancy: the Tech-3 latency-hiding signal.
+        trace::Tracer::instance().counter(0, name() + ".outstanding",
+            curTick(), static_cast<double>(inflight));
     }
 }
 

@@ -11,12 +11,33 @@ Logger::instance()
     return logger;
 }
 
+Logger::Logger()
+{
+    const char *env = std::getenv("LSDGNN_LOG");
+    if (env != nullptr && *env != '\0')
+        setThreshold(parseLevel(env, LogLevel::Inform));
+}
+
+LogLevel
+Logger::parseLevel(std::string_view name, LogLevel fallback)
+{
+    if (name == "inform" || name == "info")
+        return LogLevel::Inform;
+    if (name == "warn")
+        return LogLevel::Warn;
+    if (name == "fatal")
+        return LogLevel::Fatal;
+    if (name == "panic")
+        return LogLevel::Panic;
+    return fallback;
+}
+
 void
 Logger::log(LogLevel level, std::string_view where, std::string_view msg)
 {
     if (level == LogLevel::Warn)
-        ++warnings;
-    if (static_cast<int>(level) < static_cast<int>(threshold))
+        warnings.fetch_add(1, std::memory_order_relaxed);
+    if (static_cast<int>(level) < static_cast<int>(getThreshold()))
         return;
 
     const char *tag = "info";
@@ -26,7 +47,11 @@ Logger::log(LogLevel level, std::string_view where, std::string_view msg)
       case LogLevel::Fatal: tag = "fatal"; break;
       case LogLevel::Panic: tag = "panic"; break;
     }
-    std::cerr << tag << ": " << msg << " (" << where << ")\n";
+    // One formatted line per message, never interleaved.
+    std::ostringstream line;
+    line << tag << ": " << msg << " (" << where << ")\n";
+    const std::lock_guard<std::mutex> lock(writeMutex);
+    std::cerr << line.str();
 }
 
 namespace detail {

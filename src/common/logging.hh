@@ -11,8 +11,10 @@
 #ifndef LSDGNN_COMMON_LOGGING_HH
 #define LSDGNN_COMMON_LOGGING_HH
 
+#include <atomic>
 #include <cstdlib>
 #include <iostream>
+#include <mutex>
 #include <sstream>
 #include <string>
 #include <string_view>
@@ -30,6 +32,15 @@ enum class LogLevel {
 /**
  * Process-wide logger. Messages at or above the verbosity threshold are
  * written to stderr; Fatal exits, Panic aborts.
+ *
+ * Warning counting and threshold access are atomic, so components
+ * running on helper threads (bench drivers, future parallel sweeps)
+ * can log concurrently; stderr writes are serialized by a mutex so
+ * messages never interleave mid-line.
+ *
+ * The initial threshold honors the LSDGNN_LOG environment variable
+ * ("inform"/"warn"/"fatal"/"panic", case-sensitive lowercase), so
+ * benches can silence inform spam without code changes.
  */
 class Logger
 {
@@ -38,9 +49,15 @@ class Logger
     static Logger &instance();
 
     /** Suppress messages below the given level. */
-    void setThreshold(LogLevel level) { threshold = level; }
+    void setThreshold(LogLevel level)
+    {
+        threshold.store(level, std::memory_order_relaxed);
+    }
 
-    LogLevel getThreshold() const { return threshold; }
+    LogLevel getThreshold() const
+    {
+        return threshold.load(std::memory_order_relaxed);
+    }
 
     /**
      * Emit one message.
@@ -52,13 +69,23 @@ class Logger
     void log(LogLevel level, std::string_view where, std::string_view msg);
 
     /** Count of warnings emitted so far (used by tests). */
-    uint64_t warnCount() const { return warnings; }
+    uint64_t warnCount() const
+    {
+        return warnings.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Parse a level name ("warn", ...); @p fallback on no match.
+     * Exposed for testability of the LSDGNN_LOG handling.
+     */
+    static LogLevel parseLevel(std::string_view name, LogLevel fallback);
 
   private:
-    Logger() = default;
+    Logger();
 
-    LogLevel threshold = LogLevel::Inform;
-    uint64_t warnings = 0;
+    std::atomic<LogLevel> threshold{LogLevel::Inform};
+    std::atomic<uint64_t> warnings{0};
+    std::mutex writeMutex;
 };
 
 namespace detail {

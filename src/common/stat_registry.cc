@@ -1,0 +1,166 @@
+#include "stat_registry.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.hh"
+#include "common/trace.hh"
+
+namespace lsdgnn {
+namespace stats {
+
+namespace {
+
+std::string
+jsonNumber(double v)
+{
+    if (!std::isfinite(v))
+        return "null"; // JSON has no inf/nan
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+std::string
+jsonString(const std::string &s)
+{
+    std::string out = "\"";
+    trace::appendEscaped(out, s);
+    out += "\"";
+    return out;
+}
+
+} // namespace
+
+StatRegistry &
+StatRegistry::instance()
+{
+    // Deliberately leaked: StatGroups with static storage duration
+    // unregister during exit, which must never touch a destroyed
+    // registry regardless of construction order across TUs.
+    static StatRegistry *registry = new StatRegistry;
+    return *registry;
+}
+
+void
+StatRegistry::add(StatGroup *group)
+{
+    lsd_assert(group != nullptr, "null group registered");
+    groups_.push_back(group);
+}
+
+void
+StatRegistry::remove(StatGroup *group)
+{
+    auto it = std::find(groups_.begin(), groups_.end(), group);
+    if (it != groups_.end())
+        groups_.erase(it);
+}
+
+void
+StatRegistry::forEach(
+    const std::function<void(const StatGroup &)> &fn) const
+{
+    for (const StatGroup *group : groups_)
+        fn(*group);
+}
+
+void
+exportGroupJson(const StatGroup &group, std::ostream &os)
+{
+    os << "{\"name\":" << jsonString(group.name());
+
+    os << ",\"counters\":{";
+    bool first = true;
+    group.visitCounters([&](const std::string &name, const Counter &c,
+                            const std::string &) {
+        os << (first ? "" : ",") << jsonString(name) << ":" << c.value();
+        first = false;
+    });
+    os << "}";
+
+    os << ",\"averages\":{";
+    first = true;
+    group.visitAverages([&](const std::string &name, const Average &a,
+                            const std::string &) {
+        os << (first ? "" : ",") << jsonString(name) << ":{"
+           << "\"mean\":" << jsonNumber(a.mean())
+           << ",\"min\":" << jsonNumber(a.min())
+           << ",\"max\":" << jsonNumber(a.max())
+           << ",\"n\":" << a.samples() << "}";
+        first = false;
+    });
+    os << "}";
+
+    os << ",\"histograms\":{";
+    first = true;
+    group.visitHistograms([&](const std::string &name,
+                              const Histogram &h, const std::string &) {
+        os << (first ? "" : ",") << jsonString(name) << ":{"
+           << "\"n\":" << h.samples()
+           << ",\"lo\":" << jsonNumber(h.lo())
+           << ",\"hi\":" << jsonNumber(h.hi())
+           << ",\"under\":" << h.underflow()
+           << ",\"over\":" << h.overflow()
+           << ",\"p50\":" << jsonNumber(h.percentile(0.5))
+           << ",\"p90\":" << jsonNumber(h.percentile(0.9))
+           << ",\"p99\":" << jsonNumber(h.percentile(0.99))
+           << ",\"buckets\":[";
+        for (std::size_t i = 0; i < h.buckets(); ++i)
+            os << (i ? "," : "") << h.bucketCount(i);
+        os << "]}";
+        first = false;
+    });
+    os << "}}";
+}
+
+void
+StatRegistry::exportJson(std::ostream &os) const
+{
+    os << "{\"groups\":[";
+    bool first = true;
+    for (const StatGroup *group : groups_) {
+        if (!first)
+            os << ",";
+        exportGroupJson(*group, os);
+        first = false;
+    }
+    os << "]}";
+}
+
+void
+StatRegistry::exportCsv(std::ostream &os) const
+{
+    os << "group,stat,kind,value\n";
+    for (const StatGroup *group : groups_) {
+        group->visitCounters([&](const std::string &name,
+                                 const Counter &c, const std::string &) {
+            os << group->name() << "," << name << ",counter,"
+               << c.value() << "\n";
+        });
+        group->visitAverages([&](const std::string &name,
+                                 const Average &a, const std::string &) {
+            os << group->name() << "," << name << ",mean,"
+               << jsonNumber(a.mean()) << "\n";
+        });
+        group->visitHistograms([&](const std::string &name,
+                                   const Histogram &h,
+                                   const std::string &) {
+            os << group->name() << "," << name << ",p50,"
+               << jsonNumber(h.percentile(0.5)) << "\n";
+            os << group->name() << "," << name << ",p99,"
+               << jsonNumber(h.percentile(0.99)) << "\n";
+        });
+    }
+}
+
+void
+StatRegistry::reportAll(std::ostream &os) const
+{
+    for (const StatGroup *group : groups_)
+        group->report(os);
+}
+
+} // namespace stats
+} // namespace lsdgnn

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Process-wide statistics registry.
+ *
+ * Every StatGroup registers itself here on construction and leaves on
+ * destruction, so benches, examples and the periodic StatSampler can
+ * enumerate all live statistics without plumbing component references
+ * through every layer. On top of enumeration the registry offers
+ * structured export: JSON (machine-readable bench output, including
+ * histogram percentiles) and CSV, alongside the classic gem5-style
+ * text report.
+ */
+
+#ifndef LSDGNN_COMMON_STAT_REGISTRY_HH
+#define LSDGNN_COMMON_STAT_REGISTRY_HH
+
+#include <functional>
+#include <ostream>
+#include <vector>
+
+#include "common/stats.hh"
+
+namespace lsdgnn {
+namespace stats {
+
+/**
+ * Registry of all live StatGroups, in registration order.
+ *
+ * Group names may repeat (two engines in one process both build an
+ * "axe.core0"); consumers disambiguate by order or scope their
+ * measurement windows.
+ */
+class StatRegistry
+{
+  public:
+    /** The process-wide registry. */
+    static StatRegistry &instance();
+
+    /** Live groups, oldest first. */
+    const std::vector<StatGroup *> &groups() const { return groups_; }
+
+    /** Invoke @p fn on every live group. */
+    void forEach(const std::function<void(const StatGroup &)> &fn) const;
+
+    /**
+     * Write one JSON object:
+     * {"groups":[{"name":...,"counters":{...},"averages":{...},
+     *             "histograms":{...}}, ...]}
+     * Histograms carry sample counts, tails and p50/p90/p99.
+     */
+    void exportJson(std::ostream &os) const;
+
+    /** Write "group,stat,kind,value" rows with a header line. */
+    void exportCsv(std::ostream &os) const;
+
+    /** gem5-style "group.stat value # desc" dump of every group. */
+    void reportAll(std::ostream &os) const;
+
+    // Called from StatGroup's constructor/destructor only.
+    void add(StatGroup *group);
+    void remove(StatGroup *group);
+
+    StatRegistry(const StatRegistry &) = delete;
+    StatRegistry &operator=(const StatRegistry &) = delete;
+
+  private:
+    StatRegistry() = default;
+
+    std::vector<StatGroup *> groups_;
+};
+
+/** Serialize one group as a JSON object (shared by registry/benches). */
+void exportGroupJson(const StatGroup &group, std::ostream &os);
+
+} // namespace stats
+} // namespace lsdgnn
+
+#endif // LSDGNN_COMMON_STAT_REGISTRY_HH

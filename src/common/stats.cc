@@ -3,11 +3,16 @@
 #include <algorithm>
 #include <cmath>
 
+#include "stat_registry.hh"
+
 namespace lsdgnn {
 namespace stats {
 
 Histogram::Histogram(double lo, double hi, std::size_t buckets)
-    : lo_(lo), hi_(hi), counts(buckets, 0)
+    : lo_(lo),
+      hi_(hi),
+      invWidth_(static_cast<double>(buckets) / (hi - lo)),
+      counts(buckets, 0)
 {
     lsd_assert(hi > lo, "histogram range must be non-empty");
     lsd_assert(buckets > 0, "histogram needs at least one bucket");
@@ -25,8 +30,7 @@ Histogram::sample(double v, std::uint64_t weight)
         over += weight;
         return;
     }
-    const double width = (hi_ - lo_) / static_cast<double>(counts.size());
-    auto idx = static_cast<std::size_t>((v - lo_) / width);
+    auto idx = static_cast<std::size_t>((v - lo_) * invWidth_);
     idx = std::min(idx, counts.size() - 1);
     counts[idx] += weight;
 }
@@ -37,11 +41,22 @@ Histogram::percentile(double q) const
     lsd_assert(q >= 0.0 && q <= 1.0, "percentile requires q in [0,1]");
     if (total == 0)
         return lo_;
+    if (over == total)
+        return hi_; // everything sits above the tracked range
+    const double width = (hi_ - lo_) / static_cast<double>(counts.size());
+    if (q == 0.0) {
+        // Lower edge of the first populated bin.
+        if (under > 0)
+            return lo_;
+        for (std::size_t i = 0; i < counts.size(); ++i)
+            if (counts[i] > 0)
+                return lo_ + width * static_cast<double>(i);
+        return hi_; // unreachable: over < total and buckets empty
+    }
     const double target = q * static_cast<double>(total);
     double seen = static_cast<double>(under);
-    if (seen >= target)
+    if (under > 0 && seen >= target)
         return lo_;
-    const double width = (hi_ - lo_) / static_cast<double>(counts.size());
     for (std::size_t i = 0; i < counts.size(); ++i) {
         const double next = seen + static_cast<double>(counts[i]);
         if (next >= target && counts[i] > 0) {
@@ -61,6 +76,16 @@ Histogram::reset()
     under = 0;
     over = 0;
     total = 0;
+}
+
+StatGroup::StatGroup(std::string name) : name_(std::move(name))
+{
+    StatRegistry::instance().add(this);
+}
+
+StatGroup::~StatGroup()
+{
+    StatRegistry::instance().remove(this);
 }
 
 void
@@ -83,6 +108,16 @@ StatGroup::addAverage(const std::string &name, Average *a,
     lsd_assert(inserted, "duplicate average name: ", name);
 }
 
+void
+StatGroup::addHistogram(const std::string &name, Histogram *h,
+                        const std::string &desc)
+{
+    lsd_assert(h != nullptr, "null histogram registered as ", name);
+    const bool inserted = histograms.emplace(name,
+        HistogramEntry{h, desc}).second;
+    lsd_assert(inserted, "duplicate histogram name: ", name);
+}
+
 const Counter &
 StatGroup::counter(const std::string &name) const
 {
@@ -101,10 +136,25 @@ StatGroup::average(const std::string &name) const
     return *it->second.stat;
 }
 
+const Histogram &
+StatGroup::histogram(const std::string &name) const
+{
+    auto it = histograms.find(name);
+    if (it == histograms.end())
+        lsd_panic("unknown histogram '", name, "' in group '", name_, "'");
+    return *it->second.stat;
+}
+
 bool
 StatGroup::hasCounter(const std::string &name) const
 {
     return counters.count(name) > 0;
+}
+
+bool
+StatGroup::hasHistogram(const std::string &name) const
+{
+    return histograms.count(name) > 0;
 }
 
 void
@@ -125,6 +175,44 @@ StatGroup::report(std::ostream &os) const
             os << " # " << entry.desc;
         os << "\n";
     }
+    for (const auto &[name, entry] : histograms) {
+        const Histogram &h = *entry.stat;
+        os << name_ << "." << name << " n=" << h.samples()
+           << " p50=" << h.percentile(0.5)
+           << " p90=" << h.percentile(0.9)
+           << " p99=" << h.percentile(0.99)
+           << " under=" << h.underflow() << " over=" << h.overflow();
+        if (!entry.desc.empty())
+            os << " # " << entry.desc;
+        os << "\n";
+    }
+}
+
+void
+StatGroup::visitCounters(
+    const std::function<void(const std::string &, const Counter &,
+                             const std::string &)> &fn) const
+{
+    for (const auto &[name, entry] : counters)
+        fn(name, *entry.stat, entry.desc);
+}
+
+void
+StatGroup::visitAverages(
+    const std::function<void(const std::string &, const Average &,
+                             const std::string &)> &fn) const
+{
+    for (const auto &[name, entry] : averages)
+        fn(name, *entry.stat, entry.desc);
+}
+
+void
+StatGroup::visitHistograms(
+    const std::function<void(const std::string &, const Histogram &,
+                             const std::string &)> &fn) const
+{
+    for (const auto &[name, entry] : histograms)
+        fn(name, *entry.stat, entry.desc);
 }
 
 } // namespace stats

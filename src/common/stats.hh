@@ -11,6 +11,7 @@
 #define LSDGNN_COMMON_STATS_HH
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <ostream>
 #include <string>
@@ -90,8 +91,20 @@ class Histogram
     std::uint64_t underflow() const { return under; }
     std::uint64_t overflow() const { return over; }
     std::uint64_t samples() const { return total; }
+    double lo() const { return lo_; }
+    double hi() const { return hi_; }
 
-    /** Value below which fraction @p q of samples fall (approximate). */
+    /**
+     * Value below which fraction @p q of samples fall (approximate,
+     * linearly interpolated inside a bucket).
+     *
+     * Edge semantics: an empty histogram reports lo() for every q;
+     * q=0 reports the lower edge of the first populated bucket (lo()
+     * when the underflow bin is populated); q=1 reports the upper
+     * edge of the last populated bucket (hi() when the overflow bin
+     * is populated); a histogram whose samples all sit in the
+     * overflow bin reports hi() for every q > 0.
+     */
     double percentile(double q) const;
 
     void reset();
@@ -99,6 +112,7 @@ class Histogram
   private:
     double lo_;
     double hi_;
+    double invWidth_; ///< buckets / (hi - lo), hoisted off sample()
     std::vector<std::uint64_t> counts;
     std::uint64_t under = 0;
     std::uint64_t over = 0;
@@ -109,12 +123,16 @@ class Histogram
  * Named collection of statistics.
  *
  * Ownership of the underlying stat objects stays with the registering
- * component; the group stores pointers and formats a report.
+ * component; the group stores pointers and formats a report. Every
+ * group announces itself to the process-wide StatRegistry for its
+ * lifetime, which is how benches export machine-readable results
+ * without holding component references.
  */
 class StatGroup
 {
   public:
-    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+    explicit StatGroup(std::string name);
+    ~StatGroup();
 
     StatGroup(const StatGroup &) = delete;
     StatGroup &operator=(const StatGroup &) = delete;
@@ -123,16 +141,32 @@ class StatGroup
                     const std::string &desc = "");
     void addAverage(const std::string &name, Average *a,
                     const std::string &desc = "");
+    void addHistogram(const std::string &name, Histogram *h,
+                      const std::string &desc = "");
 
     /** Look up a registered counter; panics when missing. */
     const Counter &counter(const std::string &name) const;
     /** Look up a registered average; panics when missing. */
     const Average &average(const std::string &name) const;
+    /** Look up a registered histogram; panics when missing. */
+    const Histogram &histogram(const std::string &name) const;
 
     bool hasCounter(const std::string &name) const;
+    bool hasHistogram(const std::string &name) const;
 
     /** Write "group.stat value # desc" lines, gem5 style. */
     void report(std::ostream &os) const;
+
+    /** Visit stats by kind, in name order (registry/sampler export). */
+    void visitCounters(
+        const std::function<void(const std::string &, const Counter &,
+                                 const std::string &)> &fn) const;
+    void visitAverages(
+        const std::function<void(const std::string &, const Average &,
+                                 const std::string &)> &fn) const;
+    void visitHistograms(
+        const std::function<void(const std::string &, const Histogram &,
+                                 const std::string &)> &fn) const;
 
     const std::string &name() const { return name_; }
 
@@ -140,8 +174,10 @@ class StatGroup
     std::string name_;
     struct CounterEntry { Counter *stat; std::string desc; };
     struct AverageEntry { Average *stat; std::string desc; };
+    struct HistogramEntry { Histogram *stat; std::string desc; };
     std::map<std::string, CounterEntry> counters;
     std::map<std::string, AverageEntry> averages;
+    std::map<std::string, HistogramEntry> histograms;
 };
 
 } // namespace stats

@@ -1,0 +1,192 @@
+#include "trace.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace lsdgnn {
+namespace trace {
+
+// Deliberately an out-of-line definition: every emission site that
+// checks Tracer::enabled() then references this translation unit, so
+// the static initializer below (the LSDGNN_TRACE env hook) is linked
+// into any binary that can trace at all.
+bool Tracer::enabled_ = false;
+
+namespace {
+
+// Activate tracing before main() when the environment asks for it.
+const bool env_activated = [] {
+    const char *path = std::getenv("LSDGNN_TRACE");
+    if (path != nullptr && *path != '\0')
+        Tracer::instance().open(path);
+    return true;
+}();
+
+std::string
+tsString(Tick t)
+{
+    // Ticks are picoseconds; the trace format wants microseconds.
+    // Six fractional digits keep full single-ps precision.
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.6f",
+                  static_cast<double>(t) / 1e6);
+    return buf;
+}
+
+} // namespace
+
+void
+appendEscaped(std::string &out, std::string_view s)
+{
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+}
+
+Tracer &
+Tracer::instance()
+{
+    static Tracer tracer;
+    return tracer;
+}
+
+void
+Tracer::open(const std::string &path)
+{
+    close();
+    out.open(path, std::ios::trunc);
+    if (!out) {
+        lsd_warn("cannot open trace file '", path, "'; tracing stays off");
+        return;
+    }
+    path_ = path;
+    first = true;
+    emitted = 0;
+    nextTrack = 1;
+    tracks.clear();
+    out << "[";
+    enabled_ = true;
+}
+
+void
+Tracer::close()
+{
+    if (!out.is_open())
+        return;
+    out << "\n]\n";
+    out.close();
+    path_.clear();
+    enabled_ = false;
+}
+
+TrackId
+Tracer::track(std::uint32_t pid, const std::string &name)
+{
+    if (!enabled_)
+        return 0;
+    const auto key = std::make_pair(pid, name);
+    auto it = tracks.find(key);
+    if (it != tracks.end())
+        return it->second;
+    const TrackId tid = nextTrack++;
+    tracks.emplace(key, tid);
+
+    // Name the track (and its process, the first time we see it).
+    std::string args = "\"name\":\"";
+    appendEscaped(args, name);
+    args += "\"";
+    finish();
+    out << "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":" << pid
+        << ",\"tid\":" << tid << ",\"args\":{" << args << "}}";
+    ++emitted;
+    return tid;
+}
+
+void
+Tracer::finish()
+{
+    if (!first)
+        out << ",";
+    out << "\n";
+    first = false;
+}
+
+void
+Tracer::begin(std::uint32_t pid, TrackId tid, std::string_view name,
+              Tick ts)
+{
+    if (!enabled_)
+        return;
+    std::string escaped;
+    appendEscaped(escaped, name);
+    finish();
+    out << "{\"ph\":\"B\",\"pid\":" << pid << ",\"tid\":" << tid
+        << ",\"ts\":" << tsString(ts) << ",\"name\":\"" << escaped
+        << "\"}";
+    ++emitted;
+}
+
+void
+Tracer::end(std::uint32_t pid, TrackId tid, Tick ts)
+{
+    if (!enabled_)
+        return;
+    finish();
+    out << "{\"ph\":\"E\",\"pid\":" << pid << ",\"tid\":" << tid
+        << ",\"ts\":" << tsString(ts) << "}";
+    ++emitted;
+}
+
+void
+Tracer::complete(std::uint32_t pid, TrackId tid, std::string_view name,
+                 Tick ts, Tick dur, std::string_view args)
+{
+    if (!enabled_)
+        return;
+    std::string escaped;
+    appendEscaped(escaped, name);
+    finish();
+    out << "{\"ph\":\"X\",\"pid\":" << pid << ",\"tid\":" << tid
+        << ",\"ts\":" << tsString(ts) << ",\"dur\":" << tsString(dur)
+        << ",\"name\":\"" << escaped << "\"";
+    if (!args.empty())
+        out << ",\"args\":{" << args << "}";
+    out << "}";
+    ++emitted;
+}
+
+void
+Tracer::counter(std::uint32_t pid, std::string_view name, Tick ts,
+                double value)
+{
+    if (!enabled_)
+        return;
+    std::string escaped;
+    appendEscaped(escaped, name);
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    finish();
+    out << "{\"ph\":\"C\",\"pid\":" << pid << ",\"ts\":" << tsString(ts)
+        << ",\"name\":\"" << escaped << "\",\"args\":{\"value\":" << buf
+        << "}}";
+    ++emitted;
+}
+
+} // namespace trace
+} // namespace lsdgnn

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Chrome/Perfetto trace-event emitter.
+ *
+ * Produces the JSON array flavor of the Trace Event Format
+ * (https://ui.perfetto.dev loads it directly): duration slices
+ * ("B"/"E"), complete slices ("X"), counter series ("C") and track
+ * metadata ("M"). Simulated components map onto tracks — "pid" is the
+ * simulated node, "tid" is the component — and timestamps are the
+ * simulator's picosecond ticks converted to microseconds.
+ *
+ * Tracing is off by default and costs one branch per emission site
+ * when disabled. It turns on either through the LSDGNN_TRACE=<path>
+ * environment variable (checked before main) or programmatically via
+ * Tracer::instance().open(path).
+ */
+
+#ifndef LSDGNN_COMMON_TRACE_HH
+#define LSDGNN_COMMON_TRACE_HH
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "common/units.hh"
+
+namespace lsdgnn {
+namespace trace {
+
+/** Track identifier ("tid" in the trace); 0 means unassigned. */
+using TrackId = std::uint32_t;
+
+/**
+ * Process-wide trace sink.
+ *
+ * Single-threaded by design, like the simulator it observes: all
+ * emission happens from the event loop.
+ */
+class Tracer
+{
+  public:
+    /** The process-wide tracer. */
+    static Tracer &instance();
+
+    /**
+     * Cheap global enable check; every emission site guards on this
+     * so a disabled tracer costs one predictable branch.
+     */
+    static bool enabled() { return enabled_; }
+
+    /**
+     * Start writing a trace to @p path (truncates). Re-opening closes
+     * the previous file first; previously issued TrackIds are invalid
+     * afterwards.
+     */
+    void open(const std::string &path);
+
+    /** Finish the JSON document and stop tracing. Idempotent. */
+    void close();
+
+    /** Path of the currently open trace file ("" when closed). */
+    const std::string &path() const { return path_; }
+
+    /**
+     * Register (or look up) a named track under simulated node @p pid
+     * and emit its thread_name metadata. Stable for the lifetime of
+     * one open file.
+     */
+    TrackId track(std::uint32_t pid, const std::string &name);
+
+    /** Open a duration slice on a track. Must be closed by end(). */
+    void begin(std::uint32_t pid, TrackId tid, std::string_view name,
+               Tick ts);
+
+    /** Close the innermost open slice on a track. */
+    void end(std::uint32_t pid, TrackId tid, Tick ts);
+
+    /**
+     * Emit a complete slice (begin + duration in one event). The
+     * natural shape for async hardware spans whose end is only known
+     * at completion time.
+     *
+     * @param args Optional pre-rendered JSON object members, e.g.
+     *        "\"requests\":12" — caller guarantees well-formedness.
+     */
+    void complete(std::uint32_t pid, TrackId tid, std::string_view name,
+                  Tick ts, Tick dur, std::string_view args = {});
+
+    /** Emit one point of a named counter series. */
+    void counter(std::uint32_t pid, std::string_view name, Tick ts,
+                 double value);
+
+    /** Events written to the current file so far. */
+    std::uint64_t eventsEmitted() const { return emitted; }
+
+    ~Tracer() { close(); }
+
+    Tracer(const Tracer &) = delete;
+    Tracer &operator=(const Tracer &) = delete;
+
+  private:
+    Tracer() = default;
+
+    void header(char ph, std::uint32_t pid, Tick ts);
+    void field(std::string_view key, std::string_view value);
+    void finish();
+
+    static bool enabled_; // defined in trace.cc; see note there
+
+    std::ofstream out;
+    std::string path_;
+    bool first = true;
+    std::uint64_t emitted = 0;
+    TrackId nextTrack = 1;
+    std::map<std::pair<std::uint32_t, std::string>, TrackId> tracks;
+};
+
+/** Append @p s to @p out with JSON string escaping (no quotes). */
+void appendEscaped(std::string &out, std::string_view s);
+
+} // namespace trace
+} // namespace lsdgnn
+
+#endif // LSDGNN_COMMON_TRACE_HH

@@ -38,9 +38,22 @@ SimLink::tryIssue()
 }
 
 void
+SimLink::traceInFlight()
+{
+    if (!trace::Tracer::enabled())
+        return;
+    auto &tracer = trace::Tracer::instance();
+    tracer.counter(0, name() + ".in_flight_bytes", curTick(),
+                   static_cast<double>(outstandingBytes));
+    tracer.counter(0, name() + ".queued", curTick(),
+                   static_cast<double>(waitQueue.size()));
+}
+
+void
 SimLink::issue(Pending req)
 {
     ++outstanding;
+    outstandingBytes += req.bytes;
     firstIssue = std::min(firstIssue, curTick());
 
     const double wire_bytes = static_cast<double>(
@@ -56,15 +69,19 @@ SimLink::issue(Pending req)
     const Tick complete = wireFreeAt + params_.base_latency;
     const Tick issued_at = curTick();
 
+    traceInFlight();
+
     eventq.schedule(complete,
         [this, bytes = req.bytes, done = std::move(req.done),
          issued_at]() mutable {
             lsd_assert(outstanding > 0, "completion without outstanding");
             --outstanding;
+            outstandingBytes -= bytes;
             reqsDone.inc();
             bytesDone.inc(bytes);
             latency.sample(static_cast<double>(curTick() - issued_at));
             lastComplete = std::max(lastComplete, curTick());
+            traceInFlight();
             done();
             tryIssue();
         });

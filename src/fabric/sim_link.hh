@@ -50,6 +50,9 @@ class SimLink : public sim::Component, public MemoryPort
     /** Requests currently in flight (issued, not yet completed). */
     std::uint32_t inFlight() const { return outstanding; }
 
+    /** Payload bytes currently in flight. */
+    std::uint64_t inFlightBytes() const { return outstandingBytes; }
+
     /** Requests waiting for an outstanding slot. */
     std::size_t queued() const { return waitQueue.size(); }
 
@@ -75,8 +78,12 @@ class SimLink : public sim::Component, public MemoryPort
     void tryIssue();
     void issue(Pending req);
 
+    /** Emit in-flight trace counters (no-op when tracing is off). */
+    void traceInFlight();
+
     LinkParams params_;
     std::uint32_t outstanding = 0;
+    std::uint64_t outstandingBytes = 0;
     Tick wireFreeAt = 0;
     Tick firstIssue = max_tick;
     Tick lastComplete = 0;

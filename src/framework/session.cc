@@ -22,6 +22,9 @@ Session::Session(SessionConfig config)
       rng_(config_.seed + 7)
 {
     lsd_assert(config_.num_servers > 0, "session needs servers");
+    group.addCounter("batches", &batchCount, "mini-batches sampled");
+    group.addAverage("batch_nodes", &batchNodes,
+                     "nodes touched per mini-batch (roots + frontier)");
     if (config_.hot_cache_fraction > 0.0) {
         const auto capacity = static_cast<std::size_t>(
             std::max<double>(1.0, config_.hot_cache_fraction *
@@ -36,7 +39,7 @@ sampling::SampleResult
 Session::sampleBatch(const sampling::SamplePlan &plan)
 {
     lsd_assert(!plan.fanouts.empty(), "plan needs hops");
-    ++batches;
+    batchCount.inc();
 
     sampling::SampleResult result;
     if (config_.backend == Backend::AxeOffload) {
@@ -67,6 +70,10 @@ Session::sampleBatch(const sampling::SamplePlan &plan)
             for (graph::NodeId n : hop)
                 hotCache->access(n);
     }
+    std::uint64_t nodes = result.roots.size();
+    for (const auto &hop : result.frontier)
+        nodes += hop.size();
+    batchNodes.sample(static_cast<double>(nodes));
     return result;
 }
 

@@ -26,6 +26,7 @@
 #include "axe/command.hh"
 #include "baseline/cpu_sampler.hh"
 #include "baseline/hot_cache.hh"
+#include "common/stats.hh"
 #include "gnn/graphsage.hh"
 #include "graph/datasets.hh"
 #include "graph/partition.hh"
@@ -102,7 +103,10 @@ class Session
     double hotCacheHitRate() const;
 
     /** Batches sampled so far. */
-    std::uint64_t batchesSampled() const { return batches; }
+    std::uint64_t batchesSampled() const { return batchCount.value(); }
+
+    /** Session-level statistics ("framework.session.*"). */
+    const stats::StatGroup &stats() const { return group; }
 
   private:
     SessionConfig config_;
@@ -118,7 +122,9 @@ class Session
     Rng modelRng; ///< consumed while building the fixed model
     gnn::GraphSageModel model; ///< fixed 2-layer graphSAGE-max API
     Rng rng_;
-    std::uint64_t batches = 0;
+    stats::StatGroup group{"framework.session"};
+    stats::Counter batchCount;
+    stats::Average batchNodes;
 };
 
 } // namespace framework

@@ -7,10 +7,13 @@ namespace lsdgnn {
 namespace mof {
 
 MofEndpoint::MofEndpoint(sim::EventQueue &eq, fabric::SimLink &phy,
-                         EndpointParams params)
-    : sim::Component(eq, "mof.endpoint"),
+                         EndpointParams params, const std::string &name)
+    : sim::Component(eq, name),
       phy_(phy),
-      params_(params)
+      params_(params),
+      fill(0.0, static_cast<double>(params.format.max_requests) + 1.0,
+           params.format.max_requests > 0 ? params.format.max_requests + 1
+                                          : 1)
 {
     lsd_assert(params_.format.max_requests > 0,
                "packages must carry requests");
@@ -20,6 +23,9 @@ MofEndpoint::MofEndpoint(sim::EventQueue &eq, fabric::SimLink &phy,
                          "bytes moved including headers");
     statGroup.addCounter("unpacked_bytes", &unpacked,
                          "bytes the traffic would cost unpacked");
+    statGroup.addAverage("staging_ticks", &stagingTicks,
+                         "oldest-request staging delay per package");
+    statGroup.addHistogram("fill", &fill, "requests per shipped package");
 }
 
 void
@@ -28,7 +34,12 @@ MofEndpoint::request(std::uint64_t bytes, std::uint32_t dest,
 {
     (void)dest; // one endpoint fronts one point-to-point PHY
     lsd_assert(done, "request needs a completion callback");
+    if (staged.empty())
+        firstStagedAt = curTick();
     staged.push_back(Staged{bytes, std::move(done)});
+    if (trace::Tracer::enabled())
+        trace::Tracer::instance().counter(0, name() + ".staged",
+            curTick(), static_cast<double>(staged.size()));
     // Counterfactual accounting: one request per package.
     unpacked.inc(params_.format.header_bytes +
                  params_.format.addr_bytes_per_request + bytes +
@@ -70,6 +81,19 @@ MofEndpoint::ship()
     auto batch =
         std::make_shared<std::vector<Staged>>(std::move(staged));
     staged.clear();
+
+    fill.sample(static_cast<double>(batch->size()));
+    stagingTicks.sample(static_cast<double>(curTick() - firstStagedAt));
+    if (trace::Tracer::enabled()) {
+        // One slice per package: starts when its oldest request was
+        // staged, ends at ship time — the aging/packing trade-off
+        // made visible.
+        trace::Tracer::instance().complete(0, traceTrack(), "package",
+            firstStagedAt, curTick() - firstStagedAt,
+            "\"requests\":" + std::to_string(batch->size()));
+        trace::Tracer::instance().counter(0, name() + ".staged",
+            curTick(), 0.0);
+    }
 
     std::uint64_t payload = 0;
     for (const auto &s : *batch)

@@ -44,9 +44,11 @@ class MofEndpoint : public sim::Component, public fabric::MemoryPort
      * @param eq Shared event queue.
      * @param phy Fabric PHY the packages ride on.
      * @param params Packing configuration.
+     * @param name Component name (stats/trace track).
      */
     MofEndpoint(sim::EventQueue &eq, fabric::SimLink &phy,
-                EndpointParams params = EndpointParams{});
+                EndpointParams params = EndpointParams{},
+                const std::string &name = "mof.endpoint");
 
     /** Stage one read; completion fires when its response lands. */
     void request(std::uint64_t bytes, std::uint32_t dest,
@@ -76,6 +78,9 @@ class MofEndpoint : public sim::Component, public fabric::MemoryPort
     /** Wire bytes actually moved (requests + responses + headers). */
     std::uint64_t wireBytes() const { return wire_bytes.value(); }
 
+    /** Requests-per-package distribution (the packing efficiency). */
+    const stats::Histogram &fillHistogram() const { return fill; }
+
     /**
      * Wire bytes the same traffic would cost unpacked (one package
      * per request) — the Tech-1 saving denominator.
@@ -96,11 +101,14 @@ class MofEndpoint : public sim::Component, public fabric::MemoryPort
     std::vector<Staged> staged;
     bool timerArmed = false;
     sim::EventQueue::EventHandle timerHandle = 0;
+    Tick firstStagedAt = 0; ///< arrival of the oldest staged request
 
     stats::Counter packages;
     stats::Counter requests;
     stats::Counter wire_bytes;
     stats::Counter unpacked;
+    stats::Average stagingTicks;
+    stats::Histogram fill;
 };
 
 } // namespace mof

@@ -1,15 +1,31 @@
 #include "qrch.hh"
 
 #include "common/logging.hh"
+#include "common/trace.hh"
 
 namespace lsdgnn {
 namespace riscv {
 
 QrchHub::QrchHub(std::uint32_t num_queues, std::uint32_t depth)
-    : queues(num_queues), consumers(num_queues), depth_(depth)
+    : queues(num_queues), consumers(num_queues), depth_(depth),
+      depths(0.0, static_cast<double>(depth) + 1.0, depth + 1)
 {
     lsd_assert(num_queues > 0, "hub needs at least one queue");
     lsd_assert(depth > 0, "queues need at least one entry");
+    group.addCounter("enqueues", &enqueues, "core-side pair enqueues");
+    group.addCounter("dequeues", &dequeues, "words dequeued");
+    group.addHistogram("occupancy", &depths,
+                       "queue words occupied, sampled at enqueue");
+}
+
+void
+QrchHub::traceDepth(std::uint32_t qid) const
+{
+    if (!trace::Tracer::enabled() || !clock)
+        return;
+    trace::Tracer::instance().counter(0,
+        group.name() + ".q" + std::to_string(qid) + ".depth", clock(),
+        static_cast<double>(queues[qid].size()));
 }
 
 void
@@ -27,11 +43,14 @@ QrchHub::enqueue(std::uint32_t qid, std::uint32_t lo, std::uint32_t hi)
     enqueues.inc();
     if (consumers[qid]) {
         // The attached accelerator drains the pair immediately.
+        depths.sample(static_cast<double>(queues[qid].size()));
         consumers[qid](lo, hi);
         return true;
     }
     queues[qid].push_back(lo);
     queues[qid].push_back(hi);
+    depths.sample(static_cast<double>(queues[qid].size()));
+    traceDepth(qid);
     return true;
 }
 
@@ -44,6 +63,7 @@ QrchHub::dequeue(std::uint32_t qid, std::uint32_t &value)
     value = queues[qid].front();
     queues[qid].pop_front();
     dequeues.inc();
+    traceDepth(qid);
     return true;
 }
 

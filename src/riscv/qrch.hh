@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/stats.hh"
+#include "common/units.hh"
 
 namespace lsdgnn {
 namespace riscv {
@@ -69,17 +70,33 @@ class QrchHub
      */
     void setConsumer(std::uint32_t qid, Consumer consumer);
 
+    /**
+     * Provide simulated time for trace counter events. The hub lives
+     * below the DES layer, so without a source the trace emission of
+     * queue depths stays off (statistics still accumulate).
+     */
+    void setTickSource(std::function<Tick()> now) { clock = std::move(now); }
+
     std::uint64_t totalEnqueues() const { return enqueues.value(); }
     std::uint64_t totalDequeues() const { return dequeues.value(); }
 
+    /** Queue-depth distribution observed at enqueue time. */
+    const stats::Histogram &occupancyHistogram() const { return depths; }
+
+    const stats::StatGroup &stats() const { return group; }
+
   private:
     void checkQid(std::uint32_t qid) const;
+    void traceDepth(std::uint32_t qid) const;
 
     std::vector<std::deque<std::uint32_t>> queues;
     std::vector<Consumer> consumers;
     std::uint32_t depth_;
+    std::function<Tick()> clock;
+    stats::StatGroup group{"riscv.qrch"};
     stats::Counter enqueues;
     stats::Counter dequeues;
+    stats::Histogram depths;
 };
 
 } // namespace riscv

@@ -9,6 +9,7 @@
 #include <string>
 
 #include "common/stats.hh"
+#include "common/trace.hh"
 #include "sim/event_queue.hh"
 
 namespace lsdgnn {
@@ -41,11 +42,25 @@ class Component
     Tick curTick() const { return eventq.now(); }
 
   protected:
+    /**
+     * This component's trace track, registered on first use. Only
+     * meaningful while tracing is enabled; callers guard emission
+     * with trace::Tracer::enabled().
+     */
+    trace::TrackId
+    traceTrack() const
+    {
+        if (traceTid == 0)
+            traceTid = trace::Tracer::instance().track(0, componentName);
+        return traceTid;
+    }
+
     EventQueue &eventq;
     stats::StatGroup statGroup;
 
   private:
     std::string componentName;
+    mutable trace::TrackId traceTid = 0;
 };
 
 } // namespace sim

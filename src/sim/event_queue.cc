@@ -1,5 +1,7 @@
 #include "event_queue.hh"
 
+#include "common/trace.hh"
+
 namespace lsdgnn {
 namespace sim {
 
@@ -40,7 +42,18 @@ EventQueue::step()
         lsd_assert(top.when >= currentTick, "event queue time went backward");
         currentTick = top.when;
         ++executedCount;
-        fn();
+        if (trace::Tracer::enabled()) {
+            auto &tracer = trace::Tracer::instance();
+            if (traceTid == 0)
+                traceTid = tracer.track(0, "sim.eventq");
+            tracer.begin(0, traceTid, "dispatch", currentTick);
+            fn();
+            // Simulated time cannot advance inside a callback, so the
+            // slice closes at its own tick (a zero-duration span).
+            tracer.end(0, traceTid, currentTick);
+        } else {
+            fn();
+        }
         return true;
     }
     return false;

@@ -111,6 +111,7 @@ class EventQueue
     std::uint64_t nextHandle = 0;
     std::uint64_t executedCount = 0;
     Tick currentTick = 0;
+    std::uint32_t traceTid = 0; ///< lazily registered dispatch track
 };
 
 } // namespace sim

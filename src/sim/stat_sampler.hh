@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Periodic statistics sampler.
+ *
+ * Snapshots registered statistics every N simulated ticks into
+ * time-series rows — the raw material for pipeline-occupancy and
+ * utilization curves (Fig. 7-style analysis) that end-of-run totals
+ * cannot show. Counters sample their running value, averages their
+ * running mean. When tracing is on, every sample also lands in the
+ * trace as a counter event, so Perfetto renders the same curves.
+ *
+ * The sampler rides the EventQueue it observes and stops itself when
+ * it finds the queue otherwise empty, so it never keeps a simulation
+ * alive on its own.
+ */
+
+#ifndef LSDGNN_SIM_STAT_SAMPLER_HH
+#define LSDGNN_SIM_STAT_SAMPLER_HH
+
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "sim/event_queue.hh"
+
+namespace lsdgnn {
+namespace sim {
+
+/**
+ * Time-series snapshotter over a set of StatGroups.
+ */
+class StatSampler
+{
+  public:
+    /**
+     * @param eq Event queue to ride (and source of sample times).
+     * @param period Ticks between snapshots.
+     */
+    StatSampler(EventQueue &eq, Tick period);
+
+    ~StatSampler() { stop(); }
+
+    StatSampler(const StatSampler &) = delete;
+    StatSampler &operator=(const StatSampler &) = delete;
+
+    /**
+     * Add one group's counters and averages to the column set. The
+     * group must outlive the sampler's last sample.
+     */
+    void watch(const stats::StatGroup &group);
+
+    /** Watch every group currently in the StatRegistry. */
+    void watchAll();
+
+    /**
+     * Take an immediate first snapshot and schedule the periodic
+     * ones. Columns are frozen at this point.
+     */
+    void start();
+
+    /** Cancel the pending snapshot event, keeping collected rows. */
+    void stop();
+
+    /** Column names, "group.stat" form. */
+    const std::vector<std::string> &columns() const { return columns_; }
+
+    /** One row per snapshot: the tick plus one value per column. */
+    struct Row {
+        Tick tick;
+        std::vector<double> values;
+    };
+
+    const std::vector<Row> &rows() const { return rows_; }
+
+    /** "tick,col,..." header plus one line per row. */
+    void exportCsv(std::ostream &os) const;
+
+    /** {"columns":[...],"rows":[[tick,v...],...]} */
+    void exportJson(std::ostream &os) const;
+
+  private:
+    void sample();
+    void arm();
+
+    EventQueue &eventq;
+    Tick period_;
+    bool running = false;
+    bool armed = false;
+    EventQueue::EventHandle handle = 0;
+    std::vector<const stats::StatGroup *> watched;
+    std::vector<std::string> columns_;
+    std::vector<Row> rows_;
+};
+
+} // namespace sim
+} // namespace lsdgnn
+
+#endif // LSDGNN_SIM_STAT_SAMPLER_HH

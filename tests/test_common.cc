@@ -7,8 +7,12 @@
 
 #include <set>
 #include <sstream>
+#include <thread>
+#include <vector>
 
+#include "common/logging.hh"
 #include "common/rng.hh"
+#include "common/stat_registry.hh"
 #include "common/stats.hh"
 #include "common/table.hh"
 #include "common/units.hh"
@@ -145,6 +149,192 @@ TEST(Stats, HistogramPercentile)
         h.sample(i + 0.5);
     EXPECT_NEAR(h.percentile(0.5), 50.0, 2.0);
     EXPECT_NEAR(h.percentile(0.99), 99.0, 2.0);
+}
+
+TEST(Stats, HistogramPercentileEmptyIsLo)
+{
+    stats::Histogram h(5.0, 25.0, 4);
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 5.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 5.0);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 5.0);
+}
+
+TEST(Stats, HistogramPercentileExtremes)
+{
+    stats::Histogram h(0.0, 100.0, 10);
+    h.sample(25.0);
+    h.sample(35.0);
+    h.sample(75.0);
+    // q=0: lower edge of the first populated bucket.
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 20.0);
+    // q=1: upper edge of the last populated bucket.
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 80.0);
+}
+
+TEST(Stats, HistogramPercentileAllInOverflow)
+{
+    stats::Histogram h(0.0, 10.0, 10);
+    h.sample(100.0);
+    h.sample(200.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 10.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.99), 10.0);
+    EXPECT_DOUBLE_EQ(h.percentile(1.0), 10.0);
+}
+
+TEST(Stats, HistogramPercentileAllInUnderflow)
+{
+    stats::Histogram h(10.0, 20.0, 10);
+    h.sample(1.0);
+    h.sample(2.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.0), 10.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 10.0);
+}
+
+TEST(Stats, HistogramPercentileMonotonic)
+{
+    stats::Histogram h(0.0, 64.0, 16);
+    Rng rng(31);
+    for (int i = 0; i < 1000; ++i)
+        h.sample(rng.nextDouble() * 80.0 - 8.0);
+    double prev = h.percentile(0.0);
+    for (double q = 0.05; q <= 1.0; q += 0.05) {
+        const double p = h.percentile(q);
+        EXPECT_GE(p, prev) << "q=" << q;
+        prev = p;
+    }
+}
+
+TEST(Stats, GroupHistogramRegistration)
+{
+    stats::StatGroup group("hg");
+    stats::Histogram h(0.0, 10.0, 10);
+    group.addHistogram("lat", &h, "latency distribution");
+    for (int i = 0; i < 10; ++i)
+        h.sample(i + 0.5);
+    EXPECT_TRUE(group.hasHistogram("lat"));
+    EXPECT_FALSE(group.hasHistogram("nope"));
+    EXPECT_EQ(group.histogram("lat").samples(), 10u);
+
+    std::ostringstream os;
+    group.report(os);
+    EXPECT_NE(os.str().find("hg.lat"), std::string::npos);
+    EXPECT_NE(os.str().find("p50="), std::string::npos);
+}
+
+TEST(Stats, GroupVisitorsSeeEveryKind)
+{
+    stats::StatGroup group("vg");
+    stats::Counter c;
+    stats::Average a;
+    stats::Histogram h;
+    group.addCounter("c", &c);
+    group.addAverage("a", &a);
+    group.addHistogram("h", &h);
+    int counters = 0, averages = 0, histograms = 0;
+    group.visitCounters([&](const std::string &, const stats::Counter &,
+                            const std::string &) { ++counters; });
+    group.visitAverages([&](const std::string &, const stats::Average &,
+                            const std::string &) { ++averages; });
+    group.visitHistograms([&](const std::string &,
+                              const stats::Histogram &,
+                              const std::string &) { ++histograms; });
+    EXPECT_EQ(counters, 1);
+    EXPECT_EQ(averages, 1);
+    EXPECT_EQ(histograms, 1);
+}
+
+TEST(StatRegistry, TracksGroupLifetime)
+{
+    auto live = [](const std::string &name) {
+        std::size_t n = 0;
+        for (const auto *g : stats::StatRegistry::instance().groups())
+            n += (g->name() == name);
+        return n;
+    };
+    EXPECT_EQ(live("registry.probe"), 0u);
+    {
+        stats::StatGroup group("registry.probe");
+        EXPECT_EQ(live("registry.probe"), 1u);
+    }
+    EXPECT_EQ(live("registry.probe"), 0u);
+}
+
+TEST(StatRegistry, ExportJsonCarriesStats)
+{
+    stats::StatGroup group("json.probe");
+    stats::Counter c;
+    stats::Average a;
+    stats::Histogram h(0.0, 10.0, 10);
+    group.addCounter("reqs", &c, "requests");
+    group.addAverage("lat", &a, "latency");
+    group.addHistogram("dist", &h, "distribution");
+    c.inc(7);
+    a.sample(2.0);
+    a.sample(4.0);
+    for (int i = 0; i < 10; ++i)
+        h.sample(i + 0.5);
+
+    std::ostringstream os;
+    stats::StatRegistry::instance().exportJson(os);
+    const std::string json = os.str();
+    EXPECT_NE(json.find("\"json.probe\""), std::string::npos);
+    EXPECT_NE(json.find("\"reqs\":7"), std::string::npos);
+    EXPECT_NE(json.find("\"mean\":3"), std::string::npos);
+    EXPECT_NE(json.find("\"p50\""), std::string::npos);
+    EXPECT_NE(json.find("\"p99\""), std::string::npos);
+}
+
+TEST(StatRegistry, ExportCsvHasHeaderAndRows)
+{
+    stats::StatGroup group("csv.probe");
+    stats::Counter c;
+    group.addCounter("hits", &c);
+    c.inc(3);
+    std::ostringstream os;
+    stats::StatRegistry::instance().exportCsv(os);
+    EXPECT_NE(os.str().find("group,stat,kind,value"), std::string::npos);
+    EXPECT_NE(os.str().find("csv.probe,hits,counter,3"),
+              std::string::npos);
+}
+
+TEST(Logging, ParseLevelNamesAndFallback)
+{
+    EXPECT_EQ(Logger::parseLevel("inform", LogLevel::Panic),
+              LogLevel::Inform);
+    EXPECT_EQ(Logger::parseLevel("info", LogLevel::Panic),
+              LogLevel::Inform);
+    EXPECT_EQ(Logger::parseLevel("warn", LogLevel::Panic),
+              LogLevel::Warn);
+    EXPECT_EQ(Logger::parseLevel("fatal", LogLevel::Panic),
+              LogLevel::Fatal);
+    EXPECT_EQ(Logger::parseLevel("panic", LogLevel::Inform),
+              LogLevel::Panic);
+    EXPECT_EQ(Logger::parseLevel("bogus", LogLevel::Warn),
+              LogLevel::Warn);
+}
+
+TEST(Logging, ConcurrentWarnCountingIsExact)
+{
+    Logger &logger = Logger::instance();
+    const LogLevel saved = logger.getThreshold();
+    logger.setThreshold(LogLevel::Fatal); // keep stderr quiet
+    const std::uint64_t before = logger.warnCount();
+
+    constexpr int threads = 4;
+    constexpr int per_thread = 250;
+    std::vector<std::thread> pool;
+    for (int t = 0; t < threads; ++t) {
+        pool.emplace_back([] {
+            for (int i = 0; i < per_thread; ++i)
+                lsd_warn("concurrent warn test");
+        });
+    }
+    for (auto &th : pool)
+        th.join();
+
+    EXPECT_EQ(logger.warnCount() - before,
+              std::uint64_t(threads) * per_thread);
+    logger.setThreshold(saved);
 }
 
 TEST(Stats, GroupReportsAndLooksUp)

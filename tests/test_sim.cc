@@ -5,10 +5,12 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
 #include <vector>
 
 #include "sim/event_queue.hh"
 #include "sim/fifo.hh"
+#include "sim/stat_sampler.hh"
 
 namespace lsdgnn {
 namespace sim {
@@ -113,6 +115,102 @@ TEST(EventQueue, SchedulingIntoThePastPanics)
     eq.schedule(100, [] {});
     eq.run();
     EXPECT_DEATH(eq.schedule(50, [] {}), "past");
+}
+
+TEST(StatSampler, SnapshotsAtPeriodAndStopsWithQueue)
+{
+    EventQueue eq;
+    stats::StatGroup group("sampler.test");
+    stats::Counter events;
+    group.addCounter("events", &events, "events fired");
+
+    eq.schedule(50, [&] { events.inc(); });
+    eq.schedule(150, [&] { events.inc(); });
+    eq.schedule(250, [&] { events.inc(); });
+
+    StatSampler sampler(eq, 100);
+    sampler.watch(group);
+    sampler.start();
+    eq.run();
+
+    ASSERT_EQ(sampler.columns().size(), 1u);
+    EXPECT_EQ(sampler.columns()[0], "sampler.test.events");
+    // Snapshots at 0 (start), 100, 200 and 300; the tick-300 sample
+    // finds the queue empty and the sampler retires itself, so the
+    // run terminates even though the sampler self-reschedules.
+    ASSERT_EQ(sampler.rows().size(), 4u);
+    const std::vector<Tick> ticks{0, 100, 200, 300};
+    const std::vector<double> values{0, 1, 2, 3};
+    for (std::size_t i = 0; i < 4; ++i) {
+        EXPECT_EQ(sampler.rows()[i].tick, ticks[i]);
+        EXPECT_DOUBLE_EQ(sampler.rows()[i].values[0], values[i]);
+    }
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(StatSampler, SamplesCounterValueAndAverageMean)
+{
+    EventQueue eq;
+    stats::StatGroup group("sampler.mixed");
+    stats::Counter c;
+    stats::Average a;
+    group.addCounter("c", &c);
+    group.addAverage("a", &a);
+    eq.schedule(10, [&] {
+        c.inc(4);
+        a.sample(1.0);
+        a.sample(3.0);
+    });
+    StatSampler sampler(eq, 20);
+    sampler.watch(group);
+    sampler.start();
+    eq.run();
+    // Columns are emitted counters-first within a group.
+    ASSERT_EQ(sampler.columns().size(), 2u);
+    ASSERT_EQ(sampler.rows().size(), 2u);
+    EXPECT_DOUBLE_EQ(sampler.rows()[1].values[0], 4.0);
+    EXPECT_DOUBLE_EQ(sampler.rows()[1].values[1], 2.0);
+}
+
+TEST(StatSampler, StopCancelsPendingEvent)
+{
+    EventQueue eq;
+    stats::StatGroup group("sampler.stop");
+    stats::Counter c;
+    group.addCounter("c", &c);
+    eq.schedule(1000, [] {});
+    StatSampler sampler(eq, 100);
+    sampler.watch(group);
+    sampler.start();
+    sampler.stop();
+    EXPECT_EQ(eq.pending(), 1u); // only the user event remains
+    eq.run();
+    EXPECT_EQ(sampler.rows().size(), 1u); // just the start snapshot
+}
+
+TEST(StatSampler, CsvAndJsonExports)
+{
+    EventQueue eq;
+    stats::StatGroup group("sampler.exp");
+    stats::Counter c;
+    group.addCounter("hits", &c);
+    eq.schedule(5, [&] { c.inc(2); });
+    StatSampler sampler(eq, 10);
+    sampler.watch(group);
+    sampler.start();
+    eq.run();
+
+    std::ostringstream csv;
+    sampler.exportCsv(csv);
+    EXPECT_NE(csv.str().find("tick,sampler.exp.hits"),
+              std::string::npos);
+    EXPECT_NE(csv.str().find("10,2"), std::string::npos);
+
+    std::ostringstream json;
+    sampler.exportJson(json);
+    EXPECT_NE(json.str().find("\"columns\":[\"sampler.exp.hits\"]"),
+              std::string::npos);
+    EXPECT_NE(json.str().find("[10,2]"), std::string::npos);
 }
 
 TEST(Fifo, PushPopFifoOrder)

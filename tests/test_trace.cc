@@ -1,0 +1,497 @@
+/**
+ * @file
+ * Trace-emitter and stat-export validation: a traced simulation must
+ * produce well-formed Chrome/Perfetto trace JSON (parseable, balanced
+ * B/E pairs, monotonic timestamps per track, the expected component
+ * tracks present), and StatRegistry::exportJson must round-trip
+ * through a JSON parser.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "axe/engine.hh"
+#include "common/stat_registry.hh"
+#include "common/trace.hh"
+#include "graph/generator.hh"
+
+namespace lsdgnn {
+namespace {
+
+// ---------------------------------------------------------------------
+// Minimal JSON parser — enough to validate trace output structurally.
+// Numbers are stored as double, objects/arrays recursively.
+// ---------------------------------------------------------------------
+
+struct JsonValue {
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0;
+    std::string str;
+    std::vector<JsonValue> array;
+    std::map<std::string, JsonValue> object;
+
+    bool isObject() const { return kind == Kind::Object; }
+    bool isArray() const { return kind == Kind::Array; }
+
+    const JsonValue *
+    find(const std::string &key) const
+    {
+        auto it = object.find(key);
+        return it == object.end() ? nullptr : &it->second;
+    }
+};
+
+class JsonParser
+{
+  public:
+    explicit JsonParser(std::string text) : text_(std::move(text)) {}
+
+    bool
+    parse(JsonValue &out)
+    {
+        if (!value(out))
+            return false;
+        skipWs();
+        return pos_ == text_.size(); // no trailing garbage
+    }
+
+  private:
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    bool
+    literal(const char *lit)
+    {
+        const std::size_t n = std::string_view(lit).size();
+        if (text_.compare(pos_, n, lit) != 0)
+            return false;
+        pos_ += n;
+        return true;
+    }
+
+    bool
+    value(JsonValue &out)
+    {
+        skipWs();
+        if (pos_ >= text_.size())
+            return false;
+        const char c = text_[pos_];
+        if (c == '{')
+            return object(out);
+        if (c == '[')
+            return array(out);
+        if (c == '"') {
+            out.kind = JsonValue::Kind::String;
+            return string(out.str);
+        }
+        if (c == 't') {
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = true;
+            return literal("true");
+        }
+        if (c == 'f') {
+            out.kind = JsonValue::Kind::Bool;
+            return literal("false");
+        }
+        if (c == 'n')
+            return literal("null");
+        return number(out);
+    }
+
+    bool
+    string(std::string &out)
+    {
+        if (text_[pos_] != '"')
+            return false;
+        ++pos_;
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+            if (text_[pos_] == '\\') {
+                if (pos_ + 1 >= text_.size())
+                    return false;
+                const char esc = text_[pos_ + 1];
+                if (esc == 'u') {
+                    if (pos_ + 5 >= text_.size())
+                        return false;
+                    pos_ += 6;
+                    out += '?';
+                    continue;
+                }
+                switch (esc) {
+                  case '"': out += '"'; break;
+                  case '\\': out += '\\'; break;
+                  case '/': out += '/'; break;
+                  case 'n': out += '\n'; break;
+                  case 't': out += '\t'; break;
+                  case 'r': out += '\r'; break;
+                  case 'b': out += '\b'; break;
+                  case 'f': out += '\f'; break;
+                  default: return false;
+                }
+                pos_ += 2;
+            } else {
+                out += text_[pos_++];
+            }
+        }
+        if (pos_ >= text_.size())
+            return false;
+        ++pos_; // closing quote
+        return true;
+    }
+
+    bool
+    number(JsonValue &out)
+    {
+        const char *start = text_.c_str() + pos_;
+        char *end = nullptr;
+        out.number = std::strtod(start, &end);
+        if (end == start)
+            return false;
+        out.kind = JsonValue::Kind::Number;
+        pos_ += static_cast<std::size_t>(end - start);
+        return true;
+    }
+
+    bool
+    array(JsonValue &out)
+    {
+        out.kind = JsonValue::Kind::Array;
+        ++pos_; // '['
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == ']') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            JsonValue elem;
+            if (!value(elem))
+                return false;
+            out.array.push_back(std::move(elem));
+            skipWs();
+            if (pos_ >= text_.size())
+                return false;
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == ']') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    object(JsonValue &out)
+    {
+        out.kind = JsonValue::Kind::Object;
+        ++pos_; // '{'
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == '}') {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            std::string key;
+            if (pos_ >= text_.size() || !string(key))
+                return false;
+            skipWs();
+            if (pos_ >= text_.size() || text_[pos_] != ':')
+                return false;
+            ++pos_;
+            JsonValue val;
+            if (!value(val))
+                return false;
+            out.object.emplace(std::move(key), std::move(val));
+            skipWs();
+            if (pos_ >= text_.size())
+                return false;
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == '}') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    std::string text_;
+    std::size_t pos_ = 0;
+};
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+// Run a small PoC configuration with every trace source active:
+// multi-node for remote traffic, MoF packing endpoint in front of the
+// remote link, coalescing cache and OoO load unit on.
+void
+runTracedSim()
+{
+    graph::GeneratorParams p;
+    p.num_nodes = 2000;
+    p.num_edges = 30000;
+    p.min_degree = 1;
+    p.seed = 101;
+    const graph::CsrGraph g = graph::generatePowerLawGraph(p);
+
+    axe::AxeConfig cfg = axe::AxeConfig::poc();
+    cfg.num_nodes = 4;
+    cfg.mof_packing = true;
+    axe::AccessEngine engine(cfg, g, 256);
+
+    sampling::SamplePlan plan;
+    plan.batch_size = 32;
+    plan.fanouts = {5, 5};
+    engine.run(plan, 2);
+}
+
+class TraceFile : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        path_ = new std::string(::testing::TempDir() +
+                                "lsdgnn_trace_test.json");
+        trace::Tracer::instance().open(*path_);
+        ASSERT_TRUE(trace::Tracer::enabled());
+        runTracedSim();
+        trace::Tracer::instance().close();
+        ASSERT_FALSE(trace::Tracer::enabled());
+
+        root_ = new JsonValue;
+        JsonParser parser(slurp(*path_));
+        parsed_ = parser.parse(*root_);
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        std::remove(path_->c_str());
+        delete path_;
+        delete root_;
+        path_ = nullptr;
+        root_ = nullptr;
+    }
+
+    static std::string *path_;
+    static JsonValue *root_;
+    static bool parsed_;
+};
+
+std::string *TraceFile::path_ = nullptr;
+JsonValue *TraceFile::root_ = nullptr;
+bool TraceFile::parsed_ = false;
+
+TEST_F(TraceFile, ParsesAsEventArray)
+{
+    ASSERT_TRUE(parsed_);
+    ASSERT_TRUE(root_->isArray());
+    ASSERT_GT(root_->array.size(), 10u);
+    for (const JsonValue &ev : root_->array) {
+        ASSERT_TRUE(ev.isObject());
+        const JsonValue *ph = ev.find("ph");
+        ASSERT_NE(ph, nullptr);
+        EXPECT_EQ(ph->str.size(), 1u);
+    }
+}
+
+TEST_F(TraceFile, HasExpectedComponentTracks)
+{
+    ASSERT_TRUE(parsed_);
+    std::vector<std::string> tracks;
+    for (const JsonValue &ev : root_->array) {
+        if (ev.find("ph")->str != "M")
+            continue;
+        const JsonValue *args = ev.find("args");
+        ASSERT_NE(args, nullptr);
+        tracks.push_back(args->find("name")->str);
+    }
+    auto has = [&](const std::string &name) {
+        for (const auto &t : tracks)
+            if (t == name)
+                return true;
+        return false;
+    };
+    EXPECT_GE(tracks.size(), 4u); // eventq + 2 cores + mof endpoint
+    EXPECT_TRUE(has("sim.eventq"));
+    EXPECT_TRUE(has("axe.core0"));
+    EXPECT_TRUE(has("axe.core1"));
+    EXPECT_TRUE(has("mof.endpoint"));
+}
+
+TEST_F(TraceFile, CacheAndLinkCounterSeriesPresent)
+{
+    ASSERT_TRUE(parsed_);
+    std::map<std::string, std::size_t> series;
+    for (const JsonValue &ev : root_->array) {
+        if (ev.find("ph")->str != "C")
+            continue;
+        const JsonValue *name = ev.find("name");
+        ASSERT_NE(name, nullptr);
+        const JsonValue *args = ev.find("args");
+        ASSERT_NE(args, nullptr);
+        ASSERT_NE(args->find("value"), nullptr);
+        ++series[name->str];
+    }
+    auto hasSuffix = [&](const std::string &suffix) {
+        for (const auto &[name, n] : series)
+            if (name.size() >= suffix.size() &&
+                name.compare(name.size() - suffix.size(),
+                             suffix.size(), suffix) == 0)
+                return true;
+        return false;
+    };
+    EXPECT_TRUE(hasSuffix(".cache.hit_rate"));
+    EXPECT_TRUE(hasSuffix(".in_flight_bytes"));
+    EXPECT_TRUE(hasSuffix(".staged"));
+    EXPECT_TRUE(hasSuffix(".outstanding"));
+}
+
+TEST_F(TraceFile, BeginEndPairsBalancePerTrack)
+{
+    ASSERT_TRUE(parsed_);
+    std::map<std::pair<double, double>, long> depth;
+    for (const JsonValue &ev : root_->array) {
+        const std::string &ph = ev.find("ph")->str;
+        if (ph != "B" && ph != "E")
+            continue;
+        const auto key = std::make_pair(ev.find("pid")->number,
+                                        ev.find("tid")->number);
+        depth[key] += (ph == "B") ? 1 : -1;
+        ASSERT_GE(depth[key], 0) << "E without matching B";
+    }
+    for (const auto &[key, d] : depth)
+        EXPECT_EQ(d, 0) << "unbalanced track tid=" << key.second;
+}
+
+TEST_F(TraceFile, DispatchTimestampsMonotonic)
+{
+    ASSERT_TRUE(parsed_);
+    // Find the eventq dispatch track id.
+    double eventq_tid = -1;
+    for (const JsonValue &ev : root_->array) {
+        if (ev.find("ph")->str == "M" &&
+            ev.find("args")->find("name")->str == "sim.eventq") {
+            eventq_tid = ev.find("tid")->number;
+            break;
+        }
+    }
+    ASSERT_GE(eventq_tid, 0);
+    double prev = -1;
+    std::size_t dispatches = 0;
+    for (const JsonValue &ev : root_->array) {
+        if (ev.find("ph")->str != "B")
+            continue;
+        const JsonValue *tid = ev.find("tid");
+        if (tid == nullptr || tid->number != eventq_tid)
+            continue;
+        const double ts = ev.find("ts")->number;
+        EXPECT_GE(ts, prev);
+        prev = ts;
+        ++dispatches;
+    }
+    EXPECT_GT(dispatches, 10u);
+}
+
+TEST_F(TraceFile, CompleteSlicesHaveDurations)
+{
+    ASSERT_TRUE(parsed_);
+    std::size_t slices = 0;
+    for (const JsonValue &ev : root_->array) {
+        if (ev.find("ph")->str != "X")
+            continue;
+        ASSERT_NE(ev.find("dur"), nullptr);
+        EXPECT_GE(ev.find("dur")->number, 0.0);
+        ++slices;
+    }
+    EXPECT_GT(slices, 0u); // GetNeighbor/GetSample/GetAttribute/package
+}
+
+TEST(TraceDisabled, EmissionIsNoOp)
+{
+    ASSERT_FALSE(trace::Tracer::enabled());
+    trace::Tracer &t = trace::Tracer::instance();
+    EXPECT_EQ(t.track(0, "nope"), 0u);
+    t.begin(0, 1, "x", 100);
+    t.end(0, 1, 200);
+    t.counter(0, "c", 100, 1.0);
+    EXPECT_EQ(t.path(), "");
+}
+
+TEST(StatExport, RegistryJsonRoundTrips)
+{
+    graph::GeneratorParams p;
+    p.num_nodes = 1000;
+    p.num_edges = 10000;
+    p.min_degree = 1;
+    p.seed = 7;
+    const graph::CsrGraph g = graph::generatePowerLawGraph(p);
+    axe::AxeConfig cfg = axe::AxeConfig::poc();
+    cfg.num_nodes = 4;
+    cfg.mof_packing = true;
+    axe::AccessEngine engine(cfg, g, 128);
+    sampling::SamplePlan plan;
+    plan.batch_size = 16;
+    plan.fanouts = {5};
+    engine.run(plan, 1);
+
+    std::ostringstream os;
+    stats::StatRegistry::instance().exportJson(os);
+    JsonValue root;
+    JsonParser parser(os.str());
+    ASSERT_TRUE(parser.parse(root));
+    ASSERT_TRUE(root.isObject());
+    const JsonValue *groups = root.find("groups");
+    ASSERT_NE(groups, nullptr);
+    ASSERT_TRUE(groups->isArray());
+    ASSERT_GT(groups->array.size(), 3u);
+
+    bool found_counter = false, found_average = false,
+         found_histogram = false;
+    for (const JsonValue &group : groups->array) {
+        ASSERT_TRUE(group.isObject());
+        ASSERT_NE(group.find("name"), nullptr);
+        found_counter |= !group.find("counters")->object.empty();
+        found_average |= !group.find("averages")->object.empty();
+        const JsonValue *hists = group.find("histograms");
+        for (const auto &[name, h] : hists->object) {
+            found_histogram = true;
+            EXPECT_NE(h.find("p50"), nullptr) << name;
+            EXPECT_NE(h.find("p99"), nullptr) << name;
+            EXPECT_NE(h.find("buckets"), nullptr) << name;
+        }
+    }
+    EXPECT_TRUE(found_counter);
+    EXPECT_TRUE(found_average);
+    EXPECT_TRUE(found_histogram);
+}
+
+} // namespace
+} // namespace lsdgnn
