@@ -48,21 +48,43 @@ jsonRequested(int argc, char **argv)
 }
 
 /**
+ * Wall-clock run metadata for harnesses that measure real elapsed
+ * time (the service benches) rather than simulated ticks. `extra`
+ * is spliced verbatim into the meta object and must be empty or a
+ * leading-comma key sequence, e.g. `,"workers":4`.
+ */
+struct RunMeta
+{
+    unsigned threads = 1;
+    double wall_s = 0.0;
+    std::string extra;
+};
+
+/**
  * Snapshot every live StatGroup as one JSON line:
- * {"bench":"<name>","stats":{"groups":[...]}}
+ * {"bench":"<name>","meta":{...},"stats":{"groups":[...]}}
  * Call while the simulated components are still alive — groups leave
  * the registry when their owners are destroyed.
  */
 inline std::string
-jsonSummary(const std::string &bench_name)
+jsonSummary(const std::string &bench_name, const RunMeta &meta)
 {
     std::ostringstream os;
     std::string escaped;
     trace::appendEscaped(escaped, bench_name);
-    os << "{\"bench\":\"" << escaped << "\",\"stats\":";
+    os << "{\"bench\":\"" << escaped << "\",\"meta\":{\"threads\":"
+       << meta.threads << ",\"wall_s\":" << meta.wall_s << meta.extra
+       << "},\"stats\":";
     stats::StatRegistry::instance().exportJson(os);
     os << "}";
     return os.str();
+}
+
+/** Single-threaded harness convenience overload (no wall clock). */
+inline std::string
+jsonSummary(const std::string &bench_name)
+{
+    return jsonSummary(bench_name, RunMeta{});
 }
 
 /** Format a double with unit-style suffix (K/M/G). */

@@ -47,22 +47,33 @@ void
 StatRegistry::add(StatGroup *group)
 {
     lsd_assert(group != nullptr, "null group registered");
+    std::lock_guard<std::mutex> lock(mutex_);
     groups_.push_back(group);
 }
 
 void
 StatRegistry::remove(StatGroup *group)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     auto it = std::find(groups_.begin(), groups_.end(), group);
     if (it != groups_.end())
         groups_.erase(it);
+}
+
+std::vector<StatGroup *>
+StatRegistry::groups() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return groups_;
 }
 
 void
 StatRegistry::forEach(
     const std::function<void(const StatGroup &)> &fn) const
 {
-    for (const StatGroup *group : groups_)
+    // Snapshot first: fn may take arbitrarily long, and holding the
+    // lock across it would stall group construction on worker threads.
+    for (const StatGroup *group : groups())
         fn(*group);
 }
 
@@ -105,6 +116,7 @@ exportGroupJson(const StatGroup &group, std::ostream &os)
            << ",\"over\":" << h.overflow()
            << ",\"p50\":" << jsonNumber(h.percentile(0.5))
            << ",\"p90\":" << jsonNumber(h.percentile(0.9))
+           << ",\"p95\":" << jsonNumber(h.percentile(0.95))
            << ",\"p99\":" << jsonNumber(h.percentile(0.99))
            << ",\"buckets\":[";
         for (std::size_t i = 0; i < h.buckets(); ++i)
@@ -120,7 +132,7 @@ StatRegistry::exportJson(std::ostream &os) const
 {
     os << "{\"groups\":[";
     bool first = true;
-    for (const StatGroup *group : groups_) {
+    for (const StatGroup *group : groups()) {
         if (!first)
             os << ",";
         exportGroupJson(*group, os);
@@ -133,7 +145,7 @@ void
 StatRegistry::exportCsv(std::ostream &os) const
 {
     os << "group,stat,kind,value\n";
-    for (const StatGroup *group : groups_) {
+    for (const StatGroup *group : groups()) {
         group->visitCounters([&](const std::string &name,
                                  const Counter &c, const std::string &) {
             os << group->name() << "," << name << ",counter,"
@@ -149,6 +161,8 @@ StatRegistry::exportCsv(std::ostream &os) const
                                    const std::string &) {
             os << group->name() << "," << name << ",p50,"
                << jsonNumber(h.percentile(0.5)) << "\n";
+            os << group->name() << "," << name << ",p95,"
+               << jsonNumber(h.percentile(0.95)) << "\n";
             os << group->name() << "," << name << ",p99,"
                << jsonNumber(h.percentile(0.99)) << "\n";
         });
@@ -158,7 +172,7 @@ StatRegistry::exportCsv(std::ostream &os) const
 void
 StatRegistry::reportAll(std::ostream &os) const
 {
-    for (const StatGroup *group : groups_)
+    for (const StatGroup *group : groups())
         group->report(os);
 }
 

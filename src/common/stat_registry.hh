@@ -15,6 +15,7 @@
 #define LSDGNN_COMMON_STAT_REGISTRY_HH
 
 #include <functional>
+#include <mutex>
 #include <ostream>
 #include <vector>
 
@@ -29,6 +30,14 @@ namespace stats {
  * Group names may repeat (two engines in one process both build an
  * "axe.core0"); consumers disambiguate by order or scope their
  * measurement windows.
+ *
+ * Registration, removal and enumeration are serialized by an internal
+ * mutex, so StatGroups may be constructed and destroyed concurrently
+ * from worker threads (the service layer builds one group per worker
+ * in the worker's own thread). The *values* inside a group stay
+ * owner-synchronized: exporting while another thread mutates a
+ * counter yields a torn-but-harmless snapshot, so quiesce writers
+ * (join workers) before exporting when exact numbers matter.
  */
 class StatRegistry
 {
@@ -36,8 +45,8 @@ class StatRegistry
     /** The process-wide registry. */
     static StatRegistry &instance();
 
-    /** Live groups, oldest first. */
-    const std::vector<StatGroup *> &groups() const { return groups_; }
+    /** Snapshot of the live groups, oldest first. */
+    std::vector<StatGroup *> groups() const;
 
     /** Invoke @p fn on every live group. */
     void forEach(const std::function<void(const StatGroup &)> &fn) const;
@@ -46,7 +55,7 @@ class StatRegistry
      * Write one JSON object:
      * {"groups":[{"name":...,"counters":{...},"averages":{...},
      *             "histograms":{...}}, ...]}
-     * Histograms carry sample counts, tails and p50/p90/p99.
+     * Histograms carry sample counts, tails and p50/p90/p95/p99.
      */
     void exportJson(std::ostream &os) const;
 
@@ -66,6 +75,7 @@ class StatRegistry
   private:
     StatRegistry() = default;
 
+    mutable std::mutex mutex_;
     std::vector<StatGroup *> groups_;
 };
 

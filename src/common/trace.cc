@@ -11,8 +11,9 @@ namespace trace {
 // Deliberately an out-of-line definition: every emission site that
 // checks Tracer::enabled() then references this translation unit, so
 // the static initializer below (the LSDGNN_TRACE env hook) is linked
-// into any binary that can trace at all.
-bool Tracer::enabled_ = false;
+// into any binary that can trace at all. Atomic because service-layer
+// worker threads read it while the main thread opens/closes traces.
+std::atomic<bool> Tracer::enabled_{false};
 
 namespace {
 
@@ -69,7 +70,8 @@ Tracer::instance()
 void
 Tracer::open(const std::string &path)
 {
-    close();
+    std::lock_guard<std::mutex> lock(mutex_);
+    closeLocked();
     out.open(path, std::ios::trunc);
     if (!out) {
         lsd_warn("cannot open trace file '", path, "'; tracing stays off");
@@ -81,24 +83,32 @@ Tracer::open(const std::string &path)
     nextTrack = 1;
     tracks.clear();
     out << "[";
-    enabled_ = true;
+    enabled_.store(true, std::memory_order_relaxed);
 }
 
 void
 Tracer::close()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    closeLocked();
+}
+
+void
+Tracer::closeLocked()
 {
     if (!out.is_open())
         return;
     out << "\n]\n";
     out.close();
     path_.clear();
-    enabled_ = false;
+    enabled_.store(false, std::memory_order_relaxed);
 }
 
 TrackId
 Tracer::track(std::uint32_t pid, const std::string &name)
 {
-    if (!enabled_)
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!out.is_open())
         return 0;
     const auto key = std::make_pair(pid, name);
     auto it = tracks.find(key);
@@ -131,7 +141,8 @@ void
 Tracer::begin(std::uint32_t pid, TrackId tid, std::string_view name,
               Tick ts)
 {
-    if (!enabled_)
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!out.is_open())
         return;
     std::string escaped;
     appendEscaped(escaped, name);
@@ -145,7 +156,8 @@ Tracer::begin(std::uint32_t pid, TrackId tid, std::string_view name,
 void
 Tracer::end(std::uint32_t pid, TrackId tid, Tick ts)
 {
-    if (!enabled_)
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!out.is_open())
         return;
     finish();
     out << "{\"ph\":\"E\",\"pid\":" << pid << ",\"tid\":" << tid
@@ -157,7 +169,8 @@ void
 Tracer::complete(std::uint32_t pid, TrackId tid, std::string_view name,
                  Tick ts, Tick dur, std::string_view args)
 {
-    if (!enabled_)
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!out.is_open())
         return;
     std::string escaped;
     appendEscaped(escaped, name);
@@ -175,7 +188,8 @@ void
 Tracer::counter(std::uint32_t pid, std::string_view name, Tick ts,
                 double value)
 {
-    if (!enabled_)
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!out.is_open())
         return;
     std::string escaped;
     appendEscaped(escaped, name);

@@ -18,9 +18,11 @@
 #ifndef LSDGNN_COMMON_TRACE_HH
 #define LSDGNN_COMMON_TRACE_HH
 
+#include <atomic>
 #include <cstdint>
 #include <fstream>
 #include <map>
+#include <mutex>
 #include <string>
 #include <string_view>
 
@@ -35,8 +37,12 @@ using TrackId = std::uint32_t;
 /**
  * Process-wide trace sink.
  *
- * Single-threaded by design, like the simulator it observes: all
- * emission happens from the event loop.
+ * Emission is thread-safe: the simulator emits from its single event
+ * loop, but the wall-clock service layer emits from worker threads, so
+ * every event write (and track registration) is serialized by an
+ * internal mutex. open()/close() must not race with in-flight
+ * emission from other threads — open before starting workers, close
+ * after joining them.
  */
 class Tracer
 {
@@ -48,7 +54,10 @@ class Tracer
      * Cheap global enable check; every emission site guards on this
      * so a disabled tracer costs one predictable branch.
      */
-    static bool enabled() { return enabled_; }
+    static bool enabled()
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
 
     /**
      * Start writing a trace to @p path (truncates). Re-opening closes
@@ -93,7 +102,11 @@ class Tracer
                  double value);
 
     /** Events written to the current file so far. */
-    std::uint64_t eventsEmitted() const { return emitted; }
+    std::uint64_t eventsEmitted() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return emitted;
+    }
 
     ~Tracer() { close(); }
 
@@ -106,9 +119,12 @@ class Tracer
     void header(char ph, std::uint32_t pid, Tick ts);
     void field(std::string_view key, std::string_view value);
     void finish();
+    void closeLocked();
 
-    static bool enabled_; // defined in trace.cc; see note there
+    // Defined in trace.cc; see note there.
+    static std::atomic<bool> enabled_;
 
+    mutable std::mutex mutex_; ///< serializes emission across threads
     std::ofstream out;
     std::string path_;
     bool first = true;

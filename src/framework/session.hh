@@ -64,6 +64,22 @@ struct SessionConfig {
 
 /**
  * One LSD-GNN serving/training session.
+ *
+ * Thread-safety contract: a Session is NOT thread-safe. Sampling and
+ * the modeled-throughput query mutate internal state (the RNG stream,
+ * traffic accounting, the hot-node cache, stat counters) without any
+ * locking, so all calls on one instance must come from a single
+ * thread — the service layer (src/service) gives each worker thread
+ * its own Session shard for exactly this reason, offsetting the seed
+ * per worker to decorrelate streams.
+ *
+ * The exceptions are the pure const accessors over immutable
+ * post-construction state — config(), graph(), dataset(),
+ * nodeAttributes() and embed() — which may be called concurrently
+ * with each other (but not with the mutating calls). traffic(),
+ * hotCacheHitRate() and batchesSampled() are const but read state
+ * written by sampleBatch(), so they are only safe once the sampling
+ * thread has quiesced.
  */
 class Session
 {

@@ -1,0 +1,122 @@
+#include "batcher.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.hh"
+
+namespace lsdgnn {
+namespace service {
+
+Batcher::Batcher(BatcherConfig config) : config_(config)
+{
+    lsd_assert(config_.max_requests > 0, "batcher needs max_requests");
+    lsd_assert(config_.max_roots > 0, "batcher needs max_roots");
+}
+
+bool
+Batcher::collect(RequestQueue &queue, std::vector<Request> &out) const
+{
+    out.clear();
+    auto first = queue.pop();
+    if (!first)
+        return false;
+    std::uint64_t roots = first->plan.batch_size;
+    const auto window_end = Clock::now() + config_.window;
+    out.push_back(std::move(*first));
+
+    while (out.size() < config_.max_requests && roots < config_.max_roots) {
+        // Snapshot the arrival counter *before* scanning so an
+        // arrival racing with the scan wakes the wait immediately.
+        const std::uint64_t seen = queue.arrivals();
+        if (auto rider = queue.popCompatible(out.front().plan,
+                                             config_.max_roots - roots)) {
+            roots += rider->plan.batch_size;
+            out.push_back(std::move(*rider));
+            continue;
+        }
+        if (config_.window.count() == 0 || Clock::now() >= window_end)
+            break;
+        if (!queue.waitForArrival(seen, window_end))
+            break; // aged out, or the queue closed
+    }
+    return true;
+}
+
+sampling::SamplePlan
+Batcher::merge(const std::vector<Request> &batch)
+{
+    lsd_assert(!batch.empty(), "cannot merge an empty batch");
+    sampling::SamplePlan plan = batch.front().plan;
+    std::uint64_t roots = 0;
+    for (const Request &req : batch) {
+        lsd_assert(batchCompatible(req.plan, plan),
+                   "incompatible rider in micro-batch");
+        roots += req.plan.batch_size;
+    }
+    plan.batch_size = static_cast<std::uint32_t>(roots);
+    return plan;
+}
+
+std::vector<sampling::SampleResult>
+Batcher::split(const sampling::SampleResult &merged,
+               const std::vector<std::uint32_t> &root_counts)
+{
+    const std::size_t parts = root_counts.size();
+    lsd_assert(parts > 0, "split needs at least one part");
+
+    const std::uint64_t total_roots = std::accumulate(
+        root_counts.begin(), root_counts.end(), std::uint64_t{0});
+    lsd_assert(total_roots == merged.roots.size(),
+               "root counts (", total_roots, ") do not cover merged roots (",
+               merged.roots.size(), ")");
+
+    const std::size_t hops = merged.frontier.size();
+    std::vector<sampling::SampleResult> out(parts);
+
+    // Roots: rider i owns the contiguous slice [offset_i, offset_i+n_i).
+    // owner/remap describe, for every entry of the *previous* merged
+    // level, which rider it belongs to and its index inside that
+    // rider's copy of the level; hop h rewires its parent indices
+    // through them.
+    std::vector<std::uint32_t> owner(merged.roots.size());
+    std::vector<std::uint32_t> remap(merged.roots.size());
+    {
+        std::size_t idx = 0;
+        for (std::size_t i = 0; i < parts; ++i) {
+            out[i].frontier.resize(hops);
+            out[i].parent.resize(hops);
+            for (std::uint32_t j = 0; j < root_counts[i]; ++j, ++idx) {
+                out[i].roots.push_back(merged.roots[idx]);
+                owner[idx] = static_cast<std::uint32_t>(i);
+                remap[idx] = j;
+            }
+        }
+    }
+
+    for (std::size_t h = 0; h < hops; ++h) {
+        const auto &frontier = merged.frontier[h];
+        const auto &parent = merged.parent[h];
+        lsd_assert(frontier.size() == parent.size(),
+                   "merged frontier/parent size mismatch at hop ", h);
+        std::vector<std::uint32_t> next_owner(frontier.size());
+        std::vector<std::uint32_t> next_remap(frontier.size());
+        for (std::size_t j = 0; j < frontier.size(); ++j) {
+            const std::uint32_t p = parent[j];
+            lsd_assert(p < owner.size(),
+                       "parent index out of range at hop ", h);
+            const std::uint32_t o = next_owner[j] = owner[p];
+            auto &sub = out[o];
+            next_remap[j] =
+                static_cast<std::uint32_t>(sub.frontier[h].size());
+            sub.frontier[h].push_back(frontier[j]);
+            sub.parent[h].push_back(remap[p]);
+        }
+        owner = std::move(next_owner);
+        remap = std::move(next_remap);
+    }
+    return out;
+}
+
+} // namespace service
+} // namespace lsdgnn

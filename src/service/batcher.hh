@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Dynamic micro-batching of compatible sampling requests.
+ *
+ * The software analogue of MoF's Tech-1 request packing, applied one
+ * layer up: where the MoF endpoint coalesces memory requests into one
+ * fabric package inside a staging/aging window, the Batcher coalesces
+ * *service* requests with the same plan shape into one backend
+ * execution inside a wall-clock aging window. One merged
+ * `sampleBatch` call amortizes per-command overhead (and, on the
+ * AxeOffload backend, per-Table-4-command cost) across every rider.
+ *
+ * A micro-batch closes when any of three limits is hit:
+ *   - `max_requests` riders collected,
+ *   - `max_roots` total merged batch size reached,
+ *   - the aging `window` since the first (oldest) rider expired.
+ *
+ * Merging concatenates root ranges; splitting walks the merged
+ * result's parent chains and hands every frontier entry back to the
+ * request that owns its root, with parent indices remapped into the
+ * per-request sub-frontier. Requests therefore receive exactly the
+ * SampleResult they would have gotten from a lone execution with the
+ * same root draw.
+ */
+
+#ifndef LSDGNN_SERVICE_BATCHER_HH
+#define LSDGNN_SERVICE_BATCHER_HH
+
+#include <chrono>
+#include <vector>
+
+#include "service/request_queue.hh"
+
+namespace lsdgnn {
+namespace service {
+
+/** Micro-batching knobs. */
+struct BatcherConfig {
+    /** Max requests coalesced into one backend execution. */
+    std::uint32_t max_requests = 8;
+    /** Cap on the merged batch_size (sum of rider batch sizes). */
+    std::uint64_t max_roots = 4096;
+    /** Aging window: how long the first rider waits for company. */
+    std::chrono::microseconds window{200};
+};
+
+/** Collects, merges and splits micro-batches. Stateless per batch. */
+class Batcher
+{
+  public:
+    explicit Batcher(BatcherConfig config);
+
+    const BatcherConfig &config() const { return config_; }
+
+    /**
+     * Blocking: collect one micro-batch from @p queue into @p out
+     * (cleared first). Returns false only when the queue is closed
+     * and drained; otherwise at least one request is delivered.
+     */
+    bool collect(RequestQueue &queue, std::vector<Request> &out) const;
+
+    /** One plan covering every rider (batch_size = sum of riders). */
+    static sampling::SamplePlan merge(const std::vector<Request> &batch);
+
+    /**
+     * Partition @p merged back into per-rider results.
+     *
+     * @param merged Result of executing the merged plan.
+     * @param root_counts batch_size of each rider, in merge order;
+     *        must sum to merged.roots.size().
+     */
+    static std::vector<sampling::SampleResult>
+    split(const sampling::SampleResult &merged,
+          const std::vector<std::uint32_t> &root_counts);
+
+  private:
+    BatcherConfig config_;
+};
+
+} // namespace service
+} // namespace lsdgnn
+
+#endif // LSDGNN_SERVICE_BATCHER_HH

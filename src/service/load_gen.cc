@@ -1,0 +1,148 @@
+#include "load_gen.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace lsdgnn {
+namespace service {
+
+namespace {
+
+/** Exact percentile from an unsorted latency sample (sorts in place). */
+double
+exactPercentile(std::vector<double> &v, double q)
+{
+    if (v.empty())
+        return 0.0;
+    std::sort(v.begin(), v.end());
+    const auto idx = static_cast<std::size_t>(
+        q * static_cast<double>(v.size() - 1) + 0.5);
+    return v[std::min(idx, v.size() - 1)];
+}
+
+/** Fold one reply into the tallies. */
+void
+tally(LoadGenReport &report, const Reply &reply,
+      std::vector<double> &latencies)
+{
+    switch (reply.status) {
+      case ReplyStatus::Ok:
+        ++report.ok;
+        latencies.push_back(reply.e2e_us);
+        break;
+      case ReplyStatus::Rejected: ++report.rejected; break;
+      case ReplyStatus::Dropped: ++report.dropped; break;
+      case ReplyStatus::Cancelled: ++report.cancelled; break;
+    }
+}
+
+void
+finalize(LoadGenReport &report, std::vector<double> &latencies,
+         Clock::time_point start, Clock::time_point end)
+{
+    report.wall_s = elapsedUs(start, end) / 1e6;
+    if (report.wall_s > 0) {
+        report.offered_qps =
+            static_cast<double>(report.offered) / report.wall_s;
+        report.goodput_qps =
+            static_cast<double>(report.ok) / report.wall_s;
+    }
+    double sum = 0.0;
+    for (double v : latencies)
+        sum += v;
+    report.mean_us =
+        latencies.empty() ? 0.0
+                          : sum / static_cast<double>(latencies.size());
+    report.p50_us = exactPercentile(latencies, 0.50);
+    report.p95_us = exactPercentile(latencies, 0.95);
+    report.p99_us = exactPercentile(latencies, 0.99);
+}
+
+} // namespace
+
+LoadGenReport
+LoadGenerator::runOpenLoop(const sampling::SamplePlan &plan,
+                           double target_qps,
+                           std::chrono::milliseconds duration,
+                           std::uint64_t seed)
+{
+    LoadGenReport report;
+    std::vector<double> latencies;
+    Rng rng(seed);
+
+    std::vector<std::future<Reply>> futures;
+    futures.reserve(static_cast<std::size_t>(
+        target_qps * std::chrono::duration<double>(duration).count() *
+            1.25 + 16));
+
+    const auto start = Clock::now();
+    const auto end_at = start + duration;
+    auto next_arrival = start;
+    while (next_arrival < end_at) {
+        std::this_thread::sleep_until(next_arrival);
+        futures.push_back(service_.submit(plan));
+        ++report.offered;
+        // Exponential inter-arrival gap: -ln(U)/lambda seconds.
+        const double u = std::max(rng.nextDouble(), 1e-12);
+        const auto gap_us = static_cast<std::int64_t>(
+            -std::log(u) / target_qps * 1e6);
+        next_arrival += std::chrono::microseconds(std::max<std::int64_t>(
+            gap_us, 1));
+    }
+    const auto submit_end = Clock::now();
+
+    for (auto &f : futures)
+        tally(report, f.get(), latencies);
+    finalize(report, latencies, start, submit_end);
+    return report;
+}
+
+LoadGenReport
+LoadGenerator::runClosedLoop(const sampling::SamplePlan &plan,
+                             std::uint32_t clients,
+                             std::chrono::milliseconds duration)
+{
+    struct ClientTally {
+        LoadGenReport report;
+        std::vector<double> latencies;
+    };
+    std::vector<ClientTally> tallies(clients);
+    std::vector<std::thread> threads;
+    threads.reserve(clients);
+
+    const auto start = Clock::now();
+    const auto end_at = start + duration;
+    for (std::uint32_t c = 0; c < clients; ++c) {
+        threads.emplace_back([this, &plan, end_at, &tallies, c] {
+            ClientTally &t = tallies[c];
+            while (Clock::now() < end_at) {
+                ++t.report.offered;
+                tally(t.report, service_.sample(plan), t.latencies);
+            }
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    const auto end = Clock::now();
+
+    LoadGenReport report;
+    std::vector<double> latencies;
+    for (ClientTally &t : tallies) {
+        report.offered += t.report.offered;
+        report.ok += t.report.ok;
+        report.rejected += t.report.rejected;
+        report.dropped += t.report.dropped;
+        report.cancelled += t.report.cancelled;
+        latencies.insert(latencies.end(), t.latencies.begin(),
+                         t.latencies.end());
+    }
+    finalize(report, latencies, start, end);
+    return report;
+}
+
+} // namespace service
+} // namespace lsdgnn

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Load generators for benchmarking the sampling service.
+ *
+ * Two classic driver shapes:
+ *
+ *  - *Open loop*: arrivals follow a Poisson process at a target QPS,
+ *    independent of completions — the honest way to measure latency
+ *    under load, since a lagging service cannot slow the arrival
+ *    process down (no coordinated omission). Overload shows up as
+ *    rejections/drops, not as a silently lower request rate.
+ *  - *Closed loop*: K concurrent clients each keep exactly one
+ *    request outstanding — measures saturation throughput as a
+ *    function of offered concurrency.
+ *
+ * Reports carry exact client-observed percentiles (computed from the
+ * full latency sample vector, not histogram bins).
+ */
+
+#ifndef LSDGNN_SERVICE_LOAD_GEN_HH
+#define LSDGNN_SERVICE_LOAD_GEN_HH
+
+#include <chrono>
+#include <cstdint>
+
+#include "service/service.hh"
+
+namespace lsdgnn {
+namespace service {
+
+/** Outcome of one load-generation run. */
+struct LoadGenReport {
+    std::uint64_t offered = 0;   ///< submissions attempted
+    std::uint64_t ok = 0;        ///< completed with a sample
+    std::uint64_t rejected = 0;  ///< shed at admission
+    std::uint64_t dropped = 0;   ///< shed by deadline in-queue
+    std::uint64_t cancelled = 0; ///< failed by shutdown
+    double wall_s = 0.0;         ///< measured run duration
+    double offered_qps = 0.0;    ///< offered / wall_s
+    double goodput_qps = 0.0;    ///< ok / wall_s
+    double p50_us = 0.0;         ///< client-observed e2e percentiles
+    double p95_us = 0.0;
+    double p99_us = 0.0;
+    double mean_us = 0.0;
+
+    /** Fraction of offered requests shed (rejected + dropped). */
+    double shedFraction() const
+    {
+        return offered == 0 ? 0.0
+                            : static_cast<double>(rejected + dropped) /
+                                  static_cast<double>(offered);
+    }
+};
+
+/** Drives one SamplingService with synthetic traffic. */
+class LoadGenerator
+{
+  public:
+    explicit LoadGenerator(SamplingService &service)
+        : service_(service)
+    {}
+
+    /**
+     * Open loop: Poisson arrivals at @p target_qps for @p duration.
+     * Submissions never wait for completions; every future is
+     * harvested at the end (the run blocks until the tail drains).
+     */
+    LoadGenReport runOpenLoop(const sampling::SamplePlan &plan,
+                              double target_qps,
+                              std::chrono::milliseconds duration,
+                              std::uint64_t seed = 1);
+
+    /**
+     * Closed loop: @p clients threads, each submitting back-to-back
+     * blocking requests until @p duration elapses.
+     */
+    LoadGenReport runClosedLoop(const sampling::SamplePlan &plan,
+                                std::uint32_t clients,
+                                std::chrono::milliseconds duration);
+
+  private:
+    SamplingService &service_;
+};
+
+} // namespace service
+} // namespace lsdgnn
+
+#endif // LSDGNN_SERVICE_LOAD_GEN_HH

@@ -1,0 +1,20 @@
+#include "request.hh"
+
+namespace lsdgnn {
+namespace service {
+
+Tick
+wallTick(Clock::time_point tp)
+{
+    // Function-local static: the epoch is the first instant any
+    // service component asked for a tick (thread-safe magic static).
+    static const Clock::time_point epoch = Clock::now();
+    if (tp < epoch)
+        return 0;
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+        tp - epoch).count();
+    return static_cast<Tick>(ns) * 1000; // ns -> ps
+}
+
+} // namespace service
+} // namespace lsdgnn

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Request/reply vocabulary of the sampling service layer.
+ *
+ * The service layer runs in *wall-clock* time on real threads, unlike
+ * the simulated components underneath it: a client submits one
+ * SamplePlan as a Request and receives a std::future<Reply> that
+ * completes when a worker has executed the (possibly micro-batched)
+ * plan, or earlier when admission control rejects or the deadline
+ * policy drops the request.
+ */
+
+#ifndef LSDGNN_SERVICE_REQUEST_HH
+#define LSDGNN_SERVICE_REQUEST_HH
+
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <string_view>
+
+#include "common/units.hh"
+#include "sampling/minibatch.hh"
+
+namespace lsdgnn {
+namespace service {
+
+/** Wall-clock timebase of the service layer. */
+using Clock = std::chrono::steady_clock;
+
+/** Trace "pid" the service layer's tracks live under. */
+inline constexpr std::uint32_t trace_pid = 90;
+
+/** Terminal state of one request. */
+enum class ReplyStatus {
+    Ok,        ///< executed; Reply::batch holds the sample
+    Rejected,  ///< admission queue full (load shed at the door)
+    Dropped,   ///< deadline expired while queued (load shed inside)
+    Cancelled, ///< service shut down before execution
+};
+
+/** Human-readable status name (tables, logs). */
+constexpr std::string_view
+toString(ReplyStatus s)
+{
+    switch (s) {
+      case ReplyStatus::Ok: return "ok";
+      case ReplyStatus::Rejected: return "rejected";
+      case ReplyStatus::Dropped: return "dropped";
+      case ReplyStatus::Cancelled: return "cancelled";
+    }
+    return "?";
+}
+
+/** What the client's future resolves to. */
+struct Reply {
+    ReplyStatus status = ReplyStatus::Ok;
+    /** The sampled mini-batch; empty unless status == Ok. */
+    sampling::SampleResult batch;
+    /** Worker that executed the request (Ok only). */
+    std::uint32_t worker = 0;
+    /** Requests coalesced into the micro-batch this rode in. */
+    std::uint32_t batched_with = 1;
+    double queue_us = 0.0; ///< admission-queue wait
+    double exec_us = 0.0;  ///< backend execution (shared by the batch)
+    double e2e_us = 0.0;   ///< submit -> completion
+};
+
+/** One queued sampling request. Moves through the RequestQueue. */
+struct Request {
+    sampling::SamplePlan plan;
+    /** Stamped by the queue on admission. */
+    Clock::time_point enqueued_at{};
+    /** Drop-dead time; time_point::max() means no deadline. */
+    Clock::time_point deadline = Clock::time_point::max();
+    std::uint64_t id = 0;
+    std::promise<Reply> promise;
+};
+
+/** Microseconds between two service-clock points. */
+inline double
+elapsedUs(Clock::time_point from, Clock::time_point to)
+{
+    return std::chrono::duration<double, std::micro>(to - from).count();
+}
+
+/**
+ * Whether two plans may share one backend execution: identical
+ * per-hop fanouts and attribute-fetch flag. Batch sizes may differ —
+ * the batcher sums them and splits the merged result on root ranges.
+ */
+inline bool
+batchCompatible(const sampling::SamplePlan &a,
+                const sampling::SamplePlan &b)
+{
+    return a.fanouts == b.fanouts &&
+           a.fetch_attributes == b.fetch_attributes;
+}
+
+/**
+ * Map a wall-clock instant onto the tracer's picosecond Tick axis,
+ * relative to the first call in the process, so service spans land on
+ * a sane time origin in Perfetto next to the simulated tracks.
+ */
+Tick wallTick(Clock::time_point tp);
+
+} // namespace service
+} // namespace lsdgnn
+
+#endif // LSDGNN_SERVICE_REQUEST_HH

@@ -1,0 +1,186 @@
+#include "request_queue.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/trace.hh"
+
+namespace lsdgnn {
+namespace service {
+
+RequestQueue::RequestQueue(RequestQueueConfig config)
+    : config_(config)
+{
+    lsd_assert(config_.capacity > 0, "queue needs capacity");
+    group.addCounter("accepted", &accepted_, "requests admitted");
+    group.addCounter("rejected", &rejected_,
+                     "requests shed at admission (queue full/closed)");
+    group.addCounter("dropped", &dropped_,
+                     "requests shed in-queue (deadline expired)");
+    group.addCounter("cancelled", &cancelled_,
+                     "requests failed by non-drain shutdown");
+    group.addAverage("depth_at_admit", &depthAtAdmit,
+                     "queue depth seen by each admitted request");
+}
+
+void
+RequestQueue::traceDepthLocked(Clock::time_point now)
+{
+    if (trace::Tracer::enabled())
+        trace::Tracer::instance().counter(
+            trace_pid, "service.queue.depth", wallTick(now),
+            static_cast<double>(queue_.size()));
+}
+
+void
+RequestQueue::shedLocked(Request &&req, ReplyStatus status,
+                         Clock::time_point now)
+{
+    Reply reply;
+    reply.status = status;
+    reply.queue_us = elapsedUs(req.enqueued_at, now);
+    reply.e2e_us = reply.queue_us;
+    if (status == ReplyStatus::Dropped)
+        dropped_.inc();
+    else if (status == ReplyStatus::Cancelled)
+        cancelled_.inc();
+    req.promise.set_value(std::move(reply));
+}
+
+bool
+RequestQueue::push(Request &&req)
+{
+    const auto now = Clock::now();
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (closed_ || queue_.size() >= config_.capacity) {
+        rejected_.inc();
+        lock.unlock();
+        Reply reply;
+        reply.status = ReplyStatus::Rejected;
+        req.promise.set_value(std::move(reply));
+        return false;
+    }
+    req.enqueued_at = now;
+    req.id = next_id++;
+    depthAtAdmit.sample(static_cast<double>(queue_.size()));
+    queue_.push_back(std::move(req));
+    ++arrivals_;
+    accepted_.inc();
+    traceDepthLocked(now);
+    lock.unlock();
+    cv_.notify_one();
+    return true;
+}
+
+std::optional<Request>
+RequestQueue::pop()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (true) {
+        const auto now = Clock::now();
+        while (!queue_.empty()) {
+            Request req = std::move(queue_.front());
+            queue_.pop_front();
+            if (req.deadline <= now) {
+                shedLocked(std::move(req), ReplyStatus::Dropped, now);
+                continue;
+            }
+            traceDepthLocked(now);
+            return req;
+        }
+        if (closed_)
+            return std::nullopt;
+        cv_.wait(lock);
+    }
+}
+
+std::optional<Request>
+RequestQueue::popCompatible(const sampling::SamplePlan &proto,
+                            std::uint64_t root_budget)
+{
+    const auto now = Clock::now();
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto it = queue_.begin(); it != queue_.end();) {
+        if (it->deadline <= now) {
+            Request expired = std::move(*it);
+            it = queue_.erase(it);
+            shedLocked(std::move(expired), ReplyStatus::Dropped, now);
+            continue;
+        }
+        if (batchCompatible(it->plan, proto) &&
+            it->plan.batch_size <= root_budget) {
+            Request req = std::move(*it);
+            queue_.erase(it);
+            traceDepthLocked(now);
+            return req;
+        }
+        ++it;
+    }
+    return std::nullopt;
+}
+
+bool
+RequestQueue::waitForArrival(std::uint64_t seen_arrivals,
+                             Clock::time_point until)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (arrivals_ <= seen_arrivals && !closed_) {
+        if (cv_.wait_until(lock, until) == std::cv_status::timeout)
+            break;
+    }
+    return arrivals_ > seen_arrivals;
+}
+
+void
+RequestQueue::close()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        closed_ = true;
+    }
+    cv_.notify_all();
+}
+
+void
+RequestQueue::cancelPending()
+{
+    std::deque<Request> orphans;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        orphans.swap(queue_);
+    }
+    const auto now = Clock::now();
+    for (Request &req : orphans) {
+        Reply reply;
+        reply.status = ReplyStatus::Cancelled;
+        reply.queue_us = elapsedUs(req.enqueued_at, now);
+        reply.e2e_us = reply.queue_us;
+        cancelled_.inc();
+        req.promise.set_value(std::move(reply));
+    }
+    cv_.notify_all();
+}
+
+bool
+RequestQueue::closed() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+}
+
+std::size_t
+RequestQueue::depth() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+}
+
+std::uint64_t
+RequestQueue::arrivals() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return arrivals_;
+}
+
+} // namespace service
+} // namespace lsdgnn

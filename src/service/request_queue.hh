@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Bounded MPMC admission queue with load shedding.
+ *
+ * The queue is the service's admission-control point: producers (any
+ * number of client threads) push requests, consumers (the worker
+ * pool) pop them. Two shedding policies keep latency bounded under
+ * overload instead of letting the queue grow without limit:
+ *
+ *  - *Reject at the door*: push() fails the request immediately with
+ *    ReplyStatus::Rejected when the queue already holds `capacity`
+ *    requests (or the queue is closed).
+ *  - *Drop inside*: every pop scan discards requests whose deadline
+ *    has already passed, completing them with ReplyStatus::Dropped —
+ *    no worker wastes backend time on an answer nobody is waiting
+ *    for.
+ *
+ * All requests are stamped with their admission time so the worker
+ * pool can attribute queue-wait vs execution latency.
+ */
+
+#ifndef LSDGNN_SERVICE_REQUEST_QUEUE_HH
+#define LSDGNN_SERVICE_REQUEST_QUEUE_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "common/stats.hh"
+#include "service/request.hh"
+
+namespace lsdgnn {
+namespace service {
+
+/** Admission-queue tuning knobs. */
+struct RequestQueueConfig {
+    /** Requests held before push() starts rejecting. */
+    std::size_t capacity = 256;
+};
+
+/**
+ * Bounded multi-producer/multi-consumer queue of Requests.
+ *
+ * Thread-safe throughout; all completion of shed requests (rejected,
+ * dropped, cancelled) happens inside the queue so admission policy
+ * lives in exactly one place.
+ */
+class RequestQueue
+{
+  public:
+    explicit RequestQueue(RequestQueueConfig config);
+
+    /**
+     * Admit one request. On success the request is stamped and true
+     * is returned; when the queue is full or closed the request's
+     * promise is completed with Rejected and false is returned.
+     */
+    bool push(Request &&req);
+
+    /**
+     * Blocking pop: waits until a live (non-expired) request is
+     * available or the queue is closed and drained. Expired requests
+     * encountered on the way are dropped. Returns std::nullopt only
+     * on closed-and-empty.
+     */
+    std::optional<Request> pop();
+
+    /**
+     * Non-blocking pop of the oldest queued request that is
+     * batch-compatible with @p proto and whose batch_size fits within
+     * @p root_budget. Expired requests are dropped during the scan.
+     */
+    std::optional<Request> popCompatible(const sampling::SamplePlan &proto,
+                                         std::uint64_t root_budget);
+
+    /**
+     * Block until the arrival counter exceeds @p seen_arrivals, the
+     * queue closes, or @p until passes. Returns true when a new
+     * arrival happened (the caller should rescan), false on timeout
+     * or close. Used by the batcher's aging window.
+     */
+    bool waitForArrival(std::uint64_t seen_arrivals,
+                        Clock::time_point until);
+
+    /** Stop admitting; queued requests stay poppable (drain). */
+    void close();
+
+    /** Complete every queued request with Cancelled and empty out. */
+    void cancelPending();
+
+    bool closed() const;
+    std::size_t depth() const;
+
+    /** Requests ever admitted (the batcher's rescan cursor). */
+    std::uint64_t arrivals() const;
+
+    /** "service.queue" statistics (accepted/rejected/dropped/...). */
+    const stats::StatGroup &stats() const { return group; }
+
+    RequestQueue(const RequestQueue &) = delete;
+    RequestQueue &operator=(const RequestQueue &) = delete;
+
+  private:
+    /** Complete @p req as shed with @p status (lock held by caller). */
+    void shedLocked(Request &&req, ReplyStatus status,
+                    Clock::time_point now);
+    void traceDepthLocked(Clock::time_point now);
+
+    RequestQueueConfig config_;
+
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;
+    std::deque<Request> queue_;
+    bool closed_ = false;
+    std::uint64_t arrivals_ = 0;
+    std::uint64_t next_id = 1;
+
+    stats::StatGroup group{"service.queue"};
+    stats::Counter accepted_, rejected_, dropped_, cancelled_;
+    stats::Average depthAtAdmit;
+};
+
+} // namespace service
+} // namespace lsdgnn
+
+#endif // LSDGNN_SERVICE_REQUEST_QUEUE_HH

@@ -1,0 +1,63 @@
+#include "service.hh"
+
+namespace lsdgnn {
+namespace service {
+
+SamplingService::SamplingService(ServiceConfig config)
+    : config_(std::move(config)),
+      stats_(std::make_unique<ServiceStats>()),
+      queue_(std::make_unique<RequestQueue>(
+          RequestQueueConfig{config_.queue_capacity}))
+{
+    WorkerPoolConfig pcfg;
+    pcfg.num_workers = config_.num_workers;
+    pcfg.session = config_.session;
+    pcfg.batcher = config_.batcher;
+    pool = std::make_unique<WorkerPool>(pcfg, *queue_, *stats_);
+    pool->start();
+}
+
+SamplingService::~SamplingService()
+{
+    shutdown(Shutdown::Drain);
+}
+
+std::future<Reply>
+SamplingService::submit(const sampling::SamplePlan &plan)
+{
+    return submit(plan, config_.default_deadline);
+}
+
+std::future<Reply>
+SamplingService::submit(const sampling::SamplePlan &plan,
+                        std::chrono::microseconds deadline)
+{
+    Request req;
+    req.plan = plan;
+    if (deadline.count() > 0)
+        req.deadline = Clock::now() + deadline;
+    std::future<Reply> future = req.promise.get_future();
+    queue_->push(std::move(req));
+    return future;
+}
+
+Reply
+SamplingService::sample(const sampling::SamplePlan &plan)
+{
+    return submit(plan).get();
+}
+
+void
+SamplingService::shutdown(Shutdown mode)
+{
+    if (down)
+        return;
+    down = true;
+    queue_->close();
+    if (mode == Shutdown::Cancel)
+        queue_->cancelPending();
+    pool->join();
+}
+
+} // namespace service
+} // namespace lsdgnn

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * SamplingService: the concurrent request frontend over Session.
+ *
+ * The paper deploys AxE/MoF behind a serverless frontier because
+ * LSD-GNN sampling is a *service* hit by many concurrent
+ * training/inference workers. This facade is that layer in software:
+ * clients submit SamplePlans from any number of threads and get
+ * futures back; inside, a bounded admission queue (load shedding), a
+ * dynamic micro-batcher (Tech-1-style request packing at the service
+ * level) and a worker pool of Session shards turn those submissions
+ * into backend executions.
+ *
+ * Lifecycle: construct (workers start immediately), submit freely,
+ * then shutdown() — Drain finishes every queued request, Cancel fails
+ * them fast; both wait for in-flight micro-batches to complete their
+ * futures. The destructor drains.
+ */
+
+#ifndef LSDGNN_SERVICE_SERVICE_HH
+#define LSDGNN_SERVICE_SERVICE_HH
+
+#include <future>
+#include <memory>
+
+#include "service/worker_pool.hh"
+
+namespace lsdgnn {
+namespace service {
+
+/** Whole-service configuration. */
+struct ServiceConfig {
+    /** Per-worker Session template (seed offset by worker id). */
+    framework::SessionConfig session;
+    /** Worker threads / Session shards. */
+    std::uint32_t num_workers = 2;
+    /** Admission-queue capacity (push rejects beyond this). */
+    std::size_t queue_capacity = 256;
+    /** Micro-batching policy. */
+    BatcherConfig batcher;
+    /**
+     * Deadline attached to submissions that do not carry their own;
+     * zero means requests never expire in the queue.
+     */
+    std::chrono::microseconds default_deadline{0};
+};
+
+/** Multi-threaded wall-clock sampling service over Session shards. */
+class SamplingService
+{
+  public:
+    explicit SamplingService(ServiceConfig config);
+
+    /** Drains and joins (equivalent to shutdown(Shutdown::Drain)). */
+    ~SamplingService();
+
+    /**
+     * Submit one sampling request with the config's default deadline.
+     * Never blocks: on queue overflow the returned future is already
+     * completed with ReplyStatus::Rejected.
+     */
+    std::future<Reply> submit(const sampling::SamplePlan &plan);
+
+    /** Submit with an explicit deadline (zero = none). */
+    std::future<Reply> submit(const sampling::SamplePlan &plan,
+                              std::chrono::microseconds deadline);
+
+    /** Convenience: submit and wait. */
+    Reply sample(const sampling::SamplePlan &plan);
+
+    /** How shutdown treats requests still queued. */
+    enum class Shutdown {
+        Drain,  ///< execute everything already admitted
+        Cancel, ///< fail queued requests with ReplyStatus::Cancelled
+    };
+
+    /**
+     * Stop admitting, resolve the backlog per @p mode, and join the
+     * workers. Requests a worker has already picked up complete
+     * normally in both modes. Idempotent; the first call decides.
+     */
+    void shutdown(Shutdown mode = Shutdown::Drain);
+
+    /** Requests currently waiting in the admission queue. */
+    std::size_t queueDepth() const { return queue_->depth(); }
+
+    /** Latency/throughput aggregates (stable after shutdown()). */
+    const ServiceStats &stats() const { return *stats_; }
+
+    /** Admission-queue counters (accepted/rejected/dropped/...). */
+    const stats::StatGroup &queueStats() const
+    {
+        return queue_->stats();
+    }
+
+    const ServiceConfig &config() const { return config_; }
+
+    SamplingService(const SamplingService &) = delete;
+    SamplingService &operator=(const SamplingService &) = delete;
+
+  private:
+    ServiceConfig config_;
+    // unique_ptrs: queue/stats must outlive the pool's worker threads
+    // and keep stable addresses across the facade's lifetime.
+    std::unique_ptr<ServiceStats> stats_;
+    std::unique_ptr<RequestQueue> queue_;
+    std::unique_ptr<WorkerPool> pool;
+    bool down = false;
+};
+
+} // namespace service
+} // namespace lsdgnn
+
+#endif // LSDGNN_SERVICE_SERVICE_HH

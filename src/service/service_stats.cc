@@ -1,0 +1,112 @@
+#include "service_stats.hh"
+
+#include "common/trace.hh"
+
+namespace lsdgnn {
+namespace service {
+
+namespace {
+
+// Latency histograms: 100 us resolution up to 200 ms. Anything above
+// lands in the overflow bin and percentile() reports the range top —
+// by then the service is far past any sane SLO anyway.
+constexpr double lat_hi_us = 200'000.0;
+constexpr std::size_t lat_buckets = 2000;
+
+// Emit percentile counters every this many completions: frequent
+// enough to plot, cheap enough to never matter.
+constexpr std::uint64_t trace_every = 32;
+
+} // namespace
+
+ServiceStats::ServiceStats()
+    : queueWaitUs(0.0, lat_hi_us, lat_buckets),
+      execUs(0.0, lat_hi_us, lat_buckets),
+      e2eUs(0.0, lat_hi_us, lat_buckets)
+{
+    group_.addCounter("completed", &completed_,
+                      "requests answered with a sample");
+    group_.addCounter("batches", &batches_, "micro-batches executed");
+    group_.addAverage("batch_requests", &batchRequests,
+                      "requests coalesced per micro-batch");
+    group_.addAverage("batch_roots", &batchRoots,
+                      "merged batch_size per micro-batch");
+    group_.addHistogram("queue_wait_us", &queueWaitUs,
+                        "admission-queue wait (us)");
+    group_.addHistogram("exec_us", &execUs, "backend execution (us)");
+    group_.addHistogram("e2e_us", &e2eUs,
+                        "submit-to-completion latency (us)");
+}
+
+void
+ServiceStats::traceLatencyLocked(Clock::time_point now)
+{
+    const Tick tick = wallTick(now);
+    auto &tracer = trace::Tracer::instance();
+    tracer.counter(trace_pid, "service.e2e_p50_us", tick,
+                   e2eUs.percentile(0.5));
+    tracer.counter(trace_pid, "service.e2e_p95_us", tick,
+                   e2eUs.percentile(0.95));
+    tracer.counter(trace_pid, "service.e2e_p99_us", tick,
+                   e2eUs.percentile(0.99));
+}
+
+void
+ServiceStats::recordCompletion(const Reply &reply)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    completed_.inc();
+    queueWaitUs.sample(reply.queue_us);
+    execUs.sample(reply.exec_us);
+    e2eUs.sample(reply.e2e_us);
+    if (trace::Tracer::enabled() &&
+        completed_.value() % trace_every == 0)
+        traceLatencyLocked(Clock::now());
+}
+
+void
+ServiceStats::recordBatch(std::size_t requests, std::uint64_t roots)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    batches_.inc();
+    batchRequests.sample(static_cast<double>(requests));
+    batchRoots.sample(static_cast<double>(roots));
+}
+
+std::uint64_t
+ServiceStats::completed() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return completed_.value();
+}
+
+std::uint64_t
+ServiceStats::batches() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return batches_.value();
+}
+
+double
+ServiceStats::e2ePercentile(double q) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return e2eUs.percentile(q);
+}
+
+double
+ServiceStats::queueWaitPercentile(double q) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queueWaitUs.percentile(q);
+}
+
+double
+ServiceStats::meanBatchRequests() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return batchRequests.mean();
+}
+
+} // namespace service
+} // namespace lsdgnn

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Aggregated service-level statistics.
+ *
+ * One ServiceStats instance is shared by every worker and the
+ * frontend; all mutation happens under an internal mutex, so it is
+ * safe to record from any thread. The stats surface through the
+ * process-wide StatRegistry as the "service" group:
+ *
+ *  - histograms `queue_wait_us`, `exec_us`, `e2e_us` (microseconds;
+ *    JSON export carries p50/p90/p95/p99),
+ *  - counters `completed`, `batches`,
+ *  - averages `batch_requests`, `batch_roots`.
+ *
+ * When tracing is enabled, end-to-end latency percentiles are also
+ * emitted periodically as Perfetto counter series
+ * (`service.e2e_p50_us` / `_p95_us` / `_p99_us`) so overload shows up
+ * directly on the timeline next to `service.queue.depth`.
+ */
+
+#ifndef LSDGNN_SERVICE_SERVICE_STATS_HH
+#define LSDGNN_SERVICE_SERVICE_STATS_HH
+
+#include <mutex>
+
+#include "common/stats.hh"
+#include "service/request.hh"
+
+namespace lsdgnn {
+namespace service {
+
+/** Thread-safe latency/throughput accounting for one service. */
+class ServiceStats
+{
+  public:
+    ServiceStats();
+
+    /** Record one completed (Ok) request's latency split. */
+    void recordCompletion(const Reply &reply);
+
+    /** Record one executed micro-batch. */
+    void recordBatch(std::size_t requests, std::uint64_t roots);
+
+    /** Completed (Ok) requests so far. */
+    std::uint64_t completed() const;
+
+    /** Micro-batches executed so far. */
+    std::uint64_t batches() const;
+
+    /** End-to-end latency percentile (us), q in [0,1]. */
+    double e2ePercentile(double q) const;
+
+    /** Queue-wait latency percentile (us), q in [0,1]. */
+    double queueWaitPercentile(double q) const;
+
+    /** Mean requests per executed micro-batch. */
+    double meanBatchRequests() const;
+
+    /** The registered "service" StatGroup (quiesce before reading). */
+    const stats::StatGroup &group() const { return group_; }
+
+    ServiceStats(const ServiceStats &) = delete;
+    ServiceStats &operator=(const ServiceStats &) = delete;
+
+  private:
+    void traceLatencyLocked(Clock::time_point now);
+
+    mutable std::mutex mutex_;
+    stats::StatGroup group_{"service"};
+    stats::Counter completed_;
+    stats::Counter batches_;
+    stats::Average batchRequests;
+    stats::Average batchRoots;
+    stats::Histogram queueWaitUs;
+    stats::Histogram execUs;
+    stats::Histogram e2eUs;
+};
+
+} // namespace service
+} // namespace lsdgnn
+
+#endif // LSDGNN_SERVICE_SERVICE_STATS_HH

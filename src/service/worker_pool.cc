@@ -1,0 +1,120 @@
+#include "worker_pool.hh"
+
+#include <algorithm>
+#include <string>
+
+#include "common/logging.hh"
+#include "common/trace.hh"
+
+namespace lsdgnn {
+namespace service {
+
+WorkerPool::WorkerPool(WorkerPoolConfig config, RequestQueue &queue,
+                       ServiceStats &stats)
+    : config_(config), queue_(queue), stats_(stats)
+{
+    lsd_assert(config_.num_workers > 0, "pool needs workers");
+}
+
+WorkerPool::~WorkerPool()
+{
+    join();
+}
+
+void
+WorkerPool::start()
+{
+    lsd_assert(threads.empty(), "worker pool already started");
+    threads.reserve(config_.num_workers);
+    for (std::uint32_t i = 0; i < config_.num_workers; ++i)
+        threads.emplace_back([this, i] { run(i); });
+}
+
+void
+WorkerPool::join()
+{
+    for (std::thread &t : threads)
+        if (t.joinable())
+            t.join();
+}
+
+void
+WorkerPool::run(std::uint32_t worker_id)
+{
+    const std::string track_name =
+        "service.worker" + std::to_string(worker_id);
+
+    // Sessions are not thread-safe; each worker owns one, built here
+    // in the worker's own thread. The seed offset decorrelates the
+    // per-worker sampling streams deterministically.
+    framework::SessionConfig scfg = config_.session;
+    scfg.seed += worker_id;
+    framework::Session session(scfg);
+
+    // The AxE command path draws its root window from a span of
+    // numNodes - batch_size, so a merged batch must stay well under
+    // the (scaled) graph size regardless of what the caller asked for.
+    BatcherConfig bcfg = config_.batcher;
+    bcfg.max_roots = std::min<std::uint64_t>(
+        bcfg.max_roots, std::max<std::uint64_t>(
+            1, session.graph().numNodes() / 2));
+    const Batcher batcher(bcfg);
+
+    stats::StatGroup group{track_name};
+    stats::Counter batches, requests;
+    group.addCounter("batches", &batches, "micro-batches executed");
+    group.addCounter("requests", &requests, "requests completed");
+
+    std::vector<Request> batch;
+    std::vector<std::uint32_t> root_counts;
+    while (batcher.collect(queue_, batch)) {
+        const auto exec_start = Clock::now();
+
+        const sampling::SamplePlan plan = Batcher::merge(batch);
+        root_counts.clear();
+        for (const Request &req : batch)
+            root_counts.push_back(req.plan.batch_size);
+
+        sampling::SampleResult merged = session.sampleBatch(plan);
+        std::vector<sampling::SampleResult> parts =
+            batch.size() == 1
+                ? std::vector<sampling::SampleResult>{}
+                : Batcher::split(merged, root_counts);
+
+        const auto exec_end = Clock::now();
+        const double exec_us = elapsedUs(exec_start, exec_end);
+
+        if (trace::Tracer::enabled()) {
+            const auto tid = trace::Tracer::instance().track(
+                trace_pid, track_name);
+            trace::Tracer::instance().complete(
+                trace_pid, tid, "batch", wallTick(exec_start),
+                wallTick(exec_end) - wallTick(exec_start),
+                "\"requests\":" + std::to_string(batch.size()) +
+                    ",\"roots\":" + std::to_string(plan.batch_size));
+        }
+
+        stats_.recordBatch(batch.size(), plan.batch_size);
+        batches.inc();
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+            Reply reply;
+            reply.status = ReplyStatus::Ok;
+            reply.batch = batch.size() == 1 ? std::move(merged)
+                                            : std::move(parts[i]);
+            reply.worker = worker_id;
+            reply.batched_with =
+                static_cast<std::uint32_t>(batch.size());
+            reply.queue_us =
+                elapsedUs(batch[i].enqueued_at, exec_start);
+            reply.exec_us = exec_us;
+            reply.e2e_us = elapsedUs(batch[i].enqueued_at, exec_end);
+            stats_.recordCompletion(reply);
+            requests.inc();
+            batch[i].promise.set_value(std::move(reply));
+        }
+        batch.clear();
+    }
+}
+
+} // namespace service
+} // namespace lsdgnn

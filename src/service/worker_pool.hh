@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Worker pool: N threads, one framework::Session shard each.
+ *
+ * framework::Session is not thread-safe (see session.hh), so the pool
+ * gives every worker thread its own Session, built *inside* the
+ * worker thread from a shared config template with the seed offset by
+ * the worker id — per-worker sampling streams are decorrelated yet
+ * fully deterministic for a fixed base seed.
+ *
+ * Each worker loops: collect one micro-batch from the shared
+ * admission queue (Batcher aging window), execute the merged plan on
+ * its Session, split the result, complete every rider's future, and
+ * record latency stats. Execution spans land on per-worker Perfetto
+ * tracks (`service.workerN`) when tracing is on.
+ */
+
+#ifndef LSDGNN_SERVICE_WORKER_POOL_HH
+#define LSDGNN_SERVICE_WORKER_POOL_HH
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "framework/session.hh"
+#include "service/batcher.hh"
+#include "service/request_queue.hh"
+#include "service/service_stats.hh"
+
+namespace lsdgnn {
+namespace service {
+
+/** Worker-pool construction knobs. */
+struct WorkerPoolConfig {
+    /** Worker threads (== Session shards). */
+    std::uint32_t num_workers = 2;
+    /** Per-worker Session template; seed is offset by worker id. */
+    framework::SessionConfig session;
+    /** Micro-batching policy every worker applies. */
+    BatcherConfig batcher;
+};
+
+/**
+ * Owns the worker threads. start() launches them; they exit when the
+ * queue reports closed-and-drained. join() (or the destructor) waits
+ * for that.
+ */
+class WorkerPool
+{
+  public:
+    WorkerPool(WorkerPoolConfig config, RequestQueue &queue,
+               ServiceStats &stats);
+
+    /** Joins outstanding workers (queue must be closed to return). */
+    ~WorkerPool();
+
+    /** Launch the worker threads. Call once. */
+    void start();
+
+    /** Wait for every worker to drain out and exit. Idempotent. */
+    void join();
+
+    std::uint32_t numWorkers() const { return config_.num_workers; }
+
+    WorkerPool(const WorkerPool &) = delete;
+    WorkerPool &operator=(const WorkerPool &) = delete;
+
+  private:
+    void run(std::uint32_t worker_id);
+
+    WorkerPoolConfig config_;
+    RequestQueue &queue_;
+    ServiceStats &stats_;
+    std::vector<std::thread> threads;
+};
+
+} // namespace service
+} // namespace lsdgnn
+
+#endif // LSDGNN_SERVICE_WORKER_POOL_HH

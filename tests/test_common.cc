@@ -5,8 +5,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <set>
 #include <sstream>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -282,6 +284,47 @@ TEST(StatRegistry, ExportJsonCarriesStats)
     EXPECT_NE(json.find("\"mean\":3"), std::string::npos);
     EXPECT_NE(json.find("\"p50\""), std::string::npos);
     EXPECT_NE(json.find("\"p99\""), std::string::npos);
+}
+
+TEST(StatRegistry, ConcurrentRegistrationSurvivesStress)
+{
+    // Worker threads churn StatGroup construction/destruction while
+    // another thread keeps exporting: exercises the registry lock the
+    // service layer depends on (per-worker groups are built inside
+    // worker threads). Run under TSan in CI.
+    constexpr int threads = 8, iterations = 200;
+    std::atomic<bool> go{false};
+    std::vector<std::thread> churners;
+    for (int t = 0; t < threads; ++t) {
+        churners.emplace_back([&go, t] {
+            while (!go.load())
+                std::this_thread::yield();
+            for (int i = 0; i < iterations; ++i) {
+                stats::StatGroup group(
+                    "stress.t" + std::to_string(t));
+                stats::Counter c;
+                group.addCounter("n", &c);
+                c.inc();
+            }
+        });
+    }
+    std::thread exporter([&go] {
+        while (!go.load())
+            std::this_thread::yield();
+        for (int i = 0; i < 50; ++i) {
+            std::ostringstream os;
+            stats::StatRegistry::instance().exportJson(os);
+            EXPECT_FALSE(os.str().empty());
+        }
+    });
+    go.store(true);
+    for (auto &t : churners)
+        t.join();
+    exporter.join();
+
+    // Every stress group unregistered itself again.
+    for (const auto *g : stats::StatRegistry::instance().groups())
+        EXPECT_EQ(g->name().rfind("stress.", 0), std::string::npos);
 }
 
 TEST(StatRegistry, ExportCsvHasHeaderAndRows)

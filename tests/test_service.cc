@@ -1,0 +1,597 @@
+/**
+ * @file
+ * Sampling-service validation: admission-queue backpressure and
+ * rejection, deadline drops, micro-batching window and merge/split
+ * correctness, future completion, graceful shutdown with in-flight
+ * requests, per-worker determinism, and stats/trace export. The whole
+ * binary is also a TSan target (CI runs it under
+ * -fsanitize=thread): queue, batcher, worker pool and the stat/trace
+ * singletons must be race-free.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "common/stat_registry.hh"
+#include "common/trace.hh"
+#include "service/load_gen.hh"
+#include "service/service.hh"
+
+namespace lsdgnn {
+namespace {
+
+using namespace std::chrono_literals;
+
+/** Small, fast session shard every test uses. */
+framework::SessionConfig
+tinySession()
+{
+    framework::SessionConfig cfg;
+    cfg.dataset = "ss";
+    cfg.scale_divisor = 40'000;
+    cfg.num_servers = 4;
+    cfg.seed = 7;
+    return cfg;
+}
+
+sampling::SamplePlan
+tinyPlan(std::uint32_t batch = 16)
+{
+    sampling::SamplePlan plan;
+    plan.batch_size = batch;
+    plan.fanouts = {5, 5};
+    return plan;
+}
+
+service::Request
+makeRequest(const sampling::SamplePlan &plan)
+{
+    service::Request req;
+    req.plan = plan;
+    return req;
+}
+
+// ---------------------------------------------------------------------
+// RequestQueue: admission control
+// ---------------------------------------------------------------------
+
+TEST(RequestQueue, BackpressureRejectsBeyondCapacity)
+{
+    service::RequestQueue queue({/*capacity=*/4});
+    std::vector<std::future<service::Reply>> futures;
+    for (int i = 0; i < 4; ++i) {
+        auto req = makeRequest(tinyPlan());
+        futures.push_back(req.promise.get_future());
+        EXPECT_TRUE(queue.push(std::move(req)));
+    }
+    EXPECT_EQ(queue.depth(), 4u);
+
+    auto overflow = makeRequest(tinyPlan());
+    auto overflow_future = overflow.promise.get_future();
+    EXPECT_FALSE(queue.push(std::move(overflow)));
+
+    // The rejected future is already resolved; admitted ones are not.
+    ASSERT_EQ(overflow_future.wait_for(0s), std::future_status::ready);
+    EXPECT_EQ(overflow_future.get().status,
+              service::ReplyStatus::Rejected);
+    EXPECT_EQ(futures[0].wait_for(0s), std::future_status::timeout);
+
+    EXPECT_EQ(queue.stats().counter("accepted").value(), 4u);
+    EXPECT_EQ(queue.stats().counter("rejected").value(), 1u);
+
+    queue.close();
+    queue.cancelPending();
+    for (auto &f : futures)
+        EXPECT_EQ(f.get().status, service::ReplyStatus::Cancelled);
+}
+
+TEST(RequestQueue, PushAfterCloseRejects)
+{
+    service::RequestQueue queue({4});
+    queue.close();
+    auto req = makeRequest(tinyPlan());
+    auto future = req.promise.get_future();
+    EXPECT_FALSE(queue.push(std::move(req)));
+    EXPECT_EQ(future.get().status, service::ReplyStatus::Rejected);
+}
+
+TEST(RequestQueue, ExpiredRequestsDroppedOnPop)
+{
+    service::RequestQueue queue({8});
+
+    auto expired = makeRequest(tinyPlan());
+    expired.deadline = service::Clock::now() - 1ms;
+    auto expired_future = expired.promise.get_future();
+    ASSERT_TRUE(queue.push(std::move(expired)));
+
+    auto live = makeRequest(tinyPlan());
+    auto live_future = live.promise.get_future();
+    ASSERT_TRUE(queue.push(std::move(live)));
+
+    // pop() must skip (and fail) the expired request, then deliver
+    // the live one.
+    auto popped = queue.pop();
+    ASSERT_TRUE(popped.has_value());
+    EXPECT_EQ(expired_future.get().status,
+              service::ReplyStatus::Dropped);
+    EXPECT_EQ(queue.stats().counter("dropped").value(), 1u);
+    EXPECT_EQ(queue.depth(), 0u);
+
+    popped->promise.set_value(service::Reply{});
+    (void)live_future;
+}
+
+TEST(RequestQueue, PopReturnsNulloptOnClosedAndDrained)
+{
+    service::RequestQueue queue({4});
+    queue.close();
+    EXPECT_FALSE(queue.pop().has_value());
+}
+
+// ---------------------------------------------------------------------
+// Batcher: collection, merge, split
+// ---------------------------------------------------------------------
+
+TEST(Batcher, CollectCoalescesCompatibleLeavesIncompatible)
+{
+    service::RequestQueue queue({16});
+    std::vector<std::future<service::Reply>> futures;
+
+    // Three compatible requests and one with a different fan-out.
+    for (std::uint32_t batch : {8u, 4u, 2u}) {
+        auto req = makeRequest(tinyPlan(batch));
+        futures.push_back(req.promise.get_future());
+        ASSERT_TRUE(queue.push(std::move(req)));
+    }
+    auto odd = makeRequest(tinyPlan(8));
+    odd.plan.fanouts = {3};
+    futures.push_back(odd.promise.get_future());
+    ASSERT_TRUE(queue.push(std::move(odd)));
+
+    service::Batcher batcher({/*max_requests=*/8, /*max_roots=*/4096,
+                              /*window=*/0us});
+    std::vector<service::Request> batch;
+    ASSERT_TRUE(batcher.collect(queue, batch));
+    ASSERT_EQ(batch.size(), 3u);
+
+    const auto merged = service::Batcher::merge(batch);
+    EXPECT_EQ(merged.batch_size, 14u);
+    EXPECT_EQ(merged.fanouts, tinyPlan().fanouts);
+
+    // The incompatible request is still queued for the next batch.
+    EXPECT_EQ(queue.depth(), 1u);
+
+    for (auto &req : batch)
+        req.promise.set_value(service::Reply{});
+    queue.close();
+    std::vector<service::Request> rest;
+    ASSERT_TRUE(batcher.collect(queue, rest));
+    ASSERT_EQ(rest.size(), 1u);
+    EXPECT_EQ(rest[0].plan.fanouts, std::vector<std::uint32_t>{3});
+    rest[0].promise.set_value(service::Reply{});
+}
+
+TEST(Batcher, MaxRequestsBoundsBatch)
+{
+    service::RequestQueue queue({16});
+    std::vector<std::future<service::Reply>> futures;
+    for (int i = 0; i < 6; ++i) {
+        auto req = makeRequest(tinyPlan(4));
+        futures.push_back(req.promise.get_future());
+        ASSERT_TRUE(queue.push(std::move(req)));
+    }
+    service::Batcher batcher({/*max_requests=*/4, 4096, 0us});
+    std::vector<service::Request> batch;
+    ASSERT_TRUE(batcher.collect(queue, batch));
+    EXPECT_EQ(batch.size(), 4u);
+    EXPECT_EQ(queue.depth(), 2u);
+    queue.close();
+    queue.cancelPending();
+    for (auto &req : batch)
+        req.promise.set_value(service::Reply{});
+}
+
+TEST(Batcher, RootBudgetBoundsBatch)
+{
+    service::RequestQueue queue({16});
+    std::vector<std::future<service::Reply>> futures;
+    for (int i = 0; i < 4; ++i) {
+        auto req = makeRequest(tinyPlan(10));
+        futures.push_back(req.promise.get_future());
+        ASSERT_TRUE(queue.push(std::move(req)));
+    }
+    // Budget 25 roots: first two riders (20) fit, the third (30)
+    // would not.
+    service::Batcher batcher({8, /*max_roots=*/25, 0us});
+    std::vector<service::Request> batch;
+    ASSERT_TRUE(batcher.collect(queue, batch));
+    EXPECT_EQ(batch.size(), 2u);
+    EXPECT_EQ(queue.depth(), 2u);
+    queue.close();
+    queue.cancelPending();
+    for (auto &req : batch)
+        req.promise.set_value(service::Reply{});
+}
+
+TEST(Batcher, AgingWindowWaitsForLateRider)
+{
+    service::RequestQueue queue({16});
+    auto first = makeRequest(tinyPlan(4));
+    auto first_future = first.promise.get_future();
+    ASSERT_TRUE(queue.push(std::move(first)));
+
+    // A second compatible request arrives 20 ms into a 500 ms window.
+    std::thread late([&queue] {
+        std::this_thread::sleep_for(20ms);
+        auto req = makeRequest(tinyPlan(4));
+        req.promise.get_future(); // tally not needed
+        queue.push(std::move(req));
+    });
+
+    // max_requests = 2: the batch closes the moment the late rider
+    // arrives instead of aging out the rest of the window.
+    service::Batcher batcher({2, 4096, /*window=*/500ms});
+    std::vector<service::Request> batch;
+    const auto t0 = service::Clock::now();
+    ASSERT_TRUE(batcher.collect(queue, batch));
+    const double waited_ms =
+        service::elapsedUs(t0, service::Clock::now()) / 1e3;
+    late.join();
+
+    // Both riders collected, well before the full window aged out.
+    EXPECT_EQ(batch.size(), 2u);
+    EXPECT_LT(waited_ms, 400.0);
+    EXPECT_GE(waited_ms, 15.0); // it did wait for the late arrival
+    for (auto &req : batch)
+        req.promise.set_value(service::Reply{});
+    queue.close();
+}
+
+TEST(Batcher, ZeroWindowDoesNotWait)
+{
+    service::RequestQueue queue({16});
+    auto req = makeRequest(tinyPlan(4));
+    auto future = req.promise.get_future();
+    ASSERT_TRUE(queue.push(std::move(req)));
+
+    service::Batcher batcher({8, 4096, 0us});
+    std::vector<service::Request> batch;
+    const auto t0 = service::Clock::now();
+    ASSERT_TRUE(batcher.collect(queue, batch));
+    const double waited_ms =
+        service::elapsedUs(t0, service::Clock::now()) / 1e3;
+    EXPECT_EQ(batch.size(), 1u);
+    EXPECT_LT(waited_ms, 100.0);
+    batch[0].promise.set_value(service::Reply{});
+    queue.close();
+}
+
+/** Split must partition the merged result exactly. */
+TEST(Batcher, SplitPartitionsMergedResult)
+{
+    framework::Session session(tinySession());
+    const std::vector<std::uint32_t> root_counts = {16, 8, 24};
+
+    auto plan = tinyPlan(48);
+    const auto merged = session.sampleBatch(plan);
+    ASSERT_EQ(merged.roots.size(), 48u);
+
+    const auto parts = service::Batcher::split(merged, root_counts);
+    ASSERT_EQ(parts.size(), 3u);
+
+    // Roots are the contiguous slices of the merged roots.
+    std::size_t off = 0;
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+        ASSERT_EQ(parts[i].roots.size(), root_counts[i]);
+        for (std::size_t j = 0; j < root_counts[i]; ++j)
+            EXPECT_EQ(parts[i].roots[j], merged.roots[off + j]);
+        off += root_counts[i];
+    }
+
+    // Every hop: per-part sample counts sum to the merged count, and
+    // every parent index stays within the previous per-part level.
+    for (std::size_t h = 0; h < merged.frontier.size(); ++h) {
+        std::size_t total = 0;
+        for (const auto &part : parts) {
+            ASSERT_EQ(part.frontier.size(), merged.frontier.size());
+            ASSERT_EQ(part.frontier[h].size(), part.parent[h].size());
+            const std::size_t prev =
+                h == 0 ? part.roots.size() : part.frontier[h - 1].size();
+            for (std::uint32_t p : part.parent[h])
+                EXPECT_LT(p, prev);
+            total += part.frontier[h].size();
+        }
+        EXPECT_EQ(total, merged.frontier[h].size());
+    }
+
+    // totalSampled is conserved.
+    std::uint64_t part_total = 0;
+    for (const auto &part : parts)
+        part_total += part.totalSampled();
+    EXPECT_EQ(part_total, merged.totalSampled());
+}
+
+// ---------------------------------------------------------------------
+// SamplingService end-to-end
+// ---------------------------------------------------------------------
+
+service::ServiceConfig
+tinyService(std::uint32_t workers, std::size_t capacity = 256)
+{
+    service::ServiceConfig cfg;
+    cfg.session = tinySession();
+    cfg.num_workers = workers;
+    cfg.queue_capacity = capacity;
+    cfg.batcher.window = std::chrono::microseconds(200);
+    return cfg;
+}
+
+TEST(SamplingService, CompletesEveryFuture)
+{
+    service::SamplingService svc(tinyService(2));
+    std::vector<std::future<service::Reply>> futures;
+    for (int i = 0; i < 32; ++i)
+        futures.push_back(svc.submit(tinyPlan()));
+    for (auto &f : futures) {
+        const auto reply = f.get();
+        ASSERT_EQ(reply.status, service::ReplyStatus::Ok);
+        EXPECT_EQ(reply.batch.roots.size(), tinyPlan().batch_size);
+        EXPECT_EQ(reply.batch.frontier.size(), 2u);
+        EXPECT_GE(reply.batched_with, 1u);
+        EXPECT_GE(reply.e2e_us, reply.queue_us);
+    }
+    svc.shutdown();
+    EXPECT_EQ(svc.stats().completed(), 32u);
+    EXPECT_GE(svc.stats().batches(), 1u);
+    EXPECT_LE(svc.stats().batches(), 32u);
+}
+
+TEST(SamplingService, OverflowRejectsInsteadOfQueueingUnbounded)
+{
+    // One worker, tiny queue, zero batching window, and a burst far
+    // beyond capacity: some requests must be shed as Rejected, every
+    // future must still resolve.
+    auto cfg = tinyService(1, /*capacity=*/2);
+    cfg.batcher.window = std::chrono::microseconds(0);
+    service::SamplingService svc(cfg);
+
+    std::vector<std::future<service::Reply>> futures;
+    for (int i = 0; i < 64; ++i)
+        futures.push_back(svc.submit(tinyPlan()));
+
+    std::uint64_t ok = 0, rejected = 0;
+    for (auto &f : futures) {
+        const auto reply = f.get();
+        if (reply.status == service::ReplyStatus::Ok)
+            ++ok;
+        else if (reply.status == service::ReplyStatus::Rejected)
+            ++rejected;
+    }
+    svc.shutdown();
+    EXPECT_GT(ok, 0u);
+    EXPECT_GT(rejected, 0u);
+    EXPECT_EQ(ok + rejected, 64u);
+    EXPECT_EQ(svc.queueStats().counter("rejected").value(), rejected);
+}
+
+TEST(SamplingService, DeadlineDropsWhenWorkerCannotKeepUp)
+{
+    // Deadline far shorter than the time one worker needs to chew
+    // through the backlog: the tail of the burst must be Dropped
+    // (in-queue shedding), not executed late.
+    auto cfg = tinyService(1, /*capacity=*/512);
+    cfg.batcher.window = std::chrono::microseconds(0);
+    cfg.batcher.max_requests = 1;
+    cfg.default_deadline = std::chrono::microseconds(500);
+    service::SamplingService svc(cfg);
+
+    std::vector<std::future<service::Reply>> futures;
+    for (int i = 0; i < 256; ++i)
+        futures.push_back(svc.submit(tinyPlan(64)));
+
+    std::uint64_t ok = 0, dropped = 0, other = 0;
+    for (auto &f : futures) {
+        switch (f.get().status) {
+          case service::ReplyStatus::Ok: ++ok; break;
+          case service::ReplyStatus::Dropped: ++dropped; break;
+          default: ++other; break;
+        }
+    }
+    svc.shutdown();
+    EXPECT_GT(dropped, 0u);
+    EXPECT_EQ(ok + dropped + other, 256u);
+}
+
+TEST(SamplingService, GracefulShutdownDrainsInFlight)
+{
+    auto cfg = tinyService(2, /*capacity=*/512);
+    service::SamplingService svc(cfg);
+    std::vector<std::future<service::Reply>> futures;
+    for (int i = 0; i < 128; ++i)
+        futures.push_back(svc.submit(tinyPlan()));
+    svc.shutdown(service::SamplingService::Shutdown::Drain);
+    for (auto &f : futures)
+        EXPECT_EQ(f.get().status, service::ReplyStatus::Ok);
+    EXPECT_EQ(svc.queueDepth(), 0u);
+}
+
+TEST(SamplingService, CancelShutdownFailsBacklogFast)
+{
+    auto cfg = tinyService(1, /*capacity=*/512);
+    cfg.batcher.max_requests = 1;
+    cfg.batcher.window = std::chrono::microseconds(0);
+    service::SamplingService svc(cfg);
+    std::vector<std::future<service::Reply>> futures;
+    for (int i = 0; i < 128; ++i)
+        futures.push_back(svc.submit(tinyPlan(64)));
+    svc.shutdown(service::SamplingService::Shutdown::Cancel);
+
+    std::uint64_t ok = 0, cancelled = 0;
+    for (auto &f : futures) {
+        const auto status = f.get().status;
+        if (status == service::ReplyStatus::Ok)
+            ++ok;
+        else if (status == service::ReplyStatus::Cancelled)
+            ++cancelled;
+    }
+    // A worker finishes whatever it already picked up; the rest of
+    // the backlog fails fast instead of executing.
+    EXPECT_GT(cancelled, 0u);
+    EXPECT_EQ(ok + cancelled, 128u);
+}
+
+TEST(SamplingService, SubmissionsFromManyThreads)
+{
+    service::SamplingService svc(tinyService(2));
+    constexpr int clients = 4, per_client = 16;
+    std::vector<std::thread> threads;
+    std::atomic<int> ok{0};
+    for (int c = 0; c < clients; ++c) {
+        threads.emplace_back([&svc, &ok] {
+            for (int i = 0; i < per_client; ++i) {
+                if (svc.sample(tinyPlan()).status ==
+                    service::ReplyStatus::Ok)
+                    ++ok;
+            }
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    svc.shutdown();
+    EXPECT_EQ(ok.load(), clients * per_client);
+}
+
+// ---------------------------------------------------------------------
+// Determinism
+// ---------------------------------------------------------------------
+
+/** Same seeds, same submission order => identical sampled IDs. */
+TEST(SamplingService, SingleWorkerDeterministicAcrossRuns)
+{
+    auto run = [] {
+        auto cfg = tinyService(1);
+        cfg.batcher.window = std::chrono::microseconds(0);
+        service::SamplingService svc(cfg);
+        std::vector<graph::NodeId> ids;
+        for (int i = 0; i < 8; ++i) {
+            const auto reply = svc.sample(tinyPlan());
+            for (graph::NodeId n : reply.batch.roots)
+                ids.push_back(n);
+            for (const auto &hop : reply.batch.frontier)
+                for (graph::NodeId n : hop)
+                    ids.push_back(n);
+        }
+        svc.shutdown();
+        return ids;
+    };
+    EXPECT_EQ(run(), run());
+}
+
+/** Workers get decorrelated seeds: shards don't mirror each other. */
+TEST(WorkerPool, WorkerSeedsAreDecorrelated)
+{
+    framework::SessionConfig a = tinySession();
+    framework::SessionConfig b = tinySession();
+    b.seed += 1; // what worker 1 gets
+    framework::Session sa(a), sb(b);
+    const auto ra = sa.sampleBatch(tinyPlan(32));
+    const auto rb = sb.sampleBatch(tinyPlan(32));
+    EXPECT_NE(ra.roots, rb.roots);
+}
+
+// ---------------------------------------------------------------------
+// Load generator
+// ---------------------------------------------------------------------
+
+TEST(LoadGenerator, ClosedLoopDeliversGoodput)
+{
+    service::SamplingService svc(tinyService(2));
+    service::LoadGenerator gen(svc);
+    const auto report = gen.runClosedLoop(tinyPlan(), 4, 100ms);
+    svc.shutdown();
+    EXPECT_GT(report.offered, 0u);
+    EXPECT_EQ(report.ok, report.offered); // closed loop never sheds
+    EXPECT_GT(report.goodput_qps, 0.0);
+    EXPECT_GT(report.p50_us, 0.0);
+    EXPECT_LE(report.p50_us, report.p95_us);
+    EXPECT_LE(report.p95_us, report.p99_us);
+}
+
+TEST(LoadGenerator, OpenLoopOverloadShedsInsteadOfExploding)
+{
+    auto cfg = tinyService(1, /*capacity=*/8);
+    cfg.batcher.window = std::chrono::microseconds(0);
+    service::SamplingService svc(cfg);
+    service::LoadGenerator gen(svc);
+    // Offered load far beyond one worker's capacity on plan(256).
+    const auto report =
+        gen.runOpenLoop(tinyPlan(256), /*qps=*/4000.0, 150ms);
+    svc.shutdown();
+    EXPECT_GT(report.offered, 0u);
+    EXPECT_GT(report.rejected, 0u);
+    EXPECT_EQ(report.ok + report.rejected + report.dropped +
+                  report.cancelled,
+              report.offered);
+}
+
+// ---------------------------------------------------------------------
+// Stats & trace export
+// ---------------------------------------------------------------------
+
+TEST(ServiceObservability, LatencyHistogramsExportedThroughRegistry)
+{
+    service::SamplingService svc(tinyService(2));
+    for (int i = 0; i < 24; ++i)
+        (void)svc.sample(tinyPlan());
+    svc.shutdown();
+
+    const auto &group = svc.stats().group();
+    EXPECT_EQ(group.counter("completed").value(), 24u);
+    EXPECT_EQ(group.histogram("e2e_us").samples(), 24u);
+    EXPECT_GT(svc.stats().e2ePercentile(0.5), 0.0);
+
+    // Registry JSON carries the service group with p50/p95/p99.
+    std::ostringstream os;
+    stats::StatRegistry::instance().exportJson(os);
+    const std::string json = os.str();
+    EXPECT_NE(json.find("\"service\""), std::string::npos);
+    EXPECT_NE(json.find("\"e2e_us\""), std::string::npos);
+    EXPECT_NE(json.find("\"p95\""), std::string::npos);
+}
+
+TEST(ServiceObservability, TraceCarriesWorkerTracksAndCounters)
+{
+    const std::string path =
+        ::testing::TempDir() + "lsdgnn_service_trace.json";
+    trace::Tracer::instance().open(path);
+    ASSERT_TRUE(trace::Tracer::enabled());
+    {
+        service::SamplingService svc(tinyService(2));
+        for (int i = 0; i < 64; ++i)
+            (void)svc.sample(tinyPlan());
+        svc.shutdown();
+    }
+    trace::Tracer::instance().close();
+
+    std::ifstream in(path);
+    std::ostringstream os;
+    os << in.rdbuf();
+    const std::string text = os.str();
+    std::remove(path.c_str());
+
+    EXPECT_NE(text.find("service.worker0"), std::string::npos);
+    EXPECT_NE(text.find("service.queue.depth"), std::string::npos);
+    EXPECT_NE(text.find("service.e2e_p99_us"), std::string::npos);
+    EXPECT_NE(text.find("\"requests\":"), std::string::npos);
+}
+
+} // namespace
+} // namespace lsdgnn
