@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Sampling hot-path microbenchmark: per-batch cost of the
+ * allocation-free steady-state sampling kernel.
+ *
+ * Three numbers bound the service layer's per-request CPU budget:
+ *
+ *  - solo kernel: Session::sampleBatchInto() on a typical per-client
+ *    plan (64 roots, fanouts 10,10), reusing one SampleResult — the
+ *    cost of an unbatched request.
+ *  - merged exec: the same kernel on a Batcher-merged 512-root batch
+ *    (8 riders x 64 roots) — the amortized cost request packing buys.
+ *  - splitInto: scattering the merged result back into per-rider
+ *    results with a persistent SplitScratch — the overhead packing
+ *    pays.
+ *
+ * Plus the coalescing-set hit rate, the software analogue of the
+ * paper's 8 KB GetAttribute coalescing cache.
+ *
+ * `--smoke` runs a few iterations only (CI liveness); `--json` emits
+ * the machine-readable summary line consumed by BENCH_sampling.json.
+ */
+
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "framework/session.hh"
+#include "service/batcher.hh"
+
+namespace {
+
+using BenchClock = std::chrono::steady_clock;
+
+double
+usBetween(BenchClock::time_point a, BenchClock::time_point b)
+{
+    return std::chrono::duration<double, std::micro>(b - a).count();
+}
+
+bool
+smokeRequested(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i)
+        if (std::string_view(argv[i]) == "--smoke")
+            return true;
+    return false;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace lsdgnn;
+    const bool json = bench::jsonRequested(argc, argv);
+    const bool smoke = smokeRequested(argc, argv);
+    bench::banner("Sampling hot path — steady-state kernel cost",
+                  "AxE keeps GetNeighbor/GetSample/GetAttribute in "
+                  "fixed pipeline buffers with a coalescing cache; "
+                  "the software path mirrors that with reusable "
+                  "arenas and a dedup set");
+
+    // Same session shape as bench_service_throughput so the kernel
+    // numbers here explain the closed-loop goodput there.
+    framework::SessionConfig sc;
+    sc.dataset = "ss";
+    sc.scale_divisor = 40'000;
+    sc.num_servers = 4;
+    sc.seed = 7;
+    framework::Session session(sc);
+
+    sampling::SamplePlan plan;
+    plan.batch_size = 64;
+    plan.fanouts = {10, 10};
+
+    const int solo_iters = smoke ? 20 : 2000;
+    const int merged_iters = smoke ? 5 : 250;
+
+    sampling::SampleResult buf;
+
+    // Solo kernel: one unbatched request.
+    for (int i = 0; i < (smoke ? 5 : 20); ++i)
+        session.sampleBatchInto(plan, buf); // warm arenas
+    std::uint64_t nodes = 0;
+    const auto t_solo0 = BenchClock::now();
+    for (int i = 0; i < solo_iters; ++i) {
+        session.sampleBatchInto(plan, buf);
+        nodes += buf.roots.size() + buf.totalSampled();
+    }
+    const auto t_solo1 = BenchClock::now();
+    const double solo_us = usBetween(t_solo0, t_solo1) / solo_iters;
+    const double solo_ns_node =
+        usBetween(t_solo0, t_solo1) * 1000.0 / double(nodes);
+
+    // Merged exec + splitInto: 8 riders packed into one 512-root
+    // batch, then scattered back with persistent scratch.
+    sampling::SamplePlan merged_plan = plan;
+    merged_plan.batch_size = 512;
+    const std::vector<std::uint32_t> root_counts(8, 64);
+    service::SplitScratch split_scratch;
+    std::vector<sampling::SampleResult> parts;
+    for (int i = 0; i < (smoke ? 2 : 5); ++i) {
+        session.sampleBatchInto(merged_plan, buf);
+        service::Batcher::splitInto(buf, root_counts, split_scratch,
+                                    parts);
+    }
+    double exec_us = 0, split_us = 0;
+    for (int i = 0; i < merged_iters; ++i) {
+        const auto a = BenchClock::now();
+        session.sampleBatchInto(merged_plan, buf);
+        const auto b = BenchClock::now();
+        service::Batcher::splitInto(buf, root_counts, split_scratch,
+                                    parts);
+        const auto c = BenchClock::now();
+        exec_us += usBetween(a, b);
+        split_us += usBetween(b, c);
+    }
+    exec_us /= merged_iters;
+    split_us /= merged_iters;
+    const double hit_rate = session.coalesceHitRate();
+
+    TextTable table;
+    table.header({"stage", "us/batch", "us/request"});
+    table.row({"solo kernel (64 roots)", TextTable::num(solo_us, 1),
+               TextTable::num(solo_us, 1)});
+    table.row({"merged exec (512 roots)", TextTable::num(exec_us, 1),
+               TextTable::num(exec_us / 8, 1)});
+    table.row({"splitInto (8 riders)", TextTable::num(split_us, 1),
+               TextTable::num(split_us / 8, 1)});
+    std::cout << "\n";
+    table.print(std::cout);
+    std::cout << "\nsolo kernel: " << TextTable::num(solo_ns_node, 1)
+              << " ns/node sampled\n";
+    std::cout << "coalesce (attribute dedup) hit rate: "
+              << TextTable::num(hit_rate, 3) << "\n";
+    std::cout << "(packed request cost = (exec + split) / riders; "
+                 "packing wins when that beats the solo kernel)\n";
+
+    if (json) {
+        bench::RunMeta meta;
+        meta.threads = 1;
+        meta.wall_s = std::chrono::duration<double>(
+                          BenchClock::now() - t_solo0)
+                          .count();
+        std::ostringstream extra;
+        extra << ",\"smoke\":" << (smoke ? "true" : "false")
+              << ",\"solo_us_per_batch\":" << solo_us
+              << ",\"solo_ns_per_node\":" << solo_ns_node
+              << ",\"merged_exec_us\":" << exec_us
+              << ",\"split_into_us\":" << split_us
+              << ",\"coalesce_hit_rate\":" << hit_rate;
+        meta.extra = extra.str();
+        std::cout << bench::jsonSummary("sampling_hotpath", meta)
+                  << "\n";
+    }
+    return 0;
+}

@@ -19,6 +19,29 @@
 namespace lsdgnn {
 namespace bench {
 
+/** Build flavor the bench binary was compiled as ("unknown" when the
+ *  build system did not stamp one). */
+inline const char *
+buildType()
+{
+#ifdef LSDGNN_BUILD_TYPE
+    return LSDGNN_BUILD_TYPE;
+#else
+    return "unknown";
+#endif
+}
+
+/** Source revision the bench binary was built from. */
+inline const char *
+gitSha()
+{
+#ifdef LSDGNN_GIT_SHA
+    return LSDGNN_GIT_SHA;
+#else
+    return "unknown";
+#endif
+}
+
 /** Print the standard harness banner. */
 inline void
 banner(const std::string &experiment, const std::string &paper_claim)
@@ -29,6 +52,12 @@ banner(const std::string &experiment, const std::string &paper_claim)
     std::cout << "paper reference: " << paper_claim << "\n";
     std::cout << "==================================================="
                  "=============\n";
+#ifndef NDEBUG
+    std::cout << "*** WARNING: compiled without NDEBUG (build type "
+              << buildType()
+              << ") — numbers below are NOT representative; "
+                 "rebuild with -DCMAKE_BUILD_TYPE=Release ***\n";
+#endif
 }
 
 /**
@@ -72,9 +101,13 @@ jsonSummary(const std::string &bench_name, const RunMeta &meta)
     std::ostringstream os;
     std::string escaped;
     trace::appendEscaped(escaped, bench_name);
+    std::string build_type, sha;
+    trace::appendEscaped(build_type, buildType());
+    trace::appendEscaped(sha, gitSha());
     os << "{\"bench\":\"" << escaped << "\",\"meta\":{\"threads\":"
-       << meta.threads << ",\"wall_s\":" << meta.wall_s << meta.extra
-       << "},\"stats\":";
+       << meta.threads << ",\"wall_s\":" << meta.wall_s
+       << ",\"build_type\":\"" << build_type << "\",\"git_sha\":\""
+       << sha << "\"" << meta.extra << "},\"stats\":";
     stats::StatRegistry::instance().exportJson(os);
     os << "}";
     return os.str();

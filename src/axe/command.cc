@@ -59,6 +59,7 @@ CommandDecoder::CommandDecoder(const graph::CsrGraph &graph,
       attrs_(attrs),
       sampler_(sampler),
       negSampler(graph, 0.35),
+      engine_(graph, attrs, sampler),
       csrs(num_csrs, 0),
       rng_(1)
 {
@@ -119,11 +120,11 @@ CommandDecoder::execute(CommandWord cmd)
         sampling::SamplePlan plan;
         plan.batch_size = batch;
         plan.fanouts.assign(hops, rate);
-        std::vector<graph::NodeId> roots(batch);
+        rootScratch.resize(batch);
         for (std::uint32_t i = 0; i < batch; ++i)
-            roots[i] = root_base + i;
-        sampling::MiniBatchSampler engine(graph_, attrs_, sampler_);
-        lastSample_ = engine.sampleBatch(plan, roots, rng_);
+            rootScratch[i] = root_base + i;
+        lastSample_.clearForReuse();
+        engine_.sampleBatchInto(plan, rootScratch, rng_, lastSample_);
         resp.value = lastSample_.totalSampled();
         break;
       }

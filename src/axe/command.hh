@@ -179,6 +179,17 @@ class CommandDecoder
         return lastSample_;
     }
 
+    /**
+     * Move the most recent SampleNHop result out of the decoder
+     * (avoids one deep copy on the host read-back path). The decoder's
+     * stored result is left empty-but-valid; the next SampleNHop
+     * refills it.
+     */
+    sampling::SampleResult takeLastSample()
+    {
+        return std::move(lastSample_);
+    }
+
     /** Attribute payload of the most recent ReadNodeAttr. */
     const std::vector<float> &lastAttributes() const
     {
@@ -214,8 +225,12 @@ class CommandDecoder
     const graph::AttributeStore &attrs_;
     const sampling::NeighborSampler &sampler_;
     sampling::NegativeSampler negSampler;
+    /** Persistent sampling engine: its scratch arenas model the AxE
+     *  pipeline's on-chip buffers, which live across commands. */
+    sampling::MiniBatchSampler engine_;
     std::vector<std::uint32_t> csrs;
     Rng rng_;
+    std::vector<graph::NodeId> rootScratch;
     sampling::SampleResult lastSample_;
     std::vector<float> lastAttrs;
     std::vector<graph::NodeId> lastNegs;

@@ -38,10 +38,18 @@ Session::Session(SessionConfig config)
 sampling::SampleResult
 Session::sampleBatch(const sampling::SamplePlan &plan)
 {
+    sampling::SampleResult result;
+    sampleBatchInto(plan, result);
+    return result;
+}
+
+void
+Session::sampleBatchInto(const sampling::SamplePlan &plan,
+                         sampling::SampleResult &out)
+{
     lsd_assert(!plan.fanouts.empty(), "plan needs hops");
     batchCount.inc();
 
-    sampling::SampleResult result;
     if (config_.backend == Backend::AxeOffload) {
         // The Table 4 command path: uniform fan-out, contiguous root
         // window (the host enumerates roots into the command buffer).
@@ -58,23 +66,25 @@ Session::sampleBatch(const sampling::SamplePlan &plan)
             static_cast<std::uint8_t>(plan.hops()),
             static_cast<std::uint8_t>(plan.fanouts[0]), root_base));
         lsd_assert(resp.status == 0, "AxE sample command faulted");
-        result = decoder->lastSample();
+        out = decoder->takeLastSample();
     } else {
-        result = engine.sampleBatch(plan, rng_);
+        // No clearForReuse here: the engine fully defines roots,
+        // frontier and parent, and keeping the stale sizes lets its
+        // grow-only arenas skip re-initialization.
+        engine.sampleBatchInto(plan, rng_, out);
     }
 
     if (hotCache) {
-        for (graph::NodeId n : result.roots)
+        for (graph::NodeId n : out.roots)
             hotCache->access(n);
-        for (const auto &hop : result.frontier)
+        for (const auto &hop : out.frontier)
             for (graph::NodeId n : hop)
                 hotCache->access(n);
     }
-    std::uint64_t nodes = result.roots.size();
-    for (const auto &hop : result.frontier)
+    std::uint64_t nodes = out.roots.size();
+    for (const auto &hop : out.frontier)
         nodes += hop.size();
     batchNodes.sample(static_cast<double>(nodes));
-    return result;
 }
 
 std::vector<float>

@@ -93,6 +93,14 @@ class Session
     /** GNN-operator level: sample one mini-batch. */
     sampling::SampleResult sampleBatch(const sampling::SamplePlan &plan);
 
+    /**
+     * Hot-path variant: sample into @p out, reusing its capacity.
+     * Zero steady-state allocation on the Software backend; the AxE
+     * backend moves the decoder read-back into @p out.
+     */
+    void sampleBatchInto(const sampling::SamplePlan &plan,
+                         sampling::SampleResult &out);
+
     /** GNN-operator level: fetch one node's attribute vector. */
     std::vector<float> nodeAttributes(graph::NodeId node) const;
 
@@ -117,6 +125,9 @@ class Session
 
     /** Hot-cache hit rate so far (0 when the cache is off). */
     double hotCacheHitRate() const;
+
+    /** Attribute-coalescing hit rate of the software engine. */
+    double coalesceHitRate() const { return engine.coalesceHitRate(); }
 
     /** Batches sampled so far. */
     std::uint64_t batchesSampled() const { return batchCount.value(); }

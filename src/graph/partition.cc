@@ -1,5 +1,8 @@
 #include "partition.hh"
 
+#include <algorithm>
+#include <limits>
+
 #include "common/logging.hh"
 
 namespace lsdgnn {
@@ -7,28 +10,14 @@ namespace graph {
 
 Partitioner::Partitioner(std::uint64_t num_nodes, ServerId num_servers,
                          PartitionPolicy policy)
-    : nodes(num_nodes), servers(num_servers), policy_(policy)
+    : nodes(num_nodes), servers(num_servers), policy_(policy),
+      modMagic(std::numeric_limits<std::uint64_t>::max() /
+                   num_servers + 1),
+      rangePer((num_nodes + num_servers - 1) /
+               std::max<ServerId>(num_servers, 1))
 {
     lsd_assert(num_servers > 0, "need at least one server");
     lsd_assert(num_nodes > 0, "need at least one node");
-}
-
-ServerId
-Partitioner::serverOf(NodeId node) const
-{
-    lsd_assert(node < nodes, "serverOf: node out of range");
-    switch (policy_) {
-      case PartitionPolicy::Hash:
-        // Multiplicative hash decorrelates server choice from the
-        // popularity skew baked into low node IDs.
-        return static_cast<ServerId>(
-            (node * 0x9e3779b97f4a7c15ull >> 32) % servers);
-      case PartitionPolicy::Range: {
-        const std::uint64_t per = (nodes + servers - 1) / servers;
-        return static_cast<ServerId>(node / per);
-      }
-    }
-    lsd_panic("unknown partition policy");
 }
 
 std::uint64_t

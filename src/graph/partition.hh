@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/logging.hh"
 #include "graph/csr_graph.hh"
 
 namespace lsdgnn {
@@ -47,8 +48,37 @@ class Partitioner
 
     ServerId numServers() const { return servers; }
 
-    /** Owning server of @p node. */
-    ServerId serverOf(NodeId node) const;
+    /**
+     * Owning server of @p node.
+     *
+     * Inlined and division-free: the sampling hot loop classifies
+     * every access through here, so the Hash policy's `% servers` is
+     * strength-reduced to Lemire's exact multiply-shift modulo (the
+     * hashed key is 32-bit, for which the identity is exact), and the
+     * Range policy's per-server width is precomputed once.
+     */
+    ServerId
+    serverOf(NodeId node) const
+    {
+        lsd_assert(node < nodes, "serverOf: node out of range");
+        switch (policy_) {
+          case PartitionPolicy::Hash: {
+            // Multiplicative hash decorrelates server choice from the
+            // popularity skew baked into low node IDs.
+            const std::uint32_t h = static_cast<std::uint32_t>(
+                node * 0x9e3779b97f4a7c15ull >> 32);
+            // h % servers without the div: lowbits carries the
+            // fractional part of h / servers in 64-bit fixed point;
+            // multiplying by servers recovers the remainder exactly.
+            const std::uint64_t lowbits = modMagic * h;
+            return static_cast<ServerId>(
+                (static_cast<unsigned __int128>(lowbits) * servers) >> 64);
+          }
+          case PartitionPolicy::Range:
+            return static_cast<ServerId>(node / rangePer);
+        }
+        lsd_panic("unknown partition policy");
+    }
 
     /** Number of nodes placed on @p server. */
     std::uint64_t nodesOnServer(ServerId server) const;
@@ -63,6 +93,8 @@ class Partitioner
     std::uint64_t nodes;
     ServerId servers;
     PartitionPolicy policy_;
+    std::uint64_t modMagic;  ///< UINT64_MAX / servers + 1 (fastmod)
+    std::uint64_t rangePer;  ///< ceil(nodes / servers) (Range policy)
 };
 
 } // namespace graph

@@ -17,7 +17,7 @@ MetaPathResult::totalSampled() const
 MetaPathResult
 MetaPathSampler::sample(std::span<const graph::NodeId> roots,
                         std::span<const MetaPathStep> path,
-                        Rng &rng) const
+                        Rng &rng)
 {
     lsd_assert(!path.empty(), "metapath needs at least one step");
     for (const auto &step : path) {
@@ -36,6 +36,14 @@ MetaPathSampler::sample(std::span<const graph::NodeId> roots,
     for (std::size_t h = 0; h < path.size(); ++h) {
         auto &out = result.frontier[h];
         auto &par = result.parent[h];
+        // Pre-size the per-stage expansion exactly like the
+        // homogeneous engine: every surviving row emits fanout
+        // samples, so this reserve makes the stage allocation-free
+        // beyond one growth per (walker, stage-size) high-water mark.
+        const std::size_t upper = prev->size() *
+            static_cast<std::size_t>(path[h].fanout);
+        out.reserve(upper);
+        par.reserve(upper);
         for (std::uint32_t i = 0; i < prev->size(); ++i) {
             const graph::NodeId node = (*prev)[i];
             const auto typed =
@@ -43,9 +51,12 @@ MetaPathSampler::sample(std::span<const graph::NodeId> roots,
             if (typed.empty())
                 continue;
             const std::size_t before = out.size();
-            sampler_.sample(typed, path[h].fanout, rng, out);
-            for (std::size_t j = before; j < out.size(); ++j)
-                par.push_back(i);
+            out.resize(before + path[h].fanout);
+            const std::uint32_t cnt = sampler_.sampleInto(
+                typed, path[h].fanout, rng, out.data() + before,
+                scratch_);
+            out.resize(before + cnt);
+            par.resize(before + cnt, i);
         }
         prev = &out;
     }

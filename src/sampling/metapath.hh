@@ -42,6 +42,9 @@ struct MetaPathResult {
 
 /**
  * Typed multi-hop sampler.
+ *
+ * Not thread-safe: the walker owns reusable sampler scratch buffers
+ * (same single-owner contract as MiniBatchSampler).
  */
 class MetaPathSampler
 {
@@ -61,11 +64,12 @@ class MetaPathSampler
      */
     MetaPathResult sample(std::span<const graph::NodeId> roots,
                           std::span<const MetaPathStep> path,
-                          Rng &rng) const;
+                          Rng &rng);
 
   private:
     const graph::HeteroGraph &graph_;
     const NeighborSampler &sampler_;
+    SamplerScratch scratch_;
 };
 
 } // namespace sampling

@@ -1,5 +1,7 @@
 #include "minibatch.hh"
 
+#include <limits>
+
 #include "common/logging.hh"
 
 namespace lsdgnn {
@@ -8,13 +10,21 @@ namespace sampling {
 std::uint64_t
 SamplePlan::maxNodesPerBatch() const
 {
+    constexpr std::uint64_t cap = std::numeric_limits<std::uint64_t>::max();
     std::uint64_t per_root = 0;
     std::uint64_t layer = 1;
     for (std::uint32_t f : fanouts) {
-        layer *= f;
-        per_root += layer;
+        if (f != 0 && layer > cap / f)
+            layer = cap;
+        else
+            layer *= f;
+        per_root = per_root > cap - layer ? cap : per_root + layer;
     }
-    return batch_size * (1 + per_root);
+    const std::uint64_t per_root_total =
+        per_root > cap - 1 ? cap : 1 + per_root;
+    return per_root_total > cap / std::max<std::uint32_t>(batch_size, 1)
+        ? cap
+        : batch_size * per_root_total;
 }
 
 std::uint64_t
@@ -24,6 +34,16 @@ SampleResult::totalSampled() const
     for (const auto &hop : frontier)
         total += hop.size();
     return total;
+}
+
+void
+SampleResult::clearForReuse()
+{
+    roots.clear();
+    for (auto &hop : frontier)
+        hop.clear();
+    for (auto &hop : parent)
+        hop.clear();
 }
 
 double
@@ -44,6 +64,14 @@ TrafficStats::remoteFraction() const
           static_cast<double>(total);
 }
 
+double
+TrafficStats::attributeDedupRate() const
+{
+    return attribute_requests == 0 ? 0.0
+        : 1.0 - static_cast<double>(attribute_requests_unique) /
+                static_cast<double>(attribute_requests);
+}
+
 TrafficStats &
 TrafficStats::operator+=(const TrafficStats &o)
 {
@@ -51,6 +79,8 @@ TrafficStats::operator+=(const TrafficStats &o)
     structure_bytes += o.structure_bytes;
     attribute_requests += o.attribute_requests;
     attribute_bytes += o.attribute_bytes;
+    attribute_requests_unique += o.attribute_requests_unique;
+    attribute_bytes_unique += o.attribute_bytes_unique;
     remote_requests += o.remote_requests;
     local_requests += o.local_requests;
     return *this;
@@ -62,41 +92,19 @@ MiniBatchSampler::MiniBatchSampler(const graph::CsrGraph &graph,
                                    const graph::Partitioner *partitioner)
     : graph_(graph), attrs_(attrs), sampler_(sampler), part(partitioner)
 {
-}
-
-void
-MiniBatchSampler::accountStructure(graph::NodeId node, std::uint64_t bytes)
-{
-    ++traffic_.structure_requests;
-    traffic_.structure_bytes += bytes;
-    if (part) {
-        if (part->serverOf(node) == 0)
-            ++traffic_.local_requests;
-        else
-            ++traffic_.remote_requests;
-    }
-}
-
-void
-MiniBatchSampler::accountAttribute(graph::NodeId node)
-{
-    ++traffic_.attribute_requests;
-    traffic_.attribute_bytes += attrs_.bytesPerNode();
-    if (part) {
-        if (part->serverOf(node) == 0)
-            ++traffic_.local_requests;
-        else
-            ++traffic_.remote_requests;
-    }
+    group.addCounter("attr_lookups", &coalesceLookups,
+                     "raw GetAttribute accesses before coalescing");
+    group.addCounter("attr_dedup_hits", &coalesceHits,
+                     "attribute accesses absorbed by the frontier "
+                     "dedup set (coalescing-cache analogue)");
 }
 
 SampleResult
 MiniBatchSampler::sampleBatch(const SamplePlan &plan, Rng &rng)
 {
-    std::vector<graph::NodeId> roots(plan.batch_size);
-    for (auto &r : roots)
-        r = rng.nextBounded(graph_.numNodes());
-    return sampleBatch(plan, roots, rng);
+    SampleResult result;
+    sampleBatchInto(plan, rng, result);
+    return result;
 }
 
 SampleResult
@@ -104,47 +112,134 @@ MiniBatchSampler::sampleBatch(const SamplePlan &plan,
                               std::span<const graph::NodeId> roots,
                               Rng &rng)
 {
-    lsd_assert(!plan.fanouts.empty(), "plan needs at least one hop");
     SampleResult result;
-    result.roots.assign(roots.begin(), roots.end());
-    result.frontier.resize(plan.hops());
-    result.parent.resize(plan.hops());
+    sampleBatchInto(plan, roots, rng, result);
+    return result;
+}
 
-    const std::vector<graph::NodeId> *prev = &result.roots;
-    for (std::uint32_t hop = 0; hop < plan.hops(); ++hop) {
-        auto &out = result.frontier[hop];
-        auto &par = result.parent[hop];
-        out.reserve(prev->size() * plan.fanouts[hop]);
-        for (std::uint32_t i = 0; i < prev->size(); ++i) {
-            const graph::NodeId node = (*prev)[i];
+void
+MiniBatchSampler::sampleBatchInto(const SamplePlan &plan, Rng &rng,
+                                  SampleResult &out)
+{
+    auto &roots = scratch_.roots;
+    roots.resize(plan.batch_size);
+    for (auto &r : roots)
+        r = rng.nextBounded(graph_.numNodes());
+    sampleBatchInto(plan, roots, rng, out);
+}
+
+void
+MiniBatchSampler::sampleBatchInto(const SamplePlan &plan,
+                                  std::span<const graph::NodeId> roots,
+                                  Rng &rng, SampleResult &out)
+{
+    lsd_assert(!plan.fanouts.empty(), "plan needs at least one hop");
+    const std::uint32_t hops = plan.hops();
+    if (roots.data() != out.roots.data())
+        out.roots.assign(roots.begin(), roots.end());
+    out.frontier.resize(hops);
+    out.parent.resize(hops);
+
+    // Accounting is accumulated in registers inside the loop and
+    // flushed once per stage; local/remote classification is done per
+    // *parent* node (one serverOf per frontier row, not per sample).
+    std::uint64_t struct_reqs = 0, local = 0, remote = 0;
+
+    const graph::NodeId *prev = out.roots.data();
+    std::size_t prev_size = out.roots.size();
+    for (std::uint32_t hop = 0; hop < hops; ++hop) {
+        auto &out_v = out.frontier[hop];
+        auto &par = out.parent[hop];
+        const std::uint32_t fanout = plan.fanouts[hop];
+        // One grow-only arena resize per hop; samples are written
+        // through raw pointers and the arena is trimmed to the filled
+        // prefix. Growing only when needed means a reused result pays
+        // value-initialization solely for the slice beyond the
+        // previous batch's fill, not the whole arena.
+        const std::size_t arena =
+            prev_size * static_cast<std::size_t>(fanout);
+        if (out_v.size() < arena)
+            out_v.resize(arena);
+        if (par.size() < arena)
+            par.resize(arena);
+        graph::NodeId *op = out_v.data();
+        std::uint32_t *pp = par.data();
+        std::size_t pos = 0;
+        for (std::uint32_t i = 0; i < prev_size; ++i) {
+            const graph::NodeId node = prev[i];
             // GetNeighbor: one fine-grained degree lookup against the
             // CSR offsets, then one 8-byte read per sampled adjacency
             // slot — random positions inside the neighbor list, the
             // pointer-chasing pattern Fig. 2(c) measures.
             const std::uint64_t deg = graph_.degree(node);
-            accountStructure(node, structure_word_bytes);
-            if (deg == 0)
-                continue;
-            const std::size_t before = out.size();
-            sampler_.sample(graph_.neighbors(node), plan.fanouts[hop],
-                            rng, out);
-            for (std::size_t j = before; j < out.size(); ++j) {
-                accountStructure(node, structure_word_bytes);
-                par.push_back(i);
+            std::uint64_t reqs = 1; // the degree read
+            if (deg != 0 && fanout != 0) {
+                const std::uint32_t cnt = sampler_.sampleInto(
+                    graph_.neighbors(node), fanout, rng, op + pos,
+                    scratch_.sampler);
+                for (std::uint32_t j = 0; j < cnt; ++j)
+                    pp[pos + j] = i;
+                pos += cnt;
+                reqs += cnt;
+            }
+            struct_reqs += reqs;
+            if (part) {
+                if (part->serverOf(node) == 0)
+                    local += reqs;
+                else
+                    remote += reqs;
             }
         }
-        prev = &out;
+        out_v.resize(pos);
+        par.resize(pos);
+        prev = out_v.data();
+        prev_size = pos;
     }
+
+    traffic_.structure_requests += struct_reqs;
+    traffic_.structure_bytes += struct_reqs * structure_word_bytes;
 
     if (plan.fetch_attributes) {
         // GetAttribute: coarse-grained reads for roots + all samples.
-        for (graph::NodeId n : result.roots)
-            accountAttribute(n);
-        for (const auto &hop : result.frontier)
-            for (graph::NodeId n : hop)
-                accountAttribute(n);
+        // The raw stream is accounted in full (that is what Fig. 2(c)
+        // characterizes); the CoalescingSet additionally tracks the
+        // unique stream an AxE-style coalescing cache would let
+        // through to the store. The set counts multiplicity per key,
+        // so local/remote classification runs once per *unique* node
+        // below instead of once per raw access.
+        auto &dedup = scratch_.dedup;
+        dedup.reserveFor(
+            std::min(plan.maxNodesPerBatch(), graph_.numNodes()));
+        dedup.beginBatch();
+        std::uint64_t raw = out.roots.size();
+        for (graph::NodeId node : out.roots)
+            dedup.insert(node);
+        for (const auto &hop : out.frontier) {
+            raw += hop.size();
+            for (graph::NodeId node : hop)
+                dedup.insert(node);
+        }
+        if (part) {
+            dedup.forEach([&](graph::NodeId node, std::uint64_t cnt) {
+                if (part->serverOf(node) == 0)
+                    local += cnt;
+                else
+                    remote += cnt;
+            });
+        }
+
+        const std::uint64_t unique = dedup.size();
+        const std::uint64_t bytes_per_node = attrs_.bytesPerNode();
+        traffic_.attribute_requests += raw;
+        traffic_.attribute_bytes += raw * bytes_per_node;
+        traffic_.attribute_requests_unique += unique;
+        traffic_.attribute_bytes_unique += unique * bytes_per_node;
+        coalesceLookups.inc(raw);
+        coalesceHits.inc(raw - unique);
     }
-    return result;
+
+    traffic_.local_requests += local;
+    traffic_.remote_requests += remote;
 }
 
 } // namespace sampling

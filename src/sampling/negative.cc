@@ -29,6 +29,16 @@ NegativeSampler::sample(graph::NodeId src, graph::NodeId dst,
                         std::uint32_t rate, Rng &rng) const
 {
     std::vector<graph::NodeId> out;
+    sampleInto(src, dst, rate, rng, out);
+    return out;
+}
+
+void
+NegativeSampler::sampleInto(graph::NodeId src, graph::NodeId dst,
+                            std::uint32_t rate, Rng &rng,
+                            std::vector<graph::NodeId> &out) const
+{
+    out.clear();
     out.reserve(rate);
     // Bounded rejection: on pathological inputs (node adjacent to the
     // whole graph) fall back to accepting non-src/dst nodes so the
@@ -51,7 +61,6 @@ NegativeSampler::sample(graph::NodeId src, graph::NodeId dst,
         if (cand != src && cand != dst)
             out.push_back(cand);
     }
-    return out;
 }
 
 } // namespace sampling

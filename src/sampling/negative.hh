@@ -44,6 +44,14 @@ class NegativeSampler
                                       graph::NodeId dst,
                                       std::uint32_t rate, Rng &rng) const;
 
+    /**
+     * Hot-path variant: draw into @p out (cleared first), reusing its
+     * capacity. Same rejection logic and RNG sequence as sample().
+     */
+    void sampleInto(graph::NodeId src, graph::NodeId dst,
+                    std::uint32_t rate, Rng &rng,
+                    std::vector<graph::NodeId> &out) const;
+
   private:
     bool isNeighbor(graph::NodeId src, graph::NodeId candidate) const;
 

@@ -9,44 +9,64 @@ namespace sampling {
 
 namespace {
 
-/** Shared N<K path: with-replacement sampling per AliGraph. */
-void
+/**
+ * Shared N<=K path: with-replacement sampling per AliGraph. Writes
+ * exactly k entries — coverage first (every candidate appears), then
+ * uniform fill. RNG sequence matches the historical vector path.
+ */
+std::uint32_t
 sampleWithReplacement(std::span<const NodeId> candidates, std::uint32_t k,
-                      Rng &rng, std::vector<NodeId> &out)
+                      Rng &rng, NodeId *out)
 {
-    // Guarantee coverage first (every candidate appears), then fill
-    // the remainder uniformly at random.
+    NodeId *p = out;
     for (NodeId c : candidates)
-        out.push_back(c);
+        *p++ = c;
     for (std::uint32_t i = static_cast<std::uint32_t>(candidates.size());
          i < k; ++i) {
-        out.push_back(candidates[rng.nextBounded(candidates.size())]);
+        *p++ = candidates[rng.nextBounded(candidates.size())];
     }
+    return k;
 }
 
 } // namespace
 
 void
-StandardRandomSampler::sample(std::span<const NodeId> candidates,
-                              std::uint32_t k, Rng &rng,
-                              std::vector<NodeId> &out) const
+NeighborSampler::sample(std::span<const NodeId> candidates,
+                        std::uint32_t k, Rng &rng,
+                        std::vector<NodeId> &out) const
+{
+    if (candidates.empty() || k == 0)
+        return;
+    SamplerScratch scratch;
+    const std::size_t before = out.size();
+    out.resize(before + k);
+    const std::uint32_t n =
+        sampleInto(candidates, k, rng, out.data() + before, scratch);
+    out.resize(before + n);
+}
+
+std::uint32_t
+StandardRandomSampler::sampleInto(std::span<const NodeId> candidates,
+                                  std::uint32_t k, Rng &rng, NodeId *out,
+                                  SamplerScratch &scratch) const
 {
     const std::uint64_t n = candidates.size();
     if (n == 0 || k == 0)
-        return;
-    if (n <= k) {
-        sampleWithReplacement(candidates, k, rng, out);
-        return;
-    }
+        return 0;
+    if (n <= k)
+        return sampleWithReplacement(candidates, k, rng, out);
     // Partial Fisher-Yates over a buffered copy: this is exactly the
     // N-slot candidate buffer the paper charges conventional sampling
-    // hardware for.
-    std::vector<NodeId> buf(candidates.begin(), candidates.end());
+    // hardware for. The buffer comes from scratch, so steady state
+    // pays the copy but never the allocation.
+    auto &buf = scratch.candidates;
+    buf.assign(candidates.begin(), candidates.end());
     for (std::uint32_t i = 0; i < k; ++i) {
         const std::uint64_t j = i + rng.nextBounded(n - i);
         std::swap(buf[i], buf[j]);
-        out.push_back(buf[i]);
+        out[i] = buf[i];
     }
+    return k;
 }
 
 SamplerCost
@@ -56,26 +76,25 @@ StandardRandomSampler::cost(std::uint64_t n, std::uint32_t k) const
     return SamplerCost{n + k, n};
 }
 
-void
-ReservoirSampler::sample(std::span<const NodeId> candidates,
-                         std::uint32_t k, Rng &rng,
-                         std::vector<NodeId> &out) const
+std::uint32_t
+ReservoirSampler::sampleInto(std::span<const NodeId> candidates,
+                             std::uint32_t k, Rng &rng, NodeId *out,
+                             SamplerScratch &scratch) const
 {
+    (void)scratch;
     const std::uint64_t n = candidates.size();
     if (n == 0 || k == 0)
-        return;
-    if (n <= k) {
-        sampleWithReplacement(candidates, k, rng, out);
-        return;
-    }
-    std::vector<NodeId> reservoir(candidates.begin(),
-                                  candidates.begin() + k);
+        return 0;
+    if (n <= k)
+        return sampleWithReplacement(candidates, k, rng, out);
+    // The K output slots are the reservoir — no side buffer needed.
+    std::copy(candidates.begin(), candidates.begin() + k, out);
     for (std::uint64_t i = k; i < n; ++i) {
         const std::uint64_t j = rng.nextBounded(i + 1);
         if (j < k)
-            reservoir[j] = candidates[i];
+            out[j] = candidates[i];
     }
-    out.insert(out.end(), reservoir.begin(), reservoir.end());
+    return k;
 }
 
 SamplerCost
@@ -87,29 +106,40 @@ ReservoirSampler::cost(std::uint64_t n, std::uint32_t k) const
     return SamplerCost{n, k};
 }
 
-void
-StreamingStepSampler::sample(std::span<const NodeId> candidates,
-                             std::uint32_t k, Rng &rng,
-                             std::vector<NodeId> &out) const
+std::uint32_t
+StreamingStepSampler::sampleInto(std::span<const NodeId> candidates,
+                                 std::uint32_t k, Rng &rng, NodeId *out,
+                                 SamplerScratch &scratch) const
 {
+    (void)scratch;
     const std::uint64_t n = candidates.size();
     if (n == 0 || k == 0)
-        return;
-    if (n <= k) {
-        sampleWithReplacement(candidates, k, rng, out);
-        return;
-    }
+        return 0;
+    if (n <= k)
+        return sampleWithReplacement(candidates, k, rng, out);
     // Divide the N arrivals into K contiguous groups by arrival order;
     // select one uniformly random element inside each group. Group
-    // boundaries use fixed-point arithmetic so all N elements are
-    // covered even when K does not divide N.
+    // boundaries are floor((g+1)*n/k), generated incrementally with a
+    // remainder accumulator so the per-sample loop is division-free
+    // (this runs once per sampled neighbor — the hottest loop in the
+    // repo).
+    const std::uint64_t step = n / k;
+    const std::uint64_t rem = n % k;
+    std::uint64_t begin = 0;
+    std::uint64_t err = 0;
     for (std::uint32_t g = 0; g < k; ++g) {
-        const std::uint64_t begin = g * n / k;
-        const std::uint64_t end = (g + 1) * n / k;
+        std::uint64_t end = begin + step;
+        err += rem;
+        if (err >= k) {
+            err -= k;
+            ++end;
+        }
         lsd_assert(end > begin, "empty streaming-sampler group");
         const std::uint64_t pick = begin + rng.nextBounded(end - begin);
-        out.push_back(candidates[pick]);
+        out[g] = candidates[pick];
+        begin = end;
     }
+    return k;
 }
 
 SamplerCost

@@ -31,6 +31,7 @@
 
 #include "common/rng.hh"
 #include "graph/csr_graph.hh"
+#include "sampling/scratch.hh"
 
 namespace lsdgnn {
 namespace sampling {
@@ -58,18 +59,31 @@ class NeighborSampler
     virtual ~NeighborSampler() = default;
 
     /**
-     * Sample @p k of @p candidates into @p out (appended).
+     * Hot-path primitive: sample @p k of @p candidates into the
+     * caller-provided buffer @p out, which must hold at least @p k
+     * slots. Returns the number of samples written: k when the
+     * candidate list is non-empty and k > 0, zero otherwise. Never
+     * allocates in steady state — any buffered state (the candidate
+     * copy of the conventional datapath, alias weights) lives in
+     * @p scratch and is reused across calls.
      *
-     * @param candidates Neighbor list (arrival order matters for the
-     *        streaming sampler).
-     * @param k Number of samples requested.
-     * @param rng Randomness source.
-     * @param out Output vector; k elements appended when the
-     *        candidate list is non-empty, none otherwise.
+     * The RNG consumption sequence is part of the contract: for a
+     * given (candidates, k) it is identical across repeated calls and
+     * identical to the historical vector-based path, so golden-seed
+     * reproducibility holds through this interface.
      */
-    virtual void sample(std::span<const NodeId> candidates,
-                        std::uint32_t k, Rng &rng,
-                        std::vector<NodeId> &out) const = 0;
+    virtual std::uint32_t sampleInto(std::span<const NodeId> candidates,
+                                     std::uint32_t k, Rng &rng,
+                                     NodeId *out,
+                                     SamplerScratch &scratch) const = 0;
+
+    /**
+     * Convenience wrapper: sample @p k of @p candidates and append to
+     * @p out. Allocation behavior is the vector's; prefer sampleInto()
+     * on hot paths.
+     */
+    void sample(std::span<const NodeId> candidates, std::uint32_t k,
+                Rng &rng, std::vector<NodeId> &out) const;
 
     /** Hardware cost to sample k of n. */
     virtual SamplerCost cost(std::uint64_t n, std::uint32_t k) const = 0;
@@ -82,8 +96,9 @@ class NeighborSampler
 class StandardRandomSampler : public NeighborSampler
 {
   public:
-    void sample(std::span<const NodeId> candidates, std::uint32_t k,
-                Rng &rng, std::vector<NodeId> &out) const override;
+    std::uint32_t sampleInto(std::span<const NodeId> candidates,
+                             std::uint32_t k, Rng &rng, NodeId *out,
+                             SamplerScratch &scratch) const override;
     SamplerCost cost(std::uint64_t n, std::uint32_t k) const override;
     std::string name() const override { return "standard"; }
 };
@@ -92,8 +107,9 @@ class StandardRandomSampler : public NeighborSampler
 class ReservoirSampler : public NeighborSampler
 {
   public:
-    void sample(std::span<const NodeId> candidates, std::uint32_t k,
-                Rng &rng, std::vector<NodeId> &out) const override;
+    std::uint32_t sampleInto(std::span<const NodeId> candidates,
+                             std::uint32_t k, Rng &rng, NodeId *out,
+                             SamplerScratch &scratch) const override;
     SamplerCost cost(std::uint64_t n, std::uint32_t k) const override;
     std::string name() const override { return "reservoir"; }
 };
@@ -102,8 +118,9 @@ class ReservoirSampler : public NeighborSampler
 class StreamingStepSampler : public NeighborSampler
 {
   public:
-    void sample(std::span<const NodeId> candidates, std::uint32_t k,
-                Rng &rng, std::vector<NodeId> &out) const override;
+    std::uint32_t sampleInto(std::span<const NodeId> candidates,
+                             std::uint32_t k, Rng &rng, NodeId *out,
+                             SamplerScratch &scratch) const override;
     SamplerCost cost(std::uint64_t n, std::uint32_t k) const override;
     std::string name() const override { return "streaming-step"; }
 };

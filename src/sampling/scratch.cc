@@ -1,0 +1,33 @@
+#include "scratch.hh"
+
+namespace lsdgnn {
+namespace sampling {
+
+void
+CoalescingSet::reserveFor(std::uint64_t max_unique)
+{
+    std::uint64_t want = 16;
+    std::uint32_t shift = 60;
+    // Keep the table at most half full so linear probes stay short.
+    while (want < 2 * max_unique && want < (1ull << 62)) {
+        want <<= 1;
+        --shift;
+    }
+    if (want <= keys.size())
+        return;
+    keys.assign(want, 0);
+    stamps.assign(want, 0);
+    counts.assign(want, 0);
+    // 32-bit slot indices: a table beyond 2^32 slots would need 32 GB
+    // of keys alone, far past anything this repo instantiates.
+    occupied_.reserve(max_unique);
+    mask_ = want - 1;
+    shift_ = shift;
+    // Fresh stamps are all zero, so epoch 1 reads as an empty table
+    // and the set is usable without an intervening beginBatch().
+    epoch_ = 1;
+    size_ = 0;
+}
+
+} // namespace sampling
+} // namespace lsdgnn

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Reusable scratch state for the sampling hot path.
+ *
+ * The paper's AxE pipeline keeps GetNeighbor -> GetSample ->
+ * GetAttribute free of per-request software overheads: every stage
+ * writes into fixed hardware buffers and an 8 KB coalescing cache
+ * de-duplicates repeated attribute accesses. This header is the
+ * software analogue: flat arenas that are sized once (from the
+ * SamplePlan) and reused across every batch a Session executes, so
+ * the steady-state sampling loop performs no heap allocation, plus an
+ * open-addressing CoalescingSet that lets GetAttribute touch each
+ * unique frontier node exactly once.
+ *
+ * Everything here follows the Session threading contract: one owner
+ * thread, no internal locking.
+ */
+
+#ifndef LSDGNN_SAMPLING_SCRATCH_HH
+#define LSDGNN_SAMPLING_SCRATCH_HH
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr_graph.hh"
+
+namespace lsdgnn {
+namespace sampling {
+
+/**
+ * Per-sampler candidate/weight buffers.
+ *
+ * StandardRandomSampler needs an N-slot candidate buffer (the same
+ * buffer the paper charges conventional sampling hardware for) and
+ * DegreeBiasedSampler needs an N-slot weight buffer; both grow to the
+ * largest neighborhood seen and are then reused without reallocation.
+ */
+struct SamplerScratch {
+    std::vector<graph::NodeId> candidates;
+    std::vector<double> weights;
+};
+
+/**
+ * Flat open-addressing dedup set over node IDs — the software analog
+ * of AxE's coalescing cache in front of GetAttribute.
+ *
+ * Linear probing over a power-of-two table kept at most half full.
+ * Slots are invalidated per batch by an epoch stamp instead of a
+ * clear, so beginBatch() is O(1) in steady state; the table only
+ * reallocates when a batch can touch more unique nodes than any
+ * previous one.
+ */
+class CoalescingSet
+{
+  public:
+    /**
+     * Ensure capacity for @p max_unique distinct insertions; resizes
+     * to the next power of two >= 2 * max_unique. No-op (and no
+     * allocation) when already large enough.
+     */
+    void reserveFor(std::uint64_t max_unique);
+
+    /** Start a new batch: previous contents become stale in O(1). */
+    void
+    beginBatch()
+    {
+        if (++epoch_ == 0) {
+            // Epoch counter wrapped: stale stamps could alias the new
+            // epoch, so pay one full clear and restart at epoch 1.
+            std::fill(stamps.begin(), stamps.end(), 0u);
+            epoch_ = 1;
+        }
+        occupied_.clear();
+        size_ = 0;
+    }
+
+    /** Insert @p n; true when it was not yet present this batch. */
+    bool
+    insert(graph::NodeId n)
+    {
+        std::uint64_t idx = hash(n);
+        while (stamps[idx] == epoch_) {
+            if (keys[idx] == n) {
+                ++counts[idx];
+                return false;
+            }
+            idx = (idx + 1) & mask_;
+        }
+        keys[idx] = n;
+        stamps[idx] = epoch_;
+        counts[idx] = 1;
+        occupied_.push_back(static_cast<std::uint32_t>(idx));
+        ++size_;
+        return true;
+    }
+
+    /** Unique nodes inserted since beginBatch(). */
+    std::uint64_t size() const { return size_; }
+
+    /** Allocated slots (tests/introspection). */
+    std::uint64_t slots() const { return keys.size(); }
+
+    /**
+     * Visit every distinct node of the current batch with its access
+     * count (insertions since beginBatch()). Lets callers do per-node
+     * work — e.g. local/remote classification — once per unique node
+     * and scale by multiplicity, instead of once per raw access.
+     * O(unique) — walks the occupied-slot list, not the table.
+     */
+    template <typename F>
+    void
+    forEach(F &&fn) const
+    {
+        for (std::uint32_t slot : occupied_)
+            fn(keys[slot], static_cast<std::uint64_t>(counts[slot]));
+    }
+
+  private:
+    std::uint64_t
+    hash(std::uint64_t x) const
+    {
+        // Fibonacci (multiplicative) hashing, keeping the high bits:
+        // one multiply on the hot path, and good enough spread at the
+        // <= 0.5 load factor the table guarantees.
+        return (x * 0x9e3779b97f4a7c15ull) >> shift_;
+    }
+
+    std::vector<graph::NodeId> keys;
+    std::vector<std::uint32_t> stamps;
+    std::vector<std::uint32_t> counts; ///< accesses per key this batch
+    std::vector<std::uint32_t> occupied_; ///< slots filled this batch
+    std::uint32_t epoch_ = 0;
+    std::uint64_t mask_ = 0;
+    std::uint32_t shift_ = 60; ///< 64 - log2(slots)
+    std::uint64_t size_ = 0;
+};
+
+/**
+ * All reusable state one mini-batch sampling engine threads through
+ * its hot loop: sampler buffers, the attribute-coalescing set, and a
+ * staging arena for randomly drawn roots.
+ */
+struct SampleScratch {
+    SamplerScratch sampler;
+    CoalescingSet dedup;
+    std::vector<graph::NodeId> roots;
+};
+
+} // namespace sampling
+} // namespace lsdgnn
+
+#endif // LSDGNN_SAMPLING_SCRATCH_HH

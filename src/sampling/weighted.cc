@@ -67,14 +67,19 @@ AliasTable::probabilityOf(std::size_t i) const
     return weightShare[i];
 }
 
-void
-DegreeBiasedSampler::sample(std::span<const graph::NodeId> candidates,
-                            std::uint32_t k, Rng &rng,
-                            std::vector<graph::NodeId> &out) const
+std::uint32_t
+DegreeBiasedSampler::sampleInto(std::span<const graph::NodeId> candidates,
+                                std::uint32_t k, Rng &rng,
+                                graph::NodeId *out,
+                                SamplerScratch &scratch) const
 {
     if (candidates.empty() || k == 0)
-        return;
-    std::vector<double> weights(candidates.size());
+        return 0;
+    // The weight buffer comes from scratch; the alias table itself is
+    // rebuilt per call by construction (weights differ per
+    // neighborhood), which is the O(n) setup the cost model charges.
+    auto &weights = scratch.weights;
+    weights.resize(candidates.size());
     bool any = false;
     for (std::size_t i = 0; i < candidates.size(); ++i) {
         weights[i] = static_cast<double>(graph_.degree(candidates[i]));
@@ -83,12 +88,13 @@ DegreeBiasedSampler::sample(std::span<const graph::NodeId> candidates,
     if (!any) {
         // All leaves: degenerate to uniform with replacement.
         for (std::uint32_t i = 0; i < k; ++i)
-            out.push_back(candidates[rng.nextBounded(candidates.size())]);
-        return;
+            out[i] = candidates[rng.nextBounded(candidates.size())];
+        return k;
     }
     const AliasTable table(weights);
     for (std::uint32_t i = 0; i < k; ++i)
-        out.push_back(candidates[table.sample(rng)]);
+        out[i] = candidates[table.sample(rng)];
+    return k;
 }
 
 SamplerCost

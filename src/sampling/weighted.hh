@@ -68,9 +68,10 @@ class DegreeBiasedSampler : public NeighborSampler
         : graph_(graph)
     {}
 
-    void sample(std::span<const graph::NodeId> candidates,
-                std::uint32_t k, Rng &rng,
-                std::vector<graph::NodeId> &out) const override;
+    std::uint32_t sampleInto(std::span<const graph::NodeId> candidates,
+                             std::uint32_t k, Rng &rng,
+                             graph::NodeId *out,
+                             SamplerScratch &scratch) const override;
 
     SamplerCost cost(std::uint64_t n, std::uint32_t k) const override;
 

@@ -62,6 +62,18 @@ std::vector<sampling::SampleResult>
 Batcher::split(const sampling::SampleResult &merged,
                const std::vector<std::uint32_t> &root_counts)
 {
+    SplitScratch scratch;
+    std::vector<sampling::SampleResult> out;
+    splitInto(merged, root_counts, scratch, out);
+    return out;
+}
+
+void
+Batcher::splitInto(const sampling::SampleResult &merged,
+                   const std::vector<std::uint32_t> &root_counts,
+                   SplitScratch &scratch,
+                   std::vector<sampling::SampleResult> &out)
+{
     const std::size_t parts = root_counts.size();
     lsd_assert(parts > 0, "split needs at least one part");
 
@@ -72,50 +84,149 @@ Batcher::split(const sampling::SampleResult &merged,
                merged.roots.size(), ")");
 
     const std::size_t hops = merged.frontier.size();
-    std::vector<sampling::SampleResult> out(parts);
-
-    // Roots: rider i owns the contiguous slice [offset_i, offset_i+n_i).
-    // owner/remap describe, for every entry of the *previous* merged
-    // level, which rider it belongs to and its index inside that
-    // rider's copy of the level; hop h rewires its parent indices
-    // through them.
-    std::vector<std::uint32_t> owner(merged.roots.size());
-    std::vector<std::uint32_t> remap(merged.roots.size());
-    {
-        std::size_t idx = 0;
-        for (std::size_t i = 0; i < parts; ++i) {
-            out[i].frontier.resize(hops);
-            out[i].parent.resize(hops);
-            for (std::uint32_t j = 0; j < root_counts[i]; ++j, ++idx) {
-                out[i].roots.push_back(merged.roots[idx]);
-                owner[idx] = static_cast<std::uint32_t>(i);
-                remap[idx] = j;
-            }
-        }
+    out.resize(parts);
+    for (auto &sub : out) {
+        // No clearForReuse: every level of every rider is fully
+        // defined below (roots/fast path by assign, general path by
+        // exact-size resize + cursor writes), so stale sizes are
+        // harmless and save re-initialization.
+        sub.frontier.resize(hops);
+        sub.parent.resize(hops);
     }
 
+    // Roots: rider i owns the contiguous slice [offset_i, offset_i+n_i).
+    // As long as every level keeps that shape — each rider's entries
+    // form one contiguous range, in rider order — the whole mapping is
+    // described by parts+1 boundary offsets: owner(p) is the range
+    // containing p and remap(p) = p - bounds[owner(p)]. The sampling
+    // engine emits children in parent order, which preserves the shape
+    // hop over hop, so the contiguous mode is the steady-state path;
+    // the owner/remap arrays are only materialized if a caller hands
+    // in a merged result with out-of-order parents.
+    auto &bounds = scratch.bounds;
+    bounds.resize(parts + 1);
+    bounds[0] = 0;
+    for (std::size_t i = 0; i < parts; ++i) {
+        bounds[i + 1] = bounds[i] + root_counts[i];
+        const auto base = merged.roots.begin() +
+                          static_cast<std::ptrdiff_t>(bounds[i]);
+        out[i].roots.assign(base, base + root_counts[i]);
+    }
+    bool contiguous = true;
+
+    auto &owner = scratch.owner;
+    auto &remap = scratch.remap;
+    auto &counts = scratch.counts;
     for (std::size_t h = 0; h < hops; ++h) {
         const auto &frontier = merged.frontier[h];
         const auto &parent = merged.parent[h];
         lsd_assert(frontier.size() == parent.size(),
                    "merged frontier/parent size mismatch at hop ", h);
-        std::vector<std::uint32_t> next_owner(frontier.size());
-        std::vector<std::uint32_t> next_remap(frontier.size());
+        const std::uint32_t prev_size =
+            contiguous ? bounds[parts]
+                       : static_cast<std::uint32_t>(owner.size());
+        // The owner/remap chain feeds the *next* hop's rebase; on the
+        // last hop (the bulk of the result) it has no consumer.
+        const bool chain_needed = h + 1 < hops;
+
+        if (contiguous) {
+            // Optimistic single pass: with non-decreasing parents, a
+            // cursor walking the rider boundaries classifies every
+            // entry in O(1), sizing each rider's sub-level exactly.
+            counts.assign(parts, 0);
+            bool monotone = true;
+            {
+                std::size_t r = 0;
+                std::uint32_t last_p = 0;
+                for (std::size_t j = 0; j < parent.size(); ++j) {
+                    const std::uint32_t p = parent[j];
+                    lsd_assert(p < prev_size,
+                               "parent index out of range at hop ", h);
+                    if (p < last_p) {
+                        monotone = false;
+                        break;
+                    }
+                    last_p = p;
+                    while (p >= bounds[r + 1])
+                        ++r;
+                    ++counts[r];
+                }
+            }
+            if (monotone) {
+                // Rider i owns one merged-level range of counts[i]
+                // entries: assign the frontier slice whole (single
+                // memcpy) and rebase parents by the rider's boundary
+                // offset in one fused read-subtract-write pass.
+                std::size_t begin = 0;
+                for (std::size_t i = 0; i < parts; ++i) {
+                    const std::size_t n = counts[i];
+                    const auto b = static_cast<std::ptrdiff_t>(begin);
+                    auto &sub = out[i];
+                    sub.frontier[h].assign(
+                        frontier.begin() + b,
+                        frontier.begin() + b +
+                            static_cast<std::ptrdiff_t>(n));
+                    sub.parent[h].resize(n);
+                    const std::uint32_t base = bounds[i];
+                    const std::uint32_t *src = parent.data() + begin;
+                    std::uint32_t *dst = sub.parent[h].data();
+                    for (std::size_t j = 0; j < n; ++j)
+                        dst[j] = src[j] - base;
+                    begin += n;
+                }
+                bounds[0] = 0;
+                for (std::size_t i = 0; i < parts; ++i)
+                    bounds[i + 1] = bounds[i] + counts[i];
+                continue;
+            }
+            // Out-of-order parents: materialize the boundary mapping
+            // as explicit owner/remap arrays and take the general
+            // path for this and subsequent hops.
+            owner.resize(prev_size);
+            remap.resize(prev_size);
+            for (std::size_t i = 0; i < parts; ++i)
+                for (std::uint32_t p = bounds[i]; p < bounds[i + 1];
+                     ++p) {
+                    owner[p] = static_cast<std::uint32_t>(i);
+                    remap[p] = p - bounds[i];
+                }
+            contiguous = false;
+        }
+
+        // General path. Counting pass first (the optimistic pass above
+        // may have aborted partway), then counts double as per-rider
+        // write cursors.
+        counts.assign(parts, 0);
+        for (std::size_t j = 0; j < parent.size(); ++j) {
+            const std::uint32_t p = parent[j];
+            lsd_assert(p < prev_size,
+                       "parent index out of range at hop ", h);
+            ++counts[owner[p]];
+        }
+        auto &next_owner = scratch.next_owner;
+        auto &next_remap = scratch.next_remap;
+        next_owner.resize(chain_needed ? frontier.size() : 0);
+        next_remap.resize(chain_needed ? frontier.size() : 0);
+        for (std::size_t i = 0; i < parts; ++i) {
+            out[i].frontier[h].resize(counts[i]);
+            out[i].parent[h].resize(counts[i]);
+        }
+        counts.assign(parts, 0);
         for (std::size_t j = 0; j < frontier.size(); ++j) {
             const std::uint32_t p = parent[j];
-            lsd_assert(p < owner.size(),
-                       "parent index out of range at hop ", h);
-            const std::uint32_t o = next_owner[j] = owner[p];
+            const std::uint32_t o = owner[p];
+            const std::uint32_t k = counts[o]++;
             auto &sub = out[o];
-            next_remap[j] =
-                static_cast<std::uint32_t>(sub.frontier[h].size());
-            sub.frontier[h].push_back(frontier[j]);
-            sub.parent[h].push_back(remap[p]);
+            sub.frontier[h][k] = frontier[j];
+            sub.parent[h][k] = remap[p];
+            if (chain_needed) {
+                next_owner[j] = o;
+                next_remap[j] = k;
+            }
         }
-        owner = std::move(next_owner);
-        remap = std::move(next_remap);
+        owner.swap(next_owner);
+        remap.swap(next_remap);
     }
-    return out;
 }
 
 } // namespace service

@@ -34,6 +34,22 @@
 namespace lsdgnn {
 namespace service {
 
+/**
+ * Reusable buffers for Batcher::splitInto: per-rider range boundaries
+ * for the contiguous fast path, the owner/remap chains that thread
+ * parent indices through the hop levels on the general path, plus
+ * per-rider counts doubling as write cursors. Single-owner, like
+ * SampleScratch.
+ */
+struct SplitScratch {
+    std::vector<std::uint32_t> bounds;
+    std::vector<std::uint32_t> owner;
+    std::vector<std::uint32_t> remap;
+    std::vector<std::uint32_t> next_owner;
+    std::vector<std::uint32_t> next_remap;
+    std::vector<std::uint32_t> counts;
+};
+
 /** Micro-batching knobs. */
 struct BatcherConfig {
     /** Max requests coalesced into one backend execution. */
@@ -72,6 +88,18 @@ class Batcher
     static std::vector<sampling::SampleResult>
     split(const sampling::SampleResult &merged,
           const std::vector<std::uint32_t> &root_counts);
+
+    /**
+     * Hot-path split: like split(), but reuses @p scratch and the
+     * capacity already held by the elements of @p out (resized to one
+     * result per rider, cleared first). Each rider's sub-frontiers are
+     * sized exactly in a counting pass before any element is written,
+     * so steady-state execution performs no heap allocation.
+     */
+    static void splitInto(const sampling::SampleResult &merged,
+                          const std::vector<std::uint32_t> &root_counts,
+                          SplitScratch &scratch,
+                          std::vector<sampling::SampleResult> &out);
 
   private:
     BatcherConfig config_;

@@ -65,8 +65,15 @@ WorkerPool::run(std::uint32_t worker_id)
     group.addCounter("batches", &batches, "micro-batches executed");
     group.addCounter("requests", &requests, "requests completed");
 
+    // Hot-path reuse: the merged execution buffer cycles through a
+    // result pool (its capacity survives the batch), the split scratch
+    // and the parts vector persist across iterations. Only the
+    // per-rider results moved into replies leave the worker.
+    sampling::SampleResultPool resultPool;
+    SplitScratch splitScratch;
     std::vector<Request> batch;
     std::vector<std::uint32_t> root_counts;
+    std::vector<sampling::SampleResult> parts;
     while (batcher.collect(queue_, batch)) {
         const auto exec_start = Clock::now();
 
@@ -75,11 +82,11 @@ WorkerPool::run(std::uint32_t worker_id)
         for (const Request &req : batch)
             root_counts.push_back(req.plan.batch_size);
 
-        sampling::SampleResult merged = session.sampleBatch(plan);
-        std::vector<sampling::SampleResult> parts =
-            batch.size() == 1
-                ? std::vector<sampling::SampleResult>{}
-                : Batcher::split(merged, root_counts);
+        sampling::SampleResult merged = resultPool.acquire();
+        session.sampleBatchInto(plan, merged);
+        const bool solo = batch.size() == 1;
+        if (!solo)
+            Batcher::splitInto(merged, root_counts, splitScratch, parts);
 
         const auto exec_end = Clock::now();
         const double exec_us = elapsedUs(exec_start, exec_end);
@@ -99,8 +106,8 @@ WorkerPool::run(std::uint32_t worker_id)
         for (std::size_t i = 0; i < batch.size(); ++i) {
             Reply reply;
             reply.status = ReplyStatus::Ok;
-            reply.batch = batch.size() == 1 ? std::move(merged)
-                                            : std::move(parts[i]);
+            reply.batch = solo ? std::move(merged)
+                               : std::move(parts[i]);
             reply.worker = worker_id;
             reply.batched_with =
                 static_cast<std::uint32_t>(batch.size());
@@ -112,6 +119,8 @@ WorkerPool::run(std::uint32_t worker_id)
             requests.inc();
             batch[i].promise.set_value(std::move(reply));
         }
+        if (!solo)
+            resultPool.release(std::move(merged));
         batch.clear();
     }
 }

@@ -215,7 +215,7 @@ TEST(MetaPath, FollowsTypedEdgesOnly)
 {
     const HeteroGraph g = smallHetero();
     const sampling::StandardRandomSampler sampler;
-    const sampling::MetaPathSampler walker(g, sampler);
+    sampling::MetaPathSampler walker(g, sampler);
     Rng rng(3);
     const NodeId roots[] = {0};
     const sampling::MetaPathStep path[] = {{0, 2}};
@@ -236,7 +236,7 @@ TEST(MetaPath, MultiStepWalk)
     p.seed = 41;
     const HeteroGraph g = generateHeteroGraph(p);
     const sampling::StreamingStepSampler sampler;
-    const sampling::MetaPathSampler walker(g, sampler);
+    sampling::MetaPathSampler walker(g, sampler);
     Rng rng(5);
     std::vector<NodeId> roots = {1, 2, 3, 4};
     const sampling::MetaPathStep path[] = {{0, 4}, {2, 3}};
@@ -267,7 +267,7 @@ TEST(MetaPath, DeadEndsEndRows)
     CsrGraph base({0, 1, 1}, {1});
     HeteroGraph g(std::move(base), {0, 0}, {0}, 2);
     const sampling::StandardRandomSampler sampler;
-    const sampling::MetaPathSampler walker(g, sampler);
+    sampling::MetaPathSampler walker(g, sampler);
     Rng rng(7);
     const NodeId roots[] = {0};
     const sampling::MetaPathStep path[] = {{1, 3}}; // no type-1 edges
@@ -279,7 +279,7 @@ TEST(MetaPath, RejectsUnknownEdgeType)
 {
     const HeteroGraph g = smallHetero();
     const sampling::StandardRandomSampler sampler;
-    const sampling::MetaPathSampler walker(g, sampler);
+    sampling::MetaPathSampler walker(g, sampler);
     Rng rng(9);
     const NodeId roots[] = {0};
     const sampling::MetaPathStep path[] = {{7, 2}};

@@ -8,10 +8,13 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 #include <map>
 #include <numeric>
 #include <set>
+#include <sstream>
 
+#include "common/stat_registry.hh"
 #include "graph/datasets.hh"
 #include "graph/generator.hh"
 #include "sampling/minibatch.hh"
@@ -387,6 +390,332 @@ TEST(Workload, MeanRequestBytesIsFineGrained)
     // well below a cache line multiple but above structure size.
     EXPECT_GT(prof.meanRequestBytes(), 8.0);
     EXPECT_LT(prof.meanRequestBytes(), 400.0);
+}
+
+
+// ---------------------------------------------------------------------
+// Hot-path rewrite guards: the allocation-free engine must be
+// RNG-for-RNG identical to the original per-call implementation.
+// ---------------------------------------------------------------------
+
+/**
+ * Verbatim reimplementations of the pre-scratch sampler algorithms
+ * and the original multi-hop loop. Any change to how the hot path
+ * consumes the RNG stream shows up as a node-ID mismatch here.
+ */
+namespace golden {
+
+void
+refWithReplacement(std::span<const NodeId> candidates, std::uint32_t k,
+                   Rng &rng, std::vector<NodeId> &out)
+{
+    for (NodeId c : candidates)
+        out.push_back(c);
+    for (std::uint32_t i = static_cast<std::uint32_t>(candidates.size());
+         i < k; ++i)
+        out.push_back(candidates[rng.nextBounded(candidates.size())]);
+}
+
+void
+refSample(const std::string &name, std::span<const NodeId> candidates,
+          std::uint32_t k, Rng &rng, std::vector<NodeId> &out)
+{
+    const std::uint64_t n = candidates.size();
+    if (n == 0 || k == 0)
+        return;
+    if (n <= k) {
+        refWithReplacement(candidates, k, rng, out);
+        return;
+    }
+    if (name == "standard") {
+        std::vector<NodeId> buf(candidates.begin(), candidates.end());
+        for (std::uint32_t i = 0; i < k; ++i) {
+            const std::uint64_t j = i + rng.nextBounded(n - i);
+            std::swap(buf[i], buf[j]);
+            out.push_back(buf[i]);
+        }
+    } else if (name == "reservoir") {
+        std::vector<NodeId> reservoir(candidates.begin(),
+                                      candidates.begin() + k);
+        for (std::uint64_t i = k; i < n; ++i) {
+            const std::uint64_t j = rng.nextBounded(i + 1);
+            if (j < k)
+                reservoir[j] = candidates[i];
+        }
+        out.insert(out.end(), reservoir.begin(), reservoir.end());
+    } else { // streaming-step
+        for (std::uint32_t g = 0; g < k; ++g) {
+            const std::uint64_t begin = g * n / k;
+            const std::uint64_t end = (g + 1) * n / k;
+            const std::uint64_t pick =
+                begin + rng.nextBounded(end - begin);
+            out.push_back(candidates[pick]);
+        }
+    }
+}
+
+SampleResult
+refSampleBatch(const graph::CsrGraph &g, const std::string &sampler,
+               const SamplePlan &plan, Rng &rng)
+{
+    SampleResult result;
+    result.roots.resize(plan.batch_size);
+    for (auto &r : result.roots)
+        r = rng.nextBounded(g.numNodes());
+    result.frontier.resize(plan.hops());
+    result.parent.resize(plan.hops());
+    const std::vector<NodeId> *prev = &result.roots;
+    for (std::uint32_t hop = 0; hop < plan.hops(); ++hop) {
+        auto &out = result.frontier[hop];
+        auto &par = result.parent[hop];
+        for (std::uint32_t i = 0; i < prev->size(); ++i) {
+            const NodeId node = (*prev)[i];
+            if (g.degree(node) == 0)
+                continue;
+            const std::size_t before = out.size();
+            refSample(sampler, g.neighbors(node), plan.fanouts[hop],
+                      rng, out);
+            for (std::size_t j = before; j < out.size(); ++j)
+                par.push_back(i);
+        }
+        prev = &out;
+    }
+    return result;
+}
+
+} // namespace golden
+
+class GoldenSeedTest : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(GoldenSeedTest, HotPathMatchesOriginalAlgorithm)
+{
+    graph::GeneratorParams p;
+    p.num_nodes = 1500;
+    p.num_edges = 18000;
+    p.seed = 91;
+    const graph::CsrGraph g = graph::generatePowerLawGraph(p);
+    const graph::AttributeStore attrs(8);
+    const auto sampler = makeSampler(GetParam());
+    MiniBatchSampler engine(g, attrs, *sampler);
+
+    SamplePlan plan;
+    plan.batch_size = 48;
+    plan.fanouts = {7, 4, 3};
+
+    Rng ref_rng(4242), new_rng(4242);
+    SampleResult reused;
+    for (int round = 0; round < 4; ++round) {
+        const SampleResult want =
+            golden::refSampleBatch(g, GetParam(), plan, ref_rng);
+        // Reuse the same output across rounds: stale contents from the
+        // previous batch must never leak into the next one.
+        engine.sampleBatchInto(plan, new_rng, reused);
+        EXPECT_EQ(reused.roots, want.roots) << "round " << round;
+        ASSERT_EQ(reused.frontier.size(), want.frontier.size());
+        for (std::size_t h = 0; h < want.frontier.size(); ++h) {
+            EXPECT_EQ(reused.frontier[h], want.frontier[h])
+                << "hop " << h << " round " << round;
+            EXPECT_EQ(reused.parent[h], want.parent[h])
+                << "hop " << h << " round " << round;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSamplers, GoldenSeedTest,
+                         ::testing::Values("standard", "reservoir",
+                                           "streaming-step"));
+
+namespace {
+
+/** 4-node graph: 0 -> {1,2}, 1 -> {3}, 2 isolated, 3 isolated. */
+graph::CsrGraph
+tinyGraph()
+{
+    return graph::CsrGraph({0, 2, 3, 3, 3}, {1, 2, 3});
+}
+
+} // namespace
+
+TEST(MiniBatchEdgeCases, FanoutZeroYieldsEmptyHops)
+{
+    const graph::CsrGraph g = tinyGraph();
+    const graph::AttributeStore attrs(4);
+    const StreamingStepSampler sampler;
+    MiniBatchSampler engine(g, attrs, sampler);
+    Rng rng(5);
+
+    SamplePlan plan;
+    plan.batch_size = 4;
+    plan.fanouts = {0, 3};
+    SampleResult res;
+    engine.sampleBatchInto(plan, rng, res);
+    EXPECT_EQ(res.roots.size(), 4u);
+    ASSERT_EQ(res.frontier.size(), 2u);
+    EXPECT_TRUE(res.frontier[0].empty());
+    EXPECT_TRUE(res.parent[0].empty());
+    // Hop 1 has no frontier to expand from.
+    EXPECT_TRUE(res.frontier[1].empty());
+    EXPECT_EQ(res.totalSampled(), 0u);
+}
+
+TEST(MiniBatchEdgeCases, ZeroDegreeFrontierNodesContributeNothing)
+{
+    const graph::CsrGraph g = tinyGraph();
+    const graph::AttributeStore attrs(4);
+    const StandardRandomSampler sampler;
+    MiniBatchSampler engine(g, attrs, sampler);
+    Rng rng(6);
+
+    // Roots mix connected and isolated nodes; isolated ones must be
+    // skipped without disturbing neighbors of the others.
+    const std::vector<NodeId> roots = {2, 0, 3, 1};
+    SamplePlan plan;
+    plan.batch_size = 4;
+    plan.fanouts = {2, 2};
+    SampleResult res;
+    engine.sampleBatchInto(plan, roots, rng, res);
+    ASSERT_EQ(res.frontier[0].size(), 4u); // only roots 0 and 1 expand
+    for (std::size_t j = 0; j < res.frontier[0].size(); ++j) {
+        const NodeId parent = roots[res.parent[0][j]];
+        EXPECT_TRUE(parent == 0 || parent == 1);
+        const auto adj = g.neighbors(parent);
+        EXPECT_NE(std::find(adj.begin(), adj.end(), res.frontier[0][j]),
+                  adj.end());
+    }
+}
+
+TEST(MiniBatchEdgeCases, FanoutAboveDegreeCoversAllNeighbors)
+{
+    const graph::CsrGraph g = tinyGraph();
+    const graph::AttributeStore attrs(4);
+    for (const char *name : {"standard", "reservoir", "streaming-step"}) {
+        const auto sampler = makeSampler(name);
+        MiniBatchSampler engine(g, attrs, *sampler);
+        Rng rng(7);
+        const std::vector<NodeId> roots = {0}; // degree 2 < fanout 5
+        SamplePlan plan;
+        plan.batch_size = 1;
+        plan.fanouts = {5};
+        SampleResult res;
+        engine.sampleBatchInto(plan, roots, rng, res);
+        ASSERT_EQ(res.frontier[0].size(), 5u) << name;
+        // With-replacement semantics: every neighbor appears at least
+        // once and nothing outside the adjacency appears.
+        const std::set<NodeId> uniq(res.frontier[0].begin(),
+                                    res.frontier[0].end());
+        EXPECT_EQ(uniq, (std::set<NodeId>{1, 2})) << name;
+    }
+}
+
+TEST(CoalescingSet, CountsDuplicatesPerBatch)
+{
+    CoalescingSet set;
+    set.reserveFor(8);
+    set.beginBatch();
+    EXPECT_TRUE(set.insert(10));
+    EXPECT_FALSE(set.insert(10));
+    EXPECT_FALSE(set.insert(10));
+    EXPECT_TRUE(set.insert(20));
+    EXPECT_EQ(set.size(), 2u);
+    std::map<NodeId, std::uint64_t> seen;
+    set.forEach([&](NodeId n, std::uint64_t cnt) { seen[n] = cnt; });
+    EXPECT_EQ(seen, (std::map<NodeId, std::uint64_t>{{10, 3}, {20, 1}}));
+
+    // A new batch forgets everything in O(1).
+    set.beginBatch();
+    EXPECT_TRUE(set.insert(10));
+    EXPECT_EQ(set.size(), 1u);
+    seen.clear();
+    set.forEach([&](NodeId n, std::uint64_t cnt) { seen[n] = cnt; });
+    EXPECT_EQ(seen, (std::map<NodeId, std::uint64_t>{{10, 1}}));
+
+    // reserveFor below current capacity neither reallocates nor
+    // disturbs the live batch.
+    const std::uint64_t slots = set.slots();
+    set.reserveFor(4);
+    EXPECT_EQ(set.slots(), slots);
+    EXPECT_EQ(set.size(), 1u);
+}
+
+TEST(MiniBatch, CoalesceCountersVisibleInStatRegistry)
+{
+    graph::GeneratorParams p;
+    p.num_nodes = 300;
+    p.num_edges = 6000;
+    p.min_degree = 1;
+    p.seed = 33;
+    const graph::CsrGraph g = graph::generatePowerLawGraph(p);
+    const graph::AttributeStore attrs(8);
+    const StreamingStepSampler sampler;
+    MiniBatchSampler engine(g, attrs, sampler);
+    Rng rng(34);
+
+    SamplePlan plan;
+    plan.batch_size = 32;
+    plan.fanouts = {8, 8};
+    SampleResult res;
+    engine.sampleBatchInto(plan, rng, res);
+
+    const TrafficStats &t = engine.traffic();
+    // The counters mirror the traffic accounting: raw lookups and the
+    // duplicates absorbed before the attribute store.
+    EXPECT_EQ(engine.stats().counter("attr_lookups").value(),
+              t.attribute_requests);
+    EXPECT_EQ(engine.stats().counter("attr_dedup_hits").value(),
+              t.attribute_requests - t.attribute_requests_unique);
+    EXPECT_GT(engine.coalesceHitRate(), 0.0);
+
+    // And they surface through the process-wide registry export.
+    std::ostringstream os;
+    stats::StatRegistry::instance().exportJson(os);
+    const std::string json = os.str();
+    EXPECT_NE(json.find("sampling.coalesce"), std::string::npos);
+    EXPECT_NE(json.find("attr_dedup_hits"), std::string::npos);
+}
+
+TEST(SampleResultPool, RecyclesBufferCapacity)
+{
+    graph::GeneratorParams p;
+    p.num_nodes = 500;
+    p.num_edges = 8000;
+    p.min_degree = 1;
+    p.seed = 35;
+    const graph::CsrGraph g = graph::generatePowerLawGraph(p);
+    const graph::AttributeStore attrs(8);
+    const StreamingStepSampler sampler;
+    MiniBatchSampler engine(g, attrs, sampler);
+    Rng rng(36);
+
+    SamplePlan plan;
+    plan.batch_size = 16;
+    plan.fanouts = {6, 6};
+
+    SampleResultPool pool;
+    EXPECT_EQ(pool.size(), 0u);
+    SampleResult r = pool.acquire();
+    engine.sampleBatchInto(plan, rng, r);
+    ASSERT_EQ(r.frontier.size(), 2u);
+    const NodeId *arena = r.frontier[1].data();
+    pool.release(std::move(r));
+    EXPECT_EQ(pool.size(), 1u);
+
+    // Same plan shape again: the recycled result reuses the same heap
+    // blocks (the whole point of the pool), and the pool is drained.
+    SampleResult r2 = pool.acquire();
+    EXPECT_EQ(pool.size(), 0u);
+    engine.sampleBatchInto(plan, rng, r2);
+    EXPECT_EQ(r2.frontier[1].data(), arena);
+}
+
+TEST(SamplePlan, MaxNodesPerBatchSaturatesInsteadOfOverflowing)
+{
+    SamplePlan plan;
+    plan.batch_size = 512;
+    plan.fanouts.assign(8, 4'000'000'000u);
+    EXPECT_EQ(plan.maxNodesPerBatch(),
+              std::numeric_limits<std::uint64_t>::max());
 }
 
 } // namespace
