@@ -49,8 +49,10 @@ main(int argc, char **argv)
     service::SamplingService svc(cfg);
 
     // A single request end to end: submit -> future -> Reply.
-    auto reply = svc.sample(plan);
-    std::cout << "warm-up request: " << service::toString(reply.status)
+    service::SampleRequest request{plan, {}};
+    request.options.trace_id = 1;
+    auto reply = svc.sample(request);
+    std::cout << "warm-up request: " << reply.status.toString()
               << ", " << reply.batch.totalSampled() << " samples, "
               << reply.e2e_us << " us end-to-end (worker "
               << reply.worker << ")\n";

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Canonical error vocabulary of the repo.
+ *
+ * Before this header existed, the layers each spoke their own
+ * dialect: the service layer had ReplyStatus, the MoF reliability
+ * layer reported failures through booleans and counters, and the
+ * framework asserted. Status unifies them: one enum of terminal
+ * codes, an optional human-readable message, and a Result<T> for
+ * functions that either produce a value or explain why they could
+ * not.
+ *
+ * Two codes deserve a note:
+ *  - Degraded is a *success with an asterisk*: the reply still
+ *    carries a payload, but part of it was produced by a fallback
+ *    (e.g. local negative-resampling after a remote shard timed
+ *    out). Callers that only check ok() treat it as a failure;
+ *    callers that check hasPayload() keep the batch.
+ *  - RemoteTimeout is the transport-level cause (a ShardChannel
+ *    request exhausted its retries); Degraded is the service-level
+ *    effect.
+ */
+
+#ifndef LSDGNN_COMMON_STATUS_HH
+#define LSDGNN_COMMON_STATUS_HH
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace lsdgnn {
+
+/** Terminal outcome codes shared by every layer. */
+enum class StatusCode : std::uint8_t {
+    Ok = 0,           ///< full success
+    Rejected,         ///< shed at admission (queue full/closed)
+    DeadlineExceeded, ///< deadline expired before execution
+    Cancelled,        ///< aborted by shutdown
+    RemoteTimeout,    ///< remote request exhausted its retries
+    Degraded,         ///< executed, but with a fallback somewhere
+    Unavailable,      ///< target marked down; not attempted
+    InvalidArgument,  ///< malformed request
+};
+
+/** Stable lower-case code name (tables, logs, JSON). */
+constexpr std::string_view
+toString(StatusCode code)
+{
+    switch (code) {
+      case StatusCode::Ok: return "ok";
+      case StatusCode::Rejected: return "rejected";
+      case StatusCode::DeadlineExceeded: return "deadline-exceeded";
+      case StatusCode::Cancelled: return "cancelled";
+      case StatusCode::RemoteTimeout: return "remote-timeout";
+      case StatusCode::Degraded: return "degraded";
+      case StatusCode::Unavailable: return "unavailable";
+      case StatusCode::InvalidArgument: return "invalid-argument";
+    }
+    return "?";
+}
+
+/**
+ * One outcome: a code plus an optional message. Cheap to copy for
+ * the common Ok case (empty message, no allocation).
+ */
+class Status
+{
+  public:
+    /** Default: Ok. */
+    Status() = default;
+
+    /** Implicit from a bare code, so `return StatusCode::Ok;` works. */
+    Status(StatusCode code) : code_(code) {}
+
+    Status(StatusCode code, std::string message)
+        : code_(code), message_(std::move(message))
+    {}
+
+    StatusCode code() const { return code_; }
+
+    /** Strict success — Degraded is NOT ok. */
+    bool ok() const { return code_ == StatusCode::Ok; }
+
+    /** True when the reply still carries a usable payload. */
+    bool
+    hasPayload() const
+    {
+        return code_ == StatusCode::Ok || code_ == StatusCode::Degraded;
+    }
+
+    const std::string &message() const { return message_; }
+
+    /** "code" or "code: message". */
+    std::string
+    toString() const
+    {
+        std::string out{lsdgnn::toString(code_)};
+        if (!message_.empty()) {
+            out += ": ";
+            out += message_;
+        }
+        return out;
+    }
+
+    friend bool
+    operator==(const Status &s, StatusCode code)
+    {
+        return s.code_ == code;
+    }
+
+    friend bool
+    operator==(const Status &a, const Status &b)
+    {
+        return a.code_ == b.code_;
+    }
+
+  private:
+    StatusCode code_ = StatusCode::Ok;
+    std::string message_;
+};
+
+/** Stream as toString() (logs, gtest failure messages). */
+inline std::ostream &
+operator<<(std::ostream &os, const Status &status)
+{
+    return os << status.toString();
+}
+
+inline std::ostream &
+operator<<(std::ostream &os, StatusCode code)
+{
+    return os << toString(code);
+}
+
+/**
+ * Either a value or a non-Ok Status. Accessing value() on an error
+ * (or status() saying Ok while holding a value) is a programming
+ * error, enforced by lsd_assert.
+ */
+template <typename T>
+class Result
+{
+  public:
+    Result(T value) : value_(std::move(value)) {}
+
+    Result(Status status) : status_(std::move(status))
+    {
+        lsd_assert(!status_.ok(),
+                   "Result built from an Ok status without a value");
+    }
+
+    Result(StatusCode code) : Result(Status(code)) {}
+
+    bool ok() const { return value_.has_value(); }
+    explicit operator bool() const { return ok(); }
+
+    const Status &status() const { return status_; }
+
+    T &
+    value()
+    {
+        lsd_assert(ok(), "Result::value() on error: ",
+                   status_.toString());
+        return *value_;
+    }
+
+    const T &
+    value() const
+    {
+        lsd_assert(ok(), "Result::value() on error: ",
+                   status_.toString());
+        return *value_;
+    }
+
+    T &operator*() { return value(); }
+    const T &operator*() const { return value(); }
+
+    /** Move the value out (consumes the result). */
+    T
+    take()
+    {
+        lsd_assert(ok(), "Result::take() on error: ",
+                   status_.toString());
+        return std::move(*value_);
+    }
+
+  private:
+    Status status_;
+    std::optional<T> value_;
+};
+
+} // namespace lsdgnn
+
+#endif // LSDGNN_COMMON_STATUS_HH

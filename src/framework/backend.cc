@@ -1,0 +1,100 @@
+#include "backend.hh"
+
+#include "axe/command.hh"
+#include "framework/distributed.hh"
+#include "framework/session.hh"
+
+namespace lsdgnn {
+namespace framework {
+
+namespace {
+
+/** The CPU engine path (AliGraph baseline). */
+class SoftwareBackend final : public SamplingBackend
+{
+  public:
+    explicit SoftwareBackend(sampling::MiniBatchSampler &engine)
+        : engine_(engine)
+    {
+    }
+
+    Status
+    sampleInto(const sampling::SamplePlan &plan, const SampleOptions &,
+               Rng &rng, sampling::SampleResult &out) override
+    {
+        // No clearForReuse here: the engine fully defines roots,
+        // frontier and parent, and keeping the stale sizes lets its
+        // grow-only arenas skip re-initialization.
+        engine_.sampleBatchInto(plan, rng, out);
+        return StatusCode::Ok;
+    }
+
+    std::string_view name() const override { return "software"; }
+
+  private:
+    sampling::MiniBatchSampler &engine_;
+};
+
+/** The Table 4 command path through the AxE decoder. */
+class AxeBackend final : public SamplingBackend
+{
+  public:
+    AxeBackend(axe::CommandDecoder &decoder,
+               const graph::CsrGraph &graph)
+        : decoder_(decoder), graph_(graph)
+    {
+    }
+
+    Status
+    sampleInto(const sampling::SamplePlan &plan, const SampleOptions &,
+               Rng &rng, sampling::SampleResult &out) override
+    {
+        // Uniform fan-out, contiguous root window (the host
+        // enumerates roots into the command buffer).
+        for (std::uint32_t f : plan.fanouts) {
+            lsd_assert(f == plan.fanouts[0],
+                       "AxE offload requires a uniform fan-out");
+        }
+        decoder_.execute(axe::commands::setCsr(
+            axe::CommandDecoder::csr_batch_size, plan.batch_size));
+        const std::uint64_t span = graph_.numNodes() - plan.batch_size;
+        const std::uint64_t root_base =
+            span == 0 ? 0 : rng.nextBounded(span);
+        const auto resp = decoder_.execute(axe::commands::sampleNHop(
+            static_cast<std::uint8_t>(plan.hops()),
+            static_cast<std::uint8_t>(plan.fanouts[0]), root_base));
+        lsd_assert(resp.status == 0, "AxE sample command faulted");
+        out = decoder_.takeLastSample();
+        return StatusCode::Ok;
+    }
+
+    std::string_view name() const override { return "axe"; }
+
+  private:
+    axe::CommandDecoder &decoder_;
+    const graph::CsrGraph &graph_;
+};
+
+} // namespace
+
+std::unique_ptr<SamplingBackend>
+makeBackend(const BackendDeps &deps)
+{
+    switch (deps.config.backend) {
+      case Backend::Software:
+        return std::make_unique<SoftwareBackend>(deps.engine);
+      case Backend::AxeOffload:
+        lsd_assert(deps.decoder != nullptr,
+                   "AxeOffload backend needs a decoder");
+        return std::make_unique<AxeBackend>(*deps.decoder, deps.graph);
+      case Backend::Distributed:
+        lsd_assert(deps.store != nullptr,
+                   "Distributed backend needs a store");
+        return std::make_unique<DistributedBackend>(
+            deps.config, deps.store, deps.sampler);
+    }
+    lsd_panic("unknown sampling backend");
+}
+
+} // namespace framework
+} // namespace lsdgnn

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * SamplingBackend: the seam between Session and its execution paths.
+ *
+ * Session used to branch on `config.backend` inline in
+ * sampleBatchInto(). With the distributed path that switch would have
+ * grown a third arm plus per-backend state, so the dispatch now goes
+ * through one virtual interface: Software (CPU engine), AxeOffload
+ * (Table 4 command decoder) and Distributed (sharded store over MoF
+ * shard channels) each implement sampleInto() and are constructed by
+ * makeBackend() from the dependencies Session already owns.
+ *
+ * Contract: sampleInto() must consume the caller's Rng in a
+ * deterministic, backend-defined sequence — the golden-seed tests pin
+ * the Software and AxeOffload sequences, so those backends replicate
+ * the historical Session code paths exactly. The return Status is Ok,
+ * or Degraded when part of the batch was answered from a fallback
+ * (distributed remote failures); hard errors use the other codes.
+ */
+
+#ifndef LSDGNN_FRAMEWORK_BACKEND_HH
+#define LSDGNN_FRAMEWORK_BACKEND_HH
+
+#include <memory>
+#include <string_view>
+
+#include "common/rng.hh"
+#include "common/status.hh"
+#include "sampling/minibatch.hh"
+
+namespace lsdgnn {
+
+namespace axe {
+class CommandDecoder;
+}
+
+namespace framework {
+
+struct SessionConfig;
+class DistributedStore;
+
+/** Per-call sampling options (beyond the structural SamplePlan). */
+struct SampleOptions {
+    /**
+     * Draw roots from the backend's own shard instead of the whole
+     * graph. Only the distributed backend distinguishes the two; the
+     * single-store backends always sample the full node range.
+     */
+    bool local_roots = false;
+};
+
+/**
+ * One sampling execution path. Implementations are single-threaded
+ * like the owning Session and may keep per-backend scratch state.
+ */
+class SamplingBackend
+{
+  public:
+    virtual ~SamplingBackend() = default;
+
+    /** Sample one mini-batch into @p out, reusing its capacity. */
+    virtual Status sampleInto(const sampling::SamplePlan &plan,
+                              const SampleOptions &options, Rng &rng,
+                              sampling::SampleResult &out) = 0;
+
+    /** Stable backend name ("software", "axe", "distributed"). */
+    virtual std::string_view name() const = 0;
+};
+
+/** Everything a backend may borrow from its Session. */
+struct BackendDeps {
+    const SessionConfig &config;
+    const graph::CsrGraph &graph;
+    sampling::MiniBatchSampler &engine;
+    const sampling::NeighborSampler &sampler;
+    /** Non-null iff config.backend == AxeOffload. */
+    axe::CommandDecoder *decoder = nullptr;
+    /** Non-null iff config.backend == Distributed. */
+    std::shared_ptr<const DistributedStore> store;
+};
+
+/** Build the backend selected by deps.config.backend. */
+std::unique_ptr<SamplingBackend> makeBackend(const BackendDeps &deps);
+
+} // namespace framework
+} // namespace lsdgnn
+
+#endif // LSDGNN_FRAMEWORK_BACKEND_HH

@@ -1,0 +1,320 @@
+#include "distributed.hh"
+
+#include <algorithm>
+#include <string>
+
+namespace lsdgnn {
+namespace framework {
+
+namespace {
+
+std::uint32_t
+effectiveShards(const SessionConfig &config)
+{
+    const std::uint32_t shards = config.distributed.num_shards != 0
+                                     ? config.distributed.num_shards
+                                     : config.num_servers;
+    lsd_assert(shards > 0, "distributed store needs shards");
+    return shards;
+}
+
+} // namespace
+
+void
+DistributedBackend::RoundDedup::begin(std::size_t expected)
+{
+    std::size_t want = 16;
+    while (want < expected * 2)
+        want <<= 1;
+    if (table_.size() < want) {
+        table_.assign(want, Entry{});
+        epoch_ = 0;
+    }
+    mask_ = table_.size() - 1;
+    ++epoch_;
+}
+
+std::size_t
+DistributedBackend::RoundDedup::probe(graph::NodeId key) const
+{
+    // Fibonacci hashing; high bits survive the mask.
+    return static_cast<std::size_t>(
+               (key * 0x9E3779B97F4A7C15ull) >> 17) &
+           mask_;
+}
+
+const mof::ShardChannel::Slot *
+DistributedBackend::RoundDedup::find(graph::NodeId key) const
+{
+    for (std::size_t h = probe(key); table_[h].epoch == epoch_;
+         h = (h + 1) & mask_)
+        if (table_[h].key == key)
+            return &table_[h].slot;
+    return nullptr;
+}
+
+void
+DistributedBackend::RoundDedup::insert(graph::NodeId key,
+                                       mof::ShardChannel::Slot slot)
+{
+    std::size_t h = probe(key);
+    while (table_[h].epoch == epoch_)
+        h = (h + 1) & mask_;
+    table_[h] = Entry{key, slot, epoch_};
+}
+
+DistributedStore::DistributedStore(const SessionConfig &config)
+    : graph_(graph::instantiate(graph::datasetByName(config.dataset),
+                                config.scale_divisor, config.seed)),
+      attrs_(graph::datasetByName(config.dataset).attr_len,
+             config.seed),
+      part_(graph_.numNodes(), effectiveShards(config))
+{
+    const std::uint32_t shards = part_.numServers();
+    shards_.reserve(shards);
+    for (std::uint32_t k = 0; k < shards; ++k)
+        shards_.emplace_back(graph_, part_, k);
+}
+
+std::shared_ptr<const DistributedStore>
+DistributedStore::create(const SessionConfig &config)
+{
+    return std::make_shared<const DistributedStore>(config);
+}
+
+DistributedBackend::DistributedBackend(
+    const SessionConfig &config,
+    std::shared_ptr<const DistributedStore> store,
+    const sampling::NeighborSampler &sampler)
+    : store_(std::move(store)),
+      sampler_(sampler),
+      self_(config.distributed.shard),
+      group_("mof.remote.shard" + std::to_string(self_))
+{
+    const DistributedConfig &d = config.distributed;
+    const std::uint32_t shards = store_->numShards();
+    lsd_assert(self_ < shards, "shard id ", self_, " out of range (",
+               shards, " shards)");
+
+    channels_.resize(shards);
+    for (std::uint32_t peer = 0; peer < shards; ++peer) {
+        if (peer == self_)
+            continue;
+        mof::ShardChannelParams p;
+        p.wire.loss_probability = d.loss_probability;
+        p.wire.ack_loss_probability = d.loss_probability;
+        p.wire.max_retries = d.max_retries;
+        // Distinct deterministic loss streams per directed pair.
+        p.wire.seed = config.seed * 7919 + self_ * 2 * shards +
+                      peer * 2 + 1;
+        p.request_timeout = microseconds(d.request_timeout_us);
+        channels_[peer] = std::make_unique<mof::ShardChannel>(
+            eq_, p, self_, peer);
+        if (std::find(d.down_shards.begin(), d.down_shards.end(),
+                      peer) != d.down_shards.end())
+            channels_[peer]->markDown();
+    }
+
+    group_.addCounter("local", &localReads_,
+                      "reads answered from the local shard");
+    group_.addCounter("remote", &remoteReads_,
+                      "reads that needed a remote shard");
+    group_.addCounter("coalesced", &coalesced_,
+                      "remote reads merged into an already-staged "
+                      "read of the same node");
+    group_.addCounter("degraded", &degraded_,
+                      "remote reads answered by the local fallback");
+    group_.addCounter("batches", &batches_,
+                      "mini-batches sampled on this shard");
+}
+
+void
+DistributedBackend::beginRounds()
+{
+    pending_.clear();
+    for (auto &ch : channels_)
+        if (ch)
+            ch->beginRound();
+}
+
+void
+DistributedBackend::flushAndRun()
+{
+    for (auto &ch : channels_)
+        if (ch)
+            ch->flush();
+    eq_.run();
+}
+
+Status
+DistributedBackend::sampleInto(const sampling::SamplePlan &plan,
+                               const SampleOptions &options, Rng &rng,
+                               sampling::SampleResult &out)
+{
+    const graph::Partitioner &part = store_->partitioner();
+    const graph::CsrGraph &g = store_->graph();
+    const graph::GraphShard &home = store_->shard(self_);
+    batches_.inc();
+
+    out.roots.resize(plan.batch_size);
+    if (options.local_roots && home.numLocalNodes() > 0) {
+        const auto &locals = home.localNodes();
+        for (graph::NodeId &r : out.roots)
+            r = locals[rng.nextBounded(locals.size())];
+    } else {
+        for (graph::NodeId &r : out.roots)
+            r = rng.nextBounded(g.numNodes());
+    }
+
+    const std::uint32_t hops = plan.hops();
+    out.frontier.resize(hops);
+    out.parent.resize(hops);
+
+    std::uint64_t degraded_batch = 0;
+    const graph::NodeId *prev = out.roots.data();
+    std::size_t prev_size = out.roots.size();
+
+    for (std::uint32_t hop = 0; hop < hops; ++hop) {
+        std::vector<graph::NodeId> &out_v = out.frontier[hop];
+        std::vector<std::uint32_t> &par = out.parent[hop];
+        const std::uint32_t fanout = plan.fanouts[hop];
+        const std::size_t arena = prev_size * fanout;
+        if (out_v.size() < arena)
+            out_v.resize(arena);
+        if (par.size() < arena)
+            par.resize(arena);
+        graph::NodeId *op = out_v.data();
+        std::uint32_t *pp = par.data();
+        std::size_t pos = 0;
+
+        beginRounds();
+        roundDedup_.begin(
+            std::min<std::size_t>(prev_size, g.numNodes()));
+
+        // Pass 1: sample locally-owned frontier nodes inline; stage a
+        // packed structure read for every remote one. One read covers
+        // the degree word plus the adjacency run — the response size
+        // is known up front because the shard slice is binary CSR
+        // (8-byte words, see structure_word_bytes). Parents wanting
+        // the same remote node share one staged read (coalescing):
+        // the slot fans its adjacency out to every subscriber, each
+        // of which still draws its own samples from it.
+        for (std::uint32_t i = 0;
+             i < static_cast<std::uint32_t>(prev_size); ++i) {
+            const graph::NodeId node = prev[i];
+            const graph::ServerId owner = part.serverOf(node);
+            if (owner == self_) {
+                localReads_.inc();
+                const std::uint32_t got = sampler_.sampleInto(
+                    home.neighbors(node), fanout, rng, op + pos,
+                    scratch_.sampler);
+                for (std::uint32_t j = 0; j < got; ++j)
+                    pp[pos + j] = i;
+                pos += got;
+                continue;
+            }
+            remoteReads_.inc();
+            if (const auto *shared = roundDedup_.find(node)) {
+                coalesced_.inc();
+                pending_.push_back(
+                    PendingFetch{i, node, owner, *shared});
+                continue;
+            }
+            const graph::GraphShard &owner_shard = store_->shard(owner);
+            const std::uint64_t deg = owner_shard.degree(node);
+            const auto bytes = static_cast<std::uint32_t>(
+                (1 + deg) * sampling::structure_word_bytes);
+            const mof::ShardChannel::Slot slot =
+                channels_[owner]->stage(
+                    owner_shard.adjacencyByteOffset(node), bytes);
+            roundDedup_.insert(node, slot);
+            pending_.push_back(PendingFetch{i, node, owner, slot});
+        }
+
+        flushAndRun();
+
+        // Pass 2: answer the remote reads in staged order. Failed
+        // slots degrade gracefully — the fan-out is answered by
+        // negative-resampling from the home shard, so the hop keeps
+        // its shape and downstream layers never see a hole.
+        for (const PendingFetch &f : pending_) {
+            if (!channels_[f.peer]->roundFailed(f.slot)) {
+                const graph::GraphShard &owner_shard =
+                    store_->shard(f.peer);
+                const std::uint32_t got = sampler_.sampleInto(
+                    owner_shard.neighbors(f.node), fanout, rng,
+                    op + pos, scratch_.sampler);
+                for (std::uint32_t j = 0; j < got; ++j)
+                    pp[pos + j] = f.parent;
+                pos += got;
+            } else {
+                ++degraded_batch;
+                const auto &locals = home.localNodes();
+                if (!locals.empty()) {
+                    for (std::uint32_t j = 0; j < fanout; ++j) {
+                        op[pos] = locals[rng.nextBounded(
+                            locals.size())];
+                        pp[pos] = f.parent;
+                        ++pos;
+                    }
+                }
+            }
+        }
+
+        out_v.resize(pos);
+        par.resize(pos);
+        prev = out_v.data();
+        prev_size = pos;
+    }
+
+    if (plan.fetch_attributes)
+        degraded_batch += fetchAttributes(plan, out);
+
+    degraded_.inc(degraded_batch);
+    if (degraded_batch != 0)
+        return Status(StatusCode::Degraded,
+                      std::to_string(degraded_batch) +
+                          " remote reads fell back to shard " +
+                          std::to_string(self_));
+    return StatusCode::Ok;
+}
+
+std::uint64_t
+DistributedBackend::fetchAttributes(const sampling::SamplePlan &plan,
+                                    const sampling::SampleResult &out)
+{
+    const graph::Partitioner &part = store_->partitioner();
+    const std::uint64_t bytes_per_node = store_->attrs().bytesPerNode();
+    sampling::CoalescingSet &dedup = scratch_.dedup;
+    dedup.reserveFor(std::min<std::uint64_t>(
+        plan.maxNodesPerBatch(), store_->graph().numNodes()));
+    dedup.beginBatch();
+    for (graph::NodeId n : out.roots)
+        dedup.insert(n);
+    for (const auto &hop : out.frontier)
+        for (graph::NodeId n : hop)
+            dedup.insert(n);
+
+    beginRounds();
+    dedup.forEach([&](graph::NodeId node, std::uint64_t) {
+        const graph::ServerId owner = part.serverOf(node);
+        if (owner == self_) {
+            localReads_.inc();
+            return;
+        }
+        remoteReads_.inc();
+        channels_[owner]->stage(
+            node * bytes_per_node,
+            static_cast<std::uint32_t>(bytes_per_node));
+    });
+    flushAndRun();
+
+    std::uint64_t failed = 0;
+    for (const auto &ch : channels_)
+        if (ch)
+            failed += ch->roundFailures();
+    return failed;
+}
+
+} // namespace framework
+} // namespace lsdgnn

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Distributed sharded sampling backend over the MoF fabric.
+ *
+ * The paper's deployment splits the graph store over many FPGA cards;
+ * a sampling hop touching a node owned by another card crosses the
+ * Memory-over-Fabric network as a packed multi-read request. This
+ * module models that split:
+ *
+ *  - DistributedStore: the full graph instance plus one GraphShard
+ *    per storage server, built once and shared read-only by every
+ *    worker (each worker's Session aliases the store's graph and
+ *    attributes instead of instantiating its own copy).
+ *
+ *  - DistributedBackend: one shard's sampling engine. Each hop runs
+ *    two passes — pass 1 samples locally-owned frontier nodes inline
+ *    and stages the remote ones into per-peer ShardChannels (MoF
+ *    packages, up to 64 reads each, BDI-compressed addresses); the
+ *    channels flush, the shared EventQueue drains, and pass 2 answers
+ *    the remote reads in staged order. A read that missed its
+ *    deadline or hit a down peer degrades gracefully: the fan-out is
+ *    answered by negative-resampling from the local shard and the
+ *    batch Status comes back Degraded instead of failing.
+ *
+ * Determinism: for a fixed config and seed the whole schedule —
+ * sampling RNG, packing, simulated losses, retries — replays exactly,
+ * because every random stream is seeded from the config and the
+ * event-driven fabric is single-threaded per backend.
+ */
+
+#ifndef LSDGNN_FRAMEWORK_DISTRIBUTED_HH
+#define LSDGNN_FRAMEWORK_DISTRIBUTED_HH
+
+#include <memory>
+#include <vector>
+
+#include "framework/backend.hh"
+#include "framework/session.hh"
+#include "graph/partition.hh"
+#include "mof/shard_channel.hh"
+#include "sampling/scratch.hh"
+#include "sim/event_queue.hh"
+
+namespace lsdgnn {
+namespace framework {
+
+/**
+ * The sharded graph store: one instance of the scaled dataset plus
+ * its per-server CSR slices. Immutable after construction; share one
+ * across every worker of a service (std::shared_ptr<const ...>).
+ */
+class DistributedStore
+{
+  public:
+    /** Build from the session config (dataset, scale, shard count). */
+    explicit DistributedStore(const SessionConfig &config);
+
+    static std::shared_ptr<const DistributedStore>
+    create(const SessionConfig &config);
+
+    const graph::CsrGraph &graph() const { return graph_; }
+    const graph::AttributeStore &attrs() const { return attrs_; }
+    const graph::Partitioner &partitioner() const { return part_; }
+
+    std::uint32_t
+    numShards() const
+    {
+        return static_cast<std::uint32_t>(shards_.size());
+    }
+
+    const graph::GraphShard &
+    shard(std::uint32_t k) const
+    {
+        lsd_assert(k < shards_.size(), "shard id out of range");
+        return shards_[k];
+    }
+
+  private:
+    graph::CsrGraph graph_;
+    graph::AttributeStore attrs_;
+    graph::Partitioner part_;
+    std::vector<graph::GraphShard> shards_;
+};
+
+/**
+ * One shard's sampling path against a shared DistributedStore.
+ * Single-threaded; owns its EventQueue and per-peer ShardChannels.
+ */
+class DistributedBackend : public SamplingBackend
+{
+  public:
+    DistributedBackend(const SessionConfig &config,
+                       std::shared_ptr<const DistributedStore> store,
+                       const sampling::NeighborSampler &sampler);
+
+    Status sampleInto(const sampling::SamplePlan &plan,
+                      const SampleOptions &options, Rng &rng,
+                      sampling::SampleResult &out) override;
+
+    std::string_view name() const override { return "distributed"; }
+
+    std::uint32_t shard() const { return self_; }
+    std::uint32_t numShards() const { return store_->numShards(); }
+
+    /** Channel toward @p peer; nullptr for the home shard. */
+    const mof::ShardChannel *
+    channel(std::uint32_t peer) const
+    {
+        lsd_assert(peer < channels_.size(), "peer out of range");
+        return channels_[peer].get();
+    }
+
+    /** Reads answered from the local shard. */
+    std::uint64_t localReads() const { return localReads_.value(); }
+    /** Reads that needed a remote shard's data. */
+    std::uint64_t remoteReads() const { return remoteReads_.value(); }
+    /** Remote reads served by another parent's staged read. */
+    std::uint64_t coalescedReads() const { return coalesced_.value(); }
+    /** Remote reads answered by the degradation fallback. */
+    std::uint64_t degradedReads() const { return degraded_.value(); }
+
+    /** Fraction of reads that were remote, over the lifetime. */
+    double
+    remoteFraction() const
+    {
+        const double total = static_cast<double>(localReads_.value() +
+                                                 remoteReads_.value());
+        return total == 0.0
+                   ? 0.0
+                   : static_cast<double>(remoteReads_.value()) / total;
+    }
+
+  private:
+    /** One staged remote structure read awaiting its round. */
+    struct PendingFetch {
+        std::uint32_t parent; ///< index into the previous frontier
+        graph::NodeId node;
+        std::uint32_t peer;
+        mof::ShardChannel::Slot slot;
+    };
+
+    /**
+     * Epoch-stamped open-addressing node -> channel-slot map, the
+     * structure-read twin of sampling::CoalescingSet: a frontier
+     * re-visits the same remote node many times per hop (the scaled
+     * graphs are small relative to batch * fanout), and one staged
+     * read serves every parent that wants that adjacency list. Epoch
+     * stamping makes begin() O(1) in steady state — no clearing.
+     */
+    class RoundDedup
+    {
+      public:
+        /** Start a round expecting at most @p expected inserts. */
+        void begin(std::size_t expected);
+        /** Slot previously inserted for @p key this round, or null. */
+        const mof::ShardChannel::Slot *find(graph::NodeId key) const;
+        /** Record @p slot for @p key (key must be absent). */
+        void insert(graph::NodeId key, mof::ShardChannel::Slot slot);
+
+      private:
+        struct Entry {
+            graph::NodeId key = 0;
+            mof::ShardChannel::Slot slot = 0;
+            std::uint64_t epoch = 0;
+        };
+        std::size_t probe(graph::NodeId key) const;
+
+        std::vector<Entry> table_;
+        std::uint64_t epoch_ = 0;
+        std::size_t mask_ = 0;
+    };
+
+    void beginRounds();
+    void flushAndRun();
+
+    /** Attribute fetch round; returns degraded read count. */
+    std::uint64_t fetchAttributes(const sampling::SamplePlan &plan,
+                                  const sampling::SampleResult &out);
+
+    std::shared_ptr<const DistributedStore> store_;
+    const sampling::NeighborSampler &sampler_;
+    std::uint32_t self_;
+    sim::EventQueue eq_;
+    std::vector<std::unique_ptr<mof::ShardChannel>> channels_;
+    std::vector<PendingFetch> pending_;
+    RoundDedup roundDedup_;
+    sampling::SampleScratch scratch_;
+
+    stats::StatGroup group_;
+    stats::Counter localReads_;
+    stats::Counter remoteReads_;
+    stats::Counter coalesced_;
+    stats::Counter degraded_;
+    stats::Counter batches_;
+};
+
+} // namespace framework
+} // namespace lsdgnn
+
+#endif // LSDGNN_FRAMEWORK_DISTRIBUTED_HH

@@ -2,21 +2,60 @@
 
 #include <algorithm>
 
+#include "framework/distributed.hh"
 #include "sampling/workload.hh"
 
 namespace lsdgnn {
 namespace framework {
 
+namespace {
+
+/** The shared store, if and only if the config wants one. */
+std::shared_ptr<const DistributedStore>
+resolveStore(const SessionConfig &config)
+{
+    if (config.backend != Backend::Distributed)
+        return nullptr;
+    if (config.distributed.store)
+        return config.distributed.store;
+    return DistributedStore::create(config);
+}
+
+/** The session's graph: aliased from the store, or privately built. */
+std::shared_ptr<const graph::CsrGraph>
+resolveGraph(const std::shared_ptr<const DistributedStore> &store,
+             const graph::DatasetSpec &spec, const SessionConfig &config)
+{
+    if (store)
+        return std::shared_ptr<const graph::CsrGraph>(store,
+                                                      &store->graph());
+    return std::make_shared<const graph::CsrGraph>(graph::instantiate(
+        spec, config.scale_divisor, config.seed));
+}
+
+std::shared_ptr<const graph::AttributeStore>
+resolveAttrs(const std::shared_ptr<const DistributedStore> &store,
+             const graph::DatasetSpec &spec, const SessionConfig &config)
+{
+    if (store)
+        return std::shared_ptr<const graph::AttributeStore>(
+            store, &store->attrs());
+    return std::make_shared<const graph::AttributeStore>(spec.attr_len,
+                                                         config.seed);
+}
+
+} // namespace
+
 Session::Session(SessionConfig config)
     : config_(std::move(config)),
       spec(graph::datasetByName(config_.dataset)),
-      graph_(graph::instantiate(spec, config_.scale_divisor,
-                                config_.seed)),
-      attrs(spec.attr_len, config_.seed),
-      partitioner(graph_.numNodes(), config_.num_servers),
+      store_(resolveStore(config_)),
+      graph_(resolveGraph(store_, spec, config_)),
+      attrs(resolveAttrs(store_, spec, config_)),
+      partitioner(graph_->numNodes(), config_.num_servers),
       sampler_(sampling::makeSampler(config_.sampler)),
-      engine(graph_, attrs, *sampler_, &partitioner),
-      negatives(graph_, 0.35),
+      engine(*graph_, *attrs, *sampler_, &partitioner),
+      negatives(*graph_, 0.35),
       modelRng(config_.seed + 101),
       model(spec.attr_len, config_.hidden_dim, 2, modelRng),
       rng_(config_.seed + 7)
@@ -28,51 +67,35 @@ Session::Session(SessionConfig config)
     if (config_.hot_cache_fraction > 0.0) {
         const auto capacity = static_cast<std::size_t>(
             std::max<double>(1.0, config_.hot_cache_fraction *
-                static_cast<double>(graph_.numNodes())));
+                static_cast<double>(graph_->numNodes())));
         hotCache.emplace(capacity);
     }
     if (config_.backend == Backend::AxeOffload)
-        decoder.emplace(graph_, attrs, *sampler_);
+        decoder.emplace(*graph_, *attrs, *sampler_);
+    backend_ = makeBackend(BackendDeps{
+        config_, *graph_, engine, *sampler_,
+        decoder ? &*decoder : nullptr, store_});
 }
 
 sampling::SampleResult
 Session::sampleBatch(const sampling::SamplePlan &plan)
 {
     sampling::SampleResult result;
-    sampleBatchInto(plan, result);
+    const Status status = sampleBatchInto(plan, result);
+    lsd_assert(status.hasPayload(), "sampleBatch failed: ",
+               status.toString());
     return result;
 }
 
-void
+Status
 Session::sampleBatchInto(const sampling::SamplePlan &plan,
-                         sampling::SampleResult &out)
+                         sampling::SampleResult &out,
+                         const SampleOptions &options)
 {
     lsd_assert(!plan.fanouts.empty(), "plan needs hops");
     batchCount.inc();
 
-    if (config_.backend == Backend::AxeOffload) {
-        // The Table 4 command path: uniform fan-out, contiguous root
-        // window (the host enumerates roots into the command buffer).
-        for (std::uint32_t f : plan.fanouts) {
-            lsd_assert(f == plan.fanouts[0],
-                       "AxE offload requires a uniform fan-out");
-        }
-        decoder->execute(axe::commands::setCsr(
-            axe::CommandDecoder::csr_batch_size, plan.batch_size));
-        const std::uint64_t span = graph_.numNodes() - plan.batch_size;
-        const std::uint64_t root_base =
-            span == 0 ? 0 : rng_.nextBounded(span);
-        const auto resp = decoder->execute(axe::commands::sampleNHop(
-            static_cast<std::uint8_t>(plan.hops()),
-            static_cast<std::uint8_t>(plan.fanouts[0]), root_base));
-        lsd_assert(resp.status == 0, "AxE sample command faulted");
-        out = decoder->takeLastSample();
-    } else {
-        // No clearForReuse here: the engine fully defines roots,
-        // frontier and parent, and keeping the stale sizes lets its
-        // grow-only arenas skip re-initialization.
-        engine.sampleBatchInto(plan, rng_, out);
-    }
+    const Status status = backend_->sampleInto(plan, options, rng_, out);
 
     if (hotCache) {
         for (graph::NodeId n : out.roots)
@@ -85,12 +108,13 @@ Session::sampleBatchInto(const sampling::SamplePlan &plan,
     for (const auto &hop : out.frontier)
         nodes += hop.size();
     batchNodes.sample(static_cast<double>(nodes));
+    return status;
 }
 
 std::vector<float>
 Session::nodeAttributes(graph::NodeId node) const
 {
-    return attrs.fetch(node);
+    return attrs->fetch(node);
 }
 
 std::vector<graph::NodeId>
@@ -103,7 +127,7 @@ Session::negativeSample(graph::NodeId src, graph::NodeId dst,
 gnn::Matrix
 Session::embed(const sampling::SampleResult &batch) const
 {
-    return model.embed(batch, attrs);
+    return model.embed(batch, *attrs);
 }
 
 const sampling::TrafficStats &
@@ -123,7 +147,10 @@ Session::estimatedSamplesPerSecond(const sampling::SamplePlan &plan)
 {
     const auto profile = sampling::profileWorkload(
         spec, plan, config_.scale_divisor, 2, config_.seed);
-    if (config_.backend == Backend::Software) {
+    if (config_.backend != Backend::AxeOffload) {
+        // Software and Distributed both run on the CPU service model;
+        // the distributed fabric costs show up in measured goodput
+        // (bench_distributed), not this analytical estimate.
         baseline::CpuSamplerModel cpu;
         baseline::CpuClusterConfig cluster;
         cluster.num_servers = config_.num_servers;

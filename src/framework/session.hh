@@ -8,11 +8,13 @@
  * object owns the graph store (scaled dataset instance, partitioning,
  * hot-node cache), exposes the GNN-operator-level API (k-hop
  * sampling, attribute fetch, negative sampling, fixed-model
- * graphSAGE embedding), and executes it on one of two backends —
- * the CPU software path or the AxE offload path (Table 4 commands
- * through the command decoder). Both backends produce identical
- * functional results; they differ in the performance model attached,
- * which estimatedSamplesPerSecond() reports.
+ * graphSAGE embedding), and executes it on one of three backends
+ * behind the SamplingBackend interface — the CPU software path, the
+ * AxE offload path (Table 4 commands through the command decoder),
+ * or the distributed sharded store over MoF shard channels. The
+ * single-store backends produce identical functional results; they
+ * differ in the performance model attached, which
+ * estimatedSamplesPerSecond() reports.
  */
 
 #ifndef LSDGNN_FRAMEWORK_SESSION_HH
@@ -27,6 +29,8 @@
 #include "baseline/cpu_sampler.hh"
 #include "baseline/hot_cache.hh"
 #include "common/stats.hh"
+#include "common/status.hh"
+#include "framework/backend.hh"
 #include "gnn/graphsage.hh"
 #include "graph/datasets.hh"
 #include "graph/partition.hh"
@@ -35,12 +39,50 @@
 namespace lsdgnn {
 namespace framework {
 
+class DistributedStore;
+
 /** Execution backend for the sampling stage. */
 enum class Backend {
     /** CPU software path (the AliGraph baseline). */
     Software,
     /** AxE offload through Table 4 commands. */
     AxeOffload,
+    /** Sharded store; remote hops cross MoF shard channels. */
+    Distributed,
+};
+
+/** Options for the Distributed backend (ignored by the others). */
+struct DistributedConfig {
+    /** Shard count; 0 defers to SessionConfig::num_servers. */
+    std::uint32_t num_shards = 0;
+    /** Which shard this session's backend plays. */
+    std::uint32_t shard = 0;
+    /** Package/ACK loss probability on every shard channel. */
+    double loss_probability = 0.0;
+    /**
+     * Per-round remote-read deadline, microseconds (simulated time).
+     * A merged service batch can stage tens of thousands of remote
+     * reads per hop, so the default is sized for the round's full
+     * response serialization plus several ARQ recoveries — not for a
+     * single package round trip.
+     */
+    double request_timeout_us = 1000.0;
+    /**
+     * Consecutive ARQ timeouts before a peer is declared down. Each
+     * recovery cycle survives an independent package loss, so the
+     * false-trip probability at loss p is ~p^retries: 8 keeps a 5%
+     * lossy-but-alive fabric from being declared dead (0.05^8) while
+     * still detecting a hard-down peer in bounded simulated time.
+     */
+    std::uint32_t max_retries = 8;
+    /** Peers to mark administratively down at construction. */
+    std::vector<std::uint32_t> down_shards;
+    /**
+     * Pre-built shared store. When null the Session builds a private
+     * one; the service layer injects a single store so its workers
+     * share one graph instance instead of instantiating per thread.
+     */
+    std::shared_ptr<const DistributedStore> store;
 };
 
 /** Session construction options. */
@@ -60,6 +102,8 @@ struct SessionConfig {
     /** GNN hidden width for the fixed-model embedding API. */
     std::uint32_t hidden_dim = 128;
     std::uint64_t seed = 1;
+    /** Distributed-backend options. */
+    DistributedConfig distributed;
 };
 
 /**
@@ -87,7 +131,7 @@ class Session
     explicit Session(SessionConfig config);
 
     const SessionConfig &config() const { return config_; }
-    const graph::CsrGraph &graph() const { return graph_; }
+    const graph::CsrGraph &graph() const { return *graph_; }
     const graph::DatasetSpec &dataset() const { return spec; }
 
     /** GNN-operator level: sample one mini-batch. */
@@ -97,9 +141,24 @@ class Session
      * Hot-path variant: sample into @p out, reusing its capacity.
      * Zero steady-state allocation on the Software backend; the AxE
      * backend moves the decoder read-back into @p out.
+     *
+     * Returns Ok, or Degraded when the distributed backend answered
+     * part of the batch from its local fallback — @p out is a full,
+     * usable batch either way (Status::hasPayload()).
      */
-    void sampleBatchInto(const sampling::SamplePlan &plan,
-                         sampling::SampleResult &out);
+    Status sampleBatchInto(const sampling::SamplePlan &plan,
+                           sampling::SampleResult &out,
+                           const SampleOptions &options = {});
+
+    /** The execution path sampleBatchInto() dispatches through. */
+    const SamplingBackend &backend() const { return *backend_; }
+
+    /** Shared sharded store; null unless Backend::Distributed. */
+    const std::shared_ptr<const DistributedStore> &
+    distributedStore() const
+    {
+        return store_;
+    }
 
     /** GNN-operator level: fetch one node's attribute vector. */
     std::vector<float> nodeAttributes(graph::NodeId node) const;
@@ -138,8 +197,11 @@ class Session
   private:
     SessionConfig config_;
     const graph::DatasetSpec &spec;
-    graph::CsrGraph graph_;
-    graph::AttributeStore attrs;
+    /** Non-null iff the Distributed backend is selected. */
+    std::shared_ptr<const DistributedStore> store_;
+    /** Aliases store_'s graph when distributed, else privately owned. */
+    std::shared_ptr<const graph::CsrGraph> graph_;
+    std::shared_ptr<const graph::AttributeStore> attrs;
     graph::Partitioner partitioner;
     std::unique_ptr<sampling::NeighborSampler> sampler_;
     sampling::MiniBatchSampler engine;
@@ -152,6 +214,8 @@ class Session
     stats::StatGroup group{"framework.session"};
     stats::Counter batchCount;
     stats::Average batchNodes;
+    /** Declared last: may borrow any of the members above. */
+    std::unique_ptr<SamplingBackend> backend_;
 };
 
 } // namespace framework

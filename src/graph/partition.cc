@@ -49,5 +49,34 @@ Partitioner::remoteEdgeFraction(const CsrGraph &graph) const
            static_cast<double>(graph.numEdges());
 }
 
+GraphShard::GraphShard(const CsrGraph &graph, const Partitioner &part,
+                       ServerId shard)
+    : shard_(shard),
+      slice_(buildSlice(graph, part, shard, localIndex_, localNodes_))
+{
+}
+
+CsrGraph
+GraphShard::buildSlice(const CsrGraph &graph, const Partitioner &part,
+                       ServerId shard,
+                       std::vector<std::uint32_t> &local_index,
+                       std::vector<NodeId> &local_nodes)
+{
+    lsd_assert(shard < part.numServers(), "shard id out of range");
+    const std::uint64_t nodes = graph.numNodes();
+    lsd_assert(nodes < npos, "graph too large for 32-bit local index");
+    local_index.assign(nodes, npos);
+    CsrBuilder builder;
+    for (NodeId n = 0; n < nodes; ++n) {
+        if (part.serverOf(n) != shard)
+            continue;
+        local_index[n] =
+            static_cast<std::uint32_t>(local_nodes.size());
+        local_nodes.push_back(n);
+        builder.addNode(graph.neighbors(n));
+    }
+    return std::move(builder).build();
+}
+
 } // namespace graph
 } // namespace lsdgnn

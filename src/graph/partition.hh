@@ -97,6 +97,93 @@ class Partitioner
     std::uint64_t rangePer;  ///< ceil(nodes / servers) (Range policy)
 };
 
+/**
+ * The CSR slice one storage server actually holds: adjacency lists of
+ * the nodes the Partitioner places on it, indexed by *global* node ID
+ * through a global->local translation table. Targets keep their
+ * global IDs — an adjacency list routinely points at nodes owned by
+ * other shards, which is exactly the traffic the distributed sampling
+ * backend turns into MoF packages.
+ *
+ * Immutable after construction and safe to share across threads
+ * read-only, like CsrGraph itself.
+ */
+class GraphShard
+{
+  public:
+    /**
+     * Slice @p graph down to the nodes @p part places on @p shard.
+     * @pre shard < part.numServers() and the partitioner was built
+     *      for this graph's node count.
+     */
+    GraphShard(const CsrGraph &graph, const Partitioner &part,
+               ServerId shard);
+
+    ServerId shard() const { return shard_; }
+
+    /** Nodes this shard owns. */
+    std::uint64_t numLocalNodes() const { return localNodes_.size(); }
+
+    /** Whether @p node lives on this shard. */
+    bool
+    owns(NodeId node) const
+    {
+        lsd_assert(node < localIndex_.size(), "owns: node out of range");
+        return localIndex_[node] != npos;
+    }
+
+    /** Out-degree of owned node @p node (global ID). */
+    std::uint64_t
+    degree(NodeId node) const
+    {
+        return slice_.degree(localOf(node));
+    }
+
+    /** Neighbor list (global target IDs) of owned node @p node. */
+    std::span<const NodeId>
+    neighbors(NodeId node) const
+    {
+        return slice_.neighbors(localOf(node));
+    }
+
+    /** Byte offset of the adjacency list within this shard's arrays. */
+    std::uint64_t
+    adjacencyByteOffset(NodeId node) const
+    {
+        return slice_.adjacencyByteOffset(localOf(node));
+    }
+
+    /** Owned nodes in ascending global-ID order. */
+    const std::vector<NodeId> &localNodes() const { return localNodes_; }
+
+    /** The underlying local-indexed CSR slice. */
+    const CsrGraph &slice() const { return slice_; }
+
+  private:
+    static constexpr std::uint32_t npos = ~std::uint32_t(0);
+
+    std::uint32_t
+    localOf(NodeId node) const
+    {
+        lsd_assert(node < localIndex_.size(),
+                   "shard ", shard_, ": node ", node, " out of range");
+        const std::uint32_t local = localIndex_[node];
+        lsd_assert(local != npos, "shard ", shard_,
+                   " does not own node ", node);
+        return local;
+    }
+
+    static CsrGraph buildSlice(const CsrGraph &graph,
+                               const Partitioner &part, ServerId shard,
+                               std::vector<std::uint32_t> &local_index,
+                               std::vector<NodeId> &local_nodes);
+
+    ServerId shard_;
+    std::vector<std::uint32_t> localIndex_; ///< global -> local (npos)
+    std::vector<NodeId> localNodes_;        ///< local -> global
+    CsrGraph slice_;
+};
+
 } // namespace graph
 } // namespace lsdgnn
 

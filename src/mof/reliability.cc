@@ -7,10 +7,12 @@ namespace mof {
 
 ReliableChannel::ReliableChannel(sim::EventQueue &eq,
                                  ReliableChannelParams params,
-                                 DeliverFn deliver_fn)
-    : sim::Component(eq, "mof.reliable"),
+                                 DeliverFn deliver_fn,
+                                 std::string name, FailFn on_fail)
+    : sim::Component(eq, std::move(name)),
       params_(params),
       deliver(std::move(deliver_fn)),
+      onFail(std::move(on_fail)),
       rng_(params.seed)
 {
     lsd_assert(params_.window > 0, "ARQ window must be positive");
@@ -22,6 +24,8 @@ ReliableChannel::ReliableChannel(sim::EventQueue &eq,
     statGroup.addCounter("acks", &ackSent, "ACK packages sent");
     statGroup.addCounter("lost", &dataLost, "data packages lost");
     statGroup.addCounter("timeouts", &timeouts, "ARQ timeouts fired");
+    statGroup.addCounter("failed", &failed_,
+                         "packages failed by the retry breaker");
 }
 
 Tick
@@ -33,9 +37,26 @@ ReliableChannel::serialize(std::uint32_t bytes) const
 }
 
 void
+ReliableChannel::failPackage(std::uint64_t seq, const Status &status)
+{
+    failed_.inc();
+    if (onFail)
+        onFail(seq, status);
+}
+
+void
 ReliableChannel::send(std::uint32_t bytes)
 {
-    sendQueue.push_back(Pending{nextSeq++, bytes});
+    const std::uint64_t seq = nextSeq++;
+    if (broken_) {
+        // Fail fast: the breaker already declared the peer dead, so
+        // queueing more traffic would only stall the caller.
+        failPackage(seq, Status(StatusCode::Unavailable,
+                                "channel " + name() + " is down"));
+        sendBase = nextSeq; // nothing outstanding
+        return;
+    }
+    sendQueue.push_back(Pending{seq, bytes});
     pump();
 }
 
@@ -71,6 +92,8 @@ ReliableChannel::transmit(const Pending &pkg)
 void
 ReliableChannel::onDataArrival(Pending pkg)
 {
+    if (broken_)
+        return; // breaker tripped while this copy was in flight
     if (pkg.seq == expectedSeq) {
         ++expectedSeq;
         delivered_.inc();
@@ -95,11 +118,12 @@ ReliableChannel::sendAck(std::uint64_t cumulative)
 void
 ReliableChannel::onAckArrival(std::uint64_t cumulative)
 {
-    if (cumulative <= sendBase)
+    if (broken_ || cumulative <= sendBase)
         return; // stale
     while (!inFlight.empty() && inFlight.front().seq < cumulative)
         inFlight.erase(inFlight.begin());
     sendBase = cumulative;
+    timeoutStreak = 0; // forward progress resets the breaker
     if (timerArmed) {
         eventq.deschedule(timerHandle);
         timerArmed = false;
@@ -121,13 +145,41 @@ void
 ReliableChannel::onTimeout()
 {
     timerArmed = false;
-    if (inFlight.empty())
+    if (broken_ || inFlight.empty())
         return;
     timeouts.inc();
+    if (params_.max_retries > 0 &&
+        ++timeoutStreak >= params_.max_retries) {
+        breakChannel();
+        return;
+    }
     // Go-back-N: retransmit the whole window.
     for (const Pending &pkg : inFlight)
         transmit(pkg);
     armTimer();
+}
+
+void
+ReliableChannel::breakChannel()
+{
+    broken_ = true;
+    if (timerArmed) {
+        eventq.deschedule(timerHandle);
+        timerArmed = false;
+    }
+    const Status cause(StatusCode::RemoteTimeout,
+                       "channel " + name() + ": " +
+                           std::to_string(params_.max_retries) +
+                           " consecutive timeouts");
+    // Fail everything unacknowledged, in sequence order: the window
+    // first, then the not-yet-transmitted backlog.
+    for (const Pending &pkg : inFlight)
+        failPackage(pkg.seq, cause);
+    for (const Pending &pkg : sendQueue)
+        failPackage(pkg.seq, cause);
+    inFlight.clear();
+    sendQueue.clear();
+    sendBase = nextSeq; // nothing outstanding anymore
 }
 
 } // namespace mof

@@ -10,6 +10,15 @@
  * cumulative ACKs and a retransmission timer, delivering packages to
  * the receiver strictly in order. The tests drive it through loss
  * rates from 0 to 20% and assert exactly-once in-order delivery.
+ *
+ * Failure model: by default the sender retries forever (a healthy
+ * fabric always recovers). With `max_retries` set, `max_retries`
+ * consecutive timeouts without any ACK progress trip a circuit
+ * breaker: every unacknowledged package fails through the FailFn
+ * with StatusCode::RemoteTimeout, the channel reports broken(), and
+ * later send() calls fail immediately with StatusCode::Unavailable.
+ * This is what lets a ShardChannel declare a peer down instead of
+ * stalling the sampling hop behind a dead cable.
  */
 
 #ifndef LSDGNN_MOF_RELIABILITY_HH
@@ -17,10 +26,12 @@
 
 #include <deque>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "common/rng.hh"
 #include "common/stats.hh"
+#include "common/status.hh"
 #include "sim/component.hh"
 
 namespace lsdgnn {
@@ -42,6 +53,11 @@ struct ReliableChannelParams {
     Tick timeout = microseconds(5);
     /** RNG seed for loss decisions. */
     std::uint64_t seed = 1;
+    /**
+     * Consecutive ACK-less timeouts tolerated before the breaker
+     * trips; 0 retries forever (the historical behavior).
+     */
+    std::uint32_t max_retries = 0;
 };
 
 /**
@@ -53,8 +69,25 @@ class ReliableChannel : public sim::Component
     /** Delivery callback: (sequence number, payload bytes). */
     using DeliverFn = std::function<void(std::uint64_t, std::uint32_t)>;
 
+    /**
+     * Failure callback: (sequence number, cause). Invoked once per
+     * failed package, in sequence order, when the breaker trips
+     * (RemoteTimeout) or on send() into a broken channel
+     * (Unavailable). Optional; without it failures only show in
+     * broken() and the `failed` counter.
+     */
+    using FailFn = std::function<void(std::uint64_t, const Status &)>;
+
+    /**
+     * @param name Stat-group/component name. Channels are routinely
+     *        constructed per shard pair, so give each a unique name
+     *        ("mof.remote.shard0.to2.req") or the StatRegistry ends
+     *        up with colliding "mof.reliable" groups.
+     */
     ReliableChannel(sim::EventQueue &eq, ReliableChannelParams params,
-                    DeliverFn deliver);
+                    DeliverFn deliver,
+                    std::string name = "mof.reliable",
+                    FailFn on_fail = nullptr);
 
     /** Queue one package of @p bytes for reliable delivery. */
     void send(std::uint32_t bytes);
@@ -78,6 +111,12 @@ class ReliableChannel : public sim::Component
     /** True when every submitted package has been acknowledged. */
     bool allAcked() const { return sendBase == nextSeq; }
 
+    /** True once the retry breaker tripped; the channel stays down. */
+    bool broken() const { return broken_; }
+
+    /** Packages failed (breaker trip + post-breaker sends). */
+    std::uint64_t failedCount() const { return failed_.value(); }
+
   private:
     struct Pending {
         std::uint64_t seq;
@@ -91,10 +130,13 @@ class ReliableChannel : public sim::Component
     void onAckArrival(std::uint64_t cumulative);
     void armTimer();
     void onTimeout();
+    void breakChannel();
+    void failPackage(std::uint64_t seq, const Status &status);
     Tick serialize(std::uint32_t bytes) const;
 
     ReliableChannelParams params_;
     DeliverFn deliver;
+    FailFn onFail;
     Rng rng_;
 
     // Sender state.
@@ -105,6 +147,8 @@ class ReliableChannel : public sim::Component
     Tick wireFreeAt = 0;
     sim::EventQueue::EventHandle timerHandle = 0;
     bool timerArmed = false;
+    std::uint32_t timeoutStreak = 0; ///< consecutive ACK-less timeouts
+    bool broken_ = false;
 
     // Receiver state.
     std::uint64_t expectedSeq = 0;
@@ -115,6 +159,7 @@ class ReliableChannel : public sim::Component
     stats::Counter ackSent;
     stats::Counter dataLost;
     stats::Counter timeouts;
+    stats::Counter failed_;
 };
 
 } // namespace mof

@@ -1,0 +1,228 @@
+#include "shard_channel.hh"
+
+#include <string>
+
+namespace lsdgnn {
+namespace mof {
+
+namespace {
+
+std::string
+channelName(std::uint32_t self, std::uint32_t peer)
+{
+    return "mof.remote.shard" + std::to_string(self) + ".to" +
+           std::to_string(peer);
+}
+
+} // namespace
+
+ShardChannelParams
+ShardChannel::normalize(ShardChannelParams params)
+{
+    if (params.peer_memory.name.empty())
+        params.peer_memory =
+            fabric::catalog::localDdr4Channel().params();
+    return params;
+}
+
+ReliableChannelParams
+ShardChannel::wireParams(const ShardChannelParams &p,
+                         std::uint64_t seed_offset)
+{
+    ReliableChannelParams wire = p.wire;
+    wire.seed += seed_offset;
+    return wire;
+}
+
+ShardChannel::ShardChannel(sim::EventQueue &eq,
+                           ShardChannelParams params,
+                           std::uint32_t self_shard,
+                           std::uint32_t peer_shard)
+    : sim::Component(eq, channelName(self_shard, peer_shard)),
+      params_(normalize(std::move(params))),
+      self_(self_shard),
+      peer_(peer_shard),
+      packer_(params_.packer),
+      peerMem_(eq,
+               [this] {
+                   fabric::LinkParams mem = params_.peer_memory;
+                   mem.name = name() + ".mem";
+                   return mem;
+               }()),
+      req_(eq, wireParams(params_, 0),
+           [this](std::uint64_t, std::uint32_t) {
+               onRequestDelivered();
+           },
+           name() + ".req",
+           [this](std::uint64_t, const Status &cause) {
+               onWireFailure(cause);
+           }),
+      rsp_(eq, wireParams(params_, 1),
+           [this](std::uint64_t, std::uint32_t) {
+               onResponseDelivered();
+           },
+           name() + ".rsp",
+           [this](std::uint64_t, const Status &cause) {
+               onWireFailure(cause);
+           })
+{
+    lsd_assert(self_ != peer_, "shard channel to itself");
+    statGroup.addCounter("reads", &reads_, "remote reads staged");
+    statGroup.addCounter("packages", &packages_,
+                         "request packages emitted");
+    statGroup.addCounter("wire_bytes", &wireBytes_,
+                         "request-direction header+address bytes");
+    statGroup.addCounter("address_bytes", &addressBytes_,
+                         "address bytes after BDI compression");
+    statGroup.addCounter("raw_address_bytes", &rawAddressBytes_,
+                         "address bytes before compression");
+    statGroup.addCounter("degraded", &degraded_,
+                         "reads failed (deadline/breaker/down)");
+    statGroup.addCounter("deadline_misses", &deadlineMisses_,
+                         "reads failed by the round deadline");
+    statGroup.addAverage("pack_fill", &packFill_,
+                         "requests per emitted package (max 64)");
+}
+
+void
+ShardChannel::beginRound()
+{
+    lsd_assert(packer_.pendingRequests() == 0,
+               "beginRound with unflushed requests");
+    ++roundGen_;
+    slots_.clear();
+    nextUnflushedSlot = 0;
+    roundFailures_ = 0;
+    reqPending_.clear();
+    rspPending_.clear();
+}
+
+ShardChannel::Slot
+ShardChannel::stage(std::uint64_t address, std::uint32_t bytes)
+{
+    const Slot slot = static_cast<Slot>(slots_.size());
+    reads_.inc();
+    if (down_) {
+        slots_.push_back(SlotState{bytes, true, false});
+        degraded_.inc();
+        ++roundFailures_;
+        return slot;
+    }
+    slots_.push_back(SlotState{bytes, false, false});
+    packer_.add(ReadRequest{address, bytes, ContextTag{}});
+    return slot;
+}
+
+void
+ShardChannel::flush()
+{
+    if (packer_.pendingRequests() == 0)
+        return;
+    const std::vector<Package> pkgs = packer_.flush();
+    for (const Package &pkg : pkgs) {
+        OutPkg out;
+        out.first_slot = nextUnflushedSlot;
+        out.count = static_cast<std::uint32_t>(pkg.requests.size());
+        out.response_bytes = 0;
+        for (const ReadRequest &req : pkg.requests)
+            out.response_bytes += req.bytes;
+        nextUnflushedSlot += out.count;
+
+        packages_.inc();
+        packFill_.sample(static_cast<double>(out.count));
+        wireBytes_.inc(pkg.wireBytes());
+        addressBytes_.inc(pkg.address_bytes);
+        rawAddressBytes_.inc(pkg.raw_address_bytes);
+
+        // Push the ledger entry before send(): a broken channel
+        // fails synchronously through onWireFailure, which must see
+        // this package as unanswered.
+        reqPending_.push_back(out);
+        req_.send(static_cast<std::uint32_t>(pkg.wireBytes()));
+        if (down_)
+            break; // the failure path already failed every slot
+    }
+    if (!down_)
+        eventq.scheduleAfter(params_.request_timeout,
+                             [this, gen = roundGen_] {
+                                 onDeadline(gen);
+                             });
+}
+
+void
+ShardChannel::onRequestDelivered()
+{
+    if (down_ || reqPending_.empty())
+        return; // a failed round already settled its slots
+    const OutPkg pkg = reqPending_.front();
+    reqPending_.pop_front();
+    // The peer fans the packed reads out to its memory channel; one
+    // aggregate access stands in for the per-request stream (the
+    // response package is what crosses the fabric back).
+    const std::uint64_t bytes =
+        params_.response_header_bytes + pkg.response_bytes;
+    const std::uint64_t gen = roundGen_;
+    peerMem_.request(bytes, 0, [this, pkg, bytes, gen] {
+        if (gen != roundGen_ || down_)
+            return;
+        rspPending_.push_back(pkg);
+        rsp_.send(static_cast<std::uint32_t>(bytes));
+    });
+}
+
+void
+ShardChannel::onResponseDelivered()
+{
+    if (down_ || rspPending_.empty())
+        return;
+    const OutPkg pkg = rspPending_.front();
+    rspPending_.pop_front();
+    for (std::uint32_t i = 0; i < pkg.count; ++i) {
+        SlotState &slot = slots_[pkg.first_slot + i];
+        // A slot the deadline already failed stays failed: the round
+        // answered it from the fallback, so a late response must not
+        // resurrect it (exactly-once per round).
+        if (!slot.failed)
+            slot.resolved = true;
+    }
+}
+
+void
+ShardChannel::onDeadline(std::uint64_t gen)
+{
+    if (gen != roundGen_ || down_)
+        return;
+    for (SlotState &slot : slots_) {
+        if (slot.resolved || slot.failed)
+            continue;
+        slot.failed = true;
+        degraded_.inc();
+        deadlineMisses_.inc();
+        ++roundFailures_;
+    }
+}
+
+void
+ShardChannel::onWireFailure(const Status &cause)
+{
+    (void)cause;
+    down_ = true;
+    failUnresolved();
+    reqPending_.clear();
+    rspPending_.clear();
+}
+
+void
+ShardChannel::failUnresolved()
+{
+    for (SlotState &slot : slots_) {
+        if (slot.resolved || slot.failed)
+            continue;
+        slot.failed = true;
+        degraded_.inc();
+        ++roundFailures_;
+    }
+}
+
+} // namespace mof
+} // namespace lsdgnn

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * ShardChannel: one shard's reliable packed-read path to a peer.
+ *
+ * The distributed sampling backend keeps one ShardChannel per remote
+ * shard. Each sampling hop runs as a *round*:
+ *
+ *   beginRound() -> stage() remote reads -> flush() -> eq.run()
+ *   -> roundFailed(slot)?
+ *
+ * stage() accumulates (address, bytes) reads into a RequestPacker, so
+ * flush() emits MoF multi-request packages (up to 64 reads each,
+ * BDI-compressed address stream — Tech 1). Every package then crosses
+ * three simulated components:
+ *
+ *   request:   ReliableChannel ".req"  (go-back-N ARQ, lossy fabric)
+ *   peer DRAM: fabric::SimLink        (the remote card's memory port)
+ *   response:  ReliableChannel ".rsp" (ARQ again, data coming back)
+ *
+ * Failure semantics: flush() arms one deadline per round; slots still
+ * unresolved when it fires are failed (late responses are ignored —
+ * a round's answer is exactly-once or degraded, never duplicated).
+ * When either ARQ direction exhausts its bounded retries the channel
+ * marks itself down: everything unresolved fails, and later stage()
+ * calls fail immediately until the owner rebuilds the channel. The
+ * caller is expected to answer failed slots from a local fallback
+ * (negative resampling) and count the reply as Degraded.
+ *
+ * Simulation concession: the functional payload does not travel
+ * through the channel — the backend reads the peer's GraphShard
+ * in-process and uses the channel purely as the cost/reliability
+ * model, which is why stage() takes the response byte count up
+ * front.
+ *
+ * Stat naming: each channel registers "mof.remote.shard<s>.to<p>"
+ * (plus ".req"/".rsp" subgroups), so constructing many shards never
+ * collides in the StatRegistry the way per-construction fixed names
+ * did.
+ */
+
+#ifndef LSDGNN_MOF_SHARD_CHANNEL_HH
+#define LSDGNN_MOF_SHARD_CHANNEL_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/status.hh"
+#include "fabric/sim_link.hh"
+#include "mof/packer.hh"
+#include "mof/reliability.hh"
+#include "sim/component.hh"
+
+namespace lsdgnn {
+namespace mof {
+
+/** Construction knobs for one shard-to-shard path. */
+struct ShardChannelParams {
+    /** Packing policy (MoF format, BDI on addresses). */
+    PackerOptions packer{mofFormat(), true};
+    /** Fabric/ARQ parameters shared by both directions. */
+    ReliableChannelParams wire{};
+    /**
+     * The peer card's memory port the packed reads fan out to. An
+     * empty name selects the catalog's local DDR4 channel.
+     */
+    fabric::LinkParams peer_memory{};
+    /** Response package header bytes (routing, CRC, sequence). */
+    std::uint32_t response_header_bytes = 16;
+    /**
+     * Per-round deadline: slots unresolved after this much fail.
+     * Sized for a full round (every staged read answered, lost
+     * packages recovered), not for one package round trip.
+     */
+    Tick request_timeout = microseconds(1000);
+};
+
+/**
+ * Round-based packed remote-read channel between two shards.
+ */
+class ShardChannel : public sim::Component
+{
+  public:
+    /** Slot handle returned by stage(), valid until beginRound(). */
+    using Slot = std::uint32_t;
+
+    ShardChannel(sim::EventQueue &eq, ShardChannelParams params,
+                 std::uint32_t self_shard, std::uint32_t peer_shard);
+
+    /** Start a new round; previous slots become invalid. */
+    void beginRound();
+
+    /**
+     * Queue one read of @p bytes at @p address on the peer. Returns
+     * the slot to query after the round completes. On a down channel
+     * the slot is born failed.
+     */
+    Slot stage(std::uint64_t address, std::uint32_t bytes);
+
+    /**
+     * Pack and transmit everything staged since the last flush and
+     * arm the round deadline. The owner must then drain the shared
+     * EventQueue (eq.run()) before reading slot outcomes.
+     */
+    void flush();
+
+    /** Whether @p slot missed its deadline / died with the channel. */
+    bool
+    roundFailed(Slot slot) const
+    {
+        lsd_assert(slot < slots_.size(), "slot out of range");
+        return slots_[slot].failed;
+    }
+
+    /** Slots staged this round. */
+    std::size_t stagedCount() const { return slots_.size(); }
+
+    /** Failed slots this round. */
+    std::uint64_t roundFailures() const { return roundFailures_; }
+
+    /** True once the channel declared the peer unreachable. */
+    bool down() const { return down_; }
+
+    /** Administratively mark the peer down (fail-fast from now on). */
+    void markDown() { down_ = true; }
+
+    std::uint32_t selfShard() const { return self_; }
+    std::uint32_t peerShard() const { return peer_; }
+
+    /** Reads staged over the channel's lifetime. */
+    std::uint64_t reads() const { return reads_.value(); }
+
+    /** Request packages emitted. */
+    std::uint64_t packages() const { return packages_.value(); }
+
+    /** Reads failed (deadline, breaker, down channel). */
+    std::uint64_t degradedReads() const { return degraded_.value(); }
+
+    /** ARQ retransmissions summed over both directions. */
+    std::uint64_t
+    retransmissions() const
+    {
+        return req_.retransmissions() + rsp_.retransmissions();
+    }
+
+    /** Mean requests per emitted package (pack occupancy). */
+    double packOccupancy() const { return packFill_.mean(); }
+
+    const ReliableChannel &requestChannel() const { return req_; }
+    const ReliableChannel &responseChannel() const { return rsp_; }
+
+  private:
+    struct SlotState {
+        std::uint32_t bytes;
+        bool failed;
+        bool resolved;
+    };
+
+    /** One in-flight package: the slot range it answers. */
+    struct OutPkg {
+        std::uint32_t first_slot;
+        std::uint32_t count;
+        std::uint64_t response_bytes;
+    };
+
+    static ShardChannelParams normalize(ShardChannelParams params);
+    static ReliableChannelParams wireParams(const ShardChannelParams &p,
+                                            std::uint64_t seed_offset);
+
+    void onRequestDelivered();
+    void onResponseDelivered();
+    void onWireFailure(const Status &cause);
+    void onDeadline(std::uint64_t gen);
+    void failUnresolved();
+
+    ShardChannelParams params_;
+    std::uint32_t self_;
+    std::uint32_t peer_;
+
+    RequestPacker packer_;
+    fabric::SimLink peerMem_;
+    ReliableChannel req_;
+    ReliableChannel rsp_;
+
+    std::vector<SlotState> slots_;
+    std::uint32_t nextUnflushedSlot = 0;
+    std::deque<OutPkg> reqPending_; ///< sent, awaiting req delivery
+    std::deque<OutPkg> rspPending_; ///< at peer, awaiting rsp delivery
+    std::uint64_t roundGen_ = 0;
+    std::uint64_t roundFailures_ = 0;
+    bool down_ = false;
+
+    stats::Counter reads_;
+    stats::Counter packages_;
+    stats::Counter wireBytes_;
+    stats::Counter addressBytes_;
+    stats::Counter rawAddressBytes_;
+    stats::Counter degraded_;
+    stats::Counter deadlineMisses_;
+    stats::Average packFill_;
+};
+
+} // namespace mof
+} // namespace lsdgnn
+
+#endif // LSDGNN_MOF_SHARD_CHANNEL_HH

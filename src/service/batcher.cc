@@ -29,7 +29,7 @@ Batcher::collect(RequestQueue &queue, std::vector<Request> &out) const
         // Snapshot the arrival counter *before* scanning so an
         // arrival racing with the scan wakes the wait immediately.
         const std::uint64_t seen = queue.arrivals();
-        if (auto rider = queue.popCompatible(out.front().plan,
+        if (auto rider = queue.popCompatible(out.front(),
                                              config_.max_roots - roots)) {
             roots += rider->plan.batch_size;
             out.push_back(std::move(*rider));
@@ -50,7 +50,7 @@ Batcher::merge(const std::vector<Request> &batch)
     sampling::SamplePlan plan = batch.front().plan;
     std::uint64_t roots = 0;
     for (const Request &req : batch) {
-        lsd_assert(batchCompatible(req.plan, plan),
+        lsd_assert(batchCompatible(req, batch.front()),
                    "incompatible rider in micro-batch");
         roots += req.plan.batch_size;
     }

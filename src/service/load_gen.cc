@@ -29,14 +29,20 @@ void
 tally(LoadGenReport &report, const Reply &reply,
       std::vector<double> &latencies)
 {
-    switch (reply.status) {
-      case ReplyStatus::Ok:
+    if (reply.hasBatch()) {
+        // Degraded replies still delivered a batch: goodput, with a
+        // separate degradation tally.
         ++report.ok;
+        if (reply.status == StatusCode::Degraded)
+            ++report.degraded;
         latencies.push_back(reply.e2e_us);
-        break;
-      case ReplyStatus::Rejected: ++report.rejected; break;
-      case ReplyStatus::Dropped: ++report.dropped; break;
-      case ReplyStatus::Cancelled: ++report.cancelled; break;
+        return;
+    }
+    switch (reply.status.code()) {
+      case StatusCode::Rejected: ++report.rejected; break;
+      case StatusCode::DeadlineExceeded: ++report.dropped; break;
+      case StatusCode::Cancelled: ++report.cancelled; break;
+      default: break;
     }
 }
 
@@ -84,7 +90,7 @@ LoadGenerator::runOpenLoop(const sampling::SamplePlan &plan,
     auto next_arrival = start;
     while (next_arrival < end_at) {
         std::this_thread::sleep_until(next_arrival);
-        futures.push_back(service_.submit(plan));
+        futures.push_back(service_.submit(SampleRequest{plan, {}}));
         ++report.offered;
         // Exponential inter-arrival gap: -ln(U)/lambda seconds.
         const double u = std::max(rng.nextDouble(), 1e-12);
@@ -104,8 +110,10 @@ LoadGenerator::runOpenLoop(const sampling::SamplePlan &plan,
 LoadGenReport
 LoadGenerator::runClosedLoop(const sampling::SamplePlan &plan,
                              std::uint32_t clients,
-                             std::chrono::milliseconds duration)
+                             std::chrono::milliseconds duration,
+                             const SubmitOptions &options)
 {
+    const SampleRequest request{plan, options};
     struct ClientTally {
         LoadGenReport report;
         std::vector<double> latencies;
@@ -117,11 +125,11 @@ LoadGenerator::runClosedLoop(const sampling::SamplePlan &plan,
     const auto start = Clock::now();
     const auto end_at = start + duration;
     for (std::uint32_t c = 0; c < clients; ++c) {
-        threads.emplace_back([this, &plan, end_at, &tallies, c] {
+        threads.emplace_back([this, &request, end_at, &tallies, c] {
             ClientTally &t = tallies[c];
             while (Clock::now() < end_at) {
                 ++t.report.offered;
-                tally(t.report, service_.sample(plan), t.latencies);
+                tally(t.report, service_.sample(request), t.latencies);
             }
         });
     }
@@ -134,6 +142,7 @@ LoadGenerator::runClosedLoop(const sampling::SamplePlan &plan,
     for (ClientTally &t : tallies) {
         report.offered += t.report.offered;
         report.ok += t.report.ok;
+        report.degraded += t.report.degraded;
         report.rejected += t.report.rejected;
         report.dropped += t.report.dropped;
         report.cancelled += t.report.cancelled;

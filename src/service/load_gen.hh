@@ -32,6 +32,7 @@ namespace service {
 struct LoadGenReport {
     std::uint64_t offered = 0;   ///< submissions attempted
     std::uint64_t ok = 0;        ///< completed with a sample
+    std::uint64_t degraded = 0;  ///< of those, degraded (counted in ok)
     std::uint64_t rejected = 0;  ///< shed at admission
     std::uint64_t dropped = 0;   ///< shed by deadline in-queue
     std::uint64_t cancelled = 0; ///< failed by shutdown
@@ -76,7 +77,8 @@ class LoadGenerator
      */
     LoadGenReport runClosedLoop(const sampling::SamplePlan &plan,
                                 std::uint32_t clients,
-                                std::chrono::milliseconds duration);
+                                std::chrono::milliseconds duration,
+                                const SubmitOptions &options = {});
 
   private:
     SamplingService &service_;

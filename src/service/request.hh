@@ -4,10 +4,16 @@
  *
  * The service layer runs in *wall-clock* time on real threads, unlike
  * the simulated components underneath it: a client submits one
- * SamplePlan as a Request and receives a std::future<Reply> that
- * completes when a worker has executed the (possibly micro-batched)
- * plan, or earlier when admission control rejects or the deadline
- * policy drops the request.
+ * SampleRequest and receives a std::future<Reply> that completes when
+ * a worker has executed the (possibly micro-batched) plan, or earlier
+ * when admission control rejects or the deadline policy drops the
+ * request.
+ *
+ * Status model: replies carry lsdgnn::Status, the repo-wide result
+ * vocabulary. Ok and Degraded both deliver a usable batch
+ * (Status::hasPayload()); Rejected / DeadlineExceeded / Cancelled are
+ * the shed outcomes. The old service-local ReplyStatus enum survives
+ * only as a deprecated alias of StatusCode for one release.
  */
 
 #ifndef LSDGNN_SERVICE_REQUEST_HH
@@ -16,8 +22,8 @@
 #include <chrono>
 #include <cstdint>
 #include <future>
-#include <string_view>
 
+#include "common/status.hh"
 #include "common/units.hh"
 #include "sampling/minibatch.hh"
 
@@ -30,44 +36,65 @@ using Clock = std::chrono::steady_clock;
 /** Trace "pid" the service layer's tracks live under. */
 inline constexpr std::uint32_t trace_pid = 90;
 
-/** Terminal state of one request. */
-enum class ReplyStatus {
-    Ok,        ///< executed; Reply::batch holds the sample
-    Rejected,  ///< admission queue full (load shed at the door)
-    Dropped,   ///< deadline expired while queued (load shed inside)
-    Cancelled, ///< service shut down before execution
+/**
+ * Deprecated name for the repo-wide status vocabulary. The historical
+ * `Dropped` enumerator is StatusCode::DeadlineExceeded today.
+ */
+using ReplyStatus [[deprecated("use lsdgnn::StatusCode")]] = StatusCode;
+
+/** Where a request's roots may be drawn from. */
+enum class Routing : std::uint8_t {
+    /** Any worker, roots drawn from the whole graph (default). */
+    Any,
+    /**
+     * Roots drawn from the executing worker's own shard. Cuts the
+     * remote fraction of hop 1 on the Distributed backend; identical
+     * to Any on the single-store backends.
+     */
+    LocalRoots,
 };
 
-/** Human-readable status name (tables, logs). */
-constexpr std::string_view
-toString(ReplyStatus s)
-{
-    switch (s) {
-      case ReplyStatus::Ok: return "ok";
-      case ReplyStatus::Rejected: return "rejected";
-      case ReplyStatus::Dropped: return "dropped";
-      case ReplyStatus::Cancelled: return "cancelled";
-    }
-    return "?";
-}
+/** Per-submission options (everything beyond the plan itself). */
+struct SubmitOptions {
+    /** Drop-dead interval from submission; zero = no deadline. */
+    std::chrono::microseconds deadline{0};
+    /** Root-placement policy. */
+    Routing routing = Routing::Any;
+    /** Client-chosen id echoed in the Reply (0 = unset). */
+    std::uint64_t trace_id = 0;
+};
+
+/** One sampling submission: what to sample, and how to treat it. */
+struct SampleRequest {
+    sampling::SamplePlan plan;
+    SubmitOptions options;
+};
 
 /** What the client's future resolves to. */
 struct Reply {
-    ReplyStatus status = ReplyStatus::Ok;
-    /** The sampled mini-batch; empty unless status == Ok. */
+    /** Terminal outcome; see hasBatch() for payload validity. */
+    Status status = StatusCode::Ok;
+    /** The sampled mini-batch; meaningful iff hasBatch(). */
     sampling::SampleResult batch;
-    /** Worker that executed the request (Ok only). */
+    /** Worker that executed the request (executed replies only). */
     std::uint32_t worker = 0;
     /** Requests coalesced into the micro-batch this rode in. */
     std::uint32_t batched_with = 1;
+    /** Echo of SubmitOptions::trace_id. */
+    std::uint64_t trace_id = 0;
     double queue_us = 0.0; ///< admission-queue wait
     double exec_us = 0.0;  ///< backend execution (shared by the batch)
     double e2e_us = 0.0;   ///< submit -> completion
+
+    /** Whether batch holds a usable sample (Ok or Degraded). */
+    bool hasBatch() const { return status.hasPayload(); }
 };
 
 /** One queued sampling request. Moves through the RequestQueue. */
 struct Request {
     sampling::SamplePlan plan;
+    Routing routing = Routing::Any;
+    std::uint64_t trace_id = 0;
     /** Stamped by the queue on admission. */
     Clock::time_point enqueued_at{};
     /** Drop-dead time; time_point::max() means no deadline. */
@@ -94,6 +121,17 @@ batchCompatible(const sampling::SamplePlan &a,
 {
     return a.fanouts == b.fanouts &&
            a.fetch_attributes == b.fetch_attributes;
+}
+
+/**
+ * Request-level compatibility: plan shape plus routing — a LocalRoots
+ * rider must not be executed under an Any batch (and vice versa),
+ * since the merged plan draws all roots one way.
+ */
+inline bool
+batchCompatible(const Request &a, const Request &b)
+{
+    return a.routing == b.routing && batchCompatible(a.plan, b.plan);
 }
 
 /**

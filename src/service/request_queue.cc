@@ -33,17 +33,18 @@ RequestQueue::traceDepthLocked(Clock::time_point now)
 }
 
 void
-RequestQueue::shedLocked(Request &&req, ReplyStatus status,
+RequestQueue::shedLocked(Request &&req, Status status,
                          Clock::time_point now)
 {
+    if (status == StatusCode::DeadlineExceeded)
+        dropped_.inc();
+    else if (status == StatusCode::Cancelled)
+        cancelled_.inc();
     Reply reply;
-    reply.status = status;
+    reply.status = std::move(status);
+    reply.trace_id = req.trace_id;
     reply.queue_us = elapsedUs(req.enqueued_at, now);
     reply.e2e_us = reply.queue_us;
-    if (status == ReplyStatus::Dropped)
-        dropped_.inc();
-    else if (status == ReplyStatus::Cancelled)
-        cancelled_.inc();
     req.promise.set_value(std::move(reply));
 }
 
@@ -54,9 +55,13 @@ RequestQueue::push(Request &&req)
     std::unique_lock<std::mutex> lock(mutex_);
     if (closed_ || queue_.size() >= config_.capacity) {
         rejected_.inc();
+        const bool was_closed = closed_;
         lock.unlock();
         Reply reply;
-        reply.status = ReplyStatus::Rejected;
+        reply.status = Status(StatusCode::Rejected,
+                              was_closed ? "service shutting down"
+                                         : "admission queue full");
+        reply.trace_id = req.trace_id;
         req.promise.set_value(std::move(reply));
         return false;
     }
@@ -82,7 +87,10 @@ RequestQueue::pop()
             Request req = std::move(queue_.front());
             queue_.pop_front();
             if (req.deadline <= now) {
-                shedLocked(std::move(req), ReplyStatus::Dropped, now);
+                shedLocked(std::move(req),
+                           Status(StatusCode::DeadlineExceeded,
+                                  "expired in queue"),
+                           now);
                 continue;
             }
             traceDepthLocked(now);
@@ -95,7 +103,7 @@ RequestQueue::pop()
 }
 
 std::optional<Request>
-RequestQueue::popCompatible(const sampling::SamplePlan &proto,
+RequestQueue::popCompatible(const Request &proto,
                             std::uint64_t root_budget)
 {
     const auto now = Clock::now();
@@ -104,10 +112,13 @@ RequestQueue::popCompatible(const sampling::SamplePlan &proto,
         if (it->deadline <= now) {
             Request expired = std::move(*it);
             it = queue_.erase(it);
-            shedLocked(std::move(expired), ReplyStatus::Dropped, now);
+            shedLocked(std::move(expired),
+                       Status(StatusCode::DeadlineExceeded,
+                              "expired in queue"),
+                       now);
             continue;
         }
-        if (batchCompatible(it->plan, proto) &&
+        if (batchCompatible(*it, proto) &&
             it->plan.batch_size <= root_budget) {
             Request req = std::move(*it);
             queue_.erase(it);
@@ -152,7 +163,9 @@ RequestQueue::cancelPending()
     const auto now = Clock::now();
     for (Request &req : orphans) {
         Reply reply;
-        reply.status = ReplyStatus::Cancelled;
+        reply.status = Status(StatusCode::Cancelled,
+                              "service shut down before execution");
+        reply.trace_id = req.trace_id;
         reply.queue_us = elapsedUs(req.enqueued_at, now);
         reply.e2e_us = reply.queue_us;
         cancelled_.inc();

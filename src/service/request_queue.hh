@@ -8,12 +8,12 @@
  * overload instead of letting the queue grow without limit:
  *
  *  - *Reject at the door*: push() fails the request immediately with
- *    ReplyStatus::Rejected when the queue already holds `capacity`
+ *    StatusCode::Rejected when the queue already holds `capacity`
  *    requests (or the queue is closed).
  *  - *Drop inside*: every pop scan discards requests whose deadline
- *    has already passed, completing them with ReplyStatus::Dropped —
- *    no worker wastes backend time on an answer nobody is waiting
- *    for.
+ *    has already passed, completing them with
+ *    StatusCode::DeadlineExceeded — no worker wastes backend time on
+ *    an answer nobody is waiting for.
  *
  * All requests are stamped with their admission time so the worker
  * pool can attribute queue-wait vs execution latency.
@@ -69,10 +69,11 @@ class RequestQueue
 
     /**
      * Non-blocking pop of the oldest queued request that is
-     * batch-compatible with @p proto and whose batch_size fits within
-     * @p root_budget. Expired requests are dropped during the scan.
+     * batch-compatible with @p proto (plan shape AND routing) and
+     * whose batch_size fits within @p root_budget. Expired requests
+     * are dropped during the scan.
      */
-    std::optional<Request> popCompatible(const sampling::SamplePlan &proto,
+    std::optional<Request> popCompatible(const Request &proto,
                                          std::uint64_t root_budget);
 
     /**
@@ -87,7 +88,10 @@ class RequestQueue
     /** Stop admitting; queued requests stay poppable (drain). */
     void close();
 
-    /** Complete every queued request with Cancelled and empty out. */
+    /**
+     * Complete every queued request with StatusCode::Cancelled and
+     * empty out.
+     */
     void cancelPending();
 
     bool closed() const;
@@ -104,7 +108,7 @@ class RequestQueue
 
   private:
     /** Complete @p req as shed with @p status (lock held by caller). */
-    void shedLocked(Request &&req, ReplyStatus status,
+    void shedLocked(Request &&req, Status status,
                     Clock::time_point now);
     void traceDepthLocked(Clock::time_point now);
 

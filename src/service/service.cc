@@ -1,5 +1,7 @@
 #include "service.hh"
 
+#include "framework/distributed.hh"
+
 namespace lsdgnn {
 namespace service {
 
@@ -9,6 +11,14 @@ SamplingService::SamplingService(ServiceConfig config)
       queue_(std::make_unique<RequestQueue>(
           RequestQueueConfig{config_.queue_capacity}))
 {
+    // The distributed workers must share one store — the graph
+    // instance is the big allocation, and per-worker copies would
+    // also give every shard a private view instead of one fabric.
+    if (config_.session.backend == framework::Backend::Distributed &&
+        !config_.session.distributed.store)
+        config_.session.distributed.store =
+            framework::DistributedStore::create(config_.session);
+
     WorkerPoolConfig pcfg;
     pcfg.num_workers = config_.num_workers;
     pcfg.session = config_.session;
@@ -23,17 +33,15 @@ SamplingService::~SamplingService()
 }
 
 std::future<Reply>
-SamplingService::submit(const sampling::SamplePlan &plan)
-{
-    return submit(plan, config_.default_deadline);
-}
-
-std::future<Reply>
-SamplingService::submit(const sampling::SamplePlan &plan,
-                        std::chrono::microseconds deadline)
+SamplingService::submit(const SampleRequest &request)
 {
     Request req;
-    req.plan = plan;
+    req.plan = request.plan;
+    req.routing = request.options.routing;
+    req.trace_id = request.options.trace_id;
+    const auto deadline = request.options.deadline.count() > 0
+                              ? request.options.deadline
+                              : config_.default_deadline;
     if (deadline.count() > 0)
         req.deadline = Clock::now() + deadline;
     std::future<Reply> future = req.promise.get_future();
@@ -41,10 +49,31 @@ SamplingService::submit(const sampling::SamplePlan &plan,
     return future;
 }
 
+std::future<Reply>
+SamplingService::submit(const sampling::SamplePlan &plan)
+{
+    return submit(SampleRequest{plan, {}});
+}
+
+std::future<Reply>
+SamplingService::submit(const sampling::SamplePlan &plan,
+                        std::chrono::microseconds deadline)
+{
+    SampleRequest request{plan, {}};
+    request.options.deadline = deadline;
+    return submit(request);
+}
+
+Reply
+SamplingService::sample(const SampleRequest &request)
+{
+    return submit(request).get();
+}
+
 Reply
 SamplingService::sample(const sampling::SamplePlan &plan)
 {
-    return submit(plan).get();
+    return sample(SampleRequest{plan, {}});
 }
 
 void

@@ -55,23 +55,34 @@ class SamplingService
     ~SamplingService();
 
     /**
-     * Submit one sampling request with the config's default deadline.
-     * Never blocks: on queue overflow the returned future is already
-     * completed with ReplyStatus::Rejected.
+     * Submit one sampling request. A zero request deadline falls back
+     * to the config's default. Never blocks: on queue overflow the
+     * returned future is already completed with StatusCode::Rejected.
      */
+    std::future<Reply> submit(const SampleRequest &request);
+
+    /**
+     * @deprecated Use submit(SampleRequest). Equivalent to submitting
+     * {plan, {}} — the config's default deadline, Routing::Any.
+     */
+    [[deprecated("use submit(const SampleRequest &)")]]
     std::future<Reply> submit(const sampling::SamplePlan &plan);
 
-    /** Submit with an explicit deadline (zero = none). */
+    /** @deprecated Use submit(SampleRequest) with options.deadline. */
+    [[deprecated("use submit(const SampleRequest &)")]]
     std::future<Reply> submit(const sampling::SamplePlan &plan,
                               std::chrono::microseconds deadline);
 
     /** Convenience: submit and wait. */
+    Reply sample(const SampleRequest &request);
+
+    /** Convenience: submit @p plan with default options and wait. */
     Reply sample(const sampling::SamplePlan &plan);
 
     /** How shutdown treats requests still queued. */
     enum class Shutdown {
         Drain,  ///< execute everything already admitted
-        Cancel, ///< fail queued requests with ReplyStatus::Cancelled
+        Cancel, ///< fail queued requests with StatusCode::Cancelled
     };
 
     /**

@@ -49,6 +49,15 @@ WorkerPool::run(std::uint32_t worker_id)
     // per-worker sampling streams deterministically.
     framework::SessionConfig scfg = config_.session;
     scfg.seed += worker_id;
+    if (scfg.backend == framework::Backend::Distributed) {
+        // Each worker plays one shard of the fabric (round-robin when
+        // there are more workers than shards).
+        const std::uint32_t shards =
+            scfg.distributed.num_shards != 0 ? scfg.distributed.num_shards
+                                             : scfg.num_servers;
+        scfg.distributed.shard = worker_id % std::max<std::uint32_t>(
+            shards, 1);
+    }
     framework::Session session(scfg);
 
     // The AxE command path draws its root window from a span of
@@ -82,8 +91,11 @@ WorkerPool::run(std::uint32_t worker_id)
         for (const Request &req : batch)
             root_counts.push_back(req.plan.batch_size);
 
+        framework::SampleOptions opts;
+        opts.local_roots = batch.front().routing == Routing::LocalRoots;
         sampling::SampleResult merged = resultPool.acquire();
-        session.sampleBatchInto(plan, merged);
+        const Status exec_status =
+            session.sampleBatchInto(plan, merged, opts);
         const bool solo = batch.size() == 1;
         if (!solo)
             Batcher::splitInto(merged, root_counts, splitScratch, parts);
@@ -105,7 +117,10 @@ WorkerPool::run(std::uint32_t worker_id)
         batches.inc();
         for (std::size_t i = 0; i < batch.size(); ++i) {
             Reply reply;
-            reply.status = ReplyStatus::Ok;
+            // A degraded execution degrades every rider: each one's
+            // slice may contain fallback-sampled frontier entries.
+            reply.status = exec_status;
+            reply.trace_id = batch[i].trace_id;
             reply.batch = solo ? std::move(merged)
                                : std::move(parts[i]);
             reply.worker = worker_id;

@@ -14,6 +14,7 @@
 
 #include "common/logging.hh"
 #include "common/rng.hh"
+#include "common/status.hh"
 #include "common/stat_registry.hh"
 #include "common/stats.hh"
 #include "common/table.hh"
@@ -447,6 +448,70 @@ TEST(Table, NumFormatting)
 {
     EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
     EXPECT_EQ(TextTable::num(std::uint64_t(42)), "42");
+}
+
+TEST(Status, DefaultIsOk)
+{
+    const Status s;
+    EXPECT_TRUE(s.ok());
+    EXPECT_TRUE(s.hasPayload());
+    EXPECT_EQ(s, StatusCode::Ok);
+    EXPECT_EQ(s.toString(), "ok");
+}
+
+TEST(Status, DegradedHasPayloadButIsNotOk)
+{
+    const Status s(StatusCode::Degraded, "3 reads fell back");
+    EXPECT_FALSE(s.ok());
+    EXPECT_TRUE(s.hasPayload());
+    EXPECT_EQ(s.toString(), "degraded: 3 reads fell back");
+}
+
+TEST(Status, ErrorCodesHaveNoPayload)
+{
+    for (const StatusCode code :
+         {StatusCode::Rejected, StatusCode::DeadlineExceeded,
+          StatusCode::Cancelled, StatusCode::RemoteTimeout,
+          StatusCode::Unavailable, StatusCode::InvalidArgument}) {
+        const Status s(code);
+        EXPECT_FALSE(s.ok()) << s;
+        EXPECT_FALSE(s.hasPayload()) << s;
+        EXPECT_NE(toString(code), "?");
+    }
+}
+
+TEST(Status, ComparesByCodeNotMessage)
+{
+    EXPECT_EQ(Status(StatusCode::Rejected, "queue full"),
+              Status(StatusCode::Rejected, "closed"));
+    EXPECT_FALSE(Status(StatusCode::Rejected) == StatusCode::Cancelled);
+}
+
+TEST(Result, CarriesValueOrStatus)
+{
+    Result<std::string> good(std::string("payload"));
+    ASSERT_TRUE(good.ok());
+    EXPECT_EQ(*good, "payload");
+    EXPECT_EQ(good.take(), "payload");
+
+    const Result<std::string> bad(
+        Status(StatusCode::Unavailable, "shard 2 down"));
+    EXPECT_FALSE(bad.ok());
+    EXPECT_FALSE(static_cast<bool>(bad));
+    EXPECT_EQ(bad.status(), StatusCode::Unavailable);
+    EXPECT_EQ(bad.status().message(), "shard 2 down");
+}
+
+TEST(Result, WorksWithoutDefaultConstructor)
+{
+    struct NoDefault {
+        explicit NoDefault(int v) : v(v) {}
+        int v;
+    };
+    Result<NoDefault> r(NoDefault(7));
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value().v, 7);
+    EXPECT_FALSE(Result<NoDefault>(StatusCode::Cancelled).ok());
 }
 
 } // namespace

@@ -1,0 +1,458 @@
+/**
+ * @file
+ * Distributed sharded sampling validation: GraphShard slicing,
+ * ShardChannel rounds under 0/5/20% loss and hard peer-down,
+ * ReliableChannel circuit breaking, DistributedStore/Backend
+ * determinism and graceful degradation, and the service-level
+ * integration (SampleRequest routing, Degraded replies, mof.remote
+ * stats in the registry).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "common/stat_registry.hh"
+#include "framework/distributed.hh"
+#include "graph/datasets.hh"
+#include "graph/partition.hh"
+#include "mof/shard_channel.hh"
+#include "service/load_gen.hh"
+#include "service/service.hh"
+#include "sim/event_queue.hh"
+
+namespace lsdgnn {
+namespace {
+
+// ---------------------------------------------------------------------
+// GraphShard
+// ---------------------------------------------------------------------
+
+graph::CsrGraph
+smallGraph()
+{
+    return graph::instantiate(graph::datasetByName("ss"), 40'000, 7);
+}
+
+TEST(GraphShard, ShardsPartitionTheGraphExactly)
+{
+    const auto g = smallGraph();
+    const graph::Partitioner part(g.numNodes(), 4);
+    std::vector<graph::GraphShard> shards;
+    std::uint64_t covered = 0;
+    for (std::uint32_t k = 0; k < 4; ++k) {
+        shards.emplace_back(g, part, k);
+        covered += shards.back().numLocalNodes();
+    }
+    EXPECT_EQ(covered, g.numNodes());
+
+    // Every node is owned by exactly the shard the partitioner says.
+    for (graph::NodeId n = 0; n < g.numNodes(); ++n) {
+        const auto owner = part.serverOf(n);
+        for (std::uint32_t k = 0; k < 4; ++k)
+            EXPECT_EQ(shards[k].owns(n), k == owner)
+                << "node " << n << " shard " << k;
+    }
+}
+
+TEST(GraphShard, SliceKeepsGlobalAdjacency)
+{
+    const auto g = smallGraph();
+    const graph::Partitioner part(g.numNodes(), 3);
+    const graph::GraphShard shard(g, part, 1);
+
+    ASSERT_GT(shard.numLocalNodes(), 0u);
+    for (graph::NodeId n : shard.localNodes()) {
+        ASSERT_EQ(shard.degree(n), g.degree(n));
+        const auto mine = shard.neighbors(n);
+        const auto full = g.neighbors(n);
+        ASSERT_EQ(mine.size(), full.size());
+        for (std::size_t i = 0; i < mine.size(); ++i)
+            EXPECT_EQ(mine[i], full[i]);
+    }
+}
+
+// ---------------------------------------------------------------------
+// ShardChannel under loss
+// ---------------------------------------------------------------------
+
+mof::ShardChannelParams
+lossyParams(double loss)
+{
+    mof::ShardChannelParams p;
+    p.wire.loss_probability = loss;
+    p.wire.ack_loss_probability = loss;
+    p.wire.seed = 1234;
+    // Generous round deadline: these tests assert ARQ *recovery*, so
+    // the deadline must not preempt the retransmission process.
+    p.request_timeout = microseconds(50'000);
+    return p;
+}
+
+void
+runLossRounds(double loss, std::uint64_t &retransmissions)
+{
+    sim::EventQueue eq;
+    mof::ShardChannel ch(eq, lossyParams(loss), 0, 1);
+    constexpr std::uint32_t rounds = 10, reads = 100;
+    for (std::uint32_t r = 0; r < rounds; ++r) {
+        ch.beginRound();
+        std::vector<mof::ShardChannel::Slot> slots;
+        for (std::uint32_t i = 0; i < reads; ++i)
+            slots.push_back(ch.stage(std::uint64_t(i) * 64, 64));
+        ch.flush();
+        eq.run();
+        // Exactly-once per round: every slot resolved, none failed.
+        EXPECT_EQ(ch.roundFailures(), 0u) << "round " << r;
+        for (const auto slot : slots)
+            EXPECT_FALSE(ch.roundFailed(slot));
+    }
+    EXPECT_FALSE(ch.down());
+    EXPECT_EQ(ch.degradedReads(), 0u);
+    EXPECT_EQ(ch.reads(), std::uint64_t(rounds) * reads);
+    // MoF packing: 100 reads per round -> 2 packages of <= 64.
+    EXPECT_EQ(ch.packages(), std::uint64_t(rounds) * 2);
+    EXPECT_GT(ch.packOccupancy(), 32.0);
+    retransmissions = ch.retransmissions();
+}
+
+TEST(ShardChannel, LosslessRoundsDeliverEverything)
+{
+    std::uint64_t retx = ~0ull;
+    runLossRounds(0.0, retx);
+    EXPECT_EQ(retx, 0u);
+}
+
+TEST(ShardChannel, FivePercentLossRecoversViaArq)
+{
+    std::uint64_t retx = 0;
+    runLossRounds(0.05, retx);
+    EXPECT_GT(retx, 0u);
+}
+
+TEST(ShardChannel, TwentyPercentLossRecoversViaArq)
+{
+    std::uint64_t retx = 0;
+    runLossRounds(0.20, retx);
+    EXPECT_GT(retx, 0u);
+}
+
+TEST(ShardChannel, DeadPeerTripsBreakerWithBoundedRetries)
+{
+    sim::EventQueue eq;
+    mof::ShardChannelParams p;
+    p.wire.loss_probability = 1.0; // the cable is cut
+    p.wire.max_retries = 3;
+    p.request_timeout = microseconds(50'000);
+    mof::ShardChannel ch(eq, p, 0, 2);
+
+    ch.beginRound();
+    std::vector<mof::ShardChannel::Slot> slots;
+    for (std::uint32_t i = 0; i < 40; ++i)
+        slots.push_back(ch.stage(std::uint64_t(i) * 64, 64));
+    ch.flush();
+    eq.run(); // must terminate: the breaker stops the retry timer
+
+    EXPECT_TRUE(ch.down());
+    EXPECT_EQ(ch.roundFailures(), slots.size());
+    for (const auto slot : slots)
+        EXPECT_TRUE(ch.roundFailed(slot));
+    // Bounded retries: at most max_retries go-back-N window resends.
+    EXPECT_LE(ch.retransmissions(),
+              std::uint64_t(p.wire.max_retries) * p.wire.window);
+
+    // Fail-fast from now on: staged reads are born failed.
+    ch.beginRound();
+    const auto slot = ch.stage(0, 64);
+    EXPECT_TRUE(ch.roundFailed(slot));
+    ch.flush();
+    eq.run();
+    EXPECT_EQ(ch.roundFailures(), 1u);
+}
+
+TEST(ShardChannel, MarkDownFailsFastWithoutSimulation)
+{
+    sim::EventQueue eq;
+    mof::ShardChannel ch(eq, {}, 1, 0);
+    ch.markDown();
+    ch.beginRound();
+    const auto slot = ch.stage(128, 256);
+    EXPECT_TRUE(ch.roundFailed(slot));
+    ch.flush();
+    EXPECT_TRUE(eq.empty()); // nothing was ever transmitted
+}
+
+// ---------------------------------------------------------------------
+// ReliableChannel circuit breaker
+// ---------------------------------------------------------------------
+
+TEST(ReliableChannel, BreakerFailsAllInOrderThenRejectsSends)
+{
+    sim::EventQueue eq;
+    mof::ReliableChannelParams params;
+    params.loss_probability = 1.0;
+    params.max_retries = 2;
+    std::vector<std::uint64_t> failed_seqs;
+    std::vector<StatusCode> failed_codes;
+    mof::ReliableChannel ch(
+        eq, params, [](std::uint64_t, std::uint32_t) {},
+        "test.breaker",
+        [&](std::uint64_t seq, const Status &cause) {
+            failed_seqs.push_back(seq);
+            failed_codes.push_back(cause.code());
+        });
+
+    for (std::uint32_t i = 0; i < 5; ++i)
+        ch.send(256);
+    eq.run();
+
+    ASSERT_TRUE(ch.broken());
+    ASSERT_EQ(failed_seqs.size(), 5u);
+    for (std::size_t i = 0; i < failed_seqs.size(); ++i) {
+        EXPECT_EQ(failed_seqs[i], i); // in sequence order
+        EXPECT_EQ(failed_codes[i], StatusCode::RemoteTimeout);
+    }
+
+    // Sends into a broken channel fail immediately as Unavailable.
+    ch.send(64);
+    ASSERT_EQ(failed_seqs.size(), 6u);
+    EXPECT_EQ(failed_codes.back(), StatusCode::Unavailable);
+    EXPECT_EQ(ch.failedCount(), 6u);
+}
+
+// ---------------------------------------------------------------------
+// DistributedStore / DistributedBackend
+// ---------------------------------------------------------------------
+
+framework::SessionConfig
+distributedSession(std::uint32_t shards = 4)
+{
+    framework::SessionConfig cfg;
+    cfg.dataset = "ss";
+    cfg.scale_divisor = 40'000;
+    cfg.num_servers = shards;
+    cfg.backend = framework::Backend::Distributed;
+    cfg.seed = 7;
+    return cfg;
+}
+
+sampling::SamplePlan
+tinyPlan(std::uint32_t batch = 16)
+{
+    sampling::SamplePlan plan;
+    plan.batch_size = batch;
+    plan.fanouts = {5, 5};
+    return plan;
+}
+
+TEST(DistributedStore, SharedAcrossSessionsAndCoversGraph)
+{
+    const auto cfg = distributedSession();
+    const auto store = framework::DistributedStore::create(cfg);
+    ASSERT_EQ(store->numShards(), 4u);
+    std::uint64_t covered = 0;
+    for (std::uint32_t k = 0; k < store->numShards(); ++k)
+        covered += store->shard(k).numLocalNodes();
+    EXPECT_EQ(covered, store->graph().numNodes());
+
+    // A session built on the store aliases its graph, not a copy.
+    auto scfg = cfg;
+    scfg.distributed.store = store;
+    framework::Session session(scfg);
+    EXPECT_EQ(&session.graph(), &store->graph());
+}
+
+TEST(DistributedBackend, DeterministicForFixedSeed)
+{
+    auto run = [] {
+        framework::Session session(distributedSession());
+        std::vector<graph::NodeId> ids;
+        for (int i = 0; i < 4; ++i) {
+            sampling::SampleResult out;
+            const Status s =
+                session.sampleBatchInto(tinyPlan(32), out);
+            EXPECT_TRUE(s.ok()) << s;
+            for (graph::NodeId n : out.roots)
+                ids.push_back(n);
+            for (const auto &hop : out.frontier)
+                for (graph::NodeId n : hop)
+                    ids.push_back(n);
+        }
+        return ids;
+    };
+    const auto a = run();
+    EXPECT_FALSE(a.empty());
+    EXPECT_EQ(a, run());
+}
+
+TEST(DistributedBackend, LosslessBatchesAreOkAndTouchRemoteShards)
+{
+    framework::Session session(distributedSession());
+    sampling::SampleResult out;
+    const Status s = session.sampleBatchInto(tinyPlan(64), out);
+    EXPECT_EQ(s, StatusCode::Ok);
+    EXPECT_EQ(out.roots.size(), 64u);
+    ASSERT_EQ(out.frontier.size(), 2u);
+    EXPECT_GT(out.frontier[0].size(), 0u);
+
+    const auto &backend = dynamic_cast<const framework::DistributedBackend &>(
+        session.backend());
+    // Hash partitioning over 4 shards: ~3/4 of reads are remote.
+    EXPECT_GT(backend.remoteReads(), 0u);
+    EXPECT_GT(backend.remoteFraction(), 0.5);
+    EXPECT_EQ(backend.degradedReads(), 0u);
+}
+
+TEST(DistributedBackend, LocalRootsComeFromOwnShard)
+{
+    auto cfg = distributedSession();
+    cfg.distributed.shard = 2;
+    const auto store = framework::DistributedStore::create(cfg);
+    cfg.distributed.store = store;
+    framework::Session session(cfg);
+
+    framework::SampleOptions opts;
+    opts.local_roots = true;
+    sampling::SampleResult out;
+    const Status s = session.sampleBatchInto(tinyPlan(32), out, opts);
+    EXPECT_TRUE(s.hasPayload()) << s;
+    const auto &part = store->partitioner();
+    for (graph::NodeId n : out.roots)
+        EXPECT_EQ(part.serverOf(n), 2u);
+}
+
+TEST(DistributedBackend, DownShardDegradesInsteadOfFailing)
+{
+    auto cfg = distributedSession();
+    cfg.distributed.down_shards = {1};
+    framework::Session session(cfg);
+
+    sampling::SampleResult out;
+    const Status s = session.sampleBatchInto(tinyPlan(64), out);
+    EXPECT_EQ(s, StatusCode::Degraded);
+    EXPECT_TRUE(s.hasPayload());
+    EXPECT_FALSE(s.message().empty());
+
+    // The batch still has its full shape: every root produced a hop-1
+    // fan-out (real or fallback), so downstream code sees no hole.
+    EXPECT_EQ(out.roots.size(), 64u);
+    ASSERT_EQ(out.frontier.size(), 2u);
+    EXPECT_GT(out.frontier[0].size(), 0u);
+
+    const auto &backend = dynamic_cast<const framework::DistributedBackend &>(
+        session.backend());
+    EXPECT_GT(backend.degradedReads(), 0u);
+}
+
+TEST(DistributedBackend, ChannelsUseUniqueStatNames)
+{
+    // Two shards' backends coexisting: every channel registers a
+    // distinct "mof.remote.shard<s>.to<p>" group (the old fixed
+    // "mof.reliable" name would collide here).
+    auto cfg0 = distributedSession(3);
+    const auto store = framework::DistributedStore::create(cfg0);
+    cfg0.distributed.store = store;
+    auto cfg1 = cfg0;
+    cfg1.distributed.shard = 1;
+    framework::Session s0(cfg0), s1(cfg1);
+
+    std::ostringstream os;
+    stats::StatRegistry::instance().exportJson(os);
+    const std::string json = os.str();
+    for (const char *name :
+         {"mof.remote.shard0.to1", "mof.remote.shard0.to2",
+          "mof.remote.shard1.to0", "mof.remote.shard1.to2",
+          "mof.remote.shard0.to1.req", "mof.remote.shard0.to1.rsp"})
+        EXPECT_NE(json.find(std::string("\"") + name + "\""),
+                  std::string::npos)
+            << name;
+}
+
+// ---------------------------------------------------------------------
+// Service-level integration
+// ---------------------------------------------------------------------
+
+service::ServiceConfig
+distributedService(std::uint32_t workers, std::uint32_t shards = 4)
+{
+    service::ServiceConfig cfg;
+    cfg.session = distributedSession(shards);
+    cfg.num_workers = workers;
+    cfg.batcher.window = std::chrono::microseconds(100);
+    return cfg;
+}
+
+TEST(DistributedService, SubmitsResolveWithBatches)
+{
+    service::SamplingService svc(distributedService(2));
+    std::vector<std::future<service::Reply>> futures;
+    for (int i = 0; i < 16; ++i)
+        futures.push_back(
+            svc.submit(service::SampleRequest{tinyPlan(), {}}));
+    for (auto &f : futures) {
+        const auto reply = f.get();
+        ASSERT_TRUE(reply.hasBatch()) << reply.status;
+        EXPECT_EQ(reply.batch.roots.size(), tinyPlan().batch_size);
+    }
+    svc.shutdown();
+}
+
+TEST(DistributedService, DownShardYieldsDegradedReplies)
+{
+    auto cfg = distributedService(1, 3);
+    cfg.session.distributed.down_shards = {2};
+    service::SamplingService svc(cfg);
+    const auto reply =
+        svc.sample(service::SampleRequest{tinyPlan(64), {}});
+    EXPECT_EQ(reply.status, StatusCode::Degraded);
+    EXPECT_TRUE(reply.hasBatch());
+    EXPECT_EQ(reply.batch.roots.size(), 64u);
+    svc.shutdown();
+}
+
+TEST(DistributedService, LocalRootsRoutingHonoredThroughService)
+{
+    // One worker == one shard (shard 0): LocalRoots must pin every
+    // root to the executing worker's shard.
+    service::SamplingService svc(distributedService(1));
+    service::SampleRequest request{tinyPlan(32), {}};
+    request.options.routing = service::Routing::LocalRoots;
+    request.options.trace_id = 42;
+    const auto reply = svc.sample(request);
+    ASSERT_TRUE(reply.hasBatch()) << reply.status;
+    EXPECT_EQ(reply.trace_id, 42u);
+
+    const auto store =
+        framework::DistributedStore::create(distributedSession());
+    for (graph::NodeId n : reply.batch.roots)
+        EXPECT_EQ(store->partitioner().serverOf(n), 0u);
+    svc.shutdown();
+}
+
+TEST(DistributedService, DeterministicAcrossRuns)
+{
+    // Golden-seed determinism holds through the distributed stack:
+    // same config, single worker, serialized submissions.
+    auto run = [] {
+        auto cfg = distributedService(1);
+        cfg.batcher.window = std::chrono::microseconds(0);
+        service::SamplingService svc(cfg);
+        std::vector<graph::NodeId> ids;
+        for (int i = 0; i < 6; ++i) {
+            const auto reply =
+                svc.sample(service::SampleRequest{tinyPlan(), {}});
+            for (graph::NodeId n : reply.batch.roots)
+                ids.push_back(n);
+            for (const auto &hop : reply.batch.frontier)
+                for (graph::NodeId n : hop)
+                    ids.push_back(n);
+        }
+        svc.shutdown();
+        return ids;
+    };
+    EXPECT_EQ(run(), run());
+}
+
+} // namespace
+} // namespace lsdgnn

@@ -81,7 +81,7 @@ TEST(RequestQueue, BackpressureRejectsBeyondCapacity)
     // The rejected future is already resolved; admitted ones are not.
     ASSERT_EQ(overflow_future.wait_for(0s), std::future_status::ready);
     EXPECT_EQ(overflow_future.get().status,
-              service::ReplyStatus::Rejected);
+              StatusCode::Rejected);
     EXPECT_EQ(futures[0].wait_for(0s), std::future_status::timeout);
 
     EXPECT_EQ(queue.stats().counter("accepted").value(), 4u);
@@ -90,7 +90,7 @@ TEST(RequestQueue, BackpressureRejectsBeyondCapacity)
     queue.close();
     queue.cancelPending();
     for (auto &f : futures)
-        EXPECT_EQ(f.get().status, service::ReplyStatus::Cancelled);
+        EXPECT_EQ(f.get().status, StatusCode::Cancelled);
 }
 
 TEST(RequestQueue, PushAfterCloseRejects)
@@ -100,7 +100,7 @@ TEST(RequestQueue, PushAfterCloseRejects)
     auto req = makeRequest(tinyPlan());
     auto future = req.promise.get_future();
     EXPECT_FALSE(queue.push(std::move(req)));
-    EXPECT_EQ(future.get().status, service::ReplyStatus::Rejected);
+    EXPECT_EQ(future.get().status, StatusCode::Rejected);
 }
 
 TEST(RequestQueue, ExpiredRequestsDroppedOnPop)
@@ -121,7 +121,7 @@ TEST(RequestQueue, ExpiredRequestsDroppedOnPop)
     auto popped = queue.pop();
     ASSERT_TRUE(popped.has_value());
     EXPECT_EQ(expired_future.get().status,
-              service::ReplyStatus::Dropped);
+              StatusCode::DeadlineExceeded);
     EXPECT_EQ(queue.stats().counter("dropped").value(), 1u);
     EXPECT_EQ(queue.depth(), 0u);
 
@@ -409,10 +409,10 @@ TEST(SamplingService, CompletesEveryFuture)
     service::SamplingService svc(tinyService(2));
     std::vector<std::future<service::Reply>> futures;
     for (int i = 0; i < 32; ++i)
-        futures.push_back(svc.submit(tinyPlan()));
+        futures.push_back(svc.submit(service::SampleRequest{tinyPlan(), {}}));
     for (auto &f : futures) {
         const auto reply = f.get();
-        ASSERT_EQ(reply.status, service::ReplyStatus::Ok);
+        ASSERT_EQ(reply.status, StatusCode::Ok);
         EXPECT_EQ(reply.batch.roots.size(), tinyPlan().batch_size);
         EXPECT_EQ(reply.batch.frontier.size(), 2u);
         EXPECT_GE(reply.batched_with, 1u);
@@ -435,14 +435,14 @@ TEST(SamplingService, OverflowRejectsInsteadOfQueueingUnbounded)
 
     std::vector<std::future<service::Reply>> futures;
     for (int i = 0; i < 64; ++i)
-        futures.push_back(svc.submit(tinyPlan()));
+        futures.push_back(svc.submit(service::SampleRequest{tinyPlan(), {}}));
 
     std::uint64_t ok = 0, rejected = 0;
     for (auto &f : futures) {
         const auto reply = f.get();
-        if (reply.status == service::ReplyStatus::Ok)
+        if (reply.status == StatusCode::Ok)
             ++ok;
-        else if (reply.status == service::ReplyStatus::Rejected)
+        else if (reply.status == StatusCode::Rejected)
             ++rejected;
     }
     svc.shutdown();
@@ -465,13 +465,13 @@ TEST(SamplingService, DeadlineDropsWhenWorkerCannotKeepUp)
 
     std::vector<std::future<service::Reply>> futures;
     for (int i = 0; i < 256; ++i)
-        futures.push_back(svc.submit(tinyPlan(64)));
+        futures.push_back(svc.submit(service::SampleRequest{tinyPlan(64), {}}));
 
     std::uint64_t ok = 0, dropped = 0, other = 0;
     for (auto &f : futures) {
-        switch (f.get().status) {
-          case service::ReplyStatus::Ok: ++ok; break;
-          case service::ReplyStatus::Dropped: ++dropped; break;
+        switch (f.get().status.code()) {
+          case StatusCode::Ok: ++ok; break;
+          case StatusCode::DeadlineExceeded: ++dropped; break;
           default: ++other; break;
         }
     }
@@ -486,10 +486,10 @@ TEST(SamplingService, GracefulShutdownDrainsInFlight)
     service::SamplingService svc(cfg);
     std::vector<std::future<service::Reply>> futures;
     for (int i = 0; i < 128; ++i)
-        futures.push_back(svc.submit(tinyPlan()));
+        futures.push_back(svc.submit(service::SampleRequest{tinyPlan(), {}}));
     svc.shutdown(service::SamplingService::Shutdown::Drain);
     for (auto &f : futures)
-        EXPECT_EQ(f.get().status, service::ReplyStatus::Ok);
+        EXPECT_EQ(f.get().status, StatusCode::Ok);
     EXPECT_EQ(svc.queueDepth(), 0u);
 }
 
@@ -501,15 +501,15 @@ TEST(SamplingService, CancelShutdownFailsBacklogFast)
     service::SamplingService svc(cfg);
     std::vector<std::future<service::Reply>> futures;
     for (int i = 0; i < 128; ++i)
-        futures.push_back(svc.submit(tinyPlan(64)));
+        futures.push_back(svc.submit(service::SampleRequest{tinyPlan(64), {}}));
     svc.shutdown(service::SamplingService::Shutdown::Cancel);
 
     std::uint64_t ok = 0, cancelled = 0;
     for (auto &f : futures) {
         const auto status = f.get().status;
-        if (status == service::ReplyStatus::Ok)
+        if (status == StatusCode::Ok)
             ++ok;
-        else if (status == service::ReplyStatus::Cancelled)
+        else if (status == StatusCode::Cancelled)
             ++cancelled;
     }
     // A worker finishes whatever it already picked up; the rest of
@@ -528,7 +528,7 @@ TEST(SamplingService, SubmissionsFromManyThreads)
         threads.emplace_back([&svc, &ok] {
             for (int i = 0; i < per_client; ++i) {
                 if (svc.sample(tinyPlan()).status ==
-                    service::ReplyStatus::Ok)
+                    StatusCode::Ok)
                     ++ok;
             }
         });
