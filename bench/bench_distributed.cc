@@ -39,8 +39,20 @@ struct FabricSnapshot {
     std::uint64_t remote = 0;   ///< reads staged onto ShardChannels
     std::uint64_t degraded = 0; ///< reads that fell back locally
     std::uint64_t packages = 0; ///< MoF request packages emitted
+    std::uint64_t retrans = 0;  ///< ARQ retransmissions, both ways
     double pack_sum = 0.0;      ///< sum of per-package fill levels
     std::uint64_t pack_n = 0;   ///< packages contributing to the sum
+    /** degraded reads per shard backend, indexed by shard id. */
+    std::vector<std::uint64_t> shard_degraded;
+
+    std::string
+    shardDegradedJson() const
+    {
+        std::string out = "[";
+        for (std::size_t k = 0; k < shard_degraded.size(); ++k)
+            out += (k ? "," : "") + std::to_string(shard_degraded[k]);
+        return out + "]";
+    }
 
     double
     remoteFraction() const
@@ -78,9 +90,19 @@ collectFabric()
                 // Backend group: mof.remote.shard<k>
                 snap.local += g.counter("local").value();
                 snap.remote += g.counter("remote").value();
-                snap.degraded += g.counter("degraded").value();
-            } else if (!n.ends_with(".req") && !n.ends_with(".rsp") &&
-                       !n.ends_with(".mem")) {
+                const std::uint64_t deg =
+                    g.counter("degraded").value();
+                snap.degraded += deg;
+                const auto k = static_cast<std::size_t>(
+                    std::atoi(n.c_str() + sizeof("mof.remote.shard") -
+                              1));
+                if (snap.shard_degraded.size() <= k)
+                    snap.shard_degraded.resize(k + 1, 0);
+                snap.shard_degraded[k] += deg;
+            } else if (n.ends_with(".req") || n.ends_with(".rsp")) {
+                snap.retrans +=
+                    g.counter("retransmissions").value();
+            } else if (!n.ends_with(".mem")) {
                 // Channel group: mof.remote.shard<s>.to<p>
                 snap.packages += g.counter("packages").value();
                 const auto &fill = g.average("pack_fill");
@@ -193,8 +215,11 @@ main(int argc, char **argv)
                       << ",\"pack_occupancy\":"
                       << fabric.packOccupancy()
                       << ",\"packages\":" << fabric.packages
+                      << ",\"retransmissions\":" << fabric.retrans
                       << ",\"degraded_replies\":" << r.degraded
                       << ",\"degraded_reads\":" << fabric.degraded
+                      << ",\"per_shard_degraded\":"
+                      << fabric.shardDegradedJson()
                       << ",\"p50_us\":" << r.p50_us
                       << ",\"p95_us\":" << r.p95_us
                       << ",\"p99_us\":" << r.p99_us << "}";

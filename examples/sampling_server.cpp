@@ -7,17 +7,53 @@
  * packing) and admission control absorbing an overload burst.
  *
  * Run: ./sampling_server [workers] [clients]
- * Set LSDGNN_TRACE=server.trace.json to get a Perfetto timeline with
- * per-worker batch slices and queue-depth/latency counter tracks.
+ * Observability hooks:
+ *  - LSDGNN_TRACE=server.trace.json    Perfetto timeline (per-worker
+ *    batch slices, per-request spans + flow arrows, queue depth).
+ *  - LSDGNN_METRICS=server.metrics.json  windowed SLO metrics of the
+ *    final phase (per-stage p50/p99 deltas) as one JSON object.
+ *  - LSDGNN_FLIGHT=server.flight.json  anomaly flight-recorder dump
+ *    path (deadline misses / shed spikes trip it automatically).
  */
 
 #include <chrono>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 
+#include "common/stat_registry.hh"
 #include "common/table.hh"
 #include "service/load_gen.hh"
 
 using namespace std::chrono_literals;
+
+namespace {
+
+/** Print one phase's windowed per-stage latency breakdown. */
+void
+printWindow(const char *phase, const lsdgnn::stats::WindowReport &w)
+{
+    using lsdgnn::TextTable;
+    TextTable table;
+    table.header({"stage", "n", "p50 us", "p99 us"});
+    for (const char *stage : {"queue", "batch", "sample", "remote"}) {
+        const auto *h = w.findHistogram(
+            std::string("service.stage.") + stage, "us");
+        if (h == nullptr)
+            continue;
+        table.row({stage, TextTable::num(h->n),
+                   TextTable::num(h->percentile(0.5), 1),
+                   TextTable::num(h->percentile(0.99), 1)});
+    }
+    std::cout << "\n" << phase << " window ("
+              << TextTable::num(w.window_s * 1e3, 0) << " ms, "
+              << w.counterDelta("service", "completed")
+              << " completed):\n";
+    table.print(std::cout);
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -48,18 +84,25 @@ main(int argc, char **argv)
 
     service::SamplingService svc(cfg);
 
-    // A single request end to end: submit -> future -> Reply.
+    // Rolling SLO window over the service + fabric groups. Snapshot
+    // deltas, not resets: any number of these can coexist.
+    stats::WindowedStats window({"service", "mof.remote"});
+
+    // A single request end to end: submit -> future -> Reply. The
+    // service allocates the trace id (options.trace_id left 0).
     service::SampleRequest request{plan, {}};
-    request.options.trace_id = 1;
     auto reply = svc.sample(request);
     std::cout << "warm-up request: " << reply.status.toString()
               << ", " << reply.batch.totalSampled() << " samples, "
               << reply.e2e_us << " us end-to-end (worker "
-              << reply.worker << ")\n";
+              << reply.worker << ", trace_id " << reply.trace_id
+              << ", span " << reply.span_id << " in batch span "
+              << reply.batch_span_id << ")\n";
 
     // Steady state: a closed-loop client fleet.
     service::LoadGenerator gen(svc);
     const auto steady = gen.runClosedLoop(plan, clients, 300ms);
+    printWindow("steady", window.collect());
 
     TextTable table;
     table.header({"phase", "offered", "ok", "shed %", "goodput QPS",
@@ -76,15 +119,26 @@ main(int argc, char **argv)
     // excess instead of queueing it forever.
     const auto burst =
         gen.runOpenLoop(plan, 4 * steady.goodput_qps, 200ms, 99);
+    const stats::WindowReport burstWindow = window.collect();
+    printWindow("overload", burstWindow);
     table.row({"overload x4", TextTable::num(burst.offered),
                TextTable::num(burst.ok),
                TextTable::num(burst.shedFraction() * 100, 1),
                TextTable::num(burst.goodput_qps, 0),
                TextTable::num(burst.p50_us, 1),
                TextTable::num(burst.p99_us, 1)});
+    std::cout << "\n";
     table.print(std::cout);
 
     svc.shutdown();
+
+    if (const char *path = std::getenv("LSDGNN_METRICS");
+        path != nullptr && *path != '\0') {
+        std::ofstream out(path, std::ios::trunc);
+        burstWindow.exportJson(out);
+        out << "\n";
+        std::cout << "\nwindowed metrics written to " << path << "\n";
+    }
 
     const auto &queue = svc.queueStats();
     std::cout << "\nservice totals: "

@@ -1,0 +1,273 @@
+#include "flight_recorder.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "common/logging.hh"
+#include "common/stat_registry.hh"
+#include "common/trace.hh"
+
+namespace lsdgnn {
+namespace trace {
+
+namespace {
+
+// Stable small integer per thread for the dump (std::thread::id has
+// no portable numeric form).
+std::uint64_t
+threadKey()
+{
+    static std::atomic<std::uint64_t> next{1};
+    thread_local const std::uint64_t key =
+        next.fetch_add(1, std::memory_order_relaxed);
+    return key;
+}
+
+std::string
+jsonNum(double v)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+// Configure the dump path before main() when the environment asks.
+const bool env_configured = [] {
+    const char *path = std::getenv("LSDGNN_FLIGHT");
+    if (path != nullptr && *path != '\0')
+        FlightRecorder::instance().setDumpPath(path);
+    return true;
+}();
+
+} // namespace
+
+// Pimpl around WindowedStats so the header stays free of the
+// stat-registry dependency.
+struct FlightRecorder::StatBaselines {
+    stats::WindowedStats window{{}};
+};
+
+FlightRecorder &
+FlightRecorder::instance()
+{
+    // Leaked for the same reason as StatRegistry: worker threads may
+    // record during process exit, which must never touch a destroyed
+    // recorder.
+    static FlightRecorder *recorder = new FlightRecorder;
+    return *recorder;
+}
+
+FlightRecorder::Ring *
+FlightRecorder::ringForThisThread()
+{
+    thread_local Ring *ring = [this] {
+        std::lock_guard<std::mutex> lock(ringsMutex_);
+        if (rings_.size() >= max_rings)
+            return rings_.front().get(); // shared overflow ring
+        rings_.push_back(std::make_unique<Ring>());
+        rings_.back()->thread_key = threadKey();
+        return rings_.back().get();
+    }();
+    return ring;
+}
+
+void
+FlightRecorder::record(const FlightEvent &event)
+{
+    Ring *ring = ringForThisThread();
+    std::lock_guard<std::mutex> lock(ring->mutex);
+    ring->events[ring->written % ring_capacity] = event;
+    ++ring->written;
+}
+
+void
+FlightRecorder::recordNow(const char *name, std::uint64_t trace_id,
+                          std::uint64_t span_id, double a, double b)
+{
+    FlightEvent ev;
+    ev.ts = wallNow();
+    ev.trace_id = trace_id;
+    ev.span_id = span_id;
+    ev.name = name;
+    ev.a = a;
+    ev.b = b;
+    record(ev);
+}
+
+std::uint64_t
+FlightRecorder::registerGauge(std::string name,
+                              std::function<double()> fn)
+{
+    lsd_assert(fn != nullptr, "flight gauge needs a sampler");
+    std::lock_guard<std::mutex> lock(gaugesMutex_);
+    const std::uint64_t handle = nextGauge_++;
+    gauges_.push_back(Gauge{handle, std::move(name), std::move(fn)});
+    return handle;
+}
+
+void
+FlightRecorder::unregisterGauge(std::uint64_t handle)
+{
+    std::lock_guard<std::mutex> lock(gaugesMutex_);
+    for (auto it = gauges_.begin(); it != gauges_.end(); ++it) {
+        if (it->handle == handle) {
+            gauges_.erase(it);
+            return;
+        }
+    }
+}
+
+void
+FlightRecorder::setDumpPath(std::string path)
+{
+    std::lock_guard<std::mutex> lock(dumpMutex_);
+    path_ = std::move(path);
+}
+
+const std::string
+FlightRecorder::pathForTest() const
+{
+    std::lock_guard<std::mutex> lock(dumpMutex_);
+    return path_;
+}
+
+void
+FlightRecorder::setMinTripInterval(std::chrono::milliseconds interval)
+{
+    std::lock_guard<std::mutex> lock(dumpMutex_);
+    minInterval_ = interval;
+}
+
+std::uint64_t
+FlightRecorder::trips() const
+{
+    std::lock_guard<std::mutex> lock(dumpMutex_);
+    return trips_;
+}
+
+std::string
+FlightRecorder::lastDumpJson() const
+{
+    std::lock_guard<std::mutex> lock(dumpMutex_);
+    return lastDump_;
+}
+
+bool
+FlightRecorder::trip(const std::string &reason)
+{
+    {
+        std::lock_guard<std::mutex> lock(dumpMutex_);
+        const auto now = std::chrono::steady_clock::now();
+        if (tripped_ && now - lastTrip_ < minInterval_)
+            return false;
+        tripped_ = true;
+        lastTrip_ = now;
+    }
+    dumpJson(reason);
+    return true;
+}
+
+std::string
+FlightRecorder::dumpJson(const std::string &reason)
+{
+    std::ostringstream os;
+    os << "{\"reason\":\"";
+    {
+        std::string escaped;
+        appendEscaped(escaped, reason);
+        os << escaped;
+    }
+    os << "\",\"wall_us\":" << jsonNum(static_cast<double>(wallNow()) /
+                                       1e6);
+
+    // Live gauges (queue depths etc.). Sampled outside the dump lock:
+    // a gauge may itself take its owner's lock.
+    os << ",\"gauges\":{";
+    {
+        std::vector<Gauge> gauges;
+        {
+            std::lock_guard<std::mutex> lock(gaugesMutex_);
+            gauges = gauges_;
+        }
+        bool first = true;
+        for (const Gauge &g : gauges) {
+            std::string escaped;
+            appendEscaped(escaped, g.name);
+            os << (first ? "" : ",") << "\"" << escaped
+               << "\":" << jsonNum(g.fn());
+            first = false;
+        }
+    }
+    os << "}";
+
+    // Recent events, oldest first, per thread ring.
+    os << ",\"threads\":[";
+    {
+        std::vector<Ring *> rings;
+        {
+            std::lock_guard<std::mutex> lock(ringsMutex_);
+            rings.reserve(rings_.size());
+            for (const auto &r : rings_)
+                rings.push_back(r.get());
+        }
+        bool first_ring = true;
+        for (Ring *ring : rings) {
+            std::lock_guard<std::mutex> lock(ring->mutex);
+            os << (first_ring ? "" : ",") << "{\"thread\":"
+               << ring->thread_key << ",\"recorded\":" << ring->written
+               << ",\"events\":[";
+            const std::uint64_t count =
+                std::min<std::uint64_t>(ring->written, ring_capacity);
+            const std::uint64_t start = ring->written - count;
+            for (std::uint64_t i = 0; i < count; ++i) {
+                const FlightEvent &ev =
+                    ring->events[(start + i) % ring_capacity];
+                std::string escaped;
+                appendEscaped(escaped, ev.name);
+                os << (i ? "," : "") << "{\"ts_us\":"
+                   << jsonNum(static_cast<double>(ev.ts) / 1e6)
+                   << ",\"name\":\"" << escaped << "\"";
+                if (ev.trace_id != 0)
+                    os << ",\"trace_id\":" << ev.trace_id;
+                if (ev.span_id != 0)
+                    os << ",\"span_id\":" << ev.span_id;
+                if (ev.a != 0.0)
+                    os << ",\"a\":" << jsonNum(ev.a);
+                if (ev.b != 0.0)
+                    os << ",\"b\":" << jsonNum(ev.b);
+                os << "}";
+            }
+            os << "]}";
+            first_ring = false;
+        }
+    }
+    os << "]";
+
+    // Stat deltas since the previous dump. The recorder's private
+    // WindowedStats baseline means concurrent exporters elsewhere
+    // never lose or double-count samples because of this dump.
+    os << ",\"stats_delta\":";
+    {
+        std::lock_guard<std::mutex> lock(dumpMutex_);
+        if (!baselines_)
+            baselines_ = std::make_unique<StatBaselines>();
+        baselines_->window.collect().exportJson(os);
+
+        ++trips_;
+        lastDump_ = os.str() + "}";
+        if (!path_.empty()) {
+            std::ofstream file(path_, std::ios::trunc);
+            if (file)
+                file << lastDump_ << "\n";
+            else
+                lsd_warn("flight recorder cannot write '", path_, "'");
+        }
+        return lastDump_;
+    }
+}
+
+} // namespace trace
+} // namespace lsdgnn

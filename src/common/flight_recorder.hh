@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Anomaly flight recorder: always-on, lock-light evidence capture.
+ *
+ * Tracing answers "what happened in the window I chose to record";
+ * the flight recorder answers "what just happened" when something
+ * goes wrong in a run where tracing was off. Every thread appends
+ * compact FlightEvents to its own fixed-size ring (one uncontended
+ * mutex per ring, no allocation on the record path); an anomaly
+ * trigger — a request deadline miss, an ARQ circuit-breaker trip, a
+ * shed-rate spike — snapshots a bounded JSON dump containing:
+ *
+ *  - the most recent events of every thread ring (spans with trace
+ *    ids, so the dump names the requests that were in flight),
+ *  - stat *deltas* since the previous dump (via WindowedStats, so
+ *    concurrent dumps never double-count),
+ *  - live gauges (queue depths and anything else registered).
+ *
+ * The dump goes to the path configured via LSDGNN_FLIGHT=<path> (or
+ * setDumpPath()); without a path the snapshot is kept in memory and
+ * readable through lastDumpJson(). Trips are rate-limited
+ * (minTripInterval) so a storm of deadline misses produces one dump,
+ * not thousands.
+ *
+ * Thread-safety: record() may be called from any thread; trip() and
+ * dump accessors are serialized by the recorder's dump mutex. Event
+ * names must be string literals (or otherwise immortal) — the ring
+ * stores the pointer.
+ */
+
+#ifndef LSDGNN_COMMON_FLIGHT_RECORDER_HH
+#define LSDGNN_COMMON_FLIGHT_RECORDER_HH
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/units.hh"
+
+namespace lsdgnn {
+namespace trace {
+
+/** One compact recorded event. POD; name must be immortal. */
+struct FlightEvent {
+    Tick ts = 0;                  ///< wallTick timestamp
+    std::uint64_t trace_id = 0;   ///< owning request (0 = none)
+    std::uint64_t span_id = 0;    ///< owning span (0 = none)
+    const char *name = "";        ///< static event label
+    double a = 0.0;               ///< event-defined payload
+    double b = 0.0;               ///< event-defined payload
+};
+
+/** Process-wide flight recorder. */
+class FlightRecorder
+{
+  public:
+    static FlightRecorder &instance();
+
+    /**
+     * Append one event to the calling thread's ring. Cheap: one
+     * uncontended mutex lock plus a slot write.
+     */
+    void record(const FlightEvent &event);
+
+    /** record() with the timestamp filled from wallNow(). */
+    void recordNow(const char *name, std::uint64_t trace_id = 0,
+                   std::uint64_t span_id = 0, double a = 0.0,
+                   double b = 0.0);
+
+    /**
+     * Register a live gauge sampled into every dump ("queue depth").
+     * Returns a handle for unregisterGauge(); the function must stay
+     * callable until then and be safe to call from any thread.
+     */
+    std::uint64_t registerGauge(std::string name,
+                                std::function<double()> fn);
+    void unregisterGauge(std::uint64_t handle);
+
+    /**
+     * Anomaly trigger: snapshot a dump, honoring the rate limit.
+     * Returns true when a dump was actually produced (false =
+     * rate-limited). Safe from any thread, including threads holding
+     * ring locks of *other* rings.
+     */
+    bool trip(const std::string &reason);
+
+    /** Unconditional dump (no rate limit). Returns the JSON text. */
+    std::string dumpJson(const std::string &reason);
+
+    /** Where trip() writes dumps; "" keeps them in memory only. */
+    void setDumpPath(std::string path);
+    const std::string pathForTest() const;
+
+    /** Minimum wall time between trip() dumps (default 1 s). */
+    void setMinTripInterval(std::chrono::milliseconds interval);
+
+    /** Dumps produced so far (rate-limited trips not counted). */
+    std::uint64_t trips() const;
+
+    /** The last dump's JSON ("" before the first trip). */
+    std::string lastDumpJson() const;
+
+    /** Per-thread ring capacity (events). */
+    static constexpr std::size_t ring_capacity = 512;
+    /** Rings allocated before late threads share the overflow ring. */
+    static constexpr std::size_t max_rings = 256;
+
+    FlightRecorder(const FlightRecorder &) = delete;
+    FlightRecorder &operator=(const FlightRecorder &) = delete;
+
+  private:
+    FlightRecorder() = default;
+
+    struct Ring {
+        mutable std::mutex mutex;
+        std::uint64_t thread_key = 0;
+        std::uint64_t written = 0; ///< events ever recorded
+        std::vector<FlightEvent> events{ring_capacity};
+    };
+
+    struct Gauge {
+        std::uint64_t handle;
+        std::string name;
+        std::function<double()> fn;
+    };
+
+    Ring *ringForThisThread();
+
+    mutable std::mutex ringsMutex_;
+    std::vector<std::unique_ptr<Ring>> rings_;
+
+    mutable std::mutex gaugesMutex_;
+    std::vector<Gauge> gauges_;
+    std::uint64_t nextGauge_ = 1;
+
+    mutable std::mutex dumpMutex_;
+    std::string path_;
+    std::string lastDump_;
+    std::uint64_t trips_ = 0;
+    std::chrono::milliseconds minInterval_{1000};
+    std::chrono::steady_clock::time_point lastTrip_{};
+    bool tripped_ = false;
+
+    // Baselines for the per-dump stat deltas, keyed "group\x1fstat".
+    struct StatBaselines;
+    std::unique_ptr<StatBaselines> baselines_;
+};
+
+} // namespace trace
+} // namespace lsdgnn
+
+#endif // LSDGNN_COMMON_FLIGHT_RECORDER_HH

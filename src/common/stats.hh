@@ -5,14 +5,27 @@
  * Components register named scalar counters, averages and histograms
  * with a StatGroup; benches and tests read them back by name. Modeled
  * on (a small subset of) the gem5 stats framework.
+ *
+ * Concurrency model: every stat is *single-writer* (the owning
+ * component mutates it from one thread, or under its own lock), but
+ * may be read at any time by live exporters — the flight recorder
+ * dumps stat deltas mid-anomaly, by definition while writers are
+ * running. All value cells are therefore accessed through relaxed
+ * atomic loads/stores (plain moves on x86 — no read-modify-write, no
+ * fence, no hot-path cost), which makes concurrent reads race-free
+ * without promising cross-stat consistency: a reader may see an
+ * Average whose sum is newer than its count. Quiesce writers when
+ * exact numbers matter, exactly as before.
  */
 
 #ifndef LSDGNN_COMMON_STATS_HH
 #define LSDGNN_COMMON_STATS_HH
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <mutex>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -22,13 +35,39 @@
 namespace lsdgnn {
 namespace stats {
 
+namespace detail {
+
+/** Relaxed atomic load of a single-writer stat cell. */
+template <typename T>
+inline T
+loadRelaxed(const T &cell)
+{
+    return std::atomic_ref<T>(const_cast<T &>(cell))
+        .load(std::memory_order_relaxed);
+}
+
+/** Relaxed atomic store to a single-writer stat cell. */
+template <typename T>
+inline void
+storeRelaxed(T &cell, T v)
+{
+    std::atomic_ref<T>(cell).store(v, std::memory_order_relaxed);
+}
+
+} // namespace detail
+
 /** Monotonically increasing scalar counter. */
 class Counter
 {
   public:
-    void inc(std::uint64_t n = 1) { count_ += n; }
-    std::uint64_t value() const { return count_; }
-    void reset() { count_ = 0; }
+    void
+    inc(std::uint64_t n = 1)
+    {
+        detail::storeRelaxed(count_, detail::loadRelaxed(count_) + n);
+    }
+
+    std::uint64_t value() const { return detail::loadRelaxed(count_); }
+    void reset() { detail::storeRelaxed(count_, std::uint64_t{0}); }
 
   private:
     std::uint64_t count_ = 0;
@@ -41,27 +80,36 @@ class Average
     void
     sample(double v)
     {
-        sum_ += v;
-        ++n_;
-        if (v < min_ || n_ == 1)
-            min_ = v;
-        if (v > max_ || n_ == 1)
-            max_ = v;
+        using detail::loadRelaxed;
+        using detail::storeRelaxed;
+        const std::uint64_t n = loadRelaxed(n_) + 1;
+        storeRelaxed(sum_, loadRelaxed(sum_) + v);
+        if (v < loadRelaxed(min_) || n == 1)
+            storeRelaxed(min_, v);
+        if (v > loadRelaxed(max_) || n == 1)
+            storeRelaxed(max_, v);
+        storeRelaxed(n_, n);
     }
 
-    double mean() const { return n_ ? sum_ / static_cast<double>(n_) : 0.0; }
-    double min() const { return n_ ? min_ : 0.0; }
-    double max() const { return n_ ? max_ : 0.0; }
-    std::uint64_t samples() const { return n_; }
-    double sum() const { return sum_; }
+    double
+    mean() const
+    {
+        const auto n = samples();
+        return n ? sum() / static_cast<double>(n) : 0.0;
+    }
+
+    double min() const { return samples() ? detail::loadRelaxed(min_) : 0.0; }
+    double max() const { return samples() ? detail::loadRelaxed(max_) : 0.0; }
+    std::uint64_t samples() const { return detail::loadRelaxed(n_); }
+    double sum() const { return detail::loadRelaxed(sum_); }
 
     void
     reset()
     {
-        sum_ = 0.0;
-        min_ = 0.0;
-        max_ = 0.0;
-        n_ = 0;
+        detail::storeRelaxed(sum_, 0.0);
+        detail::storeRelaxed(min_, 0.0);
+        detail::storeRelaxed(max_, 0.0);
+        detail::storeRelaxed(n_, std::uint64_t{0});
     }
 
   private:
@@ -86,11 +134,16 @@ class Histogram
 
     void sample(double v, std::uint64_t weight = 1);
 
-    std::uint64_t bucketCount(std::size_t i) const { return counts.at(i); }
+    std::uint64_t
+    bucketCount(std::size_t i) const
+    {
+        return detail::loadRelaxed(counts.at(i));
+    }
+
     std::size_t buckets() const { return counts.size(); }
-    std::uint64_t underflow() const { return under; }
-    std::uint64_t overflow() const { return over; }
-    std::uint64_t samples() const { return total; }
+    std::uint64_t underflow() const { return detail::loadRelaxed(under); }
+    std::uint64_t overflow() const { return detail::loadRelaxed(over); }
+    std::uint64_t samples() const { return detail::loadRelaxed(total); }
     double lo() const { return lo_; }
     double hi() const { return hi_; }
 
@@ -107,6 +160,15 @@ class Histogram
      */
     double percentile(double q) const;
 
+    /**
+     * Zero every bucket. Prefer snapshot-delta windowing
+     * (stats::WindowedStats) over reset(): reset is *destructive and
+     * global* — two exporters windowing the same histogram by
+     * resetting it race each other (one window swallows the other's
+     * samples, or both see them). Snapshot-delta readers each keep a
+     * private baseline and subtract, so any number of concurrent
+     * exporters see every sample exactly once per window.
+     */
     void reset();
 
   private:
@@ -120,6 +182,17 @@ class Histogram
 };
 
 /**
+ * Percentile over an explicit bucket vector (the shared engine behind
+ * Histogram::percentile and windowed-delta percentiles). Semantics
+ * match Histogram::percentile exactly; @p total must equal under +
+ * over + sum(counts).
+ */
+double bucketPercentile(double lo, double hi,
+                        const std::vector<std::uint64_t> &counts,
+                        std::uint64_t under, std::uint64_t over,
+                        std::uint64_t total, double q);
+
+/**
  * Named collection of statistics.
  *
  * Ownership of the underlying stat objects stays with the registering
@@ -127,6 +200,11 @@ class Histogram
  * group announces itself to the process-wide StatRegistry for its
  * lifetime, which is how benches export machine-readable results
  * without holding component references.
+ *
+ * The entry maps are guarded by an internal mutex: a component may
+ * still be add*()-ing stats in its own thread when a live exporter
+ * (flight-recorder dump, windowed collect) visits the group through
+ * the registry.
  */
 class StatGroup
 {
@@ -172,6 +250,7 @@ class StatGroup
 
   private:
     std::string name_;
+    mutable std::mutex mutex_; ///< guards the entry maps below
     struct CounterEntry { Counter *stat; std::string desc; };
     struct AverageEntry { Average *stat; std::string desc; };
     struct HistogramEntry { Histogram *stat; std::string desc; };

@@ -36,7 +36,55 @@ tsString(Tick t)
     return buf;
 }
 
+// Span ids start at 1; auto trace ids start at 2^32 so they cannot
+// collide with small client-chosen ids (see TraceContext docs).
+std::atomic<std::uint64_t> next_span_id{1};
+std::atomic<std::uint64_t> next_trace_id{std::uint64_t{1} << 32};
+
 } // namespace
+
+Tick
+wallTick(std::chrono::steady_clock::time_point tp)
+{
+    // Function-local static: the epoch is the first instant anything
+    // asked for a wall tick (thread-safe magic static).
+    static const auto epoch = std::chrono::steady_clock::now();
+    if (tp < epoch)
+        return 0;
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+        tp - epoch).count();
+    return static_cast<Tick>(ns) * 1000; // ns -> ps
+}
+
+Tick
+wallNow()
+{
+    return wallTick(std::chrono::steady_clock::now());
+}
+
+std::uint64_t
+TraceContext::nextSpanId()
+{
+    return next_span_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t
+TraceContext::nextTraceId()
+{
+    return next_trace_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::string
+TraceContext::argsJson() const
+{
+    std::string out = "\"trace_id\":";
+    out += std::to_string(trace_id);
+    out += ",\"span_id\":";
+    out += std::to_string(span_id);
+    out += ",\"parent_span_id\":";
+    out += std::to_string(parent_span_id);
+    return out;
+}
 
 void
 appendEscaped(std::string &out, std::string_view s)
@@ -182,6 +230,65 @@ Tracer::complete(std::uint32_t pid, TrackId tid, std::string_view name,
         out << ",\"args\":{" << args << "}";
     out << "}";
     ++emitted;
+}
+
+void
+Tracer::instant(std::uint32_t pid, TrackId tid, std::string_view name,
+                Tick ts, std::string_view args)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!out.is_open())
+        return;
+    std::string escaped;
+    appendEscaped(escaped, name);
+    finish();
+    out << "{\"ph\":\"i\",\"s\":\"t\",\"pid\":" << pid << ",\"tid\":"
+        << tid << ",\"ts\":" << tsString(ts) << ",\"name\":\""
+        << escaped << "\"";
+    if (!args.empty())
+        out << ",\"args\":{" << args << "}";
+    out << "}";
+    ++emitted;
+}
+
+void
+Tracer::flowEvent(char ph, std::uint32_t pid, TrackId tid,
+                  std::string_view name, Tick ts, std::uint64_t id)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!out.is_open())
+        return;
+    std::string escaped;
+    appendEscaped(escaped, name);
+    finish();
+    out << "{\"ph\":\"" << ph << "\",\"cat\":\"flow\",\"id\":" << id
+        << ",\"pid\":" << pid << ",\"tid\":" << tid << ",\"ts\":"
+        << tsString(ts) << ",\"name\":\"" << escaped << "\"";
+    if (ph == 'f')
+        out << ",\"bp\":\"e\""; // bind to the enclosing slice
+    out << "}";
+    ++emitted;
+}
+
+void
+Tracer::flowStart(std::uint32_t pid, TrackId tid, std::string_view name,
+                  Tick ts, std::uint64_t id)
+{
+    flowEvent('s', pid, tid, name, ts, id);
+}
+
+void
+Tracer::flowStep(std::uint32_t pid, TrackId tid, std::string_view name,
+                 Tick ts, std::uint64_t id)
+{
+    flowEvent('t', pid, tid, name, ts, id);
+}
+
+void
+Tracer::flowEnd(std::uint32_t pid, TrackId tid, std::string_view name,
+                Tick ts, std::uint64_t id)
+{
+    flowEvent('f', pid, tid, name, ts, id);
 }
 
 void

@@ -26,6 +26,7 @@
 
 #include "common/rng.hh"
 #include "common/status.hh"
+#include "common/trace.hh"
 #include "sampling/minibatch.hh"
 
 namespace lsdgnn {
@@ -39,6 +40,12 @@ namespace framework {
 struct SessionConfig;
 class DistributedStore;
 
+/** Out-params a backend fills about one sampleInto() call. */
+struct SampleTelemetry {
+    /** Wall microseconds spent waiting on remote fabric rounds. */
+    double remote_us = 0.0;
+};
+
 /** Per-call sampling options (beyond the structural SamplePlan). */
 struct SampleOptions {
     /**
@@ -47,6 +54,15 @@ struct SampleOptions {
      * single-store backends always sample the full node range.
      */
     bool local_roots = false;
+
+    /**
+     * Trace identity of the batch this call executes; hops and fabric
+     * rounds derive child spans from it. Invalid (default) = untraced.
+     */
+    trace::TraceContext trace;
+
+    /** Optional per-call telemetry sink (remote-stage wall time). */
+    SampleTelemetry *telemetry = nullptr;
 };
 
 /**

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <string>
 
+#include "common/flight_recorder.hh"
+
 namespace lsdgnn {
 namespace framework {
 
@@ -132,18 +134,54 @@ void
 DistributedBackend::beginRounds()
 {
     pending_.clear();
-    for (auto &ch : channels_)
-        if (ch)
-            ch->beginRound();
+    hopCtx_ = trace_.valid() ? trace_.child() : trace::TraceContext{};
+    for (auto &ch : channels_) {
+        if (!ch)
+            continue;
+        ch->setTrace(hopCtx_);
+        ch->beginRound();
+    }
 }
 
 void
 DistributedBackend::flushAndRun()
 {
+    const Tick start = trace::wallNow();
     for (auto &ch : channels_)
         if (ch)
             ch->flush();
     eq_.run();
+    for (auto &ch : channels_)
+        if (ch)
+            ch->endRound();
+    remoteWallPs_ += trace::wallNow() - start;
+}
+
+void
+DistributedBackend::emitStageTrace(const char *stage,
+                                   std::size_t frontier,
+                                   std::uint64_t degraded,
+                                   Tick wall_start)
+{
+    if (degraded != 0)
+        trace::FlightRecorder::instance().recordNow(
+            "dist.degraded", hopCtx_.trace_id, hopCtx_.span_id,
+            static_cast<double>(degraded),
+            static_cast<double>(frontier));
+    if (!trace::Tracer::enabled())
+        return;
+    auto &tracer = trace::Tracer::instance();
+    std::string args;
+    if (hopCtx_.valid())
+        args = hopCtx_.argsJson() + ",";
+    args += "\"frontier\":" + std::to_string(frontier) +
+            ",\"degraded\":" + std::to_string(degraded);
+    const Tick now = trace::wallNow();
+    tracer.complete(
+        trace::wall_pid,
+        tracer.track(trace::wall_pid,
+                     "mof.remote.shard" + std::to_string(self_)),
+        stage, wall_start, now - wall_start, args);
 }
 
 Status
@@ -155,6 +193,8 @@ DistributedBackend::sampleInto(const sampling::SamplePlan &plan,
     const graph::CsrGraph &g = store_->graph();
     const graph::GraphShard &home = store_->shard(self_);
     batches_.inc();
+    trace_ = options.trace;
+    remoteWallPs_ = 0;
 
     out.roots.resize(plan.batch_size);
     if (options.local_roots && home.numLocalNodes() > 0) {
@@ -187,6 +227,8 @@ DistributedBackend::sampleInto(const sampling::SamplePlan &plan,
         std::uint32_t *pp = par.data();
         std::size_t pos = 0;
 
+        const Tick hop_wall_start = trace::wallNow();
+        const std::uint64_t hop_degraded_base = degraded_batch;
         beginRounds();
         roundDedup_.begin(
             std::min<std::size_t>(prev_size, g.numNodes()));
@@ -265,11 +307,17 @@ DistributedBackend::sampleInto(const sampling::SamplePlan &plan,
         par.resize(pos);
         prev = out_v.data();
         prev_size = pos;
+        emitStageTrace("hop", prev_size,
+                       degraded_batch - hop_degraded_base,
+                       hop_wall_start);
     }
 
     if (plan.fetch_attributes)
         degraded_batch += fetchAttributes(plan, out);
 
+    if (options.telemetry != nullptr)
+        options.telemetry->remote_us +=
+            static_cast<double>(remoteWallPs_) / 1e6;
     degraded_.inc(degraded_batch);
     if (degraded_batch != 0)
         return Status(StatusCode::Degraded,
@@ -295,6 +343,7 @@ DistributedBackend::fetchAttributes(const sampling::SamplePlan &plan,
         for (graph::NodeId n : hop)
             dedup.insert(n);
 
+    const Tick attrs_wall_start = trace::wallNow();
     beginRounds();
     dedup.forEach([&](graph::NodeId node, std::uint64_t) {
         const graph::ServerId owner = part.serverOf(node);
@@ -313,6 +362,7 @@ DistributedBackend::fetchAttributes(const sampling::SamplePlan &plan,
     for (const auto &ch : channels_)
         if (ch)
             failed += ch->roundFailures();
+    emitStageTrace("attrs", dedup.size(), failed, attrs_wall_start);
     return failed;
 }
 

@@ -173,6 +173,10 @@ class DistributedBackend : public SamplingBackend
     void beginRounds();
     void flushAndRun();
 
+    /** Emit one wall-clock hop/stage slice for the round just run. */
+    void emitStageTrace(const char *stage, std::size_t frontier,
+                        std::uint64_t degraded, Tick wall_start);
+
     /** Attribute fetch round; returns degraded read count. */
     std::uint64_t fetchAttributes(const sampling::SamplePlan &plan,
                                   const sampling::SampleResult &out);
@@ -185,6 +189,10 @@ class DistributedBackend : public SamplingBackend
     std::vector<PendingFetch> pending_;
     RoundDedup roundDedup_;
     sampling::SampleScratch scratch_;
+
+    trace::TraceContext trace_;  ///< batch context (current call)
+    trace::TraceContext hopCtx_; ///< child span of the round in flight
+    Tick remoteWallPs_ = 0;      ///< wall ps spent in flushAndRun
 
     stats::StatGroup group_;
     stats::Counter localReads_;

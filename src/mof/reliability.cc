@@ -1,6 +1,9 @@
 #include "reliability.hh"
 
 #include <algorithm>
+#include <cstdio>
+
+#include "common/flight_recorder.hh"
 
 namespace lsdgnn {
 namespace mof {
@@ -21,6 +24,8 @@ ReliableChannel::ReliableChannel(sim::EventQueue &eq,
                          "in-order deliveries");
     statGroup.addCounter("transmissions", &transmissions_,
                          "data packages put on the wire");
+    statGroup.addCounter("retransmissions", &retransmissions_,
+                         "data packages retransmitted after a timeout");
     statGroup.addCounter("acks", &ackSent, "ACK packages sent");
     statGroup.addCounter("lost", &dataLost, "data packages lost");
     statGroup.addCounter("timeouts", &timeouts, "ARQ timeouts fired");
@@ -34,6 +39,27 @@ ReliableChannel::serialize(std::uint32_t bytes) const
     return static_cast<Tick>(static_cast<double>(bytes) /
                              params_.bandwidth *
                              static_cast<double>(tick_per_s));
+}
+
+void
+ReliableChannel::annotate(const char *what, double a, double b)
+{
+    // Always into the flight recorder (cheap, always-on) ...
+    trace::FlightRecorder::instance().recordNow(what, trace_.trace_id,
+                                                trace_.span_id, a, b);
+    // ... and onto the channel's wall-clock track when tracing.
+    if (!trace::Tracer::enabled())
+        return;
+    auto &tracer = trace::Tracer::instance();
+    std::string args;
+    if (trace_.valid())
+        args = trace_.argsJson() + ",";
+    char vals[64];
+    std::snprintf(vals, sizeof(vals), "\"a\":%.17g,\"b\":%.17g", a, b);
+    args += vals;
+    tracer.instant(trace::wall_pid,
+                   tracer.track(trace::wall_pid, name()), what,
+                   trace::wallNow(), args);
 }
 
 void
@@ -153,7 +179,12 @@ ReliableChannel::onTimeout()
         breakChannel();
         return;
     }
+    annotate("arq.timeout", static_cast<double>(timeoutStreak),
+             static_cast<double>(inFlight.size()));
     // Go-back-N: retransmit the whole window.
+    retransmissions_.inc(inFlight.size());
+    annotate("arq.retx", static_cast<double>(inFlight.size()),
+             static_cast<double>(timeoutStreak));
     for (const Pending &pkg : inFlight)
         transmit(pkg);
     armTimer();
@@ -167,6 +198,10 @@ ReliableChannel::breakChannel()
         eventq.deschedule(timerHandle);
         timerArmed = false;
     }
+    annotate("arq.breaker",
+             static_cast<double>(inFlight.size() + sendQueue.size()),
+             static_cast<double>(params_.max_retries));
+    trace::FlightRecorder::instance().trip("breaker:" + name());
     const Status cause(StatusCode::RemoteTimeout,
                        "channel " + name() + ": " +
                            std::to_string(params_.max_retries) +

@@ -32,6 +32,7 @@
 #include "common/rng.hh"
 #include "common/stats.hh"
 #include "common/status.hh"
+#include "common/trace.hh"
 #include "sim/component.hh"
 
 namespace lsdgnn {
@@ -102,11 +103,18 @@ class ReliableChannel : public sim::Component
     std::uint64_t transmissions() const { return transmissions_.value(); }
 
     /** Retransmitted packages (transmissions beyond the first). */
-    std::uint64_t
-    retransmissions() const
+    std::uint64_t retransmissions() const
     {
-        return transmissions() - firstTransmissions.value();
+        return retransmissions_.value();
     }
+
+    /**
+     * Attach the trace identity of the request currently driving this
+     * channel; ARQ annotations (timeouts, retransmit bursts, breaker
+     * trips) carry it so a Perfetto trace or flight-recorder dump
+     * names the victim request. Cleared implicitly by the next call.
+     */
+    void setTrace(const trace::TraceContext &ctx) { trace_ = ctx; }
 
     /** True when every submitted package has been acknowledged. */
     bool allAcked() const { return sendBase == nextSeq; }
@@ -133,11 +141,13 @@ class ReliableChannel : public sim::Component
     void breakChannel();
     void failPackage(std::uint64_t seq, const Status &status);
     Tick serialize(std::uint32_t bytes) const;
+    void annotate(const char *what, double a, double b);
 
     ReliableChannelParams params_;
     DeliverFn deliver;
     FailFn onFail;
     Rng rng_;
+    trace::TraceContext trace_;
 
     // Sender state.
     std::deque<Pending> sendQueue; ///< not yet transmitted
@@ -156,6 +166,7 @@ class ReliableChannel : public sim::Component
     stats::Counter delivered_;
     stats::Counter transmissions_;
     stats::Counter firstTransmissions;
+    stats::Counter retransmissions_;
     stats::Counter ackSent;
     stats::Counter dataLost;
     stats::Counter timeouts;

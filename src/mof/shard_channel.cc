@@ -2,6 +2,8 @@
 
 #include <string>
 
+#include "common/flight_recorder.hh"
+
 namespace lsdgnn {
 namespace mof {
 
@@ -85,6 +87,12 @@ ShardChannel::ShardChannel(sim::EventQueue &eq,
 }
 
 void
+ShardChannel::setTrace(const trace::TraceContext &ctx)
+{
+    trace_ = ctx;
+}
+
+void
 ShardChannel::beginRound()
 {
     lsd_assert(packer_.pendingRequests() == 0,
@@ -95,6 +103,51 @@ ShardChannel::beginRound()
     roundFailures_ = 0;
     reqPending_.clear();
     rspPending_.clear();
+
+    roundWallStart_ = trace::wallNow();
+    roundRetransBase_ = retransmissions();
+    roundPkgBase_ = packages();
+    roundCtx_ =
+        trace_.valid() ? trace_.child() : trace::TraceContext{};
+    req_.setTrace(roundCtx_);
+    rsp_.setTrace(roundCtx_);
+}
+
+void
+ShardChannel::endRound()
+{
+    const std::uint64_t retrans = retransmissions() - roundRetransBase_;
+    if (slots_.empty() && retrans == 0)
+        return; // idle round: nothing worth a slice
+    trace::FlightRecorder::instance().recordNow(
+        "mof.round", roundCtx_.trace_id, roundCtx_.span_id,
+        static_cast<double>(slots_.size()),
+        static_cast<double>(roundFailures_));
+    if (!trace::Tracer::enabled())
+        return;
+    auto &tracer = trace::Tracer::instance();
+    std::string args;
+    if (roundCtx_.valid())
+        args = roundCtx_.argsJson() + ",";
+    args += "\"staged\":" + std::to_string(slots_.size()) +
+            ",\"failed\":" + std::to_string(roundFailures_) +
+            ",\"packages\":" +
+            std::to_string(packages() - roundPkgBase_) +
+            ",\"retransmissions\":" + std::to_string(retrans) +
+            ",\"down\":" + (down_ ? "true" : "false");
+    const Tick now = trace::wallNow();
+    tracer.complete(trace::wall_pid,
+                    tracer.track(trace::wall_pid, name()), "round",
+                    roundWallStart_, now - roundWallStart_, args);
+}
+
+void
+ShardChannel::markDown()
+{
+    down_ = true;
+    trace::FlightRecorder::instance().recordNow(
+        "mof.markdown", roundCtx_.trace_id, roundCtx_.span_id,
+        static_cast<double>(peer_));
 }
 
 ShardChannel::Slot
@@ -192,6 +245,7 @@ ShardChannel::onDeadline(std::uint64_t gen)
 {
     if (gen != roundGen_ || down_)
         return;
+    std::uint64_t missed = 0;
     for (SlotState &slot : slots_) {
         if (slot.resolved || slot.failed)
             continue;
@@ -199,7 +253,13 @@ ShardChannel::onDeadline(std::uint64_t gen)
         degraded_.inc();
         deadlineMisses_.inc();
         ++roundFailures_;
+        ++missed;
     }
+    if (missed > 0)
+        trace::FlightRecorder::instance().recordNow(
+            "mof.deadline", roundCtx_.trace_id, roundCtx_.span_id,
+            static_cast<double>(missed),
+            static_cast<double>(slots_.size()));
 }
 
 void

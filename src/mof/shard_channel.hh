@@ -47,6 +47,7 @@
 
 #include "common/stats.hh"
 #include "common/status.hh"
+#include "common/trace.hh"
 #include "fabric/sim_link.hh"
 #include "mof/packer.hh"
 #include "mof/reliability.hh"
@@ -88,8 +89,25 @@ class ShardChannel : public sim::Component
     ShardChannel(sim::EventQueue &eq, ShardChannelParams params,
                  std::uint32_t self_shard, std::uint32_t peer_shard);
 
+    /**
+     * Attach the trace identity of the hop driving the next round(s).
+     * Call before beginRound(): each round derives a child span from
+     * this context, and the ARQ sub-channels annotate their timeouts
+     * and retransmissions with it.
+     */
+    void setTrace(const trace::TraceContext &ctx);
+
     /** Start a new round; previous slots become invalid. */
     void beginRound();
+
+    /**
+     * Close the current round for observability: emits one wall-clock
+     * "round" slice on the channel's trace track (staged/failed/
+     * retransmission counts, trace identity) plus a flight-recorder
+     * event. Call after draining the event queue; cheap no-op for an
+     * idle round.
+     */
+    void endRound();
 
     /**
      * Queue one read of @p bytes at @p address on the peer. Returns
@@ -123,7 +141,7 @@ class ShardChannel : public sim::Component
     bool down() const { return down_; }
 
     /** Administratively mark the peer down (fail-fast from now on). */
-    void markDown() { down_ = true; }
+    void markDown();
 
     std::uint32_t selfShard() const { return self_; }
     std::uint32_t peerShard() const { return peer_; }
@@ -190,6 +208,12 @@ class ShardChannel : public sim::Component
     std::uint64_t roundGen_ = 0;
     std::uint64_t roundFailures_ = 0;
     bool down_ = false;
+
+    trace::TraceContext trace_;    ///< hop context (setTrace)
+    trace::TraceContext roundCtx_; ///< per-round child span
+    Tick roundWallStart_ = 0;
+    std::uint64_t roundRetransBase_ = 0;
+    std::uint64_t roundPkgBase_ = 0;
 
     stats::Counter reads_;
     stats::Counter packages_;

@@ -15,14 +15,18 @@ Batcher::Batcher(BatcherConfig config) : config_(config)
 }
 
 bool
-Batcher::collect(RequestQueue &queue, std::vector<Request> &out) const
+Batcher::collect(RequestQueue &queue, std::vector<Request> &out,
+                 Clock::time_point *first_pop) const
 {
     out.clear();
     auto first = queue.pop();
     if (!first)
         return false;
+    const auto popped_at = Clock::now();
+    if (first_pop != nullptr)
+        *first_pop = popped_at;
     std::uint64_t roots = first->plan.batch_size;
-    const auto window_end = Clock::now() + config_.window;
+    const auto window_end = popped_at + config_.window;
     out.push_back(std::move(*first));
 
     while (out.size() < config_.max_requests && roots < config_.max_roots) {

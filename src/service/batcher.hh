@@ -72,8 +72,13 @@ class Batcher
      * Blocking: collect one micro-batch from @p queue into @p out
      * (cleared first). Returns false only when the queue is closed
      * and drained; otherwise at least one request is delivered.
+     *
+     * @param first_pop Optional out-param: when the first rider was
+     *        popped — the start of the batch-forming (aging) stage,
+     *        for per-stage latency attribution.
      */
-    bool collect(RequestQueue &queue, std::vector<Request> &out) const;
+    bool collect(RequestQueue &queue, std::vector<Request> &out,
+                 Clock::time_point *first_pop = nullptr) const;
 
     /** One plan covering every rider (batch_size = sum of riders). */
     static sampling::SamplePlan merge(const std::vector<Request> &batch);

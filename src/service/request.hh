@@ -24,6 +24,7 @@
 #include <future>
 
 #include "common/status.hh"
+#include "common/trace.hh"
 #include "common/units.hh"
 #include "sampling/minibatch.hh"
 
@@ -34,7 +35,7 @@ namespace service {
 using Clock = std::chrono::steady_clock;
 
 /** Trace "pid" the service layer's tracks live under. */
-inline constexpr std::uint32_t trace_pid = 90;
+inline constexpr std::uint32_t trace_pid = trace::wall_pid;
 
 /**
  * Deprecated name for the repo-wide status vocabulary. The historical
@@ -60,7 +61,18 @@ struct SubmitOptions {
     std::chrono::microseconds deadline{0};
     /** Root-placement policy. */
     Routing routing = Routing::Any;
-    /** Client-chosen id echoed in the Reply (0 = unset). */
+    /**
+     * Trace id echoed in the Reply and propagated through every stage
+     * the request crosses (queue, micro-batch, backend hop, fabric
+     * round).
+     *
+     * Id scheme: 0 (the default) asks the service to allocate a fresh
+     * id, so every request is traceable — the Reply carries the id
+     * actually used. Auto-generated ids come from a process-wide
+     * counter starting at 2^32 (trace::TraceContext::nextTraceId), so
+     * they can never collide with client-chosen ids, which should be
+     * small (< 2^32) nonzero values.
+     */
     std::uint64_t trace_id = 0;
 };
 
@@ -80,8 +92,19 @@ struct Reply {
     std::uint32_t worker = 0;
     /** Requests coalesced into the micro-batch this rode in. */
     std::uint32_t batched_with = 1;
-    /** Echo of SubmitOptions::trace_id. */
+    /**
+     * Trace id the request ran under: the client-chosen
+     * SubmitOptions::trace_id, or the service-allocated one when the
+     * client passed 0.
+     */
     std::uint64_t trace_id = 0;
+    /** Root span of this request within its trace (0 = shed early). */
+    std::uint64_t span_id = 0;
+    /**
+     * Span of the micro-batch execution that served this request; 0
+     * for shed requests. Riders of one batch share this value.
+     */
+    std::uint64_t batch_span_id = 0;
     double queue_us = 0.0; ///< admission-queue wait
     double exec_us = 0.0;  ///< backend execution (shared by the batch)
     double e2e_us = 0.0;   ///< submit -> completion
@@ -95,6 +118,8 @@ struct Request {
     sampling::SamplePlan plan;
     Routing routing = Routing::Any;
     std::uint64_t trace_id = 0;
+    /** Root span context (trace_id + root span), set by submit(). */
+    trace::TraceContext trace;
     /** Stamped by the queue on admission. */
     Clock::time_point enqueued_at{};
     /** Drop-dead time; time_point::max() means no deadline. */
@@ -138,8 +163,14 @@ batchCompatible(const Request &a, const Request &b)
  * Map a wall-clock instant onto the tracer's picosecond Tick axis,
  * relative to the first call in the process, so service spans land on
  * a sane time origin in Perfetto next to the simulated tracks.
+ * Forwards to trace::wallTick so every wall-clock emitter in the
+ * process (service, backend hops, fabric rounds) shares one epoch.
  */
-Tick wallTick(Clock::time_point tp);
+inline Tick
+wallTick(Clock::time_point tp)
+{
+    return trace::wallTick(tp);
+}
 
 } // namespace service
 } // namespace lsdgnn

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/flight_recorder.hh"
 #include "common/logging.hh"
 #include "common/trace.hh"
 
@@ -21,6 +22,15 @@ RequestQueue::RequestQueue(RequestQueueConfig config)
                      "requests failed by non-drain shutdown");
     group.addAverage("depth_at_admit", &depthAtAdmit,
                      "queue depth seen by each admitted request");
+    flightGauge_ = trace::FlightRecorder::instance().registerGauge(
+        "service.queue.depth", [this] {
+            return static_cast<double>(depth());
+        });
+}
+
+RequestQueue::~RequestQueue()
+{
+    trace::FlightRecorder::instance().unregisterGauge(flightGauge_);
 }
 
 void
@@ -33,6 +43,27 @@ RequestQueue::traceDepthLocked(Clock::time_point now)
 }
 
 void
+RequestQueue::countShedLocked(Clock::time_point now)
+{
+    if (config_.shed_spike_threshold == 0)
+        return;
+    if (now - shedWindowStart_ > config_.shed_spike_window) {
+        shedWindowStart_ = now;
+        shedWindowCount_ = 0;
+    }
+    if (++shedWindowCount_ == config_.shed_spike_threshold)
+        tripPending_.store(true, std::memory_order_relaxed);
+}
+
+void
+RequestQueue::maybeTrip()
+{
+    if (tripPending_.exchange(false, std::memory_order_relaxed))
+        trace::FlightRecorder::instance().trip(
+            "shed-spike:service.queue");
+}
+
+void
 RequestQueue::shedLocked(Request &&req, Status status,
                          Clock::time_point now)
 {
@@ -40,9 +71,28 @@ RequestQueue::shedLocked(Request &&req, Status status,
         dropped_.inc();
     else if (status == StatusCode::Cancelled)
         cancelled_.inc();
+    countShedLocked(now);
+    trace::FlightRecorder::instance().recordNow(
+        "queue.shed", req.trace.trace_id, req.trace.span_id,
+        static_cast<double>(static_cast<int>(status.code())));
+    // Shed requests never reach a worker, so their queue-wait slice is
+    // emitted here — the trace still shows where the request died.
+    if (trace::Tracer::enabled()) {
+        auto &tracer = trace::Tracer::instance();
+        const std::string args = req.trace.argsJson() +
+                                 ",\"status\":\"" +
+                                 std::string(toString(status.code())) +
+                                 "\"";
+        tracer.complete(trace_pid,
+                        tracer.track(trace_pid, "service.queue"),
+                        "queue.shed", wallTick(req.enqueued_at),
+                        wallTick(now) - wallTick(req.enqueued_at),
+                        args);
+    }
     Reply reply;
     reply.status = std::move(status);
     reply.trace_id = req.trace_id;
+    reply.span_id = req.trace.span_id;
     reply.queue_us = elapsedUs(req.enqueued_at, now);
     reply.e2e_us = reply.queue_us;
     req.promise.set_value(std::move(reply));
@@ -55,14 +105,20 @@ RequestQueue::push(Request &&req)
     std::unique_lock<std::mutex> lock(mutex_);
     if (closed_ || queue_.size() >= config_.capacity) {
         rejected_.inc();
+        countShedLocked(now);
         const bool was_closed = closed_;
         lock.unlock();
+        trace::FlightRecorder::instance().recordNow(
+            "queue.reject", req.trace.trace_id, req.trace.span_id,
+            was_closed ? 1.0 : 0.0);
         Reply reply;
         reply.status = Status(StatusCode::Rejected,
                               was_closed ? "service shutting down"
                                          : "admission queue full");
         reply.trace_id = req.trace_id;
+        reply.span_id = req.trace.span_id;
         req.promise.set_value(std::move(reply));
+        maybeTrip();
         return false;
     }
     req.enqueued_at = now;
@@ -94,6 +150,8 @@ RequestQueue::pop()
                 continue;
             }
             traceDepthLocked(now);
+            lock.unlock();
+            maybeTrip();
             return req;
         }
         if (closed_)
@@ -107,7 +165,7 @@ RequestQueue::popCompatible(const Request &proto,
                             std::uint64_t root_budget)
 {
     const auto now = Clock::now();
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::unique_lock<std::mutex> lock(mutex_);
     for (auto it = queue_.begin(); it != queue_.end();) {
         if (it->deadline <= now) {
             Request expired = std::move(*it);
@@ -123,10 +181,14 @@ RequestQueue::popCompatible(const Request &proto,
             Request req = std::move(*it);
             queue_.erase(it);
             traceDepthLocked(now);
+            lock.unlock();
+            maybeTrip();
             return req;
         }
         ++it;
     }
+    lock.unlock();
+    maybeTrip();
     return std::nullopt;
 }
 
@@ -166,6 +228,7 @@ RequestQueue::cancelPending()
         reply.status = Status(StatusCode::Cancelled,
                               "service shut down before execution");
         reply.trace_id = req.trace_id;
+        reply.span_id = req.trace.span_id;
         reply.queue_us = elapsedUs(req.enqueued_at, now);
         reply.e2e_us = reply.queue_us;
         cancelled_.inc();

@@ -22,6 +22,7 @@
 #ifndef LSDGNN_SERVICE_REQUEST_QUEUE_HH
 #define LSDGNN_SERVICE_REQUEST_QUEUE_HH
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -38,6 +39,14 @@ namespace service {
 struct RequestQueueConfig {
     /** Requests held before push() starts rejecting. */
     std::size_t capacity = 256;
+    /**
+     * Shed-rate spike trigger for the flight recorder: this many
+     * sheds (reject + drop) within one window trips an anomaly dump.
+     * 0 disables the trigger.
+     */
+    std::size_t shed_spike_threshold = 64;
+    /** Width of the shed-spike counting window. */
+    std::chrono::milliseconds shed_spike_window{100};
 };
 
 /**
@@ -51,6 +60,7 @@ class RequestQueue
 {
   public:
     explicit RequestQueue(RequestQueueConfig config);
+    ~RequestQueue();
 
     /**
      * Admit one request. On success the request is stamped and true
@@ -111,6 +121,14 @@ class RequestQueue
     void shedLocked(Request &&req, Status status,
                     Clock::time_point now);
     void traceDepthLocked(Clock::time_point now);
+    /** Count one shed toward the spike window (lock held). */
+    void countShedLocked(Clock::time_point now);
+    /**
+     * Fire a deferred shed-spike flight dump, if one is pending. Must
+     * be called WITHOUT mutex_ held: the dump samples the queue-depth
+     * gauge, which takes the lock.
+     */
+    void maybeTrip();
 
     RequestQueueConfig config_;
 
@@ -120,6 +138,11 @@ class RequestQueue
     bool closed_ = false;
     std::uint64_t arrivals_ = 0;
     std::uint64_t next_id = 1;
+
+    Clock::time_point shedWindowStart_{};
+    std::size_t shedWindowCount_ = 0;
+    std::atomic<bool> tripPending_{false};
+    std::uint64_t flightGauge_ = 0;
 
     stats::StatGroup group{"service.queue"};
     stats::Counter accepted_, rejected_, dropped_, cancelled_;

@@ -38,7 +38,14 @@ SamplingService::submit(const SampleRequest &request)
     Request req;
     req.plan = request.plan;
     req.routing = request.options.routing;
-    req.trace_id = request.options.trace_id;
+    // trace_id 0 = "allocate one for me": every request runs under a
+    // live trace identity, so replies, spans and flight-recorder
+    // events always name their request (see SubmitOptions::trace_id
+    // for the id scheme).
+    req.trace_id = request.options.trace_id != 0
+                       ? request.options.trace_id
+                       : trace::TraceContext::nextTraceId();
+    req.trace = trace::TraceContext::root(req.trace_id);
     const auto deadline = request.options.deadline.count() > 0
                               ? request.options.deadline
                               : config_.default_deadline;

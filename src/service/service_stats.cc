@@ -19,10 +19,21 @@ constexpr std::uint64_t trace_every = 32;
 
 } // namespace
 
+ServiceStats::Stage::Stage(const std::string &name)
+    : group("service.stage." + name),
+      us(0.0, lat_hi_us, lat_buckets)
+{
+    group.addHistogram("us", &us, name + "-stage latency (us)");
+}
+
 ServiceStats::ServiceStats()
     : queueWaitUs(0.0, lat_hi_us, lat_buckets),
       execUs(0.0, lat_hi_us, lat_buckets),
-      e2eUs(0.0, lat_hi_us, lat_buckets)
+      e2eUs(0.0, lat_hi_us, lat_buckets),
+      stageQueue_("queue"),
+      stageBatch_("batch"),
+      stageSample_("sample"),
+      stageRemote_("remote")
 {
     group_.addCounter("completed", &completed_,
                       "requests answered with a sample");
@@ -62,6 +73,17 @@ ServiceStats::recordCompletion(const Reply &reply)
     if (trace::Tracer::enabled() &&
         completed_.value() % trace_every == 0)
         traceLatencyLocked(Clock::now());
+}
+
+void
+ServiceStats::recordStages(double queue_us, double batch_us,
+                           double sample_us, double remote_us)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    stageQueue_.us.sample(queue_us);
+    stageBatch_.us.sample(batch_us);
+    stageSample_.us.sample(sample_us);
+    stageRemote_.us.sample(remote_us);
 }
 
 void

@@ -12,6 +12,19 @@
  *  - counters `completed`, `batches`,
  *  - averages `batch_requests`, `batch_roots`.
  *
+ * Per-stage SLO breakdown lives in sibling groups, one histogram
+ * ("us") each, so windowed exporters (stats::WindowedStats) can
+ * report rolling per-stage percentiles by group prefix:
+ *
+ *  - `service.stage.queue`  admission-queue wait
+ *  - `service.stage.batch`  micro-batch forming (aging window)
+ *  - `service.stage.sample` backend execution
+ *  - `service.stage.remote` remote-fabric wait inside execution
+ *
+ * All four are sampled once per completed request (riders of one
+ * batch each contribute the batch's shared stage times), keeping the
+ * stage view request-weighted like `e2e_us`.
+ *
  * When tracing is enabled, end-to-end latency percentiles are also
  * emitted periodically as Perfetto counter series
  * (`service.e2e_p50_us` / `_p95_us` / `_p99_us`) so overload shows up
@@ -41,6 +54,13 @@ class ServiceStats
     /** Record one executed micro-batch. */
     void recordBatch(std::size_t requests, std::uint64_t roots);
 
+    /**
+     * Record one completed request's per-stage latency split (all in
+     * microseconds; see the file comment for stage definitions).
+     */
+    void recordStages(double queue_us, double batch_us,
+                      double sample_us, double remote_us);
+
     /** Completed (Ok) requests so far. */
     std::uint64_t completed() const;
 
@@ -65,6 +85,13 @@ class ServiceStats
   private:
     void traceLatencyLocked(Clock::time_point now);
 
+    /** One per-stage breakdown group ("service.stage.<name>"). */
+    struct Stage {
+        explicit Stage(const std::string &name);
+        stats::StatGroup group;
+        stats::Histogram us;
+    };
+
     mutable std::mutex mutex_;
     stats::StatGroup group_{"service"};
     stats::Counter completed_;
@@ -74,6 +101,10 @@ class ServiceStats
     stats::Histogram queueWaitUs;
     stats::Histogram execUs;
     stats::Histogram e2eUs;
+    Stage stageQueue_;
+    Stage stageBatch_;
+    Stage stageSample_;
+    Stage stageRemote_;
 };
 
 } // namespace service

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <string>
 
+#include "common/flight_recorder.hh"
 #include "common/logging.hh"
 #include "common/trace.hh"
 
@@ -83,8 +84,15 @@ WorkerPool::run(std::uint32_t worker_id)
     std::vector<Request> batch;
     std::vector<std::uint32_t> root_counts;
     std::vector<sampling::SampleResult> parts;
-    while (batcher.collect(queue_, batch)) {
+    Clock::time_point first_pop{};
+    while (batcher.collect(queue_, batch, &first_pop)) {
         const auto exec_start = Clock::now();
+
+        // The micro-batch runs as one span: a child of the first
+        // rider's root span (the batch's primary identity). The other
+        // riders stay attached through flow events keyed on their own
+        // trace ids.
+        const trace::TraceContext batchCtx = batch.front().trace.child();
 
         const sampling::SamplePlan plan = Batcher::merge(batch);
         root_counts.clear();
@@ -93,6 +101,9 @@ WorkerPool::run(std::uint32_t worker_id)
 
         framework::SampleOptions opts;
         opts.local_roots = batch.front().routing == Routing::LocalRoots;
+        opts.trace = batchCtx;
+        framework::SampleTelemetry telem;
+        opts.telemetry = &telem;
         sampling::SampleResult merged = resultPool.acquire();
         const Status exec_status =
             session.sampleBatchInto(plan, merged, opts);
@@ -102,15 +113,42 @@ WorkerPool::run(std::uint32_t worker_id)
 
         const auto exec_end = Clock::now();
         const double exec_us = elapsedUs(exec_start, exec_end);
+        const double batch_us = elapsedUs(first_pop, exec_start);
+
+        trace::FlightRecorder::instance().recordNow(
+            "batch", batchCtx.trace_id, batchCtx.span_id,
+            static_cast<double>(batch.size()), exec_us);
 
         if (trace::Tracer::enabled()) {
-            const auto tid = trace::Tracer::instance().track(
-                trace_pid, track_name);
-            trace::Tracer::instance().complete(
+            auto &tracer = trace::Tracer::instance();
+            const auto tid = tracer.track(trace_pid, track_name);
+            const auto req_tid =
+                tracer.track(trace_pid, track_name + ".req");
+            // Per-rider request + queue-wait slices. Riders of one
+            // batch all end together, so the slices nest cleanly on
+            // the shared .req track; each rider's flow arrow starts
+            // in its request slice and lands in the batch slice.
+            for (const Request &req : batch) {
+                const Tick rs = wallTick(req.enqueued_at);
+                tracer.complete(trace_pid, req_tid, "req", rs,
+                                wallTick(exec_end) - rs,
+                                req.trace.argsJson());
+                tracer.complete(trace_pid, req_tid, "queue.wait", rs,
+                                wallTick(exec_start) - rs,
+                                req.trace.argsJson());
+                tracer.flowStart(trace_pid, req_tid, "req", rs,
+                                 req.trace.trace_id);
+                tracer.flowEnd(trace_pid, tid, "req",
+                               wallTick(exec_start),
+                               req.trace.trace_id);
+            }
+            tracer.complete(
                 trace_pid, tid, "batch", wallTick(exec_start),
                 wallTick(exec_end) - wallTick(exec_start),
-                "\"requests\":" + std::to_string(batch.size()) +
-                    ",\"roots\":" + std::to_string(plan.batch_size));
+                batchCtx.argsJson() + ",\"requests\":" +
+                    std::to_string(batch.size()) + ",\"roots\":" +
+                    std::to_string(plan.batch_size) + ",\"status\":\"" +
+                    std::string(toString(exec_status.code())) + "\"");
         }
 
         stats_.recordBatch(batch.size(), plan.batch_size);
@@ -121,6 +159,8 @@ WorkerPool::run(std::uint32_t worker_id)
             // slice may contain fallback-sampled frontier entries.
             reply.status = exec_status;
             reply.trace_id = batch[i].trace_id;
+            reply.span_id = batch[i].trace.span_id;
+            reply.batch_span_id = batchCtx.span_id;
             reply.batch = solo ? std::move(merged)
                                : std::move(parts[i]);
             reply.worker = worker_id;
@@ -131,6 +171,19 @@ WorkerPool::run(std::uint32_t worker_id)
             reply.exec_us = exec_us;
             reply.e2e_us = elapsedUs(batch[i].enqueued_at, exec_end);
             stats_.recordCompletion(reply);
+            stats_.recordStages(reply.queue_us, batch_us, exec_us,
+                                telem.remote_us);
+            // A request that finished past its drop-dead time is an
+            // SLO anomaly even though it was answered: record it and
+            // (rate-limited) snapshot the flight recorder.
+            if (batch[i].deadline != Clock::time_point::max() &&
+                exec_end > batch[i].deadline) {
+                trace::FlightRecorder::instance().recordNow(
+                    "deadline.miss", batch[i].trace.trace_id,
+                    batch[i].trace.span_id, reply.e2e_us);
+                trace::FlightRecorder::instance().trip(
+                    "deadline-miss:" + track_name);
+            }
             requests.inc();
             batch[i].promise.set_value(std::move(reply));
         }

@@ -1,0 +1,400 @@
+/**
+ * @file
+ * Observability-layer validation: TraceContext identity/parentage,
+ * trace-id allocation and end-to-end propagation through the service
+ * (root span -> merged micro-batch -> split replies, including the
+ * Degraded fallback path), deterministic flight-recorder anomaly
+ * dumps (ARQ breaker trip, shed-rate spike), and the WindowedStats
+ * snapshot-delta regression (two concurrent windows both see every
+ * sample exactly once — no reset-based double counting).
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <map>
+#include <set>
+#include <sstream>
+#include <thread>
+
+#include "common/flight_recorder.hh"
+#include "common/stat_registry.hh"
+#include "mof/shard_channel.hh"
+#include "service/service.hh"
+#include "sim/event_queue.hh"
+
+using namespace std::chrono_literals;
+
+namespace lsdgnn {
+namespace {
+
+// ---------------------------------------------------------------------
+// TraceContext
+// ---------------------------------------------------------------------
+
+TEST(TraceContext, RootAndChildParentage)
+{
+    const auto root = trace::TraceContext::root(77);
+    EXPECT_TRUE(root.valid());
+    EXPECT_EQ(root.trace_id, 77u);
+    EXPECT_NE(root.span_id, 0u);
+    EXPECT_EQ(root.parent_span_id, 0u);
+
+    const auto child = root.child();
+    EXPECT_EQ(child.trace_id, root.trace_id);
+    EXPECT_NE(child.span_id, root.span_id);
+    EXPECT_EQ(child.parent_span_id, root.span_id);
+
+    const auto grandchild = child.child();
+    EXPECT_EQ(grandchild.trace_id, root.trace_id);
+    EXPECT_EQ(grandchild.parent_span_id, child.span_id);
+}
+
+TEST(TraceContext, InvalidContextCarriesNoIdentity)
+{
+    const trace::TraceContext none;
+    EXPECT_FALSE(none.valid());
+}
+
+TEST(TraceContext, AutoTraceIdsAvoidClientRangeAndNeverRepeat)
+{
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 100; ++i) {
+        const auto id = trace::TraceContext::nextTraceId();
+        // Service-allocated ids live above 2^32 so they can never
+        // collide with small client-chosen ids.
+        EXPECT_GE(id, std::uint64_t(1) << 32);
+        EXPECT_TRUE(seen.insert(id).second);
+    }
+}
+
+TEST(TraceContext, ArgsJsonRendersAllThreeIds)
+{
+    const trace::TraceContext ctx{5, 6, 7};
+    const std::string json = ctx.argsJson();
+    EXPECT_NE(json.find("\"trace_id\":5"), std::string::npos);
+    EXPECT_NE(json.find("\"span_id\":6"), std::string::npos);
+    EXPECT_NE(json.find("\"parent_span_id\":7"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Service-level propagation
+// ---------------------------------------------------------------------
+
+service::ServiceConfig
+softwareConfig(std::uint32_t workers = 1)
+{
+    service::ServiceConfig cfg;
+    cfg.session.dataset = "ss";
+    cfg.session.scale_divisor = 40'000;
+    cfg.session.num_servers = 4;
+    cfg.session.seed = 7;
+    cfg.num_workers = workers;
+    cfg.batcher.window = 200us;
+    return cfg;
+}
+
+sampling::SamplePlan
+tinyPlan(std::uint32_t batch = 16)
+{
+    sampling::SamplePlan plan;
+    plan.batch_size = batch;
+    plan.fanouts = {5, 5};
+    return plan;
+}
+
+TEST(ServiceTracing, ClientChosenTraceIdIsEchoed)
+{
+    service::SamplingService svc(softwareConfig());
+    service::SampleRequest req{tinyPlan(), {}};
+    req.options.trace_id = 42;
+    const auto reply = svc.sample(req);
+    ASSERT_EQ(reply.status.code(), StatusCode::Ok);
+    EXPECT_EQ(reply.trace_id, 42u);
+    EXPECT_NE(reply.span_id, 0u);
+    EXPECT_NE(reply.batch_span_id, 0u);
+    // The batch span is a distinct child execution, never the
+    // request's own root span.
+    EXPECT_NE(reply.span_id, reply.batch_span_id);
+}
+
+TEST(ServiceTracing, ZeroTraceIdGetsServiceAllocatedId)
+{
+    service::SamplingService svc(softwareConfig());
+    const auto a = svc.sample(service::SampleRequest{tinyPlan(), {}});
+    const auto b = svc.sample(service::SampleRequest{tinyPlan(), {}});
+    ASSERT_EQ(a.status.code(), StatusCode::Ok);
+    ASSERT_EQ(b.status.code(), StatusCode::Ok);
+    EXPECT_GE(a.trace_id, std::uint64_t(1) << 32);
+    EXPECT_GE(b.trace_id, std::uint64_t(1) << 32);
+    EXPECT_NE(a.trace_id, b.trace_id);
+}
+
+TEST(ServiceTracing, RidersOfOneBatchShareTheBatchSpan)
+{
+    // One worker + a wide batching window forces concurrent
+    // compatible submissions into shared micro-batches.
+    auto cfg = softwareConfig(1);
+    cfg.batcher.window = 2000us;
+    service::SamplingService svc(cfg);
+
+    std::vector<std::future<service::Reply>> futures;
+    for (int i = 0; i < 16; ++i)
+        futures.push_back(
+            svc.submit(service::SampleRequest{tinyPlan(), {}}));
+    std::vector<service::Reply> replies;
+    for (auto &f : futures)
+        replies.push_back(f.get());
+
+    std::map<std::uint64_t, std::vector<const service::Reply *>>
+        by_batch;
+    std::set<std::uint64_t> span_ids;
+    for (const auto &r : replies) {
+        ASSERT_EQ(r.status.code(), StatusCode::Ok);
+        ASSERT_NE(r.trace_id, 0u);
+        ASSERT_NE(r.span_id, 0u);
+        ASSERT_NE(r.batch_span_id, 0u);
+        // Every request keeps its own root span.
+        EXPECT_TRUE(span_ids.insert(r.span_id).second);
+        by_batch[r.batch_span_id].push_back(&r);
+    }
+    // Each batch-span group is internally consistent: all riders
+    // report the same cohort size, equal to the group's size, and
+    // the same executing worker.
+    std::size_t batched_riders = 0;
+    for (const auto &[span, group] : by_batch) {
+        for (const auto *r : group) {
+            EXPECT_EQ(r->batched_with, group.size())
+                << "batch span " << span;
+            EXPECT_EQ(r->worker, group.front()->worker);
+        }
+        if (group.size() > 1)
+            batched_riders += group.size();
+    }
+    // With one worker and 16 concurrent clients at a 2 ms window, at
+    // least one micro-batch must have merged multiple requests.
+    EXPECT_GT(batched_riders, 0u);
+}
+
+TEST(ServiceTracing, DegradedFallbackKeepsTraceIdentity)
+{
+    // Shard 1 is administratively down: remote reads toward it fall
+    // back to degraded local resampling, but the reply must still
+    // carry the full trace identity.
+    service::ServiceConfig cfg = softwareConfig(1);
+    cfg.session.backend = framework::Backend::Distributed;
+    cfg.session.distributed.num_shards = 4;
+    cfg.session.distributed.down_shards = {1};
+    service::SamplingService svc(cfg);
+
+    service::SampleRequest req{tinyPlan(64), {}};
+    req.options.trace_id = 9001;
+    const auto reply = svc.sample(req);
+    ASSERT_EQ(reply.status.code(), StatusCode::Degraded);
+    EXPECT_TRUE(reply.hasBatch());
+    EXPECT_EQ(reply.trace_id, 9001u);
+    EXPECT_NE(reply.span_id, 0u);
+    EXPECT_NE(reply.batch_span_id, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Flight recorder
+// ---------------------------------------------------------------------
+
+TEST(FlightRecorder, RecordAndUnconditionalDump)
+{
+    auto &fr = trace::FlightRecorder::instance();
+    fr.recordNow("test.event", 123, 456, 1.5, 2.5);
+    const std::string json = fr.dumpJson("unit-test");
+    EXPECT_NE(json.find("\"reason\":\"unit-test\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"test.event\""), std::string::npos);
+    EXPECT_NE(json.find("\"trace_id\":123"), std::string::npos);
+    EXPECT_NE(json.find("\"threads\""), std::string::npos);
+    EXPECT_NE(json.find("\"stats_delta\""), std::string::npos);
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_EQ(json.back(), '}');
+}
+
+TEST(FlightRecorder, TripIsRateLimited)
+{
+    auto &fr = trace::FlightRecorder::instance();
+    fr.setMinTripInterval(10'000ms);
+    EXPECT_TRUE(fr.trip("first"));
+    EXPECT_FALSE(fr.trip("storm")); // inside the interval
+    fr.setMinTripInterval(0ms);
+    EXPECT_TRUE(fr.trip("after-cooldown"));
+    EXPECT_NE(fr.lastDumpJson().find("after-cooldown"),
+              std::string::npos);
+}
+
+TEST(FlightRecorder, GaugesAppearInDumps)
+{
+    auto &fr = trace::FlightRecorder::instance();
+    const auto handle =
+        fr.registerGauge("test.gauge", [] { return 42.0; });
+    const std::string json = fr.dumpJson("gauge-test");
+    fr.unregisterGauge(handle);
+    EXPECT_NE(json.find("\"test.gauge\":42"), std::string::npos);
+    // Unregistered gauges disappear from subsequent dumps.
+    EXPECT_EQ(fr.dumpJson("gauge-gone").find("test.gauge"),
+              std::string::npos);
+}
+
+TEST(FlightRecorder, ArqBreakerTripProducesADump)
+{
+    auto &fr = trace::FlightRecorder::instance();
+    fr.setMinTripInterval(0ms);
+    const auto trips_before = fr.trips();
+
+    // Deterministic breaker trip: the cable is cut, retries bounded.
+    sim::EventQueue eq;
+    mof::ShardChannelParams p;
+    p.wire.loss_probability = 1.0;
+    p.wire.max_retries = 2;
+    p.request_timeout = microseconds(50'000);
+    mof::ShardChannel ch(eq, p, 0, 3);
+    ch.setTrace(trace::TraceContext::root(555));
+    ch.beginRound();
+    for (std::uint32_t i = 0; i < 8; ++i)
+        ch.stage(std::uint64_t(i) * 64, 64);
+    ch.flush();
+    eq.run();
+    ch.endRound();
+    ASSERT_TRUE(ch.down());
+
+    EXPECT_GT(fr.trips(), trips_before);
+    const std::string json = fr.lastDumpJson();
+    EXPECT_NE(json.find("breaker"), std::string::npos);
+    // The dump names the in-flight trace: the ARQ annotations carry
+    // the round span of trace 555.
+    EXPECT_NE(json.find("\"trace_id\":555"), std::string::npos);
+    EXPECT_NE(json.find("arq."), std::string::npos);
+}
+
+TEST(FlightRecorder, ShedSpikeTripsThroughTheServiceQueue)
+{
+    auto &fr = trace::FlightRecorder::instance();
+    fr.setMinTripInterval(0ms);
+    const auto trips_before = fr.trips();
+
+    // Overfill a tiny queue with deadline-free requests while no
+    // worker can drain it fast enough: pushes past capacity shed as
+    // Rejected and cross the spike threshold deterministically.
+    auto cfg = softwareConfig(1);
+    cfg.queue_capacity = 2;
+    service::SamplingService svc(cfg);
+    std::vector<std::future<service::Reply>> futures;
+    for (int i = 0; i < 256; ++i)
+        futures.push_back(
+            svc.submit(service::SampleRequest{tinyPlan(64), {}}));
+    std::size_t rejected = 0;
+    for (auto &f : futures)
+        rejected +=
+            f.get().status.code() == StatusCode::Rejected ? 1 : 0;
+    svc.shutdown();
+
+    // The default spike threshold is 64 sheds per 100 ms window; 256
+    // near-instant submissions against capacity 2 guarantee it.
+    ASSERT_GE(rejected, 64u);
+    EXPECT_GT(fr.trips(), trips_before);
+    EXPECT_NE(fr.lastDumpJson().find("shed-spike"),
+              std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// WindowedStats snapshot-delta semantics
+// ---------------------------------------------------------------------
+
+TEST(WindowedStats, TwoConcurrentWindowsEachSeeEverySampleOnce)
+{
+    stats::StatGroup group("wintest.group");
+    stats::Counter events;
+    stats::Histogram lat(0.0, 1000.0, 100);
+    group.addCounter("events", &events, "test counter");
+    group.addHistogram("lat", &lat, "test histogram");
+
+    stats::WindowedStats a({"wintest"});
+    stats::WindowedStats b({"wintest"});
+
+    for (int i = 0; i < 100; ++i) {
+        events.inc();
+        lat.sample(10.0 * (i % 10));
+    }
+    const auto ra = a.collect();
+    const auto rb = b.collect();
+    // Reset-based windowing would hand the 100 samples to whichever
+    // exporter collected first and zero to the other. Snapshot deltas
+    // give both the full window.
+    EXPECT_EQ(ra.counterDelta("wintest.group", "events"), 100u);
+    EXPECT_EQ(rb.counterDelta("wintest.group", "events"), 100u);
+    const auto *ha = ra.findHistogram("wintest.group", "lat");
+    const auto *hb = rb.findHistogram("wintest.group", "lat");
+    ASSERT_NE(ha, nullptr);
+    ASSERT_NE(hb, nullptr);
+    EXPECT_EQ(ha->n, 100u);
+    EXPECT_EQ(hb->n, 100u);
+
+    // Second window: only the new samples, for both exporters.
+    for (int i = 0; i < 40; ++i) {
+        events.inc();
+        lat.sample(500.0);
+    }
+    EXPECT_EQ(a.collect().counterDelta("wintest.group", "events"),
+              40u);
+    EXPECT_EQ(b.collect().counterDelta("wintest.group", "events"),
+              40u);
+
+    // Idle window: zero deltas, never negative wraparound.
+    const auto idle = a.collect();
+    EXPECT_EQ(idle.counterDelta("wintest.group", "events"), 0u);
+    const auto *hidle = idle.findHistogram("wintest.group", "lat");
+    ASSERT_NE(hidle, nullptr);
+    EXPECT_EQ(hidle->n, 0u);
+}
+
+TEST(WindowedStats, SameNamedGroupsAreSummed)
+{
+    stats::Counter c1, c2;
+    stats::StatGroup g1("winsum.worker");
+    stats::StatGroup g2("winsum.worker");
+    g1.addCounter("n", &c1, "test");
+    g2.addCounter("n", &c2, "test");
+
+    stats::WindowedStats w({"winsum"});
+    c1.inc(3);
+    c2.inc(4);
+    EXPECT_EQ(w.collect().counterDelta("winsum.worker", "n"), 7u);
+}
+
+TEST(WindowedStats, WindowPercentilesTrackTheWindowNotTheLifetime)
+{
+    stats::StatGroup group("winp.group");
+    stats::Histogram lat(0.0, 1000.0, 1000);
+    group.addHistogram("lat", &lat, "test histogram");
+
+    stats::WindowedStats w({"winp"});
+    for (int i = 0; i < 100; ++i)
+        lat.sample(10.0);
+    (void)w.collect(); // drain the fast-phase window
+
+    for (int i = 0; i < 100; ++i)
+        lat.sample(900.0);
+    const auto slow = w.collect();
+    const auto *h = slow.findHistogram("winp.group", "lat");
+    ASSERT_NE(h, nullptr);
+    ASSERT_EQ(h->n, 100u);
+    // Lifetime p50 would sit at ~10; the window's p50 must be ~900.
+    EXPECT_GT(h->percentile(0.5), 800.0);
+
+    const auto json = [&] {
+        std::ostringstream os;
+        slow.exportJson(os);
+        return os.str();
+    }();
+    EXPECT_NE(json.find("\"winp.group.lat\""), std::string::npos);
+    EXPECT_NE(json.find("\"p99\""), std::string::npos);
+}
+
+} // namespace
+} // namespace lsdgnn
