@@ -12,9 +12,17 @@
  * per hop instead of being issued one RPC at a time, and a lossy
  * fabric costs retransmissions — not correctness.
  *
- * Run: ./bench_distributed [--shards N] [--json]
- *   --shards N  restrict the sweep to one shard count
- *   --json      append the machine-readable summary line
+ * Each (shards, loss) point runs twice — hot-vertex cache tier off
+ * and on — so the JSON captures the cache's remote-fraction and
+ * goodput delta next to the uncached baseline.
+ *
+ * Run: ./bench_distributed [--shards N] [--cache-mb M] [--json]
+ *   --shards N    restrict the sweep to one shard count
+ *   --cache-mb M  per-shard hot-vertex cache budget for the cache-on
+ *                 rows (MiB, default 64)
+ *   --smoke       single short cache-on run; exit nonzero unless the
+ *                 tier served hits (CI wiring check)
+ *   --json        append the machine-readable summary line
  */
 
 #include <chrono>
@@ -37,6 +45,7 @@ namespace {
 struct FabricSnapshot {
     std::uint64_t local = 0;    ///< reads answered by the home shard
     std::uint64_t remote = 0;   ///< reads staged onto ShardChannels
+    std::uint64_t cached = 0;   ///< reads answered by the cache tier
     std::uint64_t degraded = 0; ///< reads that fell back locally
     std::uint64_t packages = 0; ///< MoF request packages emitted
     std::uint64_t retrans = 0;  ///< ARQ retransmissions, both ways
@@ -44,6 +53,10 @@ struct FabricSnapshot {
     std::uint64_t pack_n = 0;   ///< packages contributing to the sum
     /** degraded reads per shard backend, indexed by shard id. */
     std::vector<std::uint64_t> shard_degraded;
+    /** cache.shard<k> hits / lookups / resident bytes, by shard id. */
+    std::vector<std::uint64_t> shard_cache_hits;
+    std::vector<std::uint64_t> shard_cache_lookups;
+    std::vector<std::uint64_t> shard_cache_bytes;
 
     std::string
     shardDegradedJson() const
@@ -54,10 +67,61 @@ struct FabricSnapshot {
         return out + "]";
     }
 
+    std::string
+    cacheHitRateJson() const
+    {
+        std::string out = "[";
+        for (std::size_t k = 0; k < shard_cache_hits.size(); ++k) {
+            const std::uint64_t n = shard_cache_lookups[k];
+            out += (k ? "," : "") +
+                   std::to_string(
+                       n == 0 ? 0.0
+                              : static_cast<double>(
+                                    shard_cache_hits[k]) /
+                                    static_cast<double>(n));
+        }
+        return out + "]";
+    }
+
+    std::string
+    cacheBytesJson() const
+    {
+        std::string out = "[";
+        for (std::size_t k = 0; k < shard_cache_bytes.size(); ++k)
+            out +=
+                (k ? "," : "") + std::to_string(shard_cache_bytes[k]);
+        return out + "]";
+    }
+
+    std::uint64_t
+    cacheHits() const
+    {
+        std::uint64_t n = 0;
+        for (const std::uint64_t h : shard_cache_hits)
+            n += h;
+        return n;
+    }
+
+    double
+    cacheHitRate() const
+    {
+        std::uint64_t lookups = 0;
+        for (const std::uint64_t n : shard_cache_lookups)
+            lookups += n;
+        return lookups == 0 ? 0.0
+                            : static_cast<double>(cacheHits()) /
+                                  static_cast<double>(lookups);
+    }
+
+    /**
+     * Fraction of reads that crossed the fabric. Cache hits sit in
+     * the denominator: they are reads the tier kept off the wire.
+     */
     double
     remoteFraction() const
     {
-        const double total = static_cast<double>(local + remote);
+        const double total =
+            static_cast<double>(local + remote + cached);
         return total == 0.0 ? 0.0
                             : static_cast<double>(remote) / total;
     }
@@ -84,12 +148,31 @@ collectFabric()
     lsdgnn::stats::StatRegistry::instance().forEach(
         [&](const StatGroup &g) {
             const std::string &n = g.name();
+            if (n.starts_with("cache.shard")) {
+                const auto k = static_cast<std::size_t>(
+                    std::atoi(n.c_str() + sizeof("cache.shard") - 1));
+                if (snap.shard_cache_hits.size() <= k) {
+                    snap.shard_cache_hits.resize(k + 1, 0);
+                    snap.shard_cache_lookups.resize(k + 1, 0);
+                    snap.shard_cache_bytes.resize(k + 1, 0);
+                }
+                snap.shard_cache_hits[k] +=
+                    g.counter("hits").value();
+                snap.shard_cache_lookups[k] +=
+                    g.counter("lookups").value();
+                snap.shard_cache_bytes[k] +=
+                    g.counter("bytes_admitted").value() -
+                    g.counter("bytes_evicted").value();
+                return;
+            }
             if (!n.starts_with("mof.remote.shard"))
                 return;
             if (n.find(".to") == std::string::npos) {
                 // Backend group: mof.remote.shard<k>
                 snap.local += g.counter("local").value();
                 snap.remote += g.counter("remote").value();
+                snap.cached += g.counter("cached").value() +
+                               g.counter("attr_cached").value();
                 const std::uint64_t deg =
                     g.counter("degraded").value();
                 snap.degraded += deg;
@@ -114,7 +197,7 @@ collectFabric()
 }
 
 lsdgnn::service::ServiceConfig
-shardedConfig(std::uint32_t shards, double loss)
+shardedConfig(std::uint32_t shards, double loss, double cache_mb)
 {
     lsdgnn::service::ServiceConfig cfg;
     cfg.session.dataset = "ss";
@@ -124,9 +207,44 @@ shardedConfig(std::uint32_t shards, double loss)
     cfg.session.backend = lsdgnn::framework::Backend::Distributed;
     cfg.session.distributed.num_shards = shards;
     cfg.session.distributed.loss_probability = loss;
+    cfg.session.distributed.cache_mb = cache_mb;
     cfg.num_workers = shards; // one worker per shard
     cfg.batcher.window = 200us;
     return cfg;
+}
+
+/**
+ * CI wiring check: one short cache-on run; succeeds only when the
+ * hot-vertex tier actually answered reads (nonzero hit rate).
+ */
+int
+runSmoke(std::uint32_t shards, double cache_mb)
+{
+    using namespace lsdgnn;
+    sampling::SamplePlan plan;
+    plan.batch_size = 64;
+    plan.fanouts = {10, 10};
+
+    service::SamplingService svc(
+        shardedConfig(shards, 0.0, cache_mb));
+    service::LoadGenerator gen(svc);
+    const auto r = gen.runClosedLoop(plan, 2 * shards, 100ms);
+    const auto fabric = collectFabric();
+    svc.shutdown();
+
+    std::cout << "smoke: shards=" << shards
+              << " cache_mb=" << cache_mb
+              << " goodput_qps=" << r.goodput_qps
+              << " cache_hits=" << fabric.cacheHits()
+              << " cache_hit_rate=" << fabric.cacheHitRate()
+              << " remote_fraction=" << fabric.remoteFraction()
+              << "\n";
+    if (fabric.cacheHits() == 0) {
+        std::cout << "smoke FAILED: cache tier served zero hits\n";
+        return 1;
+    }
+    std::cout << "smoke OK\n";
+    return 0;
 }
 
 } // namespace
@@ -137,9 +255,19 @@ main(int argc, char **argv)
     using namespace lsdgnn;
     const bool json = bench::jsonRequested(argc, argv);
     std::vector<std::uint32_t> shard_counts = {1, 2, 4};
-    for (int i = 1; i + 1 < argc; ++i)
-        if (std::string_view(argv[i]) == "--shards")
+    double cache_mb = 64.0;
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string_view arg(argv[i]);
+        if (arg == "--shards" && i + 1 < argc)
             shard_counts = {std::uint32_t(std::atoi(argv[i + 1]))};
+        else if (arg == "--cache-mb" && i + 1 < argc)
+            cache_mb = std::atof(argv[i + 1]);
+        else if (arg == "--smoke")
+            smoke = true;
+    }
+    if (smoke)
+        return runSmoke(shard_counts.back(), cache_mb);
 
     bench::banner("Distributed sharded sampling — goodput vs shards "
                   "and wire loss",
@@ -158,7 +286,7 @@ main(int argc, char **argv)
     // baseline shape: 4 workers, no fabric in the path).
     double reference_qps = 0.0;
     {
-        auto cfg = shardedConfig(4, 0.0);
+        auto cfg = shardedConfig(4, 0.0, 0.0);
         cfg.session.backend = framework::Backend::Software;
         cfg.num_workers = 4;
         service::SamplingService svc(cfg);
@@ -174,60 +302,79 @@ main(int argc, char **argv)
     std::cout << "\nclosed loop (workers = shards, clients = 2x "
                  "shards, 250 ms runs):\n";
     TextTable table;
-    table.header({"shards", "loss %", "goodput QPS", "vs ref",
-                  "remote %", "pack fill", "degraded", "p50 us",
-                  "p99 us"});
+    table.header({"shards", "loss %", "cache MB", "goodput QPS",
+                  "vs ref", "remote %", "hit %", "pack fill",
+                  "degraded", "p50 us", "p99 us"});
     std::ostringstream rows_json;
     for (const std::uint32_t shards : shard_counts) {
         for (const double loss : {0.0, 0.05}) {
-            service::SamplingService svc(shardedConfig(shards, loss));
-            service::LoadGenerator gen(svc);
-            const auto r =
-                gen.runClosedLoop(plan, 2 * shards, 250ms);
-            const auto fabric = collectFabric();
-            svc.shutdown();
-            max_threads = std::max(max_threads, 3 * shards);
+            for (const double mb : {0.0, cache_mb}) {
+                if (mb != 0.0 && shards == 1)
+                    continue; // nothing remote to replicate
+                service::SamplingService svc(
+                    shardedConfig(shards, loss, mb));
+                service::LoadGenerator gen(svc);
+                const auto r =
+                    gen.runClosedLoop(plan, 2 * shards, 250ms);
+                const auto fabric = collectFabric();
+                svc.shutdown();
+                max_threads = std::max(max_threads, 3 * shards);
 
-            table.row({TextTable::num(std::uint64_t(shards)),
-                       TextTable::num(loss * 100, 0),
-                       bench::human(r.goodput_qps),
-                       TextTable::num(
-                           reference_qps
-                               ? r.goodput_qps / reference_qps
-                               : 0.0,
-                           2) + "x",
-                       TextTable::num(fabric.remoteFraction() * 100,
-                                      1),
-                       TextTable::num(fabric.packOccupancy(), 1),
-                       TextTable::num(r.degraded),
-                       TextTable::num(r.p50_us, 1),
-                       TextTable::num(r.p99_us, 1)});
-            rows_json << (rows_json.tellp() > 0 ? "," : "")
-                      << "{\"shards\":" << shards
-                      << ",\"loss\":" << loss
-                      << ",\"goodput_qps\":" << r.goodput_qps
-                      << ",\"vs_reference\":"
-                      << (reference_qps
-                              ? r.goodput_qps / reference_qps
-                              : 0.0)
-                      << ",\"remote_fraction\":"
-                      << fabric.remoteFraction()
-                      << ",\"pack_occupancy\":"
-                      << fabric.packOccupancy()
-                      << ",\"packages\":" << fabric.packages
-                      << ",\"retransmissions\":" << fabric.retrans
-                      << ",\"degraded_replies\":" << r.degraded
-                      << ",\"degraded_reads\":" << fabric.degraded
-                      << ",\"per_shard_degraded\":"
-                      << fabric.shardDegradedJson()
-                      << ",\"p50_us\":" << r.p50_us
-                      << ",\"p95_us\":" << r.p95_us
-                      << ",\"p99_us\":" << r.p99_us << "}";
+                table.row(
+                    {TextTable::num(std::uint64_t(shards)),
+                     TextTable::num(loss * 100, 0),
+                     TextTable::num(mb, 0),
+                     bench::human(r.goodput_qps),
+                     TextTable::num(
+                         reference_qps
+                             ? r.goodput_qps / reference_qps
+                             : 0.0,
+                         2) + "x",
+                     TextTable::num(fabric.remoteFraction() * 100,
+                                    1),
+                     TextTable::num(fabric.cacheHitRate() * 100, 1),
+                     TextTable::num(fabric.packOccupancy(), 1),
+                     TextTable::num(r.degraded),
+                     TextTable::num(r.p50_us, 1),
+                     TextTable::num(r.p99_us, 1)});
+                rows_json << (rows_json.tellp() > 0 ? "," : "")
+                          << "{\"shards\":" << shards
+                          << ",\"loss\":" << loss
+                          << ",\"cache_mb\":" << mb
+                          << ",\"goodput_qps\":" << r.goodput_qps
+                          << ",\"vs_reference\":"
+                          << (reference_qps
+                                  ? r.goodput_qps / reference_qps
+                                  : 0.0)
+                          << ",\"remote_fraction\":"
+                          << fabric.remoteFraction()
+                          << ",\"cache_hit_rate\":"
+                          << fabric.cacheHitRate()
+                          << ",\"per_shard_cache_hit_rate\":"
+                          << fabric.cacheHitRateJson()
+                          << ",\"cache_bytes\":"
+                          << fabric.cacheBytesJson()
+                          << ",\"pack_occupancy\":"
+                          << fabric.packOccupancy()
+                          << ",\"packages\":" << fabric.packages
+                          << ",\"retransmissions\":"
+                          << fabric.retrans
+                          << ",\"degraded_replies\":" << r.degraded
+                          << ",\"degraded_reads\":"
+                          << fabric.degraded
+                          << ",\"per_shard_degraded\":"
+                          << fabric.shardDegradedJson()
+                          << ",\"p50_us\":" << r.p50_us
+                          << ",\"p95_us\":" << r.p95_us
+                          << ",\"p99_us\":" << r.p99_us << "}";
+            }
         }
     }
     table.print(std::cout);
     std::cout << "\n(remote % is the read fraction crossing the "
-                 "fabric — ~(S-1)/S for S hash shards; pack fill is "
+                 "fabric — ~(S-1)/S for S hash shards, pulled down "
+                 "by the hot-vertex cache when cache MB > 0; hit % "
+                 "is the tier's lookup hit rate; pack fill is "
                  "requests per MoF package, 64 max; degraded stays 0 "
                  "because ARQ recovers every loss)\n";
 

@@ -1,6 +1,5 @@
 #include "hot_cache.hh"
 
-#include <algorithm>
 #include <cmath>
 
 #include "common/logging.hh"
@@ -8,48 +7,35 @@
 namespace lsdgnn {
 namespace baseline {
 
-HotNodeCache::HotNodeCache(std::size_t capacity) : cap(capacity)
+cache::HotVertexCacheParams
+HotNodeCache::paramsFor(std::size_t capacity)
 {
     lsd_assert(capacity > 0, "cache needs capacity");
+    cache::HotVertexCacheParams p;
+    // Payload-free entries: each costs exactly the fixed overhead, so
+    // the byte budget bounds the entry count precisely.
+    p.capacity_bytes =
+        capacity * cache::HotVertexCache::entry_overhead_bytes;
+    p.attr_bytes = 0;
+    p.entries_hint = capacity;
+    p.stat_name = "cache.hot";
+    return p;
 }
 
-bool
-HotNodeCache::contains(graph::NodeId node) const
+HotNodeCache::HotNodeCache(std::size_t capacity)
+    : tier_(paramsFor(capacity))
 {
-    return resident.count(node) > 0;
 }
 
 bool
 HotNodeCache::access(graph::NodeId node)
 {
-    auto it = resident.find(node);
-    if (it != resident.end()) {
-        ++it->second;
-        hits_.inc();
+    if (tier_.lookupAdjacency(node) != nullptr)
         return true;
-    }
-    misses_.inc();
-
-    if (resident.size() < cap) {
-        resident.emplace(node, 1);
-        return false;
-    }
-
-    // Lazy LFU admission: track the challenger's frequency and only
-    // displace the coldest resident once the challenger is hotter.
-    const std::uint64_t freq = ++shadow[node];
-    auto coldest = std::min_element(resident.begin(), resident.end(),
-        [](const auto &a, const auto &b) {
-            return a.second < b.second;
-        });
-    if (freq > coldest->second) {
-        shadow.erase(node);
-        resident.erase(coldest);
-        resident.emplace(node, freq);
-    }
-    // Bound the shadow sketch so it cannot grow without limit.
-    if (shadow.size() > 8 * cap)
-        shadow.clear();
+    // Miss: offer the node for admission. The tier's TinyLFU gate
+    // admits it only when its sketch frequency beats the coldest
+    // resident's, reproducing lazy LFU challenger semantics.
+    tier_.admitAdjacency(node, {});
     return false;
 }
 

@@ -7,32 +7,38 @@
  * local replicas of the hottest vertices so their structure and
  * attributes never cross the network. On a popularity-skewed graph a
  * small cache absorbs a disproportionate share of accesses; this
- * class implements an LFU cache over node IDs plus the closed-form
- * hit probability the skewed endpoint distribution implies, so the
- * ablation can compare measured vs analytical hit rates and quantify
- * the remote-traffic reduction.
+ * class exposes that behaviour at node-ID granularity plus the
+ * closed-form hit probability the skewed endpoint distribution
+ * implies, so the ablation can compare measured vs analytical hit
+ * rates and quantify the remote-traffic reduction.
+ *
+ * Since the hot-vertex cache tier landed (src/cache), this is a thin
+ * entry-count-bounded facade over cache::HotVertexCache rather than a
+ * second hand-rolled LFU: admission/eviction policy (TinyLFU sketch +
+ * segmented LRU) lives in exactly one place, and the ablation
+ * exercises the same tier the distributed backend deploys.
  */
 
 #ifndef LSDGNN_BASELINE_HOT_CACHE_HH
 #define LSDGNN_BASELINE_HOT_CACHE_HH
 
 #include <cstdint>
-#include <unordered_map>
-#include <vector>
 
-#include "common/stats.hh"
+#include "cache/hot_vertex_cache.hh"
 #include "graph/csr_graph.hh"
 
 namespace lsdgnn {
 namespace baseline {
 
 /**
- * Frequency-based node cache with periodic admission.
+ * Frequency-admitted node cache with a fixed entry capacity.
  *
- * Classic LFU with a fixed capacity: every access bumps a frequency
- * counter; when the cache is full, a new node is admitted only when
- * its running frequency exceeds the coldest resident's (lazy
- * replacement, as a production cache would approximate).
+ * Payload-free view of the shared tier: every node is replicated as
+ * an empty adjacency slice, so one entry costs exactly the tier's
+ * fixed overhead and a capacity of N entries maps to a byte budget of
+ * N * entry_overhead_bytes. Every access bumps the admission sketch;
+ * when the cache is full, a new node displaces the coldest resident
+ * only once its recent frequency is strictly higher (TinyLFU).
  */
 class HotNodeCache
 {
@@ -46,28 +52,24 @@ class HotNodeCache
      */
     bool access(graph::NodeId node);
 
-    std::size_t size() const { return resident.size(); }
-    std::uint64_t hits() const { return hits_.value(); }
-    std::uint64_t misses() const { return misses_.value(); }
+    std::size_t size() const { return tier_.entries(); }
+    std::uint64_t hits() const { return tier_.hits(); }
+    std::uint64_t misses() const { return tier_.misses(); }
 
-    double
-    hitRate() const
+    double hitRate() const { return tier_.hitRate(); }
+
+    bool contains(graph::NodeId node) const
     {
-        const auto total = hits() + misses();
-        return total == 0 ? 0.0
-            : static_cast<double>(hits()) / static_cast<double>(total);
+        return tier_.contains(node);
     }
 
-    bool contains(graph::NodeId node) const;
+    /** The shared tier behind the facade (stats, epoch control). */
+    cache::HotVertexCache &tier() { return tier_; }
 
   private:
-    std::size_t cap;
-    /** node -> access frequency, for residents. */
-    std::unordered_map<graph::NodeId, std::uint64_t> resident;
-    /** recent frequency of non-residents (bounded sketch). */
-    std::unordered_map<graph::NodeId, std::uint64_t> shadow;
-    stats::Counter hits_;
-    stats::Counter misses_;
+    static cache::HotVertexCacheParams paramsFor(std::size_t capacity);
+
+    cache::HotVertexCache tier_;
 };
 
 /**

@@ -1,0 +1,120 @@
+#include "frequency_sketch.hh"
+
+#include "common/logging.hh"
+
+namespace lsdgnn {
+namespace cache {
+
+namespace {
+
+/** Distinct odd multipliers for the depth-4 hash family. */
+constexpr std::uint64_t hash_seeds[4] = {
+    0x9E3779B97F4A7C15ull,
+    0xC2B2AE3D27D4EB4Full,
+    0x165667B19E3779F9ull,
+    0xD6E8FEB86659FD93ull,
+};
+
+/** SplitMix64 finalizer: spreads low-entropy node IDs. */
+std::uint64_t
+mix(std::uint64_t x)
+{
+    x ^= x >> 33;
+    x *= 0xFF51AFD7ED558CCDull;
+    x ^= x >> 33;
+    return x;
+}
+
+} // namespace
+
+FrequencySketch::FrequencySketch(std::size_t counters,
+                                 std::uint64_t sample_size)
+{
+    std::size_t words = 4; // 64 counters minimum
+    while (words * slots_per_word < counters)
+        words <<= 1;
+    table_.assign(words, 0);
+    mask_ = words - 1;
+    // Aging window: roughly two increments per counter between
+    // halvings (each record touches 4 counters), so hot keys saturate
+    // while the table as a whole never does.
+    sampleSize_ = sample_size != 0
+                      ? sample_size
+                      : static_cast<std::uint64_t>(words) *
+                            slots_per_word / 2;
+    lsd_assert(sampleSize_ > 0, "sketch sample size must be > 0");
+}
+
+std::size_t
+FrequencySketch::slot(std::uint64_t key, std::size_t i) const
+{
+    const std::uint64_t h = mix(key * hash_seeds[i]);
+    // One word per hash, one slot within it from the low bits: the
+    // high bits pick the word so the mask keeps full entropy.
+    const std::size_t word = static_cast<std::size_t>(h >> 32) & mask_;
+    const std::size_t sub = static_cast<std::size_t>(h) % slots_per_word;
+    return word * slots_per_word + sub;
+}
+
+std::uint32_t
+FrequencySketch::counterAt(std::size_t idx) const
+{
+    const std::uint64_t word = table_[idx / slots_per_word];
+    const std::size_t shift = (idx % slots_per_word) * 4;
+    return static_cast<std::uint32_t>((word >> shift) & 0xF);
+}
+
+bool
+FrequencySketch::incrementAt(std::size_t idx)
+{
+    const std::size_t shift = (idx % slots_per_word) * 4;
+    std::uint64_t &word = table_[idx / slots_per_word];
+    if (((word >> shift) & 0xF) >= counter_max)
+        return false;
+    word += std::uint64_t(1) << shift;
+    return true;
+}
+
+void
+FrequencySketch::record(std::uint64_t key)
+{
+    ++recorded_;
+    bool moved = false;
+    for (std::size_t i = 0; i < 4; ++i)
+        moved |= incrementAt(slot(key, i));
+    if (moved && ++sinceAging_ >= sampleSize_)
+        age();
+}
+
+std::uint32_t
+FrequencySketch::estimate(std::uint64_t key) const
+{
+    std::uint32_t est = counter_max;
+    for (std::size_t i = 0; i < 4; ++i) {
+        const std::uint32_t c = counterAt(slot(key, i));
+        if (c < est)
+            est = c;
+    }
+    return est;
+}
+
+void
+FrequencySketch::age()
+{
+    // Halve every 4-bit counter in parallel: clear each slot's low
+    // bit, then shift the whole word right once.
+    for (std::uint64_t &word : table_)
+        word = (word >> 1) & 0x7777777777777777ull;
+    sinceAging_ = 0;
+    ++agings_;
+}
+
+void
+FrequencySketch::clear()
+{
+    table_.assign(table_.size(), 0);
+    sinceAging_ = 0;
+}
+
+} // namespace cache
+} // namespace lsdgnn

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * TinyLFU-style frequency sketch over recent lookups.
+ *
+ * The hot-vertex cache tier admits a vertex only when it is *hotter*
+ * than the entry it would displace. "Hotter" is estimated by this
+ * sketch: a count-min filter of 4-bit saturating counters recording
+ * the recent lookup stream, periodically halved (aged) so the
+ * estimate tracks a sliding sample window instead of all history —
+ * the W-TinyLFU construction (Einziger et al.), which is what lets a
+ * frequency-based cache react to popularity shifts that a plain LFU
+ * would ignore forever.
+ *
+ * Fully deterministic: the hash family is fixed, so identical record
+ * sequences produce identical estimates — the cache-admission
+ * determinism tests rely on this.
+ */
+
+#ifndef LSDGNN_CACHE_FREQUENCY_SKETCH_HH
+#define LSDGNN_CACHE_FREQUENCY_SKETCH_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace lsdgnn {
+namespace cache {
+
+/** 4-bit count-min sketch with periodic aging (TinyLFU). */
+class FrequencySketch
+{
+  public:
+    /**
+     * @param counters Counter slots to provision; rounded up to a
+     *        power of two, minimum 64. Size for several counters per
+     *        expected cache entry so collisions stay rare.
+     * @param sample_size record() calls between agings; 0 picks a
+     *        default proportional to the table size.
+     */
+    explicit FrequencySketch(std::size_t counters,
+                             std::uint64_t sample_size = 0);
+
+    /** Note one lookup of @p key (increments 4 counters, ages). */
+    void record(std::uint64_t key);
+
+    /** Recent-frequency estimate of @p key, saturated at 15. */
+    std::uint32_t estimate(std::uint64_t key) const;
+
+    /** Forget everything (epoch invalidation resets recency too). */
+    void clear();
+
+    /** record() calls so far. */
+    std::uint64_t recorded() const { return recorded_; }
+
+    /** Halvings performed so far. */
+    std::uint64_t agings() const { return agings_; }
+
+    /** Provisioned counter slots (after rounding). */
+    std::size_t counters() const { return (mask_ + 1) * slots_per_word; }
+
+  private:
+    static constexpr std::size_t slots_per_word = 16; ///< 4 bits each
+    static constexpr std::uint32_t counter_max = 15;
+
+    /** The i-th counter index for @p key (depth-4 hash family). */
+    std::size_t slot(std::uint64_t key, std::size_t i) const;
+
+    std::uint32_t counterAt(std::size_t idx) const;
+    /** @return true when the counter was below saturation. */
+    bool incrementAt(std::size_t idx);
+    void age();
+
+    std::vector<std::uint64_t> table_; ///< 16 packed counters per word
+    std::size_t mask_;                 ///< table_.size() - 1
+    std::uint64_t sampleSize_;
+    std::uint64_t sinceAging_ = 0;
+    std::uint64_t agings_ = 0;
+    std::uint64_t recorded_ = 0;
+};
+
+} // namespace cache
+} // namespace lsdgnn
+
+#endif // LSDGNN_CACHE_FREQUENCY_SKETCH_HH

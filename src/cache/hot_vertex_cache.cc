@@ -1,0 +1,402 @@
+#include "hot_vertex_cache.hh"
+
+#include <bit>
+
+#include "common/flight_recorder.hh"
+#include "common/logging.hh"
+
+namespace lsdgnn {
+namespace cache {
+
+HotVertexCache::HotVertexCache(HotVertexCacheParams params)
+    : params_(std::move(params)),
+      sketch_(params_.entries_hint * 8),
+      group_(params_.stat_name)
+{
+    lsd_assert(params_.capacity_bytes > 0, "cache needs a byte budget");
+    lsd_assert(params_.protected_fraction > 0.0 &&
+                   params_.protected_fraction < 1.0,
+               "protected fraction must be in (0,1)");
+    lsd_assert(params_.collapse_window > 0,
+               "collapse window must be > 0");
+
+    group_.addCounter("lookups", &lookups_, "read-through lookups");
+    group_.addCounter("hits", &hits_, "lookups answered locally");
+    group_.addCounter("misses", &misses_,
+                      "lookups that fell through to the fabric");
+    group_.addCounter("admitted", &admitted_,
+                      "entries admitted (warmup + on-miss fill)");
+    group_.addCounter("rejected", &rejected_,
+                      "candidates the TinyLFU filter turned away");
+    group_.addCounter("evicted", &evicted_,
+                      "entries displaced by a hotter candidate");
+    group_.addCounter("invalidated", &invalidated_,
+                      "entries dropped by an epoch bump");
+    group_.addCounter("epoch_bumps", &epochBumps_,
+                      "invalidation epochs started");
+    group_.addCounter("bytes_admitted", &bytesAdmitted_,
+                      "replicated bytes ever admitted");
+    group_.addCounter("bytes_evicted", &bytesEvicted_,
+                      "replicated bytes evicted or invalidated");
+
+    if (params_.flight_gauges) {
+        auto &fr = trace::FlightRecorder::instance();
+        bytesGauge_ = fr.registerGauge(
+            params_.stat_name + ".bytes",
+            [this] { return static_cast<double>(occupancyBytes()); });
+        hitRateGauge_ = fr.registerGauge(
+            params_.stat_name + ".hit_rate",
+            [this] { return hitRate(); });
+    }
+}
+
+HotVertexCache::~HotVertexCache()
+{
+    if (bytesGauge_ != 0)
+        trace::FlightRecorder::instance().unregisterGauge(bytesGauge_);
+    if (hitRateGauge_ != 0)
+        trace::FlightRecorder::instance().unregisterGauge(hitRateGauge_);
+}
+
+std::uint64_t
+HotVertexCache::scoreLocked(graph::NodeId node,
+                            std::uint64_t degree) const
+{
+    // Frequency dominates; the degree prior (log-bucketed) orders
+    // entries no traffic has distinguished yet — warmup and cold
+    // starts admit by structural hotness.
+    const std::uint64_t prior = std::min<std::uint64_t>(
+        15, std::bit_width(degree));
+    return (static_cast<std::uint64_t>(sketch_.estimate(node)) << 4) |
+           prior;
+}
+
+std::uint64_t
+HotVertexCache::entryScoreLocked(const Entry &e) const
+{
+    return scoreLocked(e.node, e.degree);
+}
+
+void
+HotVertexCache::promoteLocked(EntryList::iterator it)
+{
+    if (it->segment == Segment::Protected) {
+        protected_.splice(protected_.begin(), protected_, it);
+        return;
+    }
+    it->segment = Segment::Protected;
+    protectedBytes_ += it->bytes;
+    protected_.splice(protected_.begin(), probation_, it);
+    // Keep the protected segment within its budget share by demoting
+    // its coldest entries back to probation (second chance, not
+    // eviction).
+    const auto protected_cap = static_cast<std::uint64_t>(
+        params_.protected_fraction *
+        static_cast<double>(params_.capacity_bytes));
+    while (protectedBytes_ > protected_cap && !protected_.empty()) {
+        const auto victim = std::prev(protected_.end());
+        victim->segment = Segment::Probation;
+        protectedBytes_ -= victim->bytes;
+        probation_.splice(probation_.begin(), protected_,
+                          victim);
+    }
+}
+
+void
+HotVertexCache::evictLocked(EntryList::iterator it)
+{
+    evicted_.inc();
+    bytesEvicted_.inc(it->bytes);
+    occupancy_.fetch_sub(it->bytes, std::memory_order_relaxed);
+    index_.erase(it->node);
+    if (it->segment == Segment::Protected) {
+        protectedBytes_ -= it->bytes;
+        protected_.erase(it);
+    } else {
+        probation_.erase(it);
+    }
+}
+
+bool
+HotVertexCache::evictToFitLocked(std::uint64_t need,
+                                 std::uint64_t candidate_score,
+                                 graph::NodeId exclude)
+{
+    while (occupancy_.load(std::memory_order_relaxed) + need >
+           params_.capacity_bytes) {
+        EntryList::iterator victim;
+        if (!probation_.empty())
+            victim = std::prev(probation_.end());
+        else if (!protected_.empty())
+            victim = std::prev(protected_.end());
+        else
+            return false; // empty cache yet still over budget
+        if (victim->node == exclude)
+            return false; // only the candidate itself is left
+        // TinyLFU gate: the candidate must be strictly hotter than
+        // what it displaces, so scans cannot churn the hot set.
+        if (candidate_score <= entryScoreLocked(*victim))
+            return false;
+        evictLocked(victim);
+    }
+    return true;
+}
+
+HotVertexCache::WindowVerdict
+HotVertexCache::countLookupLocked(bool hit)
+{
+    lookups_.inc();
+    if (hit)
+        hits_.inc();
+    else
+        misses_.inc();
+
+    WindowVerdict verdict;
+    ++windowLookups_;
+    windowHits_ += hit ? 1 : 0;
+    if (windowLookups_ < params_.collapse_window)
+        return verdict;
+    const double rate = static_cast<double>(windowHits_) /
+                        static_cast<double>(windowLookups_);
+    // A collapse is a working cache suddenly missing: the classic
+    // cause is an epoch-invalidation storm re-fetching everything
+    // remotely, which is exactly what an anomaly dump should name.
+    if (prevWindowRate_ >= 0.25 && rate < 0.5 * prevWindowRate_) {
+        verdict.tripped = true;
+        verdict.rate = rate;
+        verdict.previous = prevWindowRate_;
+    }
+    prevWindowRate_ = rate;
+    windowLookups_ = 0;
+    windowHits_ = 0;
+    return verdict;
+}
+
+void
+HotVertexCache::fireCollapse(const WindowVerdict &verdict)
+{
+    auto &fr = trace::FlightRecorder::instance();
+    fr.recordNow("cache.hitrate.collapse", 0, 0, verdict.rate,
+                 verdict.previous);
+    fr.trip("cache-hitrate-collapse:" + params_.stat_name);
+}
+
+HotVertexCache::AdjacencyRef
+HotVertexCache::lookupAdjacency(graph::NodeId node)
+{
+    AdjacencyRef out;
+    WindowVerdict verdict;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        sketch_.record(node);
+        const auto it = index_.find(node);
+        const bool hit = it != index_.end() &&
+                         it->second->adjacency != nullptr;
+        verdict = countLookupLocked(hit);
+        if (hit) {
+            out = it->second->adjacency;
+            promoteLocked(it->second);
+        }
+    }
+    if (verdict.tripped)
+        fireCollapse(verdict);
+    return out;
+}
+
+HotVertexCache::VertexView
+HotVertexCache::lookupVertex(graph::NodeId node)
+{
+    VertexView out;
+    WindowVerdict verdict;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        sketch_.record(node);
+        const auto it = index_.find(node);
+        const bool hit = it != index_.end();
+        verdict = countLookupLocked(hit);
+        if (hit) {
+            out.adjacency = it->second->adjacency;
+            out.has_attrs = it->second->has_attrs;
+            promoteLocked(it->second);
+        }
+    }
+    if (verdict.tripped)
+        fireCollapse(verdict);
+    return out;
+}
+
+bool
+HotVertexCache::lookupAttributes(graph::NodeId node)
+{
+    bool hit = false;
+    WindowVerdict verdict;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        sketch_.record(node);
+        const auto it = index_.find(node);
+        hit = it != index_.end() && it->second->has_attrs;
+        verdict = countLookupLocked(hit);
+        if (hit)
+            promoteLocked(it->second);
+    }
+    if (verdict.tripped)
+        fireCollapse(verdict);
+    return hit;
+}
+
+bool
+HotVertexCache::admitAdjacency(graph::NodeId node,
+                               std::span<const graph::NodeId> adjacency)
+{
+    const std::uint64_t adj_bytes =
+        adjacency.size() * sizeof(graph::NodeId);
+    std::lock_guard<std::mutex> lock(mutex_);
+
+    const auto it = index_.find(node);
+    if (it != index_.end()) {
+        Entry &e = *it->second;
+        if (e.adjacency != nullptr)
+            return true; // already replicated
+        // Upgrade an attribute-only entry in place. Touch it first so
+        // the fit loop cannot select it as its own victim.
+        e.degree = std::max<std::uint64_t>(e.degree, adjacency.size());
+        if (e.segment == Segment::Probation)
+            probation_.splice(probation_.begin(), probation_,
+                              it->second);
+        else
+            protected_.splice(protected_.begin(), protected_,
+                              it->second);
+        if (!evictToFitLocked(adj_bytes, scoreLocked(node, e.degree),
+                              node)) {
+            rejected_.inc();
+            return false;
+        }
+        e.adjacency = std::make_shared<const std::vector<graph::NodeId>>(
+            adjacency.begin(), adjacency.end());
+        e.bytes += adj_bytes;
+        if (e.segment == Segment::Protected)
+            protectedBytes_ += adj_bytes;
+        occupancy_.fetch_add(adj_bytes, std::memory_order_relaxed);
+        bytesAdmitted_.inc(adj_bytes);
+        return true;
+    }
+
+    const std::uint64_t bytes = entry_overhead_bytes + adj_bytes;
+    if (bytes > params_.capacity_bytes ||
+        !evictToFitLocked(bytes, scoreLocked(node, adjacency.size()),
+                          node)) {
+        rejected_.inc();
+        return false;
+    }
+    Entry e;
+    e.node = node;
+    e.adjacency = std::make_shared<const std::vector<graph::NodeId>>(
+        adjacency.begin(), adjacency.end());
+    e.degree = adjacency.size();
+    e.bytes = bytes;
+    probation_.push_front(std::move(e));
+    index_.emplace(node, probation_.begin());
+    occupancy_.fetch_add(bytes, std::memory_order_relaxed);
+    admitted_.inc();
+    bytesAdmitted_.inc(bytes);
+    return true;
+}
+
+bool
+HotVertexCache::admitAttributes(graph::NodeId node,
+                                std::uint64_t degree_hint)
+{
+    const std::uint64_t attr_bytes = params_.attr_bytes;
+    std::lock_guard<std::mutex> lock(mutex_);
+
+    const auto it = index_.find(node);
+    if (it != index_.end()) {
+        Entry &e = *it->second;
+        if (e.has_attrs)
+            return true;
+        e.degree = std::max(e.degree, degree_hint);
+        if (e.segment == Segment::Probation)
+            probation_.splice(probation_.begin(), probation_,
+                              it->second);
+        else
+            protected_.splice(protected_.begin(), protected_,
+                              it->second);
+        if (!evictToFitLocked(attr_bytes, scoreLocked(node, e.degree),
+                              node)) {
+            rejected_.inc();
+            return false;
+        }
+        e.has_attrs = true;
+        e.bytes += attr_bytes;
+        if (e.segment == Segment::Protected)
+            protectedBytes_ += attr_bytes;
+        occupancy_.fetch_add(attr_bytes, std::memory_order_relaxed);
+        bytesAdmitted_.inc(attr_bytes);
+        return true;
+    }
+
+    const std::uint64_t bytes = entry_overhead_bytes + attr_bytes;
+    if (bytes > params_.capacity_bytes ||
+        !evictToFitLocked(bytes, scoreLocked(node, degree_hint),
+                          node)) {
+        rejected_.inc();
+        return false;
+    }
+    Entry e;
+    e.node = node;
+    e.has_attrs = true;
+    e.degree = degree_hint;
+    e.bytes = bytes;
+    probation_.push_front(std::move(e));
+    index_.emplace(node, probation_.begin());
+    occupancy_.fetch_add(bytes, std::memory_order_relaxed);
+    admitted_.inc();
+    bytesAdmitted_.inc(bytes);
+    return true;
+}
+
+bool
+HotVertexCache::contains(graph::NodeId node) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return index_.find(node) != index_.end();
+}
+
+std::size_t
+HotVertexCache::entries() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return index_.size();
+}
+
+void
+HotVertexCache::bumpEpoch()
+{
+    std::size_t dropped = 0;
+    std::uint64_t dropped_bytes = 0;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        dropped = index_.size();
+        dropped_bytes = occupancy_.load(std::memory_order_relaxed);
+        probation_.clear();
+        protected_.clear();
+        index_.clear();
+        protectedBytes_ = 0;
+        occupancy_.store(0, std::memory_order_relaxed);
+        sketch_.clear();
+        epoch_.fetch_add(1, std::memory_order_relaxed);
+        invalidated_.inc(dropped);
+        bytesEvicted_.inc(dropped_bytes);
+        epochBumps_.inc();
+        // The next hit-rate windows measure post-invalidation traffic;
+        // the pre-bump rate stays as the collapse reference.
+        windowLookups_ = 0;
+        windowHits_ = 0;
+    }
+    trace::FlightRecorder::instance().recordNow(
+        "cache.epoch.bump", 0, 0, static_cast<double>(dropped),
+        static_cast<double>(dropped_bytes));
+}
+
+} // namespace cache
+} // namespace lsdgnn

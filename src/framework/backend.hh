@@ -44,6 +44,10 @@ class DistributedStore;
 struct SampleTelemetry {
     /** Wall microseconds spent waiting on remote fabric rounds. */
     double remote_us = 0.0;
+    /** Hot-vertex cache probes issued for would-be remote reads. */
+    std::uint64_t cache_lookups = 0;
+    /** Probes answered from the local replica (no fabric round). */
+    std::uint64_t cache_hits = 0;
 };
 
 /** Per-call sampling options (beyond the structural SamplePlan). */

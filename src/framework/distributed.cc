@@ -1,6 +1,7 @@
 #include "distributed.hh"
 
 #include <algorithm>
+#include <span>
 #include <string>
 
 #include "common/flight_recorder.hh"
@@ -76,6 +77,57 @@ DistributedStore::DistributedStore(const SessionConfig &config)
     shards_.reserve(shards);
     for (std::uint32_t k = 0; k < shards; ++k)
         shards_.emplace_back(graph_, part_, k);
+    if (config.distributed.cache_mb > 0.0)
+        buildCaches(config);
+}
+
+void
+DistributedStore::buildCaches(const SessionConfig &config)
+{
+    const auto budget = static_cast<std::uint64_t>(
+        config.distributed.cache_mb * (1ull << 20));
+    if (budget == 0)
+        return;
+
+    // The warm set is the same for every shard: all nodes by
+    // descending degree (id ascending on ties, so the order — and
+    // therefore the replicated hot set — is deterministic).
+    std::vector<graph::NodeId> by_degree(graph_.numNodes());
+    for (graph::NodeId n = 0; n < graph_.numNodes(); ++n)
+        by_degree[n] = n;
+    std::sort(by_degree.begin(), by_degree.end(),
+              [this](graph::NodeId a, graph::NodeId b) {
+                  const std::uint64_t da = graph_.degree(a);
+                  const std::uint64_t db = graph_.degree(b);
+                  return da != db ? da > db : a < b;
+              });
+
+    const std::uint32_t shards = part_.numServers();
+    caches_.reserve(shards);
+    for (std::uint32_t k = 0; k < shards; ++k) {
+        cache::HotVertexCacheParams p;
+        p.capacity_bytes = budget;
+        p.attr_bytes = attrs_.bytesPerNode();
+        p.stat_name = "cache.shard" + std::to_string(k);
+        p.flight_gauges = true;
+        p.entries_hint = std::max<std::size_t>(
+            64, budget / (cache::HotVertexCache::entry_overhead_bytes +
+                          attrs_.bytesPerNode() + 64));
+        auto tier = std::make_unique<cache::HotVertexCache>(p);
+
+        // Top-K-degree warmup: replicate the hottest *remote*
+        // vertices (self-owned nodes are already local) until the
+        // budget refuses the next admission. Warm entries carry the
+        // degree prior so post-warmup traffic must out-score them.
+        for (graph::NodeId n : by_degree) {
+            if (part_.serverOf(n) == k)
+                continue;
+            if (!tier->admitAdjacency(n, graph_.neighbors(n)))
+                break;
+            tier->admitAttributes(n, graph_.degree(n));
+        }
+        caches_.push_back(std::move(tier));
+    }
 }
 
 std::shared_ptr<const DistributedStore>
@@ -91,6 +143,7 @@ DistributedBackend::DistributedBackend(
     : store_(std::move(store)),
       sampler_(sampler),
       self_(config.distributed.shard),
+      cache_(store_->cache(self_)),
       group_("mof.remote.shard" + std::to_string(self_))
 {
     const DistributedConfig &d = config.distributed;
@@ -121,6 +174,12 @@ DistributedBackend::DistributedBackend(
                       "reads answered from the local shard");
     group_.addCounter("remote", &remoteReads_,
                       "reads that needed a remote shard");
+    group_.addCounter("cached", &cached_,
+                      "remote structure reads answered by the "
+                      "hot-vertex cache tier");
+    group_.addCounter("attr_cached", &attrCached_,
+                      "remote attribute reads answered by the "
+                      "hot-vertex cache tier");
     group_.addCounter("coalesced", &coalesced_,
                       "remote reads merged into an already-staged "
                       "read of the same node");
@@ -128,6 +187,25 @@ DistributedBackend::DistributedBackend(
                       "remote reads answered by the local fallback");
     group_.addCounter("batches", &batches_,
                       "mini-batches sampled on this shard");
+
+    if (cache_ != nullptr) {
+        memoIndex_.assign(store_->graph().numNodes(), 0);
+        memoEpoch_.assign(store_->graph().numNodes(), 0);
+    }
+}
+
+DistributedBackend::CachedVertex &
+DistributedBackend::memoProbe(graph::NodeId node)
+{
+    if (memoEpoch_[node] == memoCurrentEpoch_)
+        return batchCachedRefs_[memoIndex_[node]];
+    auto view = cache_->lookupVertex(node);
+    memoEpoch_[node] = memoCurrentEpoch_;
+    memoIndex_[node] =
+        static_cast<std::uint32_t>(batchCachedRefs_.size());
+    batchCachedRefs_.push_back(CachedVertex{
+        std::move(view.adjacency), view.has_attrs, false});
+    return batchCachedRefs_.back();
 }
 
 void
@@ -195,6 +273,16 @@ DistributedBackend::sampleInto(const sampling::SamplePlan &plan,
     batches_.inc();
     trace_ = options.trace;
     remoteWallPs_ = 0;
+    batchCacheLookups_ = 0;
+    batchCacheHits_ = 0;
+    if (cache_ != nullptr) {
+        ++memoCurrentEpoch_;
+        if (memoCurrentEpoch_ == 0) { // u32 wrap: stale stamps linger
+            std::fill(memoEpoch_.begin(), memoEpoch_.end(), 0);
+            memoCurrentEpoch_ = 1;
+        }
+        batchCachedRefs_.clear();
+    }
 
     out.roots.resize(plan.batch_size);
     if (options.local_roots && home.numLocalNodes() > 0) {
@@ -255,11 +343,29 @@ DistributedBackend::sampleInto(const sampling::SamplePlan &plan,
                 pos += got;
                 continue;
             }
+            // Read-through: a hot-vertex-cache hit is answered from
+            // the local replica and never enters a channel round. It
+            // still occupies its slot in pending_ so pass 2 draws the
+            // sampling RNG in staged order — output stays
+            // byte-identical with the tier on or off. The tier is
+            // probed once per unique node per BATCH; every further
+            // read of that node resolves through the lock-free memo,
+            // mirroring roundDedup_'s staged-read coalescing.
+            if (cache_ != nullptr) {
+                ++batchCacheLookups_;
+                if (memoProbe(node).adjacency != nullptr) {
+                    ++batchCacheHits_;
+                    cached_.inc();
+                    pending_.push_back(PendingFetch{
+                        i, node, owner, memoIndex_[node], true});
+                    continue;
+                }
+            }
             remoteReads_.inc();
             if (const auto *shared = roundDedup_.find(node)) {
                 coalesced_.inc();
                 pending_.push_back(
-                    PendingFetch{i, node, owner, *shared});
+                    PendingFetch{i, node, owner, *shared, false});
                 continue;
             }
             const graph::GraphShard &owner_shard = store_->shard(owner);
@@ -270,7 +376,8 @@ DistributedBackend::sampleInto(const sampling::SamplePlan &plan,
                 channels_[owner]->stage(
                     owner_shard.adjacencyByteOffset(node), bytes);
             roundDedup_.insert(node, slot);
-            pending_.push_back(PendingFetch{i, node, owner, slot});
+            pending_.push_back(
+                PendingFetch{i, node, owner, slot, false});
         }
 
         flushAndRun();
@@ -280,15 +387,38 @@ DistributedBackend::sampleInto(const sampling::SamplePlan &plan,
         // negative-resampling from the home shard, so the hop keeps
         // its shape and downstream layers never see a hole.
         for (const PendingFetch &f : pending_) {
-            if (!channels_[f.peer]->roundFailed(f.slot)) {
-                const graph::GraphShard &owner_shard =
-                    store_->shard(f.peer);
+            if (f.cached) {
+                // Cache hit: sample from the replicated adjacency —
+                // byte-identical to the owner shard's slice, so the
+                // draw matches what the remote read would produce.
                 const std::uint32_t got = sampler_.sampleInto(
-                    owner_shard.neighbors(f.node), fanout, rng,
-                    op + pos, scratch_.sampler);
+                    std::span<const graph::NodeId>(
+                        *batchCachedRefs_[f.slot].adjacency),
+                    fanout, rng, op + pos, scratch_.sampler);
                 for (std::uint32_t j = 0; j < got; ++j)
                     pp[pos + j] = f.parent;
                 pos += got;
+            } else if (!channels_[f.peer]->roundFailed(f.slot)) {
+                const graph::GraphShard &owner_shard =
+                    store_->shard(f.peer);
+                const std::span<const graph::NodeId> nbrs =
+                    owner_shard.neighbors(f.node);
+                const std::uint32_t got = sampler_.sampleInto(
+                    nbrs, fanout, rng, op + pos, scratch_.sampler);
+                for (std::uint32_t j = 0; j < got; ++j)
+                    pp[pos + j] = f.parent;
+                pos += got;
+                // On-miss admission: the frame just paid for this
+                // adjacency; let the tier decide if it beats a
+                // victim. Offered once per batch — the memoized
+                // probe doubles as the seen-set.
+                if (cache_ != nullptr) {
+                    CachedVertex &cv = memoProbe(f.node);
+                    if (!cv.admit_tried) {
+                        cv.admit_tried = true;
+                        cache_->admitAdjacency(f.node, nbrs);
+                    }
+                }
             } else {
                 ++degraded_batch;
                 const auto &locals = home.localNodes();
@@ -315,9 +445,12 @@ DistributedBackend::sampleInto(const sampling::SamplePlan &plan,
     if (plan.fetch_attributes)
         degraded_batch += fetchAttributes(plan, out);
 
-    if (options.telemetry != nullptr)
+    if (options.telemetry != nullptr) {
         options.telemetry->remote_us +=
             static_cast<double>(remoteWallPs_) / 1e6;
+        options.telemetry->cache_lookups += batchCacheLookups_;
+        options.telemetry->cache_hits += batchCacheHits_;
+    }
     degraded_.inc(degraded_batch);
     if (degraded_batch != 0)
         return Status(StatusCode::Degraded,
@@ -351,10 +484,27 @@ DistributedBackend::fetchAttributes(const sampling::SamplePlan &plan,
             localReads_.inc();
             return;
         }
+        // Read-through: a replicated attribute row spares the round
+        // one frame. Attribute responses are positionally matched, so
+        // hits simply never stage — unlike structure reads there is
+        // no RNG draw whose order must be preserved. The hops already
+        // probed nearly every node this batch, so the memo answers
+        // almost all of these without touching the tier's lock.
+        if (cache_ != nullptr) {
+            ++batchCacheLookups_;
+            if (memoProbe(node).has_attrs) {
+                ++batchCacheHits_;
+                attrCached_.inc();
+                return;
+            }
+        }
         remoteReads_.inc();
-        channels_[owner]->stage(
+        const mof::ShardChannel::Slot slot = channels_[owner]->stage(
             node * bytes_per_node,
             static_cast<std::uint32_t>(bytes_per_node));
+        if (cache_ != nullptr)
+            pending_.push_back(
+                PendingFetch{0, node, owner, slot, false});
     });
     flushAndRun();
 
@@ -362,6 +512,13 @@ DistributedBackend::fetchAttributes(const sampling::SamplePlan &plan,
     for (const auto &ch : channels_)
         if (ch)
             failed += ch->roundFailures();
+    // On-miss admission for rows that actually arrived.
+    if (cache_ != nullptr) {
+        const graph::CsrGraph &g = store_->graph();
+        for (const PendingFetch &f : pending_)
+            if (!channels_[f.peer]->roundFailed(f.slot))
+                cache_->admitAttributes(f.node, g.degree(f.node));
+    }
     emitStageTrace("attrs", dedup.size(), failed, attrs_wall_start);
     return failed;
 }

@@ -22,6 +22,16 @@
  *    answered by negative-resampling from the local shard and the
  *    batch Status comes back Degraded instead of failing.
  *
+ *  - Hot-vertex cache tier (src/cache, DistributedConfig::cache_mb):
+ *    each shard consults its replicated hot set before staging any
+ *    remote read. A hit is answered from local memory and never
+ *    enters a shard-channel round — fewer frames, fewer rounds, a
+ *    remote fraction well below the hash-partitioned (S-1)/S. The
+ *    tier is warmed with the top-degree vertices at store build and
+ *    refilled on miss from returned frames; cache hits keep their
+ *    pass-2 position, so the sampled RNG sequence (and therefore the
+ *    output) is byte-identical with the tier on or off.
+ *
  * Determinism: for a fixed config and seed the whole schedule —
  * sampling RNG, packing, simulated losses, retries — replays exactly,
  * because every random stream is seeded from the config and the
@@ -34,6 +44,7 @@
 #include <memory>
 #include <vector>
 
+#include "cache/hot_vertex_cache.hh"
 #include "framework/backend.hh"
 #include "framework/session.hh"
 #include "graph/partition.hh"
@@ -75,11 +86,29 @@ class DistributedStore
         return shards_[k];
     }
 
+    /**
+     * Shard @p k's hot-vertex cache tier, or nullptr when the tier is
+     * disabled (DistributedConfig::cache_mb == 0). The cache is
+     * internally thread-safe and mutable through the const store —
+     * replicas are derived state, not graph data.
+     */
+    cache::HotVertexCache *
+    cache(std::uint32_t k) const
+    {
+        lsd_assert(k < shards_.size(), "shard id out of range");
+        return caches_.empty() ? nullptr : caches_[k].get();
+    }
+
   private:
+    /** Build + top-K-degree-warm the per-shard caches (cache_mb > 0). */
+    void buildCaches(const SessionConfig &config);
+
     graph::CsrGraph graph_;
     graph::AttributeStore attrs_;
     graph::Partitioner part_;
     std::vector<graph::GraphShard> shards_;
+    /** One tier per shard; empty when the tier is disabled. */
+    std::vector<std::unique_ptr<cache::HotVertexCache>> caches_;
 };
 
 /**
@@ -112,31 +141,60 @@ class DistributedBackend : public SamplingBackend
 
     /** Reads answered from the local shard. */
     std::uint64_t localReads() const { return localReads_.value(); }
-    /** Reads that needed a remote shard's data. */
+    /** Reads that crossed the fabric (staged onto a channel round). */
     std::uint64_t remoteReads() const { return remoteReads_.value(); }
+    /** Remote structure reads answered by the hot-vertex cache. */
+    std::uint64_t cachedReads() const { return cached_.value(); }
+    /** Remote attribute reads answered by the hot-vertex cache. */
+    std::uint64_t attrCachedReads() const { return attrCached_.value(); }
     /** Remote reads served by another parent's staged read. */
     std::uint64_t coalescedReads() const { return coalesced_.value(); }
     /** Remote reads answered by the degradation fallback. */
     std::uint64_t degradedReads() const { return degraded_.value(); }
 
-    /** Fraction of reads that were remote, over the lifetime. */
+    /**
+     * Fraction of reads that actually crossed the fabric, over the
+     * lifetime. Cache hits count toward the denominator but not the
+     * numerator — the tier's whole point is pulling this below the
+     * hash-partitioned (S-1)/S.
+     */
     double
     remoteFraction() const
     {
-        const double total = static_cast<double>(localReads_.value() +
-                                                 remoteReads_.value());
+        const double total = static_cast<double>(
+            localReads_.value() + remoteReads_.value() +
+            cached_.value() + attrCached_.value());
         return total == 0.0
                    ? 0.0
                    : static_cast<double>(remoteReads_.value()) / total;
     }
 
+    /** The shard's cache tier; nullptr when disabled. */
+    const cache::HotVertexCache *vertexCache() const { return cache_; }
+
   private:
-    /** One staged remote structure read awaiting its round. */
+    /**
+     * One remote read awaiting pass 2. Either it was staged onto a
+     * channel round (cached == false, slot is the channel slot) or
+     * the hot-vertex cache answered it (cached == true, slot indexes
+     * batchCachedRefs_). Cache hits keep their position in this
+     * vector so pass 2 consumes the sampling RNG in exactly the
+     * staged order — the sampled output is byte-identical with the
+     * cache tier on or off.
+     */
     struct PendingFetch {
         std::uint32_t parent; ///< index into the previous frontier
         graph::NodeId node;
         std::uint32_t peer;
         mof::ShardChannel::Slot slot;
+        bool cached = false;
+    };
+
+    /** One batch-memoized tier probe (see batchCacheMemo_). */
+    struct CachedVertex {
+        cache::HotVertexCache::AdjacencyRef adjacency;
+        bool has_attrs = false;
+        bool admit_tried = false; ///< one admission offer per batch
     };
 
     /**
@@ -184,19 +242,45 @@ class DistributedBackend : public SamplingBackend
     std::shared_ptr<const DistributedStore> store_;
     const sampling::NeighborSampler &sampler_;
     std::uint32_t self_;
+    cache::HotVertexCache *cache_; ///< store's tier; null = disabled
     sim::EventQueue eq_;
     std::vector<std::unique_ptr<mof::ShardChannel>> channels_;
     std::vector<PendingFetch> pending_;
     RoundDedup roundDedup_;
+    /**
+     * Batch-scoped memo of tier probes (node -> batchCachedRefs_
+     * index). A batch revisits the same hot nodes thousands of times
+     * across its hops and attribute round; the tier is probed ONCE
+     * per unique node per batch and every further read resolves
+     * through this direct-mapped, epoch-stamped array — one L1 load,
+     * no lock — so the mutexed cache is never on the per-read path.
+     * Residency is sampled at first touch: a replica evicted
+     * mid-batch is still served from the memoized ref (the slice is
+     * an immutable snapshot, byte-identical to the owner's), and a
+     * mid-batch admission is first visible to the next batch. The
+     * arrays cost 8 bytes per graph node and are only allocated when
+     * the tier is enabled.
+     */
+    std::vector<std::uint32_t> memoIndex_; ///< node -> refs index
+    std::vector<std::uint32_t> memoEpoch_; ///< node -> batch stamp
+    std::uint32_t memoCurrentEpoch_ = 0;
+    std::vector<CachedVertex> batchCachedRefs_;
+
+    /** Memoized probe of @p node, probing the tier on first touch. */
+    CachedVertex &memoProbe(graph::NodeId node);
     sampling::SampleScratch scratch_;
 
     trace::TraceContext trace_;  ///< batch context (current call)
     trace::TraceContext hopCtx_; ///< child span of the round in flight
     Tick remoteWallPs_ = 0;      ///< wall ps spent in flushAndRun
+    std::uint64_t batchCacheLookups_ = 0; ///< this call's tier lookups
+    std::uint64_t batchCacheHits_ = 0;    ///< this call's tier hits
 
     stats::StatGroup group_;
     stats::Counter localReads_;
     stats::Counter remoteReads_;
+    stats::Counter cached_;
+    stats::Counter attrCached_;
     stats::Counter coalesced_;
     stats::Counter degraded_;
     stats::Counter batches_;

@@ -78,6 +78,16 @@ struct DistributedConfig {
     /** Peers to mark administratively down at construction. */
     std::vector<std::uint32_t> down_shards;
     /**
+     * Per-shard hot-vertex cache budget in MiB; 0 disables the tier.
+     * When enabled, every shard of the store replicates the
+     * highest-degree remote vertices (adjacency + attribute rows) at
+     * load time and keeps admitting hotter-than-victim vertices from
+     * returned frames (src/cache). Cache hits never enter a shard
+     * channel round; the sampled output stays byte-identical with the
+     * tier on or off.
+     */
+    double cache_mb = 0.0;
+    /**
      * Pre-built shared store. When null the Session builds a private
      * one; the service layer injects a single store so its workers
      * share one graph instance instead of instantiating per thread.

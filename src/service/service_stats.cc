@@ -33,8 +33,12 @@ ServiceStats::ServiceStats()
       stageQueue_("queue"),
       stageBatch_("batch"),
       stageSample_("sample"),
-      stageRemote_("remote")
+      stageRemote_("remote"),
+      cacheHitPct_(0.0, 100.0, 101)
 {
+    stageCacheGroup_.addHistogram(
+        "hit_pct", &cacheHitPct_,
+        "hot-vertex cache hit percentage per request");
     group_.addCounter("completed", &completed_,
                       "requests answered with a sample");
     group_.addCounter("batches", &batches_, "micro-batches executed");
@@ -77,13 +81,19 @@ ServiceStats::recordCompletion(const Reply &reply)
 
 void
 ServiceStats::recordStages(double queue_us, double batch_us,
-                           double sample_us, double remote_us)
+                           double sample_us, double remote_us,
+                           std::uint64_t cache_lookups,
+                           std::uint64_t cache_hits)
 {
     std::lock_guard<std::mutex> lock(mutex_);
     stageQueue_.us.sample(queue_us);
     stageBatch_.us.sample(batch_us);
     stageSample_.us.sample(sample_us);
     stageRemote_.us.sample(remote_us);
+    if (cache_lookups != 0)
+        cacheHitPct_.sample(100.0 *
+                            static_cast<double>(cache_hits) /
+                            static_cast<double>(cache_lookups));
 }
 
 void

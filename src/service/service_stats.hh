@@ -23,7 +23,11 @@
  *
  * All four are sampled once per completed request (riders of one
  * batch each contribute the batch's shared stage times), keeping the
- * stage view request-weighted like `e2e_us`.
+ * stage view request-weighted like `e2e_us`. A fifth group,
+ * `service.stage.cache`, carries a `hit_pct` histogram (0-100) of the
+ * hot-vertex-cache hit percentage per completed request; it is only
+ * sampled when the batch actually probed the tier, so the windowed
+ * view tracks live hit rate rather than averaging in cache-off noise.
  *
  * When tracing is enabled, end-to-end latency percentiles are also
  * emitted periodically as Perfetto counter series
@@ -57,9 +61,14 @@ class ServiceStats
     /**
      * Record one completed request's per-stage latency split (all in
      * microseconds; see the file comment for stage definitions).
+     * @p cache_lookups / @p cache_hits are the batch's hot-vertex
+     * cache probe counts; hit percentage is only sampled when the
+     * batch probed the tier at least once.
      */
     void recordStages(double queue_us, double batch_us,
-                      double sample_us, double remote_us);
+                      double sample_us, double remote_us,
+                      std::uint64_t cache_lookups = 0,
+                      std::uint64_t cache_hits = 0);
 
     /** Completed (Ok) requests so far. */
     std::uint64_t completed() const;
@@ -105,6 +114,9 @@ class ServiceStats
     Stage stageBatch_;
     Stage stageSample_;
     Stage stageRemote_;
+    /** Hot-vertex-cache hit percentage per request (0-100). */
+    stats::StatGroup stageCacheGroup_{"service.stage.cache"};
+    stats::Histogram cacheHitPct_;
 };
 
 } // namespace service
