@@ -13,16 +13,26 @@
  * fabric costs retransmissions — not correctness.
  *
  * Each (shards, loss) point runs twice — hot-vertex cache tier off
- * and on — so the JSON captures the cache's remote-fraction and
- * goodput delta next to the uncached baseline.
+ * and on — and the 4-shard lossless point additionally sweeps the
+ * cache budget below full residency (1/4/16 MiB) to trace the
+ * skewed-degree hit-rate curve. Every measured run is preceded by a
+ * short discarded warmup so first-touch allocation and cold caches
+ * never pollute a row (the old 1-shard lossless row read *slower*
+ * than its 5%-loss sibling purely from cold-start costs).
  *
  * Run: ./bench_distributed [--shards N] [--cache-mb M] [--json]
- *   --shards N    restrict the sweep to one shard count
- *   --cache-mb M  per-shard hot-vertex cache budget for the cache-on
- *                 rows (MiB, default 64)
- *   --smoke       single short cache-on run; exit nonzero unless the
- *                 tier served hits (CI wiring check)
- *   --json        append the machine-readable summary line
+ *   --shards N          restrict the sweep to one shard count
+ *   --cache-mb M        per-shard hot-vertex cache budget for the
+ *                       cache-on rows (MiB, default 64)
+ *   --barrier           hop-synchronous round-barrier fabric (A/B
+ *                       against the default continuation-driven
+ *                       async engine)
+ *   --hedge-quantile Q  hedge slow packages past this RTT quantile
+ *                       (0 disables; default 0.95)
+ *   --window-ms W       measured closed-loop window (default 400)
+ *   --smoke             short CI gate: cache-on run must serve hits,
+ *                       cache-off run must pack >= 60% occupancy
+ *   --json              append the machine-readable summary line
  */
 
 #include <chrono>
@@ -49,6 +59,7 @@ struct FabricSnapshot {
     std::uint64_t degraded = 0; ///< reads that fell back locally
     std::uint64_t packages = 0; ///< MoF request packages emitted
     std::uint64_t retrans = 0;  ///< ARQ retransmissions, both ways
+    std::uint64_t hedges = 0;   ///< hedge re-issues of slow packages
     double pack_sum = 0.0;      ///< sum of per-package fill levels
     std::uint64_t pack_n = 0;   ///< packages contributing to the sum
     /** degraded reads per shard backend, indexed by shard id. */
@@ -188,6 +199,7 @@ collectFabric()
             } else if (!n.ends_with(".mem")) {
                 // Channel group: mof.remote.shard<s>.to<p>
                 snap.packages += g.counter("packages").value();
+                snap.hedges += g.counter("hedges").value();
                 const auto &fill = g.average("pack_fill");
                 snap.pack_sum += fill.sum();
                 snap.pack_n += fill.samples();
@@ -196,8 +208,15 @@ collectFabric()
     return snap;
 }
 
+/** Fabric-mode knobs shared by every run of one bench invocation. */
+struct FabricMode {
+    bool async = true;
+    double hedge_quantile = 0.95;
+};
+
 lsdgnn::service::ServiceConfig
-shardedConfig(std::uint32_t shards, double loss, double cache_mb)
+shardedConfig(std::uint32_t shards, double loss, double cache_mb,
+              const FabricMode &mode)
 {
     lsdgnn::service::ServiceConfig cfg;
     cfg.session.dataset = "ss";
@@ -208,39 +227,68 @@ shardedConfig(std::uint32_t shards, double loss, double cache_mb)
     cfg.session.distributed.num_shards = shards;
     cfg.session.distributed.loss_probability = loss;
     cfg.session.distributed.cache_mb = cache_mb;
+    cfg.session.distributed.async_fabric = mode.async;
+    cfg.session.distributed.hedge_quantile = mode.hedge_quantile;
     cfg.num_workers = shards; // one worker per shard
     cfg.batcher.window = 200us;
     return cfg;
 }
 
 /**
- * CI wiring check: one short cache-on run; succeeds only when the
- * hot-vertex tier actually answered reads (nonzero hit rate).
+ * CI gate, two short runs:
+ *  1. cache-on — the hot-vertex tier must actually answer reads;
+ *  2. cache-off — the async fabric's cross-stage staging buffer must
+ *     keep MoF pack occupancy at >= 60% of the 64-request frame.
  */
 int
-runSmoke(std::uint32_t shards, double cache_mb)
+runSmoke(std::uint32_t shards, double cache_mb,
+         const FabricMode &mode)
 {
     using namespace lsdgnn;
     sampling::SamplePlan plan;
     plan.batch_size = 64;
     plan.fanouts = {10, 10};
 
-    service::SamplingService svc(
-        shardedConfig(shards, 0.0, cache_mb));
-    service::LoadGenerator gen(svc);
-    const auto r = gen.runClosedLoop(plan, 2 * shards, 100ms);
-    const auto fabric = collectFabric();
-    svc.shutdown();
+    std::uint64_t cache_hits = 0;
+    {
+        service::SamplingService svc(
+            shardedConfig(shards, 0.0, cache_mb, mode));
+        service::LoadGenerator gen(svc);
+        const auto r = gen.runClosedLoop(plan, 2 * shards, 100ms);
+        const auto fabric = collectFabric();
+        svc.shutdown();
+        cache_hits = fabric.cacheHits();
+        std::cout << "smoke: shards=" << shards
+                  << " cache_mb=" << cache_mb
+                  << " goodput_qps=" << r.goodput_qps
+                  << " cache_hits=" << fabric.cacheHits()
+                  << " cache_hit_rate=" << fabric.cacheHitRate()
+                  << " remote_fraction=" << fabric.remoteFraction()
+                  << "\n";
+    }
 
-    std::cout << "smoke: shards=" << shards
-              << " cache_mb=" << cache_mb
-              << " goodput_qps=" << r.goodput_qps
-              << " cache_hits=" << fabric.cacheHits()
-              << " cache_hit_rate=" << fabric.cacheHitRate()
-              << " remote_fraction=" << fabric.remoteFraction()
-              << "\n";
-    if (fabric.cacheHits() == 0) {
+    double occupancy = 0.0;
+    {
+        service::SamplingService svc(
+            shardedConfig(shards, 0.0, 0.0, mode));
+        service::LoadGenerator gen(svc);
+        gen.runClosedLoop(plan, 2 * shards, 100ms);
+        const auto fabric = collectFabric();
+        svc.shutdown();
+        occupancy = fabric.packOccupancy();
+        std::cout << "smoke: shards=" << shards
+                  << " cache_mb=0 pack_occupancy=" << occupancy
+                  << " packages=" << fabric.packages
+                  << " hedges=" << fabric.hedges << "\n";
+    }
+
+    if (cache_hits == 0) {
         std::cout << "smoke FAILED: cache tier served zero hits\n";
+        return 1;
+    }
+    if (shards > 1 && mode.async && occupancy < 0.6 * 64.0) {
+        std::cout << "smoke FAILED: pack occupancy " << occupancy
+                  << " below the 60% gate (38.4/64)\n";
         return 1;
     }
     std::cout << "smoke OK\n";
@@ -257,17 +305,26 @@ main(int argc, char **argv)
     std::vector<std::uint32_t> shard_counts = {1, 2, 4};
     double cache_mb = 64.0;
     bool smoke = false;
+    FabricMode mode;
+    auto window = 400ms;
     for (int i = 1; i < argc; ++i) {
         const std::string_view arg(argv[i]);
         if (arg == "--shards" && i + 1 < argc)
             shard_counts = {std::uint32_t(std::atoi(argv[i + 1]))};
         else if (arg == "--cache-mb" && i + 1 < argc)
             cache_mb = std::atof(argv[i + 1]);
+        else if (arg == "--barrier")
+            mode.async = false;
+        else if (arg == "--hedge-quantile" && i + 1 < argc)
+            mode.hedge_quantile = std::atof(argv[i + 1]);
+        else if (arg == "--window-ms" && i + 1 < argc)
+            window = std::chrono::milliseconds(
+                std::atoi(argv[i + 1]));
         else if (arg == "--smoke")
             smoke = true;
     }
     if (smoke)
-        return runSmoke(shard_counts.back(), cache_mb);
+        return runSmoke(shard_counts.back(), cache_mb, mode);
 
     bench::banner("Distributed sharded sampling — goodput vs shards "
                   "and wire loss",
@@ -286,36 +343,50 @@ main(int argc, char **argv)
     // baseline shape: 4 workers, no fabric in the path).
     double reference_qps = 0.0;
     {
-        auto cfg = shardedConfig(4, 0.0, 0.0);
+        auto cfg = shardedConfig(4, 0.0, 0.0, mode);
         cfg.session.backend = framework::Backend::Software;
         cfg.num_workers = 4;
         service::SamplingService svc(cfg);
         service::LoadGenerator gen(svc);
+        gen.runClosedLoop(plan, 8, 100ms); // discarded warmup
         reference_qps =
-            gen.runClosedLoop(plan, 8, 250ms).goodput_qps;
+            gen.runClosedLoop(plan, 8, window).goodput_qps;
         svc.shutdown();
         max_threads = std::max(max_threads, 12u);
     }
     std::cout << "\nsingle-node software reference (4 workers): "
               << bench::human(reference_qps) << " QPS\n";
 
-    std::cout << "\nclosed loop (workers = shards, clients = 2x "
-                 "shards, 250 ms runs):\n";
+    std::cout << "\nclosed loop (" << (mode.async ? "async" : "barrier")
+              << " fabric, workers = shards, clients = 2x shards, "
+              << window.count() << " ms measured after 100 ms "
+              << "warmup):\n";
     TextTable table;
     table.header({"shards", "loss %", "cache MB", "goodput QPS",
                   "vs ref", "remote %", "hit %", "pack fill",
-                  "degraded", "p50 us", "p99 us"});
+                  "hedges", "degraded", "p50 us", "p99 us"});
     std::ostringstream rows_json;
     for (const std::uint32_t shards : shard_counts) {
         for (const double loss : {0.0, 0.05}) {
-            for (const double mb : {0.0, cache_mb}) {
+            // The 4-shard lossless point sweeps the cache budget
+            // below full residency to trace the skewed-degree
+            // hit-rate curve (at this graph scale the knee sits under
+            // 1 MB: ~26% hit at 0.05 MB, ~69% at 0.25 MB, saturated
+            // from 1 MB up); every other point runs off/on.
+            std::vector<double> budgets = {0.0, cache_mb};
+            if (shards == 4 && loss == 0.0)
+                budgets = {0.0, 0.05, 0.25, 1.0, 4.0, 16.0, cache_mb};
+            for (const double mb : budgets) {
                 if (mb != 0.0 && shards == 1)
                     continue; // nothing remote to replicate
                 service::SamplingService svc(
-                    shardedConfig(shards, loss, mb));
+                    shardedConfig(shards, loss, mb, mode));
                 service::LoadGenerator gen(svc);
+                // Warmup: first-touch allocation, cold TLBs and the
+                // result-pool ramp all land here, not in the row.
+                gen.runClosedLoop(plan, 2 * shards, 100ms);
                 const auto r =
-                    gen.runClosedLoop(plan, 2 * shards, 250ms);
+                    gen.runClosedLoop(plan, 2 * shards, window);
                 const auto fabric = collectFabric();
                 svc.shutdown();
                 max_threads = std::max(max_threads, 3 * shards);
@@ -334,6 +405,7 @@ main(int argc, char **argv)
                                     1),
                      TextTable::num(fabric.cacheHitRate() * 100, 1),
                      TextTable::num(fabric.packOccupancy(), 1),
+                     TextTable::num(fabric.hedges),
                      TextTable::num(r.degraded),
                      TextTable::num(r.p50_us, 1),
                      TextTable::num(r.p99_us, 1)});
@@ -341,6 +413,8 @@ main(int argc, char **argv)
                           << "{\"shards\":" << shards
                           << ",\"loss\":" << loss
                           << ",\"cache_mb\":" << mb
+                          << ",\"async\":"
+                          << (mode.async ? "true" : "false")
                           << ",\"goodput_qps\":" << r.goodput_qps
                           << ",\"vs_reference\":"
                           << (reference_qps
@@ -357,6 +431,7 @@ main(int argc, char **argv)
                           << ",\"pack_occupancy\":"
                           << fabric.packOccupancy()
                           << ",\"packages\":" << fabric.packages
+                          << ",\"hedges\":" << fabric.hedges
                           << ",\"retransmissions\":"
                           << fabric.retrans
                           << ",\"degraded_replies\":" << r.degraded

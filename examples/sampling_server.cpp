@@ -51,6 +51,21 @@ printWindow(const char *phase, const lsdgnn::stats::WindowReport &w)
               << w.counterDelta("service", "completed")
               << " completed):\n";
     table.print(std::cout);
+
+    // Async-fabric health for the same window: hedge pressure and
+    // in-flight depth per batch that actually crossed the fabric.
+    const auto *hedges =
+        w.findHistogram("service.stage.fabric", "hedges");
+    const auto *depth =
+        w.findHistogram("service.stage.fabric", "inflight_peak");
+    if (hedges != nullptr && depth != nullptr && depth->n != 0)
+        std::cout << "fabric: hedges p99 "
+                  << TextTable::num(hedges->percentile(0.99), 1)
+                  << "/batch, in-flight peak p50 "
+                  << TextTable::num(depth->percentile(0.5), 0)
+                  << " p99 "
+                  << TextTable::num(depth->percentile(0.99), 0)
+                  << " reads\n";
 }
 
 } // namespace

@@ -48,6 +48,10 @@ struct SampleTelemetry {
     std::uint64_t cache_lookups = 0;
     /** Probes answered from the local replica (no fabric round). */
     std::uint64_t cache_hits = 0;
+    /** Hedge re-issues the async fabric sent for this call. */
+    std::uint64_t hedges = 0;
+    /** Peak simultaneous in-flight remote reads during the call. */
+    std::uint64_t inflight_peak = 0;
 };
 
 /** Per-call sampling options (beyond the structural SamplePlan). */

@@ -12,35 +12,52 @@
  *    worker (each worker's Session aliases the store's graph and
  *    attributes instead of instantiating its own copy).
  *
- *  - DistributedBackend: one shard's sampling engine. Each hop runs
- *    two passes — pass 1 samples locally-owned frontier nodes inline
- *    and stages the remote ones into per-peer ShardChannels (MoF
- *    packages, up to 64 reads each, BDI-compressed addresses); the
- *    channels flush, the shared EventQueue drains, and pass 2 answers
- *    the remote reads in staged order. A read that missed its
- *    deadline or hit a down peer degrades gracefully: the fan-out is
- *    answered by negative-resampling from the local shard and the
- *    batch Status comes back Degraded instead of failing.
+ *  - DistributedBackend: one shard's sampling engine, now
+ *    continuation-driven. Every root of a batch is an independent
+ *    little state machine (RootState) with its own RNG stream: it
+ *    expands hop by hop, sampling locally-owned frontier nodes inline
+ *    and submitting remote ones into per-peer ShardChannels, then
+ *    *parks* until the channel completions for exactly its reads
+ *    arrive. Reads stream into the channels' staging buffers as they
+ *    are discovered — across roots, across hops, and across the
+ *    structure/attribute stages — so frames pack far fuller than the
+ *    old one-flush-per-hop protocol, and a fast root races ahead
+ *    through its hops while a slow one still awaits the wire. There
+ *    is no hop barrier any more; one event-queue drain runs the whole
+ *    batch. (DistributedConfig::async_fabric = false restores the
+ *    lockstep round protocol for A/B benchmarking — same per-root
+ *    RNG streams, so the sampled output is byte-identical.)
+ *
+ *  - Degradation: a read that missed its per-package deadline or hit
+ *    a down peer is answered by negative-resampling from the local
+ *    shard and the batch Status comes back Degraded instead of
+ *    failing.
  *
  *  - Hot-vertex cache tier (src/cache, DistributedConfig::cache_mb):
- *    each shard consults its replicated hot set before staging any
+ *    each shard consults its replicated hot set before submitting any
  *    remote read. A hit is answered from local memory and never
- *    enters a shard-channel round — fewer frames, fewer rounds, a
- *    remote fraction well below the hash-partitioned (S-1)/S. The
- *    tier is warmed with the top-degree vertices at store build and
- *    refilled on miss from returned frames; cache hits keep their
- *    pass-2 position, so the sampled RNG sequence (and therefore the
- *    output) is byte-identical with the tier on or off.
+ *    enters a shard channel; it still occupies its slot in the root's
+ *    pending order, so the sampled output is byte-identical with the
+ *    tier on or off.
  *
- * Determinism: for a fixed config and seed the whole schedule —
- * sampling RNG, packing, simulated losses, retries — replays exactly,
- * because every random stream is seeded from the config and the
- * event-driven fabric is single-threaded per backend.
+ * Determinism: roots are drawn with the caller's Rng (unchanged
+ * sequence), then one extra draw forms a batch nonce from which every
+ * root derives a private RNG stream. Each root consumes its own
+ * stream in root-local discovery order, so the sampled *content* is
+ * independent of completion scheduling; the output arrays are
+ * assembled root-major from per-root blocks, making the *layout*
+ * schedule-independent too. For a fixed config and seed the whole
+ * schedule — sampling RNG, packing, simulated losses, retries,
+ * hedges — replays exactly, because every random stream is seeded
+ * from the config and the event-driven fabric is single-threaded per
+ * backend.
  */
 
 #ifndef LSDGNN_FRAMEWORK_DISTRIBUTED_HH
 #define LSDGNN_FRAMEWORK_DISTRIBUTED_HH
 
+#include <atomic>
+#include <deque>
 #include <memory>
 #include <vector>
 
@@ -121,6 +138,7 @@ class DistributedBackend : public SamplingBackend
     DistributedBackend(const SessionConfig &config,
                        std::shared_ptr<const DistributedStore> store,
                        const sampling::NeighborSampler &sampler);
+    ~DistributedBackend() override;
 
     Status sampleInto(const sampling::SamplePlan &plan,
                       const SampleOptions &options, Rng &rng,
@@ -141,16 +159,28 @@ class DistributedBackend : public SamplingBackend
 
     /** Reads answered from the local shard. */
     std::uint64_t localReads() const { return localReads_.value(); }
-    /** Reads that crossed the fabric (staged onto a channel round). */
+    /** Reads that crossed the fabric (submitted onto a channel). */
     std::uint64_t remoteReads() const { return remoteReads_.value(); }
     /** Remote structure reads answered by the hot-vertex cache. */
     std::uint64_t cachedReads() const { return cached_.value(); }
     /** Remote attribute reads answered by the hot-vertex cache. */
     std::uint64_t attrCachedReads() const { return attrCached_.value(); }
-    /** Remote reads served by another parent's staged read. */
+    /** Remote reads served by another subscriber's submitted read. */
     std::uint64_t coalescedReads() const { return coalesced_.value(); }
     /** Remote reads answered by the degradation fallback. */
     std::uint64_t degradedReads() const { return degraded_.value(); }
+    /** Flight-recorder trips on the in-flight read bound. */
+    std::uint64_t stallTrips() const { return stallTrips_.value(); }
+    /** Hedge re-issues across all channels, lifetime. */
+    std::uint64_t
+    hedges() const
+    {
+        std::uint64_t total = 0;
+        for (const auto &ch : channels_)
+            if (ch)
+                total += ch->hedges();
+        return total;
+    }
 
     /**
      * Fraction of reads that actually crossed the fabric, over the
@@ -174,20 +204,47 @@ class DistributedBackend : public SamplingBackend
 
   private:
     /**
-     * One remote read awaiting pass 2. Either it was staged onto a
-     * channel round (cached == false, slot is the channel slot) or
-     * the hot-vertex cache answered it (cached == true, slot indexes
-     * batchCachedRefs_). Cache hits keep their position in this
-     * vector so pass 2 consumes the sampling RNG in exactly the
-     * staged order — the sampled output is byte-identical with the
+     * One remote read a root is waiting to draw from. Either it was
+     * submitted onto a channel (cached == false, slot is the channel
+     * slot) or the hot-vertex cache answered it (cached == true, slot
+     * indexes batchCachedRefs_). Cache hits keep their position in
+     * the root's pending list so the root draws its RNG in exactly
+     * discovery order — the sampled output is byte-identical with the
      * cache tier on or off.
      */
-    struct PendingFetch {
-        std::uint32_t parent; ///< index into the previous frontier
+    struct PendingDraw {
+        std::uint32_t parent; ///< local index into root's prev block
         graph::NodeId node;
         std::uint32_t peer;
         mof::ShardChannel::Slot slot;
         bool cached = false;
+    };
+
+    /** Continuation phases of one root's expansion. */
+    enum class Phase : std::uint8_t {
+        Expand,  ///< submit the current hop's reads
+        Resolve, ///< pending settled; draw and advance the hop
+        Attrs,   ///< structure done; submit attribute reads
+        Finish,  ///< attribute reads settled; retire the root
+    };
+
+    /**
+     * One root's continuation: private RNG stream, the current hop's
+     * pending draws, and the count of unsettled channel slots the
+     * root is parked on. The root owns no sample storage — it writes
+     * straight into the caller's result arrays at a fixed worst-case
+     * stride per hop (see assemble()), so completing out of order
+     * never moves anybody else's bytes. Pooled across batches.
+     */
+    struct RootState {
+        Rng rng{0};
+        graph::NodeId root = 0;
+        std::uint32_t hop = 0;
+        std::uint32_t outstanding = 0;
+        Phase phase = Phase::Expand;
+        bool done = false;
+        std::vector<PendingDraw> pending;
+        std::vector<std::uint32_t> counts; ///< [hop] samples written
     };
 
     /** One batch-memoized tier probe (see batchCacheMemo_). */
@@ -199,58 +256,116 @@ class DistributedBackend : public SamplingBackend
 
     /**
      * Epoch-stamped open-addressing node -> channel-slot map, the
-     * structure-read twin of sampling::CoalescingSet: a frontier
-     * re-visits the same remote node many times per hop (the scaled
-     * graphs are small relative to batch * fanout), and one staged
-     * read serves every parent that wants that adjacency list. Epoch
-     * stamping makes begin() O(1) in steady state — no clearing.
+     * structure-read twin of sampling::CoalescingSet. Now scoped to
+     * the whole batch instead of one hop: any root, at any hop (and
+     * the attribute stage through its own instance), that re-visits a
+     * node some earlier read already covered shares that read's slot
+     * — cross-root, cross-hop coalescing. Epoch stamping makes
+     * begin() O(1) in steady state — no clearing.
      */
-    class RoundDedup
+    class BatchDedup
     {
       public:
-        /** Start a round expecting at most @p expected inserts. */
+        /** Start a batch expecting at most @p expected inserts. */
         void begin(std::size_t expected);
-        /** Slot previously inserted for @p key this round, or null. */
-        const mof::ShardChannel::Slot *find(graph::NodeId key) const;
-        /** Record @p slot for @p key (key must be absent). */
-        void insert(graph::NodeId key, mof::ShardChannel::Slot slot);
+        /**
+         * One-probe find-or-claim: if @p key was seen this batch,
+         * @p found is true and the returned pointer is its recorded
+         * slot. Otherwise the key is claimed in place and the caller
+         * must write the slot through the returned pointer (the hot
+         * paths learn the slot only after submitting the read).
+         */
+        mof::ShardChannel::Slot *acquire(graph::NodeId key,
+                                         bool &found);
 
       private:
+        // 16-byte entries: the table covers every node instance a
+        // batch touches (tens of thousands), so halving the footprint
+        // versus a 64-bit stamp measurably cuts probe misses.
         struct Entry {
             graph::NodeId key = 0;
             mof::ShardChannel::Slot slot = 0;
-            std::uint64_t epoch = 0;
+            std::uint32_t epoch = 0;
         };
         std::size_t probe(graph::NodeId key) const;
 
         std::vector<Entry> table_;
-        std::uint64_t epoch_ = 0;
+        std::uint32_t epoch_ = 0;
         std::size_t mask_ = 0;
     };
 
-    void beginRounds();
-    void flushAndRun();
+    /** Per-peer slot-indexed bookkeeping for the current batch. */
+    struct PeerBook {
+        /** Roots parked on each slot (cleared as slots settle). */
+        std::vector<std::vector<std::uint32_t>> waiters;
+        /** True for attribute slots (failure accounting + admit). */
+        std::vector<std::uint8_t> is_attr;
+        /** Node behind each attribute slot (admission on arrival). */
+        std::vector<graph::NodeId> node;
+    };
 
-    /** Emit one wall-clock hop/stage slice for the round just run. */
+    /** Continuation engine: run @p root until it parks or finishes. */
+    void advanceRoot(std::uint32_t root);
+    /** Drain the runnable worklist (trampoline; no re-entry). */
+    void pump();
+    /** Phase::Expand — inline local draws, submit remote reads. */
+    void expandSubmit(std::uint32_t root);
+    /** Phase::Resolve — draw the pending list in discovery order. */
+    void expandResolve(std::uint32_t root);
+    /** Phase::Attrs — submit this root's unseen attribute reads. */
+    void submitAttrs(std::uint32_t root);
+    /** Channel completion: wake roots parked on [first, first+n). */
+    void onSlotsSettled(std::uint32_t peer, mof::ShardChannel &ch,
+                        mof::ShardChannel::Slot first,
+                        std::uint32_t count);
+    /** Park @p root on @p slot of @p peer (slot must be unsettled). */
+    void subscribe(std::uint32_t peer, mof::ShardChannel::Slot slot,
+                   std::uint32_t root);
+    /** Track the in-flight gauge/peak; trip the stall bound once. */
+    void noteInFlight();
+    /** Lockstep round-barrier driver (async_fabric = false). */
+    void sampleBarrier();
+
+    /** Emit one wall-clock stage slice for the span just run. */
     void emitStageTrace(const char *stage, std::size_t frontier,
                         std::uint64_t degraded, Tick wall_start);
 
-    /** Attribute fetch round; returns degraded read count. */
-    std::uint64_t fetchAttributes(const sampling::SamplePlan &plan,
-                                  const sampling::SampleResult &out);
+    /** Compact the strided per-root segments of @p out in place. */
+    void assemble(const sampling::SamplePlan &plan,
+                  sampling::SampleResult &out);
 
     std::shared_ptr<const DistributedStore> store_;
     const sampling::NeighborSampler &sampler_;
     std::uint32_t self_;
     cache::HotVertexCache *cache_; ///< store's tier; null = disabled
+    bool asyncFabric_;
+    std::uint32_t maxInflightBound_;
     sim::EventQueue eq_;
     std::vector<std::unique_ptr<mof::ShardChannel>> channels_;
-    std::vector<PendingFetch> pending_;
-    RoundDedup roundDedup_;
+    std::vector<PeerBook> books_;
+
+    std::vector<RootState> roots_;   ///< pooled continuations
+    std::deque<std::uint32_t> runnable_;
+    bool pumping_ = false;
+    std::uint32_t liveRoots_ = 0;
+    std::uint32_t batchRoots_ = 0;   ///< roots in the current batch
+    const sampling::SamplePlan *plan_ = nullptr; ///< current batch
+    sampling::SampleResult *batchOut_ = nullptr; ///< current batch
+    /** Worst-case samples per root per hop: prod(fanouts[0..h]). */
+    std::vector<std::uint32_t> hopStride_;
+    std::vector<std::uint32_t> assemblePrev_; ///< assembly scratch
+    std::vector<std::uint32_t> assembleCur_;  ///< assembly scratch
+    BatchDedup structDedup_;
+    BatchDedup attrDedup_;
+    std::uint64_t degradedBatch_ = 0;
+    std::uint64_t attrFailedBatch_ = 0;
+    std::uint64_t inflightPeak_ = 0;
+    bool stallTripped_ = false;
+
     /**
      * Batch-scoped memo of tier probes (node -> batchCachedRefs_
      * index). A batch revisits the same hot nodes thousands of times
-     * across its hops and attribute round; the tier is probed ONCE
+     * across its hops and attribute stage; the tier is probed ONCE
      * per unique node per batch and every further read resolves
      * through this direct-mapped, epoch-stamped array — one L1 load,
      * no lock — so the mutexed cache is never on the per-read path.
@@ -270,11 +385,23 @@ class DistributedBackend : public SamplingBackend
     CachedVertex &memoProbe(graph::NodeId node);
     sampling::SampleScratch scratch_;
 
-    trace::TraceContext trace_;  ///< batch context (current call)
-    trace::TraceContext hopCtx_; ///< child span of the round in flight
-    Tick remoteWallPs_ = 0;      ///< wall ps spent in flushAndRun
+    trace::TraceContext trace_;    ///< batch context (current call)
+    trace::TraceContext batchCtx_; ///< child span of this batch
+    Tick remoteWallPs_ = 0;     ///< wall ps in the event-queue drain
     std::uint64_t batchCacheLookups_ = 0; ///< this call's tier lookups
     std::uint64_t batchCacheHits_ = 0;    ///< this call's tier hits
+
+    /**
+     * Flight-recorder gauges ("mof.shard<k>.inflight_reads" /
+     * ".staging_age_us"): dumps sample these from arbitrary threads
+     * while the worker is mid-batch, so the backend mirrors the
+     * values into atomics at submit/settle points instead of letting
+     * the gauge walk live channel state.
+     */
+    std::atomic<std::uint32_t> gaugeInflight_{0};
+    std::atomic<std::uint64_t> gaugeStageAgePs_{0};
+    std::uint64_t inflightGaugeHandle_ = 0;
+    std::uint64_t stageAgeGaugeHandle_ = 0;
 
     stats::StatGroup group_;
     stats::Counter localReads_;
@@ -284,6 +411,7 @@ class DistributedBackend : public SamplingBackend
     stats::Counter coalesced_;
     stats::Counter degraded_;
     stats::Counter batches_;
+    stats::Counter stallTrips_;
 };
 
 } // namespace framework

@@ -88,6 +88,38 @@ struct DistributedConfig {
      */
     double cache_mb = 0.0;
     /**
+     * Continuation-driven async fabric (default). Remote reads stream
+     * into per-peer staging buffers as roots discover them, pack
+     * across hops/stages, and completions resume only the waiting
+     * roots. `false` restores the hop-synchronous round barrier
+     * (pass-1/stage-all, flush, pass-2) — same per-root RNG streams,
+     * so the sampled output is byte-identical between the two modes.
+     */
+    bool async_fabric = true;
+    /**
+     * Staging-buffer age bound, microseconds (simulated): a partially
+     * filled per-peer buffer flushes this long after its oldest read
+     * arrived. Trades per-read (simulated) latency for pack occupancy;
+     * 8 us lets late-hop and attribute reads ride the same frame train
+     * without measurably moving the wall-clock batch time.
+     */
+    double stage_age_us = 8.0;
+    /**
+     * Hedged reads: when a package outlives this quantile of observed
+     * package RTTs (times hedge_multiplier), re-issue it and take the
+     * first answer. 0 disables hedging. Only the async fabric hedges.
+     */
+    double hedge_quantile = 0.95;
+    /** Safety margin over the measured hedge quantile. */
+    double hedge_multiplier = 2.0;
+    /** Minimum hedge delay, microseconds (also pre-RTT-history). */
+    double hedge_floor_us = 25.0;
+    /**
+     * Flight-recorder stall trip: fires when a batch's total
+     * in-flight remote reads exceed this bound (0 disables).
+     */
+    std::uint32_t max_inflight_reads = 1u << 16;
+    /**
      * Pre-built shared store. When null the Session builds a private
      * one; the service layer injects a single store so its workers
      * share one graph instance instead of instantiating per thread.

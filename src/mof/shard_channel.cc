@@ -1,5 +1,6 @@
 #include "shard_channel.hh"
 
+#include <algorithm>
 #include <string>
 
 #include "common/flight_recorder.hh"
@@ -66,10 +67,13 @@ ShardChannel::ShardChannel(sim::EventQueue &eq,
            name() + ".rsp",
            [this](std::uint64_t, const Status &cause) {
                onWireFailure(cause);
-           })
+           }),
+      stageAgeUs_(0.0, 32.0, 64),
+      rttUs_(0.0, 512.0, 64),
+      inflightDepth_(0.0, 4096.0, 64)
 {
     lsd_assert(self_ != peer_, "shard channel to itself");
-    statGroup.addCounter("reads", &reads_, "remote reads staged");
+    statGroup.addCounter("reads", &reads_, "remote reads submitted");
     statGroup.addCounter("packages", &packages_,
                          "request packages emitted");
     statGroup.addCounter("wire_bytes", &wireBytes_,
@@ -81,9 +85,25 @@ ShardChannel::ShardChannel(sim::EventQueue &eq,
     statGroup.addCounter("degraded", &degraded_,
                          "reads failed (deadline/breaker/down)");
     statGroup.addCounter("deadline_misses", &deadlineMisses_,
-                         "reads failed by the round deadline");
+                         "reads failed by their package deadline");
+    statGroup.addCounter("hedges", &hedges_,
+                         "hedge re-issues of slow packages");
+    statGroup.addCounter("hedge_wins", &hedgeWins_,
+                         "hedged packages that still resolved");
+    statGroup.addCounter("flush_full", &flushFull_,
+                         "staging-buffer flushes at full occupancy");
+    statGroup.addCounter("flush_age", &flushAge_,
+                         "staging-buffer flushes by the age bound");
+    statGroup.addCounter("flush_forced", &flushForced_,
+                         "staging-buffer flushes forced by the owner");
     statGroup.addAverage("pack_fill", &packFill_,
                          "requests per emitted package (max 64)");
+    statGroup.addHistogram("stage_age_us", &stageAgeUs_,
+                           "staging-buffer age at flush (us)");
+    statGroup.addHistogram("rtt_us", &rttUs_,
+                           "package submit-to-resolve RTT (us)");
+    statGroup.addHistogram("inflight_reads", &inflightDepth_,
+                           "in-flight reads sampled at each flush");
 }
 
 void
@@ -93,52 +113,59 @@ ShardChannel::setTrace(const trace::TraceContext &ctx)
 }
 
 void
-ShardChannel::beginRound()
+ShardChannel::beginBatch()
 {
     lsd_assert(packer_.pendingRequests() == 0,
-               "beginRound with unflushed requests");
-    ++roundGen_;
+               "beginBatch with staged requests");
+    lsd_assert(inflightReads_ == 0,
+               "beginBatch with reads in flight");
+    ++batchGen_;
     slots_.clear();
+    pkgs_.clear();
     nextUnflushedSlot = 0;
-    roundFailures_ = 0;
+    batchFailures_ = 0;
     reqPending_.clear();
     rspPending_.clear();
+    stageAgeArmed_ = false;
 
-    roundWallStart_ = trace::wallNow();
-    roundRetransBase_ = retransmissions();
-    roundPkgBase_ = packages();
-    roundCtx_ =
+    batchWallStart_ = trace::wallNow();
+    batchRetransBase_ = retransmissions();
+    batchPkgBase_ = packages();
+    batchHedgeBase_ = hedges();
+    batchCtx_ =
         trace_.valid() ? trace_.child() : trace::TraceContext{};
-    req_.setTrace(roundCtx_);
-    rsp_.setTrace(roundCtx_);
+    req_.setTrace(batchCtx_);
+    rsp_.setTrace(batchCtx_);
 }
 
 void
-ShardChannel::endRound()
+ShardChannel::endBatch()
 {
-    const std::uint64_t retrans = retransmissions() - roundRetransBase_;
+    const std::uint64_t retrans = retransmissions() - batchRetransBase_;
     if (slots_.empty() && retrans == 0)
-        return; // idle round: nothing worth a slice
+        return; // idle batch: nothing worth a slice
     trace::FlightRecorder::instance().recordNow(
-        "mof.round", roundCtx_.trace_id, roundCtx_.span_id,
+        "mof.batch", batchCtx_.trace_id, batchCtx_.span_id,
         static_cast<double>(slots_.size()),
-        static_cast<double>(roundFailures_));
+        static_cast<double>(batchFailures_));
     if (!trace::Tracer::enabled())
         return;
     auto &tracer = trace::Tracer::instance();
     std::string args;
-    if (roundCtx_.valid())
-        args = roundCtx_.argsJson() + ",";
-    args += "\"staged\":" + std::to_string(slots_.size()) +
-            ",\"failed\":" + std::to_string(roundFailures_) +
+    if (batchCtx_.valid())
+        args = batchCtx_.argsJson() + ",";
+    args += "\"submitted\":" + std::to_string(slots_.size()) +
+            ",\"failed\":" + std::to_string(batchFailures_) +
             ",\"packages\":" +
-            std::to_string(packages() - roundPkgBase_) +
+            std::to_string(packages() - batchPkgBase_) +
+            ",\"hedges\":" +
+            std::to_string(hedges() - batchHedgeBase_) +
             ",\"retransmissions\":" + std::to_string(retrans) +
             ",\"down\":" + (down_ ? "true" : "false");
     const Tick now = trace::wallNow();
     tracer.complete(trace::wall_pid,
-                    tracer.track(trace::wall_pid, name()), "round",
-                    roundWallStart_, now - roundWallStart_, args);
+                    tracer.track(trace::wall_pid, name()), "batch",
+                    batchWallStart_, now - batchWallStart_, args);
 }
 
 void
@@ -146,40 +173,114 @@ ShardChannel::markDown()
 {
     down_ = true;
     trace::FlightRecorder::instance().recordNow(
-        "mof.markdown", roundCtx_.trace_id, roundCtx_.span_id,
+        "mof.markdown", batchCtx_.trace_id, batchCtx_.span_id,
         static_cast<double>(peer_));
 }
 
+Tick
+ShardChannel::stagingAge() const
+{
+    return packer_.pendingRequests() == 0 ? 0
+                                          : curTick() - stageStart_;
+}
+
 ShardChannel::Slot
-ShardChannel::stage(std::uint64_t address, std::uint32_t bytes)
+ShardChannel::submit(std::uint64_t address, std::uint32_t bytes)
 {
     const Slot slot = static_cast<Slot>(slots_.size());
     reads_.inc();
     if (down_) {
         slots_.push_back(SlotState{bytes, true, false});
         degraded_.inc();
-        ++roundFailures_;
+        ++batchFailures_;
         return slot;
     }
     slots_.push_back(SlotState{bytes, false, false});
     packer_.add(ReadRequest{address, bytes, ContextTag{}});
+    if (packer_.pendingRequests() == 1) {
+        stageStart_ = curTick();
+        if (params_.stage_age > 0) {
+            stageAgeEv_ = eventq.scheduleAfter(
+                params_.stage_age, [this, gen = batchGen_] {
+                    onStageAge(gen);
+                });
+            stageAgeArmed_ = true;
+        }
+    }
+    if (params_.stage_age == 0 ||
+        packer_.pendingRequests() >= params_.packer.format.max_requests)
+        flushBuffer(params_.stage_age == 0 ? FlushCause::Forced
+                                           : FlushCause::Full);
     return slot;
 }
 
 void
-ShardChannel::flush()
+ShardChannel::flushStaged()
 {
-    if (packer_.pendingRequests() == 0)
+    flushBuffer(FlushCause::Forced);
+}
+
+void
+ShardChannel::onStageAge(std::uint64_t gen)
+{
+    if (gen != batchGen_)
         return;
-    const std::vector<Package> pkgs = packer_.flush();
-    for (const Package &pkg : pkgs) {
+    stageAgeArmed_ = false;
+    flushBuffer(FlushCause::Age);
+}
+
+Tick
+ShardChannel::hedgeDelay()
+{
+    Tick delay = params_.hedge_floor;
+    // Quantile-driven: once enough package RTTs are on record, a
+    // read that outlives multiplier x the q-quantile is hedged.
+    if (rttUs_.samples() >= 32) {
+        const double us =
+            rttUs_.percentile(params_.hedge_quantile) *
+            params_.hedge_multiplier;
+        delay = std::max(delay, microseconds(us));
+    }
+    return delay;
+}
+
+void
+ShardChannel::flushBuffer(FlushCause cause)
+{
+    if (packer_.pendingRequests() == 0 || down_)
+        return;
+    if (stageAgeArmed_) {
+        eventq.deschedule(stageAgeEv_);
+        stageAgeArmed_ = false;
+    }
+    switch (cause) {
+    case FlushCause::Full:
+        flushFull_.inc();
+        break;
+    case FlushCause::Age:
+        flushAge_.inc();
+        break;
+    case FlushCause::Forced:
+        flushForced_.inc();
+        break;
+    }
+    stageAgeUs_.sample(
+        static_cast<double>(curTick() - stageStart_) / 1e6);
+    const Tick hedge_after =
+        params_.hedge_quantile > 0.0 ? hedgeDelay() : 0;
+
+    const std::vector<Package> flushed = packer_.flush();
+    for (const Package &pkg : flushed) {
+        const auto idx = static_cast<std::uint32_t>(pkgs_.size());
         OutPkg out;
         out.first_slot = nextUnflushedSlot;
         out.count = static_cast<std::uint32_t>(pkg.requests.size());
-        out.response_bytes = 0;
+        out.wire_bytes = pkg.wireBytes();
+        out.sent_at = curTick();
         for (const ReadRequest &req : pkg.requests)
             out.response_bytes += req.bytes;
         nextUnflushedSlot += out.count;
+        inflightReads_ += out.count;
 
         packages_.inc();
         packFill_.sample(static_cast<double>(out.count));
@@ -190,35 +291,45 @@ ShardChannel::flush()
         // Push the ledger entry before send(): a broken channel
         // fails synchronously through onWireFailure, which must see
         // this package as unanswered.
-        reqPending_.push_back(out);
+        pkgs_.push_back(out);
+        reqPending_.push_back(idx);
         req_.send(static_cast<std::uint32_t>(pkg.wireBytes()));
         if (down_)
-            break; // the failure path already failed every slot
+            break; // the failure path already settled everything
+        OutPkg &live = pkgs_[idx];
+        live.deadline_ev = eventq.scheduleAfter(
+            params_.request_timeout,
+            [this, idx, gen = batchGen_] { onDeadline(idx, gen); });
+        live.deadline_armed = true;
+        if (hedge_after > 0) {
+            live.hedge_ev = eventq.scheduleAfter(
+                hedge_after, [this, idx, gen = batchGen_] {
+                    onHedgeTimer(idx, gen);
+                });
+            live.hedge_armed = true;
+        }
     }
     if (!down_)
-        eventq.scheduleAfter(params_.request_timeout,
-                             [this, gen = roundGen_] {
-                                 onDeadline(gen);
-                             });
+        inflightDepth_.sample(static_cast<double>(inflightReads_));
 }
 
 void
 ShardChannel::onRequestDelivered()
 {
     if (down_ || reqPending_.empty())
-        return; // a failed round already settled its slots
-    const OutPkg pkg = reqPending_.front();
+        return; // a broken channel already settled its slots
+    const std::uint32_t idx = reqPending_.front();
     reqPending_.pop_front();
     // The peer fans the packed reads out to its memory channel; one
     // aggregate access stands in for the per-request stream (the
     // response package is what crosses the fabric back).
     const std::uint64_t bytes =
-        params_.response_header_bytes + pkg.response_bytes;
-    const std::uint64_t gen = roundGen_;
-    peerMem_.request(bytes, 0, [this, pkg, bytes, gen] {
-        if (gen != roundGen_ || down_)
+        params_.response_header_bytes + pkgs_[idx].response_bytes;
+    const std::uint64_t gen = batchGen_;
+    peerMem_.request(bytes, 0, [this, idx, bytes, gen] {
+        if (gen != batchGen_ || down_)
             return;
-        rspPending_.push_back(pkg);
+        rspPending_.push_back(idx);
         rsp_.send(static_cast<std::uint32_t>(bytes));
     });
 }
@@ -228,38 +339,85 @@ ShardChannel::onResponseDelivered()
 {
     if (down_ || rspPending_.empty())
         return;
-    const OutPkg pkg = rspPending_.front();
+    const std::uint32_t idx = rspPending_.front();
     rspPending_.pop_front();
-    for (std::uint32_t i = 0; i < pkg.count; ++i) {
-        SlotState &slot = slots_[pkg.first_slot + i];
-        // A slot the deadline already failed stays failed: the round
-        // answered it from the fallback, so a late response must not
-        // resurrect it (exactly-once per round).
-        if (!slot.failed)
-            slot.resolved = true;
-    }
+    OutPkg &pkg = pkgs_[idx];
+    // A package the deadline already failed stays failed: its reads
+    // were answered from the fallback, so a late (or duplicate
+    // hedged) response must not resurrect them.
+    if (pkg.settled)
+        return;
+    rttUs_.sample(static_cast<double>(curTick() - pkg.sent_at) / 1e6);
+    if (pkg.hedged)
+        hedgeWins_.inc();
+    settlePackage(pkg, SettleOutcome::Resolved);
 }
 
 void
-ShardChannel::onDeadline(std::uint64_t gen)
+ShardChannel::onDeadline(std::uint32_t pkg_index, std::uint64_t gen)
 {
-    if (gen != roundGen_ || down_)
+    if (gen != batchGen_ || down_)
         return;
-    std::uint64_t missed = 0;
-    for (SlotState &slot : slots_) {
+    OutPkg &pkg = pkgs_[pkg_index];
+    pkg.deadline_armed = false;
+    if (pkg.settled)
+        return;
+    trace::FlightRecorder::instance().recordNow(
+        "mof.deadline", batchCtx_.trace_id, batchCtx_.span_id,
+        static_cast<double>(pkg.count),
+        static_cast<double>(slots_.size()));
+    settlePackage(pkg, SettleOutcome::DeadlineMiss);
+}
+
+void
+ShardChannel::onHedgeTimer(std::uint32_t pkg_index, std::uint64_t gen)
+{
+    if (gen != batchGen_ || down_)
+        return;
+    OutPkg &pkg = pkgs_[pkg_index];
+    pkg.hedge_armed = false;
+    if (pkg.settled)
+        return;
+    // Re-issue the package's reads — in deployment against the
+    // hot-vertex-cache replica holding the same rows, here over the
+    // same modeled wire — and let the first answer settle the slots.
+    pkg.hedged = true;
+    hedges_.inc();
+    wireBytes_.inc(pkg.wire_bytes);
+    reqPending_.push_back(pkg_index);
+    req_.send(static_cast<std::uint32_t>(pkg.wire_bytes));
+}
+
+void
+ShardChannel::settlePackage(OutPkg &pkg, SettleOutcome outcome)
+{
+    pkg.settled = true;
+    if (pkg.deadline_armed) {
+        eventq.deschedule(pkg.deadline_ev);
+        pkg.deadline_armed = false;
+    }
+    if (pkg.hedge_armed) {
+        eventq.deschedule(pkg.hedge_ev);
+        pkg.hedge_armed = false;
+    }
+    for (std::uint32_t i = 0; i < pkg.count; ++i) {
+        SlotState &slot = slots_[pkg.first_slot + i];
         if (slot.resolved || slot.failed)
             continue;
-        slot.failed = true;
-        degraded_.inc();
-        deadlineMisses_.inc();
-        ++roundFailures_;
-        ++missed;
+        if (outcome == SettleOutcome::Resolved) {
+            slot.resolved = true;
+        } else {
+            slot.failed = true;
+            degraded_.inc();
+            if (outcome == SettleOutcome::DeadlineMiss)
+                deadlineMisses_.inc();
+            ++batchFailures_;
+        }
     }
-    if (missed > 0)
-        trace::FlightRecorder::instance().recordNow(
-            "mof.deadline", roundCtx_.trace_id, roundCtx_.span_id,
-            static_cast<double>(missed),
-            static_cast<double>(slots_.size()));
+    lsd_assert(inflightReads_ >= pkg.count, "in-flight underflow");
+    inflightReads_ -= pkg.count;
+    if (completion_)
+        completion_(*this, pkg.first_slot, pkg.count);
 }
 
 void
@@ -267,21 +425,35 @@ ShardChannel::onWireFailure(const Status &cause)
 {
     (void)cause;
     down_ = true;
-    failUnresolved();
+    if (stageAgeArmed_) {
+        eventq.deschedule(stageAgeEv_);
+        stageAgeArmed_ = false;
+    }
     reqPending_.clear();
     rspPending_.clear();
-}
-
-void
-ShardChannel::failUnresolved()
-{
-    for (SlotState &slot : slots_) {
+    // Staged-but-unflushed reads die with the wire too: drain the
+    // packer and fail the tail range [nextUnflushedSlot, end).
+    (void)packer_.flush();
+    const std::uint32_t tail_first = nextUnflushedSlot;
+    const auto tail_end = static_cast<std::uint32_t>(slots_.size());
+    nextUnflushedSlot = tail_end;
+    for (std::size_t i = 0; i < pkgs_.size(); ++i) {
+        OutPkg &pkg = pkgs_[i];
+        if (!pkg.settled)
+            settlePackage(pkg, SettleOutcome::WireFailure);
+    }
+    std::uint32_t tail_failed = 0;
+    for (std::uint32_t s = tail_first; s < tail_end; ++s) {
+        SlotState &slot = slots_[s];
         if (slot.resolved || slot.failed)
             continue;
         slot.failed = true;
         degraded_.inc();
-        ++roundFailures_;
+        ++batchFailures_;
+        ++tail_failed;
     }
+    if (tail_failed > 0 && completion_)
+        completion_(*this, tail_first, tail_end - tail_first);
 }
 
 } // namespace mof

@@ -34,11 +34,19 @@ ServiceStats::ServiceStats()
       stageBatch_("batch"),
       stageSample_("sample"),
       stageRemote_("remote"),
-      cacheHitPct_(0.0, 100.0, 101)
+      cacheHitPct_(0.0, 100.0, 101),
+      fabricHedges_(0.0, 256.0, 64),
+      fabricInflightPeak_(0.0, 65'536.0, 128)
 {
     stageCacheGroup_.addHistogram(
         "hit_pct", &cacheHitPct_,
         "hot-vertex cache hit percentage per request");
+    stageFabricGroup_.addHistogram(
+        "hedges", &fabricHedges_,
+        "async-fabric hedge re-issues per batch with remote reads");
+    stageFabricGroup_.addHistogram(
+        "inflight_peak", &fabricInflightPeak_,
+        "peak in-flight remote reads per batch with remote reads");
     group_.addCounter("completed", &completed_,
                       "requests answered with a sample");
     group_.addCounter("batches", &batches_, "micro-batches executed");
@@ -83,7 +91,9 @@ void
 ServiceStats::recordStages(double queue_us, double batch_us,
                            double sample_us, double remote_us,
                            std::uint64_t cache_lookups,
-                           std::uint64_t cache_hits)
+                           std::uint64_t cache_hits,
+                           std::uint64_t hedges,
+                           std::uint64_t inflight_peak)
 {
     std::lock_guard<std::mutex> lock(mutex_);
     stageQueue_.us.sample(queue_us);
@@ -94,6 +104,11 @@ ServiceStats::recordStages(double queue_us, double batch_us,
         cacheHitPct_.sample(100.0 *
                             static_cast<double>(cache_hits) /
                             static_cast<double>(cache_lookups));
+    if (inflight_peak != 0) {
+        fabricHedges_.sample(static_cast<double>(hedges));
+        fabricInflightPeak_.sample(
+            static_cast<double>(inflight_peak));
+    }
 }
 
 void

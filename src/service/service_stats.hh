@@ -63,12 +63,18 @@ class ServiceStats
      * microseconds; see the file comment for stage definitions).
      * @p cache_lookups / @p cache_hits are the batch's hot-vertex
      * cache probe counts; hit percentage is only sampled when the
-     * batch probed the tier at least once.
+     * batch probed the tier at least once. @p hedges / @p
+     * inflight_peak are the async fabric's hedge re-issues and peak
+     * simultaneous in-flight remote reads for the batch; both are
+     * only sampled when the batch actually had reads in flight, so
+     * the windowed fabric view ignores all-local batches.
      */
     void recordStages(double queue_us, double batch_us,
                       double sample_us, double remote_us,
                       std::uint64_t cache_lookups = 0,
-                      std::uint64_t cache_hits = 0);
+                      std::uint64_t cache_hits = 0,
+                      std::uint64_t hedges = 0,
+                      std::uint64_t inflight_peak = 0);
 
     /** Completed (Ok) requests so far. */
     std::uint64_t completed() const;
@@ -117,6 +123,10 @@ class ServiceStats
     /** Hot-vertex-cache hit percentage per request (0-100). */
     stats::StatGroup stageCacheGroup_{"service.stage.cache"};
     stats::Histogram cacheHitPct_;
+    /** Async-fabric view per request with remote reads in flight. */
+    stats::StatGroup stageFabricGroup_{"service.stage.fabric"};
+    stats::Histogram fabricHedges_;
+    stats::Histogram fabricInflightPeak_;
 };
 
 } // namespace service

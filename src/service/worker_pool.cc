@@ -173,7 +173,8 @@ WorkerPool::run(std::uint32_t worker_id)
             stats_.recordCompletion(reply);
             stats_.recordStages(reply.queue_us, batch_us, exec_us,
                                 telem.remote_us, telem.cache_lookups,
-                                telem.cache_hits);
+                                telem.cache_hits, telem.hedges,
+                                telem.inflight_peak);
             // A request that finished past its drop-dead time is an
             // SLO anomaly even though it was answered: record it and
             // (rate-limited) snapshot the flight recorder.

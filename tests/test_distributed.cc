@@ -84,58 +84,173 @@ lossyParams(double loss)
     p.wire.loss_probability = loss;
     p.wire.ack_loss_probability = loss;
     p.wire.seed = 1234;
-    // Generous round deadline: these tests assert ARQ *recovery*, so
-    // the deadline must not preempt the retransmission process.
+    // Generous package deadline: these tests assert ARQ *recovery*,
+    // so the deadline must not preempt the retransmission process.
     p.request_timeout = microseconds(50'000);
     return p;
 }
 
 void
-runLossRounds(double loss, std::uint64_t &retransmissions)
+runLossBatches(double loss, std::uint64_t &retransmissions)
 {
     sim::EventQueue eq;
     mof::ShardChannel ch(eq, lossyParams(loss), 0, 1);
-    constexpr std::uint32_t rounds = 10, reads = 100;
-    for (std::uint32_t r = 0; r < rounds; ++r) {
-        ch.beginRound();
+    constexpr std::uint32_t batches = 10, reads = 100;
+    for (std::uint32_t b = 0; b < batches; ++b) {
+        ch.beginBatch();
         std::vector<mof::ShardChannel::Slot> slots;
         for (std::uint32_t i = 0; i < reads; ++i)
-            slots.push_back(ch.stage(std::uint64_t(i) * 64, 64));
-        ch.flush();
+            slots.push_back(ch.submit(std::uint64_t(i) * 64, 64));
+        ch.flushStaged();
         eq.run();
-        // Exactly-once per round: every slot resolved, none failed.
-        EXPECT_EQ(ch.roundFailures(), 0u) << "round " << r;
-        for (const auto slot : slots)
-            EXPECT_FALSE(ch.roundFailed(slot));
+        // Exactly-once per batch: every slot resolved, none failed.
+        EXPECT_EQ(ch.batchFailures(), 0u) << "batch " << b;
+        for (const auto slot : slots) {
+            EXPECT_TRUE(ch.settled(slot));
+            EXPECT_FALSE(ch.failed(slot));
+        }
+        ch.endBatch();
     }
     EXPECT_FALSE(ch.down());
     EXPECT_EQ(ch.degradedReads(), 0u);
-    EXPECT_EQ(ch.reads(), std::uint64_t(rounds) * reads);
-    // MoF packing: 100 reads per round -> 2 packages of <= 64.
-    EXPECT_EQ(ch.packages(), std::uint64_t(rounds) * 2);
+    EXPECT_EQ(ch.reads(), std::uint64_t(batches) * reads);
+    // MoF packing: 100 reads per batch -> 2 packages of <= 64.
+    EXPECT_EQ(ch.packages(), std::uint64_t(batches) * 2);
     EXPECT_GT(ch.packOccupancy(), 32.0);
     retransmissions = ch.retransmissions();
 }
 
-TEST(ShardChannel, LosslessRoundsDeliverEverything)
+TEST(ShardChannel, LosslessBatchesDeliverEverything)
 {
     std::uint64_t retx = ~0ull;
-    runLossRounds(0.0, retx);
+    runLossBatches(0.0, retx);
     EXPECT_EQ(retx, 0u);
 }
 
 TEST(ShardChannel, FivePercentLossRecoversViaArq)
 {
     std::uint64_t retx = 0;
-    runLossRounds(0.05, retx);
+    runLossBatches(0.05, retx);
     EXPECT_GT(retx, 0u);
 }
 
 TEST(ShardChannel, TwentyPercentLossRecoversViaArq)
 {
     std::uint64_t retx = 0;
-    runLossRounds(0.20, retx);
+    runLossBatches(0.20, retx);
     EXPECT_GT(retx, 0u);
+}
+
+TEST(ShardChannel, StagingPacksAcrossWaves)
+{
+    // Two separate 32-read submission waves share one 64-request
+    // frame: the staging buffer persists between waves instead of
+    // flushing per wave like the old round protocol.
+    sim::EventQueue eq;
+    mof::ShardChannel ch(eq, lossyParams(0.0), 0, 1);
+    ch.beginBatch();
+    for (std::uint32_t i = 0; i < 32; ++i)
+        ch.submit(std::uint64_t(i) * 64, 64);
+    EXPECT_EQ(ch.stagedReads(), 32u); // first wave parks in staging
+    for (std::uint32_t i = 32; i < 64; ++i)
+        ch.submit(std::uint64_t(i) * 64, 64);
+    EXPECT_EQ(ch.stagedReads(), 0u); // full frame auto-flushed
+    ch.flushStaged();
+    eq.run();
+    EXPECT_EQ(ch.packages(), 1u);
+    EXPECT_DOUBLE_EQ(ch.packOccupancy(), 64.0);
+    EXPECT_EQ(ch.batchFailures(), 0u);
+    ch.endBatch();
+}
+
+TEST(ShardChannel, AgeBoundFlushesPartialBufferWithoutForcedFlush)
+{
+    // A partially filled buffer transmits on its own once the age
+    // bound expires — no flushStaged() needed for progress.
+    sim::EventQueue eq;
+    auto p = lossyParams(0.0);
+    p.stage_age = microseconds(2);
+    mof::ShardChannel ch(eq, p, 0, 1);
+    ch.beginBatch();
+    std::vector<mof::ShardChannel::Slot> slots;
+    for (std::uint32_t i = 0; i < 10; ++i)
+        slots.push_back(ch.submit(std::uint64_t(i) * 64, 64));
+    EXPECT_EQ(ch.stagedReads(), 10u);
+    eq.run();
+    EXPECT_EQ(ch.stagedReads(), 0u);
+    EXPECT_EQ(ch.packages(), 1u);
+    for (const auto slot : slots) {
+        EXPECT_TRUE(ch.settled(slot));
+        EXPECT_FALSE(ch.failed(slot));
+    }
+    ch.endBatch();
+}
+
+TEST(ShardChannel, OutOfOrderCompletionIsPerPackage)
+{
+    // Per-package deadlines, not per-round: a slow package fails
+    // alone while an already-resolved fast one stays resolved, the
+    // completion callback fires once per package with its exact slot
+    // range, and the slow package's late response must not resurrect
+    // its failed slots (exactly-once settlement).
+    sim::EventQueue eq;
+    auto p = lossyParams(0.0);
+    p.request_timeout = microseconds(200);
+    mof::ShardChannel ch(eq, p, 0, 1);
+    std::vector<std::pair<mof::ShardChannel::Slot, std::uint32_t>>
+        completions;
+    ch.setCompletion([&](mof::ShardChannel &, mof::ShardChannel::Slot
+                         first, std::uint32_t count) {
+        completions.emplace_back(first, count);
+    });
+
+    ch.beginBatch();
+    // Fast package: one 64-byte read, resolves in microseconds.
+    const auto fast = ch.submit(0, 64);
+    ch.flushStaged();
+    // Slow package: a 4 MB response outlives the 200 us deadline.
+    const auto slow = ch.submit(1 << 20, 4u << 20);
+    ch.flushStaged();
+    eq.run();
+
+    EXPECT_TRUE(ch.settled(fast));
+    EXPECT_FALSE(ch.failed(fast));
+    EXPECT_TRUE(ch.settled(slow));
+    EXPECT_TRUE(ch.failed(slow));
+    EXPECT_EQ(ch.batchFailures(), 1u);
+    EXPECT_EQ(ch.degradedReads(), 1u);
+    ASSERT_EQ(completions.size(), 2u);
+    EXPECT_EQ(completions[0], std::make_pair(fast, 1u));
+    EXPECT_EQ(completions[1], std::make_pair(slow, 1u));
+    EXPECT_FALSE(ch.down()); // a deadline miss is not a dead peer
+    ch.endBatch();
+}
+
+TEST(ShardChannel, HedgedReadsCutTheLossTail)
+{
+    // At heavy loss with hedging armed, slow packages are re-issued
+    // and the first answer wins: everything still resolves, and the
+    // hedge counters show re-issues actually happened.
+    sim::EventQueue eq;
+    auto p = lossyParams(0.4);
+    p.hedge_quantile = 0.5;
+    p.hedge_multiplier = 1.5;
+    p.hedge_floor = microseconds(5);
+    mof::ShardChannel ch(eq, p, 0, 1);
+    for (std::uint32_t b = 0; b < 10; ++b) {
+        ch.beginBatch();
+        std::vector<mof::ShardChannel::Slot> slots;
+        for (std::uint32_t i = 0; i < 64; ++i)
+            slots.push_back(ch.submit(std::uint64_t(i) * 64, 64));
+        ch.flushStaged();
+        eq.run();
+        EXPECT_EQ(ch.batchFailures(), 0u) << "batch " << b;
+        for (const auto slot : slots)
+            EXPECT_FALSE(ch.failed(slot));
+        ch.endBatch();
+    }
+    EXPECT_GT(ch.hedges(), 0u);
+    EXPECT_LE(ch.hedgeWins(), ch.hedges());
 }
 
 TEST(ShardChannel, DeadPeerTripsBreakerWithBoundedRetries)
@@ -147,28 +262,30 @@ TEST(ShardChannel, DeadPeerTripsBreakerWithBoundedRetries)
     p.request_timeout = microseconds(50'000);
     mof::ShardChannel ch(eq, p, 0, 2);
 
-    ch.beginRound();
+    ch.beginBatch();
     std::vector<mof::ShardChannel::Slot> slots;
     for (std::uint32_t i = 0; i < 40; ++i)
-        slots.push_back(ch.stage(std::uint64_t(i) * 64, 64));
-    ch.flush();
+        slots.push_back(ch.submit(std::uint64_t(i) * 64, 64));
+    ch.flushStaged();
     eq.run(); // must terminate: the breaker stops the retry timer
 
     EXPECT_TRUE(ch.down());
-    EXPECT_EQ(ch.roundFailures(), slots.size());
+    EXPECT_EQ(ch.batchFailures(), slots.size());
     for (const auto slot : slots)
-        EXPECT_TRUE(ch.roundFailed(slot));
+        EXPECT_TRUE(ch.failed(slot));
     // Bounded retries: at most max_retries go-back-N window resends.
     EXPECT_LE(ch.retransmissions(),
               std::uint64_t(p.wire.max_retries) * p.wire.window);
+    ch.endBatch();
 
-    // Fail-fast from now on: staged reads are born failed.
-    ch.beginRound();
-    const auto slot = ch.stage(0, 64);
-    EXPECT_TRUE(ch.roundFailed(slot));
-    ch.flush();
+    // Fail-fast from now on: submitted reads are born failed.
+    ch.beginBatch();
+    const auto slot = ch.submit(0, 64);
+    EXPECT_TRUE(ch.settled(slot));
+    EXPECT_TRUE(ch.failed(slot));
     eq.run();
-    EXPECT_EQ(ch.roundFailures(), 1u);
+    EXPECT_EQ(ch.batchFailures(), 1u);
+    ch.endBatch();
 }
 
 TEST(ShardChannel, MarkDownFailsFastWithoutSimulation)
@@ -176,10 +293,10 @@ TEST(ShardChannel, MarkDownFailsFastWithoutSimulation)
     sim::EventQueue eq;
     mof::ShardChannel ch(eq, {}, 1, 0);
     ch.markDown();
-    ch.beginRound();
-    const auto slot = ch.stage(128, 256);
-    EXPECT_TRUE(ch.roundFailed(slot));
-    ch.flush();
+    ch.beginBatch();
+    const auto slot = ch.submit(128, 256);
+    EXPECT_TRUE(ch.failed(slot));
+    ch.flushStaged();
     EXPECT_TRUE(eq.empty()); // nothing was ever transmitted
 }
 

@@ -255,12 +255,12 @@ TEST(FlightRecorder, ArqBreakerTripProducesADump)
     p.request_timeout = microseconds(50'000);
     mof::ShardChannel ch(eq, p, 0, 3);
     ch.setTrace(trace::TraceContext::root(555));
-    ch.beginRound();
+    ch.beginBatch();
     for (std::uint32_t i = 0; i < 8; ++i)
-        ch.stage(std::uint64_t(i) * 64, 64);
-    ch.flush();
+        ch.submit(std::uint64_t(i) * 64, 64);
+    ch.flushStaged();
     eq.run();
-    ch.endRound();
+    ch.endBatch();
     ASSERT_TRUE(ch.down());
 
     EXPECT_GT(fr.trips(), trips_before);

@@ -9,6 +9,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cctype>
 #include <cstdio>
 #include <fstream>
@@ -277,8 +279,11 @@ class TraceFile : public ::testing::Test
     static void
     SetUpTestSuite()
     {
-        path_ = new std::string(::testing::TempDir() +
-                                "lsdgnn_trace_test.json");
+        // Per-process name: ctest -j runs each TraceFile.* case in its
+        // own process, and a shared path lets them clobber each other.
+        path_ = new std::string(
+            ::testing::TempDir() + "lsdgnn_trace_test." +
+            std::to_string(static_cast<long>(::getpid())) + ".json");
         trace::Tracer::instance().open(*path_);
         ASSERT_TRUE(trace::Tracer::enabled());
         runTracedSim();
