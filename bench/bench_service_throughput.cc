@@ -38,6 +38,15 @@ baseConfig(std::uint32_t workers, std::chrono::microseconds window)
     return cfg;
 }
 
+bool
+flagRequested(int argc, char **argv, std::string_view flag)
+{
+    for (int i = 1; i < argc; ++i)
+        if (std::string_view(argv[i]) == flag)
+            return true;
+    return false;
+}
+
 } // namespace
 
 int
@@ -45,6 +54,7 @@ main(int argc, char **argv)
 {
     using namespace lsdgnn;
     const bool json = bench::jsonRequested(argc, argv);
+    const bool qos_gate = flagRequested(argc, argv, "--qos-gate");
     bench::banner("Service throughput — QPS vs latency",
                   "request packing + admission control: closed-loop "
                   "scaling with workers, bounded latency under "
@@ -99,6 +109,94 @@ main(int argc, char **argv)
     }
     closed.print(std::cout);
 
+    // Mixed tenants: a paced Interactive tenant sharing the service
+    // with a Batch tenant flooding far beyond capacity. QoS isolation
+    // (lane budgets + weighted-fair dequeue) must hold the Interactive
+    // SLO while the Batch lane absorbs the shedding; --qos-gate turns
+    // the assertion into the release smoke gate's exit code.
+    std::cout << "\nmixed tenants (2 workers, queue 64, batch tenant "
+                 "flooding at 20K QPS):\n";
+    std::ostringstream mixed_json;
+    bool gate_ok = true;
+    {
+        auto cfg = baseConfig(2, 200us);
+        cfg.queue_capacity = 64;
+        cfg.qos.tenants.emplace_back(
+            1, service::TenantConfig{"online", 0.0, 32.0, 1});
+        cfg.qos.tenants.emplace_back(
+            2, service::TenantConfig{"train", 0.0, 32.0, 1});
+        service::SamplingService svc(cfg);
+        service::LoadGenerator gen(svc);
+
+        service::TenantRun online;
+        online.label = "online";
+        online.tenant = 1;
+        online.lane = service::Lane::Interactive;
+        online.plan.batch_size = 8;
+        online.plan.fanouts = {5, 5};
+        online.target_qps = 200.0;
+        online.deadline = 25ms; // the SLO target
+        online.seed = 11;
+        service::TenantRun train;
+        train.label = "train";
+        train.tenant = 2;
+        train.lane = service::Lane::Batch;
+        train.plan = plan; // the heavyweight sweep plan
+        train.plan.batch_size = 256;
+        train.target_qps = 20'000.0;
+        train.seed = 13;
+        const auto mixed = gen.runMixed({online, train}, 500ms);
+        svc.shutdown();
+
+        TextTable mt;
+        mt.header({"tenant", "lane", "offered", "ok", "SLO %",
+                   "shed %", "sheds (adm/full/brown/ddl)", "p99 us"});
+        for (const auto &[run, r] : mixed.runs) {
+            mt.row({run.label, toString(run.lane),
+                    TextTable::num(r.offered), TextTable::num(r.ok),
+                    TextTable::num(r.sloAttainment() * 100, 1),
+                    TextTable::num(r.shedFraction() * 100, 1),
+                    TextTable::num(r.sheds.admission_throttle) + "/" +
+                        TextTable::num(r.sheds.queue_full) + "/" +
+                        TextTable::num(r.sheds.brownout) + "/" +
+                        TextTable::num(r.sheds.deadline_drop),
+                    TextTable::num(r.p99_us, 1)});
+            mixed_json << (mixed_json.tellp() > 0 ? "," : "")
+                       << "{\"tenant\":\"" << run.label
+                       << "\",\"lane\":\"" << toString(run.lane)
+                       << "\",\"offered\":" << r.offered
+                       << ",\"ok\":" << r.ok
+                       << ",\"slo_attainment\":" << r.sloAttainment()
+                       << ",\"shed_fraction\":" << r.shedFraction()
+                       << ",\"sheds\":{\"admission_throttle\":"
+                       << r.sheds.admission_throttle
+                       << ",\"queue_full\":" << r.sheds.queue_full
+                       << ",\"brownout\":" << r.sheds.brownout
+                       << ",\"deadline_drop\":" << r.sheds.deadline_drop
+                       << "},\"p99_us\":" << r.p99_us << "}";
+        }
+        mt.print(std::cout);
+
+        const auto &online_r = mixed.runs[0].second;
+        const auto &train_r = mixed.runs[1].second;
+        const bool batch_saturated = train_r.sheds.total() > 0;
+        const bool slo_held = online_r.sloAttainment() >= 0.95;
+        std::cout << "(interactive SLO attainment "
+                  << online_r.sloAttainment() * 100
+                  << "% under a saturating batch flood; gate needs "
+                     ">= 95% with the batch lane shedding)\n";
+        if (!batch_saturated) {
+            std::cout << "QOS GATE: batch tenant did not saturate its "
+                         "lane — the scenario is not adversarial\n";
+            gate_ok = false;
+        }
+        if (!slo_held) {
+            std::cout << "QOS GATE: interactive SLO attainment below "
+                         "95% under batch flood\n";
+            gate_ok = false;
+        }
+    }
+
     // Open loop: Poisson arrivals from well below to well above the
     // measured capacity. A small queue + deadline make overload show
     // up as shed fraction, not as an exploding p99.
@@ -142,7 +240,10 @@ main(int argc, char **argv)
                     .count();
             meta.extra = ",\"hw_threads\":" + std::to_string(hw) +
                          ",\"closed_loop\":[" + closed_json.str() +
-                         "],\"open_loop\":[" + open_json.str() + "]";
+                         "],\"open_loop\":[" + open_json.str() +
+                         "],\"mixed_tenants\":[" + mixed_json.str() +
+                         "],\"qos_gate_ok\":" +
+                         (gate_ok ? "true" : "false");
             registry_snapshot =
                 bench::jsonSummary("service_throughput", meta);
         }
@@ -154,5 +255,9 @@ main(int argc, char **argv)
                  "load)\n";
     if (json)
         std::cout << registry_snapshot << "\n";
+    if (qos_gate && !gate_ok) {
+        std::cout << "QOS GATE FAILED\n";
+        return 1;
+    }
     return 0;
 }

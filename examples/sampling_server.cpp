@@ -7,6 +7,14 @@
  * packing) and admission control absorbing an overload burst.
  *
  * Run: ./sampling_server [workers] [clients]
+ *        [--tenants N]   register N tenants ("online" + N-1 "train-k"
+ *                        batch tenants) and finish with a mixed-tenant
+ *                        QoS phase: a paced Interactive tenant riding
+ *                        through the batch tenants' flood
+ *        [--lane interactive|batch]  priority lane the closed-loop
+ *                        fleet submits on (default interactive)
+ *        [--rate QPS]    per-tenant token-bucket admission rate
+ *                        (default 0 = unlimited)
  * Observability hooks:
  *  - LSDGNN_TRACE=server.trace.json    Perfetto timeline (per-worker
  *    batch slices, per-request spans + flow arrows, queue depth).
@@ -75,10 +83,32 @@ main(int argc, char **argv)
 {
     using namespace lsdgnn;
 
+    std::uint32_t tenants = 1;
+    double tenant_rate = 0.0;
+    service::Lane fleet_lane = service::Lane::Interactive;
+    std::vector<const char *> positional;
+    for (int i = 1; i < argc; ++i) {
+        const std::string_view arg = argv[i];
+        if (arg == "--tenants" && i + 1 < argc)
+            tenants = std::uint32_t(
+                std::max(1, std::atoi(argv[++i])));
+        else if (arg == "--lane" && i + 1 < argc)
+            fleet_lane = std::string_view(argv[++i]) == "batch"
+                             ? service::Lane::Batch
+                             : service::Lane::Interactive;
+        else if (arg == "--rate" && i + 1 < argc)
+            tenant_rate = std::atof(argv[++i]);
+        else
+            positional.push_back(argv[i]);
+    }
     const std::uint32_t workers =
-        argc > 1 ? std::uint32_t(std::atoi(argv[1])) : 2;
+        positional.size() > 0
+            ? std::uint32_t(std::atoi(positional[0]))
+            : 2;
     const std::uint32_t clients =
-        argc > 2 ? std::uint32_t(std::atoi(argv[2])) : 4;
+        positional.size() > 1
+            ? std::uint32_t(std::atoi(positional[1]))
+            : 4;
 
     service::ServiceConfig cfg;
     cfg.session.dataset = "ss";
@@ -88,14 +118,32 @@ main(int argc, char **argv)
     cfg.batcher.window = 200us;
     cfg.queue_capacity = 128;
     cfg.default_deadline = 10ms; // in-queue staleness bound
+    for (std::uint32_t t = 1; t <= tenants; ++t) {
+        service::TenantConfig tenant;
+        tenant.name =
+            t == 1 ? "online" : "train-" + std::to_string(t - 1);
+        tenant.rate_qps = tenant_rate;
+        cfg.qos.tenants.emplace_back(t, tenant);
+    }
 
     sampling::SamplePlan plan;
     plan.batch_size = 64;
     plan.fanouts = {10, 10};
 
     std::cout << "sampling service: " << workers << " workers, "
-              << clients << " closed-loop clients, 200 us batching "
-                 "window\n\n";
+              << clients << " closed-loop clients ("
+              << toString(fleet_lane) << " lane), " << tenants
+              << " tenant(s)"
+              << (tenant_rate > 0
+                      ? ", " + TextTable::num(tenant_rate, 0) +
+                            " QPS/tenant admission rate"
+                      : std::string())
+              << ", 200 us batching window\n\n";
+
+    // Every fleet submission bills tenant 1 on the requested lane.
+    service::SubmitOptions fleet_options;
+    fleet_options.tenant = 1;
+    fleet_options.lane = fleet_lane;
 
     service::SamplingService svc(cfg);
 
@@ -105,7 +153,7 @@ main(int argc, char **argv)
 
     // A single request end to end: submit -> future -> Reply. The
     // service allocates the trace id (options.trace_id left 0).
-    service::SampleRequest request{plan, {}};
+    service::SampleRequest request{plan, fleet_options};
     auto reply = svc.sample(request);
     std::cout << "warm-up request: " << reply.status.toString()
               << ", " << reply.batch.totalSampled() << " samples, "
@@ -116,7 +164,8 @@ main(int argc, char **argv)
 
     // Steady state: a closed-loop client fleet.
     service::LoadGenerator gen(svc);
-    const auto steady = gen.runClosedLoop(plan, clients, 300ms);
+    const auto steady =
+        gen.runClosedLoop(plan, clients, 300ms, fleet_options);
     printWindow("steady", window.collect());
 
     TextTable table;
@@ -132,8 +181,8 @@ main(int argc, char **argv)
     // Overload burst: open-loop Poisson arrivals at ~4x the measured
     // capacity with a tight deadline — admission control sheds the
     // excess instead of queueing it forever.
-    const auto burst =
-        gen.runOpenLoop(plan, 4 * steady.goodput_qps, 200ms, 99);
+    const auto burst = gen.runOpenLoop(plan, 4 * steady.goodput_qps,
+                                       200ms, 99, fleet_options);
     const stats::WindowReport burstWindow = window.collect();
     printWindow("overload", burstWindow);
     table.row({"overload x4", TextTable::num(burst.offered),
@@ -144,6 +193,52 @@ main(int argc, char **argv)
                TextTable::num(burst.p99_us, 1)});
     std::cout << "\n";
     table.print(std::cout);
+
+    // Mixed-tenant QoS phase: the "online" tenant keeps a paced
+    // Interactive stream inside its SLO while the "train-k" tenants
+    // flood the Batch lane; lane budgets and weighted-fair dequeue
+    // keep the flood from starving the online traffic.
+    if (tenants >= 2) {
+        std::vector<service::TenantRun> runs;
+        service::TenantRun online;
+        online.label = "online";
+        online.tenant = 1;
+        online.lane = service::Lane::Interactive;
+        online.plan = plan;
+        online.plan.batch_size = 8;
+        online.target_qps = 200.0;
+        online.deadline = 25ms; // doubles as the SLO target
+        online.seed = 11;
+        runs.push_back(online);
+        for (std::uint32_t t = 2; t <= tenants; ++t) {
+            service::TenantRun train;
+            train.label = "train-" + std::to_string(t - 1);
+            train.tenant = t;
+            train.lane = service::Lane::Batch;
+            train.plan = plan;
+            train.plan.batch_size = 256;
+            train.target_qps = 20'000.0 / double(tenants - 1);
+            train.seed = 13 + t;
+            runs.push_back(train);
+        }
+        const auto mixed = gen.runMixed(runs, 300ms);
+        printWindow("mixed-tenant", window.collect());
+
+        TextTable mt;
+        mt.header({"tenant", "lane", "offered", "ok", "SLO %",
+                   "shed %", "sheds (adm/full/brown/ddl)"});
+        for (const auto &[run, r] : mixed.runs)
+            mt.row({run.label, toString(run.lane),
+                    TextTable::num(r.offered), TextTable::num(r.ok),
+                    TextTable::num(r.sloAttainment() * 100, 1),
+                    TextTable::num(r.shedFraction() * 100, 1),
+                    TextTable::num(r.sheds.admission_throttle) + "/" +
+                        TextTable::num(r.sheds.queue_full) + "/" +
+                        TextTable::num(r.sheds.brownout) + "/" +
+                        TextTable::num(r.sheds.deadline_drop)});
+        std::cout << "\n";
+        mt.print(std::cout);
+    }
 
     svc.shutdown();
 

@@ -160,6 +160,17 @@ FlightRecorder::trip(const std::string &reason)
 {
     {
         std::lock_guard<std::mutex> lock(dumpMutex_);
+        // Count every attempt, rate-limited or not: tripCount() is
+        // the deterministic assertion surface for tests.
+        bool counted = false;
+        for (auto &[name, count] : tripReasons_)
+            if (name == reason) {
+                ++count;
+                counted = true;
+                break;
+            }
+        if (!counted)
+            tripReasons_.emplace_back(reason, 1);
         const auto now = std::chrono::steady_clock::now();
         if (tripped_ && now - lastTrip_ < minInterval_)
             return false;
@@ -168,6 +179,17 @@ FlightRecorder::trip(const std::string &reason)
     }
     dumpJson(reason);
     return true;
+}
+
+std::uint64_t
+FlightRecorder::tripCount(const std::string &prefix) const
+{
+    std::lock_guard<std::mutex> lock(dumpMutex_);
+    std::uint64_t total = 0;
+    for (const auto &[name, count] : tripReasons_)
+        if (name.compare(0, prefix.size(), prefix) == 0)
+            total += count;
+    return total;
 }
 
 std::string

@@ -101,6 +101,14 @@ class FlightRecorder
     /** Dumps produced so far (rate-limited trips not counted). */
     std::uint64_t trips() const;
 
+    /**
+     * trip() calls whose reason starts with @p prefix, including
+     * rate-limited ones — the deterministic way for tests to assert
+     * "this anomaly fired" without depending on dump pacing. A ""
+     * prefix counts every trip() call.
+     */
+    std::uint64_t tripCount(const std::string &prefix) const;
+
     /** The last dump's JSON ("" before the first trip). */
     std::string lastDumpJson() const;
 
@@ -141,6 +149,8 @@ class FlightRecorder
     std::string path_;
     std::string lastDump_;
     std::uint64_t trips_ = 0;
+    /** Every trip() reason ever seen -> call count (not rate-limited). */
+    std::vector<std::pair<std::string, std::uint64_t>> tripReasons_;
     std::chrono::milliseconds minInterval_{1000};
     std::chrono::steady_clock::time_point lastTrip_{};
     bool tripped_ = false;

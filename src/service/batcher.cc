@@ -18,33 +18,66 @@ bool
 Batcher::collect(RequestQueue &queue, std::vector<Request> &out,
                  Clock::time_point *first_pop) const
 {
-    out.clear();
-    auto first = queue.pop();
-    if (!first)
-        return false;
-    const auto popped_at = Clock::now();
-    if (first_pop != nullptr)
-        *first_pop = popped_at;
-    std::uint64_t roots = first->plan.batch_size;
-    const auto window_end = popped_at + config_.window;
-    out.push_back(std::move(*first));
+    while (true) {
+        out.clear();
+        auto first = queue.pop();
+        if (!first)
+            return false;
+        const auto popped_at = Clock::now();
+        if (first_pop != nullptr)
+            *first_pop = popped_at;
+        std::uint64_t roots = first->plan.batch_size;
+        // EDF mode: the queue pops earliest-deadline-first, so the
+        // first rider's deadline is the batch's drop-dead point. The
+        // aging window never waits past it, and the queue's straddle
+        // rule keeps riders due before it out of this batch.
+        const auto dropdead = config_.deadline_aware
+                                  ? first->deadline
+                                  : Clock::time_point::max();
+        const auto window_end =
+            std::min(popped_at + config_.window, dropdead);
+        out.push_back(std::move(*first));
 
-    while (out.size() < config_.max_requests && roots < config_.max_roots) {
-        // Snapshot the arrival counter *before* scanning so an
-        // arrival racing with the scan wakes the wait immediately.
-        const std::uint64_t seen = queue.arrivals();
-        if (auto rider = queue.popCompatible(out.front(),
-                                             config_.max_roots - roots)) {
-            roots += rider->plan.batch_size;
-            out.push_back(std::move(*rider));
-            continue;
+        while (out.size() < config_.max_requests &&
+               roots < config_.max_roots) {
+            // Snapshot the arrival counter *before* scanning so an
+            // arrival racing with the scan wakes the wait immediately.
+            const std::uint64_t seen = queue.arrivals();
+            if (auto rider = queue.popCompatible(
+                    out.front(), config_.max_roots - roots, dropdead)) {
+                roots += rider->plan.batch_size;
+                out.push_back(std::move(*rider));
+                continue;
+            }
+            if (config_.window.count() == 0 ||
+                Clock::now() >= window_end)
+                break;
+            if (!queue.waitForArrival(seen, window_end))
+                break; // aged out, or the queue closed
         }
-        if (config_.window.count() == 0 || Clock::now() >= window_end)
-            break;
-        if (!queue.waitForArrival(seen, window_end))
-            break; // aged out, or the queue closed
+
+        if (config_.deadline_aware) {
+            // Final expiry sweep: a request whose deadline passed
+            // while the batch formed must not ride into execution —
+            // shed it now (through the queue's accounting) instead of
+            // spending backend time on a dead answer.
+            const auto now = Clock::now();
+            for (auto it = out.begin(); it != out.end();) {
+                if (it->deadline > now) {
+                    ++it;
+                    continue;
+                }
+                queue.shed(std::move(*it),
+                           Status(StatusCode::DeadlineExceeded,
+                                  "expired at batch close"),
+                           ShedCause::DeadlineDrop);
+                it = out.erase(it);
+            }
+        }
+        if (!out.empty())
+            return true;
+        // Every rider expired while aging; form the next batch.
     }
-    return true;
 }
 
 sampling::SamplePlan

@@ -58,6 +58,17 @@ struct BatcherConfig {
     std::uint64_t max_roots = 4096;
     /** Aging window: how long the first rider waits for company. */
     std::chrono::microseconds window{200};
+    /**
+     * Deadline-aware (EDF) batch formation. The first rider popped is
+     * the lane's earliest deadline, and its deadline becomes the
+     * batch's *drop-dead point*: the aging window never stretches past
+     * it, riders due before it are never merged in (the queue's
+     * straddle rule), and riders found expired when the batch closes
+     * are shed instead of executed — a formed batch never carries an
+     * already-expired request. false restores the pre-QoS FIFO
+     * batcher exactly (the service wires this to QosConfig::enabled).
+     */
+    bool deadline_aware = true;
 };
 
 /** Collects, merges and splits micro-batches. Stateless per batch. */

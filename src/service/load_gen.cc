@@ -35,9 +35,12 @@ tally(LoadGenReport &report, const Reply &reply,
         ++report.ok;
         if (reply.status == StatusCode::Degraded)
             ++report.degraded;
+        if (report.slo_us <= 0.0 || reply.e2e_us <= report.slo_us)
+            ++report.slo_ok;
         latencies.push_back(reply.e2e_us);
         return;
     }
+    report.sheds.add(reply.shed_cause);
     switch (reply.status.code()) {
       case StatusCode::Rejected: ++report.rejected; break;
       case StatusCode::DeadlineExceeded: ++report.dropped; break;
@@ -74,9 +77,11 @@ LoadGenReport
 LoadGenerator::runOpenLoop(const sampling::SamplePlan &plan,
                            double target_qps,
                            std::chrono::milliseconds duration,
-                           std::uint64_t seed)
+                           std::uint64_t seed,
+                           const SubmitOptions &options)
 {
     LoadGenReport report;
+    report.slo_us = static_cast<double>(options.deadline.count());
     std::vector<double> latencies;
     Rng rng(seed);
 
@@ -90,7 +95,7 @@ LoadGenerator::runOpenLoop(const sampling::SamplePlan &plan,
     auto next_arrival = start;
     while (next_arrival < end_at) {
         std::this_thread::sleep_until(next_arrival);
-        futures.push_back(service_.submit(SampleRequest{plan, {}}));
+        futures.push_back(service_.submit(SampleRequest{plan, options}));
         ++report.offered;
         // Exponential inter-arrival gap: -ln(U)/lambda seconds.
         const double u = std::max(rng.nextDouble(), 1e-12);
@@ -127,6 +132,8 @@ LoadGenerator::runClosedLoop(const sampling::SamplePlan &plan,
     for (std::uint32_t c = 0; c < clients; ++c) {
         threads.emplace_back([this, &request, end_at, &tallies, c] {
             ClientTally &t = tallies[c];
+            t.report.slo_us = static_cast<double>(
+                request.options.deadline.count());
             while (Clock::now() < end_at) {
                 ++t.report.offered;
                 tally(t.report, service_.sample(request), t.latencies);
@@ -138,6 +145,7 @@ LoadGenerator::runClosedLoop(const sampling::SamplePlan &plan,
     const auto end = Clock::now();
 
     LoadGenReport report;
+    report.slo_us = static_cast<double>(options.deadline.count());
     std::vector<double> latencies;
     for (ClientTally &t : tallies) {
         report.offered += t.report.offered;
@@ -146,11 +154,67 @@ LoadGenerator::runClosedLoop(const sampling::SamplePlan &plan,
         report.rejected += t.report.rejected;
         report.dropped += t.report.dropped;
         report.cancelled += t.report.cancelled;
+        report.slo_ok += t.report.slo_ok;
+        report.sheds.merge(t.report.sheds);
         latencies.insert(latencies.end(), t.latencies.begin(),
                          t.latencies.end());
     }
     finalize(report, latencies, start, end);
     return report;
+}
+
+LoadGenReport
+MixedReport::total() const
+{
+    LoadGenReport sum;
+    for (const auto &[run, report] : runs) {
+        sum.offered += report.offered;
+        sum.ok += report.ok;
+        sum.degraded += report.degraded;
+        sum.rejected += report.rejected;
+        sum.dropped += report.dropped;
+        sum.cancelled += report.cancelled;
+        sum.slo_ok += report.slo_ok;
+        sum.sheds.merge(report.sheds);
+    }
+    sum.wall_s = wall_s;
+    if (wall_s > 0.0) {
+        sum.offered_qps = static_cast<double>(sum.offered) / wall_s;
+        sum.goodput_qps = static_cast<double>(sum.ok) / wall_s;
+    }
+    return sum;
+}
+
+MixedReport
+LoadGenerator::runMixed(const std::vector<TenantRun> &runs,
+                        std::chrono::milliseconds duration)
+{
+    MixedReport mixed;
+    mixed.runs.resize(runs.size());
+    std::vector<std::thread> drivers;
+    drivers.reserve(runs.size());
+
+    const auto start = Clock::now();
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        mixed.runs[i].first = runs[i];
+        drivers.emplace_back([this, &mixed, i, duration] {
+            const TenantRun &run = mixed.runs[i].first;
+            SubmitOptions options;
+            options.tenant = run.tenant;
+            options.lane = run.lane;
+            options.deadline = run.deadline;
+            mixed.runs[i].second =
+                run.target_qps > 0.0
+                    ? runOpenLoop(run.plan, run.target_qps, duration,
+                                  run.seed, options)
+                    : runClosedLoop(run.plan, run.clients, duration,
+                                    options);
+        });
+    }
+    for (std::thread &t : drivers)
+        t.join();
+    mixed.wall_s = elapsedUs(start, Clock::now()) / 1e6;
+    return mixed;
 }
 
 } // namespace service

@@ -22,11 +22,51 @@
 
 #include <chrono>
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "service/service.hh"
 
 namespace lsdgnn {
 namespace service {
+
+/**
+ * Shed tally broken out by precise cause. The Status code alone
+ * conflates them (Rejected covers a token-bucket deny, a full lane
+ * and a brown-out shed), so reports carry the ShedCause each reply
+ * was stamped with — tests assert on each cause independently.
+ */
+struct ShedBreakdown {
+    std::uint64_t admission_throttle = 0; ///< token bucket denied
+    std::uint64_t queue_full = 0;         ///< lane/queue at capacity
+    std::uint64_t brownout = 0;           ///< brown-out level-2 shed
+    std::uint64_t deadline_drop = 0;      ///< expired before execution
+
+    std::uint64_t total() const
+    {
+        return admission_throttle + queue_full + brownout +
+               deadline_drop;
+    }
+
+    void add(ShedCause cause)
+    {
+        switch (cause) {
+          case ShedCause::AdmissionThrottle: ++admission_throttle; break;
+          case ShedCause::QueueFull: ++queue_full; break;
+          case ShedCause::BrownOut: ++brownout; break;
+          case ShedCause::DeadlineDrop: ++deadline_drop; break;
+          case ShedCause::None: break;
+        }
+    }
+
+    void merge(const ShedBreakdown &other)
+    {
+        admission_throttle += other.admission_throttle;
+        queue_full += other.queue_full;
+        brownout += other.brownout;
+        deadline_drop += other.deadline_drop;
+    }
+};
 
 /** Outcome of one load-generation run. */
 struct LoadGenReport {
@@ -36,6 +76,15 @@ struct LoadGenReport {
     std::uint64_t rejected = 0;  ///< shed at admission
     std::uint64_t dropped = 0;   ///< shed by deadline in-queue
     std::uint64_t cancelled = 0; ///< failed by shutdown
+    /** Sheds broken out by precise cause (rejected + dropped). */
+    ShedBreakdown sheds;
+    /**
+     * Completions that also met the SLO target (`slo_us`); equals
+     * `ok` when no target is set.
+     */
+    std::uint64_t slo_ok = 0;
+    /** SLO latency target this run was tallied against; 0 = none. */
+    double slo_us = 0.0;
     double wall_s = 0.0;         ///< measured run duration
     double offered_qps = 0.0;    ///< offered / wall_s
     double goodput_qps = 0.0;    ///< ok / wall_s
@@ -44,13 +93,50 @@ struct LoadGenReport {
     double p99_us = 0.0;
     double mean_us = 0.0;
 
-    /** Fraction of offered requests shed (rejected + dropped). */
+    /** Fraction of offered requests shed (any cause). */
     double shedFraction() const
     {
         return offered == 0 ? 0.0
                             : static_cast<double>(rejected + dropped) /
                                   static_cast<double>(offered);
     }
+
+    /**
+     * Fraction of offered requests answered within the SLO target
+     * (sheds count against attainment; 1.0 when nothing was offered).
+     */
+    double sloAttainment() const
+    {
+        return offered == 0 ? 1.0
+                            : static_cast<double>(slo_ok) /
+                                  static_cast<double>(offered);
+    }
+};
+
+/** One tenant's traffic shape within a mixed-tenant run. */
+struct TenantRun {
+    /** Display label for reports ("online", "train-a", ...). */
+    std::string label;
+    TenantId tenant = 0;
+    Lane lane = Lane::Interactive;
+    sampling::SamplePlan plan;
+    /** >0: open-loop Poisson at this QPS; 0: closed loop. */
+    double target_qps = 0.0;
+    /** Closed-loop client threads (ignored in open loop). */
+    std::uint32_t clients = 1;
+    /** Per-request deadline AND the SLO attainment target; 0 = none. */
+    std::chrono::microseconds deadline{0};
+    std::uint64_t seed = 1;
+};
+
+/** Per-tenant outcome of a mixed run. */
+struct MixedReport {
+    double wall_s = 0.0;
+    /** One report per TenantRun, in input order. */
+    std::vector<std::pair<TenantRun, LoadGenReport>> runs;
+
+    /** Sum of the per-tenant reports (percentiles left zero). */
+    LoadGenReport total() const;
 };
 
 /** Drives one SamplingService with synthetic traffic. */
@@ -65,11 +151,14 @@ class LoadGenerator
      * Open loop: Poisson arrivals at @p target_qps for @p duration.
      * Submissions never wait for completions; every future is
      * harvested at the end (the run blocks until the tail drains).
+     * @p options rides on every submission (tenant, lane, deadline —
+     * a nonzero deadline doubles as the report's SLO target).
      */
     LoadGenReport runOpenLoop(const sampling::SamplePlan &plan,
                               double target_qps,
                               std::chrono::milliseconds duration,
-                              std::uint64_t seed = 1);
+                              std::uint64_t seed = 1,
+                              const SubmitOptions &options = {});
 
     /**
      * Closed loop: @p clients threads, each submitting back-to-back
@@ -79,6 +168,16 @@ class LoadGenerator
                                 std::uint32_t clients,
                                 std::chrono::milliseconds duration,
                                 const SubmitOptions &options = {});
+
+    /**
+     * Mixed-tenant run: every TenantRun drives its own traffic shape
+     * (open- or closed-loop, its own tenant/lane/deadline) against
+     * the one service, concurrently, for @p duration. The adversarial
+     * QoS scenario — a flooding Batch tenant next to a paced
+     * Interactive tenant — is one call.
+     */
+    MixedReport runMixed(const std::vector<TenantRun> &runs,
+                         std::chrono::milliseconds duration);
 
   private:
     SamplingService &service_;

@@ -43,6 +43,62 @@ inline constexpr std::uint32_t trace_pid = trace::wall_pid;
  */
 using ReplyStatus [[deprecated("use lsdgnn::StatusCode")]] = StatusCode;
 
+/** Tenant identity of a submission. 0 is the default tenant. */
+using TenantId = std::uint32_t;
+
+/**
+ * Priority lane of a request. The two lanes map onto the two request
+ * classes the paper's FaaS frontier mixes: latency-critical online
+ * inference (GraphAGILE's regime) and throughput-oriented batch
+ * training plans (HP-GNN's regime). The queue dequeues between them
+ * with weighted fairness, so a saturating Batch workload cannot
+ * starve Interactive traffic.
+ */
+enum class Lane : std::uint8_t {
+    /** Online inference: low latency, weighted-preferred dequeue. */
+    Interactive = 0,
+    /** Batch training: throughput-oriented, bounded queue share. */
+    Batch = 1,
+};
+
+/** Number of priority lanes (array sizing). */
+inline constexpr std::size_t lane_count = 2;
+
+/** Stable lane name for stats/JSON. */
+constexpr const char *
+toString(Lane lane)
+{
+    return lane == Lane::Interactive ? "interactive" : "batch";
+}
+
+/**
+ * Why a request was shed (or brown-out-degraded). The Status code
+ * alone conflates causes — Rejected covers both a token-bucket deny
+ * and a full queue — so replies carry the precise cause and load
+ * reports can break sheds out per tenant and per cause.
+ */
+enum class ShedCause : std::uint8_t {
+    None = 0,         ///< not shed
+    AdmissionThrottle, ///< per-tenant token bucket denied admission
+    QueueFull,        ///< admission queue (lane) at capacity or closed
+    BrownOut,         ///< shed by brown-out policy under pressure
+    DeadlineDrop,     ///< deadline expired in queue or at batch close
+};
+
+/** Stable cause name for stats/JSON. */
+constexpr std::string_view
+toString(ShedCause cause)
+{
+    switch (cause) {
+      case ShedCause::None: return "none";
+      case ShedCause::AdmissionThrottle: return "admission-throttle";
+      case ShedCause::QueueFull: return "queue-full";
+      case ShedCause::BrownOut: return "brown-out";
+      case ShedCause::DeadlineDrop: return "deadline-drop";
+    }
+    return "?";
+}
+
 /** Where a request's roots may be drawn from. */
 enum class Routing : std::uint8_t {
     /** Any worker, roots drawn from the whole graph (default). */
@@ -61,6 +117,14 @@ struct SubmitOptions {
     std::chrono::microseconds deadline{0};
     /** Root-placement policy. */
     Routing routing = Routing::Any;
+    /**
+     * Tenant this submission bills against. Admission (token bucket,
+     * queue share) and per-tenant stats key off this id; unregistered
+     * ids are admitted under the registry's default policy.
+     */
+    TenantId tenant = 0;
+    /** Priority lane; see Lane. */
+    Lane lane = Lane::Interactive;
     /**
      * Trace id echoed in the Reply and propagated through every stage
      * the request crosses (queue, micro-batch, backend hop, fabric
@@ -108,6 +172,17 @@ struct Reply {
     double queue_us = 0.0; ///< admission-queue wait
     double exec_us = 0.0;  ///< backend execution (shared by the batch)
     double e2e_us = 0.0;   ///< submit -> completion
+    /** Tenant the request billed against (echo of SubmitOptions). */
+    TenantId tenant = 0;
+    /** Lane the request rode (echo of SubmitOptions). */
+    Lane lane = Lane::Interactive;
+    /**
+     * Precise shed/degradation cause: ShedCause::None for clean
+     * executions, BrownOut for replies that still carry a payload but
+     * were served at reduced fan-out (status Degraded), and the shed
+     * causes for Rejected/DeadlineExceeded outcomes.
+     */
+    ShedCause shed_cause = ShedCause::None;
 
     /** Whether batch holds a usable sample (Ok or Degraded). */
     bool hasBatch() const { return status.hasPayload(); }
@@ -117,6 +192,8 @@ struct Reply {
 struct Request {
     sampling::SamplePlan plan;
     Routing routing = Routing::Any;
+    TenantId tenant = 0;
+    Lane lane = Lane::Interactive;
     std::uint64_t trace_id = 0;
     /** Root span context (trace_id + root span), set by submit(). */
     trace::TraceContext trace;
@@ -151,12 +228,16 @@ batchCompatible(const sampling::SamplePlan &a,
 /**
  * Request-level compatibility: plan shape plus routing — a LocalRoots
  * rider must not be executed under an Any batch (and vice versa),
- * since the merged plan draws all roots one way.
+ * since the merged plan draws all roots one way — plus lane: a Batch
+ * rider must not ride (and thereby extend) an Interactive execution,
+ * so micro-batches stay lane-pure and priority accounting stays
+ * honest. Tenants may mix freely within a lane.
  */
 inline bool
 batchCompatible(const Request &a, const Request &b)
 {
-    return a.routing == b.routing && batchCompatible(a.plan, b.plan);
+    return a.routing == b.routing && a.lane == b.lane &&
+           batchCompatible(a.plan, b.plan);
 }
 
 /**

@@ -5,14 +5,43 @@
 #include "common/flight_recorder.hh"
 #include "common/logging.hh"
 #include "common/trace.hh"
+#include "service/qos.hh"
 
 namespace lsdgnn {
 namespace service {
+
+namespace {
+
+/**
+ * EDF ordering: earliest deadline first, admission id breaking ties.
+ * No-deadline requests carry time_point::max(), so a lane of
+ * deadline-free requests degenerates to FIFO — the pre-QoS order.
+ */
+bool
+edfBefore(const Request &a, const Request &b)
+{
+    if (a.deadline != b.deadline)
+        return a.deadline < b.deadline;
+    return a.id < b.id;
+}
+
+} // namespace
 
 RequestQueue::RequestQueue(RequestQueueConfig config)
     : config_(config)
 {
     lsd_assert(config_.capacity > 0, "queue needs capacity");
+    if (config_.qos) {
+        const std::uint64_t iw = config_.interactive_weight;
+        const std::uint64_t bw = config_.batch_weight;
+        const std::uint64_t total = std::max<std::uint64_t>(iw + bw, 1);
+        batchCap_ = std::max<std::size_t>(
+            1, static_cast<std::size_t>(config_.capacity * bw / total));
+    } else {
+        batchCap_ = config_.capacity;
+    }
+    credit_[0] = config_.interactive_weight;
+    credit_[1] = config_.batch_weight;
     group.addCounter("accepted", &accepted_, "requests admitted");
     group.addCounter("rejected", &rejected_,
                      "requests shed at admission (queue full/closed)");
@@ -20,6 +49,8 @@ RequestQueue::RequestQueue(RequestQueueConfig config)
                      "requests shed in-queue (deadline expired)");
     group.addCounter("cancelled", &cancelled_,
                      "requests failed by non-drain shutdown");
+    group.addCounter("starvation_trips", &starvationTrips_,
+                     "lane-starvation watchdog firings");
     group.addAverage("depth_at_admit", &depthAtAdmit,
                      "queue depth seen by each admitted request");
     flightGauge_ = trace::FlightRecorder::instance().registerGauge(
@@ -33,13 +64,22 @@ RequestQueue::~RequestQueue()
     trace::FlightRecorder::instance().unregisterGauge(flightGauge_);
 }
 
+std::size_t
+RequestQueue::laneOf(const Request &req) const
+{
+    // Legacy engine: one FIFO lane, priorities ignored.
+    if (!config_.qos)
+        return 0;
+    return static_cast<std::size_t>(req.lane);
+}
+
 void
 RequestQueue::traceDepthLocked(Clock::time_point now)
 {
     if (trace::Tracer::enabled())
         trace::Tracer::instance().counter(
             trace_pid, "service.queue.depth", wallTick(now),
-            static_cast<double>(queue_.size()));
+            static_cast<double>(lanes_[0].size() + lanes_[1].size()));
 }
 
 void
@@ -61,20 +101,42 @@ RequestQueue::maybeTrip()
     if (tripPending_.exchange(false, std::memory_order_relaxed))
         trace::FlightRecorder::instance().trip(
             "shed-spike:service.queue");
+    const int lane =
+        starvedLane_.exchange(-1, std::memory_order_relaxed);
+    if (lane >= 0)
+        trace::FlightRecorder::instance().trip(
+            lane == static_cast<int>(Lane::Batch)
+                ? "lane-starvation:batch"
+                : "lane-starvation:interactive");
 }
 
 void
-RequestQueue::shedLocked(Request &&req, Status status,
+RequestQueue::releaseTenantSlotLocked(const Request &req)
+{
+    if (!config_.qos || req.lane != Lane::Batch)
+        return;
+    auto it = batchTenantDepth_.find(req.tenant);
+    if (it != batchTenantDepth_.end() && --it->second == 0)
+        batchTenantDepth_.erase(it);
+}
+
+void
+RequestQueue::shedLocked(Request &&req, Status status, ShedCause cause,
                          Clock::time_point now)
 {
     if (status == StatusCode::DeadlineExceeded)
         dropped_.inc();
     else if (status == StatusCode::Cancelled)
         cancelled_.inc();
+    else if (status == StatusCode::Rejected)
+        rejected_.inc();
     countShedLocked(now);
+    if (qos_ && cause != ShedCause::None)
+        qos_->registry.recordShed(req.tenant, cause);
     trace::FlightRecorder::instance().recordNow(
         "queue.shed", req.trace.trace_id, req.trace.span_id,
-        static_cast<double>(static_cast<int>(status.code())));
+        static_cast<double>(static_cast<int>(status.code())),
+        static_cast<double>(static_cast<int>(cause)));
     // Shed requests never reach a worker, so their queue-wait slice is
     // emitted here — the trace still shows where the request died.
     if (trace::Tracer::enabled()) {
@@ -82,7 +144,8 @@ RequestQueue::shedLocked(Request &&req, Status status,
         const std::string args = req.trace.argsJson() +
                                  ",\"status\":\"" +
                                  std::string(toString(status.code())) +
-                                 "\"";
+                                 "\",\"cause\":\"" +
+                                 std::string(toString(cause)) + "\"";
         tracer.complete(trace_pid,
                         tracer.track(trace_pid, "service.queue"),
                         "queue.shed", wallTick(req.enqueued_at),
@@ -93,38 +156,137 @@ RequestQueue::shedLocked(Request &&req, Status status,
     reply.status = std::move(status);
     reply.trace_id = req.trace_id;
     reply.span_id = req.trace.span_id;
+    reply.tenant = req.tenant;
+    reply.lane = req.lane;
+    reply.shed_cause = cause;
     reply.queue_us = elapsedUs(req.enqueued_at, now);
     reply.e2e_us = reply.queue_us;
     req.promise.set_value(std::move(reply));
+}
+
+void
+RequestQueue::sweepExpiredLocked(std::size_t lane,
+                                 Clock::time_point now)
+{
+    auto &dq = lanes_[lane];
+    for (auto it = dq.begin(); it != dq.end();) {
+        if (it->deadline > now) {
+            ++it;
+            continue;
+        }
+        Request expired = std::move(*it);
+        it = dq.erase(it);
+        releaseTenantSlotLocked(expired);
+        shedLocked(std::move(expired),
+                   Status(StatusCode::DeadlineExceeded,
+                          "expired in queue"),
+                   ShedCause::DeadlineDrop, now);
+    }
+}
+
+int
+RequestQueue::pickLaneLocked()
+{
+    const bool has[lane_count] = {!lanes_[0].empty(),
+                                  !lanes_[1].empty()};
+    if (!has[0] && !has[1])
+        return -1;
+    if (!config_.qos)
+        return has[0] ? 0 : 1;
+    // Weighted round-robin: start a fresh credit cycle when no
+    // non-empty lane has credit left, then prefer the Interactive
+    // lane. Work-conserving — an empty lane never blocks the other.
+    if (!((has[0] && credit_[0] > 0) || (has[1] && credit_[1] > 0))) {
+        credit_[0] = config_.interactive_weight;
+        credit_[1] = config_.batch_weight;
+    }
+    int pick;
+    if (has[0] && credit_[0] > 0)
+        pick = 0;
+    else if (has[1] && credit_[1] > 0)
+        pick = 1;
+    else
+        pick = has[0] ? 0 : 1;
+    if (credit_[pick] > 0)
+        --credit_[pick];
+    return pick;
+}
+
+void
+RequestQueue::checkStarvationLocked(std::size_t lane,
+                                    Clock::time_point now)
+{
+    lastServed_[lane] = now;
+    if (!config_.qos || config_.starvation_threshold.count() <= 0)
+        return;
+    const std::size_t other = 1 - lane;
+    if (lanes_[other].empty())
+        return;
+    // Lanes are append-only deques, so the front is the oldest
+    // admission. lastServed_ doubles as the watchdog's rate limiter:
+    // a starved lane complains at most once per threshold period.
+    if (now - lanes_[other].front().enqueued_at >
+            config_.starvation_threshold &&
+        now - lastServed_[other] >= config_.starvation_threshold) {
+        lastServed_[other] = now;
+        starvationTrips_.inc();
+        starvedLane_.store(static_cast<int>(other),
+                           std::memory_order_relaxed);
+    }
 }
 
 bool
 RequestQueue::push(Request &&req)
 {
     const auto now = Clock::now();
+    const std::size_t lane = laneOf(req);
     std::unique_lock<std::mutex> lock(mutex_);
-    if (closed_ || queue_.size() >= config_.capacity) {
+    const std::size_t total = lanes_[0].size() + lanes_[1].size();
+    const char *refusal = nullptr;
+    if (closed_) {
+        refusal = "service shutting down";
+    } else if (total >= config_.capacity) {
+        refusal = "admission queue full";
+    } else if (config_.qos && req.lane == Lane::Batch) {
+        if (lanes_[lane].size() >= batchCap_) {
+            refusal = "batch lane at capacity";
+        } else if (qos_) {
+            const auto it = batchTenantDepth_.find(req.tenant);
+            const std::size_t held =
+                it == batchTenantDepth_.end() ? 0 : it->second;
+            if (held >=
+                qos_->registry.batchShareCap(req.tenant, batchCap_))
+                refusal = "tenant batch share exhausted";
+        }
+    }
+    if (refusal != nullptr) {
         rejected_.inc();
         countShedLocked(now);
+        if (qos_)
+            qos_->registry.recordShed(req.tenant,
+                                      ShedCause::QueueFull);
         const bool was_closed = closed_;
         lock.unlock();
         trace::FlightRecorder::instance().recordNow(
             "queue.reject", req.trace.trace_id, req.trace.span_id,
             was_closed ? 1.0 : 0.0);
         Reply reply;
-        reply.status = Status(StatusCode::Rejected,
-                              was_closed ? "service shutting down"
-                                         : "admission queue full");
+        reply.status = Status(StatusCode::Rejected, refusal);
         reply.trace_id = req.trace_id;
         reply.span_id = req.trace.span_id;
+        reply.tenant = req.tenant;
+        reply.lane = req.lane;
+        reply.shed_cause = ShedCause::QueueFull;
         req.promise.set_value(std::move(reply));
         maybeTrip();
         return false;
     }
     req.enqueued_at = now;
     req.id = next_id++;
-    depthAtAdmit.sample(static_cast<double>(queue_.size()));
-    queue_.push_back(std::move(req));
+    depthAtAdmit.sample(static_cast<double>(total));
+    if (config_.qos && req.lane == Lane::Batch)
+        ++batchTenantDepth_[req.tenant];
+    lanes_[lane].push_back(std::move(req));
     ++arrivals_;
     accepted_.inc();
     traceDepthLocked(now);
@@ -139,16 +301,34 @@ RequestQueue::pop()
     std::unique_lock<std::mutex> lock(mutex_);
     while (true) {
         const auto now = Clock::now();
-        while (!queue_.empty()) {
-            Request req = std::move(queue_.front());
-            queue_.pop_front();
-            if (req.deadline <= now) {
-                shedLocked(std::move(req),
-                           Status(StatusCode::DeadlineExceeded,
-                                  "expired in queue"),
-                           now);
-                continue;
+        const int lane = pickLaneLocked();
+        if (lane >= 0) {
+            auto &dq = lanes_[lane];
+            auto it = dq.begin();
+            if (config_.qos) {
+                sweepExpiredLocked(static_cast<std::size_t>(lane),
+                                   now);
+                if (dq.empty())
+                    continue; // the whole lane had expired; re-pick
+                it = std::min_element(dq.begin(), dq.end(), edfBefore);
+            } else {
+                // Legacy engine: FIFO, dropping expired heads.
+                while (!dq.empty() && dq.front().deadline <= now) {
+                    Request expired = std::move(dq.front());
+                    dq.pop_front();
+                    shedLocked(std::move(expired),
+                               Status(StatusCode::DeadlineExceeded,
+                                      "expired in queue"),
+                               ShedCause::DeadlineDrop, now);
+                }
+                if (dq.empty())
+                    continue;
+                it = dq.begin();
             }
+            Request req = std::move(*it);
+            dq.erase(it);
+            releaseTenantSlotLocked(req);
+            checkStarvationLocked(static_cast<std::size_t>(lane), now);
             traceDepthLocked(now);
             lock.unlock();
             maybeTrip();
@@ -162,34 +342,56 @@ RequestQueue::pop()
 
 std::optional<Request>
 RequestQueue::popCompatible(const Request &proto,
-                            std::uint64_t root_budget)
+                            std::uint64_t root_budget,
+                            Clock::time_point batch_dropdead)
 {
     const auto now = Clock::now();
+    const std::size_t lane = laneOf(proto);
     std::unique_lock<std::mutex> lock(mutex_);
-    for (auto it = queue_.begin(); it != queue_.end();) {
-        if (it->deadline <= now) {
-            Request expired = std::move(*it);
-            it = queue_.erase(it);
-            shedLocked(std::move(expired),
-                       Status(StatusCode::DeadlineExceeded,
-                              "expired in queue"),
-                       now);
+    // Sweep first so candidate selection never walks over corpses
+    // (and deque::erase never invalidates the chosen iterator).
+    sweepExpiredLocked(lane, now);
+    auto &dq = lanes_[lane];
+    auto best = dq.end();
+    for (auto it = dq.begin(); it != dq.end(); ++it) {
+        if (!batchCompatible(*it, proto) ||
+            it->plan.batch_size > root_budget)
             continue;
+        // Straddle rule: a rider due *before* the forming batch's
+        // drop-dead point must not be merged into it — it needs to
+        // run sooner than the batch it would join.
+        if (config_.qos && it->deadline < batch_dropdead)
+            continue;
+        if (!config_.qos) {
+            best = it; // legacy: oldest queued compatible
+            break;
         }
-        if (batchCompatible(*it, proto) &&
-            it->plan.batch_size <= root_budget) {
-            Request req = std::move(*it);
-            queue_.erase(it);
-            traceDepthLocked(now);
-            lock.unlock();
-            maybeTrip();
-            return req;
-        }
-        ++it;
+        if (best == dq.end() || edfBefore(*it, *best))
+            best = it;
     }
+    if (best == dq.end()) {
+        lock.unlock();
+        maybeTrip();
+        return std::nullopt;
+    }
+    Request req = std::move(*best);
+    dq.erase(best);
+    releaseTenantSlotLocked(req);
+    traceDepthLocked(now);
     lock.unlock();
     maybeTrip();
-    return std::nullopt;
+    return req;
+}
+
+void
+RequestQueue::shed(Request &&req, Status status, ShedCause cause)
+{
+    const auto now = Clock::now();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        shedLocked(std::move(req), std::move(status), cause, now);
+    }
+    maybeTrip();
 }
 
 bool
@@ -220,7 +422,12 @@ RequestQueue::cancelPending()
     std::deque<Request> orphans;
     {
         std::lock_guard<std::mutex> lock(mutex_);
-        orphans.swap(queue_);
+        for (auto &dq : lanes_) {
+            for (Request &req : dq)
+                orphans.push_back(std::move(req));
+            dq.clear();
+        }
+        batchTenantDepth_.clear();
     }
     const auto now = Clock::now();
     for (Request &req : orphans) {
@@ -229,6 +436,8 @@ RequestQueue::cancelPending()
                               "service shut down before execution");
         reply.trace_id = req.trace_id;
         reply.span_id = req.trace.span_id;
+        reply.tenant = req.tenant;
+        reply.lane = req.lane;
         reply.queue_us = elapsedUs(req.enqueued_at, now);
         reply.e2e_us = reply.queue_us;
         cancelled_.inc();
@@ -248,7 +457,14 @@ std::size_t
 RequestQueue::depth() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    return queue_.size();
+    return lanes_[0].size() + lanes_[1].size();
+}
+
+std::size_t
+RequestQueue::laneDepth(Lane lane) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return lanes_[static_cast<std::size_t>(lane)].size();
 }
 
 std::uint64_t

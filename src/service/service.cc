@@ -7,10 +7,23 @@ namespace service {
 
 SamplingService::SamplingService(ServiceConfig config)
     : config_(std::move(config)),
-      stats_(std::make_unique<ServiceStats>()),
-      queue_(std::make_unique<RequestQueue>(
-          RequestQueueConfig{config_.queue_capacity}))
+      qos_(std::make_unique<QosRuntime>(config_.qos)),
+      stats_(std::make_unique<ServiceStats>())
 {
+    // The EDF batcher is part of the QoS scheduler: disable both
+    // together so qos.enabled=false is the complete pre-QoS engine.
+    config_.batcher.deadline_aware = config_.qos.enabled;
+
+    RequestQueueConfig qcfg;
+    qcfg.capacity = config_.queue_capacity;
+    qcfg.qos = config_.qos.enabled;
+    qcfg.interactive_weight = config_.qos.interactive_weight;
+    qcfg.batch_weight = config_.qos.batch_weight;
+    qcfg.starvation_threshold = config_.qos.starvation_threshold;
+    queue_ = std::make_unique<RequestQueue>(qcfg);
+    if (config_.qos.enabled)
+        queue_->bindQos(qos_.get());
+
     // The distributed workers must share one store — the graph
     // instance is the big allocation, and per-worker copies would
     // also give every shard a private view instead of one fabric.
@@ -23,6 +36,7 @@ SamplingService::SamplingService(ServiceConfig config)
     pcfg.num_workers = config_.num_workers;
     pcfg.session = config_.session;
     pcfg.batcher = config_.batcher;
+    pcfg.qos = config_.qos.enabled ? qos_.get() : nullptr;
     pool = std::make_unique<WorkerPool>(pcfg, *queue_, *stats_);
     pool->start();
 }
@@ -38,6 +52,8 @@ SamplingService::submit(const SampleRequest &request)
     Request req;
     req.plan = request.plan;
     req.routing = request.options.routing;
+    req.tenant = request.options.tenant;
+    req.lane = request.options.lane;
     // trace_id 0 = "allocate one for me": every request runs under a
     // live trace identity, so replies, spans and flight-recorder
     // events always name their request (see SubmitOptions::trace_id
@@ -46,12 +62,53 @@ SamplingService::submit(const SampleRequest &request)
                        ? request.options.trace_id
                        : trace::TraceContext::nextTraceId();
     req.trace = trace::TraceContext::root(req.trace_id);
+    const auto now = Clock::now();
     const auto deadline = request.options.deadline.count() > 0
                               ? request.options.deadline
                               : config_.default_deadline;
     if (deadline.count() > 0)
-        req.deadline = Clock::now() + deadline;
+        req.deadline = now + deadline;
     std::future<Reply> future = req.promise.get_future();
+
+    if (config_.qos.enabled) {
+        // Per-tenant token bucket: a deny burns the tenant's budget,
+        // not queue capacity — the future completes immediately.
+        const AdmitDecision decision =
+            qos_->registry.admit(req.tenant, now);
+        if (!decision.admitted) {
+            Reply reply;
+            reply.status = Status(StatusCode::Rejected,
+                                  "tenant admission rate exceeded");
+            reply.trace_id = req.trace_id;
+            reply.span_id = req.trace.span_id;
+            reply.tenant = req.tenant;
+            reply.lane = req.lane;
+            reply.shed_cause = decision.cause;
+            req.promise.set_value(std::move(reply));
+            return future;
+        }
+        // Brown-out level 2 (DegradeAndShed): keep interactive
+        // traffic flowing degraded, shed Batch-lane work outright.
+        const double fill =
+            static_cast<double>(queue_->depth()) /
+            static_cast<double>(queue_->capacity());
+        const int level = qos_->brownout.observe(fill, now);
+        if (level >= BrownOut::DegradeAndShed &&
+            req.lane == Lane::Batch) {
+            qos_->registry.recordShed(req.tenant, ShedCause::BrownOut);
+            Reply reply;
+            reply.status = Status(StatusCode::Rejected,
+                                  "brown-out: batch lane shedding");
+            reply.trace_id = req.trace_id;
+            reply.span_id = req.trace.span_id;
+            reply.tenant = req.tenant;
+            reply.lane = req.lane;
+            reply.shed_cause = ShedCause::BrownOut;
+            req.promise.set_value(std::move(reply));
+            return future;
+        }
+    }
+
     queue_->push(std::move(req));
     return future;
 }

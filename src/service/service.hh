@@ -23,6 +23,7 @@
 #include <future>
 #include <memory>
 
+#include "service/qos.hh"
 #include "service/worker_pool.hh"
 
 namespace lsdgnn {
@@ -43,6 +44,13 @@ struct ServiceConfig {
      * zero means requests never expire in the queue.
      */
     std::chrono::microseconds default_deadline{0};
+    /**
+     * Multi-tenant QoS policy: per-tenant token-bucket admission,
+     * priority lanes with weighted-fair dequeue, EDF batching and
+     * brown-out. qos.enabled = false restores the pre-QoS engine
+     * exactly (single FIFO, no admission control).
+     */
+    QosConfig qos;
 };
 
 /** Multi-threaded wall-clock sampling service over Session shards. */
@@ -104,6 +112,18 @@ class SamplingService
         return queue_->stats();
     }
 
+    /** The QoS runtime (registry + brown-out controller). */
+    const QosRuntime &qos() const { return *qos_; }
+
+    /**
+     * One tenant's "service.tenant.<name>" counters, or nullptr if
+     * the tenant was never seen.
+     */
+    const stats::StatGroup *tenantStats(TenantId id) const
+    {
+        return qos_->registry.stats(id);
+    }
+
     const ServiceConfig &config() const { return config_; }
 
     SamplingService(const SamplingService &) = delete;
@@ -111,8 +131,11 @@ class SamplingService
 
   private:
     ServiceConfig config_;
-    // unique_ptrs: queue/stats must outlive the pool's worker threads
-    // and keep stable addresses across the facade's lifetime.
+    // unique_ptrs: qos/queue/stats must outlive the pool's worker
+    // threads and keep stable addresses across the facade's lifetime.
+    // Declaration order is destruction-critical: the queue holds a
+    // QosRuntime pointer, so qos_ must outlive queue_.
+    std::unique_ptr<QosRuntime> qos_;
     std::unique_ptr<ServiceStats> stats_;
     std::unique_ptr<RequestQueue> queue_;
     std::unique_ptr<WorkerPool> pool;

@@ -26,6 +26,30 @@ ServiceStats::Stage::Stage(const std::string &name)
     group.addHistogram("us", &us, name + "-stage latency (us)");
 }
 
+ServiceStats::LaneView::LaneView(Lane lane)
+    : group(std::string("service.lane.") + toString(lane)),
+      e2eUs(0.0, lat_hi_us, lat_buckets)
+{
+    group.addCounter("completed", &completed,
+                     "lane requests answered with a sample");
+    group.addCounter("degraded", &degraded,
+                     "of completed, served Degraded");
+    group.addHistogram("e2e_us", &e2eUs,
+                       "lane submit-to-completion latency (us)");
+}
+
+ServiceStats::LaneView &
+ServiceStats::laneLocked(Lane lane)
+{
+    return lane == Lane::Batch ? laneBatch_ : laneInteractive_;
+}
+
+const ServiceStats::LaneView &
+ServiceStats::laneLocked(Lane lane) const
+{
+    return lane == Lane::Batch ? laneBatch_ : laneInteractive_;
+}
+
 ServiceStats::ServiceStats()
     : queueWaitUs(0.0, lat_hi_us, lat_buckets),
       execUs(0.0, lat_hi_us, lat_buckets),
@@ -34,6 +58,8 @@ ServiceStats::ServiceStats()
       stageBatch_("batch"),
       stageSample_("sample"),
       stageRemote_("remote"),
+      laneInteractive_(Lane::Interactive),
+      laneBatch_(Lane::Batch),
       cacheHitPct_(0.0, 100.0, 101),
       fabricHedges_(0.0, 256.0, 64),
       fabricInflightPeak_(0.0, 65'536.0, 128)
@@ -82,6 +108,11 @@ ServiceStats::recordCompletion(const Reply &reply)
     queueWaitUs.sample(reply.queue_us);
     execUs.sample(reply.exec_us);
     e2eUs.sample(reply.e2e_us);
+    LaneView &lane = laneLocked(reply.lane);
+    lane.completed.inc();
+    if (reply.status == StatusCode::Degraded)
+        lane.degraded.inc();
+    lane.e2eUs.sample(reply.e2e_us);
     if (trace::Tracer::enabled() &&
         completed_.value() % trace_every == 0)
         traceLatencyLocked(Clock::now());
@@ -125,6 +156,20 @@ ServiceStats::completed() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     return completed_.value();
+}
+
+std::uint64_t
+ServiceStats::laneCompleted(Lane lane) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return laneLocked(lane).completed.value();
+}
+
+double
+ServiceStats::laneE2ePercentile(Lane lane, double q) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return laneLocked(lane).e2eUs.percentile(q);
 }
 
 std::uint64_t

@@ -79,6 +79,12 @@ class ServiceStats
     /** Completed (Ok) requests so far. */
     std::uint64_t completed() const;
 
+    /** Completed requests that rode @p lane. */
+    std::uint64_t laneCompleted(Lane lane) const;
+
+    /** Per-lane end-to-end latency percentile (us), q in [0,1]. */
+    double laneE2ePercentile(Lane lane, double q) const;
+
     /** Micro-batches executed so far. */
     std::uint64_t batches() const;
 
@@ -107,6 +113,22 @@ class ServiceStats
         stats::Histogram us;
     };
 
+    /**
+     * One per-lane view ("service.lane.<name>"): completions,
+     * degraded completions and e2e latency of that priority lane, so
+     * windowed exporters can show Interactive SLO attainment next to
+     * (and unpolluted by) the Batch lane.
+     */
+    struct LaneView {
+        explicit LaneView(Lane lane);
+        stats::StatGroup group;
+        stats::Counter completed;
+        stats::Counter degraded;
+        stats::Histogram e2eUs;
+    };
+    LaneView &laneLocked(Lane lane);
+    const LaneView &laneLocked(Lane lane) const;
+
     mutable std::mutex mutex_;
     stats::StatGroup group_{"service"};
     stats::Counter completed_;
@@ -120,6 +142,8 @@ class ServiceStats
     Stage stageBatch_;
     Stage stageSample_;
     Stage stageRemote_;
+    LaneView laneInteractive_;
+    LaneView laneBatch_;
     /** Hot-vertex-cache hit percentage per request (0-100). */
     stats::StatGroup stageCacheGroup_{"service.stage.cache"};
     stats::Histogram cacheHitPct_;

@@ -6,6 +6,7 @@
 #include "common/flight_recorder.hh"
 #include "common/logging.hh"
 #include "common/trace.hh"
+#include "service/qos.hh"
 
 namespace lsdgnn {
 namespace service {
@@ -94,10 +95,26 @@ WorkerPool::run(std::uint32_t worker_id)
         // trace ids.
         const trace::TraceContext batchCtx = batch.front().trace.child();
 
-        const sampling::SamplePlan plan = Batcher::merge(batch);
+        sampling::SamplePlan plan = Batcher::merge(batch);
         root_counts.clear();
         for (const Request &req : batch)
             root_counts.push_back(req.plan.batch_size);
+
+        // Brown-out: feed the controller with current queue fill and,
+        // at Degrade or above, execute the merged plan with scaled-
+        // down fan-outs. Riders still get a usable (smaller) sample.
+        bool browned_out = false;
+        if (config_.qos != nullptr) {
+            const double fill =
+                static_cast<double>(queue_.depth()) /
+                static_cast<double>(queue_.capacity());
+            const int level =
+                config_.qos->brownout.observe(fill, exec_start);
+            if (level >= BrownOut::Degrade) {
+                plan = config_.qos->brownout.degrade(plan);
+                browned_out = true;
+            }
+        }
 
         framework::SampleOptions opts;
         opts.local_roots = batch.front().routing == Routing::LocalRoots;
@@ -158,9 +175,18 @@ WorkerPool::run(std::uint32_t worker_id)
             // A degraded execution degrades every rider: each one's
             // slice may contain fallback-sampled frontier entries.
             reply.status = exec_status;
+            if (browned_out) {
+                if (reply.status == StatusCode::Ok)
+                    reply.status =
+                        Status(StatusCode::Degraded,
+                               "brown-out: fan-out degraded");
+                reply.shed_cause = ShedCause::BrownOut;
+            }
             reply.trace_id = batch[i].trace_id;
             reply.span_id = batch[i].trace.span_id;
             reply.batch_span_id = batchCtx.span_id;
+            reply.tenant = batch[i].tenant;
+            reply.lane = batch[i].lane;
             reply.batch = solo ? std::move(merged)
                                : std::move(parts[i]);
             reply.worker = worker_id;
@@ -171,6 +197,9 @@ WorkerPool::run(std::uint32_t worker_id)
             reply.exec_us = exec_us;
             reply.e2e_us = elapsedUs(batch[i].enqueued_at, exec_end);
             stats_.recordCompletion(reply);
+            if (config_.qos != nullptr)
+                config_.qos->registry.recordOutcome(reply.tenant,
+                                                    reply);
             stats_.recordStages(reply.queue_us, batch_us, exec_us,
                                 telem.remote_us, telem.cache_lookups,
                                 telem.cache_hits, telem.hedges,

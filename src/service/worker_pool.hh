@@ -30,6 +30,8 @@
 namespace lsdgnn {
 namespace service {
 
+struct QosRuntime;
+
 /** Worker-pool construction knobs. */
 struct WorkerPoolConfig {
     /** Worker threads (== Session shards). */
@@ -38,6 +40,15 @@ struct WorkerPoolConfig {
     framework::SessionConfig session;
     /** Micro-batching policy every worker applies. */
     BatcherConfig batcher;
+    /**
+     * QoS runtime (owned by the service). When set, every worker
+     * feeds the brown-out controller with queue fill before executing
+     * a micro-batch, degrades the merged plan's fan-outs at level >= 1
+     * (replies become Status::Degraded with ShedCause::BrownOut — the
+     * payload stays usable), and records per-tenant outcomes. Null
+     * disables all of it (legacy engine / direct-pool tests).
+     */
+    QosRuntime *qos = nullptr;
 };
 
 /**
