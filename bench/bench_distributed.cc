@@ -251,10 +251,11 @@ runSmoke(std::uint32_t shards, double cache_mb,
 
     std::uint64_t cache_hits = 0;
     {
-        service::SamplingService svc(
+        service::Service svc(
             shardedConfig(shards, 0.0, cache_mb, mode));
         service::LoadGenerator gen(svc);
-        const auto r = gen.runClosedLoop(plan, 2 * shards, 100ms);
+        const auto r = gen.runClosedLoop(service::Job::sample(plan), 2 * shards,
+                          100ms);
         const auto fabric = collectFabric();
         svc.shutdown();
         cache_hits = fabric.cacheHits();
@@ -269,10 +270,11 @@ runSmoke(std::uint32_t shards, double cache_mb,
 
     double occupancy = 0.0;
     {
-        service::SamplingService svc(
+        service::Service svc(
             shardedConfig(shards, 0.0, 0.0, mode));
         service::LoadGenerator gen(svc);
-        gen.runClosedLoop(plan, 2 * shards, 100ms);
+        gen.runClosedLoop(service::Job::sample(plan), 2 * shards,
+                          100ms);
         const auto fabric = collectFabric();
         svc.shutdown();
         occupancy = fabric.packOccupancy();
@@ -346,11 +348,13 @@ main(int argc, char **argv)
         auto cfg = shardedConfig(4, 0.0, 0.0, mode);
         cfg.session.backend = framework::Backend::Software;
         cfg.num_workers = 4;
-        service::SamplingService svc(cfg);
+        service::Service svc(cfg);
         service::LoadGenerator gen(svc);
-        gen.runClosedLoop(plan, 8, 100ms); // discarded warmup
+        gen.runClosedLoop(service::Job::sample(plan), 8,
+                          100ms); // discarded warmup
         reference_qps =
-            gen.runClosedLoop(plan, 8, window).goodput_qps;
+            gen.runClosedLoop(service::Job::sample(plan), 8, window)
+                .goodput_qps;
         svc.shutdown();
         max_threads = std::max(max_threads, 12u);
     }
@@ -379,14 +383,16 @@ main(int argc, char **argv)
             for (const double mb : budgets) {
                 if (mb != 0.0 && shards == 1)
                     continue; // nothing remote to replicate
-                service::SamplingService svc(
+                service::Service svc(
                     shardedConfig(shards, loss, mb, mode));
                 service::LoadGenerator gen(svc);
                 // Warmup: first-touch allocation, cold TLBs and the
                 // result-pool ramp all land here, not in the row.
-                gen.runClosedLoop(plan, 2 * shards, 100ms);
+                gen.runClosedLoop(service::Job::sample(plan), 2 * shards,
+                          100ms);
                 const auto r =
-                    gen.runClosedLoop(plan, 2 * shards, window);
+                    gen.runClosedLoop(service::Job::sample(plan), 2 * shards,
+                                      window);
                 const auto fabric = collectFabric();
                 svc.shutdown();
                 max_threads = std::max(max_threads, 3 * shards);

@@ -25,17 +25,13 @@ using namespace std::chrono_literals;
 
 namespace {
 
-lsdgnn::service::ServiceConfig
+lsdgnn::service::ServiceConfig::Builder
 baseConfig(std::uint32_t workers, std::chrono::microseconds window)
 {
-    lsdgnn::service::ServiceConfig cfg;
-    cfg.session.dataset = "ss";
-    cfg.session.scale_divisor = 40'000;
-    cfg.session.num_servers = 4;
-    cfg.session.seed = 7;
-    cfg.num_workers = workers;
-    cfg.batcher.window = window;
-    return cfg;
+    lsdgnn::service::ServiceConfig::Builder builder;
+    builder.dataset("ss", 40'000).servers(4).seed(7).workers(workers)
+        .batchWindow(window);
+    return builder;
 }
 
 bool
@@ -82,10 +78,11 @@ main(int argc, char **argv)
     double capacity_qps = 0;
     for (std::uint32_t workers : {1u, 2u, 4u}) {
         for (auto window : {0us, 200us}) {
-            service::SamplingService svc(baseConfig(workers, window));
+            service::Service svc(baseConfig(workers, window).build());
             service::LoadGenerator gen(svc);
             const auto r =
-                gen.runClosedLoop(plan, 2 * workers, 250ms);
+                gen.runClosedLoop(service::Job::sample(plan), 2 * workers,
+                                  250ms);
             svc.shutdown();
             max_threads = std::max(max_threads, 3 * workers);
             if (workers == 2 && window == 200us)
@@ -119,13 +116,11 @@ main(int argc, char **argv)
     std::ostringstream mixed_json;
     bool gate_ok = true;
     {
-        auto cfg = baseConfig(2, 200us);
-        cfg.queue_capacity = 64;
-        cfg.qos.tenants.emplace_back(
-            1, service::TenantConfig{"online", 0.0, 32.0, 1});
-        cfg.qos.tenants.emplace_back(
-            2, service::TenantConfig{"train", 0.0, 32.0, 1});
-        service::SamplingService svc(cfg);
+        auto builder = baseConfig(2, 200us);
+        builder.queueCapacity(64)
+            .tenant(1, service::TenantConfig{"online", 0.0, 32.0, 1})
+            .tenant(2, service::TenantConfig{"train", 0.0, 32.0, 1});
+        service::Service svc(builder.build());
         service::LoadGenerator gen(svc);
 
         service::TenantRun online;
@@ -207,13 +202,13 @@ main(int argc, char **argv)
                  "p95 us", "p99 us"});
     std::string registry_snapshot;
     for (double mult : {0.5, 1.0, 2.0, 4.0}) {
-        auto cfg = baseConfig(2, 200us);
-        cfg.queue_capacity = 64;
-        cfg.default_deadline = 5ms;
-        service::SamplingService svc(cfg);
+        auto builder = baseConfig(2, 200us);
+        builder.queueCapacity(64).defaultDeadline(5ms);
+        service::Service svc(builder.build());
         service::LoadGenerator gen(svc);
         const double target = capacity_qps * mult;
-        const auto r = gen.runOpenLoop(plan, target, 250ms, 42);
+        const auto r = gen.runOpenLoop(service::Job::sample(plan),
+                                       target, 250ms, 42);
         open.row({bench::human(target),
                   TextTable::num(r.offered),
                   bench::human(r.goodput_qps),

@@ -1,12 +1,17 @@
 /**
  * @file
- * Sampling-as-a-service scenario: the concurrent frontend from
- * src/service driven the way a trainer fleet would — many client
- * threads submitting mini-batch sampling requests against a shared
- * worker pool, with dynamic micro-batching (Tech-1-style request
- * packing) and admission control absorbing an overload burst.
+ * GNN-serving scenario: the concurrent frontend from src/service
+ * driven the way a trainer/inference fleet would — many client
+ * threads submitting Jobs against a shared worker pool, with dynamic
+ * micro-batching (Tech-1-style request packing) and admission control
+ * absorbing an overload burst. With --mode embed the fleet drives the
+ * full sample -> gather -> GraphSAGE pipeline and replies carry one
+ * embedding row per root.
  *
  * Run: ./sampling_server [workers] [clients]
+ *        [--mode sample|embed|train]  job kind the fleet submits
+ *                        (default sample; embed/train run the full
+ *                        end-to-end pipeline per request)
  *        [--tenants N]   register N tenants ("online" + N-1 "train-k"
  *                        batch tenants) and finish with a mixed-tenant
  *                        QoS phase: a paced Interactive tenant riding
@@ -45,7 +50,8 @@ printWindow(const char *phase, const lsdgnn::stats::WindowReport &w)
     using lsdgnn::TextTable;
     TextTable table;
     table.header({"stage", "n", "p50 us", "p99 us"});
-    for (const char *stage : {"queue", "batch", "sample", "remote"}) {
+    for (const char *stage :
+         {"queue", "batch", "sample", "gather", "compute", "remote"}) {
         const auto *h = w.findHistogram(
             std::string("service.stage.") + stage, "us");
         if (h == nullptr)
@@ -86,10 +92,17 @@ main(int argc, char **argv)
     std::uint32_t tenants = 1;
     double tenant_rate = 0.0;
     service::Lane fleet_lane = service::Lane::Interactive;
+    service::JobKind fleet_kind = service::JobKind::Sample;
     std::vector<const char *> positional;
     for (int i = 1; i < argc; ++i) {
         const std::string_view arg = argv[i];
-        if (arg == "--tenants" && i + 1 < argc)
+        if (arg == "--mode" && i + 1 < argc) {
+            const std::string_view mode = argv[++i];
+            fleet_kind = mode == "embed" ? service::JobKind::Embed
+                         : mode == "train"
+                             ? service::JobKind::TrainStep
+                             : service::JobKind::Sample;
+        } else if (arg == "--tenants" && i + 1 < argc)
             tenants = std::uint32_t(
                 std::max(1, std::atoi(argv[++i])));
         else if (arg == "--lane" && i + 1 < argc)
@@ -110,29 +123,29 @@ main(int argc, char **argv)
             ? std::uint32_t(std::atoi(positional[1]))
             : 4;
 
-    service::ServiceConfig cfg;
-    cfg.session.dataset = "ss";
-    cfg.session.scale_divisor = 40'000;
-    cfg.session.num_servers = 4;
-    cfg.num_workers = workers;
-    cfg.batcher.window = 200us;
-    cfg.queue_capacity = 128;
-    cfg.default_deadline = 10ms; // in-queue staleness bound
+    service::ServiceConfig::Builder builder;
+    builder.dataset("ss", 40'000)
+        .servers(4)
+        .workers(workers)
+        .queueCapacity(128)
+        .batchWindow(200us)
+        .defaultDeadline(10ms); // in-queue staleness bound
     for (std::uint32_t t = 1; t <= tenants; ++t) {
         service::TenantConfig tenant;
         tenant.name =
             t == 1 ? "online" : "train-" + std::to_string(t - 1);
         tenant.rate_qps = tenant_rate;
-        cfg.qos.tenants.emplace_back(t, tenant);
+        builder.tenant(t, tenant);
     }
 
     sampling::SamplePlan plan;
     plan.batch_size = 64;
     plan.fanouts = {10, 10};
 
-    std::cout << "sampling service: " << workers << " workers, "
-              << clients << " closed-loop clients ("
-              << toString(fleet_lane) << " lane), " << tenants
+    std::cout << "serving " << toString(fleet_kind) << " jobs: "
+              << workers << " workers, " << clients
+              << " closed-loop clients (" << toString(fleet_lane)
+              << " lane), " << tenants
               << " tenant(s)"
               << (tenant_rate > 0
                       ? ", " + TextTable::num(tenant_rate, 0) +
@@ -145,27 +158,42 @@ main(int argc, char **argv)
     fleet_options.tenant = 1;
     fleet_options.lane = fleet_lane;
 
-    service::SamplingService svc(cfg);
+    service::Service svc(builder.build());
 
     // Rolling SLO window over the service + fabric groups. Snapshot
     // deltas, not resets: any number of these can coexist.
     stats::WindowedStats window({"service", "mof.remote"});
 
-    // A single request end to end: submit -> future -> Reply. The
-    // service allocates the trace id (options.trace_id left 0).
-    service::SampleRequest request{plan, fleet_options};
-    auto reply = svc.sample(request);
-    std::cout << "warm-up request: " << reply.status.toString()
-              << ", " << reply.batch.totalSampled() << " samples, "
-              << reply.e2e_us << " us end-to-end (worker "
+    // A single job end to end: execute() blocks and folds the reply
+    // into Result<Reply> (service allocates the trace id). Embed and
+    // train-step replies carry embeddings instead of a subgraph.
+    const service::Job job =
+        service::Job::of(fleet_kind, plan, fleet_options);
+    const auto warmup = svc.execute(job);
+    if (!warmup.ok()) {
+        std::cerr << "warm-up failed: " << warmup.status().toString()
+                  << "\n";
+        return 1;
+    }
+    const service::Reply &reply = warmup.value();
+    std::cout << "warm-up " << toString(reply.kind) << ": "
+              << reply.status.toString() << ", ";
+    if (reply.hasEmbeddings())
+        std::cout << reply.embeddings.rows() << "x"
+                  << reply.embeddings.cols() << " embeddings ("
+                  << reply.flops << " flops)";
+    else
+        std::cout << reply.batch.totalSampled() << " samples";
+    if (reply.kind == service::JobKind::TrainStep)
+        std::cout << ", loss " << reply.loss;
+    std::cout << ", " << reply.e2e_us << " us end-to-end (worker "
               << reply.worker << ", trace_id " << reply.trace_id
               << ", span " << reply.span_id << " in batch span "
               << reply.batch_span_id << ")\n";
 
     // Steady state: a closed-loop client fleet.
     service::LoadGenerator gen(svc);
-    const auto steady =
-        gen.runClosedLoop(plan, clients, 300ms, fleet_options);
+    const auto steady = gen.runClosedLoop(job, clients, 300ms);
     printWindow("steady", window.collect());
 
     TextTable table;
@@ -181,8 +209,8 @@ main(int argc, char **argv)
     // Overload burst: open-loop Poisson arrivals at ~4x the measured
     // capacity with a tight deadline — admission control sheds the
     // excess instead of queueing it forever.
-    const auto burst = gen.runOpenLoop(plan, 4 * steady.goodput_qps,
-                                       200ms, 99, fleet_options);
+    const auto burst =
+        gen.runOpenLoop(job, 4 * steady.goodput_qps, 200ms, 99);
     const stats::WindowReport burstWindow = window.collect();
     printWindow("overload", burstWindow);
     table.row({"overload x4", TextTable::num(burst.offered),
@@ -204,6 +232,7 @@ main(int argc, char **argv)
         online.label = "online";
         online.tenant = 1;
         online.lane = service::Lane::Interactive;
+        online.kind = fleet_kind;
         online.plan = plan;
         online.plan.batch_size = 8;
         online.target_qps = 200.0;
@@ -215,6 +244,9 @@ main(int argc, char **argv)
             train.label = "train-" + std::to_string(t - 1);
             train.tenant = t;
             train.lane = service::Lane::Batch;
+            train.kind = fleet_kind == service::JobKind::Sample
+                             ? service::JobKind::Sample
+                             : service::JobKind::TrainStep;
             train.plan = plan;
             train.plan.batch_size = 256;
             train.target_qps = 20'000.0 / double(tenants - 1);

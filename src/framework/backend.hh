@@ -71,6 +71,16 @@ struct SampleOptions {
 
     /** Optional per-call telemetry sink (remote-stage wall time). */
     SampleTelemetry *telemetry = nullptr;
+
+    /**
+     * RNG stream override. Null (default) consumes the Session's own
+     * stream; non-null draws the whole call — roots, neighbor picks,
+     * batch nonce — from the caller's stream instead, leaving the
+     * session stream untouched. Seeded service jobs use this to make
+     * their draw independent of which worker executes them and of
+     * whatever that worker sampled before.
+     */
+    Rng *rng = nullptr;
 };
 
 /**

@@ -1,0 +1,53 @@
+#include "gather.hh"
+
+namespace lsdgnn {
+namespace framework {
+
+void
+AttributeGatherer::gatherLevel(std::span<const graph::NodeId> nodes,
+                               gnn::Matrix &out,
+                               GatherTelemetry *telemetry) const
+{
+    const std::size_t len = attrs_.attrLen();
+    if (out.rows() != nodes.size() || out.cols() != len)
+        out = gnn::Matrix(nodes.size(), len);
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+        const graph::NodeId node = nodes[i];
+        if (telemetry != nullptr && part_ != nullptr &&
+            part_->serverOf(node) != home_) {
+            ++telemetry->remote_rows;
+            // Read-through probe: a resident replica answers the row
+            // locally and never enters the modeled fabric transfer.
+            if (tier_ != nullptr && tier_->lookupAttributes(node))
+                ++telemetry->cache_hits;
+        }
+        attrs_.fetch(node, out.row(i));
+    }
+    if (telemetry != nullptr) {
+        telemetry->rows += nodes.size();
+        telemetry->bytes += nodes.size() * attrs_.bytesPerNode();
+    }
+}
+
+void
+AttributeGatherer::gather(const sampling::SampleResult &batch,
+                          GatheredFeatures &out,
+                          GatherTelemetry *telemetry) const
+{
+    out.levels.resize(batch.frontier.size() + 1);
+    gatherLevel(batch.roots, out.levels[0], telemetry);
+    for (std::size_t h = 0; h < batch.frontier.size(); ++h)
+        gatherLevel(batch.frontier[h], out.levels[h + 1], telemetry);
+
+    if (telemetry != nullptr && fabric_.gbps > 0.0) {
+        const std::uint64_t residual =
+            telemetry->remote_rows - telemetry->cache_hits;
+        const double residual_bytes = static_cast<double>(
+            residual * attrs_.bytesPerNode());
+        telemetry->modeled_fabric_us =
+            residual_bytes / (fabric_.gbps * 1e3) + fabric_.rtt_us;
+    }
+}
+
+} // namespace framework
+} // namespace lsdgnn

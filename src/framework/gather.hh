@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Attribute-row gather: the middle stage of the end-to-end pipeline.
+ *
+ * The paper's Fig. 3 pipeline is sample -> gather -> NN compute; this
+ * stage materializes the dense per-level feature matrices the GNN
+ * forward pass consumes from the sampled subgraph. It reuses the two
+ * storage tiers the sampling substrate already has:
+ *
+ *  - the AttributeStore itself (procedural, thread-safe) supplies the
+ *    functional row contents,
+ *  - the shard's HotVertexCache tier (when the distributed backend is
+ *    configured with one) is probed read-through for every
+ *    remote-owned row, so the gather's fabric accounting matches what
+ *    a real disaggregated store would transfer: rows resident in the
+ *    local replica never cross the fabric.
+ *
+ * The gatherer is stateless per call and safe to invoke from a
+ * pipeline stage thread: AttributeStore::fetch is const and the cache
+ * tier is internally thread-safe. Telemetry reports the modeled
+ * fabric time of the residual remote bytes (bytes / gather_gbps +
+ * RTT), which the worker pool can use to pace the stage like a real
+ * DMA wait — the repo's event-simulated fabric is wall-clock cheap,
+ * so without pacing the gather stage would be pure CPU.
+ */
+
+#ifndef LSDGNN_FRAMEWORK_GATHER_HH
+#define LSDGNN_FRAMEWORK_GATHER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/hot_vertex_cache.hh"
+#include "gnn/tensor.hh"
+#include "graph/attributes.hh"
+#include "graph/partition.hh"
+#include "sampling/minibatch.hh"
+
+namespace lsdgnn {
+namespace framework {
+
+/** What one gather() call touched and what it would have moved. */
+struct GatherTelemetry {
+    /** Attribute rows materialized (roots + every frontier entry). */
+    std::uint64_t rows = 0;
+    /** Bytes of those rows (rows * AttributeStore::bytesPerNode). */
+    std::uint64_t bytes = 0;
+    /** Rows owned by a server other than the gatherer's home. */
+    std::uint64_t remote_rows = 0;
+    /** Remote rows answered by the hot-vertex cache tier. */
+    std::uint64_t cache_hits = 0;
+    /**
+     * Modeled fabric transfer time of the residual remote rows
+     * (post-cache), zero when the gatherer has no bandwidth model.
+     */
+    double modeled_fabric_us = 0.0;
+};
+
+/**
+ * Per-level dense feature matrices of one sampled batch:
+ * levels[0] = root rows, levels[h + 1] = frontier[h] rows. Row i of a
+ * level is the attribute vector of that level's i-th node, so the
+ * SampleResult's parent indices address rows directly.
+ */
+struct GatheredFeatures {
+    std::vector<gnn::Matrix> levels;
+};
+
+/** Fabric model of the gather stage (0 = no modeled time). */
+struct GatherFabricModel {
+    /** Modeled gather bandwidth, GB/s; 0 disables the model. */
+    double gbps = 0.0;
+    /** Fixed per-batch fabric latency, microseconds. */
+    double rtt_us = 0.0;
+};
+
+/** Gathers attribute rows for sampled batches. */
+class AttributeGatherer
+{
+  public:
+    /** Legacy nested-name spelling. */
+    using FabricModel = GatherFabricModel;
+
+    /**
+     * @param attrs Functional row source.
+     * @param partitioner Row-ownership map; null = everything local.
+     * @param tier Home shard's hot-vertex cache; null = no tier.
+     * @param home_server Server the gatherer is colocated with.
+     */
+    AttributeGatherer(const graph::AttributeStore &attrs,
+                      const graph::Partitioner *partitioner,
+                      cache::HotVertexCache *tier,
+                      std::uint32_t home_server,
+                      GatherFabricModel fabric = {})
+        : attrs_(attrs), part_(partitioner), tier_(tier),
+          home_(home_server), fabric_(fabric)
+    {}
+
+    /**
+     * Materialize every level's feature matrix for @p batch into
+     * @p out (level matrices are reused when shapes repeat, so a
+     * steady-state worker re-gathers into the same heap blocks).
+     */
+    void gather(const sampling::SampleResult &batch,
+                GatheredFeatures &out,
+                GatherTelemetry *telemetry = nullptr) const;
+
+    const graph::AttributeStore &attrs() const { return attrs_; }
+
+  private:
+    void gatherLevel(std::span<const graph::NodeId> nodes,
+                     gnn::Matrix &out, GatherTelemetry *telemetry) const;
+
+    const graph::AttributeStore &attrs_;
+    const graph::Partitioner *part_;
+    cache::HotVertexCache *tier_;
+    std::uint32_t home_;
+    GatherFabricModel fabric_;
+};
+
+} // namespace framework
+} // namespace lsdgnn
+
+#endif // LSDGNN_FRAMEWORK_GATHER_HH

@@ -58,7 +58,7 @@ Session::Session(SessionConfig config)
       negatives(*graph_, 0.35),
       modelRng(config_.seed + 101),
       model(spec.attr_len, config_.hidden_dim, 2, modelRng),
-      rng_(config_.seed + 7)
+      rng_(config_.seed + 7 + config_.stream_seed_offset)
 {
     lsd_assert(config_.num_servers > 0, "session needs servers");
     group.addCounter("batches", &batchCount, "mini-batches sampled");
@@ -95,7 +95,9 @@ Session::sampleBatchInto(const sampling::SamplePlan &plan,
     lsd_assert(!plan.fanouts.empty(), "plan needs hops");
     batchCount.inc();
 
-    const Status status = backend_->sampleInto(plan, options, rng_, out);
+    const Status status = backend_->sampleInto(
+        plan, options, options.rng != nullptr ? *options.rng : rng_,
+        out);
 
     if (hotCache) {
         for (graph::NodeId n : out.roots)

@@ -144,6 +144,14 @@ struct SessionConfig {
     /** GNN hidden width for the fixed-model embedding API. */
     std::uint32_t hidden_dim = 128;
     std::uint64_t seed = 1;
+    /**
+     * Extra offset folded into the *sampling stream* seed only — the
+     * graph instance, attribute store and fixed model still derive
+     * from `seed` alone. The service's worker pool sets this to the
+     * worker id: every worker then serves the identical graph (as one
+     * service must) while drawing from a decorrelated stream.
+     */
+    std::uint64_t stream_seed_offset = 0;
     /** Distributed-backend options. */
     DistributedConfig distributed;
 };
@@ -204,6 +212,22 @@ class Session
 
     /** GNN-operator level: fetch one node's attribute vector. */
     std::vector<float> nodeAttributes(graph::NodeId node) const;
+
+    /**
+     * The session's attribute store (immutable, thread-safe). The
+     * service's gather stage reads rows through this from its own
+     * pipeline thread.
+     */
+    const graph::AttributeStore &attributeStore() const
+    {
+        return *attrs;
+    }
+
+    /** Node-placement map (immutable after construction). */
+    const graph::Partitioner &nodePartitioner() const
+    {
+        return partitioner;
+    }
 
     /** GNN-operator level: negatives for a positive pair. */
     std::vector<graph::NodeId> negativeSample(graph::NodeId src,

@@ -60,16 +60,9 @@ GraphSageModel::applyLayer(const SageLayer &layer, const Matrix &self,
     return out;
 }
 
-namespace {
-
-/**
- * Aggregate child rows onto their parents with the configured
- * operator. Parents without any children keep a zero row (padding
- * semantics for degree-0 nodes).
- */
 Matrix
-aggregate(std::size_t num_parents, const Matrix &children,
-          std::span<const std::uint32_t> parent, Aggregator op)
+aggregateNeighbors(std::size_t num_parents, const Matrix &children,
+                   std::span<const std::uint32_t> parent, Aggregator op)
 {
     lsd_assert(parent.size() == children.rows(),
                "parent index count mismatch");
@@ -103,8 +96,6 @@ aggregate(std::size_t num_parents, const Matrix &children,
     return out;
 }
 
-} // namespace
-
 Matrix
 GraphSageModel::embed(const sampling::SampleResult &batch,
                       const graph::AttributeStore &attrs) const
@@ -132,9 +123,9 @@ GraphSageModel::embed(const sampling::SampleResult &batch,
         next.reserve(levels_out);
         for (std::size_t lvl = 0; lvl < levels_out; ++lvl) {
             const std::size_t num_parents = h[lvl].rows();
-            const Matrix agg = aggregate(num_parents, h[lvl + 1],
-                                         batch.parent[lvl],
-                                         aggregator_);
+            const Matrix agg = aggregateNeighbors(
+                num_parents, h[lvl + 1], batch.parent[lvl],
+                aggregator_);
             next.push_back(applyLayer(layer, h[lvl], agg));
         }
         h = std::move(next);

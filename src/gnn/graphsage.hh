@@ -53,6 +53,18 @@ struct SageLayer {
     std::uint64_t parameterCount() const;
 };
 
+/**
+ * Aggregate child rows onto their parents with the given operator.
+ * Parents without any children keep a zero row (padding semantics for
+ * degree-0 nodes). parent[c] is the parent row of child row c; shared
+ * by GraphSageModel::embed and the service's gathered forward pass
+ * (minibatch_forward.hh), so both produce bit-identical aggregations.
+ */
+Matrix aggregateNeighbors(std::size_t num_parents,
+                          const Matrix &children,
+                          std::span<const std::uint32_t> parent,
+                          Aggregator op);
+
 /** Full multi-layer GraphSAGE-max model. */
 class GraphSageModel
 {
@@ -82,6 +94,13 @@ class GraphSageModel
 
     std::size_t layers() const { return layers_.size(); }
     std::size_t hiddenDim() const { return hidden_; }
+    std::size_t attrDim() const { return layers_.front().inDim(); }
+
+    /** Layer parameters, outermost (hop-deepest input) first. */
+    const std::vector<SageLayer> &layerParams() const
+    {
+        return layers_;
+    }
 
     /** FLOPs of embed() for a batch of the given shape. */
     std::uint64_t forwardFlops(std::uint64_t roots,

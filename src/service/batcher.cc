@@ -85,11 +85,14 @@ Batcher::merge(const std::vector<Request> &batch)
 {
     lsd_assert(!batch.empty(), "cannot merge an empty batch");
     sampling::SamplePlan plan = batch.front().plan;
-    std::uint64_t roots = 0;
-    for (const Request &req : batch) {
-        lsd_assert(batchCompatible(req, batch.front()),
+    std::uint64_t roots = plan.batch_size;
+    // Compatibility binds riders to the front, not the front to
+    // itself: a seeded request is never *merge*-compatible (not even
+    // with an identical twin) yet forms a perfectly valid solo batch.
+    for (std::size_t i = 1; i < batch.size(); ++i) {
+        lsd_assert(batchCompatible(batch[i], batch.front()),
                    "incompatible rider in micro-batch");
-        roots += req.plan.batch_size;
+        roots += batch[i].plan.batch_size;
     }
     plan.batch_size = static_cast<std::uint32_t>(roots);
     return plan;

@@ -1,0 +1,145 @@
+#include "config.hh"
+
+#include <cstdlib>
+#include <string>
+
+namespace lsdgnn {
+namespace service {
+
+namespace {
+
+Status
+invalid(std::string message)
+{
+    return Status(StatusCode::InvalidArgument, std::move(message));
+}
+
+bool
+inUnitInterval(double v)
+{
+    return v > 0.0 && v <= 1.0;
+}
+
+const char *
+envStr(const char *name)
+{
+    return std::getenv(name);
+}
+
+std::uint64_t
+envU64(const char *name, std::uint64_t fallback)
+{
+    const char *v = envStr(name);
+    if (v == nullptr || *v == '\0')
+        return fallback;
+    char *end = nullptr;
+    const unsigned long long parsed = std::strtoull(v, &end, 10);
+    return (end != nullptr && *end == '\0') ? parsed : fallback;
+}
+
+double
+envDouble(const char *name, double fallback)
+{
+    const char *v = envStr(name);
+    if (v == nullptr || *v == '\0')
+        return fallback;
+    char *end = nullptr;
+    const double parsed = std::strtod(v, &end);
+    return (end != nullptr && *end == '\0') ? parsed : fallback;
+}
+
+bool
+envBool(const char *name, bool fallback)
+{
+    return envU64(name, fallback ? 1 : 0) != 0;
+}
+
+} // namespace
+
+Status
+ServiceConfig::validate() const
+{
+    if (num_workers == 0)
+        return invalid("num_workers must be > 0");
+    if (queue_capacity == 0)
+        return invalid("queue_capacity must be > 0");
+    if (session.dataset.empty())
+        return invalid("session.dataset must name a Table 2 dataset");
+    if (session.scale_divisor == 0)
+        return invalid("session.scale_divisor must be > 0");
+    if (session.num_servers == 0)
+        return invalid("session.num_servers must be > 0");
+    if (batcher.max_requests == 0)
+        return invalid("batcher.max_requests must be > 0");
+    if (batcher.max_roots == 0)
+        return invalid("batcher.max_roots must be > 0");
+    if (batcher.window.count() < 0)
+        return invalid("batcher.window must be >= 0");
+    if (default_deadline.count() < 0)
+        return invalid("default_deadline must be >= 0");
+    if (qos.interactive_weight == 0 || qos.batch_weight == 0)
+        return invalid("qos lane weights must be > 0");
+    const BrownOutConfig &bo = qos.brownout;
+    if (bo.enabled) {
+        if (!(bo.release_fill <= bo.engage_fill &&
+              bo.engage_fill <= bo.shed_fill))
+            return invalid("brown-out fills must order "
+                           "release <= engage <= shed");
+        if (!inUnitInterval(bo.fanout_scale))
+            return invalid("brownout.fanout_scale must be in (0, 1]");
+        if (!inUnitInterval(bo.compute_width_scale))
+            return invalid(
+                "brownout.compute_width_scale must be in (0, 1]");
+    }
+    if (pipeline.hidden_dim == 0)
+        return invalid("pipeline.hidden_dim must be > 0");
+    if (pipeline.layers == 0)
+        return invalid("pipeline.layers must be > 0");
+    if (pipeline.gather_gbps < 0.0 || pipeline.gather_rtt_us < 0.0)
+        return invalid("pipeline gather fabric model must be >= 0");
+    if (pipeline.gemm_rows == 0 || pipeline.gemm_cols == 0)
+        return invalid("pipeline GEMM geometry must be > 0");
+    if (pipeline.gemm_clock_mhz <= 0.0)
+        return invalid("pipeline.gemm_clock_mhz must be > 0");
+    return StatusCode::Ok;
+}
+
+ServiceConfig
+ServiceConfig::fromEnv()
+{
+    ServiceConfig config;
+    if (const char *dataset = envStr("LSDGNN_SERVICE_DATASET"))
+        config.session.dataset = dataset;
+    config.session.scale_divisor = envU64(
+        "LSDGNN_SERVICE_SCALE", config.session.scale_divisor);
+    config.num_workers = static_cast<std::uint32_t>(
+        envU64("LSDGNN_SERVICE_WORKERS", config.num_workers));
+    config.queue_capacity = static_cast<std::size_t>(
+        envU64("LSDGNN_SERVICE_QUEUE", config.queue_capacity));
+    config.qos.enabled =
+        envBool("LSDGNN_SERVICE_QOS", config.qos.enabled);
+    config.pipeline.enabled =
+        envBool("LSDGNN_SERVICE_PIPELINE", config.pipeline.enabled);
+    config.pipeline.hidden_dim = static_cast<std::uint32_t>(
+        envU64("LSDGNN_SERVICE_HIDDEN", config.pipeline.hidden_dim));
+    config.pipeline.layers = static_cast<std::uint32_t>(
+        envU64("LSDGNN_SERVICE_LAYERS", config.pipeline.layers));
+    config.pipeline.gather_gbps = envDouble(
+        "LSDGNN_SERVICE_GATHER_GBPS", config.pipeline.gather_gbps);
+    const Status status = config.validate();
+    lsd_assert(status.ok(), "LSDGNN_SERVICE_* environment invalid: ",
+               status.toString());
+    return config;
+}
+
+ServiceConfig
+ServiceConfig::Builder::build() const
+{
+    const Status status = config_.validate();
+    lsd_assert(status.ok(),
+               "invalid ServiceConfig: ", status.toString());
+    return config_;
+}
+
+} // namespace service
+} // namespace lsdgnn

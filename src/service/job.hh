@@ -1,0 +1,120 @@
+/**
+ * @file
+ * The canonical request vocabulary of the service: Job.
+ *
+ * One submission API covers every workload the paper's FaaS frontier
+ * mixes. A Job is a variant of per-kind payloads plus the uniform
+ * SubmitOptions (deadline, tenant, lane, trace, routing, seed):
+ *
+ *  - SampleJob    sample a mini-batch subgraph and return it
+ *                 (the historical SampleRequest).
+ *  - EmbedJob     sample, gather attribute rows, and run the
+ *                 GraphSAGE forward pass — the reply carries one
+ *                 embedding row per root.
+ *  - TrainStepJob EmbedJob plus the in-batch link-prediction loss
+ *                 over the produced root embeddings (the data-parallel
+ *                 reference step; gradient application is the
+ *                 trainer's responsibility).
+ *
+ * Every kind rides the same admission queue, EDF lanes, micro-batcher
+ * and brown-out policy; kinds never share a micro-batch (the merged
+ * execution must be stage-homogeneous), which batchCompatible()
+ * enforces.
+ */
+
+#ifndef LSDGNN_SERVICE_JOB_HH
+#define LSDGNN_SERVICE_JOB_HH
+
+#include <variant>
+
+#include "service/request.hh"
+
+namespace lsdgnn {
+namespace service {
+
+/** Sample-only job: the reply carries the sampled subgraph. */
+struct SampleJob {
+    sampling::SamplePlan plan;
+};
+
+/**
+ * End-to-end inference job: sample -> gather -> GraphSAGE forward.
+ * plan.hops() must equal the service's configured model depth
+ * (PipelineConfig::layers); submit() rejects the mismatch with
+ * StatusCode::InvalidArgument.
+ */
+struct EmbedJob {
+    sampling::SamplePlan plan;
+};
+
+/**
+ * Training reference step: EmbedJob plus the in-batch loss over the
+ * root embeddings (positive pair = adjacent roots, negative pair =
+ * roots half a batch apart). The reply reports the loss; the shared
+ * service model is immutable — applying gradients is the distributed
+ * trainer's job, not the serving tier's.
+ */
+struct TrainStepJob {
+    sampling::SamplePlan plan;
+};
+
+/**
+ * One canonical submission: what to run, and how to treat it. The
+ * JobKind discriminator (request.hh) indexes the variant order.
+ */
+struct Job {
+    std::variant<SampleJob, EmbedJob, TrainStepJob> op = SampleJob{};
+    SubmitOptions options;
+
+    JobKind kind() const { return static_cast<JobKind>(op.index()); }
+
+    const sampling::SamplePlan &
+    plan() const
+    {
+        return std::visit(
+            [](const auto &j) -> const sampling::SamplePlan & {
+                return j.plan;
+            },
+            op);
+    }
+
+    /** Convenience factories (the idiomatic construction path). */
+    static Job
+    sample(sampling::SamplePlan plan, SubmitOptions options = {})
+    {
+        return Job{SampleJob{std::move(plan)}, options};
+    }
+
+    static Job
+    embed(sampling::SamplePlan plan, SubmitOptions options = {})
+    {
+        return Job{EmbedJob{std::move(plan)}, options};
+    }
+
+    static Job
+    trainStep(sampling::SamplePlan plan, SubmitOptions options = {})
+    {
+        return Job{TrainStepJob{std::move(plan)}, options};
+    }
+
+    /** Kind-dispatched construction (load generators, drivers). */
+    static Job
+    of(JobKind kind, sampling::SamplePlan plan,
+       SubmitOptions options = {})
+    {
+        switch (kind) {
+          case JobKind::Embed:
+            return embed(std::move(plan), options);
+          case JobKind::TrainStep:
+            return trainStep(std::move(plan), options);
+          case JobKind::Sample:
+            break;
+        }
+        return sample(std::move(plan), options);
+    }
+};
+
+} // namespace service
+} // namespace lsdgnn
+
+#endif // LSDGNN_SERVICE_JOB_HH

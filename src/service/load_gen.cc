@@ -29,8 +29,8 @@ void
 tally(LoadGenReport &report, const Reply &reply,
       std::vector<double> &latencies)
 {
-    if (reply.hasBatch()) {
-        // Degraded replies still delivered a batch: goodput, with a
+    if (reply.status.hasPayload()) {
+        // Degraded replies still delivered a payload: goodput, with a
         // separate degradation tally.
         ++report.ok;
         if (reply.status == StatusCode::Degraded)
@@ -74,14 +74,12 @@ finalize(LoadGenReport &report, std::vector<double> &latencies,
 } // namespace
 
 LoadGenReport
-LoadGenerator::runOpenLoop(const sampling::SamplePlan &plan,
-                           double target_qps,
+LoadGenerator::runOpenLoop(const Job &job, double target_qps,
                            std::chrono::milliseconds duration,
-                           std::uint64_t seed,
-                           const SubmitOptions &options)
+                           std::uint64_t seed)
 {
     LoadGenReport report;
-    report.slo_us = static_cast<double>(options.deadline.count());
+    report.slo_us = static_cast<double>(job.options.deadline.count());
     std::vector<double> latencies;
     Rng rng(seed);
 
@@ -95,7 +93,7 @@ LoadGenerator::runOpenLoop(const sampling::SamplePlan &plan,
     auto next_arrival = start;
     while (next_arrival < end_at) {
         std::this_thread::sleep_until(next_arrival);
-        futures.push_back(service_.submit(SampleRequest{plan, options}));
+        futures.push_back(service_.submit(job));
         ++report.offered;
         // Exponential inter-arrival gap: -ln(U)/lambda seconds.
         const double u = std::max(rng.nextDouble(), 1e-12);
@@ -113,12 +111,9 @@ LoadGenerator::runOpenLoop(const sampling::SamplePlan &plan,
 }
 
 LoadGenReport
-LoadGenerator::runClosedLoop(const sampling::SamplePlan &plan,
-                             std::uint32_t clients,
-                             std::chrono::milliseconds duration,
-                             const SubmitOptions &options)
+LoadGenerator::runClosedLoop(const Job &job, std::uint32_t clients,
+                             std::chrono::milliseconds duration)
 {
-    const SampleRequest request{plan, options};
     struct ClientTally {
         LoadGenReport report;
         std::vector<double> latencies;
@@ -130,13 +125,14 @@ LoadGenerator::runClosedLoop(const sampling::SamplePlan &plan,
     const auto start = Clock::now();
     const auto end_at = start + duration;
     for (std::uint32_t c = 0; c < clients; ++c) {
-        threads.emplace_back([this, &request, end_at, &tallies, c] {
+        threads.emplace_back([this, &job, end_at, &tallies, c] {
             ClientTally &t = tallies[c];
-            t.report.slo_us = static_cast<double>(
-                request.options.deadline.count());
+            t.report.slo_us =
+                static_cast<double>(job.options.deadline.count());
             while (Clock::now() < end_at) {
                 ++t.report.offered;
-                tally(t.report, service_.sample(request), t.latencies);
+                tally(t.report, service_.submit(job).get(),
+                      t.latencies);
             }
         });
     }
@@ -145,17 +141,10 @@ LoadGenerator::runClosedLoop(const sampling::SamplePlan &plan,
     const auto end = Clock::now();
 
     LoadGenReport report;
-    report.slo_us = static_cast<double>(options.deadline.count());
+    report.slo_us = static_cast<double>(job.options.deadline.count());
     std::vector<double> latencies;
     for (ClientTally &t : tallies) {
-        report.offered += t.report.offered;
-        report.ok += t.report.ok;
-        report.degraded += t.report.degraded;
-        report.rejected += t.report.rejected;
-        report.dropped += t.report.dropped;
-        report.cancelled += t.report.cancelled;
-        report.slo_ok += t.report.slo_ok;
-        report.sheds.merge(t.report.sheds);
+        report.merge(t.report);
         latencies.insert(latencies.end(), t.latencies.begin(),
                          t.latencies.end());
     }
@@ -167,16 +156,8 @@ LoadGenReport
 MixedReport::total() const
 {
     LoadGenReport sum;
-    for (const auto &[run, report] : runs) {
-        sum.offered += report.offered;
-        sum.ok += report.ok;
-        sum.degraded += report.degraded;
-        sum.rejected += report.rejected;
-        sum.dropped += report.dropped;
-        sum.cancelled += report.cancelled;
-        sum.slo_ok += report.slo_ok;
-        sum.sheds.merge(report.sheds);
-    }
+    for (const auto &[run, report] : runs)
+        sum.merge(report);
     sum.wall_s = wall_s;
     if (wall_s > 0.0) {
         sum.offered_qps = static_cast<double>(sum.offered) / wall_s;
@@ -203,12 +184,12 @@ LoadGenerator::runMixed(const std::vector<TenantRun> &runs,
             options.tenant = run.tenant;
             options.lane = run.lane;
             options.deadline = run.deadline;
+            const Job job = Job::of(run.kind, run.plan, options);
             mixed.runs[i].second =
                 run.target_qps > 0.0
-                    ? runOpenLoop(run.plan, run.target_qps, duration,
-                                  run.seed, options)
-                    : runClosedLoop(run.plan, run.clients, duration,
-                                    options);
+                    ? runOpenLoop(job, run.target_qps, duration,
+                                  run.seed)
+                    : runClosedLoop(job, run.clients, duration);
         });
     }
     for (std::thread &t : drivers)

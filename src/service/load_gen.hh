@@ -1,6 +1,6 @@
 /**
  * @file
- * Load generators for benchmarking the sampling service.
+ * Load generators for benchmarking the serving tier.
  *
  * Two classic driver shapes:
  *
@@ -71,7 +71,7 @@ struct ShedBreakdown {
 /** Outcome of one load-generation run. */
 struct LoadGenReport {
     std::uint64_t offered = 0;   ///< submissions attempted
-    std::uint64_t ok = 0;        ///< completed with a sample
+    std::uint64_t ok = 0;        ///< completed with a usable payload
     std::uint64_t degraded = 0;  ///< of those, degraded (counted in ok)
     std::uint64_t rejected = 0;  ///< shed at admission
     std::uint64_t dropped = 0;   ///< shed by deadline in-queue
@@ -111,6 +111,26 @@ struct LoadGenReport {
                             : static_cast<double>(slo_ok) /
                                   static_cast<double>(offered);
     }
+
+    /**
+     * Fold @p other's tallies into this report. The one aggregation
+     * path every consumer shares: per-client merges in the closed
+     * loop and MixedReport::total() both go through here, so a new
+     * counter cannot be summed in one place and forgotten in the
+     * other. Percentiles/rates are NOT merged (they need the pooled
+     * latency samples); the caller recomputes or leaves them zero.
+     */
+    void merge(const LoadGenReport &other)
+    {
+        offered += other.offered;
+        ok += other.ok;
+        degraded += other.degraded;
+        rejected += other.rejected;
+        dropped += other.dropped;
+        cancelled += other.cancelled;
+        slo_ok += other.slo_ok;
+        sheds.merge(other.sheds);
+    }
 };
 
 /** One tenant's traffic shape within a mixed-tenant run. */
@@ -119,6 +139,8 @@ struct TenantRun {
     std::string label;
     TenantId tenant = 0;
     Lane lane = Lane::Interactive;
+    /** What the tenant asks for: sampling, embedding or training. */
+    JobKind kind = JobKind::Sample;
     sampling::SamplePlan plan;
     /** >0: open-loop Poisson at this QPS; 0: closed loop. */
     double target_qps = 0.0;
@@ -139,48 +161,43 @@ struct MixedReport {
     LoadGenReport total() const;
 };
 
-/** Drives one SamplingService with synthetic traffic. */
+/** Drives one Service with synthetic traffic of any job kind. */
 class LoadGenerator
 {
   public:
-    explicit LoadGenerator(SamplingService &service)
-        : service_(service)
-    {}
+    explicit LoadGenerator(Service &service) : service_(service) {}
 
     /**
-     * Open loop: Poisson arrivals at @p target_qps for @p duration.
-     * Submissions never wait for completions; every future is
-     * harvested at the end (the run blocks until the tail drains).
-     * @p options rides on every submission (tenant, lane, deadline —
-     * a nonzero deadline doubles as the report's SLO target).
+     * Open loop: Poisson arrivals of @p job at @p target_qps for
+     * @p duration. Submissions never wait for completions; every
+     * future is harvested at the end (the run blocks until the tail
+     * drains). The job's options ride on every submission (tenant,
+     * lane, deadline — a nonzero deadline doubles as the report's
+     * SLO target).
      */
-    LoadGenReport runOpenLoop(const sampling::SamplePlan &plan,
-                              double target_qps,
+    LoadGenReport runOpenLoop(const Job &job, double target_qps,
                               std::chrono::milliseconds duration,
-                              std::uint64_t seed = 1,
-                              const SubmitOptions &options = {});
+                              std::uint64_t seed = 1);
 
     /**
-     * Closed loop: @p clients threads, each submitting back-to-back
-     * blocking requests until @p duration elapses.
+     * Closed loop: @p clients threads, each submitting @p job
+     * back-to-back (one outstanding each) until @p duration elapses.
      */
-    LoadGenReport runClosedLoop(const sampling::SamplePlan &plan,
-                                std::uint32_t clients,
-                                std::chrono::milliseconds duration,
-                                const SubmitOptions &options = {});
+    LoadGenReport runClosedLoop(const Job &job, std::uint32_t clients,
+                                std::chrono::milliseconds duration);
 
     /**
      * Mixed-tenant run: every TenantRun drives its own traffic shape
-     * (open- or closed-loop, its own tenant/lane/deadline) against
-     * the one service, concurrently, for @p duration. The adversarial
-     * QoS scenario — a flooding Batch tenant next to a paced
-     * Interactive tenant — is one call.
+     * (open- or closed-loop, its own kind/tenant/lane/deadline)
+     * against the one service, concurrently, for @p duration. The
+     * adversarial QoS scenario — a flooding Batch training tenant
+     * next to a paced Interactive embedding tenant — is one call.
      */
     MixedReport runMixed(const std::vector<TenantRun> &runs,
                          std::chrono::milliseconds duration);
 
   private:
-    SamplingService &service_;
+    Service &service_;
 };
 
 } // namespace service

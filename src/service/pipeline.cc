@@ -1,0 +1,26 @@
+#include "pipeline.hh"
+
+namespace lsdgnn {
+namespace service {
+
+namespace {
+
+gnn::GraphSageModel
+buildModel(const PipelineConfig &config, std::size_t attr_dim)
+{
+    Rng rng(config.model_seed);
+    return gnn::GraphSageModel(attr_dim, config.hidden_dim,
+                               config.layers, rng, config.aggregator);
+}
+
+} // namespace
+
+ComputeRuntime::ComputeRuntime(const PipelineConfig &config,
+                               std::size_t attr_dim)
+    : config_(config), model_(buildModel(config, attr_dim)),
+      gemm_(config.gemm_rows, config.gemm_cols, config.gemm_clock_mhz)
+{
+}
+
+} // namespace service
+} // namespace lsdgnn

@@ -193,6 +193,15 @@ struct BrownOutConfig {
      * sampled neighborhood (so roughly quarters 2-hop work).
      */
     double fanout_scale = 0.5;
+    /**
+     * Layer-width degradation factor for compute kinds (Embed /
+     * TrainStep) at level >= 1: the forward pass computes only the
+     * first max(1, round(hidden * compute_width_scale)) embedding
+     * columns per layer, so degraded replies carry a usable prefix of
+     * the embedding space at a fraction of the GEMM cost. Sample jobs
+     * only degrade fan-out; compute jobs degrade both.
+     */
+    double compute_width_scale = 0.5;
 };
 
 /**

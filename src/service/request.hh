@@ -1,19 +1,19 @@
 /**
  * @file
- * Request/reply vocabulary of the sampling service layer.
+ * Request/reply vocabulary of the service layer.
  *
  * The service layer runs in *wall-clock* time on real threads, unlike
- * the simulated components underneath it: a client submits one
- * SampleRequest and receives a std::future<Reply> that completes when
- * a worker has executed the (possibly micro-batched) plan, or earlier
- * when admission control rejects or the deadline policy drops the
- * request.
+ * the simulated components underneath it: a client submits one Job
+ * (see job.hh) and receives a std::future<Reply> that completes when
+ * a worker has executed the (possibly micro-batched) plan — and, for
+ * compute kinds, gathered attributes and run the GNN forward pass —
+ * or earlier when admission control rejects or the deadline policy
+ * drops the request.
  *
  * Status model: replies carry lsdgnn::Status, the repo-wide result
- * vocabulary. Ok and Degraded both deliver a usable batch
- * (Status::hasPayload()); Rejected / DeadlineExceeded / Cancelled are
- * the shed outcomes. The old service-local ReplyStatus enum survives
- * only as a deprecated alias of StatusCode for one release.
+ * vocabulary. Ok and Degraded both deliver a usable payload
+ * (Status::hasPayload()); Rejected / DeadlineExceeded / Cancelled /
+ * InvalidArgument are the shed outcomes.
  */
 
 #ifndef LSDGNN_SERVICE_REQUEST_HH
@@ -26,6 +26,7 @@
 #include "common/status.hh"
 #include "common/trace.hh"
 #include "common/units.hh"
+#include "gnn/tensor.hh"
 #include "sampling/minibatch.hh"
 
 namespace lsdgnn {
@@ -36,12 +37,6 @@ using Clock = std::chrono::steady_clock;
 
 /** Trace "pid" the service layer's tracks live under. */
 inline constexpr std::uint32_t trace_pid = trace::wall_pid;
-
-/**
- * Deprecated name for the repo-wide status vocabulary. The historical
- * `Dropped` enumerator is StatusCode::DeadlineExceeded today.
- */
-using ReplyStatus [[deprecated("use lsdgnn::StatusCode")]] = StatusCode;
 
 /** Tenant identity of a submission. 0 is the default tenant. */
 using TenantId = std::uint32_t;
@@ -99,6 +94,36 @@ toString(ShedCause cause)
     return "?";
 }
 
+/**
+ * Kind of work a Job (job.hh) asks for. Lives here (not job.hh) so
+ * the internal Request/Reply records and the compatibility rules can
+ * name it without a circular include.
+ */
+enum class JobKind : std::uint8_t {
+    Sample = 0,    ///< sampled subgraph only
+    Embed = 1,     ///< sample -> gather -> GraphSAGE forward
+    TrainStep = 2, ///< Embed + in-batch link-prediction loss
+};
+
+/** Stable kind name for stats/JSON. */
+constexpr std::string_view
+toString(JobKind kind)
+{
+    switch (kind) {
+      case JobKind::Sample: return "sample";
+      case JobKind::Embed: return "embed";
+      case JobKind::TrainStep: return "train-step";
+    }
+    return "?";
+}
+
+/** Whether the kind runs the gather + GNN compute stages. */
+constexpr bool
+needsCompute(JobKind kind)
+{
+    return kind != JobKind::Sample;
+}
+
 /** Where a request's roots may be drawn from. */
 enum class Routing : std::uint8_t {
     /** Any worker, roots drawn from the whole graph (default). */
@@ -138,20 +163,46 @@ struct SubmitOptions {
      * small (< 2^32) nonzero values.
      */
     std::uint64_t trace_id = 0;
-};
-
-/** One sampling submission: what to sample, and how to treat it. */
-struct SampleRequest {
-    sampling::SamplePlan plan;
-    SubmitOptions options;
+    /**
+     * Job-local sampling seed. 0 (the default) draws from the
+     * executing worker's session stream — maximum throughput, but the
+     * result depends on which worker served the job and what it
+     * served before. A nonzero seed pins the job's entire root and
+     * neighbor draw to a private RNG stream, making the reply
+     * byte-identical regardless of worker count, batching, pipeline
+     * mode or scheduling — the golden-replay/A/B hook. Seeded jobs
+     * are never merged into a shared micro-batch (batchCompatible),
+     * so the seed fully determines the execution.
+     */
+    std::uint64_t seed = 0;
 };
 
 /** What the client's future resolves to. */
 struct Reply {
     /** Terminal outcome; see hasBatch() for payload validity. */
     Status status = StatusCode::Ok;
-    /** The sampled mini-batch; meaningful iff hasBatch(). */
+    /** Kind of job this reply answers. */
+    JobKind kind = JobKind::Sample;
+    /**
+     * The sampled mini-batch; meaningful iff hasBatch(). Compute
+     * kinds do not return the subgraph (their payload is the
+     * embeddings) — splitting the merged frontier per rider is pure
+     * overhead when the client only wants the dense output.
+     */
     sampling::SampleResult batch;
+    /**
+     * One embedding row per requested root; meaningful iff
+     * hasEmbeddings(). Under brown-out width degradation the rows are
+     * narrower than the configured hidden width (a prefix of the
+     * embedding space — usable, flagged Status::Degraded).
+     */
+    gnn::Matrix embeddings;
+    /** TrainStep only: in-batch link-prediction loss of this rider. */
+    double loss = 0.0;
+    /** Compute kinds: FLOPs the forward pass executed (batch-wide). */
+    std::uint64_t flops = 0;
+    /** Compute kinds: modeled GEMM-engine cycles (batch-wide). */
+    std::uint64_t gemm_cycles = 0;
     /** Worker that executed the request (executed replies only). */
     std::uint32_t worker = 0;
     /** Requests coalesced into the micro-batch this rode in. */
@@ -170,8 +221,16 @@ struct Reply {
      */
     std::uint64_t batch_span_id = 0;
     double queue_us = 0.0; ///< admission-queue wait
-    double exec_us = 0.0;  ///< backend execution (shared by the batch)
+    /**
+     * Total execution (shared by the batch): the sample stage alone
+     * for Sample jobs, sample + gather + compute for compute kinds.
+     */
+    double exec_us = 0.0;
     double e2e_us = 0.0;   ///< submit -> completion
+    /** Per-stage split of exec_us (gather/compute zero for Sample). */
+    double sample_us = 0.0;  ///< backend sampling execution
+    double gather_us = 0.0;  ///< attribute-row gather (compute kinds)
+    double compute_us = 0.0; ///< GNN forward pass (compute kinds)
     /** Tenant the request billed against (echo of SubmitOptions). */
     TenantId tenant = 0;
     /** Lane the request rode (echo of SubmitOptions). */
@@ -184,13 +243,25 @@ struct Reply {
      */
     ShedCause shed_cause = ShedCause::None;
 
-    /** Whether batch holds a usable sample (Ok or Degraded). */
-    bool hasBatch() const { return status.hasPayload(); }
+    /** Whether batch holds a usable sample (Sample kind only). */
+    bool hasBatch() const
+    {
+        return kind == JobKind::Sample && status.hasPayload();
+    }
+
+    /** Whether embeddings hold usable rows (compute kinds). */
+    bool hasEmbeddings() const
+    {
+        return needsCompute(kind) && status.hasPayload();
+    }
 };
 
-/** One queued sampling request. Moves through the RequestQueue. */
+/** One queued request. Moves through the RequestQueue. */
 struct Request {
+    JobKind kind = JobKind::Sample;
     sampling::SamplePlan plan;
+    /** Job-local sampling seed; see SubmitOptions::seed. */
+    std::uint64_t seed = 0;
     Routing routing = Routing::Any;
     TenantId tenant = 0;
     Lane lane = Lane::Interactive;
@@ -226,17 +297,22 @@ batchCompatible(const sampling::SamplePlan &a,
 }
 
 /**
- * Request-level compatibility: plan shape plus routing — a LocalRoots
- * rider must not be executed under an Any batch (and vice versa),
- * since the merged plan draws all roots one way — plus lane: a Batch
- * rider must not ride (and thereby extend) an Interactive execution,
- * so micro-batches stay lane-pure and priority accounting stays
- * honest. Tenants may mix freely within a lane.
+ * Request-level compatibility: job kind (a merged execution is
+ * stage-homogeneous — Sample riders never pay a compute stage and
+ * compute riders split on root ranges), plan shape, routing — a
+ * LocalRoots rider must not be executed under an Any batch (and vice
+ * versa), since the merged plan draws all roots one way — and lane: a
+ * Batch rider must not ride (and thereby extend) an Interactive
+ * execution, so micro-batches stay lane-pure and priority accounting
+ * stays honest. Tenants may mix freely within a lane. Seeded requests
+ * (SubmitOptions::seed != 0) always execute solo: their draw must not
+ * depend on who else happened to be queued.
  */
 inline bool
 batchCompatible(const Request &a, const Request &b)
 {
-    return a.routing == b.routing && a.lane == b.lane &&
+    return a.kind == b.kind && a.seed == 0 && b.seed == 0 &&
+           a.routing == b.routing && a.lane == b.lane &&
            batchCompatible(a.plan, b.plan);
 }
 

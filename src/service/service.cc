@@ -1,15 +1,20 @@
 #include "service.hh"
 
 #include "framework/distributed.hh"
+#include "graph/datasets.hh"
 
 namespace lsdgnn {
 namespace service {
 
-SamplingService::SamplingService(ServiceConfig config)
-    : config_(std::move(config)),
-      qos_(std::make_unique<QosRuntime>(config_.qos)),
-      stats_(std::make_unique<ServiceStats>())
+Service::Service(ServiceConfig config)
+    : config_(std::move(config))
 {
+    const Status valid = config_.validate();
+    lsd_assert(valid.ok(),
+               "invalid ServiceConfig: ", valid.toString());
+    qos_ = std::make_unique<QosRuntime>(config_.qos);
+    stats_ = std::make_unique<ServiceStats>();
+
     // The EDF batcher is part of the QoS scheduler: disable both
     // together so qos.enabled=false is the complete pre-QoS engine.
     config_.batcher.deadline_aware = config_.qos.enabled;
@@ -32,61 +37,94 @@ SamplingService::SamplingService(ServiceConfig config)
         config_.session.distributed.store =
             framework::DistributedStore::create(config_.session);
 
+    // One model for the whole service, seeded independently of the
+    // workers: a seeded job's embeddings must not depend on which
+    // worker computes them. The dataset spec fixes the input width
+    // (instantiate() scales nodes/edges but keeps attr_len).
+    compute_ = std::make_unique<ComputeRuntime>(
+        config_.pipeline,
+        graph::datasetByName(config_.session.dataset).attr_len);
+
     WorkerPoolConfig pcfg;
     pcfg.num_workers = config_.num_workers;
     pcfg.session = config_.session;
     pcfg.batcher = config_.batcher;
     pcfg.qos = config_.qos.enabled ? qos_.get() : nullptr;
+    pcfg.compute = compute_.get();
     pool = std::make_unique<WorkerPool>(pcfg, *queue_, *stats_);
     pool->start();
 }
 
-SamplingService::~SamplingService()
+Service::~Service()
 {
     shutdown(Shutdown::Drain);
 }
 
 std::future<Reply>
-SamplingService::submit(const SampleRequest &request)
+Service::submit(const Job &job)
 {
     Request req;
-    req.plan = request.plan;
-    req.routing = request.options.routing;
-    req.tenant = request.options.tenant;
-    req.lane = request.options.lane;
+    req.kind = job.kind();
+    req.plan = job.plan();
+    req.seed = job.options.seed;
+    req.routing = job.options.routing;
+    req.tenant = job.options.tenant;
+    req.lane = job.options.lane;
     // trace_id 0 = "allocate one for me": every request runs under a
     // live trace identity, so replies, spans and flight-recorder
     // events always name their request (see SubmitOptions::trace_id
     // for the id scheme).
-    req.trace_id = request.options.trace_id != 0
-                       ? request.options.trace_id
+    req.trace_id = job.options.trace_id != 0
+                       ? job.options.trace_id
                        : trace::TraceContext::nextTraceId();
     req.trace = trace::TraceContext::root(req.trace_id);
+    std::future<Reply> future = req.promise.get_future();
+
+    const auto failFast = [&](StatusCode code, std::string message,
+                              ShedCause cause) {
+        Reply reply;
+        reply.status = Status(code, std::move(message));
+        reply.kind = req.kind;
+        reply.trace_id = req.trace_id;
+        reply.span_id = req.trace.span_id;
+        reply.tenant = req.tenant;
+        reply.lane = req.lane;
+        reply.shed_cause = cause;
+        req.promise.set_value(std::move(reply));
+        return std::move(future);
+    };
+
+    // Shape validation up front: a malformed plan must never occupy
+    // queue capacity or a worker.
+    if (req.plan.batch_size == 0 || req.plan.fanouts.empty())
+        return failFast(StatusCode::InvalidArgument,
+                        "plan needs batch_size > 0 and >= 1 hop",
+                        ShedCause::None);
+    if (needsCompute(req.kind) &&
+        req.plan.hops() != config_.pipeline.layers)
+        return failFast(
+            StatusCode::InvalidArgument,
+            "compute kinds must sample exactly pipeline.layers (" +
+                std::to_string(config_.pipeline.layers) + ") hops, got " +
+                std::to_string(req.plan.hops()),
+            ShedCause::None);
+
     const auto now = Clock::now();
-    const auto deadline = request.options.deadline.count() > 0
-                              ? request.options.deadline
+    const auto deadline = job.options.deadline.count() > 0
+                              ? job.options.deadline
                               : config_.default_deadline;
     if (deadline.count() > 0)
         req.deadline = now + deadline;
-    std::future<Reply> future = req.promise.get_future();
 
     if (config_.qos.enabled) {
         // Per-tenant token bucket: a deny burns the tenant's budget,
         // not queue capacity — the future completes immediately.
         const AdmitDecision decision =
             qos_->registry.admit(req.tenant, now);
-        if (!decision.admitted) {
-            Reply reply;
-            reply.status = Status(StatusCode::Rejected,
-                                  "tenant admission rate exceeded");
-            reply.trace_id = req.trace_id;
-            reply.span_id = req.trace.span_id;
-            reply.tenant = req.tenant;
-            reply.lane = req.lane;
-            reply.shed_cause = decision.cause;
-            req.promise.set_value(std::move(reply));
-            return future;
-        }
+        if (!decision.admitted)
+            return failFast(StatusCode::Rejected,
+                            "tenant admission rate exceeded",
+                            decision.cause);
         // Brown-out level 2 (DegradeAndShed): keep interactive
         // traffic flowing degraded, shed Batch-lane work outright.
         const double fill =
@@ -96,16 +134,9 @@ SamplingService::submit(const SampleRequest &request)
         if (level >= BrownOut::DegradeAndShed &&
             req.lane == Lane::Batch) {
             qos_->registry.recordShed(req.tenant, ShedCause::BrownOut);
-            Reply reply;
-            reply.status = Status(StatusCode::Rejected,
-                                  "brown-out: batch lane shedding");
-            reply.trace_id = req.trace_id;
-            reply.span_id = req.trace.span_id;
-            reply.tenant = req.tenant;
-            reply.lane = req.lane;
-            reply.shed_cause = ShedCause::BrownOut;
-            req.promise.set_value(std::move(reply));
-            return future;
+            return failFast(StatusCode::Rejected,
+                            "brown-out: batch lane shedding",
+                            ShedCause::BrownOut);
         }
     }
 
@@ -113,35 +144,17 @@ SamplingService::submit(const SampleRequest &request)
     return future;
 }
 
-std::future<Reply>
-SamplingService::submit(const sampling::SamplePlan &plan)
+Result<Reply>
+Service::execute(const Job &job)
 {
-    return submit(SampleRequest{plan, {}});
-}
-
-std::future<Reply>
-SamplingService::submit(const sampling::SamplePlan &plan,
-                        std::chrono::microseconds deadline)
-{
-    SampleRequest request{plan, {}};
-    request.options.deadline = deadline;
-    return submit(request);
-}
-
-Reply
-SamplingService::sample(const SampleRequest &request)
-{
-    return submit(request).get();
-}
-
-Reply
-SamplingService::sample(const sampling::SamplePlan &plan)
-{
-    return sample(SampleRequest{plan, {}});
+    Reply reply = submit(job).get();
+    if (!reply.status.hasPayload())
+        return reply.status;
+    return reply;
 }
 
 void
-SamplingService::shutdown(Shutdown mode)
+Service::shutdown(Shutdown mode)
 {
     if (down)
         return;

@@ -1,14 +1,18 @@
 /**
  * @file
- * SamplingService: the concurrent request frontend over Session.
+ * Service: the concurrent request frontend over Session — the paper's
+ * FaaS serving tier in software.
  *
- * The paper deploys AxE/MoF behind a serverless frontier because
- * LSD-GNN sampling is a *service* hit by many concurrent
- * training/inference workers. This facade is that layer in software:
- * clients submit SamplePlans from any number of threads and get
- * futures back; inside, a bounded admission queue (load shedding), a
- * dynamic micro-batcher (Tech-1-style request packing at the service
- * level) and a worker pool of Session shards turn those submissions
+ * Clients submit Jobs (job.hh) from any number of threads and get
+ * futures back. One canonical entry point covers every workload the
+ * FaaS frontier mixes: SampleJob returns the sampled subgraph,
+ * EmbedJob runs the full Fig. 3 pipeline (sample -> attribute gather
+ * -> GraphSAGE forward on the GEMM engine) and returns root
+ * embeddings, TrainStepJob adds the in-batch link-prediction loss.
+ * Inside, a bounded admission queue (load shedding), per-tenant QoS
+ * (token buckets, priority lanes, EDF batching, brown-out), a dynamic
+ * micro-batcher and a worker pool of Session shards — each worker a
+ * double-buffered sample/gather | compute pipeline — turn submissions
  * into backend executions.
  *
  * Lifecycle: construct (workers start immediately), submit freely,
@@ -23,69 +27,41 @@
 #include <future>
 #include <memory>
 
+#include "service/config.hh"
+#include "service/job.hh"
 #include "service/qos.hh"
 #include "service/worker_pool.hh"
 
 namespace lsdgnn {
 namespace service {
 
-/** Whole-service configuration. */
-struct ServiceConfig {
-    /** Per-worker Session template (seed offset by worker id). */
-    framework::SessionConfig session;
-    /** Worker threads / Session shards. */
-    std::uint32_t num_workers = 2;
-    /** Admission-queue capacity (push rejects beyond this). */
-    std::size_t queue_capacity = 256;
-    /** Micro-batching policy. */
-    BatcherConfig batcher;
-    /**
-     * Deadline attached to submissions that do not carry their own;
-     * zero means requests never expire in the queue.
-     */
-    std::chrono::microseconds default_deadline{0};
-    /**
-     * Multi-tenant QoS policy: per-tenant token-bucket admission,
-     * priority lanes with weighted-fair dequeue, EDF batching and
-     * brown-out. qos.enabled = false restores the pre-QoS engine
-     * exactly (single FIFO, no admission control).
-     */
-    QosConfig qos;
-};
-
-/** Multi-threaded wall-clock sampling service over Session shards. */
-class SamplingService
+/** Multi-threaded wall-clock GNN serving tier over Session shards. */
+class Service
 {
   public:
-    explicit SamplingService(ServiceConfig config);
+    /** Validates @p config (fatal when invalid) and starts workers. */
+    explicit Service(ServiceConfig config);
 
     /** Drains and joins (equivalent to shutdown(Shutdown::Drain)). */
-    ~SamplingService();
+    ~Service();
 
     /**
-     * Submit one sampling request. A zero request deadline falls back
-     * to the config's default. Never blocks: on queue overflow the
-     * returned future is already completed with StatusCode::Rejected.
+     * Submit one job — the single entry point for every kind. A zero
+     * options deadline falls back to the config's default. Never
+     * blocks: on validation failure (empty plan; compute-kind hops !=
+     * pipeline.layers -> InvalidArgument), admission denial or queue
+     * overflow the returned future is already completed with the
+     * failing status.
      */
-    std::future<Reply> submit(const SampleRequest &request);
+    std::future<Reply> submit(const Job &job);
 
     /**
-     * @deprecated Use submit(SampleRequest). Equivalent to submitting
-     * {plan, {}} — the config's default deadline, Routing::Any.
+     * Submit and wait. The value arm carries any reply with a usable
+     * payload (Ok or Degraded — inspect Reply::status for the
+     * asterisk); shed outcomes land on the error arm with the
+     * reply's status.
      */
-    [[deprecated("use submit(const SampleRequest &)")]]
-    std::future<Reply> submit(const sampling::SamplePlan &plan);
-
-    /** @deprecated Use submit(SampleRequest) with options.deadline. */
-    [[deprecated("use submit(const SampleRequest &)")]]
-    std::future<Reply> submit(const sampling::SamplePlan &plan,
-                              std::chrono::microseconds deadline);
-
-    /** Convenience: submit and wait. */
-    Reply sample(const SampleRequest &request);
-
-    /** Convenience: submit @p plan with default options and wait. */
-    Reply sample(const sampling::SamplePlan &plan);
+    Result<Reply> execute(const Job &job);
 
     /** How shutdown treats requests still queued. */
     enum class Shutdown {
@@ -124,20 +100,32 @@ class SamplingService
         return qos_->registry.stats(id);
     }
 
+    /** Shared compute state (model + GEMM engine geometry). */
+    const ComputeRuntime &compute() const { return *compute_; }
+
+    /**
+     * Cumulative per-stage busy time across all workers — the
+     * occupancy counters the pipeline-overlap benchmark reads
+     * (quiesce first; see WorkerPool::stageBusy).
+     */
+    StageBusy stageBusy() const { return pool->stageBusy(); }
+
     const ServiceConfig &config() const { return config_; }
 
-    SamplingService(const SamplingService &) = delete;
-    SamplingService &operator=(const SamplingService &) = delete;
+    Service(const Service &) = delete;
+    Service &operator=(const Service &) = delete;
 
   private:
     ServiceConfig config_;
-    // unique_ptrs: qos/queue/stats must outlive the pool's worker
-    // threads and keep stable addresses across the facade's lifetime.
-    // Declaration order is destruction-critical: the queue holds a
-    // QosRuntime pointer, so qos_ must outlive queue_.
+    // unique_ptrs: qos/queue/stats/compute must outlive the pool's
+    // worker threads and keep stable addresses across the facade's
+    // lifetime. Declaration order is destruction-critical: the queue
+    // holds a QosRuntime pointer, so qos_ must outlive queue_, and
+    // the pool references everything above it.
     std::unique_ptr<QosRuntime> qos_;
     std::unique_ptr<ServiceStats> stats_;
     std::unique_ptr<RequestQueue> queue_;
+    std::unique_ptr<ComputeRuntime> compute_;
     std::unique_ptr<WorkerPool> pool;
     bool down = false;
 };

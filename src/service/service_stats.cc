@@ -58,6 +58,8 @@ ServiceStats::ServiceStats()
       stageBatch_("batch"),
       stageSample_("sample"),
       stageRemote_("remote"),
+      stageGather_("gather"),
+      stageCompute_("compute"),
       laneInteractive_(Lane::Interactive),
       laneBatch_(Lane::Batch),
       cacheHitPct_(0.0, 100.0, 101),
@@ -140,6 +142,14 @@ ServiceStats::recordStages(double queue_us, double batch_us,
         fabricInflightPeak_.sample(
             static_cast<double>(inflight_peak));
     }
+}
+
+void
+ServiceStats::recordComputeStages(double gather_us, double compute_us)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    stageGather_.us.sample(gather_us);
+    stageCompute_.us.sample(compute_us);
 }
 
 void

@@ -16,10 +16,12 @@
  * ("us") each, so windowed exporters (stats::WindowedStats) can
  * report rolling per-stage percentiles by group prefix:
  *
- *  - `service.stage.queue`  admission-queue wait
- *  - `service.stage.batch`  micro-batch forming (aging window)
- *  - `service.stage.sample` backend execution
- *  - `service.stage.remote` remote-fabric wait inside execution
+ *  - `service.stage.queue`   admission-queue wait
+ *  - `service.stage.batch`   micro-batch forming (aging window)
+ *  - `service.stage.sample`  backend execution
+ *  - `service.stage.remote`  remote-fabric wait inside execution
+ *  - `service.stage.gather`  attribute-row gather (compute kinds)
+ *  - `service.stage.compute` GNN forward pass (compute kinds)
  *
  * All four are sampled once per completed request (riders of one
  * batch each contribute the batch's shared stage times), keeping the
@@ -75,6 +77,16 @@ class ServiceStats
                       std::uint64_t cache_hits = 0,
                       std::uint64_t hedges = 0,
                       std::uint64_t inflight_peak = 0);
+
+    /**
+     * Record one completed compute-kind request's pipeline stages:
+     * `service.stage.gather` (attribute-row materialization +
+     * modeled-fabric pacing) and `service.stage.compute` (GraphSAGE
+     * forward on the GEMM engine). Sampled only for Embed/TrainStep
+     * completions, so the windowed view is not diluted by
+     * sample-only traffic.
+     */
+    void recordComputeStages(double gather_us, double compute_us);
 
     /** Completed (Ok) requests so far. */
     std::uint64_t completed() const;
@@ -142,6 +154,8 @@ class ServiceStats
     Stage stageBatch_;
     Stage stageSample_;
     Stage stageRemote_;
+    Stage stageGather_;
+    Stage stageCompute_;
     LaneView laneInteractive_;
     LaneView laneBatch_;
     /** Hot-vertex-cache hit percentage per request (0-100). */

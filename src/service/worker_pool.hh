@@ -1,6 +1,6 @@
 /**
  * @file
- * Worker pool: N threads, one framework::Session shard each.
+ * Worker pool: N double-buffered pipelines, one Session shard each.
  *
  * framework::Session is not thread-safe (see session.hh), so the pool
  * gives every worker thread its own Session, built *inside* the
@@ -8,22 +8,29 @@
  * the worker id — per-worker sampling streams are decorrelated yet
  * fully deterministic for a fixed base seed.
  *
- * Each worker loops: collect one micro-batch from the shared
- * admission queue (Batcher aging window), execute the merged plan on
- * its Session, split the result, complete every rider's future, and
- * record latency stats. Execution spans land on per-worker Perfetto
- * tracks (`service.workerN`) when tracing is on.
+ * Each worker is a two-stage pipeline (see pipeline.hh): the worker
+ * thread collects a micro-batch, samples it and gathers attribute
+ * rows (paced to the modeled gather fabric), then hands the payload
+ * to its compute thread, which runs the GraphSAGE forward on the
+ * shared GEMM engine and completes the riders' futures — so batch
+ * i+1 samples/gathers while batch i computes. Sample-only jobs
+ * complete inline in the first stage. PipelineConfig::enabled = false
+ * runs both stages inline on the worker thread (the serial A/B
+ * baseline). Execution spans land on per-worker Perfetto tracks
+ * (`service.workerN`, `service.workerN.compute`) when tracing is on.
  */
 
 #ifndef LSDGNN_SERVICE_WORKER_POOL_HH
 #define LSDGNN_SERVICE_WORKER_POOL_HH
 
+#include <atomic>
 #include <cstdint>
 #include <thread>
 #include <vector>
 
 #include "framework/session.hh"
 #include "service/batcher.hh"
+#include "service/pipeline.hh"
 #include "service/request_queue.hh"
 #include "service/service_stats.hh"
 
@@ -31,6 +38,18 @@ namespace lsdgnn {
 namespace service {
 
 struct QosRuntime;
+
+/**
+ * Cumulative busy wall time per pipeline stage, summed over all
+ * workers — the occupancy numbers the overlap benchmark divides:
+ * with the pipeline on, wall clock should approach
+ * max(sample + gather, compute) per worker instead of their sum.
+ */
+struct StageBusy {
+    double sample_us = 0.0;
+    double gather_us = 0.0;
+    double compute_us = 0.0;
+};
 
 /** Worker-pool construction knobs. */
 struct WorkerPoolConfig {
@@ -45,10 +64,18 @@ struct WorkerPoolConfig {
      * feeds the brown-out controller with queue fill before executing
      * a micro-batch, degrades the merged plan's fan-outs at level >= 1
      * (replies become Status::Degraded with ShedCause::BrownOut — the
-     * payload stays usable), and records per-tenant outcomes. Null
-     * disables all of it (legacy engine / direct-pool tests).
+     * payload stays usable; compute kinds additionally lose embedding
+     * width), and records per-tenant outcomes. Null disables all of
+     * it (legacy engine / direct-pool tests).
      */
     QosRuntime *qos = nullptr;
+    /**
+     * Shared compute runtime (model + GEMM engine + pipeline knobs),
+     * owned by the service; must outlive the pool. Null runs a
+     * sample-only pool (direct-pool tests) — compute-kind requests
+     * must not reach it.
+     */
+    const ComputeRuntime *compute = nullptr;
 };
 
 /**
@@ -73,6 +100,9 @@ class WorkerPool
 
     std::uint32_t numWorkers() const { return config_.num_workers; }
 
+    /** Per-stage busy time so far (exact once workers quiesce). */
+    StageBusy stageBusy() const;
+
     WorkerPool(const WorkerPool &) = delete;
     WorkerPool &operator=(const WorkerPool &) = delete;
 
@@ -83,6 +113,10 @@ class WorkerPool
     RequestQueue &queue_;
     ServiceStats &stats_;
     std::vector<std::thread> threads;
+    /** Stage-busy accumulators, nanoseconds (atomic: all workers). */
+    std::atomic<std::uint64_t> sampleBusyNs_{0};
+    std::atomic<std::uint64_t> gatherBusyNs_{0};
+    std::atomic<std::uint64_t> computeBusyNs_{0};
 };
 
 } // namespace service

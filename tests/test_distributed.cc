@@ -4,7 +4,7 @@
  * ShardChannel rounds under 0/5/20% loss and hard peer-down,
  * ReliableChannel circuit breaking, DistributedStore/Backend
  * determinism and graceful degradation, and the service-level
- * integration (SampleRequest routing, Degraded replies, mof.remote
+ * integration (Job routing, Degraded replies, mof.remote
  * stats in the registry).
  */
 
@@ -502,11 +502,11 @@ distributedService(std::uint32_t workers, std::uint32_t shards = 4)
 
 TEST(DistributedService, SubmitsResolveWithBatches)
 {
-    service::SamplingService svc(distributedService(2));
+    service::Service svc(distributedService(2));
     std::vector<std::future<service::Reply>> futures;
     for (int i = 0; i < 16; ++i)
         futures.push_back(
-            svc.submit(service::SampleRequest{tinyPlan(), {}}));
+            svc.submit(service::Job::sample(tinyPlan())));
     for (auto &f : futures) {
         const auto reply = f.get();
         ASSERT_TRUE(reply.hasBatch()) << reply.status;
@@ -519,9 +519,9 @@ TEST(DistributedService, DownShardYieldsDegradedReplies)
 {
     auto cfg = distributedService(1, 3);
     cfg.session.distributed.down_shards = {2};
-    service::SamplingService svc(cfg);
+    service::Service svc(cfg);
     const auto reply =
-        svc.sample(service::SampleRequest{tinyPlan(64), {}});
+        svc.submit(service::Job::sample(tinyPlan(64))).get();
     EXPECT_EQ(reply.status, StatusCode::Degraded);
     EXPECT_TRUE(reply.hasBatch());
     EXPECT_EQ(reply.batch.roots.size(), 64u);
@@ -532,11 +532,12 @@ TEST(DistributedService, LocalRootsRoutingHonoredThroughService)
 {
     // One worker == one shard (shard 0): LocalRoots must pin every
     // root to the executing worker's shard.
-    service::SamplingService svc(distributedService(1));
-    service::SampleRequest request{tinyPlan(32), {}};
-    request.options.routing = service::Routing::LocalRoots;
-    request.options.trace_id = 42;
-    const auto reply = svc.sample(request);
+    service::Service svc(distributedService(1));
+    service::SubmitOptions options;
+    options.routing = service::Routing::LocalRoots;
+    options.trace_id = 42;
+    const auto reply =
+        svc.submit(service::Job::sample(tinyPlan(32), options)).get();
     ASSERT_TRUE(reply.hasBatch()) << reply.status;
     EXPECT_EQ(reply.trace_id, 42u);
 
@@ -554,11 +555,11 @@ TEST(DistributedService, DeterministicAcrossRuns)
     auto run = [] {
         auto cfg = distributedService(1);
         cfg.batcher.window = std::chrono::microseconds(0);
-        service::SamplingService svc(cfg);
+        service::Service svc(cfg);
         std::vector<graph::NodeId> ids;
         for (int i = 0; i < 6; ++i) {
             const auto reply =
-                svc.sample(service::SampleRequest{tinyPlan(), {}});
+                svc.submit(service::Job::sample(tinyPlan())).get();
             for (graph::NodeId n : reply.batch.roots)
                 ids.push_back(n);
             for (const auto &hop : reply.batch.frontier)

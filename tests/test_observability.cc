@@ -105,10 +105,11 @@ tinyPlan(std::uint32_t batch = 16)
 
 TEST(ServiceTracing, ClientChosenTraceIdIsEchoed)
 {
-    service::SamplingService svc(softwareConfig());
-    service::SampleRequest req{tinyPlan(), {}};
-    req.options.trace_id = 42;
-    const auto reply = svc.sample(req);
+    service::Service svc(softwareConfig());
+    service::SubmitOptions options;
+    options.trace_id = 42;
+    const auto reply =
+        svc.submit(service::Job::sample(tinyPlan(), options)).get();
     ASSERT_EQ(reply.status.code(), StatusCode::Ok);
     EXPECT_EQ(reply.trace_id, 42u);
     EXPECT_NE(reply.span_id, 0u);
@@ -120,9 +121,9 @@ TEST(ServiceTracing, ClientChosenTraceIdIsEchoed)
 
 TEST(ServiceTracing, ZeroTraceIdGetsServiceAllocatedId)
 {
-    service::SamplingService svc(softwareConfig());
-    const auto a = svc.sample(service::SampleRequest{tinyPlan(), {}});
-    const auto b = svc.sample(service::SampleRequest{tinyPlan(), {}});
+    service::Service svc(softwareConfig());
+    const auto a = svc.submit(service::Job::sample(tinyPlan())).get();
+    const auto b = svc.submit(service::Job::sample(tinyPlan())).get();
     ASSERT_EQ(a.status.code(), StatusCode::Ok);
     ASSERT_EQ(b.status.code(), StatusCode::Ok);
     EXPECT_GE(a.trace_id, std::uint64_t(1) << 32);
@@ -136,12 +137,12 @@ TEST(ServiceTracing, RidersOfOneBatchShareTheBatchSpan)
     // compatible submissions into shared micro-batches.
     auto cfg = softwareConfig(1);
     cfg.batcher.window = 2000us;
-    service::SamplingService svc(cfg);
+    service::Service svc(cfg);
 
     std::vector<std::future<service::Reply>> futures;
     for (int i = 0; i < 16; ++i)
         futures.push_back(
-            svc.submit(service::SampleRequest{tinyPlan(), {}}));
+            svc.submit(service::Job::sample(tinyPlan())));
     std::vector<service::Reply> replies;
     for (auto &f : futures)
         replies.push_back(f.get());
@@ -185,11 +186,12 @@ TEST(ServiceTracing, DegradedFallbackKeepsTraceIdentity)
     cfg.session.backend = framework::Backend::Distributed;
     cfg.session.distributed.num_shards = 4;
     cfg.session.distributed.down_shards = {1};
-    service::SamplingService svc(cfg);
+    service::Service svc(cfg);
 
-    service::SampleRequest req{tinyPlan(64), {}};
-    req.options.trace_id = 9001;
-    const auto reply = svc.sample(req);
+    service::SubmitOptions options;
+    options.trace_id = 9001;
+    const auto reply =
+        svc.submit(service::Job::sample(tinyPlan(64), options)).get();
     ASSERT_EQ(reply.status.code(), StatusCode::Degraded);
     EXPECT_TRUE(reply.hasBatch());
     EXPECT_EQ(reply.trace_id, 9001u);
@@ -283,11 +285,11 @@ TEST(FlightRecorder, ShedSpikeTripsThroughTheServiceQueue)
     // Rejected and cross the spike threshold deterministically.
     auto cfg = softwareConfig(1);
     cfg.queue_capacity = 2;
-    service::SamplingService svc(cfg);
+    service::Service svc(cfg);
     std::vector<std::future<service::Reply>> futures;
     for (int i = 0; i < 256; ++i)
         futures.push_back(
-            svc.submit(service::SampleRequest{tinyPlan(64), {}}));
+            svc.submit(service::Job::sample(tinyPlan(64))));
     std::size_t rejected = 0;
     for (auto &f : futures)
         rejected +=

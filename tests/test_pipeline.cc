@@ -1,0 +1,533 @@
+/**
+ * @file
+ * End-to-end pipeline validation: golden-seed determinism of the
+ * sample -> gather -> compute path (double-buffered == serial,
+ * byte-identical, across worker counts, QoS on/off and both fabric
+ * engines), compute reply semantics (embedding shapes, per-rider
+ * train-step loss, stage telemetry), Job validation at submit(),
+ * brown-out width degradation for compute kinds, kind-homogeneous
+ * micro-batching, the consolidated ServiceConfig (validate / Builder /
+ * fromEnv), and a mixed-kind double-buffering stress run. The whole
+ * binary is also a TSan target: the stage-B compute thread, the stage
+ * mailboxes and the shared ComputeRuntime must be race-free.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "common/stat_registry.hh"
+#include "service/load_gen.hh"
+#include "service/service.hh"
+
+namespace lsdgnn {
+namespace {
+
+using namespace std::chrono_literals;
+
+sampling::SamplePlan
+twoHopPlan(std::uint32_t batch = 16)
+{
+    sampling::SamplePlan plan;
+    plan.batch_size = batch;
+    plan.fanouts = {5, 5};
+    return plan;
+}
+
+service::ServiceConfig::Builder
+baseBuilder(std::uint32_t workers)
+{
+    service::ServiceConfig::Builder b;
+    b.dataset("ss", 40'000).servers(4).seed(7).workers(workers);
+    return b;
+}
+
+/** Knobs of one golden run; every axis the pipeline must not change. */
+struct GoldenMode {
+    bool pipelined = true;
+    std::uint32_t workers = 1;
+    bool qos = true;
+    bool distributed = false;
+    bool async_fabric = true;
+};
+
+/**
+ * Flatten the embeddings of a few seeded Embed jobs. Seeded jobs use a
+ * private sampling stream, so the result must depend only on the
+ * session seed and the job seeds — never on worker count, stage
+ * overlap, scheduler or fabric engine.
+ */
+std::vector<float>
+goldenEmbeddings(const GoldenMode &mode, int batches = 3)
+{
+    auto builder = baseBuilder(mode.workers);
+    builder.pipelined(mode.pipelined).qosEnabled(mode.qos);
+    if (mode.distributed) {
+        framework::DistributedConfig d;
+        d.num_shards = 4;
+        d.async_fabric = mode.async_fabric;
+        // Golden runs must resolve every remote read in both engines
+        // (same requirement as the test_async_fabric golden tests).
+        d.request_timeout_us = 50'000.0;
+        builder.distributed(d);
+    }
+    service::Service svc(builder.build());
+
+    std::vector<float> flat;
+    for (int i = 0; i < batches; ++i) {
+        service::SubmitOptions options;
+        options.seed = 1000 + i;
+        const auto result =
+            svc.execute(service::Job::embed(twoHopPlan(), options));
+        EXPECT_TRUE(result.ok()) << result.status().toString();
+        if (!result.ok())
+            break;
+        const gnn::Matrix &e = result.value().embeddings;
+        EXPECT_EQ(e.rows(), twoHopPlan().batch_size);
+        for (std::size_t r = 0; r < e.rows(); ++r)
+            for (std::size_t c = 0; c < e.cols(); ++c)
+                flat.push_back(e.at(r, c));
+    }
+    svc.shutdown();
+    return flat;
+}
+
+// ---------------------------------------------------------------------
+// Golden-seed determinism matrix
+// ---------------------------------------------------------------------
+
+TEST(PipelineGolden, DoubleBufferedMatchesSerialByteIdentical)
+{
+    GoldenMode piped, serial;
+    serial.pipelined = false;
+    const auto a = goldenEmbeddings(piped);
+    const auto b = goldenEmbeddings(serial);
+    ASSERT_FALSE(a.empty());
+    EXPECT_EQ(a, b);
+}
+
+TEST(PipelineGolden, WorkerCountCannotChangeSeededEmbeddings)
+{
+    GoldenMode one, four;
+    four.workers = 4;
+    const auto a = goldenEmbeddings(one);
+    const auto b = goldenEmbeddings(four);
+    ASSERT_FALSE(a.empty());
+    EXPECT_EQ(a, b);
+}
+
+TEST(PipelineGolden, QosSchedulerCannotChangeEmbeddings)
+{
+    GoldenMode with, without;
+    without.qos = false;
+    const auto a = goldenEmbeddings(with);
+    const auto b = goldenEmbeddings(without);
+    ASSERT_FALSE(a.empty());
+    EXPECT_EQ(a, b);
+}
+
+TEST(PipelineGolden, DistributedPipelinedMatchesSerial)
+{
+    GoldenMode piped, serial;
+    piped.distributed = serial.distributed = true;
+    serial.pipelined = false;
+    const auto a = goldenEmbeddings(piped);
+    const auto b = goldenEmbeddings(serial);
+    ASSERT_FALSE(a.empty());
+    EXPECT_EQ(a, b);
+}
+
+TEST(PipelineGolden, AsyncFabricCannotChangeEmbeddings)
+{
+    GoldenMode on, off;
+    on.distributed = off.distributed = true;
+    off.async_fabric = false;
+    const auto a = goldenEmbeddings(on);
+    const auto b = goldenEmbeddings(off);
+    ASSERT_FALSE(a.empty());
+    EXPECT_EQ(a, b);
+}
+
+// ---------------------------------------------------------------------
+// Compute reply semantics
+// ---------------------------------------------------------------------
+
+TEST(PipelineCompute, EmbedReplyCarriesShapeTelemetryAndStages)
+{
+    service::Service svc(baseBuilder(1).build());
+    service::SubmitOptions options;
+    options.seed = 42;
+    const auto result =
+        svc.execute(service::Job::embed(twoHopPlan(8), options));
+    ASSERT_TRUE(result.ok()) << result.status().toString();
+    const service::Reply &reply = result.value();
+
+    EXPECT_EQ(reply.kind, service::JobKind::Embed);
+    EXPECT_TRUE(reply.hasEmbeddings());
+    EXPECT_FALSE(reply.hasBatch()); // compute replies skip the subgraph
+    EXPECT_EQ(reply.embeddings.rows(), 8u);
+    EXPECT_EQ(reply.embeddings.cols(),
+              svc.compute().model().hiddenDim());
+    EXPECT_GT(reply.flops, 0u);
+    EXPECT_GT(reply.gemm_cycles, 0u);
+    EXPECT_GT(reply.sample_us, 0.0);
+    EXPECT_GT(reply.gather_us, 0.0);
+    EXPECT_GT(reply.compute_us, 0.0);
+    // exec time covers all three stages of this rider's batch.
+    EXPECT_GE(reply.exec_us, reply.compute_us);
+
+    double sum = 0.0;
+    for (std::size_t r = 0; r < reply.embeddings.rows(); ++r)
+        for (std::size_t c = 0; c < reply.embeddings.cols(); ++c)
+            sum += std::abs(reply.embeddings.at(r, c));
+    EXPECT_GT(sum, 0.0f) << "embeddings must not be all-zero";
+
+    // Stage occupancy + histograms observed the compute stages.
+    const auto busy = svc.stageBusy();
+    EXPECT_GT(busy.sample_us, 0.0);
+    EXPECT_GT(busy.gather_us, 0.0);
+    EXPECT_GT(busy.compute_us, 0.0);
+    std::ostringstream os;
+    stats::StatRegistry::instance().exportJson(os);
+    const std::string json = os.str();
+    EXPECT_NE(json.find("\"service.stage.gather\""), std::string::npos);
+    EXPECT_NE(json.find("\"service.stage.compute\""),
+              std::string::npos);
+    svc.shutdown();
+}
+
+TEST(PipelineCompute, TrainStepReportsDeterministicFiniteLoss)
+{
+    auto runLoss = [] {
+        service::Service svc(baseBuilder(2).build());
+        service::SubmitOptions options;
+        options.seed = 7777;
+        const auto result = svc.execute(
+            service::Job::trainStep(twoHopPlan(16), options));
+        EXPECT_TRUE(result.ok()) << result.status().toString();
+        const double loss = result.ok() ? result.value().loss : -1.0;
+        svc.shutdown();
+        return loss;
+    };
+    const double a = runLoss();
+    EXPECT_TRUE(std::isfinite(a));
+    EXPECT_GT(a, 0.0); // -log p terms are strictly positive
+    EXPECT_EQ(a, runLoss());
+}
+
+TEST(PipelineCompute, RidersOfAMergedBatchGetTheirOwnRows)
+{
+    // One worker + a wide window: concurrent compatible Embed jobs
+    // merge, and each rider must get exactly its own root rows back.
+    auto builder = baseBuilder(1);
+    builder.batchWindow(2000us);
+    service::Service svc(builder.build());
+
+    std::vector<std::future<service::Reply>> futures;
+    for (int i = 0; i < 8; ++i)
+        futures.push_back(svc.submit(service::Job::embed(twoHopPlan(4))));
+    bool merged = false;
+    for (auto &f : futures) {
+        const auto reply = f.get();
+        ASSERT_EQ(reply.status.code(), StatusCode::Ok);
+        EXPECT_EQ(reply.embeddings.rows(), 4u);
+        EXPECT_EQ(reply.embeddings.cols(),
+                  svc.compute().model().hiddenDim());
+        merged |= reply.batched_with > 1;
+    }
+    EXPECT_TRUE(merged) << "the window never packed a micro-batch";
+    svc.shutdown();
+}
+
+// ---------------------------------------------------------------------
+// Submit-time validation
+// ---------------------------------------------------------------------
+
+TEST(PipelineValidation, ComputeJobHopsMustMatchModelDepth)
+{
+    service::Service svc(baseBuilder(1).build());
+    sampling::SamplePlan one_hop;
+    one_hop.batch_size = 8;
+    one_hop.fanouts = {5};
+
+    const auto embed = svc.execute(service::Job::embed(one_hop));
+    EXPECT_FALSE(embed.ok());
+    EXPECT_EQ(embed.status().code(), StatusCode::InvalidArgument);
+
+    // The same plan is perfectly valid as a pure sampling job.
+    const auto sample = svc.execute(service::Job::sample(one_hop));
+    EXPECT_TRUE(sample.ok()) << sample.status().toString();
+    svc.shutdown();
+}
+
+TEST(PipelineValidation, MalformedPlansRejectedAtSubmit)
+{
+    service::Service svc(baseBuilder(1).build());
+    sampling::SamplePlan no_roots = twoHopPlan(0);
+    sampling::SamplePlan no_hops;
+    no_hops.batch_size = 8;
+    no_hops.fanouts = {};
+    for (const auto &plan : {no_roots, no_hops}) {
+        const auto result = svc.execute(service::Job::embed(plan));
+        EXPECT_FALSE(result.ok());
+        EXPECT_EQ(result.status().code(), StatusCode::InvalidArgument);
+    }
+    svc.shutdown();
+}
+
+// ---------------------------------------------------------------------
+// Brown-out: compute kinds degrade width as well as fan-out
+// ---------------------------------------------------------------------
+
+TEST(PipelineBrownOut, DegradedEmbedRepliesCarryNarrowedColumns)
+{
+    auto builder = baseBuilder(1);
+    service::BrownOutConfig bo;
+    bo.engage_fill = 0.0; // any observation engages Degrade
+    bo.release_fill = 0.0;
+    bo.shed_fill = 2.0; // never escalate to shedding
+    bo.min_hold = 10s;  // and never release during the test
+    bo.compute_width_scale = 0.5;
+    builder.brownout(bo);
+    service::Service svc(builder.build());
+    const auto hidden = svc.compute().model().hiddenDim();
+
+    service::SubmitOptions options;
+    options.seed = 5;
+    const auto result =
+        svc.execute(service::Job::embed(twoHopPlan(8), options));
+    ASSERT_TRUE(result.ok()) << result.status().toString();
+    const service::Reply &reply = result.value();
+    EXPECT_EQ(reply.status.code(), StatusCode::Degraded);
+    EXPECT_EQ(reply.shed_cause, service::ShedCause::BrownOut);
+    EXPECT_TRUE(reply.hasEmbeddings());
+    EXPECT_EQ(reply.embeddings.rows(), 8u);
+    EXPECT_EQ(reply.embeddings.cols(), hidden / 2)
+        << "brown-out must narrow compute width, not just fan-out";
+    svc.shutdown();
+}
+
+// ---------------------------------------------------------------------
+// Micro-batching stays kind-homogeneous
+// ---------------------------------------------------------------------
+
+TEST(PipelineBatching, CompatibilityForbidsCrossKindAndSeededMerges)
+{
+    service::Request sample, embed, seeded;
+    sample.plan = embed.plan = seeded.plan = twoHopPlan();
+    embed.kind = service::JobKind::Embed;
+    seeded.seed = 99;
+
+    EXPECT_TRUE(service::batchCompatible(sample, sample));
+    EXPECT_FALSE(service::batchCompatible(sample, embed));
+    EXPECT_FALSE(service::batchCompatible(sample, seeded));
+    EXPECT_FALSE(service::batchCompatible(seeded, seeded))
+        << "seeded jobs use a private stream; merging would break it";
+}
+
+TEST(PipelineBatching, SoloSeededBatchMergesCleanly)
+{
+    // Regression: merge() must not demand the front rider be
+    // merge-compatible with itself (a seeded request never is).
+    service::Request seeded;
+    seeded.plan = twoHopPlan(12);
+    seeded.seed = 31;
+    std::vector<service::Request> batch;
+    batch.push_back(std::move(seeded));
+    const auto merged = service::Batcher::merge(batch);
+    EXPECT_EQ(merged.batch_size, 12u);
+}
+
+TEST(PipelineBatching, MixedKindBurstNeverSharesABatchSpan)
+{
+    auto builder = baseBuilder(1);
+    builder.batchWindow(2000us);
+    service::Service svc(builder.build());
+
+    std::vector<std::future<service::Reply>> futures;
+    for (int i = 0; i < 16; ++i)
+        futures.push_back(svc.submit(
+            i % 2 == 0 ? service::Job::sample(twoHopPlan(4))
+                       : service::Job::embed(twoHopPlan(4))));
+    std::map<std::uint64_t, service::JobKind> span_kind;
+    for (auto &f : futures) {
+        const auto reply = f.get();
+        ASSERT_TRUE(reply.status.hasPayload()) << reply.status;
+        const auto [it, inserted] =
+            span_kind.emplace(reply.batch_span_id, reply.kind);
+        EXPECT_EQ(it->second, reply.kind)
+            << "batch span " << reply.batch_span_id
+            << " mixed job kinds";
+    }
+    svc.shutdown();
+}
+
+// ---------------------------------------------------------------------
+// Double-buffering stress (TSan target)
+// ---------------------------------------------------------------------
+
+TEST(PipelineStress, MixedKindFloodDrainsCleanly)
+{
+    auto builder = baseBuilder(3);
+    builder.queueCapacity(64).batchWindow(100us);
+    service::Service svc(builder.build());
+
+    constexpr int clients = 4, per_client = 18;
+    std::vector<std::thread> threads;
+    std::atomic<int> served{0}, shed{0};
+    for (int c = 0; c < clients; ++c) {
+        threads.emplace_back([&svc, &served, &shed, c] {
+            for (int i = 0; i < per_client; ++i) {
+                const auto kind = static_cast<service::JobKind>(
+                    (c + i) % 3);
+                service::SubmitOptions options;
+                options.seed = (c + i) % 2 == 0 ? 0 : 100 + i;
+                const auto reply =
+                    svc.submit(service::Job::of(kind, twoHopPlan(4),
+                                                options))
+                        .get();
+                (reply.status.hasPayload() ? served : shed)++;
+            }
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    svc.shutdown(service::Service::Shutdown::Drain);
+    EXPECT_EQ(served + shed, clients * per_client);
+    EXPECT_GT(served.load(), 0);
+    EXPECT_EQ(svc.queueDepth(), 0u);
+}
+
+TEST(PipelineStress, CancelShutdownFailsComputeBacklogFast)
+{
+    auto builder = baseBuilder(1);
+    builder.queueCapacity(512).batchWindow(0us).maxBatchRequests(1);
+    service::Service svc(builder.build());
+    std::vector<std::future<service::Reply>> futures;
+    for (int i = 0; i < 96; ++i)
+        futures.push_back(svc.submit(service::Job::embed(twoHopPlan(32))));
+    svc.shutdown(service::Service::Shutdown::Cancel);
+
+    std::uint64_t resolved = 0, cancelled = 0;
+    for (auto &f : futures) {
+        const auto status = f.get().status;
+        ++resolved;
+        cancelled += status == StatusCode::Cancelled ? 1 : 0;
+    }
+    EXPECT_EQ(resolved, 96u);
+    EXPECT_GT(cancelled, 0u);
+}
+
+// ---------------------------------------------------------------------
+// ServiceConfig: validate / Builder / fromEnv
+// ---------------------------------------------------------------------
+
+TEST(ServiceConfigValidation, CatchesBadKnobsWithNamedErrors)
+{
+    const service::ServiceConfig good = baseBuilder(1).build();
+    EXPECT_TRUE(good.validate().ok());
+
+    auto check_bad = [](service::ServiceConfig cfg) {
+        const Status status = cfg.validate();
+        EXPECT_FALSE(status.ok());
+        EXPECT_EQ(status.code(), StatusCode::InvalidArgument);
+        EXPECT_FALSE(status.message().empty());
+    };
+    service::ServiceConfig cfg = good;
+    cfg.num_workers = 0;
+    check_bad(cfg);
+    cfg = good;
+    cfg.queue_capacity = 0;
+    check_bad(cfg);
+    cfg = good;
+    cfg.pipeline.hidden_dim = 0;
+    check_bad(cfg);
+    cfg = good;
+    cfg.pipeline.layers = 0;
+    check_bad(cfg);
+    cfg = good;
+    cfg.pipeline.gemm_clock_mhz = 0.0;
+    check_bad(cfg);
+    cfg = good;
+    cfg.qos.brownout.engage_fill = 0.95; // above shed_fill
+    check_bad(cfg);
+    cfg = good;
+    cfg.qos.brownout.compute_width_scale = 0.0;
+    check_bad(cfg);
+    cfg = good;
+    cfg.session.dataset = "";
+    check_bad(cfg);
+}
+
+TEST(ServiceConfigValidation, BuilderComposesEveryLayer)
+{
+    service::BrownOutConfig bo;
+    bo.fanout_scale = 0.25;
+    const service::ServiceConfig cfg =
+        baseBuilder(3)
+            .queueCapacity(99)
+            .batchWindow(123us)
+            .maxBatchRequests(5)
+            .defaultDeadline(4ms)
+            .qosEnabled(true)
+            .tenant(7, service::TenantConfig{"seven", 10.0, 4.0, 2})
+            .brownout(bo)
+            .pipelined(false)
+            .model(32, 3)
+            .gatherFabric(12.5, 3.0)
+            .build();
+    EXPECT_EQ(cfg.num_workers, 3u);
+    EXPECT_EQ(cfg.queue_capacity, 99u);
+    EXPECT_EQ(cfg.batcher.window, 123us);
+    EXPECT_EQ(cfg.batcher.max_requests, 5u);
+    EXPECT_EQ(cfg.default_deadline, 4000us);
+    ASSERT_EQ(cfg.qos.tenants.size(), 1u);
+    EXPECT_EQ(cfg.qos.tenants[0].first, 7u);
+    EXPECT_EQ(cfg.qos.brownout.fanout_scale, 0.25);
+    EXPECT_FALSE(cfg.pipeline.enabled);
+    EXPECT_EQ(cfg.pipeline.hidden_dim, 32u);
+    EXPECT_EQ(cfg.pipeline.layers, 3u);
+    EXPECT_EQ(cfg.pipeline.gather_gbps, 12.5);
+    EXPECT_EQ(cfg.pipeline.gather_rtt_us, 3.0);
+}
+
+TEST(ServiceConfigValidation, FromEnvOverridesAndValidates)
+{
+    ::setenv("LSDGNN_SERVICE_DATASET", "ss", 1);
+    ::setenv("LSDGNN_SERVICE_SCALE", "20000", 1);
+    ::setenv("LSDGNN_SERVICE_WORKERS", "5", 1);
+    ::setenv("LSDGNN_SERVICE_QUEUE", "77", 1);
+    ::setenv("LSDGNN_SERVICE_QOS", "0", 1);
+    ::setenv("LSDGNN_SERVICE_PIPELINE", "0", 1);
+    ::setenv("LSDGNN_SERVICE_HIDDEN", "48", 1);
+    ::setenv("LSDGNN_SERVICE_LAYERS", "2", 1);
+    ::setenv("LSDGNN_SERVICE_GATHER_GBPS", "25.0", 1);
+    const auto cfg = service::ServiceConfig::fromEnv();
+    for (const char *var :
+         {"LSDGNN_SERVICE_DATASET", "LSDGNN_SERVICE_SCALE",
+          "LSDGNN_SERVICE_WORKERS", "LSDGNN_SERVICE_QUEUE",
+          "LSDGNN_SERVICE_QOS", "LSDGNN_SERVICE_PIPELINE",
+          "LSDGNN_SERVICE_HIDDEN", "LSDGNN_SERVICE_LAYERS",
+          "LSDGNN_SERVICE_GATHER_GBPS"})
+        ::unsetenv(var);
+
+    EXPECT_EQ(cfg.session.dataset, "ss");
+    EXPECT_EQ(cfg.session.scale_divisor, 20'000u);
+    EXPECT_EQ(cfg.num_workers, 5u);
+    EXPECT_EQ(cfg.queue_capacity, 77u);
+    EXPECT_FALSE(cfg.qos.enabled);
+    EXPECT_FALSE(cfg.pipeline.enabled);
+    EXPECT_EQ(cfg.pipeline.hidden_dim, 48u);
+    EXPECT_EQ(cfg.pipeline.layers, 2u);
+    EXPECT_EQ(cfg.pipeline.gather_gbps, 25.0);
+    EXPECT_TRUE(cfg.validate().ok());
+}
+
+} // namespace
+} // namespace lsdgnn

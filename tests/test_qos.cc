@@ -434,12 +434,12 @@ TEST(BrownOut, EveryBrownedOutReplyCarriesDegradedWithPayload)
     cfg.num_workers = 1;
     cfg.queue_capacity = 4;
     cfg.batcher.window = std::chrono::microseconds(0);
-    service::SamplingService svc(cfg);
+    service::Service svc(cfg);
 
     std::vector<std::future<service::Reply>> futures;
     for (int i = 0; i < 64; ++i)
         futures.push_back(
-            svc.submit(service::SampleRequest{tinyPlan(), {}}));
+            svc.submit(service::Job::sample(tinyPlan())));
 
     std::uint64_t browned = 0;
     for (auto &f : futures) {
@@ -505,7 +505,7 @@ TEST(QosAdversarial, BatchFloodCannotStarveInteractiveTenant)
         1, service::TenantConfig{"online", 0.0, 32.0, 1});
     cfg.qos.tenants.emplace_back(
         2, service::TenantConfig{"train", 0.0, 32.0, 1});
-    service::SamplingService svc(cfg);
+    service::Service svc(cfg);
     service::LoadGenerator gen(svc);
 
     // The Batch tenant floods an open loop far beyond service
@@ -574,12 +574,12 @@ runServiceBatches(bool qos_enabled, bool distributed,
     }
     cfg.num_workers = 1;
     cfg.qos.enabled = qos_enabled;
-    service::SamplingService svc(cfg);
+    service::Service svc(cfg);
 
     std::vector<std::uint64_t> flat;
     for (int b = 0; b < batches; ++b) {
         const auto reply =
-            svc.sample(service::SampleRequest{tinyPlan(32), {}});
+            svc.submit(service::Job::sample(tinyPlan(32))).get();
         EXPECT_EQ(reply.status, StatusCode::Ok) << "batch " << b;
         EXPECT_EQ(reply.shed_cause, ShedCause::None);
         for (graph::NodeId n : reply.batch.roots)

@@ -390,7 +390,7 @@ TEST(Batcher, SplitIntoHandlesOutOfOrderParents)
 }
 
 // ---------------------------------------------------------------------
-// SamplingService end-to-end
+// Service end-to-end
 // ---------------------------------------------------------------------
 
 service::ServiceConfig
@@ -404,12 +404,12 @@ tinyService(std::uint32_t workers, std::size_t capacity = 256)
     return cfg;
 }
 
-TEST(SamplingService, CompletesEveryFuture)
+TEST(Service, CompletesEveryFuture)
 {
-    service::SamplingService svc(tinyService(2));
+    service::Service svc(tinyService(2));
     std::vector<std::future<service::Reply>> futures;
     for (int i = 0; i < 32; ++i)
-        futures.push_back(svc.submit(service::SampleRequest{tinyPlan(), {}}));
+        futures.push_back(svc.submit(service::Job::sample(tinyPlan())));
     for (auto &f : futures) {
         const auto reply = f.get();
         ASSERT_EQ(reply.status, StatusCode::Ok);
@@ -424,7 +424,7 @@ TEST(SamplingService, CompletesEveryFuture)
     EXPECT_LE(svc.stats().batches(), 32u);
 }
 
-TEST(SamplingService, OverflowRejectsInsteadOfQueueingUnbounded)
+TEST(Service, OverflowRejectsInsteadOfQueueingUnbounded)
 {
     // One worker, tiny queue, zero batching window, and a burst far
     // beyond capacity: some requests must be shed as Rejected, every
@@ -432,11 +432,11 @@ TEST(SamplingService, OverflowRejectsInsteadOfQueueingUnbounded)
     // (Degraded replies with a payload); those count as served.
     auto cfg = tinyService(1, /*capacity=*/2);
     cfg.batcher.window = std::chrono::microseconds(0);
-    service::SamplingService svc(cfg);
+    service::Service svc(cfg);
 
     std::vector<std::future<service::Reply>> futures;
     for (int i = 0; i < 64; ++i)
-        futures.push_back(svc.submit(service::SampleRequest{tinyPlan(), {}}));
+        futures.push_back(svc.submit(service::Job::sample(tinyPlan())));
 
     std::uint64_t ok = 0, rejected = 0;
     for (auto &f : futures) {
@@ -453,7 +453,7 @@ TEST(SamplingService, OverflowRejectsInsteadOfQueueingUnbounded)
     EXPECT_EQ(svc.queueStats().counter("rejected").value(), rejected);
 }
 
-TEST(SamplingService, DeadlineDropsWhenWorkerCannotKeepUp)
+TEST(Service, DeadlineDropsWhenWorkerCannotKeepUp)
 {
     // Deadline far shorter than the time one worker needs to chew
     // through the backlog: the tail of the burst must be Dropped
@@ -462,11 +462,11 @@ TEST(SamplingService, DeadlineDropsWhenWorkerCannotKeepUp)
     cfg.batcher.window = std::chrono::microseconds(0);
     cfg.batcher.max_requests = 1;
     cfg.default_deadline = std::chrono::microseconds(500);
-    service::SamplingService svc(cfg);
+    service::Service svc(cfg);
 
     std::vector<std::future<service::Reply>> futures;
     for (int i = 0; i < 256; ++i)
-        futures.push_back(svc.submit(service::SampleRequest{tinyPlan(64), {}}));
+        futures.push_back(svc.submit(service::Job::sample(tinyPlan(64))));
 
     std::uint64_t ok = 0, dropped = 0, other = 0;
     for (auto &f : futures) {
@@ -481,29 +481,29 @@ TEST(SamplingService, DeadlineDropsWhenWorkerCannotKeepUp)
     EXPECT_EQ(ok + dropped + other, 256u);
 }
 
-TEST(SamplingService, GracefulShutdownDrainsInFlight)
+TEST(Service, GracefulShutdownDrainsInFlight)
 {
     auto cfg = tinyService(2, /*capacity=*/512);
-    service::SamplingService svc(cfg);
+    service::Service svc(cfg);
     std::vector<std::future<service::Reply>> futures;
     for (int i = 0; i < 128; ++i)
-        futures.push_back(svc.submit(service::SampleRequest{tinyPlan(), {}}));
-    svc.shutdown(service::SamplingService::Shutdown::Drain);
+        futures.push_back(svc.submit(service::Job::sample(tinyPlan())));
+    svc.shutdown(service::Service::Shutdown::Drain);
     for (auto &f : futures)
         EXPECT_EQ(f.get().status, StatusCode::Ok);
     EXPECT_EQ(svc.queueDepth(), 0u);
 }
 
-TEST(SamplingService, CancelShutdownFailsBacklogFast)
+TEST(Service, CancelShutdownFailsBacklogFast)
 {
     auto cfg = tinyService(1, /*capacity=*/512);
     cfg.batcher.max_requests = 1;
     cfg.batcher.window = std::chrono::microseconds(0);
-    service::SamplingService svc(cfg);
+    service::Service svc(cfg);
     std::vector<std::future<service::Reply>> futures;
     for (int i = 0; i < 128; ++i)
-        futures.push_back(svc.submit(service::SampleRequest{tinyPlan(64), {}}));
-    svc.shutdown(service::SamplingService::Shutdown::Cancel);
+        futures.push_back(svc.submit(service::Job::sample(tinyPlan(64))));
+    svc.shutdown(service::Service::Shutdown::Cancel);
 
     std::uint64_t ok = 0, cancelled = 0;
     for (auto &f : futures) {
@@ -519,16 +519,16 @@ TEST(SamplingService, CancelShutdownFailsBacklogFast)
     EXPECT_EQ(ok + cancelled, 128u);
 }
 
-TEST(SamplingService, SubmissionsFromManyThreads)
+TEST(Service, SubmissionsFromManyThreads)
 {
-    service::SamplingService svc(tinyService(2));
+    service::Service svc(tinyService(2));
     constexpr int clients = 4, per_client = 16;
     std::vector<std::thread> threads;
     std::atomic<int> ok{0};
     for (int c = 0; c < clients; ++c) {
         threads.emplace_back([&svc, &ok] {
             for (int i = 0; i < per_client; ++i) {
-                if (svc.sample(tinyPlan()).status ==
+                if (svc.submit(service::Job::sample(tinyPlan())).get().status ==
                     StatusCode::Ok)
                     ++ok;
             }
@@ -545,15 +545,15 @@ TEST(SamplingService, SubmissionsFromManyThreads)
 // ---------------------------------------------------------------------
 
 /** Same seeds, same submission order => identical sampled IDs. */
-TEST(SamplingService, SingleWorkerDeterministicAcrossRuns)
+TEST(Service, SingleWorkerDeterministicAcrossRuns)
 {
     auto run = [] {
         auto cfg = tinyService(1);
         cfg.batcher.window = std::chrono::microseconds(0);
-        service::SamplingService svc(cfg);
+        service::Service svc(cfg);
         std::vector<graph::NodeId> ids;
         for (int i = 0; i < 8; ++i) {
-            const auto reply = svc.sample(tinyPlan());
+            const auto reply = svc.submit(service::Job::sample(tinyPlan())).get();
             for (graph::NodeId n : reply.batch.roots)
                 ids.push_back(n);
             for (const auto &hop : reply.batch.frontier)
@@ -584,9 +584,9 @@ TEST(WorkerPool, WorkerSeedsAreDecorrelated)
 
 TEST(LoadGenerator, ClosedLoopDeliversGoodput)
 {
-    service::SamplingService svc(tinyService(2));
+    service::Service svc(tinyService(2));
     service::LoadGenerator gen(svc);
-    const auto report = gen.runClosedLoop(tinyPlan(), 4, 100ms);
+    const auto report = gen.runClosedLoop(service::Job::sample(tinyPlan()), 4, 100ms);
     svc.shutdown();
     EXPECT_GT(report.offered, 0u);
     EXPECT_EQ(report.ok, report.offered); // closed loop never sheds
@@ -600,14 +600,15 @@ TEST(LoadGenerator, OpenLoopOverloadShedsInsteadOfExploding)
 {
     auto cfg = tinyService(1, /*capacity=*/8);
     cfg.batcher.window = std::chrono::microseconds(0);
-    service::SamplingService svc(cfg);
+    service::Service svc(cfg);
     service::LoadGenerator gen(svc);
     // Offered load far beyond one worker's capacity on plan(1024):
     // ~32k sampled nodes per request keeps per-request service time
     // in the hundreds of microseconds even on the allocation-free
     // path, so 20k QPS cannot be served and must shed.
     const auto report =
-        gen.runOpenLoop(tinyPlan(1024), /*qps=*/20000.0, 150ms);
+        gen.runOpenLoop(service::Job::sample(tinyPlan(1024)),
+                        /*qps=*/20000.0, 150ms);
     svc.shutdown();
     EXPECT_GT(report.offered, 0u);
     EXPECT_GT(report.rejected, 0u);
@@ -622,9 +623,9 @@ TEST(LoadGenerator, OpenLoopOverloadShedsInsteadOfExploding)
 
 TEST(ServiceObservability, LatencyHistogramsExportedThroughRegistry)
 {
-    service::SamplingService svc(tinyService(2));
+    service::Service svc(tinyService(2));
     for (int i = 0; i < 24; ++i)
-        (void)svc.sample(tinyPlan());
+        (void)svc.submit(service::Job::sample(tinyPlan())).get();
     svc.shutdown();
 
     const auto &group = svc.stats().group();
@@ -648,9 +649,9 @@ TEST(ServiceObservability, TraceCarriesWorkerTracksAndCounters)
     trace::Tracer::instance().open(path);
     ASSERT_TRUE(trace::Tracer::enabled());
     {
-        service::SamplingService svc(tinyService(2));
+        service::Service svc(tinyService(2));
         for (int i = 0; i < 64; ++i)
-            (void)svc.sample(tinyPlan());
+            (void)svc.submit(service::Job::sample(tinyPlan())).get();
         svc.shutdown();
     }
     trace::Tracer::instance().close();
